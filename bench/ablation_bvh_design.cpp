@@ -1,0 +1,70 @@
+// Ablation of the two BVH design choices DESIGN.md calls out:
+//
+//  * leaf bucket size — the paper builds one body per leaf; larger buckets
+//    shorten the tree (fewer levels to traverse and build) at the cost of
+//    more exact pairwise work at the bottom.
+//  * sort curve — Hilbert (the paper's choice, unit-step locality along the
+//    curve) vs Morton (the common alternative from the GPU-BVH literature,
+//    which jumps across the domain at block boundaries and loosens boxes).
+//
+// Reported per row: force RMS error vs the exact sum, throughput, and the
+// summed extent of internal-node boxes (the tightness the curve buys).
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "bench_support/table.hpp"
+#include "bvh/strategy.hpp"
+#include "core/diagnostics.hpp"
+#include "core/reference.hpp"
+
+namespace {
+
+using namespace nbody;
+
+double total_box_extent(const bvh::HilbertBVH<double, 3>& t) {
+  double sum = 0;
+  for (std::size_t k = 1; k < t.leaf_count(); ++k)
+    if (!t.node_box(k).empty()) sum += norm(t.node_box(k).extent());
+  return sum;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t n = nbody::bench::scaled(30'000, 4'000);
+  const auto initial = workloads::plummer_sphere(n, 51);
+  core::SimConfig<double> cfg = nbody::bench::paper_config();
+
+  auto exact_sys = initial;
+  core::reference_accelerations(exact_sys, cfg);
+
+  nbody::bench_support::Table table(
+      "BVH design ablation (N=" + std::to_string(n) + ", theta=0.5)",
+      {"curve", "leaf_size", "levels", "rms_error", "bodies/s", "box_extent"});
+
+  for (auto curve : {bvh::CurveKind::hilbert, bvh::CurveKind::morton}) {
+    for (std::size_t leaf : {std::size_t{1}, std::size_t{2}, std::size_t{4}, std::size_t{8},
+                             std::size_t{16}}) {
+      typename bvh::HilbertBVH<double, 3>::Options opts;
+      opts.curve = curve;
+      opts.leaf_size = leaf;
+      bvh::BVHStrategy<double, 3> strat(opts);
+      auto sys = initial;
+      strat.accelerations(exec::par_unseq, sys, cfg);
+      std::vector<math::vec3d> got(sys.size());
+      for (std::size_t i = 0; i < sys.size(); ++i) got[sys.id[i]] = sys.a[i];
+      const double err = core::rms_relative_error(got, exact_sys.a);
+      const int reps = 3;
+      support::Stopwatch w;
+      for (int r = 0; r < reps; ++r) strat.accelerations(exec::par_unseq, sys, cfg);
+      const double tput = static_cast<double>(n) * reps / w.seconds();
+      table.add_row({std::string(curve == bvh::CurveKind::hilbert ? "hilbert" : "morton"),
+                     static_cast<long long>(leaf),
+                     static_cast<long long>(strat.tree().levels()), err, tput,
+                     total_box_extent(strat.tree())});
+    }
+  }
+  table.print();
+  table.maybe_write_csv("ablation_bvh_design");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Ablation: monopole vs quadrupole expansion (the paper's Sec. IV-A-3
+// extension hook). For a range of theta, measures the force RMS error and
+// throughput of both tree strategies with and without the quadrupole term.
+// The interesting read-out: a quadrupole run at a large theta can match the
+// accuracy of a monopole run at a small theta while doing less tree
+// traversal — the classic accuracy/work trade the multipole order buys.
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "bench_support/table.hpp"
+#include "bvh/strategy.hpp"
+#include "core/diagnostics.hpp"
+#include "core/reference.hpp"
+#include "octree/strategy.hpp"
+
+namespace {
+
+using namespace nbody;
+
+template <class Strategy, class Policy>
+void measure_row(nbody::bench_support::Table& table, const char* algo,
+                 const core::System<double, 3>& initial,
+                 const std::vector<math::vec3d>& exact, core::SimConfig<double> cfg,
+                 Policy policy) {
+  auto sys = initial;
+  Strategy strat;
+  strat.accelerations(policy, sys, cfg);
+  std::vector<math::vec3d> got(sys.size());
+  for (std::size_t i = 0; i < sys.size(); ++i) got[sys.id[i]] = sys.a[i];
+  const double err = core::rms_relative_error(got, exact);
+  const int reps = 3;
+  support::Stopwatch w;
+  for (int r = 0; r < reps; ++r) strat.accelerations(policy, sys, cfg);
+  const double tput = static_cast<double>(sys.size()) * reps / w.seconds();
+  table.add_row({cfg.theta, std::string(algo),
+                 std::string(cfg.quadrupole ? "quadrupole" : "monopole"), err, tput});
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t n = nbody::bench::scaled(30'000, 2'000);
+  const auto initial = workloads::plummer_sphere(n, 31);
+  core::SimConfig<double> cfg = nbody::bench::paper_config();
+
+  auto exact_sys = initial;
+  core::reference_accelerations(exact_sys, cfg);
+
+  nbody::bench_support::Table table(
+      "Multipole-order ablation (N=" + std::to_string(n) + ")",
+      {"theta", "algorithm", "expansion", "rms_error", "bodies/s"});
+  for (double theta : {0.4, 0.6, 0.8, 1.0}) {
+    cfg.theta = theta;
+    for (bool quad : {false, true}) {
+      cfg.quadrupole = quad;
+      measure_row<octree::OctreeStrategy<double, 3>>(table, "octree", initial, exact_sys.a,
+                                                     cfg, exec::par);
+      measure_row<bvh::BVHStrategy<double, 3>>(table, "bvh", initial, exact_sys.a, cfg,
+                                               exec::par_unseq);
+    }
+  }
+  table.print();
+  table.maybe_write_csv("ablation_quadrupole");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Ablation: tree-reuse amortization (Iwasawa et al., paper Sec. VI: "they
+// amortized this cost by reusing the same tree over multiple time steps as
+// an additional approximation. This approach can be applied to any
+// Barnes-Hut implementation.")
+//
+// Octree: rebuild every k steps, recompute moments in between.
+// BVH: re-sort every k steps, rebuild boxes/moments every step.
+// Reported: throughput and the L2 trajectory drift vs the k=1 run after a
+// fixed horizon — the accuracy price of the amortization.
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "bench_support/table.hpp"
+#include "bvh/strategy.hpp"
+#include "core/diagnostics.hpp"
+#include "core/simulation.hpp"
+#include "octree/strategy.hpp"
+
+namespace {
+
+using namespace nbody;
+
+template <class Strategy, class Policy>
+std::pair<core::System<double, 3>, double> run(const core::System<double, 3>& initial,
+                                               const core::SimConfig<double>& cfg,
+                                               Strategy strat, Policy policy,
+                                               std::size_t steps) {
+  core::Simulation<double, 3, Strategy> sim(initial, cfg, std::move(strat));
+  support::Stopwatch w;
+  sim.run(policy, steps);
+  return {sim.system(), w.seconds()};
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t n = nbody::bench::scaled(100'000, 8'000);
+  const std::size_t steps = 40;
+  const auto initial = workloads::galaxy_collision(n);
+  const auto cfg = nbody::bench::paper_config();
+
+  nbody::bench_support::Table table(
+      "Tree-reuse ablation (N=" + std::to_string(n) + ", " + std::to_string(steps) +
+          " steps)",
+      {"algorithm", "rebuild_every", "bodies/s", "l2_drift_vs_k1"});
+
+  core::System<double, 3> oct_base, bvh_base;
+  for (unsigned k : {1u, 2u, 4u, 8u}) {
+    {
+      typename octree::OctreeStrategy<double, 3>::Options o;
+      o.reuse_interval = k;
+      auto [sys, secs] = run(initial, cfg, octree::OctreeStrategy<double, 3>(o), exec::par,
+                             steps);
+      if (k == 1) oct_base = sys;
+      table.add_row({std::string("octree"), static_cast<long long>(k),
+                     static_cast<double>(n) * steps / secs,
+                     core::l2_position_error(sys, oct_base)});
+    }
+    {
+      typename bvh::BVHStrategy<double, 3>::Options o;
+      o.reuse_interval = k;
+      auto [sys, secs] =
+          run(initial, cfg, bvh::BVHStrategy<double, 3>(o), exec::par_unseq, steps);
+      if (k == 1) bvh_base = sys;
+      table.add_row({std::string("bvh"), static_cast<long long>(k),
+                     static_cast<double>(n) * steps / secs,
+                     core::l2_position_error(sys, bvh_base)});
+    }
+  }
+  table.print();
+  table.maybe_write_csv("ablation_reuse");
+  return 0;
+}

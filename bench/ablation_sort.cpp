@@ -1,0 +1,93 @@
+// Ablation: sort algorithm for the HilbertSort step.
+//
+// The paper's Fig. 8 finds that most cross-toolchain runtime variation sits
+// in the sorting algorithm ("not necessarily optimised in all compilers").
+// This harness quantifies the choice on our substrate: sequential
+// std::stable_sort vs the parallel merge sort vs the parallel LSD radix
+// sort, over SFC-key/index pairs of increasing size, plus the end-to-end
+// effect on a full BVH simulation step.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "bench_support/table.hpp"
+#include "bvh/strategy.hpp"
+#include "exec/radix_sort.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace nbody;
+using Item = std::pair<std::uint64_t, std::uint32_t>;
+
+std::vector<Item> random_items(std::size_t n) {
+  support::Xoshiro256ss rng(n);
+  std::vector<Item> v(n);
+  for (std::size_t i = 0; i < n; ++i)
+    v[i] = {rng.next() >> 1, static_cast<std::uint32_t>(i)};  // 63-bit keys
+  return v;
+}
+
+template <class SortFn>
+double time_sort(const std::vector<Item>& input, SortFn&& sort_fn) {
+  const int reps = 3;
+  double total = 0;
+  for (int r = 0; r < reps; ++r) {
+    auto v = input;
+    support::Stopwatch w;
+    sort_fn(v);
+    total += w.seconds();
+  }
+  return total / reps;
+}
+
+}  // namespace
+
+int main() {
+  nbody::bench_support::Table table("Sort-algorithm ablation (63-bit SFC keys + payload)",
+                                    {"n", "algorithm", "seconds", "keys/s"});
+  for (std::size_t n : {std::size_t{1} << 14, std::size_t{1} << 17, std::size_t{1} << 20}) {
+    const auto input = random_items(n);
+    const auto by_key = [](const Item& a, const Item& b) { return a.first < b.first; };
+    const double t_std = time_sort(input, [&](std::vector<Item>& v) {
+      std::stable_sort(v.begin(), v.end(), by_key);
+    });
+    const double t_merge = time_sort(input, [&](std::vector<Item>& v) {
+      exec::sort(exec::par, v.begin(), v.end(), by_key);
+    });
+    const double t_radix = time_sort(input, [&](std::vector<Item>& v) {
+      exec::radix_sort_pairs(exec::par, v, 63);
+    });
+    const auto rate = [n](double t) { return static_cast<double>(n) / t; };
+    table.add_row({static_cast<long long>(n), std::string("std::stable_sort(seq)"), t_std,
+                   rate(t_std)});
+    table.add_row({static_cast<long long>(n), std::string("parallel merge"), t_merge,
+                   rate(t_merge)});
+    table.add_row({static_cast<long long>(n), std::string("parallel radix"), t_radix,
+                   rate(t_radix)});
+  }
+  table.print();
+  table.maybe_write_csv("ablation_sort");
+
+  // End-to-end: full BVH step with each sort backend.
+  const std::size_t n = nbody::bench::scaled(100'000, 8'000);
+  const auto initial = workloads::galaxy_collision(n);
+  const auto cfg = nbody::bench::paper_config();
+  nbody::bench_support::Table e2e("End-to-end BVH step by sort backend (N=" +
+                                      std::to_string(n) + ")",
+                                  {"sort", "bodies/s"});
+  for (auto kind : {bvh::SortKind::comparison, bvh::SortKind::radix}) {
+    typename bvh::HilbertBVH<double, 3>::Options opts;
+    opts.sort = kind;
+    auto sys = initial;
+    bvh::BVHStrategy<double, 3> strat(opts);
+    strat.accelerations(exec::par_unseq, sys, cfg);  // warm-up
+    support::Stopwatch w;
+    for (int r = 0; r < 5; ++r) strat.accelerations(exec::par_unseq, sys, cfg);
+    e2e.add_row({std::string(kind == bvh::SortKind::comparison ? "comparison" : "radix"),
+                 static_cast<double>(n) * 5 / w.seconds()});
+  }
+  e2e.print();
+  e2e.maybe_write_csv("ablation_sort_e2e");
+  return 0;
+}

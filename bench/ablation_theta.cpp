@@ -1,0 +1,83 @@
+// Ablation: the accuracy/throughput trade-off of the opening angle theta,
+// and the different *interpretation* of theta between the Octree and the
+// BVH (paper, end of Sec. IV-B: elongated, overlapping BVH boxes and the
+// no-reevaluation skip jumps mean the same theta buys different accuracy
+// and work). Rows: theta x {octree, bvh}, with force RMS error vs the exact
+// O(N^2) sum and achieved throughput.
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "bench_support/table.hpp"
+#include "bvh/strategy.hpp"
+#include "core/diagnostics.hpp"
+#include "core/reference.hpp"
+#include "octree/strategy.hpp"
+
+namespace {
+
+using namespace nbody;
+
+struct Measurement {
+  double err;
+  double bodies_per_s;
+};
+
+template <class Strategy, class Policy>
+Measurement measure(const core::System<double, 3>& initial,
+                    const std::vector<math::vec3d>& exact, core::SimConfig<double> cfg,
+                    Policy policy) {
+  auto sys = initial;
+  Strategy strat;
+  strat.accelerations(policy, sys, cfg);  // warm-up + result for the error
+  // Map to original order (BVH reorders).
+  std::vector<math::vec3d> got(sys.size());
+  for (std::size_t i = 0; i < sys.size(); ++i) got[sys.id[i]] = sys.a[i];
+  const double err = core::rms_relative_error(got, exact);
+  const int reps = 5;
+  support::Stopwatch w;
+  for (int r = 0; r < reps; ++r) strat.accelerations(policy, sys, cfg);
+  const double tput = static_cast<double>(sys.size()) * reps / w.seconds();
+  return {err, tput};
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t n = nbody::bench::scaled(30'000, 2'000);
+  auto initial = workloads::plummer_sphere(n, 12);
+  core::SimConfig<double> cfg = nbody::bench::paper_config();
+
+  auto exact_sys = initial;
+  core::reference_accelerations(exact_sys, cfg);
+
+  nbody::bench_support::Table table(
+      "Theta ablation: force RMS error vs throughput (N=" + std::to_string(n) + ")",
+      {"theta", "algorithm", "rms_error", "bodies/s"});
+  for (double theta : {0.2, 0.35, 0.5, 0.75, 1.0}) {
+    cfg.theta = theta;
+    const auto o = measure<octree::OctreeStrategy<double, 3>>(initial, exact_sys.a, cfg,
+                                                              exec::par);
+    table.add_row({theta, std::string("octree"), o.err, o.bodies_per_s});
+    const auto b =
+        measure<bvh::BVHStrategy<double, 3>>(initial, exact_sys.a, cfg, exec::par_unseq);
+    table.add_row({theta, std::string("bvh"), b.err, b.bodies_per_s});
+    // bmax MAC variant: opens elongated boxes the side criterion accepts.
+    {
+      typename bvh::HilbertBVH<double, 3>::Options opts;
+      opts.mac = bvh::MacKind::bmax;
+      auto sys2 = initial;
+      bvh::BVHStrategy<double, 3> strat(opts);
+      strat.accelerations(exec::par_unseq, sys2, cfg);
+      std::vector<math::vec3d> got(sys2.size());
+      for (std::size_t i = 0; i < sys2.size(); ++i) got[sys2.id[i]] = sys2.a[i];
+      const double err = core::rms_relative_error(got, exact_sys.a);
+      support::Stopwatch w;
+      for (int r = 0; r < 5; ++r) strat.accelerations(exec::par_unseq, sys2, cfg);
+      table.add_row({theta, std::string("bvh (bmax MAC)"), err,
+                     static_cast<double>(sys2.size()) * 5 / w.seconds()});
+    }
+  }
+  table.print();
+  table.maybe_write_csv("ablation_theta");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Ablation: cache tiling of the all-pairs kernel (Nyland et al., GPU Gems 3
+// — the paper's related-work baseline for brute-force N-body on GPUs).
+// Sweeps the j-tile size; the arithmetic is identical across rows, so any
+// spread is purely the memory system responding to the blocking.
+#include <cstdio>
+
+#include "allpairs/allpairs.hpp"
+#include "bench/common.hpp"
+#include "bench_support/table.hpp"
+
+namespace {
+using namespace nbody;
+}  // namespace
+
+int main() {
+  const std::size_t n = nbody::bench::scaled(50'000, 4'000);
+  const auto initial = workloads::galaxy_collision(n);
+  const auto cfg = nbody::bench::paper_config();
+
+  nbody::bench_support::Table table(
+      "All-pairs tiling ablation (N=" + std::to_string(n) + ")",
+      {"variant", "tile", "bodies/s", "interactions/s"});
+  auto add = [&](const char* name, std::size_t tile, double secs, int reps) {
+    const double per_step = secs / reps;
+    table.add_row({std::string(name), static_cast<long long>(tile),
+                   static_cast<double>(n) / per_step,
+                   static_cast<double>(n) * static_cast<double>(n - 1) / per_step});
+  };
+
+  constexpr int reps = 2;
+  {
+    auto sys = initial;
+    allpairs::AllPairs<double, 3> plain;
+    plain.accelerations(exec::par_unseq, sys, cfg);  // warm-up
+    support::Stopwatch w;
+    for (int r = 0; r < reps; ++r) plain.accelerations(exec::par_unseq, sys, cfg);
+    add("untiled", 0, w.seconds(), reps);
+  }
+  for (std::size_t tile : {std::size_t{64}, std::size_t{256}, std::size_t{1024},
+                           std::size_t{4096}, std::size_t{16384}}) {
+    auto sys = initial;
+    allpairs::AllPairsTiled<double, 3> tiled(tile);
+    tiled.accelerations(exec::par_unseq, sys, cfg);  // warm-up
+    support::Stopwatch w;
+    for (int r = 0; r < reps; ++r) tiled.accelerations(exec::par_unseq, sys, cfg);
+    add("tiled", tile, w.seconds(), reps);
+  }
+  table.print();
+  table.maybe_write_csv("ablation_tiling");
+  return 0;
+}

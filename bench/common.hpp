@@ -1,0 +1,55 @@
+// Shared helpers for the benchmark harness.
+//
+// Workload sizes follow the paper's tiers — tiny = 1e4, small = 1e5,
+// mid = 1e6 bodies — scaled by NBODY_SCALE (default 0.1 so the full harness
+// finishes in minutes on a laptop-class single-core box; set NBODY_SCALE=1
+// for the paper's sizes). Every bench prints which sizes it actually ran.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdio>
+
+#include "core/simulation.hpp"
+#include "core/system.hpp"
+#include "support/env.hpp"
+#include "support/timer.hpp"
+#include "workloads/workloads.hpp"
+
+namespace nbody::bench {
+
+inline double scale() {
+  static const double s = support::env_double("NBODY_SCALE", 0.1);
+  return s;
+}
+
+inline std::size_t scaled(std::size_t paper_n, std::size_t floor_n = 512) {
+  const auto n = static_cast<std::size_t>(static_cast<double>(paper_n) * scale());
+  return std::max(n, floor_n);
+}
+
+constexpr std::size_t kTinyPaper = 10'000;    // Fig. 5
+constexpr std::size_t kSmallPaper = 100'000;  // Fig. 6 / 8
+constexpr std::size_t kMidPaper = 1'000'000;  // Fig. 7
+
+/// The paper's evaluation configuration: theta = 0.5, FP64 (Sec. V-A).
+inline core::SimConfig<double> paper_config() {
+  core::SimConfig<double> cfg;
+  cfg.theta = 0.5;
+  cfg.dt = 1e-3;
+  cfg.softening = 0.05;
+  return cfg;
+}
+
+/// Times `steps` simulation steps of Strategy under Policy; returns seconds.
+template <class Strategy, class Policy>
+double time_steps(const core::System<double, 3>& initial, const core::SimConfig<double>& cfg,
+                  Policy policy, std::size_t steps) {
+  core::Simulation<double, 3, Strategy> sim(initial, cfg);
+  sim.run(policy, 1);  // warm-up + pool spin-up + priming step
+  support::Stopwatch w;
+  sim.run(policy, steps);
+  return w.seconds();
+}
+
+}  // namespace nbody::bench

@@ -1,0 +1,80 @@
+// Figure 5: single-core sequential vs parallel throughput for the tiny-size
+// galaxy workload (paper: 1e4 bodies, theta = 0.5, FP64).
+//
+// Rows: {All-Pairs, All-Pairs-Col, Octree, BVH} x {seq, par(_unseq)}.
+// The counter bodies/s is the figure's y axis (throughput). The paper's
+// shape claims this must reproduce:
+//   * parallel >= sequential for every algorithm (up to 40x on 72-core
+//     hardware; bounded by the core count here),
+//   * tree codes beat the O(N^2) baselines at this size,
+//   * All-Pairs beats All-Pairs-Col on CPUs (atomic coherency traffic).
+#include <benchmark/benchmark.h>
+
+#include "allpairs/allpairs.hpp"
+#include "bench/common.hpp"
+#include "bvh/strategy.hpp"
+#include "octree/strategy.hpp"
+
+namespace {
+
+using namespace nbody;
+
+const core::System<double, 3>& tiny_galaxy() {
+  static const auto sys = workloads::galaxy_collision(bench::scaled(bench::kTinyPaper));
+  return sys;
+}
+
+template <class Strategy, class Policy>
+void run_figure5(benchmark::State& state, Policy policy, std::size_t steps) {
+  const auto& initial = tiny_galaxy();
+  const auto cfg = bench::paper_config();
+  double seconds = 0;
+  std::size_t total_steps = 0;
+  for (auto _ : state) {
+    const double s = bench::time_steps<Strategy>(initial, cfg, policy, steps);
+    seconds += s;
+    total_steps += steps;
+    state.SetIterationTime(s);
+  }
+  state.counters["bodies"] = static_cast<double>(initial.size());
+  state.counters["bodies/s"] = benchmark::Counter(
+      static_cast<double>(initial.size()) * static_cast<double>(total_steps) / seconds);
+}
+
+void BM_AllPairs_seq(benchmark::State& s) {
+  run_figure5<allpairs::AllPairs<double, 3>>(s, exec::seq, 2);
+}
+void BM_AllPairs_par(benchmark::State& s) {
+  run_figure5<allpairs::AllPairs<double, 3>>(s, exec::par_unseq, 2);
+}
+void BM_AllPairsCol_seq(benchmark::State& s) {
+  run_figure5<allpairs::AllPairsCol<double, 3>>(s, exec::seq, 2);
+}
+void BM_AllPairsCol_par(benchmark::State& s) {
+  run_figure5<allpairs::AllPairsCol<double, 3>>(s, exec::par, 2);
+}
+void BM_Octree_seq(benchmark::State& s) {
+  run_figure5<octree::OctreeStrategy<double, 3>>(s, exec::seq, 20);
+}
+void BM_Octree_par(benchmark::State& s) {
+  run_figure5<octree::OctreeStrategy<double, 3>>(s, exec::par, 20);
+}
+void BM_BVH_seq(benchmark::State& s) {
+  run_figure5<bvh::BVHStrategy<double, 3>>(s, exec::seq, 20);
+}
+void BM_BVH_par(benchmark::State& s) {
+  run_figure5<bvh::BVHStrategy<double, 3>>(s, exec::par_unseq, 20);
+}
+
+BENCHMARK(BM_AllPairs_seq)->UseManualTime()->Iterations(1);
+BENCHMARK(BM_AllPairs_par)->UseManualTime()->Iterations(1);
+BENCHMARK(BM_AllPairsCol_seq)->UseManualTime()->Iterations(1);
+BENCHMARK(BM_AllPairsCol_par)->UseManualTime()->Iterations(1);
+BENCHMARK(BM_Octree_seq)->UseManualTime()->Iterations(1);
+BENCHMARK(BM_Octree_par)->UseManualTime()->Iterations(1);
+BENCHMARK(BM_BVH_seq)->UseManualTime()->Iterations(1);
+BENCHMARK(BM_BVH_par)->UseManualTime()->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

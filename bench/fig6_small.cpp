@@ -1,0 +1,60 @@
+// Figure 6: algorithm throughput for the small-size galaxy workload
+// (paper: 1e5 bodies, theta = 0.5, FP64), parallel policies only.
+//
+// Shape claims: the tree codes dominate the O(N^2) baselines by a wide
+// margin; All-Pairs > All-Pairs-Col (except on hardware with fast atomics);
+// Octree vs BVH within a small factor of each other.
+#include <benchmark/benchmark.h>
+
+#include "allpairs/allpairs.hpp"
+#include "bench/common.hpp"
+#include "bvh/strategy.hpp"
+#include "octree/strategy.hpp"
+
+namespace {
+
+using namespace nbody;
+
+const core::System<double, 3>& small_galaxy() {
+  static const auto sys = workloads::galaxy_collision(bench::scaled(bench::kSmallPaper));
+  return sys;
+}
+
+template <class Strategy, class Policy>
+void run_figure6(benchmark::State& state, Policy policy, std::size_t steps) {
+  const auto& initial = small_galaxy();
+  const auto cfg = bench::paper_config();
+  double seconds = 0;
+  std::size_t total_steps = 0;
+  for (auto _ : state) {
+    const double s = bench::time_steps<Strategy>(initial, cfg, policy, steps);
+    seconds += s;
+    total_steps += steps;
+    state.SetIterationTime(s);
+  }
+  state.counters["bodies"] = static_cast<double>(initial.size());
+  state.counters["bodies/s"] = benchmark::Counter(
+      static_cast<double>(initial.size()) * static_cast<double>(total_steps) / seconds);
+}
+
+void BM_AllPairs(benchmark::State& s) {
+  run_figure6<allpairs::AllPairs<double, 3>>(s, exec::par_unseq, 1);
+}
+void BM_AllPairsCol(benchmark::State& s) {
+  run_figure6<allpairs::AllPairsCol<double, 3>>(s, exec::par, 1);
+}
+void BM_Octree(benchmark::State& s) {
+  run_figure6<octree::OctreeStrategy<double, 3>>(s, exec::par, 10);
+}
+void BM_BVH(benchmark::State& s) {
+  run_figure6<bvh::BVHStrategy<double, 3>>(s, exec::par_unseq, 10);
+}
+
+BENCHMARK(BM_AllPairs)->UseManualTime()->Iterations(1);
+BENCHMARK(BM_AllPairsCol)->UseManualTime()->Iterations(1);
+BENCHMARK(BM_Octree)->UseManualTime()->Iterations(1);
+BENCHMARK(BM_BVH)->UseManualTime()->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+// Figure 7: algorithm throughput for the mid-size galaxy workload
+// (paper: 1e6 bodies, theta = 0.5, FP64).
+//
+// At this size the O(N^2) baselines cost ~1e12 interactions per step; they
+// are only run when the scaled body count stays below a budget (the paper
+// ran them on multi-teraflop GPUs). The tree codes always run. Shape claim:
+// the Octree/BVH gap observed at small size can flip with N (the paper's
+// L2-partitioning discussion around Figs. 6/7).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "allpairs/allpairs.hpp"
+#include "bench/common.hpp"
+#include "bvh/strategy.hpp"
+#include "octree/strategy.hpp"
+
+namespace {
+
+using namespace nbody;
+
+constexpr std::size_t kAllPairsBudget = 60'000;  // bodies; ~3.6e9 pair evals
+
+const core::System<double, 3>& mid_galaxy() {
+  static const auto sys = workloads::galaxy_collision(bench::scaled(bench::kMidPaper));
+  return sys;
+}
+
+template <class Strategy, class Policy>
+void run_figure7(benchmark::State& state, Policy policy, std::size_t steps,
+                 bool quadratic) {
+  const auto& initial = mid_galaxy();
+  if (quadratic && initial.size() > kAllPairsBudget) {
+    state.SkipWithError("skipped: O(N^2) at this size needs GPU-class hardware");
+    return;
+  }
+  const auto cfg = bench::paper_config();
+  double seconds = 0;
+  std::size_t total_steps = 0;
+  for (auto _ : state) {
+    const double s = bench::time_steps<Strategy>(initial, cfg, policy, steps);
+    seconds += s;
+    total_steps += steps;
+    state.SetIterationTime(s);
+  }
+  state.counters["bodies"] = static_cast<double>(initial.size());
+  state.counters["bodies/s"] = benchmark::Counter(
+      static_cast<double>(initial.size()) * static_cast<double>(total_steps) / seconds);
+}
+
+void BM_AllPairs(benchmark::State& s) {
+  run_figure7<allpairs::AllPairs<double, 3>>(s, exec::par_unseq, 1, true);
+}
+void BM_AllPairsCol(benchmark::State& s) {
+  run_figure7<allpairs::AllPairsCol<double, 3>>(s, exec::par, 1, true);
+}
+void BM_Octree(benchmark::State& s) {
+  run_figure7<octree::OctreeStrategy<double, 3>>(s, exec::par, 5, false);
+}
+void BM_BVH(benchmark::State& s) {
+  run_figure7<bvh::BVHStrategy<double, 3>>(s, exec::par_unseq, 5, false);
+}
+
+BENCHMARK(BM_AllPairs)->UseManualTime()->Iterations(1);
+BENCHMARK(BM_AllPairsCol)->UseManualTime()->Iterations(1);
+BENCHMARK(BM_Octree)->UseManualTime()->Iterations(1);
+BENCHMARK(BM_BVH)->UseManualTime()->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

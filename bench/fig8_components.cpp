@@ -1,0 +1,72 @@
+// Figure 8: relative execution time of the algorithm components for the
+// small-size galaxy workload, excluding CalculateForce (which dominates and
+// is shown as the remainder in the paper).
+//
+// Paper rows are three compilers on GH200 CPU/GPU; our substitution is the
+// substrate's two scheduling backends plus sequential execution (DESIGN.md
+// §1). Counters report each phase's fraction of total step time — the
+// quantity Fig. 8 plots.
+#include <benchmark/benchmark.h>
+
+#include "bench/common.hpp"
+#include "bvh/strategy.hpp"
+#include "octree/strategy.hpp"
+
+namespace {
+
+using namespace nbody;
+
+template <class Strategy, class Policy>
+void run_figure8(benchmark::State& state, Policy policy, exec::backend b) {
+  const auto saved = exec::default_backend();
+  exec::set_default_backend(b);
+  const auto initial = workloads::galaxy_collision(bench::scaled(bench::kSmallPaper));
+  const auto cfg = bench::paper_config();
+  core::Simulation<double, 3, Strategy> sim(initial, cfg);
+  sim.run(policy, 1);  // warm-up
+  sim.phases().clear();
+  for (auto _ : state) {
+    sim.run(policy, 5);
+  }
+  auto& phases = sim.phases();
+  const double total = phases.total();
+  for (const auto& name : phases.names()) {
+    state.counters["frac_" + name] = phases.seconds(name) / total;
+  }
+  state.counters["bodies"] = static_cast<double>(initial.size());
+  exec::set_default_backend(saved);
+}
+
+void BM_Octree_par_static(benchmark::State& s) {
+  run_figure8<octree::OctreeStrategy<double, 3>>(s, exec::par, exec::backend::static_chunk);
+}
+void BM_Octree_par_dynamic(benchmark::State& s) {
+  run_figure8<octree::OctreeStrategy<double, 3>>(s, exec::par, exec::backend::dynamic_chunk);
+}
+void BM_Octree_par_steal(benchmark::State& s) {
+  run_figure8<octree::OctreeStrategy<double, 3>>(s, exec::par, exec::backend::work_steal);
+}
+void BM_Octree_seq(benchmark::State& s) {
+  run_figure8<octree::OctreeStrategy<double, 3>>(s, exec::seq, exec::backend::static_chunk);
+}
+void BM_BVH_par_static(benchmark::State& s) {
+  run_figure8<bvh::BVHStrategy<double, 3>>(s, exec::par_unseq, exec::backend::static_chunk);
+}
+void BM_BVH_par_dynamic(benchmark::State& s) {
+  run_figure8<bvh::BVHStrategy<double, 3>>(s, exec::par_unseq, exec::backend::dynamic_chunk);
+}
+void BM_BVH_seq(benchmark::State& s) {
+  run_figure8<bvh::BVHStrategy<double, 3>>(s, exec::seq, exec::backend::static_chunk);
+}
+
+BENCHMARK(BM_Octree_par_static)->Iterations(1);
+BENCHMARK(BM_Octree_par_dynamic)->Iterations(1);
+BENCHMARK(BM_Octree_par_steal)->Iterations(1);
+BENCHMARK(BM_Octree_seq)->Iterations(1);
+BENCHMARK(BM_BVH_par_static)->Iterations(1);
+BENCHMARK(BM_BVH_par_dynamic)->Iterations(1);
+BENCHMARK(BM_BVH_seq)->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

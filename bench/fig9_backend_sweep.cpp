@@ -1,0 +1,69 @@
+// Figure 9: throughput of two heterogeneous ISO C++ toolchains
+// (AdaptiveCpp vs NVC++ in the paper) versus body count.
+//
+// Substitution (DESIGN.md §1): the role of "two independent implementations
+// of the same parallel-algorithm semantics" is played by the substrate's
+// static-chunk and dynamic-chunk schedulers. The series swept is N in
+// {2^12 .. 2^17} x {octree, bvh} x {static, dynamic}; the paper's claim to
+// reproduce is that the two implementations track each other within a small
+// factor (theirs: <= 1.25x), with the gap concentrated in CalculateForce.
+#include <benchmark/benchmark.h>
+
+#include "bench/common.hpp"
+#include "bvh/strategy.hpp"
+#include "octree/strategy.hpp"
+
+namespace {
+
+using namespace nbody;
+
+template <class Strategy, class Policy>
+void sweep(benchmark::State& state, Policy policy, exec::backend b) {
+  const auto saved = exec::default_backend();
+  exec::set_default_backend(b);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto initial = workloads::galaxy_collision(n);
+  const auto cfg = bench::paper_config();
+  const std::size_t steps = 5;
+  double seconds = 0;
+  std::size_t total_steps = 0;
+  for (auto _ : state) {
+    const double s = bench::time_steps<Strategy>(initial, cfg, policy, steps);
+    seconds += s;
+    total_steps += steps;
+    state.SetIterationTime(s);
+  }
+  state.counters["bodies/s"] = benchmark::Counter(
+      static_cast<double>(n) * static_cast<double>(total_steps) / seconds);
+  exec::set_default_backend(saved);
+}
+
+void BM_Octree_static(benchmark::State& s) {
+  sweep<octree::OctreeStrategy<double, 3>>(s, exec::par, exec::backend::static_chunk);
+}
+void BM_Octree_dynamic(benchmark::State& s) {
+  sweep<octree::OctreeStrategy<double, 3>>(s, exec::par, exec::backend::dynamic_chunk);
+}
+void BM_BVH_static(benchmark::State& s) {
+  sweep<bvh::BVHStrategy<double, 3>>(s, exec::par_unseq, exec::backend::static_chunk);
+}
+void BM_BVH_dynamic(benchmark::State& s) {
+  sweep<bvh::BVHStrategy<double, 3>>(s, exec::par_unseq, exec::backend::dynamic_chunk);
+}
+void BM_Octree_steal(benchmark::State& s) {
+  sweep<octree::OctreeStrategy<double, 3>>(s, exec::par, exec::backend::work_steal);
+}
+void BM_BVH_steal(benchmark::State& s) {
+  sweep<bvh::BVHStrategy<double, 3>>(s, exec::par_unseq, exec::backend::work_steal);
+}
+
+BENCHMARK(BM_Octree_static)->RangeMultiplier(4)->Range(1 << 12, 1 << 17)->UseManualTime()->Iterations(1);
+BENCHMARK(BM_Octree_dynamic)->RangeMultiplier(4)->Range(1 << 12, 1 << 17)->UseManualTime()->Iterations(1);
+BENCHMARK(BM_BVH_static)->RangeMultiplier(4)->Range(1 << 12, 1 << 17)->UseManualTime()->Iterations(1);
+BENCHMARK(BM_BVH_dynamic)->RangeMultiplier(4)->Range(1 << 12, 1 << 17)->UseManualTime()->Iterations(1);
+BENCHMARK(BM_Octree_steal)->RangeMultiplier(4)->Range(1 << 12, 1 << 17)->UseManualTime()->Iterations(1);
+BENCHMARK(BM_BVH_steal)->RangeMultiplier(4)->Range(1 << 12, 1 << 17)->UseManualTime()->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

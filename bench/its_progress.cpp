@@ -1,0 +1,99 @@
+// Sec. V-B's Independent-Thread-Scheduling observation, made measurable:
+// the Octree build requires parallel forward progress; replacing par with
+// par_unseq on hardware without ITS "reliably caused [GPUs] to hang".
+//
+// This harness runs the contended octree insertion under the forward-
+// progress simulator's two disciplines (fair = ITS, lockstep = non-ITS
+// SIMT) across warp sizes, and the lock-free BVH-style level reduction under
+// both, reporting completion and scheduler steps. Expected output shape:
+//   octree fair      -> completed at every width
+//   octree lockstep  -> livelock (step budget exhausted) once lanes contend
+//   bvh     both     -> completed
+#include <cstdio>
+#include <vector>
+
+#include "bench_support/table.hpp"
+#include "core/bbox.hpp"
+#include "exec/atomic.hpp"
+#include "math/vec.hpp"
+#include "octree/concurrent_octree.hpp"
+#include "progress/scheduler.hpp"
+
+namespace {
+
+using namespace nbody;
+using progress::run_lanes;
+using progress::schedule_mode;
+
+std::vector<math::vec2d> clustered(unsigned lanes) {
+  std::vector<math::vec2d> x;
+  for (unsigned i = 0; i < lanes; ++i)
+    x.push_back({{0.2 + 0.001 * i, 0.3 + 0.0007 * i}});
+  return x;
+}
+
+progress::run_result octree_build_under(unsigned lanes, schedule_mode mode) {
+  const auto x = clustered(lanes);
+  octree::ConcurrentOctree<double, 2> tree;
+  tree.prepare(core::compute_root_cube(exec::seq, x), x.size());
+  return run_lanes(lanes, mode, 500'000, [&](unsigned lane) {
+    exec::progress_region region(mode == schedule_mode::fair
+                                     ? exec::forward_progress::parallel
+                                     : exec::forward_progress::weakly_parallel);
+    (void)tree.insert_one(lane, x);
+  });
+}
+
+progress::run_result bvh_reduction_under(unsigned lanes, schedule_mode mode) {
+  // One parallel-for per level; no lane ever waits on another.
+  std::vector<double> mass(2 * lanes, 0.0);
+  for (unsigned j = 0; j < lanes; ++j) mass[lanes + j] = 1.0;
+  progress::run_result last{};
+  for (std::size_t width = lanes / 2; width >= 1; width /= 2) {
+    last = run_lanes(static_cast<unsigned>(width), mode, 500'000, [&](unsigned off) {
+      exec::progress_region region(exec::forward_progress::weakly_parallel);
+      const std::size_t k = width + off;
+      const double l = mass[2 * k];
+      exec::checkpoint();
+      mass[k] = l + mass[2 * k + 1];
+    });
+    if (!last.completed || width == 1) break;
+  }
+  return last;
+}
+
+const char* mode_name(schedule_mode m) {
+  return m == schedule_mode::fair ? "fair (ITS)" : "lockstep (no ITS)";
+}
+
+}  // namespace
+
+int main() {
+  nbody::bench_support::Table table(
+      "Forward-progress requirements (paper Sec. V-B): build completion under "
+      "simulated scheduling disciplines",
+      {"algorithm", "scheduling", "lanes", "completed", "finished_lanes", "steps"});
+  for (unsigned lanes : {4u, 8u, 16u, 32u}) {
+    for (auto mode : {schedule_mode::fair, schedule_mode::lockstep}) {
+      const auto r = octree_build_under(lanes, mode);
+      table.add_row({std::string("octree-build"), std::string(mode_name(mode)),
+                     static_cast<long long>(lanes),
+                     std::string(r.completed ? "yes" : "LIVELOCK"),
+                     static_cast<long long>(r.finished_lanes),
+                     static_cast<long long>(r.steps)});
+    }
+  }
+  for (unsigned lanes : {8u, 32u}) {
+    for (auto mode : {schedule_mode::fair, schedule_mode::lockstep}) {
+      const auto r = bvh_reduction_under(lanes, mode);
+      table.add_row({std::string("bvh-level-reduce"), std::string(mode_name(mode)),
+                     static_cast<long long>(lanes),
+                     std::string(r.completed ? "yes" : "LIVELOCK"),
+                     static_cast<long long>(r.finished_lanes),
+                     static_cast<long long>(r.steps)});
+    }
+  }
+  table.print();
+  table.maybe_write_csv("its_progress");
+  return 0;
+}

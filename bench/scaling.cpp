@@ -1,0 +1,80 @@
+// Complexity-shape check: the core claim behind every figure — Barnes-Hut
+// is O(N log N), all-pairs is O(N^2) — measured directly. Runs each
+// algorithm over a geometric N sweep, fits the scaling exponent
+// log(t2/t1)/log(n2/n1) between consecutive sizes, and prints the fitted
+// exponents (expect ~1.0-1.2 for the trees once N log N's log flattens,
+// ~2.0 for all-pairs) and the crossover.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "allpairs/allpairs.hpp"
+#include "bench/common.hpp"
+#include "bench_support/table.hpp"
+#include "bvh/strategy.hpp"
+#include "octree/strategy.hpp"
+
+namespace {
+
+using namespace nbody;
+
+template <class Strategy, class Policy>
+double seconds_per_step(std::size_t n, Policy policy, std::size_t steps) {
+  const auto initial = workloads::galaxy_collision(n);
+  const auto cfg = nbody::bench::paper_config();
+  return nbody::bench::time_steps<Strategy>(initial, cfg, policy, steps) /
+         static_cast<double>(steps);
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<std::size_t> sizes = {2'000, 8'000, 32'000};
+  const std::size_t allpairs_cap = 32'000;
+
+  struct Series {
+    const char* name;
+    std::vector<double> secs;
+  };
+  Series octree{"octree", {}}, bvh{"bvh", {}}, allpairs{"all-pairs", {}};
+
+  for (std::size_t n : sizes) {
+    octree.secs.push_back(
+        seconds_per_step<octree::OctreeStrategy<double, 3>>(n, exec::par, 5));
+    bvh.secs.push_back(
+        seconds_per_step<bvh::BVHStrategy<double, 3>>(n, exec::par_unseq, 5));
+    allpairs.secs.push_back(
+        n <= allpairs_cap
+            ? seconds_per_step<allpairs::AllPairs<double, 3>>(n, exec::par_unseq, 1)
+            : -1.0);
+  }
+
+  nbody::bench_support::Table table("Scaling exponents (t ~ N^e between sizes)",
+                                    {"algorithm", "n1->n2", "e (fitted)", "t(n2) [s]"});
+  auto report = [&](const Series& s) {
+    for (std::size_t i = 1; i < sizes.size(); ++i) {
+      if (s.secs[i] < 0 || s.secs[i - 1] < 0) continue;
+      const double e = std::log(s.secs[i] / s.secs[i - 1]) /
+                       std::log(static_cast<double>(sizes[i]) / sizes[i - 1]);
+      table.add_row({std::string(s.name),
+                     std::to_string(sizes[i - 1]) + "->" + std::to_string(sizes[i]), e,
+                     s.secs[i]});
+    }
+  };
+  report(octree);
+  report(bvh);
+  report(allpairs);
+  table.print();
+  table.maybe_write_csv("scaling");
+
+  // Crossover: the largest measured N where all-pairs still beats a tree.
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    if (allpairs.secs[i] < 0) break;
+    std::printf("N=%-7zu  all-pairs %.4fs  octree %.4fs  bvh %.4fs  -> fastest: %s\n",
+                sizes[i], allpairs.secs[i], octree.secs[i], bvh.secs[i],
+                allpairs.secs[i] < std::min(octree.secs[i], bvh.secs[i]) ? "all-pairs"
+                : octree.secs[i] < bvh.secs[i]                           ? "octree"
+                                                                         : "bvh");
+  }
+  return 0;
+}

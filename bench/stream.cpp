@@ -1,0 +1,59 @@
+// Table I analogue: BabelStream-style TRIAD bandwidth validation of the
+// parallel substrate (a[i] = b[i] + s * c[i]).
+//
+// The paper validates every platform by comparing a C++ stdpar BabelStream
+// TRIAD against theoretical peak before trusting the n-body numbers; this
+// binary plays the same role for our thread-pool substrate. Rows: policy x
+// scheduling backend. The bytes/second counter is the TRIAD convention
+// (3 arrays touched per element).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "exec/algorithms.hpp"
+#include "support/env.hpp"
+
+namespace {
+
+using namespace nbody::exec;
+
+constexpr std::size_t kElements = 1 << 24;  // 3 x 128 MiB of doubles
+constexpr double kScalar = 0.4;
+
+template <class Policy>
+void triad(benchmark::State& state, Policy policy, backend b) {
+  const backend saved = default_backend();
+  set_default_backend(b);
+  std::vector<double> a(kElements, 0.0), bb(kElements, 1.0), c(kElements, 2.0);
+  for (auto _ : state) {
+    for_each_index(policy, kElements, [&](std::size_t i) { a[i] = bb[i] + kScalar * c[i]; });
+    benchmark::DoNotOptimize(a.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * kElements * 3 *
+                          static_cast<std::int64_t>(sizeof(double)));
+  state.counters["GB/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * static_cast<double>(kElements) * 3 * 8,
+      benchmark::Counter::kIsRate, benchmark::Counter::kIs1000);
+  set_default_backend(saved);
+}
+
+void BM_Triad_seq(benchmark::State& s) { triad(s, seq, backend::static_chunk); }
+void BM_Triad_par_static(benchmark::State& s) { triad(s, par, backend::static_chunk); }
+void BM_Triad_par_dynamic(benchmark::State& s) { triad(s, par, backend::dynamic_chunk); }
+void BM_Triad_par_unseq_static(benchmark::State& s) {
+  triad(s, par_unseq, backend::static_chunk);
+}
+void BM_Triad_par_unseq_dynamic(benchmark::State& s) {
+  triad(s, par_unseq, backend::dynamic_chunk);
+}
+
+BENCHMARK(BM_Triad_seq);
+BENCHMARK(BM_Triad_par_static);
+BENCHMARK(BM_Triad_par_dynamic);
+BENCHMARK(BM_Triad_par_unseq_static);
+BENCHMARK(BM_Triad_par_unseq_dynamic);
+
+}  // namespace
+
+BENCHMARK_MAIN();

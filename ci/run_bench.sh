@@ -1,0 +1,22 @@
+#!/bin/sh
+# Artifact-style driver (paper Appendix A analogue): builds the project,
+# runs the full test suite, then executes every benchmark binary, teeing
+# raw output to out_$(hostname) next to this script. Post-process / plot
+# from the CSVs produced when NBODY_CSV=1.
+#
+# Usage: ci/run_bench.sh [build-dir]        (default: ./build)
+set -eu
+BUILD_DIR="${1:-build}"
+OUT="out_$(hostname)"
+
+cmake -B "$BUILD_DIR" -G Ninja
+cmake --build "$BUILD_DIR"
+ctest --test-dir "$BUILD_DIR" --output-on-failure
+
+: > "$OUT"
+for b in "$BUILD_DIR"/bench/*; do
+  [ -x "$b" ] && [ -f "$b" ] || continue
+  echo "==== $(basename "$b") ====" | tee -a "$OUT"
+  NBODY_CSV="${NBODY_CSV:-0}" "$b" 2>&1 | tee -a "$OUT"
+done
+echo "raw results in $OUT"

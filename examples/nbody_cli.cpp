@@ -1,0 +1,194 @@
+// nbody_cli — the kitchen-sink driver a downstream user actually wants:
+// every workload, strategy, policy, and tuning knob of the library behind
+// one command line, with conservation diagnostics and snapshot I/O.
+//
+// Examples:
+//   nbody_cli --workload galaxy --n 10000 --steps 100 --strategy octree
+//   nbody_cli --workload plummer --n 5000 --strategy bvh --quadrupole
+//             --leaf-size 8 --save end.snap
+//   nbody_cli --load end.snap --steps 50 --strategy allpairs --policy seq
+//   nbody_cli --help
+#include <cstdio>
+#include <string>
+
+#include "allpairs/allpairs.hpp"
+#include "bvh/strategy.hpp"
+#include "core/diagnostics.hpp"
+#include "core/simulation.hpp"
+#include "core/snapshot.hpp"
+#include "octree/strategy.hpp"
+#include "support/cli.hpp"
+#include "workloads/workloads.hpp"
+
+namespace {
+
+using namespace nbody;
+
+core::System<double, 3> make_workload(const support::CliParser& cli) {
+  if (cli.was_set("load")) return core::load_snapshot_binary<double, 3>(cli.get("load"));
+  const std::size_t n = cli.get_size("n");
+  const auto seed = static_cast<std::uint64_t>(cli.get_size("seed"));
+  const std::string w = cli.get("workload");
+  if (w == "galaxy") return workloads::galaxy_collision(n, seed);
+  if (w == "plummer") return workloads::plummer_sphere(n, seed);
+  if (w == "cube") return workloads::uniform_cube(n, seed);
+  if (w == "solar") return workloads::solar_system(n, seed);
+  throw std::invalid_argument("unknown workload '" + w +
+                              "' (want galaxy|plummer|cube|solar)");
+}
+
+struct RunReport {
+  double seconds = 0;
+  core::System<double, 3> final_state;
+};
+
+struct AdaptiveParams {
+  bool enabled = false;
+  double t_end = 0.1;
+  double eta = 0.1;
+};
+
+AdaptiveParams g_adaptive;  // set once in main before dispatch
+
+template <class Strategy, class Policy>
+RunReport run_with(core::System<double, 3> sys, const core::SimConfig<double>& cfg,
+                   Strategy strat, Policy policy, std::size_t steps,
+                   support::PhaseTimer& phases_out) {
+  core::Simulation<double, 3, Strategy> sim(std::move(sys), cfg, std::move(strat));
+  support::Stopwatch w;
+  if (g_adaptive.enabled) {
+    const auto taken = sim.run_adaptive(policy, g_adaptive.t_end, g_adaptive.eta,
+                                        cfg.dt / 100.0, cfg.dt * 100.0);
+    std::printf("adaptive: %zu steps to t=%g\n", taken, g_adaptive.t_end);
+  } else {
+    sim.run(policy, steps);
+    sim.synchronize_velocities(policy);
+  }
+  RunReport r{w.seconds(), sim.system()};
+  phases_out = sim.phases();
+  return r;
+}
+
+template <class Strategy>
+RunReport dispatch_policy(const support::CliParser& cli, core::System<double, 3> sys,
+                          const core::SimConfig<double>& cfg, Strategy strat,
+                          std::size_t steps, support::PhaseTimer& phases) {
+  const std::string p = cli.get("policy");
+  if (p == "seq")
+    return run_with(std::move(sys), cfg, std::move(strat), exec::seq, steps, phases);
+  if (p == "par")
+    return run_with(std::move(sys), cfg, std::move(strat), exec::par, steps, phases);
+  if constexpr (requires(Strategy s, core::System<double, 3>& sy,
+                         const core::SimConfig<double>& c) {
+                  s.accelerations(exec::par_unseq, sy, c, nullptr);
+                }) {
+    if (p == "par_unseq")
+      return run_with(std::move(sys), cfg, std::move(strat), exec::par_unseq, steps, phases);
+  } else {
+    if (p == "par_unseq")
+      throw std::invalid_argument(
+          "this strategy needs parallel forward progress: par_unseq is rejected "
+          "(paper Sec. IV-A) — use --policy par");
+  }
+  throw std::invalid_argument("unknown policy '" + p + "' (want seq|par|par_unseq)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  support::CliParser cli;
+  cli.add_option("workload", "galaxy|plummer|cube|solar", "galaxy");
+  cli.add_option("n", "body count (ignored with --load)", "4000");
+  cli.add_option("seed", "workload RNG seed", "42");
+  cli.add_option("steps", "time steps to integrate", "100");
+  cli.add_option("strategy", "octree|bvh|allpairs|allpairs-col", "octree");
+  cli.add_option("policy", "seq|par|par_unseq", "par");
+  cli.add_option("dt", "time step", "0.001");
+  cli.add_option("theta", "Barnes-Hut opening angle", "0.5");
+  cli.add_option("softening", "Plummer softening length", "0.05");
+  cli.add_option("leaf-size", "BVH bodies per leaf (power of two)", "1");
+  cli.add_option("reuse", "rebuild tree / re-sort every k steps", "1");
+  cli.add_option("save", "write final state as binary snapshot", "");
+  cli.add_option("save-csv", "write final state as CSV", "");
+  cli.add_option("load", "start from a binary snapshot", "");
+  cli.add_flag("quadrupole", "use quadrupole multipole expansion");
+  cli.add_flag("adaptive", "adaptive time steps until t-end (ignores --steps)");
+  cli.add_option("t-end", "simulated time for --adaptive", "0.1");
+  cli.add_option("eta", "adaptive step accuracy parameter", "0.1");
+  cli.add_flag("morton", "sort BVH along Morton instead of Hilbert");
+  cli.add_flag("radix", "radix-sort the BVH keys");
+  cli.add_flag("help", "print this help");
+
+  try {
+    cli.parse(argc, argv);
+    if (cli.get_flag("help")) {
+      std::printf("nbody_cli — tree-based parallel N-body simulator\noptions:\n%s",
+                  cli.usage().c_str());
+      return 0;
+    }
+
+    core::SimConfig<double> cfg;
+    cfg.dt = cli.get_double("dt");
+    cfg.theta = cli.get_double("theta");
+    cfg.softening = cli.get_double("softening");
+    cfg.quadrupole = cli.get_flag("quadrupole");
+
+    auto sys = make_workload(cli);
+    const std::size_t steps = cli.get_size("steps");
+    g_adaptive.enabled = cli.get_flag("adaptive");
+    g_adaptive.t_end = cli.get_double("t-end");
+    g_adaptive.eta = cli.get_double("eta");
+    const double m0 = core::total_mass(exec::seq, sys);
+    const auto p0 = core::total_momentum(exec::seq, sys);
+
+    std::printf("nbody_cli: N=%zu steps=%zu strategy=%s policy=%s theta=%g dt=%g%s\n",
+                sys.size(), steps, cli.get("strategy").c_str(), cli.get("policy").c_str(),
+                cfg.theta, cfg.dt, cfg.quadrupole ? " +quadrupole" : "");
+
+    support::PhaseTimer phases;
+    RunReport report;
+    const std::string strategy = cli.get("strategy");
+    if (strategy == "octree") {
+      typename octree::OctreeStrategy<double, 3>::Options o;
+      o.reuse_interval = static_cast<unsigned>(cli.get_size("reuse"));
+      report = dispatch_policy(cli, std::move(sys), cfg,
+                               octree::OctreeStrategy<double, 3>(o), steps, phases);
+    } else if (strategy == "bvh") {
+      typename bvh::BVHStrategy<double, 3>::Options o;
+      o.tree.leaf_size = cli.get_size("leaf-size");
+      o.tree.curve = cli.get_flag("morton") ? bvh::CurveKind::morton : bvh::CurveKind::hilbert;
+      o.tree.sort = cli.get_flag("radix") ? bvh::SortKind::radix : bvh::SortKind::comparison;
+      o.reuse_interval = static_cast<unsigned>(cli.get_size("reuse"));
+      report = dispatch_policy(cli, std::move(sys), cfg, bvh::BVHStrategy<double, 3>(o),
+                               steps, phases);
+    } else if (strategy == "allpairs") {
+      report = dispatch_policy(cli, std::move(sys), cfg, allpairs::AllPairs<double, 3>{},
+                               steps, phases);
+    } else if (strategy == "allpairs-col") {
+      report = dispatch_policy(cli, std::move(sys), cfg, allpairs::AllPairsCol<double, 3>{},
+                               steps, phases);
+    } else {
+      throw std::invalid_argument("unknown strategy '" + strategy +
+                                  "' (want octree|bvh|allpairs|allpairs-col)");
+    }
+
+    const auto& fin = report.final_state;
+    std::printf("done in %.3fs (%.3g bodies*steps/s)\n", report.seconds,
+                static_cast<double>(fin.size()) * steps / report.seconds);
+    std::printf("phases: ");
+    for (const auto& name : phases.names())
+      std::printf("%s=%.1f%% ", name.c_str(), 100.0 * phases.seconds(name) / phases.total());
+    std::printf("\n");
+    std::printf("mass drift      : %.3e\n", std::abs(core::total_mass(exec::seq, fin) - m0));
+    std::printf("momentum drift  : %.3e\n",
+                norm(core::total_momentum(exec::seq, fin) - p0));
+    if (const auto path = cli.get("save"); !path.empty())
+      core::save_snapshot_binary(fin, path);
+    if (const auto path = cli.get("save-csv"); !path.empty())
+      core::save_snapshot_csv(fin, path);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "nbody_cli: %s\noptions:\n%s", e.what(), cli.usage().c_str());
+    return 2;
+  }
+}

@@ -1,0 +1,70 @@
+// The paper's validation scenario (Sec. V-A) as an application: integrate a
+// solar-system population of minor bodies for one "day" at one-"hour" steps
+// with two tree strategies and the exact sum, then cross-check the final
+// positions — the experiment whose L2 agreement the paper reports below
+// 1e-6 for 1,039,551 JPL small bodies.
+//
+// Usage: solar_system [minor_bodies=5000] [steps=24]
+#include <cstdio>
+#include <cstdlib>
+
+#include "allpairs/allpairs.hpp"
+#include "bvh/strategy.hpp"
+#include "core/diagnostics.hpp"
+#include "core/simulation.hpp"
+#include "octree/strategy.hpp"
+#include "workloads/workloads.hpp"
+
+int main(int argc, char** argv) {
+  using namespace nbody;
+  const std::size_t n_minor = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 5000;
+  const std::size_t steps = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 24;
+
+  core::SimConfig<double> cfg;
+  cfg.dt = 1e-4;
+  cfg.theta = 0.5;
+  cfg.softening = 0.0;
+  const auto initial = workloads::solar_system(n_minor, 11);
+  std::printf("solar_system: %zu bodies, %zu steps, dt=%g, theta=%g\n", initial.size(),
+              steps, cfg.dt, cfg.theta);
+
+  auto run = [&](auto strategy_tag, auto policy, const char* name) {
+    using Strategy = decltype(strategy_tag);
+    core::Simulation<double, 3, Strategy> sim(initial, cfg);
+    support::Stopwatch w;
+    sim.run(policy, steps);
+    std::printf("  %-10s %.3fs\n", name, w.seconds());
+    return sim.system();
+  };
+
+  const auto oct = run(octree::OctreeStrategy<double, 3>{}, exec::par, "octree");
+  const auto bvh = run(bvh::BVHStrategy<double, 3>{}, exec::par_unseq, "bvh");
+  const auto exact = run(allpairs::AllPairs<double, 3>{}, exec::par_unseq, "all-pairs");
+
+  std::printf("\nL2 error of final positions (paper threshold: 1e-6):\n");
+  std::printf("  octree vs exact : %.3e\n", core::l2_position_error(oct, exact));
+  std::printf("  bvh    vs exact : %.3e\n", core::l2_position_error(bvh, exact));
+  std::printf("  octree vs bvh   : %.3e\n", core::l2_position_error(oct, bvh));
+
+  // A physical sanity check: the innermost orbits moved the most.
+  const auto before = core::positions_by_id(initial);
+  const auto after = core::positions_by_id(exact);
+  double moved_inner = 0, moved_outer = 0;
+  int n_inner = 0, n_outer = 0;
+  for (std::size_t i = 1; i < before.size(); ++i) {
+    const double r = norm(before[i]);
+    const double moved = norm(after[i] - before[i]);
+    if (r < 1.0) {
+      moved_inner += moved;
+      ++n_inner;
+    } else if (r > 10.0) {
+      moved_outer += moved;
+      ++n_outer;
+    }
+  }
+  if (n_inner > 0 && n_outer > 0) {
+    std::printf("\nmean displacement: inner orbits (r<1) %.3e, outer (r>10) %.3e\n",
+                moved_inner / n_inner, moved_outer / n_outer);
+  }
+  return 0;
+}

@@ -1,0 +1,149 @@
+// The two O(N^2) brute-force baselines of the paper's evaluation (Sec. V-A):
+//
+//  * AllPairs     — "the classical All-Pairs implementation, parallelized
+//    over the bodies using par_unseq": each body accumulates its own
+//    acceleration privately; no synchronization, vectorization-safe.
+//
+//  * AllPairsCol  — "All-Pairs-Col, which uses par to parallelize over the
+//    force-pairs with concurrent accumulation via atomic::fetch_add": each
+//    unordered pair {i, j} is evaluated once, and the equal-and-opposite
+//    contributions are added to both bodies with relaxed atomic adds. Half
+//    the arithmetic of AllPairs, at the price of all-to-all atomic traffic —
+//    the coherency-bound behaviour Figure 5/6 demonstrate.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <optional>
+#include <utility>
+
+#include "core/system.hpp"
+#include "exec/algorithms.hpp"
+#include "exec/atomic.hpp"
+#include "math/gravity.hpp"
+#include "support/assert.hpp"
+#include "support/timer.hpp"
+
+namespace nbody::allpairs {
+
+template <class T, std::size_t D>
+class AllPairs {
+ public:
+  static constexpr const char* name = "all-pairs";
+
+  template <class Policy>
+  void accelerations(Policy policy, core::System<T, D>& sys, const core::SimConfig<T>& cfg,
+                     support::PhaseTimer* timer = nullptr) {
+    auto scope = support::PhaseTimer::maybe(timer, "force");
+    const std::size_t n = sys.size();
+    const T G = cfg.G;
+    const T eps2 = cfg.eps2();
+    exec::for_each_index(policy, n, [&, G, eps2](std::size_t i) {
+      const auto xi = sys.x[i];
+      auto acc = math::vec<T, D>::zero();
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j == i) continue;
+        acc += math::gravity_accel(xi, sys.x[j], sys.m[j], G, eps2);
+      }
+      sys.a[i] = acc;
+    });
+  }
+};
+
+namespace detail {
+
+/// Decodes flat pair index p in [0, n(n-1)/2) to (i, j) with i < j.
+/// Row i starts at offset i*n - i*(i+1)/2 in the flattened strict upper
+/// triangle; invert with the quadratic formula, then clamp against
+/// floating-point rounding.
+inline std::pair<std::size_t, std::size_t> pair_from_index(std::size_t p, std::size_t n) {
+  const double nd = static_cast<double>(n);
+  const double pd = static_cast<double>(p);
+  double id = std::floor(nd - 0.5 - std::sqrt((nd - 0.5) * (nd - 0.5) - 2.0 * pd));
+  auto i = static_cast<std::size_t>(id < 0 ? 0 : id);
+  // Row r holds pairs (r, r+1..n-1): row_start(r) = r*(n-1) - r*(r-1)/2.
+  auto row_start = [n](std::size_t r) { return r * (n - 1) - r * (r - 1) / 2; };
+  while (i > 0 && row_start(i) > p) --i;
+  while (row_start(i + 1) <= p) ++i;
+  const std::size_t j = i + 1 + (p - row_start(i));
+  return {i, j};
+}
+
+}  // namespace detail
+
+template <class T, std::size_t D>
+class AllPairsCol {
+ public:
+  static constexpr const char* name = "all-pairs-col";
+
+  /// Requires a policy with parallel forward progress (par or seq): relaxed
+  /// atomic accumulation is vectorization-unsafe under par_unseq.
+  template <exec::StarvationFreeCapable Policy>
+  void accelerations(Policy policy, core::System<T, D>& sys, const core::SimConfig<T>& cfg,
+                     support::PhaseTimer* timer = nullptr) {
+    auto scope = support::PhaseTimer::maybe(timer, "force");
+    const std::size_t n = sys.size();
+    const T G = cfg.G;
+    const T eps2 = cfg.eps2();
+    exec::for_each_index(policy, n, [&](std::size_t i) { sys.a[i] = math::vec<T, D>::zero(); });
+    if (n < 2) return;
+    const std::size_t pairs = n * (n - 1) / 2;
+    exec::for_each_index(policy, pairs, [&, G, eps2, n](std::size_t p) {
+      const auto [i, j] = detail::pair_from_index(p, n);
+      // Unit-mass kernel G (x_j - x_i)/(r^2+eps^2)^{3/2}, evaluated once per
+      // pair; Newton's third law gives both contributions.
+      const auto k = math::gravity_accel(sys.x[i], sys.x[j], T(1), G, eps2);
+      for (std::size_t d = 0; d < D; ++d) {
+        exec::fetch_add_relaxed(sys.a[i][d], k[d] * sys.m[j]);
+        exec::fetch_add_relaxed(sys.a[j][d], -k[d] * sys.m[i]);
+      }
+    });
+  }
+};
+
+/// AllPairsTiled — the classical cache-tiling optimization of the all-pairs
+/// kernel (Nyland et al., GPU Gems 3, cited in the paper's related work):
+/// the j loop is processed in fixed-size tiles so the tile of positions and
+/// masses stays resident in cache/shared memory while every i streams over
+/// it. Same arithmetic as AllPairs (vectorization-safe, par_unseq), only
+/// the memory access pattern changes — which is the point of the ablation.
+template <class T, std::size_t D>
+class AllPairsTiled {
+ public:
+  static constexpr const char* name = "all-pairs-tiled";
+
+  AllPairsTiled() = default;
+  explicit AllPairsTiled(std::size_t tile) : tile_(tile) {
+    NBODY_REQUIRE(tile >= 1, "AllPairsTiled: tile must be >= 1");
+  }
+
+  [[nodiscard]] std::size_t tile() const { return tile_; }
+
+  template <class Policy>
+  void accelerations(Policy policy, core::System<T, D>& sys, const core::SimConfig<T>& cfg,
+                     support::PhaseTimer* timer = nullptr) {
+    auto scope = support::PhaseTimer::maybe(timer, "force");
+    const std::size_t n = sys.size();
+    const T G = cfg.G;
+    const T eps2 = cfg.eps2();
+    const std::size_t tile = tile_;
+    exec::for_each_index(policy, n, [&, G, eps2, tile, n](std::size_t i) {
+      const auto xi = sys.x[i];
+      auto acc = math::vec<T, D>::zero();
+      for (std::size_t j0 = 0; j0 < n; j0 += tile) {
+        const std::size_t j1 = std::min(j0 + tile, n);
+        for (std::size_t j = j0; j < j1; ++j) {
+          if (j == i) continue;
+          acc += math::gravity_accel(xi, sys.x[j], sys.m[j], G, eps2);
+        }
+      }
+      sys.a[i] = acc;
+    });
+  }
+
+ private:
+  std::size_t tile_ = 256;
+};
+
+}  // namespace nbody::allpairs

@@ -1,0 +1,79 @@
+#include "bench_support/table.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <utility>
+
+#include "support/assert.hpp"
+#include "support/env.hpp"
+
+namespace nbody::bench_support {
+
+Table::Table(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {}
+
+void Table::add_row(std::vector<Cell> cells) {
+  NBODY_REQUIRE(cells.size() == columns_.size(), "Table: row width mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::to_string(const Cell& c) {
+  if (const auto* s = std::get_if<std::string>(&c)) return *s;
+  if (const auto* d = std::get_if<double>(&c)) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.4g", *d);
+    return buf;
+  }
+  return std::to_string(std::get<long long>(c));
+}
+
+void Table::print() const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) widths[c] = columns_[c].size();
+  std::vector<std::vector<std::string>> cells;
+  cells.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    std::vector<std::string> r;
+    r.reserve(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      r.push_back(to_string(row[c]));
+      widths[c] = std::max(widths[c], r.back().size());
+    }
+    cells.push_back(std::move(r));
+  }
+  std::printf("\n== %s ==\n", title_.c_str());
+  for (std::size_t c = 0; c < columns_.size(); ++c)
+    std::printf("%-*s  ", static_cast<int>(widths[c]), columns_[c].c_str());
+  std::printf("\n");
+  for (std::size_t c = 0; c < columns_.size(); ++c)
+    std::printf("%s  ", std::string(widths[c], '-').c_str());
+  std::printf("\n");
+  for (const auto& row : cells) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      std::printf("%-*s  ", static_cast<int>(widths[c]), row[c].c_str());
+    std::printf("\n");
+  }
+  std::fflush(stdout);
+}
+
+bool Table::maybe_write_csv(const std::string& file_stem) const {
+  if (!support::env_flag("NBODY_CSV")) return false;
+  std::ofstream out(file_stem + ".csv");
+  if (!out) return false;
+  for (std::size_t c = 0; c < columns_.size(); ++c)
+    out << (c ? "," : "") << columns_[c];
+  out << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      out << (c ? "," : "") << to_string(row[c]);
+    out << '\n';
+  }
+  return true;
+}
+
+double throughput_bodies_per_s(std::size_t bodies, std::size_t steps, double seconds) {
+  if (seconds <= 0.0) return 0.0;
+  return static_cast<double>(bodies) * static_cast<double>(steps) / seconds;
+}
+
+}  // namespace nbody::bench_support

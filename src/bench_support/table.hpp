@@ -1,0 +1,43 @@
+// Paper-style result tables for the benchmark harness.
+//
+// Each bench binary prints one or more tables whose rows mirror the data
+// points of the corresponding paper figure (see DESIGN.md §3), and — when
+// NBODY_CSV=1 — writes the same rows as <name>.csv in the working directory
+// for post-processing.
+#pragma once
+
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace nbody::bench_support {
+
+class Table {
+ public:
+  using Cell = std::variant<std::string, double, long long>;
+
+  Table(std::string title, std::vector<std::string> columns);
+
+  void add_row(std::vector<Cell> cells);
+
+  /// Prints the table to stdout with aligned columns.
+  void print() const;
+
+  /// Writes `<file_stem>.csv` when NBODY_CSV=1; returns whether it wrote.
+  bool maybe_write_csv(const std::string& file_stem) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  [[nodiscard]] static std::string to_string(const Cell& c);
+
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<Cell>> rows_;
+};
+
+/// Throughput in the unit the paper's figures use: bodies advanced per
+/// second of wall time (bodies * steps / seconds).
+double throughput_bodies_per_s(std::size_t bodies, std::size_t steps, double seconds);
+
+}  // namespace nbody::bench_support

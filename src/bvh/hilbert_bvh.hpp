@@ -1,0 +1,425 @@
+// Hilbert-sorted Bounding Volume Hierarchy — the paper's second Barnes-Hut
+// strategy (Sec. IV-B), requiring only weakly parallel forward progress:
+// every stage runs under par_unseq, which is what makes it portable to GPUs
+// without Independent Thread Scheduling.
+//
+// Structure: bodies are sorted along a Hilbert space-filling curve, then a
+// *balanced binary tree* with a power-of-two leaf count is laid out
+// implicitly heap-style (root at index 1, node k has children 2k and 2k+1,
+// leaves occupy [leaf_begin, 2*leaf_begin)). Leaf j holds sorted body j;
+// padding leaves beyond N are empty (zero mass, empty box). Because the
+// shape is fixed, levels, node counts, and offsets are all predetermined —
+// no connectivity needs to be stored, and the traversal can jump from any
+// node to its DFS successor across multiple levels ("skip list", Fig. 4),
+// purely by index arithmetic.
+//
+// Build is one bottom-up sweep: each coarser level reduces its children's
+// bounding boxes and multipole moments with an independent Parallel For per
+// level (no atomics, no locks).
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/system.hpp"
+#include "exec/algorithms.hpp"
+#include "exec/radix_sort.hpp"
+#include "math/aabb.hpp"
+#include "math/gravity.hpp"
+#include "math/multipole.hpp"
+#include "sfc/grid.hpp"
+#include "support/assert.hpp"
+
+namespace nbody::bvh {
+
+/// Space-filling curve used to order bodies before the BVH build. The paper
+/// argues for Hilbert (unit-step locality); Morton is provided as the
+/// ablation baseline (Lauterbach-style builds sort by Morton code).
+enum class CurveKind : std::uint8_t { hilbert, morton };
+
+/// Multipole acceptance criterion for the force traversal.
+///   side  — the paper's s/d < theta with s = longest box side.
+///   bmax  — accept when b_max/d < theta, where b_max is the distance from
+///           the node's center of mass to the farthest box corner (the
+///           criterion of several production tree codes). b_max is a true
+///           geometric bound: it grows past `side` when the com sits near a
+///           corner (opening exactly the dangerous nodes) and shrinks to
+///           ~0.87*side for a centered com in a cube — so at equal theta it
+///           accepts *more* near-cubic nodes and runs faster with a
+///           different error calibration. The theta scales of the two
+///           criteria are not comparable one-to-one (same effect the paper
+///           notes between octree and BVH thresholds, Sec. IV-B end).
+enum class MacKind : std::uint8_t { side, bmax };
+
+/// How HilbertSort orders the key/index pairs: parallel merge sort (the
+/// std::sort analogue of the paper's Algorithm 7) or parallel LSD radix sort
+/// (the fix for the paper's Fig. 8 observation that std::sort quality varies
+/// across toolchains).
+enum class SortKind : std::uint8_t { comparison, radix };
+
+template <class T, std::size_t D>
+class HilbertBVH {
+ public:
+  using vec_t = math::vec<T, D>;
+  using box_t = math::aabb<T, D>;
+
+  struct Options {
+    /// Bodies per leaf (power of two). 1 reproduces the paper's "each leaf
+    /// node contains at most one body"; larger buckets trade exact pairwise
+    /// work at the bottom for a shallower tree.
+    std::size_t leaf_size = 1;
+    CurveKind curve = CurveKind::hilbert;
+    SortKind sort = SortKind::comparison;
+    MacKind mac = MacKind::side;
+  };
+
+  HilbertBVH() = default;
+  explicit HilbertBVH(Options opts) : opts_(opts) {
+    NBODY_REQUIRE(opts.leaf_size >= 1 && std::has_single_bit(opts.leaf_size),
+                  "HilbertBVH: leaf_size must be a power of two");
+  }
+
+  [[nodiscard]] const Options& options() const { return opts_; }
+
+  // -- HilbertSort (Algorithm 7) --------------------------------------------
+
+  /// Computes each body's Hilbert key on the grid over `box`, then reorders
+  /// the whole system (m, x, v, id) into Hilbert order. This is the paper's
+  /// "sort an auxiliary buffer of Hilbert and body index pairs, applying it
+  /// as a permutation afterwards" variant (Sec. V-A, issue #2): the key is
+  /// precomputed once per body, never recomputed inside the comparator.
+  template <class Policy>
+  void sort_bodies(Policy policy, core::System<T, D>& sys, const box_t& box) {
+    const std::size_t n = sys.size();
+    keys_.resize(n);
+    if (n == 0) return;
+    const sfc::GridMapper<T, D> grid(box);
+    if (opts_.curve == CurveKind::hilbert) {
+      exec::for_each_index(policy, n, [&](std::size_t i) {
+        keys_[i] = grid.hilbert_key(sys.x[i]);
+      });
+    } else {
+      exec::for_each_index(policy, n, [&](std::size_t i) {
+        keys_[i] = grid.morton_key(sys.x[i]);
+      });
+    }
+    const auto perm =
+        opts_.sort == SortKind::comparison
+            ? exec::make_sort_permutation(policy, keys_)
+            : exec::make_radix_sort_permutation(policy, keys_,
+                                                sfc::max_bits<D> * static_cast<unsigned>(D));
+    reorder(policy, perm, sys.m);
+    reorder(policy, perm, sys.x);
+    reorder(policy, perm, sys.v);
+    reorder(policy, perm, sys.id);
+  }
+
+  // -- BuildTreeAccumulateMass (Algorithm 6 step 4) ---------------------------
+
+  /// Builds leaves from the (already sorted) bodies and reduces bounding
+  /// boxes + multipole moments level by level up to the root. par_unseq-safe.
+  template <class Policy>
+  void build(Policy policy, const std::vector<T>& m, const std::vector<vec_t>& x,
+             bool quadrupole = false) {
+    n_bodies_ = m.size();
+    const std::size_t buckets = (n_bodies_ + opts_.leaf_size - 1) / opts_.leaf_size;
+    leaf_begin_ = std::bit_ceil(std::max<std::size_t>(buckets, 1));
+    const std::size_t total = 2 * leaf_begin_;
+    node_mass_.assign(total, T(0));
+    node_com_.assign(total, vec_t::zero());
+    node_box_.assign(total, box_t{});
+    has_quadrupoles_ = quadrupole;
+    if (quadrupole) {
+      node_quad_.assign(total, math::SymTensor<T, D>{});
+    } else {
+      node_quad_.clear();
+    }
+
+    // Leaf level: leaf j covers the contiguous (sorted) bodies
+    // [j*B, (j+1)*B); with B = 1 this is the paper's one-body-per-leaf
+    // layout. Padding leaves stay empty.
+    exec::for_each_index(policy, leaf_begin_, [&, quadrupole](std::size_t j) {
+      const std::size_t k = leaf_begin_ + j;
+      const auto [b0, b1] = leaf_range(j);
+      if (b0 >= b1) return;
+      if (b1 - b0 == 1) {
+        node_mass_[k] = m[b0];
+        node_com_[k] = x[b0];  // exact: no (x*m)/m round-trip
+        node_box_[k] = box_t::of_point(x[b0]);
+      } else {
+        T mass = T(0);
+        vec_t weighted = vec_t::zero();
+        box_t box;
+        for (std::size_t b = b0; b < b1; ++b) {
+          mass += m[b];
+          weighted += x[b] * m[b];
+          box = box.merged(x[b]);
+        }
+        node_mass_[k] = mass;
+        node_com_[k] = mass > T(0) ? weighted / mass : box.center();
+        node_box_[k] = box;
+      }
+      if (quadrupole) {
+        math::SymTensor<T, D> quad{};
+        for (std::size_t b = b0; b < b1; ++b)
+          quad += math::point_quadrupole(m[b], x[b] - node_com_[k]);
+        node_quad_[k] = quad;
+      }
+    });
+    // Coarser levels: independent pairwise reductions per level.
+    for (std::size_t width = leaf_begin_ / 2; width >= 1; width /= 2) {
+      exec::for_each_index(policy, width, [&, width](std::size_t off) {
+        const std::size_t k = width + off;
+        const std::size_t l = 2 * k;
+        const std::size_t r = 2 * k + 1;
+        const T ml = node_mass_[l];
+        const T mr = node_mass_[r];
+        node_mass_[k] = ml + mr;
+        node_box_[k] = node_box_[l].merged(node_box_[r]);
+        // When one side is empty, propagate the other side's center of mass
+        // *exactly*. Computing (com*m)/m instead drifts by a few ulps, and a
+        // chain of single-body ancestors then has a point-sized box (s = 0)
+        // whose com sits ~1e-15 away from the body itself — which the
+        // acceptance test s^2 < theta^2 d^2 happily accepts, producing an
+        // enormous bogus self-force.
+        if (ml <= T(0)) {
+          node_com_[k] = node_com_[r];
+        } else if (mr <= T(0)) {
+          node_com_[k] = node_com_[l];
+        } else {
+          node_com_[k] = (node_com_[l] * ml + node_com_[r] * mr) / (ml + mr);
+        }
+        if (quadrupole) {
+          // Children are complete (level-by-level order): combine their
+          // quadrupoles about this node's center of mass (parallel axis).
+          math::SymTensor<T, D> quad{};
+          if (ml > T(0))
+            quad += node_quad_[l] + math::point_quadrupole(ml, node_com_[l] - node_com_[k]);
+          if (mr > T(0))
+            quad += node_quad_[r] + math::point_quadrupole(mr, node_com_[r] - node_com_[k]);
+          node_quad_[k] = quad;
+        }
+      });
+      if (width == 1) break;
+    }
+  }
+
+  // -- CalculateForce ---------------------------------------------------------
+
+  /// Per-traversal work counters (see ConcurrentOctree::TraversalStats).
+  struct TraversalStats {
+    std::uint64_t nodes_visited = 0;
+    std::uint64_t accepts = 0;
+    std::uint64_t opens = 0;
+    std::uint64_t exact_pairs = 0;
+    TraversalStats& operator+=(const TraversalStats& o) {
+      nodes_visited += o.nodes_visited;
+      accepts += o.accepts;
+      opens += o.opens;
+      exact_pairs += o.exact_pairs;
+      return *this;
+    }
+  };
+
+  /// acceleration_on with work counters (identical traversal).
+  vec_t acceleration_on_counted(const vec_t& xi, std::size_t self, const std::vector<T>& m,
+                                const std::vector<vec_t>& x, T theta2, T G, T eps2,
+                                TraversalStats& stats) const {
+    vec_t acc = vec_t::zero();
+    if (n_bodies_ == 0) return acc;
+    std::size_t k = 1;
+    for (;;) {
+      ++stats.nodes_visited;
+      bool descend = false;
+      if (k >= leaf_begin_) {
+        const auto [b0, b1] = leaf_range(k - leaf_begin_);
+        for (std::size_t b = b0; b < b1; ++b) {
+          if (b == self) continue;
+          acc += math::gravity_accel(xi, x[b], m[b], G, eps2);
+          ++stats.exact_pairs;
+        }
+      } else if (node_mass_[k] > T(0)) {
+        const vec_t d = node_com_[k] - xi;
+        const T d2 = norm2(d);
+        const T s2 = mac_size2(k);
+        if (s2 < theta2 * d2) {
+          acc += math::gravity_accel(xi, node_com_[k], node_mass_[k], G, eps2);
+          ++stats.accepts;
+        } else {
+          k = 2 * k;
+          descend = true;
+          ++stats.opens;
+        }
+      }
+      if (descend) continue;
+      while (k != 1 && (k & 1)) k >>= 1;
+      if (k == 1) return acc;
+      ++k;
+    }
+  }
+
+  /// Acceleration on sorted body `self` at `xi`: stackless DFS over the
+  /// implicit tree. The acceptance criterion uses the node's *bounding box*
+  /// longest side (boxes may be elongated and overlap — see the paper's
+  /// discussion of how the θ interpretation differs from the octree's).
+  [[nodiscard]] vec_t acceleration_on(const vec_t& xi, std::size_t self,
+                                      const std::vector<T>& m, const std::vector<vec_t>& x,
+                                      T theta2, T G, T eps2,
+                                      bool quadrupole = false) const {
+    vec_t acc = vec_t::zero();
+    if (n_bodies_ == 0) return acc;
+    std::size_t k = 1;
+    for (;;) {
+      bool descend = false;
+      if (k >= leaf_begin_) {
+        const auto [b0, b1] = leaf_range(k - leaf_begin_);
+        for (std::size_t b = b0; b < b1; ++b)
+          if (b != self) acc += math::gravity_accel(xi, x[b], m[b], G, eps2);
+      } else if (node_mass_[k] > T(0)) {
+        const vec_t d = node_com_[k] - xi;
+        const T d2 = norm2(d);
+        const T s2 = mac_size2(k);
+        if (s2 < theta2 * d2) {
+          acc += math::gravity_accel(xi, node_com_[k], node_mass_[k], G, eps2);
+          if (quadrupole)
+            acc += math::quadrupole_accel(xi, node_com_[k], node_quad_[k], G, eps2);
+        } else {
+          k = 2 * k;  // open the node
+          descend = true;
+        }
+      }
+      if (descend) continue;
+      // DFS successor, skipping k's subtree: climb while k is a right
+      // child (possibly across several levels — the skip-list jump), then
+      // step to the right sibling.
+      while (k != 1 && (k & 1)) k >>= 1;
+      if (k == 1) return acc;
+      ++k;
+    }
+  }
+
+  template <class Policy>
+  void accelerations(Policy policy, const std::vector<T>& m, const std::vector<vec_t>& x,
+                     std::vector<vec_t>& a_out, T theta, T G, T eps2,
+                     bool quadrupole = false) const {
+    NBODY_REQUIRE(!quadrupole || has_quadrupoles_,
+                  "bvh accelerations: quadrupole requested but not built");
+    const T theta2 = theta * theta;
+    exec::for_each_index(policy, x.size(), [&, theta2, G, eps2, quadrupole](std::size_t i) {
+      a_out[i] = acceleration_on(x[i], i, m, x, theta2, G, eps2, quadrupole);
+    });
+  }
+
+  // -- spatial queries --------------------------------------------------------
+
+  /// Invokes fn(sorted_body_index) for every body within `radius` of
+  /// `center`. Same skip-list traversal as the force path, pruning by the
+  /// stored node boxes. Read-only after build().
+  template <class Fn>
+  void for_each_in_radius(const vec_t& center, T radius, const std::vector<vec_t>& x,
+                          Fn&& fn) const {
+    NBODY_REQUIRE(radius >= T(0), "for_each_in_radius: negative radius");
+    if (n_bodies_ == 0) return;
+    const T r2 = radius * radius;
+    auto box_outside = [&](const box_t& box) {
+      if (box.empty()) return true;
+      T d2 = T(0);
+      for (std::size_t d = 0; d < D; ++d) {
+        const T c = center[d] < box.lo[d] ? box.lo[d]
+                    : center[d] > box.hi[d] ? box.hi[d]
+                                            : center[d];
+        const T delta = center[d] - c;
+        d2 += delta * delta;
+      }
+      return d2 > r2;
+    };
+    std::size_t k = 1;
+    for (;;) {
+      bool descend = false;
+      if (k >= leaf_begin_) {
+        const auto [b0, b1] = leaf_range(k - leaf_begin_);
+        for (std::size_t b = b0; b < b1; ++b)
+          if (norm2(x[b] - center) <= r2) fn(b);
+      } else if (!box_outside(node_box_[k])) {
+        k = 2 * k;
+        descend = true;
+      }
+      if (descend) continue;
+      while (k != 1 && (k & 1)) k >>= 1;
+      if (k == 1) return;
+      ++k;
+    }
+  }
+
+  [[nodiscard]] std::size_t count_in_radius(const vec_t& center, T radius,
+                                            const std::vector<vec_t>& x) const {
+    std::size_t n = 0;
+    for_each_in_radius(center, radius, x, [&](std::size_t) { ++n; });
+    return n;
+  }
+
+  // -- introspection ----------------------------------------------------------
+
+  [[nodiscard]] std::size_t leaf_count() const { return leaf_begin_; }
+  [[nodiscard]] std::size_t node_total() const { return node_mass_.size(); }
+  [[nodiscard]] std::size_t levels() const {
+    return static_cast<std::size_t>(std::bit_width(leaf_begin_));
+  }
+  [[nodiscard]] T node_mass(std::size_t k) const { return node_mass_[k]; }
+  [[nodiscard]] vec_t node_com(std::size_t k) const { return node_com_[k]; }
+  [[nodiscard]] const box_t& node_box(std::size_t k) const { return node_box_[k]; }
+  [[nodiscard]] bool has_quadrupoles() const { return has_quadrupoles_; }
+  [[nodiscard]] const math::SymTensor<T, D>& node_quadrupole(std::size_t k) const {
+    return node_quad_[k];
+  }
+  [[nodiscard]] const std::vector<std::uint64_t>& keys() const { return keys_; }
+
+  /// Squared MAC size of node k per the configured criterion.
+  [[nodiscard]] T mac_size2(std::size_t k) const {
+    if (opts_.mac == MacKind::side) {
+      const T s = node_box_[k].longest_side();
+      return s * s;
+    }
+    // bmax: farthest box corner from the center of mass.
+    const auto& box = node_box_[k];
+    const vec_t com = node_com_[k];
+    T b2 = T(0);
+    for (std::size_t d = 0; d < D; ++d) {
+      const T lo = com[d] - box.lo[d];
+      const T hi = box.hi[d] - com[d];
+      const T m = lo > hi ? lo : hi;
+      b2 += m * m;
+    }
+    return b2;
+  }
+
+  /// Sorted-body index range [first, last) covered by leaf `j`.
+  [[nodiscard]] std::pair<std::size_t, std::size_t> leaf_range(std::size_t j) const {
+    const std::size_t b0 = j * opts_.leaf_size;
+    const std::size_t b1 = std::min(b0 + opts_.leaf_size, n_bodies_);
+    return {std::min(b0, n_bodies_), b1};
+  }
+
+ private:
+  template <class Policy, class U>
+  void reorder(Policy policy, const std::vector<std::uint32_t>& perm, std::vector<U>& arr) {
+    std::vector<U> tmp;
+    exec::apply_permutation(policy, perm, arr, tmp);
+    arr.swap(tmp);
+  }
+
+  Options opts_{};
+  std::size_t n_bodies_ = 0;
+  std::size_t leaf_begin_ = 1;  // index of first leaf == leaf count
+  std::vector<std::uint64_t> keys_;
+  std::vector<T> node_mass_;
+  std::vector<vec_t> node_com_;
+  std::vector<box_t> node_box_;
+  std::vector<math::SymTensor<T, D>> node_quad_;  // filled when built with quadrupoles
+  bool has_quadrupoles_ = false;
+};
+
+}  // namespace nbody::bvh

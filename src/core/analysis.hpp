@@ -1,0 +1,103 @@
+// Structural analysis of particle systems: the standard observables used to
+// characterize cluster/galaxy simulations. These back the
+// cluster_relaxation example and give the test suite physically meaningful
+// invariants to check beyond raw conservation laws.
+//
+//   * radial_profile       — mass histogram in spherical shells about a
+//                            center (density profile when divided by shell
+//                            volume).
+//   * lagrange_radii       — radii enclosing given mass fractions; their
+//                            drift measures relaxation/collapse.
+//   * velocity_dispersion  — rms velocity about the mean; with the virial
+//                            theorem this diagnoses equilibrium.
+//   * virial_ratio         — 2K/|U|; 1 at equilibrium.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/diagnostics.hpp"
+#include "core/system.hpp"
+#include "exec/algorithms.hpp"
+#include "support/assert.hpp"
+
+namespace nbody::core {
+
+/// Mass per spherical shell: `bins` equal-width shells covering [0, r_max)
+/// about `center`; bodies beyond r_max land in the last bin.
+template <class T, std::size_t D>
+std::vector<T> radial_profile(const System<T, D>& sys, const math::vec<T, D>& center,
+                              T r_max, std::size_t bins) {
+  NBODY_REQUIRE(bins >= 1, "radial_profile: need at least one bin");
+  NBODY_REQUIRE(r_max > T(0), "radial_profile: r_max must be positive");
+  std::vector<T> mass(bins, T(0));
+  for (std::size_t i = 0; i < sys.size(); ++i) {
+    const T r = norm(sys.x[i] - center);
+    auto bin = static_cast<std::size_t>(r / r_max * static_cast<T>(bins));
+    if (bin >= bins) bin = bins - 1;
+    mass[bin] += sys.m[i];
+  }
+  return mass;
+}
+
+/// Radii about `center` enclosing each requested mass fraction (fractions in
+/// (0, 1], ascending output for ascending input). O(N log N).
+template <class T, std::size_t D>
+std::vector<T> lagrange_radii(const System<T, D>& sys, const math::vec<T, D>& center,
+                              const std::vector<T>& fractions) {
+  std::vector<std::pair<T, T>> radius_mass(sys.size());
+  T total = T(0);
+  for (std::size_t i = 0; i < sys.size(); ++i) {
+    radius_mass[i] = {norm(sys.x[i] - center), sys.m[i]};
+    total += sys.m[i];
+  }
+  std::sort(radius_mass.begin(), radius_mass.end());
+  std::vector<T> out;
+  out.reserve(fractions.size());
+  for (T f : fractions) {
+    NBODY_REQUIRE(f > T(0) && f <= T(1), "lagrange_radii: fraction outside (0,1]");
+    const T want = f * total;
+    T acc = T(0);
+    T radius = radius_mass.empty() ? T(0) : radius_mass.back().first;
+    for (const auto& [r, m] : radius_mass) {
+      acc += m;
+      if (acc >= want) {
+        radius = r;
+        break;
+      }
+    }
+    out.push_back(radius);
+  }
+  return out;
+}
+
+/// Half-mass radius — the 50% Lagrange radius.
+template <class T, std::size_t D>
+T half_mass_radius(const System<T, D>& sys, const math::vec<T, D>& center) {
+  return lagrange_radii(sys, center, std::vector<T>{T(0.5)})[0];
+}
+
+/// Mass-weighted rms speed about the mass-weighted mean velocity.
+template <class Policy, class T, std::size_t D>
+T velocity_dispersion(Policy policy, const System<T, D>& sys) {
+  if (sys.size() == 0) return T(0);
+  const T mass = total_mass(policy, sys);
+  if (mass <= T(0)) return T(0);
+  const auto mean = total_momentum(policy, sys) / mass;
+  const T weighted_sq = exec::transform_reduce_index(
+      policy, sys.size(), T(0), [](T a, T b) { return a + b; },
+      [&](std::size_t i) { return sys.m[i] * norm2(sys.v[i] - mean); });
+  return std::sqrt(weighted_sq / mass);
+}
+
+/// Virial ratio 2K/|U| (1 at equilibrium). O(N^2) in the potential term.
+template <class Policy, class T, std::size_t D>
+T virial_ratio(Policy policy, const System<T, D>& sys, T G, T eps2) {
+  const T k = kinetic_energy(policy, sys);
+  const T u = potential_energy(policy, sys, G, eps2);
+  if (u == T(0)) return T(0);
+  return T(2) * k / std::abs(u);
+}
+
+}  // namespace nbody::core

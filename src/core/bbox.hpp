@@ -1,0 +1,33 @@
+// CalculateBoundingBox — step 1 of the paper's Algorithm 2.
+//
+// A parallel transform_reduce over all body positions whose monoid is AABB
+// merge (paper Algorithm 3 reduces a (min, max) tuple; aabb packages the
+// same pair with an empty-box identity).
+#pragma once
+
+#include <vector>
+
+#include "exec/algorithms.hpp"
+#include "math/aabb.hpp"
+
+namespace nbody::core {
+
+/// Smallest box containing all positions; the empty box for an empty range.
+template <class Policy, class T, std::size_t D>
+math::aabb<T, D> compute_bounding_box(Policy policy,
+                                      const std::vector<math::vec<T, D>>& x) {
+  using box = math::aabb<T, D>;
+  return exec::transform_reduce(
+      policy, x.begin(), x.end(), box{},
+      [](box acc, const box& b) { return acc.merged(b); },
+      [](const math::vec<T, D>& p) { return box::of_point(p); });
+}
+
+/// The root box the octree subdivides: the bounding box inflated to a
+/// non-degenerate cube (isotropic subdivision needs equal side lengths).
+template <class Policy, class T, std::size_t D>
+math::aabb<T, D> compute_root_cube(Policy policy, const std::vector<math::vec<T, D>>& x) {
+  return compute_bounding_box(policy, x).inflated_cube();
+}
+
+}  // namespace nbody::core

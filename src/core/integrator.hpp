@@ -1,0 +1,88 @@
+// Störmer-Verlet time integration (paper Sec. III, [12]).
+//
+// Two equivalent formulations are provided:
+//
+//  * Leapfrog (kick-drift with half-step-offset velocities): exactly one
+//    force evaluation per step — this is what the paper's Algorithm 2 loop
+//    implies (CalculateForce then UpdatePosition). Call leapfrog_prime()
+//    once after the first force evaluation to shift synchronized initial
+//    velocities back by dt/2, then leapfrog_step() each iteration.
+//
+//  * Velocity Verlet (synchronized): two force evaluations per step; used
+//    where synchronized velocities matter (energy-conservation tests).
+//
+// Both are symplectic and, for the same trajectory of positions, identical
+// up to the velocity staggering.
+#pragma once
+
+#include <cmath>
+
+#include "core/system.hpp"
+#include "exec/algorithms.hpp"
+#include "support/assert.hpp"
+
+namespace nbody::core {
+
+/// Shifts synchronized velocities to t - dt/2 using current accelerations:
+/// v_{-1/2} = v_0 - a_0 dt/2. Call once before the leapfrog loop.
+template <class Policy, class T, std::size_t D>
+void leapfrog_prime(Policy policy, System<T, D>& sys, T dt) {
+  exec::for_each_index(policy, sys.size(), [&, dt](std::size_t i) {
+    sys.v[i] -= sys.a[i] * (dt / T(2));
+  });
+}
+
+/// UpdatePosition — step 5 of Algorithm 2. Requires sys.a to hold the
+/// accelerations at the current positions:
+///   v_{n+1/2} = v_{n-1/2} + a_n dt;   x_{n+1} = x_n + v_{n+1/2} dt.
+template <class Policy, class T, std::size_t D>
+void leapfrog_step(Policy policy, System<T, D>& sys, T dt) {
+  exec::for_each_index(policy, sys.size(), [&, dt](std::size_t i) {
+    sys.v[i] += sys.a[i] * dt;
+    sys.x[i] += sys.v[i] * dt;
+  });
+}
+
+/// Re-synchronizes leapfrog velocities to whole-step time for diagnostics:
+/// v_n = v_{n+1/2} - a dt/2 (uses the accelerations in sys.a).
+template <class Policy, class T, std::size_t D>
+void leapfrog_synchronize(Policy policy, System<T, D>& sys, T dt) {
+  exec::for_each_index(policy, sys.size(), [&, dt](std::size_t i) {
+    sys.v[i] -= sys.a[i] * (dt / T(2));
+  });
+}
+
+/// One velocity-Verlet step. `force` recomputes sys.a from sys.x.
+///   x_{n+1} = x_n + v_n dt + a_n dt^2/2
+///   v_{n+1} = v_n + (a_n + a_{n+1}) dt/2
+template <class Policy, class T, std::size_t D, class ForceFn>
+void velocity_verlet_step(Policy policy, System<T, D>& sys, T dt, ForceFn&& force) {
+  exec::for_each_index(policy, sys.size(), [&, dt](std::size_t i) {
+    sys.x[i] += sys.v[i] * dt + sys.a[i] * (dt * dt / T(2));
+    sys.v[i] += sys.a[i] * (dt / T(2));  // first half-kick with old a
+  });
+  force(sys);  // a_{n+1}
+  exec::for_each_index(policy, sys.size(), [&, dt](std::size_t i) {
+    sys.v[i] += sys.a[i] * (dt / T(2));  // second half-kick with new a
+  });
+}
+
+/// Acceleration-based adaptive time-step suggestion:
+///   dt = eta * sqrt(softening / max_i |a_i|),
+/// the standard collisionless criterion (time to cross the softening length
+/// under the strongest acceleration), clamped to [dt_min, dt_max]. Requires
+/// sys.a to hold current accelerations.
+template <class Policy, class T, std::size_t D>
+T suggest_timestep(Policy policy, const System<T, D>& sys, T eta, T softening, T dt_min,
+                   T dt_max) {
+  NBODY_REQUIRE(eta > T(0) && softening > T(0) && dt_min > T(0) && dt_max >= dt_min,
+                "suggest_timestep: bad parameters");
+  const T a_max = exec::transform_reduce_index(
+      policy, sys.size(), T(0), [](T a, T b) { return a > b ? a : b; },
+      [&](std::size_t i) { return norm(sys.a[i]); });
+  if (a_max <= T(0)) return dt_max;
+  const T dt = eta * std::sqrt(softening / a_max);
+  return dt < dt_min ? dt_min : dt > dt_max ? dt_max : dt;
+}
+
+}  // namespace nbody::core

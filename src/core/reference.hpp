@@ -1,0 +1,157 @@
+// Serial reference implementations — the oracles the test suite and the
+// cross-validation experiment measure against.
+//
+//  * reference_accelerations     — exact O(N^2) pairwise sum (Eq. 1).
+//  * ReferenceBarnesHut          — a deliberately boring, pointer-based,
+//    recursive Barnes-Hut. It shares no tree code with the concurrent
+//    octree or the BVH, which makes it an *independent implementation* in
+//    the sense of the paper's three-way L2 validation (Sec. V-A).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/bbox.hpp"
+#include "core/system.hpp"
+#include "exec/policy.hpp"
+#include "math/aabb.hpp"
+#include "math/gravity.hpp"
+#include "math/multipole.hpp"
+#include "support/timer.hpp"
+
+namespace nbody::core {
+
+/// Exact all-pairs accelerations, sequential, no tricks.
+template <class T, std::size_t D>
+void reference_accelerations(System<T, D>& sys, const SimConfig<T>& cfg) {
+  const std::size_t n = sys.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    auto acc = math::vec<T, D>::zero();
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      acc += math::gravity_accel(sys.x[i], sys.x[j], sys.m[j], cfg.G, cfg.eps2());
+    }
+    sys.a[i] = acc;
+  }
+}
+
+/// Pointer-based recursive Barnes-Hut (sequential).
+template <class T, std::size_t D>
+class ReferenceBarnesHut {
+ public:
+  static constexpr const char* name = "reference-bh";
+  static constexpr unsigned kMaxDepth = 64;
+
+  /// Builds the tree and fills sys.a. Policy is accepted for interface
+  /// uniformity but execution is always sequential.
+  template <class Policy>
+  void accelerations(Policy, System<T, D>& sys, const SimConfig<T>& cfg,
+                     support::PhaseTimer* timer = nullptr) {
+    (void)timer;
+    build(sys);
+    const T theta2 = cfg.theta2();
+    for (std::size_t i = 0; i < sys.size(); ++i) {
+      auto acc = math::vec<T, D>::zero();
+      if (root_) force_on(*root_, sys, i, theta2, cfg.G, cfg.eps2(), cfg.quadrupole, acc);
+      sys.a[i] = acc;
+    }
+  }
+
+ private:
+  struct Node {
+    math::aabb<T, D> box;
+    T mass = T(0);
+    math::vec<T, D> com = math::vec<T, D>::zero();
+    math::SymTensor<T, D> quad{};
+    std::vector<std::uint32_t> bodies;  // non-empty only at (leaf) bottom
+    std::unique_ptr<Node> children[std::size_t{1} << D];
+    bool is_leaf = true;
+  };
+
+  std::unique_ptr<Node> root_;
+
+  void build(const System<T, D>& sys) {
+    root_ = std::make_unique<Node>();
+    root_->box = compute_root_cube(exec::seq, sys.x);
+    for (std::uint32_t b = 0; b < sys.size(); ++b) insert(*root_, sys, b, 0);
+    finalize(*root_, sys);
+  }
+
+  void insert(Node& node, const System<T, D>& sys, std::uint32_t b, unsigned depth) {
+    if (node.is_leaf) {
+      if (node.bodies.empty() || depth >= kMaxDepth) {
+        node.bodies.push_back(b);
+        return;
+      }
+      // Subdivide: push the resident body down, then retry.
+      node.is_leaf = false;
+      for (std::uint32_t prev : node.bodies) insert_into_child(node, sys, prev, depth);
+      node.bodies.clear();
+    }
+    insert_into_child(node, sys, b, depth);
+  }
+
+  void insert_into_child(Node& node, const System<T, D>& sys, std::uint32_t b,
+                         unsigned depth) {
+    const unsigned q = node.box.orthant(sys.x[b]);
+    if (!node.children[q]) {
+      node.children[q] = std::make_unique<Node>();
+      node.children[q]->box = node.box.child_box(q);
+    }
+    insert(*node.children[q], sys, b, depth + 1);
+  }
+
+  void finalize(Node& node, const System<T, D>& sys) {
+    node.mass = T(0);
+    auto weighted = math::vec<T, D>::zero();
+    if (node.is_leaf) {
+      for (std::uint32_t b : node.bodies) {
+        node.mass += sys.m[b];
+        weighted += sys.x[b] * sys.m[b];
+      }
+    } else {
+      for (auto& c : node.children) {
+        if (!c) continue;
+        finalize(*c, sys);
+        node.mass += c->mass;
+        weighted += c->com * c->mass;
+      }
+    }
+    node.com = node.mass > T(0) ? weighted / node.mass : node.box.center();
+    // Traceless quadrupole about the node's center of mass.
+    node.quad = math::SymTensor<T, D>{};
+    if (node.is_leaf) {
+      for (std::uint32_t b : node.bodies)
+        node.quad += math::point_quadrupole(sys.m[b], sys.x[b] - node.com);
+    } else {
+      for (const auto& c : node.children) {
+        if (!c || c->mass <= T(0)) continue;
+        node.quad += c->quad + math::point_quadrupole(c->mass, c->com - node.com);
+      }
+    }
+  }
+
+  void force_on(const Node& node, const System<T, D>& sys, std::size_t i, T theta2, T G,
+                T eps2, bool quadrupole, math::vec<T, D>& acc) const {
+    if (node.mass <= T(0)) return;
+    if (node.is_leaf) {
+      for (std::uint32_t b : node.bodies) {
+        if (b == i) continue;
+        acc += math::gravity_accel(sys.x[i], sys.x[b], sys.m[b], G, eps2);
+      }
+      return;
+    }
+    const math::vec<T, D> d = node.com - sys.x[i];
+    const T d2 = norm2(d);
+    const T s = node.box.longest_side();
+    if (s * s < theta2 * d2) {
+      acc += math::gravity_accel(sys.x[i], node.com, node.mass, G, eps2);
+      if (quadrupole) acc += math::quadrupole_accel(sys.x[i], node.com, node.quad, G, eps2);
+      return;
+    }
+    for (const auto& c : node.children)
+      if (c) force_on(*c, sys, i, theta2, G, eps2, quadrupole, acc);
+  }
+};
+
+}  // namespace nbody::core

@@ -1,0 +1,99 @@
+// Time-integration driver — the paper's Algorithm 2 loop.
+//
+// Each step: Strategy::accelerations (which internally performs
+// CalculateBoundingBox / BuildTree / CalculateMultipoles / CalculateForce,
+// or the BVH pipeline of Algorithm 6) followed by UpdatePosition via the
+// leapfrog formulation of Störmer-Verlet. The first step folds the
+// half-step velocity priming in, so every step costs exactly one force
+// evaluation.
+//
+// A Strategy is any type providing:
+//   static constexpr const char* name;
+//   template <class Policy> void accelerations(Policy, System<T,D>&,
+//       const SimConfig<T>&, support::PhaseTimer*);
+#pragma once
+
+#include <utility>
+
+#include "core/integrator.hpp"
+#include "core/system.hpp"
+#include "support/timer.hpp"
+
+namespace nbody::core {
+
+template <class T, std::size_t D, class Strategy>
+class Simulation {
+ public:
+  Simulation(System<T, D> sys, SimConfig<T> cfg, Strategy strategy = {})
+      : sys_(std::move(sys)), cfg_(cfg), strategy_(std::move(strategy)) {}
+
+  /// Advances `steps` time steps under `policy`.
+  template <class Policy>
+  void run(Policy policy, std::size_t steps) {
+    for (std::size_t s = 0; s < steps; ++s) {
+      strategy_.accelerations(policy, sys_, cfg_, &phases_);
+      if (!primed_) {
+        leapfrog_prime(policy, sys_, cfg_.dt);
+        primed_ = true;
+      }
+      {
+        auto scope = phases_.scope("update");
+        leapfrog_step(policy, sys_, cfg_.dt);
+      }
+      time_ += cfg_.dt;
+      ++steps_done_;
+    }
+  }
+
+  /// Integrates until simulated time `t_end` with per-step adaptive dt
+  /// (velocity-Verlet, synchronized velocities — the leapfrog staggering is
+  /// unsound under a varying step). Returns the number of steps taken.
+  /// `eta` scales the acceleration-based criterion of suggest_timestep().
+  template <class Policy>
+  std::size_t run_adaptive(Policy policy, T t_end, T eta, T dt_min, T dt_max) {
+    NBODY_REQUIRE(!primed_, "run_adaptive: velocities are leapfrog-staggered; "
+                            "synchronize_velocities() first");
+    std::size_t steps = 0;
+    strategy_.accelerations(policy, sys_, cfg_, &phases_);
+    while (time_ < t_end) {
+      T dt = suggest_timestep(policy, sys_, eta, cfg_.softening, dt_min, dt_max);
+      if (time_ + dt > t_end) dt = t_end - time_;
+      velocity_verlet_step(policy, sys_, dt, [&](System<T, D>& s) {
+        strategy_.accelerations(policy, s, cfg_, &phases_);
+      });
+      time_ += dt;
+      ++steps;
+      ++steps_done_;
+    }
+    return steps;
+  }
+
+  [[nodiscard]] T simulated_time() const { return time_; }
+
+  /// Re-synchronizes velocities to whole-step time (for diagnostics);
+  /// requires sys_.a to still hold the last step's accelerations.
+  template <class Policy>
+  void synchronize_velocities(Policy policy) {
+    if (!primed_) return;
+    leapfrog_synchronize(policy, sys_, cfg_.dt);
+    primed_ = false;  // velocities are whole-step again; re-prime on next run
+  }
+
+  [[nodiscard]] System<T, D>& system() { return sys_; }
+  [[nodiscard]] const System<T, D>& system() const { return sys_; }
+  [[nodiscard]] const SimConfig<T>& config() const { return cfg_; }
+  [[nodiscard]] Strategy& strategy() { return strategy_; }
+  [[nodiscard]] support::PhaseTimer& phases() { return phases_; }
+  [[nodiscard]] std::size_t steps_done() const { return steps_done_; }
+
+ private:
+  System<T, D> sys_;
+  SimConfig<T> cfg_;
+  Strategy strategy_;
+  support::PhaseTimer phases_;
+  std::size_t steps_done_ = 0;
+  T time_ = T(0);
+  bool primed_ = false;
+};
+
+}  // namespace nbody::core

@@ -1,0 +1,95 @@
+// Particle system state and simulation parameters.
+//
+// State is structure-of-arrays (masses, positions, velocities,
+// accelerations) so the inner force loops vectorize and the Hilbert sort can
+// permute each attribute as a flat array (paper Sec. V-A, implementation
+// issue #2: sort a key/index buffer, apply as a permutation).
+//
+// Every body carries a stable `id`: the Hilbert-BVH strategy physically
+// reorders bodies each step, and cross-implementation validation (the L2
+// comparison of Sec. V-A) must match bodies by identity, not position index.
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "math/vec.hpp"
+#include "support/assert.hpp"
+
+namespace nbody::core {
+
+template <class T, std::size_t D>
+struct System {
+  using vec_t = math::vec<T, D>;
+
+  std::vector<T> m;           // mass
+  std::vector<vec_t> x;       // position
+  std::vector<vec_t> v;       // velocity
+  std::vector<vec_t> a;       // acceleration (output of the force step)
+  std::vector<std::uint32_t> id;  // stable identity across reorderings
+
+  System() = default;
+
+  explicit System(std::size_t n) { resize(n); }
+
+  [[nodiscard]] std::size_t size() const { return m.size(); }
+
+  void resize(std::size_t n) {
+    NBODY_REQUIRE(n < (std::size_t{1} << 31), "System: too many bodies");
+    m.resize(n, T(0));
+    x.resize(n, vec_t::zero());
+    v.resize(n, vec_t::zero());
+    a.resize(n, vec_t::zero());
+    const std::size_t old = id.size();
+    id.resize(n);
+    std::iota(id.begin() + static_cast<std::ptrdiff_t>(old), id.end(),
+              static_cast<std::uint32_t>(old));
+  }
+
+  /// Appends one body; returns its index.
+  std::size_t add(T mass, const vec_t& pos, const vec_t& vel) {
+    m.push_back(mass);
+    x.push_back(pos);
+    v.push_back(vel);
+    a.push_back(vec_t::zero());
+    id.push_back(static_cast<std::uint32_t>(id.size()));
+    return m.size() - 1;
+  }
+
+  /// Appends all bodies of `other` (ids are re-based to stay unique).
+  void append(const System& other) {
+    const auto base = static_cast<std::uint32_t>(size());
+    m.insert(m.end(), other.m.begin(), other.m.end());
+    x.insert(x.end(), other.x.begin(), other.x.end());
+    v.insert(v.end(), other.v.begin(), other.v.end());
+    a.insert(a.end(), other.a.begin(), other.a.end());
+    for (std::uint32_t oid : other.id) id.push_back(base + oid);
+  }
+
+  /// Index of the body with identity `want`, or size() when absent. O(N).
+  [[nodiscard]] std::size_t index_of_id(std::uint32_t want) const {
+    for (std::size_t i = 0; i < id.size(); ++i)
+      if (id[i] == want) return i;
+    return size();
+  }
+};
+
+/// Simulation parameters shared by all force strategies.
+///
+/// Defaults match the paper's evaluation setup: θ = 0.5, FP64, with a small
+/// Plummer softening so the deterministic galaxy collision survives close
+/// encounters (the paper's workload is collisionless in the same sense).
+template <class T>
+struct SimConfig {
+  T G = T(1);            // gravitational constant (reduced units)
+  T dt = T(1e-3);        // time step
+  T theta = T(0.5);      // Barnes-Hut opening angle
+  T softening = T(1e-2); // Plummer softening length eps
+  bool quadrupole = false;  // add traceless-quadrupole terms to accepted nodes
+
+  [[nodiscard]] T eps2() const { return softening * softening; }
+  [[nodiscard]] T theta2() const { return theta * theta; }
+};
+
+}  // namespace nbody::core

@@ -1,0 +1,465 @@
+// Parallel algorithms in the shape of the C++ standard library ones the
+// paper uses: Parallel For (for_each), Parallel Reduce (transform_reduce),
+// Parallel Sort (sort), plus scans and permutation helpers needed by the
+// Hilbert BVH pipeline.
+//
+// Every algorithm is templated on the execution policy (seq / par /
+// par_unseq). Parallel policies run on the global thread pool and install a
+// progress_region so the vectorization-unsafety enforcement in
+// exec/atomic.hpp can see which guarantee the current region provides.
+//
+// Three scheduling backends stand in for the paper's "two toolchains per
+// system" (Sec. V-A): static contiguous chunking, dynamic atomic-counter
+// chunking, and range work-stealing. Select globally via
+// set_default_backend() or NBODY_BACKEND=static|dynamic|steal.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <iterator>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+#include "exec/policy.hpp"
+#include "exec/thread_pool.hpp"
+#include "support/assert.hpp"
+#include "support/env.hpp"
+
+namespace nbody::exec {
+
+enum class backend : std::uint8_t { static_chunk, dynamic_chunk, work_steal };
+
+inline const char* backend_name(backend b) {
+  switch (b) {
+    case backend::static_chunk: return "static";
+    case backend::dynamic_chunk: return "dynamic";
+    case backend::work_steal: return "steal";
+  }
+  return "?";
+}
+
+namespace detail {
+inline backend& backend_ref() {
+  static backend b = [] {
+    auto s = support::env_string("NBODY_BACKEND");
+    if (s && *s == "dynamic") return backend::dynamic_chunk;
+    if (s && *s == "steal") return backend::work_steal;
+    return backend::static_chunk;
+  }();
+  return b;
+}
+
+/// Per-worker index range supporting lock-free owner pops (front) and
+/// thief steals (back). Both halves live in one 64-bit word so a single
+/// CAS updates begin and end atomically — no ABA, no torn ranges.
+class StealableRange {
+ public:
+  void reset(std::uint32_t begin, std::uint32_t end) {
+    word_.store(pack(begin, end), std::memory_order_relaxed);
+  }
+
+  /// Owner takes up to `chunk` indices from the front; returns [first, last).
+  bool pop_front(std::uint32_t chunk, std::uint32_t& first, std::uint32_t& last) {
+    std::uint64_t w = word_.load(std::memory_order_relaxed);
+    for (;;) {
+      const std::uint32_t b = unpack_begin(w);
+      const std::uint32_t e = unpack_end(w);
+      if (b >= e) return false;
+      const std::uint32_t take = e - b < chunk ? e - b : chunk;
+      if (word_.compare_exchange_weak(w, pack(b + take, e), std::memory_order_acq_rel,
+                                      std::memory_order_relaxed)) {
+        first = b;
+        last = b + take;
+        return true;
+      }
+    }
+  }
+
+  /// Thief takes the back half of the victim's remaining range.
+  bool steal_back(std::uint32_t& first, std::uint32_t& last) {
+    std::uint64_t w = word_.load(std::memory_order_relaxed);
+    for (;;) {
+      const std::uint32_t b = unpack_begin(w);
+      const std::uint32_t e = unpack_end(w);
+      if (b >= e) return false;
+      const std::uint32_t half = (e - b + 1) / 2;
+      if (word_.compare_exchange_weak(w, pack(b, e - half), std::memory_order_acq_rel,
+                                      std::memory_order_relaxed)) {
+        first = e - half;
+        last = e;
+        return true;
+      }
+    }
+  }
+
+ private:
+  static constexpr std::uint64_t pack(std::uint32_t b, std::uint32_t e) {
+    return (static_cast<std::uint64_t>(b) << 32) | e;
+  }
+  static constexpr std::uint32_t unpack_begin(std::uint64_t w) {
+    return static_cast<std::uint32_t>(w >> 32);
+  }
+  static constexpr std::uint32_t unpack_end(std::uint64_t w) {
+    return static_cast<std::uint32_t>(w);
+  }
+  std::atomic<std::uint64_t> word_{0};
+};
+}  // namespace detail
+
+inline backend default_backend() { return detail::backend_ref(); }
+inline void set_default_backend(backend b) { detail::backend_ref() = b; }
+
+namespace detail {
+
+/// Chunk size for dynamic scheduling: small enough to balance irregular
+/// iterations, large enough to amortize the shared counter.
+inline std::size_t dynamic_grain(std::size_t n, unsigned workers) {
+  const std::size_t target_chunks = static_cast<std::size_t>(workers) * 16;
+  std::size_t grain = n / (target_chunks == 0 ? 1 : target_chunks);
+  return grain == 0 ? 1 : grain;
+}
+
+/// Runs f(begin, end) over [0, n) partitioned across the pool according to
+/// the active backend, inside a progress_region for `progress`.
+template <class F>
+void parallel_blocks(thread_pool& pool, forward_progress progress, std::size_t n, F&& f) {
+  if (n == 0) return;
+  const unsigned p = pool.concurrency();
+  if (p == 1 || n == 1) {
+    progress_region guard(progress);
+    f(std::size_t{0}, n);
+    return;
+  }
+  const backend b = default_backend();
+  if (b == backend::static_chunk) {
+    const std::size_t base = n / p;
+    const std::size_t rem = n % p;
+    pool.run([&](unsigned rank) {
+      progress_region guard(progress);
+      const std::size_t begin = rank * base + std::min<std::size_t>(rank, rem);
+      const std::size_t end = begin + base + (rank < rem ? 1 : 0);
+      if (begin < end) f(begin, end);
+    });
+  } else if (b == backend::dynamic_chunk) {
+    const std::size_t grain = dynamic_grain(n, p);
+    std::atomic<std::size_t> next{0};
+    pool.run([&](unsigned) {
+      progress_region guard(progress);
+      for (;;) {
+        const std::size_t begin = next.fetch_add(grain, std::memory_order_relaxed);
+        if (begin >= n) break;
+        f(begin, std::min(begin + grain, n));
+      }
+    });
+  } else {
+    // Work stealing: each rank owns a contiguous range, pops small chunks
+    // from its front, and steals the back half of another rank's range when
+    // its own runs dry. Balances irregular iterations (octree insertion)
+    // while keeping the common case contention-free.
+    NBODY_REQUIRE(n <= 0xFFFFFFFFull, "work_steal backend: range too large");
+    const std::uint32_t grain =
+        static_cast<std::uint32_t>(std::min<std::size_t>(dynamic_grain(n, p), 0xFFFFu));
+    std::vector<detail::StealableRange> ranges(p);
+    const std::size_t base = n / p;
+    const std::size_t rem = n % p;
+    for (unsigned r = 0; r < p; ++r) {
+      const std::size_t begin = r * base + std::min<std::size_t>(r, rem);
+      const std::size_t end = begin + base + (r < rem ? 1 : 0);
+      ranges[r].reset(static_cast<std::uint32_t>(begin), static_cast<std::uint32_t>(end));
+    }
+    pool.run([&](unsigned rank) {
+      progress_region guard(progress);
+      std::uint32_t first = 0, last = 0;
+      for (;;) {
+        if (ranges[rank].pop_front(grain, first, last)) {
+          f(first, last);
+          continue;
+        }
+        // Own range empty: scan victims once; re-own what we steal.
+        bool stole = false;
+        for (unsigned off = 1; off < p; ++off) {
+          const unsigned victim = (rank + off) % p;
+          if (ranges[victim].steal_back(first, last)) {
+            ranges[rank].reset(first, last);
+            stole = true;
+            break;
+          }
+        }
+        if (!stole) break;  // everything drained
+      }
+    });
+  }
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Parallel For
+// ---------------------------------------------------------------------------
+
+/// for_each over the index range [0, n): f(i). The index-range form matches
+/// the views::iota + for_each idiom of the paper's Algorithm 1.
+template <class Policy, class F>
+  requires is_execution_policy_v<Policy>
+void for_each_index(Policy, std::size_t n, F f) {
+  if constexpr (!Policy::is_parallel) {
+    for (std::size_t i = 0; i < n; ++i) f(i);
+  } else {
+    detail::parallel_blocks(thread_pool::global(), Policy::progress, n,
+                            [&](std::size_t b, std::size_t e) {
+                              for (std::size_t i = b; i < e; ++i) f(i);
+                            });
+  }
+}
+
+/// Iterator form over a contiguous random-access range.
+template <class Policy, class It, class F>
+  requires is_execution_policy_v<Policy>
+void for_each(Policy policy, It first, It last, F f) {
+  const auto n = static_cast<std::size_t>(std::distance(first, last));
+  for_each_index(policy, n, [&](std::size_t i) { f(first[i]); });
+}
+
+// ---------------------------------------------------------------------------
+// Parallel Reduce
+// ---------------------------------------------------------------------------
+
+/// transform_reduce over [0, n): reduce(init, transform(i), ...).
+///
+/// Deterministic by construction: per-rank (static) or per-chunk (dynamic)
+/// partials are combined sequentially in index order, so floating-point
+/// results do not vary run to run — required for the paper's "consistent
+/// final results across all systems" claim (Sec. V-A).
+template <class Policy, class T, class Reduce, class Transform>
+  requires is_execution_policy_v<Policy>
+T transform_reduce_index(Policy, std::size_t n, T init, Reduce reduce, Transform transform) {
+  if constexpr (!Policy::is_parallel) {
+    T acc = std::move(init);
+    for (std::size_t i = 0; i < n; ++i) acc = reduce(std::move(acc), transform(i));
+    return acc;
+  } else {
+    if (n == 0) return init;
+    auto& pool = thread_pool::global();
+    const unsigned p = pool.concurrency();
+    if (p == 1) {
+      progress_region guard(Policy::progress);
+      T acc = std::move(init);
+      for (std::size_t i = 0; i < n; ++i) acc = reduce(std::move(acc), transform(i));
+      return acc;
+    }
+    // One partial per fixed-size chunk, combined in chunk order.
+    const std::size_t grain = std::max<std::size_t>(detail::dynamic_grain(n, p), 1);
+    const std::size_t nchunks = (n + grain - 1) / grain;
+    std::vector<T> partials(nchunks, init);
+    std::vector<char> used(nchunks, 0);
+    detail::parallel_blocks(pool, Policy::progress, nchunks, [&](std::size_t cb, std::size_t ce) {
+      for (std::size_t c = cb; c < ce; ++c) {
+        const std::size_t b = c * grain;
+        const std::size_t e = std::min(b + grain, n);
+        if (b >= e) continue;
+        T acc = transform(b);
+        for (std::size_t i = b + 1; i < e; ++i) acc = reduce(std::move(acc), transform(i));
+        partials[c] = std::move(acc);
+        used[c] = 1;
+      }
+    });
+    T acc = std::move(init);
+    for (std::size_t c = 0; c < nchunks; ++c)
+      if (used[c]) acc = reduce(std::move(acc), std::move(partials[c]));
+    return acc;
+  }
+}
+
+/// Iterator form mirroring std::transform_reduce(policy, first, last, init,
+/// reduce, transform) — the signature of the paper's Algorithm 3.
+template <class Policy, class It, class T, class Reduce, class Transform>
+  requires is_execution_policy_v<Policy>
+T transform_reduce(Policy policy, It first, It last, T init, Reduce reduce,
+                   Transform transform) {
+  const auto n = static_cast<std::size_t>(std::distance(first, last));
+  return transform_reduce_index(policy, n, std::move(init), std::move(reduce),
+                                [&](std::size_t i) { return transform(first[i]); });
+}
+
+// ---------------------------------------------------------------------------
+// Parallel Sort
+// ---------------------------------------------------------------------------
+
+/// Comparison sort: parallel merge sort (stable). Runs are sorted in
+/// parallel with std::stable_sort, then merged pairwise in log2 rounds with
+/// each merge executed by one participant — wall-clock O(n log n / p + n).
+template <class Policy, class It, class Comp = std::less<>>
+  requires is_execution_policy_v<Policy>
+void sort(Policy, It first, It last, Comp comp = {}) {
+  using value_type = typename std::iterator_traits<It>::value_type;
+  const auto n = static_cast<std::size_t>(std::distance(first, last));
+  auto& pool = thread_pool::global();
+  const unsigned p = pool.concurrency();
+
+  if constexpr (!Policy::is_parallel) {
+    std::stable_sort(first, last, comp);
+    return;
+  }
+  constexpr std::size_t kSerialCutoff = 1 << 12;
+  if (p == 1 || n <= kSerialCutoff) {
+    progress_region guard(Policy::progress);
+    std::stable_sort(first, last, comp);
+    return;
+  }
+
+  // Number of runs: smallest power of two >= p (so merge rounds pair evenly).
+  std::size_t runs = 1;
+  while (runs < p) runs <<= 1;
+  while (runs > 1 && n / runs < 1024) runs >>= 1;  // keep runs big enough
+  const std::size_t run_len = (n + runs - 1) / runs;
+
+  auto run_bounds = [&](std::size_t r) {
+    const std::size_t b = std::min(r * run_len, n);
+    const std::size_t e = std::min(b + run_len, n);
+    return std::pair{b, e};
+  };
+
+  detail::parallel_blocks(pool, Policy::progress, runs, [&](std::size_t rb, std::size_t re) {
+    for (std::size_t r = rb; r < re; ++r) {
+      auto [b, e] = run_bounds(r);
+      std::stable_sort(first + static_cast<std::ptrdiff_t>(b),
+                       first + static_cast<std::ptrdiff_t>(e), comp);
+    }
+  });
+
+  // Ping-pong merge rounds.
+  std::vector<value_type> buffer(n);
+  bool data_in_input = true;
+  for (std::size_t width = 1; width < runs; width <<= 1) {
+    const std::size_t pairs = runs / (2 * width);
+    auto merge_pair = [&](std::size_t pair_idx, auto* src, auto* dst) {
+      const std::size_t lo = run_bounds(pair_idx * 2 * width).first;
+      const std::size_t mid = run_bounds(pair_idx * 2 * width + width).first;
+      const std::size_t hi =
+          (pair_idx + 1) * 2 * width >= runs ? n : run_bounds((pair_idx + 1) * 2 * width).first;
+      std::merge(src + lo, src + mid, src + mid, src + hi, dst + lo, comp);
+    };
+    if (data_in_input) {
+      detail::parallel_blocks(pool, Policy::progress, pairs,
+                              [&](std::size_t b, std::size_t e) {
+                                for (std::size_t q = b; q < e; ++q)
+                                  merge_pair(q, &*first, buffer.data());
+                              });
+    } else {
+      detail::parallel_blocks(pool, Policy::progress, pairs,
+                              [&](std::size_t b, std::size_t e) {
+                                for (std::size_t q = b; q < e; ++q)
+                                  merge_pair(q, buffer.data(), &*first);
+                              });
+    }
+    data_in_input = !data_in_input;
+  }
+  if (!data_in_input) {
+    detail::parallel_blocks(pool, Policy::progress, n, [&](std::size_t b, std::size_t e) {
+      std::copy(buffer.begin() + static_cast<std::ptrdiff_t>(b),
+                buffer.begin() + static_cast<std::ptrdiff_t>(e),
+                first + static_cast<std::ptrdiff_t>(b));
+    });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Scans
+// ---------------------------------------------------------------------------
+
+/// Blocked two-pass exclusive scan over contiguous storage.
+/// out[i] = init op in[0] op ... op in[i-1].
+template <class Policy, class T, class Op = std::plus<>>
+  requires is_execution_policy_v<Policy>
+void exclusive_scan(Policy, const T* in, T* out, std::size_t n, T init, Op op = {}) {
+  if (n == 0) return;
+  auto& pool = thread_pool::global();
+  const unsigned p = pool.concurrency();
+  if constexpr (!Policy::is_parallel) {
+    std::exclusive_scan(in, in + n, out, init, op);
+    return;
+  }
+  if (p == 1 || n < 4096) {
+    progress_region guard(Policy::progress);
+    std::exclusive_scan(in, in + n, out, init, op);
+    return;
+  }
+  const std::size_t nblocks = p;
+  const std::size_t block = (n + nblocks - 1) / nblocks;
+  std::vector<T> block_sums(nblocks, T{});
+  // Pass 1: local reductions.
+  pool.run([&](unsigned rank) {
+    progress_region guard(Policy::progress);
+    const std::size_t b = std::min<std::size_t>(rank * block, n);
+    const std::size_t e = std::min(b + block, n);
+    T acc{};
+    bool any = false;
+    for (std::size_t i = b; i < e; ++i) {
+      acc = any ? op(std::move(acc), in[i]) : in[i];
+      any = true;
+    }
+    if (any) block_sums[rank] = std::move(acc);
+  });
+  // Sequential scan of block sums.
+  std::vector<T> block_offsets(nblocks);
+  T acc = init;
+  for (std::size_t bidx = 0; bidx < nblocks; ++bidx) {
+    block_offsets[bidx] = acc;
+    acc = op(std::move(acc), block_sums[bidx]);
+  }
+  // Pass 2: local scans seeded with block offsets.
+  pool.run([&](unsigned rank) {
+    progress_region guard(Policy::progress);
+    const std::size_t b = std::min<std::size_t>(rank * block, n);
+    const std::size_t e = std::min(b + block, n);
+    T local = block_offsets[rank];
+    for (std::size_t i = b; i < e; ++i) {
+      out[i] = local;
+      local = op(std::move(local), in[i]);
+    }
+  });
+}
+
+/// Inclusive scan built on the exclusive one: out[i] = in[0] op ... op in[i].
+template <class Policy, class T, class Op = std::plus<>>
+  requires is_execution_policy_v<Policy>
+void inclusive_scan(Policy policy, const T* in, T* out, std::size_t n, Op op = {}) {
+  if (n == 0) return;
+  exclusive_scan(policy, in, out, n, T{}, op);
+  for_each_index(policy, n, [&](std::size_t i) { out[i] = op(out[i], in[i]); });
+}
+
+// ---------------------------------------------------------------------------
+// Permutations (the paper's workaround for missing views::zip, Sec. V-A #2:
+// sort an auxiliary key/index buffer, then apply it as a permutation)
+// ---------------------------------------------------------------------------
+
+/// Returns `perm` such that keys[perm[0]] <= keys[perm[1]] <= ... (stable).
+template <class Policy, class Key>
+  requires is_execution_policy_v<Policy>
+std::vector<std::uint32_t> make_sort_permutation(Policy policy, const std::vector<Key>& keys) {
+  NBODY_REQUIRE(keys.size() < (std::size_t{1} << 32), "sort permutation: too many elements");
+  std::vector<std::pair<Key, std::uint32_t>> tagged(keys.size());
+  for_each_index(policy, keys.size(), [&](std::size_t i) {
+    tagged[i] = {keys[i], static_cast<std::uint32_t>(i)};
+  });
+  nbody::exec::sort(policy, tagged.begin(), tagged.end(),
+                    [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<std::uint32_t> perm(keys.size());
+  for_each_index(policy, keys.size(), [&](std::size_t i) { perm[i] = tagged[i].second; });
+  return perm;
+}
+
+/// Gathers `src` through `perm` into `dst`: dst[i] = src[perm[i]].
+template <class Policy, class T>
+  requires is_execution_policy_v<Policy>
+void apply_permutation(Policy policy, const std::vector<std::uint32_t>& perm,
+                       const std::vector<T>& src, std::vector<T>& dst) {
+  NBODY_REQUIRE(perm.size() == src.size(), "apply_permutation: size mismatch");
+  dst.resize(src.size());
+  for_each_index(policy, perm.size(), [&](std::size_t i) { dst[i] = src[perm[i]]; });
+}
+
+}  // namespace nbody::exec

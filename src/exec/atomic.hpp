@@ -1,0 +1,118 @@
+// Atomic building blocks used by the concurrent tree algorithms, matching the
+// operations the paper enumerates in Sec. II:
+//
+//   fetch_add(relaxed)        — bump allocation, multipole accumulation
+//   compare_exchange(acq/rel) — the Empty/Body/Locked leaf protocol
+//   acquire loads / release stores — publishing sub-divided children
+//
+// Helpers that synchronize (everything except the relaxed ones) call
+// note_vectorization_unsafe_op() so misuse under par_unseq is detected —
+// relaxed atomics are also formally vectorization-unsafe in ISO C++, but we
+// only flag the synchronizing ones because those are what actually deadlock
+// lockstep hardware; this mirrors the paper's practical BVH/Octree split.
+#pragma once
+
+#include <atomic>
+#include <type_traits>
+
+#include "exec/policy.hpp"
+
+namespace nbody::exec {
+
+/// Relaxed fetch-add for integral types (bump allocator, arrival counters
+/// when no ordering is needed).
+template <class T>
+  requires std::is_integral_v<T>
+inline T fetch_add_relaxed(T& loc, T v) noexcept {
+  return std::atomic_ref<T>(loc).fetch_add(v, std::memory_order_relaxed);
+}
+
+/// Relaxed fetch-add for floating-point accumulation (multipole reduction,
+/// Fig. 2). Implemented as a CAS loop: libstdc++'s atomic_ref<double>
+/// fetch_add is available, but the loop keeps the operation lock-free on
+/// every target and makes the memory order explicit.
+template <class T>
+  requires std::is_floating_point_v<T>
+inline T fetch_add_relaxed(T& loc, T v) noexcept {
+  std::atomic_ref<T> ref(loc);
+  T expected = ref.load(std::memory_order_relaxed);
+  while (!ref.compare_exchange_weak(expected, expected + v, std::memory_order_relaxed,
+                                    std::memory_order_relaxed)) {
+  }
+  return expected;
+}
+
+/// Sequentially-consistent fetch-adds — the C++ default ordering the paper
+/// explicitly tunes *away* from ("To enhance performance beyond atomics'
+/// default sequentially consistent memory ordering, acquire/release
+/// operations are used", Sec. IV-A-1). Kept for the memory-order ablation.
+template <class T>
+  requires std::is_integral_v<T>
+inline T fetch_add_seq_cst(T& loc, T v) noexcept {
+  note_vectorization_unsafe_op();
+  return std::atomic_ref<T>(loc).fetch_add(v, std::memory_order_seq_cst);
+}
+
+template <class T>
+  requires std::is_floating_point_v<T>
+inline T fetch_add_seq_cst(T& loc, T v) noexcept {
+  note_vectorization_unsafe_op();
+  std::atomic_ref<T> ref(loc);
+  T expected = ref.load(std::memory_order_seq_cst);
+  while (!ref.compare_exchange_weak(expected, expected + v, std::memory_order_seq_cst,
+                                    std::memory_order_seq_cst)) {
+  }
+  return expected;
+}
+
+/// Acquire+release fetch-add: the per-node arrival counter of the multipole
+/// tree reduction. The release makes this thread's accumulated moments
+/// visible; the acquire lets the last arriver observe its siblings' moments.
+template <class T>
+  requires std::is_integral_v<T>
+inline T fetch_add_acq_rel(T& loc, T v) noexcept {
+  note_vectorization_unsafe_op();
+  return std::atomic_ref<T>(loc).fetch_add(v, std::memory_order_acq_rel);
+}
+
+template <class T>
+inline T load_acquire(T& loc) noexcept {
+  note_vectorization_unsafe_op();
+  return std::atomic_ref<T>(loc).load(std::memory_order_acquire);
+}
+
+template <class T>
+inline T load_relaxed(T& loc) noexcept {
+  return std::atomic_ref<T>(loc).load(std::memory_order_relaxed);
+}
+
+template <class T>
+inline void store_release(T& loc, T v) noexcept {
+  note_vectorization_unsafe_op();
+  std::atomic_ref<T>(loc).store(v, std::memory_order_release);
+}
+
+template <class T>
+inline void store_relaxed(T& loc, T v) noexcept {
+  std::atomic_ref<T>(loc).store(v, std::memory_order_relaxed);
+}
+
+/// Single CAS attempt with acquire ordering on success — the "try lock"
+/// of the octree leaf protocol (Algorithm 5). Returns true on success;
+/// updates `expected` with the observed value on failure.
+template <class T>
+inline bool compare_exchange_acquire(T& loc, T& expected, T desired) noexcept {
+  note_vectorization_unsafe_op();
+  return std::atomic_ref<T>(loc).compare_exchange_weak(
+      expected, desired, std::memory_order_acquire, std::memory_order_acquire);
+}
+
+/// CAS with acq_rel ordering for lock-free list pushes (overflow leaves).
+template <class T>
+inline bool compare_exchange_acq_rel(T& loc, T& expected, T desired) noexcept {
+  note_vectorization_unsafe_op();
+  return std::atomic_ref<T>(loc).compare_exchange_weak(
+      expected, desired, std::memory_order_acq_rel, std::memory_order_acquire);
+}
+
+}  // namespace nbody::exec

@@ -1,0 +1,86 @@
+#include "exec/policy.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+#include "support/env.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace nbody::exec {
+
+namespace {
+
+thread_local forward_progress t_progress = forward_progress::concurrent;
+thread_local checkpoint_fn t_checkpoint = nullptr;
+thread_local void* t_checkpoint_ctx = nullptr;
+
+std::atomic<std::uint64_t> g_violations{0};
+
+bool strict_policy() {
+  static const bool strict = support::env_flag("NBODY_STRICT_POLICY");
+  return strict;
+}
+
+}  // namespace
+
+forward_progress current_progress() noexcept { return t_progress; }
+
+progress_region::progress_region(forward_progress p) noexcept : saved_(t_progress) {
+  t_progress = p;
+}
+
+progress_region::~progress_region() { t_progress = saved_; }
+
+void note_vectorization_unsafe_op() noexcept {
+  if (t_progress != forward_progress::weakly_parallel) return;
+  g_violations.fetch_add(1, std::memory_order_relaxed);
+  if (strict_policy()) {
+    std::fprintf(stderr,
+                 "nbody: vectorization-unsafe operation (lock or synchronizing atomic) "
+                 "executed inside a par_unseq region; this is undefined behaviour per "
+                 "[algorithms.parallel.defns]\n");
+    std::abort();
+  }
+}
+
+std::uint64_t vectorization_unsafe_violations() noexcept {
+  return g_violations.load(std::memory_order_relaxed);
+}
+
+void reset_vectorization_unsafe_violations() noexcept {
+  g_violations.store(0, std::memory_order_relaxed);
+}
+
+void set_checkpoint_hook(checkpoint_fn fn, void* ctx) noexcept {
+  t_checkpoint = fn;
+  t_checkpoint_ctx = ctx;
+}
+
+void checkpoint() noexcept {
+  if (t_checkpoint != nullptr) t_checkpoint(t_checkpoint_ctx, /*waiting=*/false);
+}
+
+void checkpoint_waiting() noexcept {
+  if (t_checkpoint != nullptr) t_checkpoint(t_checkpoint_ctx, /*waiting=*/true);
+}
+
+void spin_wait::pause() noexcept {
+  checkpoint_waiting();
+  if (count_ < kSpinLimit) {
+    ++count_;
+#if defined(__x86_64__) || defined(__i386__)
+    _mm_pause();
+#elif defined(__aarch64__)
+    asm volatile("yield" ::: "memory");
+#endif
+  } else {
+    std::this_thread::yield();
+  }
+}
+
+}  // namespace nbody::exec

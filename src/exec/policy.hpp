@@ -1,0 +1,122 @@
+// Execution policies with explicit forward-progress semantics.
+//
+// This is the reproduction's stand-in for the ISO C++ execution policies the
+// paper builds on (std::execution::seq/par/par_unseq). Each policy carries
+// its forward-progress guarantee as a compile-time tag:
+//
+//   seq        — no parallelism; runs on the calling thread.
+//   par        — *parallel forward progress*: a thread that has started is
+//                eventually rescheduled, so blocking synchronization
+//                (locks, acquire/release atomics) is allowed. This is what
+//                the Concurrent Octree requires (paper Sec. IV-A) and what
+//                GPUs provide only with Independent Thread Scheduling.
+//   par_unseq  — *weakly parallel forward progress*: iterations may be
+//                interleaved on one thread of execution (vectorized or
+//                lockstep-scheduled), so vectorization-unsafe operations —
+//                locks and synchronizing atomics — are forbidden
+//                ([algorithms.parallel.defns]).
+//
+// The library *enforces* the vectorization-unsafety rule at runtime: every
+// lock/synchronizing-atomic helper calls `note_vectorization_unsafe_op()`,
+// which records a violation when the calling thread is inside a par_unseq
+// region. Tests assert on the counter; NBODY_STRICT_POLICY=1 aborts instead.
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+
+namespace nbody::exec {
+
+enum class forward_progress : std::uint8_t {
+  concurrent,       // full OS-thread guarantee (outside any parallel region)
+  parallel,         // par: blocked threads are eventually rescheduled
+  weakly_parallel,  // par_unseq: no independent progress guarantee
+};
+
+struct sequenced_policy {
+  static constexpr forward_progress progress = forward_progress::concurrent;
+  static constexpr bool is_parallel = false;
+  static constexpr const char* name = "seq";
+};
+
+struct parallel_policy {
+  static constexpr forward_progress progress = forward_progress::parallel;
+  static constexpr bool is_parallel = true;
+  static constexpr const char* name = "par";
+};
+
+struct parallel_unsequenced_policy {
+  static constexpr forward_progress progress = forward_progress::weakly_parallel;
+  static constexpr bool is_parallel = true;
+  static constexpr const char* name = "par_unseq";
+};
+
+inline constexpr sequenced_policy seq{};
+inline constexpr parallel_policy par{};
+inline constexpr parallel_unsequenced_policy par_unseq{};
+
+template <class P>
+inline constexpr bool is_execution_policy_v =
+    std::is_same_v<P, sequenced_policy> || std::is_same_v<P, parallel_policy> ||
+    std::is_same_v<P, parallel_unsequenced_policy>;
+
+/// Concept for algorithms that are only well-defined under policies granting
+/// at least parallel forward progress (the octree's starvation-free build).
+template <class P>
+concept StarvationFreeCapable =
+    is_execution_policy_v<P> && (P::progress != forward_progress::weakly_parallel);
+
+/// Forward-progress guarantee of the region the calling thread currently
+/// executes in. `concurrent` outside any parallel algorithm.
+forward_progress current_progress() noexcept;
+
+/// RAII guard installing a region's progress guarantee on this thread.
+class progress_region {
+ public:
+  explicit progress_region(forward_progress p) noexcept;
+  progress_region(const progress_region&) = delete;
+  progress_region& operator=(const progress_region&) = delete;
+  ~progress_region();
+
+ private:
+  forward_progress saved_;
+};
+
+/// Called by every lock / synchronizing-atomic helper in the library.
+/// Under weakly_parallel progress this is a correctness violation
+/// ([algorithms.parallel.defns]): it bumps a global counter, and aborts when
+/// NBODY_STRICT_POLICY=1.
+void note_vectorization_unsafe_op() noexcept;
+
+/// Number of vectorization-unsafe operations observed inside par_unseq
+/// regions since start / last reset. Tests use this to prove the octree
+/// build genuinely relies on operations par_unseq forbids.
+std::uint64_t vectorization_unsafe_violations() noexcept;
+void reset_vectorization_unsafe_violations() noexcept;
+
+/// Cooperative checkpoints. No-ops under real threads; the progress
+/// simulator (src/progress) installs a per-thread hook here so fibers can be
+/// descheduled at these points. `waiting` distinguishes a checkpoint issued
+/// from a spin-wait (the thread cannot progress until another thread acts)
+/// from one issued at an ordinary instruction boundary — the weakly-parallel
+/// scheduler exploits exactly that difference to starve waiters, the way
+/// lockstep SIMT hardware without ITS does.
+using checkpoint_fn = void (*)(void*, bool waiting);
+void set_checkpoint_hook(checkpoint_fn fn, void* ctx) noexcept;
+void checkpoint() noexcept;          // ordinary progress point
+void checkpoint_waiting() noexcept;  // inside a spin-wait
+
+/// Adaptive busy-wait helper used by every spin loop in the library:
+/// hardware pause first, OS yield after `kSpinLimit` iterations, and a
+/// cooperative checkpoint() every iteration so the progress simulator can
+/// interleave fibers.
+class spin_wait {
+ public:
+  void pause() noexcept;
+
+ private:
+  static constexpr int kSpinLimit = 64;
+  int count_ = 0;
+};
+
+}  // namespace nbody::exec

@@ -1,0 +1,114 @@
+#include "exec/thread_pool.hpp"
+
+#include "support/assert.hpp"
+#include "support/env.hpp"
+
+namespace nbody::exec {
+
+namespace {
+thread_local bool t_in_region = false;
+
+struct region_flag_guard {
+  region_flag_guard() { t_in_region = true; }
+  ~region_flag_guard() { t_in_region = false; }
+};
+}  // namespace
+
+thread_pool::thread_pool(unsigned concurrency) : concurrency_(concurrency) {
+  NBODY_REQUIRE(concurrency >= 1, "thread_pool: concurrency must be >= 1");
+  workers_.reserve(concurrency - 1);
+  for (unsigned r = 1; r < concurrency; ++r) {
+    workers_.emplace_back([this, r] { worker_main(r); });
+  }
+}
+
+thread_pool::~thread_pool() {
+  {
+    std::lock_guard lock(mutex_);
+    shutdown_ = true;
+  }
+  start_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void thread_pool::run(support::function_ref<void(unsigned)> f) {
+  if (concurrency_ == 1 || t_in_region) {
+    // Inline (or nested) execution: run every rank sequentially. Nested
+    // parallelism degrades gracefully instead of deadlocking the team.
+    region_flag_guard guard;
+    for (unsigned r = 0; r < concurrency_; ++r) f(r);
+    return;
+  }
+
+  {
+    std::lock_guard lock(mutex_);
+    job_ = &f;
+    remaining_ = concurrency_ - 1;
+    ++epoch_;
+  }
+  start_cv_.notify_all();
+
+  {
+    region_flag_guard guard;
+    try {
+      f(0);
+    } catch (...) {
+      std::lock_guard lock(error_mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+  }
+
+  {
+    std::unique_lock lock(mutex_);
+    done_cv_.wait(lock, [this] { return remaining_ == 0; });
+    job_ = nullptr;
+  }
+
+  std::exception_ptr err;
+  {
+    std::lock_guard lock(error_mutex_);
+    err = first_error_;
+    first_error_ = nullptr;
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+void thread_pool::worker_main(unsigned rank) {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    support::function_ref<void(unsigned)>* job = nullptr;
+    {
+      std::unique_lock lock(mutex_);
+      start_cv_.wait(lock, [&] { return shutdown_ || epoch_ != seen_epoch; });
+      if (shutdown_) return;
+      seen_epoch = epoch_;
+      job = job_;
+    }
+    {
+      region_flag_guard guard;
+      try {
+        (*job)(rank);
+      } catch (...) {
+        std::lock_guard lock(error_mutex_);
+        if (!first_error_) first_error_ = std::current_exception();
+      }
+    }
+    {
+      std::lock_guard lock(mutex_);
+      if (--remaining_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+thread_pool& thread_pool::global() {
+  static thread_pool pool([] {
+    const std::size_t hw = std::thread::hardware_concurrency();
+    const std::size_t n = support::env_size("NBODY_THREADS", hw == 0 ? 1 : hw);
+    return static_cast<unsigned>(n == 0 ? 1 : n);
+  }());
+  return pool;
+}
+
+bool thread_pool::in_parallel_region() noexcept { return t_in_region; }
+
+}  // namespace nbody::exec

@@ -1,0 +1,69 @@
+// Persistent fork-join thread pool backing the par / par_unseq policies.
+//
+// This is the reproduction's substitute for the vendor stdpar runtimes the
+// paper offloads to (NVC++, ROCm, oneAPI, AdaptiveCpp — see DESIGN.md §1):
+// a fixed team of workers plus the calling thread execute a region
+// `f(rank)` for rank in [0, concurrency). Regions are dispatched with an
+// epoch counter + condition variable; exceptions propagate to the caller.
+//
+// Nested regions (a worker invoking run() again) degrade to sequential
+// execution of all ranks on the calling thread — safe, and sufficient for
+// this library, whose algorithms drive the pool from the outer thread only.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "support/function_ref.hpp"
+
+namespace nbody::exec {
+
+class thread_pool {
+ public:
+  /// Creates a pool with `concurrency` participants total: concurrency-1
+  /// worker threads plus the caller of run(). concurrency == 1 means no
+  /// workers (run() executes inline). concurrency == 0 is rejected.
+  explicit thread_pool(unsigned concurrency);
+  ~thread_pool();
+
+  thread_pool(const thread_pool&) = delete;
+  thread_pool& operator=(const thread_pool&) = delete;
+
+  /// Total participants (workers + caller).
+  [[nodiscard]] unsigned concurrency() const noexcept { return concurrency_; }
+
+  /// Executes f(rank) for every rank in [0, concurrency); blocks until all
+  /// ranks finish. The caller runs rank 0. The first exception thrown by any
+  /// rank is rethrown here after the region completes.
+  void run(support::function_ref<void(unsigned)> f);
+
+  /// Process-wide pool; size from NBODY_THREADS (default:
+  /// hardware_concurrency). Constructed on first use.
+  static thread_pool& global();
+
+  /// True while the calling thread is inside a run() region of any pool.
+  static bool in_parallel_region() noexcept;
+
+ private:
+  void worker_main(unsigned rank);
+
+  unsigned concurrency_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t epoch_ = 0;          // incremented per region
+  unsigned remaining_ = 0;           // workers yet to finish current region
+  bool shutdown_ = false;
+  support::function_ref<void(unsigned)>* job_ = nullptr;
+
+  std::mutex error_mutex_;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace nbody::exec

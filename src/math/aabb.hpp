@@ -1,0 +1,113 @@
+// Axis-aligned bounding box.
+//
+// The default-constructed box is *empty* (min = +inf sentinel,
+// max = -inf sentinel) and acts as the identity of `merged`, which is the
+// monoid the paper's Algorithm 3 reduces with. Tree nodes covering no bodies
+// keep the empty box and are skipped by traversals.
+#pragma once
+
+#include "math/vec.hpp"
+#include "support/assert.hpp"
+
+namespace nbody::math {
+
+template <class T, std::size_t D>
+struct aabb {
+  vec<T, D> lo = vec<T, D>::max_sentinel();
+  vec<T, D> hi = vec<T, D>::lowest_sentinel();
+
+  /// Box containing the single point `p`.
+  static constexpr aabb of_point(const vec<T, D>& p) { return {p, p}; }
+
+  /// Cube centered at `c` with half-extent `h` in every axis.
+  static constexpr aabb cube(const vec<T, D>& c, T h) {
+    return {c - vec<T, D>::splat(h), c + vec<T, D>::splat(h)};
+  }
+
+  [[nodiscard]] constexpr bool empty() const {
+    for (std::size_t i = 0; i < D; ++i)
+      if (lo[i] > hi[i]) return true;
+    return false;
+  }
+
+  [[nodiscard]] constexpr bool contains(const vec<T, D>& p) const {
+    for (std::size_t i = 0; i < D; ++i)
+      if (p[i] < lo[i] || p[i] > hi[i]) return false;
+    return true;
+  }
+
+  /// True when `other` lies entirely inside this box.
+  [[nodiscard]] constexpr bool contains(const aabb& other) const {
+    return other.empty() || (contains(other.lo) && contains(other.hi));
+  }
+
+  [[nodiscard]] constexpr vec<T, D> center() const {
+    return (lo + hi) * T(0.5);
+  }
+
+  [[nodiscard]] constexpr vec<T, D> extent() const { return hi - lo; }
+
+  /// Longest side — the `s` in the Barnes-Hut acceptance criterion s/d < θ.
+  [[nodiscard]] constexpr T longest_side() const {
+    return empty() ? T(0) : max_component(extent());
+  }
+
+  /// Smallest enclosing box of this and `other` (monoid operation).
+  [[nodiscard]] constexpr aabb merged(const aabb& other) const {
+    return {min(lo, other.lo), max(hi, other.hi)};
+  }
+
+  [[nodiscard]] constexpr aabb merged(const vec<T, D>& p) const {
+    return {min(lo, p), max(hi, p)};
+  }
+
+  /// Index in [0, 2^D) of the orthant of `center()` containing `p`,
+  /// bit d set when p[d] >= center[d]. This is the Morton child order the
+  /// paper's octree uses (Sec. IV-A).
+  [[nodiscard]] constexpr unsigned orthant(const vec<T, D>& p) const {
+    const vec<T, D> c = center();
+    unsigned q = 0;
+    for (std::size_t i = 0; i < D; ++i)
+      if (p[i] >= c[i]) q |= 1u << i;
+    return q;
+  }
+
+  /// The sub-box for orthant `q` of an isotropic 2^D subdivision.
+  [[nodiscard]] constexpr aabb child_box(unsigned q) const {
+    NBODY_DEBUG_ASSERT(q < (1u << D));
+    const vec<T, D> c = center();
+    aabb r;
+    for (std::size_t i = 0; i < D; ++i) {
+      if (q & (1u << i)) {
+        r.lo[i] = c[i];
+        r.hi[i] = hi[i];
+      } else {
+        r.lo[i] = lo[i];
+        r.hi[i] = c[i];
+      }
+    }
+    return r;
+  }
+
+  /// Expands a possibly degenerate box into a non-degenerate cube: the
+  /// octree requires a root with strictly positive side length even when all
+  /// bodies coincide or N == 1.
+  [[nodiscard]] constexpr aabb inflated_cube(T min_half_extent = T(1)) const {
+    if (empty()) return cube(vec<T, D>::zero(), min_half_extent);
+    T h = longest_side() * T(0.5);
+    if (!(h > T(0))) h = min_half_extent;
+    // Grow slightly so bodies on the hi face stay strictly inside after
+    // floating-point rounding of repeated midpoint subdivision.
+    h *= T(1) + T(1e-6);
+    return cube(center(), h);
+  }
+
+  friend constexpr bool operator==(const aabb& a, const aabb& b) {
+    return a.lo == b.lo && a.hi == b.hi;
+  }
+};
+
+using aabb2d = aabb<double, 2>;
+using aabb3d = aabb<double, 3>;
+
+}  // namespace nbody::math

@@ -1,0 +1,40 @@
+// The gravitational pair kernel (paper Eq. 1) with Plummer softening.
+//
+// Softening replaces 1/r^3 with 1/(r^2 + eps^2)^(3/2); eps = 0 recovers the
+// exact Newtonian kernel. All force-calculation strategies (all-pairs,
+// octree, BVH) call this one function so accuracy comparisons isolate the
+// approximation, not the kernel.
+#pragma once
+
+#include <cmath>
+
+#include "math/vec.hpp"
+
+namespace nbody::math {
+
+/// Acceleration contribution on a body at `xi` from a point mass `mj` at
+/// `xj`:  G * mj * (xj - xi) / (|xj - xi|^2 + eps^2)^(3/2).
+///
+/// Returns zero when the two positions coincide and eps == 0 (self-
+/// interaction guard), matching the j != i exclusion in Eq. 1.
+template <class T, std::size_t D>
+inline vec<T, D> gravity_accel(const vec<T, D>& xi, const vec<T, D>& xj, T mj, T G,
+                               T eps2) {
+  const vec<T, D> d = xj - xi;
+  const T r2 = norm2(d) + eps2;
+  if (r2 <= T(0)) return vec<T, D>::zero();
+  const T inv_r = T(1) / std::sqrt(r2);
+  const T inv_r3 = inv_r * inv_r * inv_r;
+  return d * (G * mj * inv_r3);
+}
+
+/// Pair potential energy term: -G * mi * mj / sqrt(|xi - xj|^2 + eps^2).
+template <class T, std::size_t D>
+inline T gravity_potential(const vec<T, D>& xi, const vec<T, D>& xj, T mi, T mj, T G,
+                           T eps2) {
+  const T r2 = norm2(xj - xi) + eps2;
+  if (r2 <= T(0)) return T(0);
+  return -G * mi * mj / std::sqrt(r2);
+}
+
+}  // namespace nbody::math

@@ -1,0 +1,115 @@
+// Quadrupole moments — the paper's multipole extension hook.
+//
+// Sec. IV-A-3 uses monopoles (mass + center of mass) "for exposition" and
+// notes that "the algorithms described here extend to multipoles". This
+// header supplies the next order: the traceless quadrupole tensor
+//
+//     Q_ab = sum_k m_k (3 d_a d_b - |d|^2 delta_ab),   d = x_k - com,
+//
+// its parallel-axis translation (for combining children about a parent's
+// center of mass), and the far-field acceleration
+//
+//     a = G [ Q r / r^5 - (5/2) (r^T Q r) r / r^7 ],    r = com - x_i,
+//
+// which both tree strategies add on top of the monopole term when
+// SimConfig::quadrupole is enabled. The 2-D build uses the same formulas
+// with the third coordinate identically zero (the force kernel is the 3-D
+// 1/r^2 law evaluated in-plane, so the Green's function is unchanged).
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstddef>
+
+#include "math/vec.hpp"
+
+namespace nbody::math {
+
+/// Symmetric DxD tensor stored as the upper triangle, row-major:
+/// D=3 -> (xx, xy, xz, yy, yz, zz); D=2 -> (xx, xy, yy).
+template <class T, std::size_t D>
+struct SymTensor {
+  static constexpr std::size_t size = D * (D + 1) / 2;
+  std::array<T, size> q{};
+
+  static constexpr std::size_t index(std::size_t a, std::size_t b) {
+    if (a > b) {
+      const std::size_t t = a;
+      a = b;
+      b = t;
+    }
+    // Offset of row a in the packed upper triangle + column offset.
+    return a * D - a * (a - 1) / 2 + (b - a);
+  }
+
+  constexpr T operator()(std::size_t a, std::size_t b) const { return q[index(a, b)]; }
+  constexpr T& at(std::size_t a, std::size_t b) { return q[index(a, b)]; }
+
+  constexpr SymTensor& operator+=(const SymTensor& o) {
+    for (std::size_t i = 0; i < size; ++i) q[i] += o.q[i];
+    return *this;
+  }
+
+  friend constexpr SymTensor operator+(SymTensor a, const SymTensor& b) { return a += b; }
+
+  /// Matrix-vector product.
+  [[nodiscard]] constexpr vec<T, D> mul(const vec<T, D>& v) const {
+    vec<T, D> r = vec<T, D>::zero();
+    for (std::size_t a = 0; a < D; ++a)
+      for (std::size_t b = 0; b < D; ++b) r[a] += (*this)(a, b) * v[b];
+    return r;
+  }
+
+  /// Quadratic form v^T Q v.
+  [[nodiscard]] constexpr T quad_form(const vec<T, D>& v) const {
+    return dot(v, mul(v));
+  }
+
+  [[nodiscard]] constexpr T trace() const {
+    T t{};
+    for (std::size_t a = 0; a < D; ++a) t += (*this)(a, a);
+    return t;
+  }
+};
+
+/// Traceless point-mass quadrupole contribution m (3 d d^T - |d|^2 I).
+/// Both the leaf accumulation (d = body - leaf com) and the parallel-axis
+/// shift (d = child com - parent com, m = child mass) use this one kernel —
+/// the parallel-axis theorem for the traceless quadrupole is exactly
+/// Q_parent = sum_children [ Q_child + m_child (3 s s^T - |s|^2 I) ].
+template <class T, std::size_t D>
+constexpr SymTensor<T, D> point_quadrupole(T m, const vec<T, D>& d) {
+  SymTensor<T, D> out;
+  const T d2 = norm2(d);
+  for (std::size_t a = 0; a < D; ++a) {
+    for (std::size_t b = a; b < D; ++b) {
+      T v = T(3) * d[a] * d[b];
+      if (a == b) v -= d2;
+      out.at(a, b) = m * v;
+    }
+  }
+  return out;
+}
+
+/// Far-field acceleration of the traceless quadrupole Q located at `com`,
+/// evaluated at `xi` (to be added to the monopole gravity_accel term).
+/// With r = xi - com (field point relative to the source, the convention
+/// the potential phi = -G (r^T Q r)/(2 r^5) is differentiated in):
+///   a = -grad phi = G [ Q r / r^5 - (5/2) (r^T Q r) r / r^7 ].
+/// Softened consistently with the monopole kernel via r^2 -> r^2 + eps^2.
+template <class T, std::size_t D>
+inline vec<T, D> quadrupole_accel(const vec<T, D>& xi, const vec<T, D>& com,
+                                  const SymTensor<T, D>& Q, T G, T eps2) {
+  const vec<T, D> r = xi - com;
+  const T r2 = norm2(r) + eps2;
+  if (r2 <= T(0)) return vec<T, D>::zero();
+  const T inv_r2 = T(1) / r2;
+  const T inv_r = std::sqrt(inv_r2);
+  const T inv_r5 = inv_r2 * inv_r2 * inv_r;
+  const T inv_r7 = inv_r5 * inv_r2;
+  const vec<T, D> Qr = Q.mul(r);
+  const T rQr = dot(r, Qr);
+  return (Qr * inv_r5 - r * (T(2.5) * rQr * inv_r7)) * G;
+}
+
+}  // namespace nbody::math

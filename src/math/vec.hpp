@@ -1,0 +1,141 @@
+// Fixed-dimension vector type used throughout the library.
+//
+// Dimension is a template parameter: the paper's exposition uses a 2-D
+// quadtree (Fig. 1) while the evaluation is 3-D; both are first-class here
+// (D = 2 builds quadtrees, D = 3 builds octrees, and the Barnes-Hut-SNE
+// example runs in 2-D).
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <ostream>
+
+namespace nbody::math {
+
+template <class T, std::size_t D>
+struct vec {
+  static_assert(D >= 1 && D <= 4, "nbody::math::vec supports 1..4 dimensions");
+  using value_type = T;
+  static constexpr std::size_t dim = D;
+
+  std::array<T, D> v{};
+
+  constexpr T& operator[](std::size_t i) { return v[i]; }
+  constexpr const T& operator[](std::size_t i) const { return v[i]; }
+
+  /// Vector with all components equal to `s`.
+  static constexpr vec splat(T s) {
+    vec r;
+    for (std::size_t i = 0; i < D; ++i) r.v[i] = s;
+    return r;
+  }
+
+  static constexpr vec zero() { return splat(T(0)); }
+
+  /// Identity for component-wise min reductions.
+  static constexpr vec max_sentinel() { return splat(std::numeric_limits<T>::max()); }
+  /// Identity for component-wise max reductions.
+  static constexpr vec lowest_sentinel() { return splat(std::numeric_limits<T>::lowest()); }
+
+  constexpr vec& operator+=(const vec& o) {
+    for (std::size_t i = 0; i < D; ++i) v[i] += o.v[i];
+    return *this;
+  }
+  constexpr vec& operator-=(const vec& o) {
+    for (std::size_t i = 0; i < D; ++i) v[i] -= o.v[i];
+    return *this;
+  }
+  constexpr vec& operator*=(T s) {
+    for (std::size_t i = 0; i < D; ++i) v[i] *= s;
+    return *this;
+  }
+  constexpr vec& operator/=(T s) {
+    for (std::size_t i = 0; i < D; ++i) v[i] /= s;
+    return *this;
+  }
+
+  friend constexpr vec operator+(vec a, const vec& b) { return a += b; }
+  friend constexpr vec operator-(vec a, const vec& b) { return a -= b; }
+  friend constexpr vec operator*(vec a, T s) { return a *= s; }
+  friend constexpr vec operator*(T s, vec a) { return a *= s; }
+  friend constexpr vec operator/(vec a, T s) { return a /= s; }
+  friend constexpr vec operator-(vec a) {
+    for (std::size_t i = 0; i < D; ++i) a.v[i] = -a.v[i];
+    return a;
+  }
+
+  friend constexpr bool operator==(const vec& a, const vec& b) { return a.v == b.v; }
+  friend constexpr bool operator!=(const vec& a, const vec& b) { return !(a == b); }
+};
+
+template <class T, std::size_t D>
+constexpr T dot(const vec<T, D>& a, const vec<T, D>& b) {
+  T s{};
+  for (std::size_t i = 0; i < D; ++i) s += a[i] * b[i];
+  return s;
+}
+
+template <class T, std::size_t D>
+constexpr T norm2(const vec<T, D>& a) {
+  return dot(a, a);
+}
+
+template <class T, std::size_t D>
+T norm(const vec<T, D>& a) {
+  return std::sqrt(norm2(a));
+}
+
+/// 3-D cross product.
+template <class T>
+constexpr vec<T, 3> cross(const vec<T, 3>& a, const vec<T, 3>& b) {
+  return {{a[1] * b[2] - a[2] * b[1], a[2] * b[0] - a[0] * b[2],
+           a[0] * b[1] - a[1] * b[0]}};
+}
+
+/// z-component of the cross product of two in-plane vectors (the scalar
+/// angular momentum of 2-D systems).
+template <class T>
+constexpr T cross_z(const vec<T, 2>& a, const vec<T, 2>& b) {
+  return a[0] * b[1] - a[1] * b[0];
+}
+
+/// Component-wise minimum — the reduction operator of the paper's
+/// CalculateBoundingBox step (Algorithm 3).
+template <class T, std::size_t D>
+constexpr vec<T, D> min(const vec<T, D>& a, const vec<T, D>& b) {
+  vec<T, D> r;
+  for (std::size_t i = 0; i < D; ++i) r[i] = a[i] < b[i] ? a[i] : b[i];
+  return r;
+}
+
+/// Component-wise maximum.
+template <class T, std::size_t D>
+constexpr vec<T, D> max(const vec<T, D>& a, const vec<T, D>& b) {
+  vec<T, D> r;
+  for (std::size_t i = 0; i < D; ++i) r[i] = a[i] > b[i] ? a[i] : b[i];
+  return r;
+}
+
+/// Largest component.
+template <class T, std::size_t D>
+constexpr T max_component(const vec<T, D>& a) {
+  T m = a[0];
+  for (std::size_t i = 1; i < D; ++i) m = a[i] > m ? a[i] : m;
+  return m;
+}
+
+template <class T, std::size_t D>
+std::ostream& operator<<(std::ostream& os, const vec<T, D>& a) {
+  os << '(';
+  for (std::size_t i = 0; i < D; ++i) os << (i ? "," : "") << a[i];
+  return os << ')';
+}
+
+using vec2d = vec<double, 2>;
+using vec3d = vec<double, 3>;
+using vec2f = vec<float, 2>;
+using vec3f = vec<float, 3>;
+
+}  // namespace nbody::math

@@ -1,0 +1,578 @@
+// Concurrent Octree — the paper's first Barnes-Hut strategy (Sec. IV-A).
+//
+// Data structure (paper Fig. 1): a flat node pool where each node owns one
+// 32-bit slot `child_[node]` encoding the node's state:
+//
+//     kEmpty              — empty leaf
+//     kLocked             — leaf under subdivision (Algorithm 5's lock)
+//     kBodyFlag | body    — leaf holding `body` (chains via next_in_leaf_
+//                           at the maximum depth)
+//     first-child offset  — internal node; its 2^D children live at
+//                           [offset, offset + 2^D) in Morton order
+//
+// plus one parent offset per sibling group (4 bytes per 2^D nodes), enabling
+// the leaf-to-root multipole reduction and the backward steps of the
+// stackless force DFS. Nodes come from a bump allocator: a relaxed atomic
+// fetch_add over a pre-reserved pool; exhaustion aborts the attempt and the
+// build retries with a doubled pool (the paper sizes the pool from an
+// isotropic-subdivision estimate; the retry makes that estimate safe).
+//
+// The three parallel algorithms:
+//   build()              — Algorithm 4: per-body root-to-leaf descent with
+//                          the Empty/Body/Locked CAS protocol. Starvation-
+//                          free; REQUIRES parallel forward progress, which
+//                          the StarvationFreeCapable constraint enforces at
+//                          compile time (this is why the paper's Octree
+//                          cannot run on GPUs without ITS).
+//   compute_multipoles() — Fig. 2: one thread per node; leaves push
+//                          mass/center-of-mass up with relaxed atomic adds;
+//                          an acq_rel arrival counter elects the last
+//                          arriver to recurse toward the root. Wait-free.
+//   accelerations()      — Fig. 3: per-body stackless DFS using the
+//                          child-offset monotonicity + parent offsets; no
+//                          synchronization, safe under par_unseq.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/system.hpp"
+#include "exec/algorithms.hpp"
+#include "exec/atomic.hpp"
+#include "math/aabb.hpp"
+#include "math/gravity.hpp"
+#include "math/multipole.hpp"
+#include "support/assert.hpp"
+
+namespace nbody::octree {
+
+template <class T, std::size_t D>
+class ConcurrentOctree {
+ public:
+  using vec_t = math::vec<T, D>;
+  using box_t = math::aabb<T, D>;
+
+  static constexpr std::uint32_t K = 1u << D;  // children per node
+  static constexpr std::uint32_t kEmpty = 0xFFFFFFFFu;
+  static constexpr std::uint32_t kLocked = 0xFFFFFFFEu;
+  static constexpr std::uint32_t kBodyFlag = 0x80000000u;
+  static constexpr std::uint32_t kChainEnd = 0xFFFFFFFFu;
+  // Beyond this depth sibling boxes collapse below FP resolution; coincident
+  // bodies chain in a list leaf instead of subdividing forever.
+  static constexpr unsigned kMaxDepth = D == 2 ? 48 : 36;
+
+  struct Params {
+    std::uint32_t min_capacity = 512;  // nodes
+    double capacity_factor = 4.0;      // nodes per body, first attempt
+  };
+
+  /// Memory-ordering discipline of the multipole reduction's atomics.
+  /// `tuned` is the paper's choice (relaxed accumulation + acq_rel arrival
+  /// counter); `seq_cst` is the C++ default the paper tunes away from —
+  /// kept selectable for the ablation bench.
+  enum class AtomicDiscipline : std::uint8_t { tuned, seq_cst };
+
+  ConcurrentOctree() = default;
+  explicit ConcurrentOctree(Params params) : params_(params) {}
+
+  // -- slot classification ------------------------------------------------
+  static constexpr bool is_internal(std::uint32_t v) { return v < kBodyFlag; }
+  static constexpr bool is_body(std::uint32_t v) { return v >= kBodyFlag && v < kLocked; }
+  static constexpr bool is_empty(std::uint32_t v) { return v == kEmpty; }
+  static constexpr std::uint32_t body_of(std::uint32_t v) { return v & ~kBodyFlag; }
+  static constexpr std::uint32_t group_of(std::uint32_t node) { return (node - 1) / K; }
+
+  // -- BuildTree (Algorithm 4) ---------------------------------------------
+
+  /// Inserts all bodies into a fresh tree over `root_box` in parallel.
+  /// Starvation-free: rejects par_unseq at compile time.
+  template <exec::StarvationFreeCapable Policy>
+  void build(Policy policy, const std::vector<vec_t>& x, const box_t& root_box) {
+    NBODY_REQUIRE(!root_box.empty(), "octree: empty root box");
+    NBODY_REQUIRE(x.size() < kBodyFlag - 1, "octree: too many bodies");
+    root_box_ = root_box;
+    std::uint32_t capacity = initial_capacity(x.size());
+    for (;;) {
+      reset(capacity, x.size());
+      exec::for_each_index(policy, x.size(), [&](std::size_t b) {
+        insert_one(static_cast<std::uint32_t>(b), x);
+      });
+      if (!exec::load_relaxed(overflow_)) break;
+      capacity *= 2;
+    }
+  }
+
+  /// One root-to-leaf insertion (the body of Algorithm 4's parallel loop).
+  /// Public so the forward-progress simulator can drive insertions as
+  /// lanes. Returns false when the node pool overflowed (build() retries).
+  bool insert_one(std::uint32_t b, const std::vector<vec_t>& x) {
+    box_t box = root_box_;
+    std::uint32_t index = 0;
+    unsigned depth = 0;
+    exec::spin_wait backoff;
+    const vec_t pos = x[b];
+    for (;;) {
+      if (exec::load_relaxed(overflow_)) return false;
+      const std::uint32_t next = exec::load_acquire(child_[index]);
+      if (is_internal(next)) {
+        // Forward step: descend into the sibling covering b.
+        const unsigned q = box.orthant(pos);
+        index = next + q;
+        box = box.child_box(q);
+        ++depth;
+        continue;
+      }
+      if (next == kLocked) {
+        backoff.pause();  // another thread is subdividing this node
+        continue;
+      }
+      if (is_empty(next)) {
+        // Claim the empty leaf for b. The release on success publishes the
+        // chain terminator written below.
+        exec::store_relaxed(next_in_leaf_[b], kChainEnd);
+        std::uint32_t expected = kEmpty;
+        if (exec::compare_exchange_acq_rel(child_[index], expected, kBodyFlag | b))
+          return true;
+        continue;  // lost the race; re-read the slot
+      }
+      // Body-containing leaf.
+      if (depth >= kMaxDepth) {
+        // List leaf: push b onto the chain headed by the resident body.
+        exec::store_relaxed(next_in_leaf_[b], body_of(next));
+        std::uint32_t expected = next;
+        if (exec::compare_exchange_acq_rel(child_[index], expected, kBodyFlag | b))
+          return true;
+        continue;
+      }
+      // Subdivide (Algorithm 5): lock, allocate children, push the resident
+      // body down, publish, and retry the descent into the new children.
+      std::uint32_t expected = next;
+      if (!exec::compare_exchange_acquire(child_[index], expected, kLocked)) {
+        backoff.pause();
+        continue;
+      }
+      // ---- critical section ----
+      // Cooperative yield point: on lockstep (non-ITS) scheduling this is
+      // where the lock holder gets suspended while siblings spin — the
+      // mechanism the progress simulator demonstrates.
+      exec::checkpoint();
+      const std::uint32_t first = exec::fetch_add_relaxed(allocated_, K);
+      if (first + K > capacity_) {
+        exec::store_relaxed(overflow_, std::uint8_t{1});
+        exec::store_release(child_[index], next);  // restore and abort
+        return false;
+      }
+      exec::store_relaxed(parent_[group_of(first)], index);
+      const std::uint32_t resident = body_of(next);
+      const unsigned rq = box.orthant(x[resident]);
+      exec::store_relaxed(child_[first + rq], kBodyFlag | resident);
+      exec::store_release(child_[index], first);  // unlock + publish children
+      // ---- end critical section ----
+      // Loop continues: the acquire load now sees an internal node.
+    }
+  }
+
+  // -- CalculateMultipoles (Fig. 2) -----------------------------------------
+
+  /// Parallel leaf-to-root tree reduction of mass and center of mass.
+  /// Wait-free but uses synchronizing atomics: requires par (or seq).
+  template <exec::StarvationFreeCapable Policy>
+  void compute_multipoles(Policy policy, const std::vector<T>& m,
+                          const std::vector<vec_t>& x,
+                          AtomicDiscipline discipline = AtomicDiscipline::tuned) {
+    const bool tuned = discipline == AtomicDiscipline::tuned;
+    const std::uint32_t nodes = node_count();
+    node_mass_.assign(nodes, T(0));
+    node_com_.assign(nodes, vec_t::zero());
+    arrivals_.assign(nodes, 0);
+    has_quadrupoles_ = false;
+    // One thread per node; non-leaves exit immediately (paper Fig. 2), so
+    // available parallelism stays O(N).
+    exec::for_each_index(policy, nodes, [&](std::size_t node_idx) {
+      auto node = static_cast<std::uint32_t>(node_idx);
+      const std::uint32_t v = exec::load_relaxed(child_[node]);
+      if (is_internal(v)) return;  // interior: its children's threads handle it
+      // Leaf moments: zero for empty leaves, chain sum otherwise.
+      T mass = T(0);
+      vec_t weighted = vec_t::zero();
+      if (is_body(v)) {
+        for (std::uint32_t b = body_of(v); b != kChainEnd; b = next_in_leaf_[b]) {
+          mass += m[b];
+          weighted += x[b] * m[b];
+        }
+      }
+      node_mass_[node] = mass;
+      node_com_[node] = weighted;
+      // Climb: accumulate onto the parent; the last arriver continues up.
+      std::uint32_t cur = node;
+      while (cur != 0) {
+        const std::uint32_t parent = parent_[group_of(cur)];
+        if (tuned) {
+          exec::fetch_add_relaxed(node_mass_[parent], node_mass_[cur]);
+          for (std::size_t d = 0; d < D; ++d)
+            exec::fetch_add_relaxed(node_com_[parent][d], node_com_[cur][d]);
+        } else {
+          exec::fetch_add_seq_cst(node_mass_[parent], node_mass_[cur]);
+          for (std::size_t d = 0; d < D; ++d)
+            exec::fetch_add_seq_cst(node_com_[parent][d], node_com_[cur][d]);
+        }
+        const std::uint32_t prior = tuned ? exec::fetch_add_acq_rel(arrivals_[parent], 1u)
+                                          : exec::fetch_add_seq_cst(arrivals_[parent], 1u);
+        if (prior != K - 1) return;  // siblings still outstanding
+        cur = parent;                // last arriver owns the complete parent
+      }
+    });
+    // Normalize weighted sums into centers of mass.
+    exec::for_each_index(policy, nodes, [&](std::size_t node) {
+      if (node_mass_[node] > T(0)) node_com_[node] /= node_mass_[node];
+    });
+  }
+
+  /// Optional second-order moments (the paper's "extends to multipoles"
+  /// hook, Sec. IV-A-3): a second wait-free leaf-to-root pass accumulating
+  /// each node's traceless quadrupole about its center of mass via the
+  /// parallel-axis theorem. Requires compute_multipoles() to have run (the
+  /// centers of mass must be final). Same progress requirements as the
+  /// multipole pass.
+  template <exec::StarvationFreeCapable Policy>
+  void compute_quadrupoles(Policy policy, const std::vector<T>& m,
+                           const std::vector<vec_t>& x) {
+    const std::uint32_t nodes = node_count();
+    NBODY_REQUIRE(node_mass_.size() == nodes,
+                  "compute_quadrupoles: run compute_multipoles first");
+    node_quad_.assign(nodes, math::SymTensor<T, D>{});
+    arrivals_.assign(nodes, 0);
+    exec::for_each_index(policy, nodes, [&](std::size_t node_idx) {
+      auto node = static_cast<std::uint32_t>(node_idx);
+      const std::uint32_t v = exec::load_relaxed(child_[node]);
+      if (is_internal(v)) return;
+      // Leaf quadrupole about the leaf's center of mass (zero for a single
+      // body; nonzero only for max-depth chains).
+      math::SymTensor<T, D> quad{};
+      if (is_body(v)) {
+        const vec_t com = node_com_[node];
+        for (std::uint32_t b = body_of(v); b != kChainEnd; b = next_in_leaf_[b])
+          quad += math::point_quadrupole(m[b], x[b] - com);
+      }
+      node_quad_[node] = quad;
+      std::uint32_t cur = node;
+      while (cur != 0) {
+        const std::uint32_t parent = parent_[group_of(cur)];
+        // Parallel-axis shift of the (complete) child quadrupole onto the
+        // parent's center of mass, accumulated with relaxed atomic adds.
+        if (node_mass_[cur] > T(0)) {
+          const auto shifted =
+              node_quad_[cur] +
+              math::point_quadrupole(node_mass_[cur], node_com_[cur] - node_com_[parent]);
+          for (std::size_t c = 0; c < math::SymTensor<T, D>::size; ++c)
+            exec::fetch_add_relaxed(node_quad_[parent].q[c], shifted.q[c]);
+        }
+        const std::uint32_t prior = exec::fetch_add_acq_rel(arrivals_[parent], 1u);
+        if (prior != K - 1) return;
+        cur = parent;
+      }
+    });
+    has_quadrupoles_ = true;
+  }
+
+  [[nodiscard]] bool has_quadrupoles() const { return has_quadrupoles_; }
+  [[nodiscard]] const math::SymTensor<T, D>& node_quadrupole(std::uint32_t node) const {
+    return node_quad_[node];
+  }
+
+  // -- CalculateForce (Fig. 3) ----------------------------------------------
+
+  /// Per-traversal work counters: quantify how much of the tree a given θ
+  /// actually touches (used by the MAC-interpretation experiment — the
+  /// paper notes the θ threshold means different amounts of work for the
+  /// octree vs the BVH, end of Sec. IV-B).
+  struct TraversalStats {
+    std::uint64_t nodes_visited = 0;    // slots examined
+    std::uint64_t accepts = 0;          // multipole approximations applied
+    std::uint64_t opens = 0;            // internal nodes descended into
+    std::uint64_t exact_pairs = 0;      // leaf-level pairwise interactions
+    TraversalStats& operator+=(const TraversalStats& o) {
+      nodes_visited += o.nodes_visited;
+      accepts += o.accepts;
+      opens += o.opens;
+      exact_pairs += o.exact_pairs;
+      return *this;
+    }
+  };
+
+  /// acceleration_on with work counters (identical traversal).
+  vec_t acceleration_on_counted(const vec_t& xi, std::uint32_t self,
+                                const std::vector<T>& m, const std::vector<vec_t>& x,
+                                T theta2, T G, T eps2, TraversalStats& stats) const {
+    vec_t acc = vec_t::zero();
+    const std::uint32_t root_val = child_[0];
+    if (!is_internal(root_val)) {
+      stats.nodes_visited += 1;
+      for (std::uint32_t b : chain(root_val)) {
+        if (b == self) continue;
+        acc += math::gravity_accel(xi, x[b], m[b], G, eps2);
+        ++stats.exact_pairs;
+      }
+      return acc;
+    }
+    T width = root_box_.longest_side() * T(0.5);
+    std::uint32_t node = root_val;
+    for (;;) {
+      ++stats.nodes_visited;
+      const std::uint32_t v = child_[node];
+      bool descend = false;
+      if (is_internal(v)) {
+        const vec_t d = node_com_[node] - xi;
+        const T d2 = norm2(d);
+        if (width * width < theta2 * d2) {
+          acc += math::gravity_accel(xi, node_com_[node], node_mass_[node], G, eps2);
+          ++stats.accepts;
+        } else {
+          node = v;
+          width *= T(0.5);
+          descend = true;
+          ++stats.opens;
+        }
+      } else if (is_body(v)) {
+        for (std::uint32_t b = body_of(v); b != kChainEnd; b = next_in_leaf_[b]) {
+          if (b == self) continue;
+          acc += math::gravity_accel(xi, x[b], m[b], G, eps2);
+          ++stats.exact_pairs;
+        }
+      }
+      if (descend) continue;
+      for (;;) {
+        if ((node - 1) % K < K - 1) {
+          ++node;
+          break;
+        }
+        node = parent_[group_of(node)];
+        width *= T(2);
+        if (node == 0) return acc;
+      }
+    }
+  }
+
+  /// Acceleration on one body via stackless DFS with the θ acceptance
+  /// criterion s/d < θ (s = node box side). No synchronization: safe under
+  /// par_unseq. The tree must not be mutated concurrently.
+  [[nodiscard]] vec_t acceleration_on(const vec_t& xi, std::uint32_t self,
+                                      const std::vector<T>& m, const std::vector<vec_t>& x,
+                                      T theta2, T G, T eps2,
+                                      bool quadrupole = false) const {
+    vec_t acc = vec_t::zero();
+    const std::uint32_t root_val = child_[0];
+    if (!is_internal(root_val)) {  // 0 or 1-leaf tree
+      interact_leaf(root_val, xi, self, m, x, G, eps2, acc);
+      return acc;
+    }
+    T width = root_box_.longest_side() * T(0.5);
+    std::uint32_t node = root_val;  // first child of the root
+    for (;;) {
+      const std::uint32_t v = child_[node];
+      bool descend = false;
+      if (is_internal(v)) {
+        const vec_t d = node_com_[node] - xi;
+        const T d2 = norm2(d);
+        if (width * width < theta2 * d2) {
+          // Far enough: accept the multipole approximation for the subtree.
+          acc += math::gravity_accel(xi, node_com_[node], node_mass_[node], G, eps2);
+          if (quadrupole)
+            acc += math::quadrupole_accel(xi, node_com_[node], node_quad_[node], G, eps2);
+        } else {
+          node = v;  // forward step into first child
+          width *= T(0.5);
+          descend = true;
+        }
+      } else {
+        interact_leaf(v, xi, self, m, x, G, eps2, acc);
+      }
+      if (descend) continue;
+      // Backward steps (dashed arrows in Fig. 3): next sibling, or climb via
+      // the per-group parent offset until a sibling exists.
+      for (;;) {
+        if ((node - 1) % K < K - 1) {
+          ++node;  // next sibling at the same depth
+          break;
+        }
+        node = parent_[group_of(node)];
+        width *= T(2);
+        if (node == 0) return acc;  // unwound past the root: traversal done
+      }
+    }
+  }
+
+  /// Fills sys_a for all bodies. par_unseq is the intended policy.
+  template <class Policy>
+  void accelerations(Policy policy, const std::vector<T>& m, const std::vector<vec_t>& x,
+                     std::vector<vec_t>& a_out, T theta, T G, T eps2,
+                     bool quadrupole = false) const {
+    NBODY_REQUIRE(!quadrupole || has_quadrupoles_,
+                  "octree accelerations: quadrupole requested but not computed");
+    const T theta2 = theta * theta;
+    exec::for_each_index(policy, x.size(), [&, theta2, G, eps2, quadrupole](std::size_t i) {
+      a_out[i] = acceleration_on(x[i], static_cast<std::uint32_t>(i), m, x, theta2, G, eps2,
+                                 quadrupole);
+    });
+  }
+
+  // -- spatial queries --------------------------------------------------------
+
+  /// Invokes fn(body_index) for every body within `radius` of `center`.
+  /// The tree doubles as a spatial index — the "transferable to other
+  /// domains and algorithms" use the paper's introduction motivates.
+  /// Read-only; safe to call concurrently after build(). Prunes by
+  /// box/sphere overlap using the implicit node geometry.
+  template <class Fn>
+  void for_each_in_radius(const vec_t& center, T radius, const std::vector<vec_t>& x,
+                          Fn&& fn) const {
+    NBODY_REQUIRE(radius >= T(0), "for_each_in_radius: negative radius");
+    const T r2 = radius * radius;
+    // Explicit stack of (node, box): a host-side utility, so recursion depth
+    // control matters more than the stackless trick used on the force path.
+    std::vector<std::pair<std::uint32_t, box_t>> todo{{0u, root_box_}};
+    while (!todo.empty()) {
+      const auto [node, box] = todo.back();
+      todo.pop_back();
+      // Closest point of the box to the center; prune if outside the sphere.
+      T d2 = T(0);
+      for (std::size_t d = 0; d < D; ++d) {
+        const T c = center[d] < box.lo[d] ? box.lo[d]
+                    : center[d] > box.hi[d] ? box.hi[d]
+                                            : center[d];
+        const T delta = center[d] - c;
+        d2 += delta * delta;
+      }
+      if (d2 > r2) continue;
+      const std::uint32_t v = child_[node];
+      if (is_internal(v)) {
+        for (unsigned q = 0; q < K; ++q) todo.push_back({v + q, box.child_box(q)});
+      } else if (is_body(v)) {
+        for (std::uint32_t b = body_of(v); b != kChainEnd; b = next_in_leaf_[b]) {
+          if (norm2(x[b] - center) <= r2) fn(b);
+        }
+      }
+    }
+  }
+
+  /// Number of bodies within `radius` of `center`.
+  [[nodiscard]] std::size_t count_in_radius(const vec_t& center, T radius,
+                                            const std::vector<vec_t>& x) const {
+    std::size_t n = 0;
+    for_each_in_radius(center, radius, x, [&](std::uint32_t) { ++n; });
+    return n;
+  }
+
+  // -- introspection (tests, stats) -----------------------------------------
+
+  /// Aggregate structural statistics (single-threaded walk; diagnostics and
+  /// capacity-tuning aid, not a hot path).
+  struct TreeStats {
+    std::uint32_t nodes = 0;           // allocated nodes
+    std::uint32_t internal_nodes = 0;
+    std::uint32_t body_leaves = 0;
+    std::uint32_t empty_leaves = 0;
+    std::uint32_t bodies = 0;          // bodies reachable from leaves
+    unsigned max_depth = 0;
+    std::uint32_t max_chain = 0;       // longest max-depth overflow chain
+    std::size_t memory_bytes = 0;      // pool + parent + chain arrays
+  };
+
+  [[nodiscard]] TreeStats stats() const {
+    TreeStats st;
+    st.nodes = node_count();
+    st.memory_bytes = child_.capacity() * sizeof(std::uint32_t) +
+                      parent_.capacity() * sizeof(std::uint32_t) +
+                      next_in_leaf_.capacity() * sizeof(std::uint32_t);
+    // Iterative DFS with explicit stack of (node, depth).
+    std::vector<std::pair<std::uint32_t, unsigned>> todo{{0u, 0u}};
+    while (!todo.empty()) {
+      const auto [node, depth] = todo.back();
+      todo.pop_back();
+      st.max_depth = depth > st.max_depth ? depth : st.max_depth;
+      const std::uint32_t v = child_[node];
+      if (is_internal(v)) {
+        ++st.internal_nodes;
+        for (unsigned q = 0; q < K; ++q) todo.push_back({v + q, depth + 1});
+      } else if (is_body(v)) {
+        ++st.body_leaves;
+        std::uint32_t len = 0;
+        for (std::uint32_t b = body_of(v); b != kChainEnd; b = next_in_leaf_[b]) ++len;
+        st.bodies += len;
+        st.max_chain = len > st.max_chain ? len : st.max_chain;
+      } else {
+        ++st.empty_leaves;
+      }
+    }
+    return st;
+  }
+
+  [[nodiscard]] std::uint32_t node_count() const { return allocated_; }
+  [[nodiscard]] std::uint32_t capacity() const { return capacity_; }
+  [[nodiscard]] const box_t& root_box() const { return root_box_; }
+  [[nodiscard]] std::uint32_t slot(std::uint32_t node) const { return child_[node]; }
+  [[nodiscard]] std::uint32_t parent_of_group(std::uint32_t group) const {
+    return parent_[group];
+  }
+  [[nodiscard]] T node_mass(std::uint32_t node) const { return node_mass_[node]; }
+  [[nodiscard]] vec_t node_com(std::uint32_t node) const { return node_com_[node]; }
+
+  /// Bodies chained at a leaf slot value (empty vector for kEmpty).
+  [[nodiscard]] std::vector<std::uint32_t> chain(std::uint32_t slot_value) const {
+    std::vector<std::uint32_t> out;
+    if (!is_body(slot_value)) return out;
+    for (std::uint32_t b = body_of(slot_value); b != kChainEnd; b = next_in_leaf_[b])
+      out.push_back(b);
+    return out;
+  }
+
+  /// Prepares an empty tree over `root_box` with capacity for roughly
+  /// `n_bodies` — entry point for the progress simulator, which then calls
+  /// insert_one per lane itself.
+  void prepare(const box_t& root_box, std::size_t n_bodies) {
+    root_box_ = root_box;
+    reset(initial_capacity(n_bodies), n_bodies);
+  }
+
+ private:
+  [[nodiscard]] std::uint32_t initial_capacity(std::size_t n) const {
+    const double want = params_.capacity_factor * static_cast<double>(n);
+    auto cap = static_cast<std::uint32_t>(want) + params_.min_capacity;
+    return 1 + ((cap + K - 1) / K) * K;  // root + whole sibling groups
+  }
+
+  void reset(std::uint32_t capacity, std::size_t n_bodies) {
+    capacity_ = capacity;
+    child_.assign(capacity, kEmpty);
+    parent_.assign((capacity + K - 1) / K, 0);
+    next_in_leaf_.resize(n_bodies);
+    allocated_ = 1;  // node 0 is the root
+    overflow_ = 0;
+  }
+
+  void interact_leaf(std::uint32_t v, const vec_t& xi, std::uint32_t self,
+                     const std::vector<T>& m, const std::vector<vec_t>& x, T G, T eps2,
+                     vec_t& acc) const {
+    if (!is_body(v)) return;
+    for (std::uint32_t b = body_of(v); b != kChainEnd; b = next_in_leaf_[b]) {
+      if (b == self) continue;
+      acc += math::gravity_accel(xi, x[b], m[b], G, eps2);
+    }
+  }
+
+  Params params_{};
+  box_t root_box_{};
+  std::vector<std::uint32_t> child_;         // one slot per node
+  std::vector<std::uint32_t> parent_;        // one parent offset per sibling group
+  std::vector<std::uint32_t> next_in_leaf_;  // per body: max-depth chain links
+  std::vector<std::uint32_t> arrivals_;      // per node: multipole arrival counters
+  std::vector<T> node_mass_;
+  std::vector<vec_t> node_com_;  // weighted sum during reduction, then CoM
+  std::vector<math::SymTensor<T, D>> node_quad_;  // traceless quadrupoles (optional)
+  bool has_quadrupoles_ = false;
+  std::uint32_t capacity_ = 0;
+  std::uint32_t allocated_ = 1;  // bump pointer (atomic access)
+  std::uint8_t overflow_ = 0;    // sticky abort flag (atomic access)
+};
+
+}  // namespace nbody::octree

@@ -1,0 +1,97 @@
+// Octree force strategy: composes Algorithm 2's per-step pipeline
+// (CalculateBoundingBox -> BuildTree -> CalculateMultipoles ->
+// CalculateForce) around the ConcurrentOctree, with the per-phase execution
+// policies the paper prescribes:
+//
+//   bounding box — par_unseq-safe reduction (Algorithm 3)
+//   build        — par (starvation-free locking)
+//   multipoles   — par (synchronizing atomics)
+//   force        — par_unseq (no synchronization)
+//
+// The strategy as a whole therefore requires parallel forward progress and
+// only accepts seq or par.
+#pragma once
+
+#include "core/bbox.hpp"
+#include "core/system.hpp"
+#include "octree/concurrent_octree.hpp"
+#include "sfc/reorder.hpp"
+#include "support/timer.hpp"
+
+namespace nbody::octree {
+
+template <class T, std::size_t D>
+class OctreeStrategy {
+ public:
+  static constexpr const char* name = "octree";
+
+  struct Options {
+    typename ConcurrentOctree<T, D>::Params tree{};
+    /// Rebuild the tree every `reuse_interval` steps and reuse its topology
+    /// in between, recomputing only the multipole moments from the moved
+    /// positions — the amortization of Iwasawa et al. the paper's related
+    /// work notes "can be applied to any Barnes-Hut implementation".
+    /// 1 (default) rebuilds every step, as the paper's Algorithm 2 does.
+    unsigned reuse_interval = 1;
+    /// Curve-order the bodies before each (re)build: neighboring threads
+    /// then insert into neighboring subtrees, cutting subdivision-lock
+    /// contention and improving traversal locality (Burtscher & Pingali's
+    /// presort, optional here — the paper's octree inserts unsorted).
+    bool presort = false;
+  };
+
+  OctreeStrategy() = default;
+  explicit OctreeStrategy(typename ConcurrentOctree<T, D>::Params params)
+      : OctreeStrategy(Options{params, 1}) {}
+  explicit OctreeStrategy(Options opts) : opts_(opts), tree_(opts.tree) {
+    NBODY_REQUIRE(opts.reuse_interval >= 1, "OctreeStrategy: reuse_interval must be >= 1");
+  }
+
+  template <exec::StarvationFreeCapable Policy>
+  void accelerations(Policy policy, core::System<T, D>& sys, const core::SimConfig<T>& cfg,
+                     support::PhaseTimer* timer = nullptr) {
+    const bool rebuild = steps_since_build_ % opts_.reuse_interval == 0;
+    if (rebuild) {
+      {
+        auto scope = support::PhaseTimer::maybe(timer, "bbox");
+        root_box_ = core::compute_root_cube(policy, sys.x);
+      }
+      if (opts_.presort) {
+        auto scope = support::PhaseTimer::maybe(timer, "sort");
+        sfc::reorder_system(policy, sys, root_box_);
+      }
+      auto scope = support::PhaseTimer::maybe(timer, "build");
+      tree_.build(policy, sys.x, root_box_);
+      steps_since_build_ = 0;
+    }
+    ++steps_since_build_;
+    {
+      auto scope = support::PhaseTimer::maybe(timer, "multipole");
+      tree_.compute_multipoles(policy, sys.m, sys.x);
+      if (cfg.quadrupole) tree_.compute_quadrupoles(policy, sys.m, sys.x);
+    }
+    {
+      auto scope = support::PhaseTimer::maybe(timer, "force");
+      // The force DFS is synchronization-free: under a parallel caller it
+      // runs with par_unseq, exactly as the paper's implementation does.
+      if constexpr (Policy::is_parallel) {
+        tree_.accelerations(exec::par_unseq, sys.m, sys.x, sys.a, cfg.theta, cfg.G,
+                            cfg.eps2(), cfg.quadrupole);
+      } else {
+        tree_.accelerations(exec::seq, sys.m, sys.x, sys.a, cfg.theta, cfg.G, cfg.eps2(),
+                            cfg.quadrupole);
+      }
+    }
+  }
+
+  /// The tree of the most recent accelerations() call (introspection).
+  [[nodiscard]] const ConcurrentOctree<T, D>& tree() const { return tree_; }
+
+ private:
+  Options opts_{};
+  ConcurrentOctree<T, D> tree_;
+  typename ConcurrentOctree<T, D>::box_t root_box_{};
+  unsigned steps_since_build_ = 0;
+};
+
+}  // namespace nbody::octree

@@ -1,0 +1,58 @@
+#include "progress/fiber.hpp"
+
+#include <cstdint>
+
+#include "support/assert.hpp"
+
+namespace nbody::progress {
+
+namespace {
+// The fiber currently executing on this thread (nullptr = scheduler/host).
+thread_local Fiber* t_current = nullptr;
+}  // namespace
+
+Fiber::Fiber(std::function<void()> fn, std::size_t stack_bytes)
+    : fn_(std::move(fn)), stack_(stack_bytes) {
+  NBODY_REQUIRE(stack_bytes >= 16 * 1024, "Fiber: stack too small");
+}
+
+void Fiber::trampoline(unsigned hi, unsigned lo) {
+  auto* self = reinterpret_cast<Fiber*>((static_cast<std::uintptr_t>(hi) << 32) |
+                                        static_cast<std::uintptr_t>(lo));
+  self->run();
+  // Returning from the ucontext entry point would terminate the thread;
+  // instead mark done and switch back to the resumer.
+  self->done_ = true;
+  swapcontext(&self->context_, &self->return_context_);
+}
+
+void Fiber::run() { fn_(); }
+
+void Fiber::resume() {
+  NBODY_ASSERT_MSG(!done_, "Fiber::resume on finished fiber");
+  if (!started_) {
+    started_ = true;
+    [[maybe_unused]] int rc = getcontext(&context_);
+    NBODY_ASSERT(rc == 0);
+    context_.uc_stack.ss_sp = stack_.data();
+    context_.uc_stack.ss_size = stack_.size();
+    context_.uc_link = nullptr;  // we always swap back explicitly
+    const auto p = reinterpret_cast<std::uintptr_t>(this);
+    makecontext(&context_, reinterpret_cast<void (*)()>(&Fiber::trampoline), 2,
+                static_cast<unsigned>(p >> 32), static_cast<unsigned>(p & 0xffffffffu));
+  }
+  Fiber* prev = t_current;
+  t_current = this;
+  swapcontext(&return_context_, &context_);
+  t_current = prev;
+}
+
+void Fiber::yield() {
+  Fiber* self = t_current;
+  if (self == nullptr) return;
+  swapcontext(&self->context_, &self->return_context_);
+}
+
+bool Fiber::in_fiber() noexcept { return t_current != nullptr; }
+
+}  // namespace nbody::progress

@@ -1,0 +1,54 @@
+// Minimal stackful coroutine (fiber) on top of POSIX ucontext.
+//
+// Fibers are the substrate of the forward-progress simulator: many logical
+// "GPU lanes" multiplexed on one OS thread, switched only at the cooperative
+// checkpoints the library's spin loops and critical sections emit. This lets
+// tests and benches *schedule* the concurrent tree algorithms adversarially
+// and observe starvation, which real preemptive threads cannot demonstrate
+// deterministically.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <ucontext.h>
+#include <vector>
+
+namespace nbody::progress {
+
+class Fiber {
+ public:
+  /// Creates a suspended fiber that will run `fn` when first resumed.
+  explicit Fiber(std::function<void()> fn, std::size_t stack_bytes = 256 * 1024);
+  ~Fiber() = default;
+
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+  /// True once `fn` has returned.
+  [[nodiscard]] bool done() const noexcept { return done_; }
+
+  /// Switches from the scheduler into the fiber; returns when the fiber
+  /// yields or finishes. Must not be called on a finished fiber.
+  void resume();
+
+  /// Yields from inside the currently running fiber back to its resumer.
+  /// No-op when called outside any fiber.
+  static void yield();
+
+  /// True when the calling code executes inside a fiber.
+  static bool in_fiber() noexcept;
+
+ private:
+  static void trampoline(unsigned hi, unsigned lo);
+  void run();
+
+  std::function<void()> fn_;
+  std::vector<unsigned char> stack_;
+  ucontext_t context_{};
+  ucontext_t return_context_{};
+  bool started_ = false;
+  bool done_ = false;
+};
+
+}  // namespace nbody::progress

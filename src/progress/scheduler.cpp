@@ -1,0 +1,78 @@
+#include "progress/scheduler.hpp"
+
+#include <memory>
+#include <vector>
+
+#include "exec/policy.hpp"
+#include "progress/fiber.hpp"
+#include "support/assert.hpp"
+
+namespace nbody::progress {
+
+namespace {
+
+struct SchedulerState {
+  bool last_yield_was_wait = false;
+};
+
+void checkpoint_hook(void* ctx, bool waiting) {
+  if (!Fiber::in_fiber()) return;
+  auto* state = static_cast<SchedulerState*>(ctx);
+  state->last_yield_was_wait = waiting;
+  Fiber::yield();
+}
+
+}  // namespace
+
+run_result run_lanes(unsigned lanes, schedule_mode mode, std::uint64_t max_steps,
+                     const std::function<void(unsigned)>& work) {
+  NBODY_REQUIRE(lanes >= 1, "run_lanes: need at least one lane");
+
+  SchedulerState state;
+  exec::set_checkpoint_hook(&checkpoint_hook, &state);
+
+  std::vector<std::unique_ptr<Fiber>> fibers;
+  fibers.reserve(lanes);
+  for (unsigned l = 0; l < lanes; ++l) {
+    fibers.push_back(std::make_unique<Fiber>([&work, l] { work(l); }));
+  }
+
+  run_result result;
+  unsigned lane = 0;
+  unsigned finished = 0;
+  while (finished < lanes && result.steps < max_steps) {
+    // Find the lane to run. `lane` always points at the preferred candidate.
+    while (fibers[lane]->done()) lane = (lane + 1) % lanes;
+
+    state.last_yield_was_wait = false;
+    fibers[lane]->resume();
+    ++result.steps;
+
+    if (fibers[lane]->done()) {
+      ++finished;
+      lane = (lane + 1) % lanes;
+      continue;
+    }
+    switch (mode) {
+      case schedule_mode::fair:
+        // Parallel forward progress: every yielded lane is eventually
+        // rescheduled — plain round-robin.
+        lane = (lane + 1) % lanes;
+        break;
+      case schedule_mode::lockstep:
+        // Weakly parallel forward progress: a lane that yielded because it
+        // is *waiting* keeps being re-executed (the diverged spinning branch
+        // of a warp); only lanes that yielded at an ordinary progress point
+        // release the "warp" to the next lane.
+        if (!state.last_yield_was_wait) lane = (lane + 1) % lanes;
+        break;
+    }
+  }
+
+  exec::set_checkpoint_hook(nullptr, nullptr);
+  result.completed = (finished == lanes);
+  result.finished_lanes = finished;
+  return result;
+}
+
+}  // namespace nbody::progress

@@ -1,0 +1,52 @@
+// Forward-progress simulator.
+//
+// Runs L logical lanes (fibers) on the calling thread under one of two
+// scheduling disciplines and reports whether the workload completed within a
+// step budget:
+//
+//   fair      — round-robin over unfinished lanes. Every lane that yields is
+//               eventually resumed: this is *parallel forward progress*, the
+//               guarantee NVIDIA's Independent Thread Scheduling provides
+//               and the par policy requires.
+//   lockstep  — models SIMT execution without ITS (*weakly parallel forward
+//               progress*): when a lane yields from a spin-wait the
+//               scheduler keeps re-running that same lane, exactly the way
+//               a diverged warp can keep executing its spinning branch and
+//               never reconverge to let the lock-holding branch run.
+//
+// Under `fair` the paper's starvation-free octree build completes; under
+// `lockstep` it livelocks as soon as two lanes contend for a leaf — which is
+// the mechanism behind "attempts to run Octree on Intel and AMD GPUs
+// reliably caused them to hang" (paper Sec. V-B). The lock-free BVH pipeline
+// completes under both. tests/test_progress.cpp asserts both facts.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "support/function_ref.hpp"
+
+namespace nbody::progress {
+
+enum class schedule_mode : std::uint8_t {
+  fair,      // parallel forward progress (ITS-like)
+  lockstep,  // weakly parallel forward progress (non-ITS SIMT-like)
+};
+
+struct run_result {
+  bool completed = false;   // all lanes finished within the step budget
+  std::uint64_t steps = 0;  // fiber resumes consumed
+  unsigned finished_lanes = 0;
+};
+
+/// Executes work(lane) for lane in [0, lanes) as fibers on this thread under
+/// `mode`. A run that exceeds `max_steps` resumes is reported as not
+/// completed (livelock/starvation detected) and the remaining fibers are
+/// abandoned in place — their stacks are freed but destructors of locals on
+/// those stacks do not run, so `work` must not own resources when starved.
+/// While inside the simulator, exec::checkpoint hooks are installed so the
+/// library's spin loops yield to the scheduler.
+run_result run_lanes(unsigned lanes, schedule_mode mode, std::uint64_t max_steps,
+                     const std::function<void(unsigned)>& work);
+
+}  // namespace nbody::progress

@@ -1,0 +1,72 @@
+// Mapping from continuous positions to the SFC integer grid.
+//
+// The paper's HilbertSort "first grids the bodies within the coarsest
+// equidistant Cartesian grid capable to hold all bodies" (Sec. IV-B-1).
+// `GridMapper` captures that: it quantizes positions inside a bounding box
+// onto a 2^bits^D lattice and exposes Hilbert/Morton keys for sorting.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "math/aabb.hpp"
+#include "math/vec.hpp"
+#include "sfc/hilbert.hpp"
+#include "sfc/morton.hpp"
+#include "support/assert.hpp"
+
+namespace nbody::sfc {
+
+template <class T, std::size_t D>
+class GridMapper {
+ public:
+  /// `box` must be non-empty; `bits` is the per-axis resolution
+  /// (default: the maximum that still packs into a 64-bit key).
+  GridMapper(const math::aabb<T, D>& box, unsigned bits = max_bits<D>)
+      : lo_(box.lo), bits_(bits), cells_(std::uint64_t{1} << bits) {
+    NBODY_REQUIRE(!box.empty(), "GridMapper: empty bounding box");
+    NBODY_REQUIRE(bits >= 1 && static_cast<std::uint64_t>(bits) * D <= 64,
+                  "GridMapper: bits out of range");
+    for (std::size_t i = 0; i < D; ++i) {
+      const T ext = box.hi[i] - box.lo[i];
+      // Degenerate axes (all bodies share a coordinate) map to cell 0.
+      inv_cell_[i] = ext > T(0) ? static_cast<T>(cells_) / ext : T(0);
+    }
+  }
+
+  [[nodiscard]] unsigned bits() const { return bits_; }
+
+  /// Quantizes `p` (clamped into the box) to lattice coordinates.
+  [[nodiscard]] std::array<std::uint32_t, D> cell_of(const math::vec<T, D>& p) const {
+    std::array<std::uint32_t, D> c{};
+    for (std::size_t i = 0; i < D; ++i) {
+      const T scaled = (p[i] - lo_[i]) * inv_cell_[i];
+      auto q = static_cast<std::int64_t>(scaled);
+      if (q < 0) q = 0;
+      if (q >= static_cast<std::int64_t>(cells_)) q = static_cast<std::int64_t>(cells_) - 1;
+      c[i] = static_cast<std::uint32_t>(q);
+    }
+    return c;
+  }
+
+  /// Hilbert key of the cell containing `p`.
+  [[nodiscard]] std::uint64_t hilbert_key(const math::vec<T, D>& p) const {
+    return hilbert_encode<D>(cell_of(p), bits_);
+  }
+
+  /// Morton key of the cell containing `p`.
+  [[nodiscard]] std::uint64_t morton_key(const math::vec<T, D>& p) const {
+    const auto c = cell_of(p);
+    std::uint32_t raw[D];
+    for (std::size_t i = 0; i < D; ++i) raw[i] = c[i];
+    return morton_encode<D>(raw);
+  }
+
+ private:
+  math::vec<T, D> lo_;
+  math::vec<T, D> inv_cell_{};
+  unsigned bits_;
+  std::uint64_t cells_;
+};
+
+}  // namespace nbody::sfc

@@ -1,0 +1,122 @@
+// Hilbert curve indexing via Skilling's Gray-code algorithm
+// ("Programming the Hilbert curve", AIP 2004) — the algorithm the paper's
+// HilbertSort step cites (Sec. IV-B, [17]).
+//
+// Skilling's method works on the *transposed* representation of the Hilbert
+// index: an array X of D coordinates, each `bits` wide, where the index's
+// bits are read column-major (bit (bits-1) of X[0], of X[1], ..., then bit
+// (bits-2) of X[0], ...). `axes_to_transpose` converts grid coordinates into
+// that form in place; `transpose_to_key` interleaves it into one uint64.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstddef>
+
+#include "support/assert.hpp"
+
+namespace nbody::sfc {
+
+/// In-place Skilling transform: grid coordinates -> transposed Hilbert index.
+/// `bits` is the per-axis resolution; requires D*bits <= 64 for key packing.
+template <std::size_t D>
+constexpr void axes_to_transpose(std::array<std::uint32_t, D>& x, unsigned bits) {
+  NBODY_DEBUG_ASSERT(bits >= 1 && bits <= 32);
+  const std::uint32_t m = 1u << (bits - 1);
+  // Inverse undo.
+  for (std::uint32_t q = m; q > 1; q >>= 1) {
+    const std::uint32_t p = q - 1;
+    for (std::size_t i = 0; i < D; ++i) {
+      if (x[i] & q) {
+        x[0] ^= p;  // invert
+      } else {
+        const std::uint32_t t = (x[0] ^ x[i]) & p;  // exchange
+        x[0] ^= t;
+        x[i] ^= t;
+      }
+    }
+  }
+  // Gray encode.
+  for (std::size_t i = 1; i < D; ++i) x[i] ^= x[i - 1];
+  std::uint32_t t = 0;
+  for (std::uint32_t q = m; q > 1; q >>= 1)
+    if (x[D - 1] & q) t ^= q - 1;
+  for (std::size_t i = 0; i < D; ++i) x[i] ^= t;
+}
+
+/// In-place inverse Skilling transform: transposed Hilbert index -> grid
+/// coordinates.
+template <std::size_t D>
+constexpr void transpose_to_axes(std::array<std::uint32_t, D>& x, unsigned bits) {
+  NBODY_DEBUG_ASSERT(bits >= 1 && bits <= 32);
+  const std::uint32_t n = 2u << (bits - 1);
+  // Gray decode by H ^ (H/2).
+  std::uint32_t t = x[D - 1] >> 1;
+  for (std::size_t i = D - 1; i > 0; --i) x[i] ^= x[i - 1];
+  x[0] ^= t;
+  // Undo excess work.
+  for (std::uint32_t q = 2; q != n; q <<= 1) {
+    const std::uint32_t p = q - 1;
+    for (std::size_t ii = D; ii-- > 0;) {
+      if (x[ii] & q) {
+        x[0] ^= p;
+      } else {
+        t = (x[0] ^ x[ii]) & p;
+        x[0] ^= t;
+        x[ii] ^= t;
+      }
+    }
+  }
+}
+
+/// Packs a transposed Hilbert index into a single integer key, MSB-first
+/// column-major: key bit (b*D + (D-1-i)) takes bit b of x[i].
+template <std::size_t D>
+constexpr std::uint64_t transpose_to_key(const std::array<std::uint32_t, D>& x,
+                                         unsigned bits) {
+  NBODY_DEBUG_ASSERT(static_cast<std::uint64_t>(bits) * D <= 64);
+  std::uint64_t key = 0;
+  for (unsigned b = bits; b-- > 0;) {
+    for (std::size_t i = 0; i < D; ++i) {
+      key = (key << 1) | ((x[i] >> b) & 1u);
+    }
+  }
+  return key;
+}
+
+/// Inverse of transpose_to_key.
+template <std::size_t D>
+constexpr std::array<std::uint32_t, D> key_to_transpose(std::uint64_t key, unsigned bits) {
+  std::array<std::uint32_t, D> x{};
+  for (unsigned b = 0; b < bits; ++b) {
+    for (std::size_t ii = D; ii-- > 0;) {
+      x[ii] |= static_cast<std::uint32_t>(key & 1u) << b;
+      key >>= 1;
+    }
+  }
+  return x;
+}
+
+/// Grid coordinates -> Hilbert curve index in [0, 2^(D*bits)).
+template <std::size_t D>
+constexpr std::uint64_t hilbert_encode(std::array<std::uint32_t, D> coords, unsigned bits) {
+  axes_to_transpose<D>(coords, bits);
+  return transpose_to_key<D>(coords, bits);
+}
+
+/// Hilbert curve index -> grid coordinates (inverse of hilbert_encode).
+template <std::size_t D>
+constexpr std::array<std::uint32_t, D> hilbert_decode(std::uint64_t key, unsigned bits) {
+  auto x = key_to_transpose<D>(key, bits);
+  transpose_to_axes<D>(x, bits);
+  return x;
+}
+
+/// Per-axis resolution that fills a 64-bit key for dimension D
+/// (32 bits for D=2, 21 for D=3).
+template <std::size_t D>
+inline constexpr unsigned max_bits = static_cast<unsigned>(64 / D) > 32u
+                                         ? 32u
+                                         : static_cast<unsigned>(64 / D);
+
+}  // namespace nbody::sfc

@@ -1,0 +1,94 @@
+// Morton (Z-order) encoding.
+//
+// Used for the octree's child ordering (the paper stores the 2^D children of
+// a node "in Morton order", Sec. IV-A) and as a comparison curve for the
+// Hilbert-locality property tests.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+#include "support/assert.hpp"
+
+namespace nbody::sfc {
+
+namespace detail {
+
+/// Spreads the low 32 bits of x so consecutive bits land 2 apart.
+constexpr std::uint64_t spread2(std::uint64_t x) {
+  x &= 0xffffffffULL;
+  x = (x | (x << 16)) & 0x0000ffff0000ffffULL;
+  x = (x | (x << 8)) & 0x00ff00ff00ff00ffULL;
+  x = (x | (x << 4)) & 0x0f0f0f0f0f0f0f0fULL;
+  x = (x | (x << 2)) & 0x3333333333333333ULL;
+  x = (x | (x << 1)) & 0x5555555555555555ULL;
+  return x;
+}
+
+constexpr std::uint64_t compact2(std::uint64_t x) {
+  x &= 0x5555555555555555ULL;
+  x = (x | (x >> 1)) & 0x3333333333333333ULL;
+  x = (x | (x >> 2)) & 0x0f0f0f0f0f0f0f0fULL;
+  x = (x | (x >> 4)) & 0x00ff00ff00ff00ffULL;
+  x = (x | (x >> 8)) & 0x0000ffff0000ffffULL;
+  x = (x | (x >> 16)) & 0x00000000ffffffffULL;
+  return x;
+}
+
+/// Spreads the low 21 bits of x so consecutive bits land 3 apart.
+constexpr std::uint64_t spread3(std::uint64_t x) {
+  x &= 0x1fffffULL;
+  x = (x | (x << 32)) & 0x1f00000000ffffULL;
+  x = (x | (x << 16)) & 0x1f0000ff0000ffULL;
+  x = (x | (x << 8)) & 0x100f00f00f00f00fULL;
+  x = (x | (x << 4)) & 0x10c30c30c30c30c3ULL;
+  x = (x | (x << 2)) & 0x1249249249249249ULL;
+  return x;
+}
+
+constexpr std::uint64_t compact3(std::uint64_t x) {
+  x &= 0x1249249249249249ULL;
+  x = (x | (x >> 2)) & 0x10c30c30c30c30c3ULL;
+  x = (x | (x >> 4)) & 0x100f00f00f00f00fULL;
+  x = (x | (x >> 8)) & 0x1f0000ff0000ffULL;
+  x = (x | (x >> 16)) & 0x1f00000000ffffULL;
+  x = (x | (x >> 32)) & 0x1fffffULL;
+  return x;
+}
+
+}  // namespace detail
+
+/// Interleaves D coordinates into a Morton key; coordinate i contributes its
+/// bit b to key bit (b*D + i). 2-D supports 32 bits/axis, 3-D 21 bits/axis.
+template <std::size_t D>
+constexpr std::uint64_t morton_encode(const std::uint32_t (&coords)[D]);
+
+template <>
+constexpr std::uint64_t morton_encode<2>(const std::uint32_t (&c)[2]) {
+  return detail::spread2(c[0]) | (detail::spread2(c[1]) << 1);
+}
+
+template <>
+constexpr std::uint64_t morton_encode<3>(const std::uint32_t (&c)[3]) {
+  NBODY_DEBUG_ASSERT(c[0] < (1u << 21) && c[1] < (1u << 21) && c[2] < (1u << 21));
+  return detail::spread3(c[0]) | (detail::spread3(c[1]) << 1) | (detail::spread3(c[2]) << 2);
+}
+
+/// Inverse of morton_encode.
+template <std::size_t D>
+constexpr void morton_decode(std::uint64_t key, std::uint32_t (&coords)[D]);
+
+template <>
+constexpr void morton_decode<2>(std::uint64_t key, std::uint32_t (&c)[2]) {
+  c[0] = static_cast<std::uint32_t>(detail::compact2(key));
+  c[1] = static_cast<std::uint32_t>(detail::compact2(key >> 1));
+}
+
+template <>
+constexpr void morton_decode<3>(std::uint64_t key, std::uint32_t (&c)[3]) {
+  c[0] = static_cast<std::uint32_t>(detail::compact3(key));
+  c[1] = static_cast<std::uint32_t>(detail::compact3(key >> 1));
+  c[2] = static_cast<std::uint32_t>(detail::compact3(key >> 2));
+}
+
+}  // namespace nbody::sfc

@@ -1,0 +1,43 @@
+// Lightweight assertion/contract macros for the nbody library.
+//
+// NBODY_ASSERT      — checked in all build types; aborts with a message.
+//                     Used for cheap invariants on hot-path boundaries.
+// NBODY_DEBUG_ASSERT— checked only when NDEBUG is not defined; free in
+//                     release builds, used inside inner loops.
+// NBODY_REQUIRE     — precondition check that throws std::invalid_argument,
+//                     for public API entry points where recovery is possible.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace nbody::support {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const char* msg) noexcept {
+  std::fprintf(stderr, "nbody assertion failed: %s\n  at %s:%d\n  %s\n", expr, file, line,
+               msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace nbody::support
+
+#define NBODY_ASSERT_MSG(expr, msg)                                        \
+  do {                                                                     \
+    if (!(expr)) ::nbody::support::assert_fail(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#define NBODY_ASSERT(expr) NBODY_ASSERT_MSG(expr, nullptr)
+
+#ifdef NDEBUG
+#define NBODY_DEBUG_ASSERT(expr) ((void)0)
+#else
+#define NBODY_DEBUG_ASSERT(expr) NBODY_ASSERT(expr)
+#endif
+
+#define NBODY_REQUIRE(expr, what)                                   \
+  do {                                                              \
+    if (!(expr)) throw std::invalid_argument(std::string("nbody: ") + (what)); \
+  } while (0)

@@ -1,0 +1,117 @@
+// Minimal command-line option parser for the example applications.
+//
+// Supports `--name value`, `--name=value`, and boolean `--flag` options with
+// typed accessors and defaults; collects bare positionals. Unknown options
+// are an error (typo protection). Deliberately tiny: no subcommands, no
+// abbreviations.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace nbody::support {
+
+class CliParser {
+ public:
+  /// Declare a value option. `help` is printed by usage().
+  void add_option(std::string name, std::string help, std::string default_value) {
+    specs_[name] = Spec{std::move(help), std::move(default_value), /*is_flag=*/false};
+  }
+
+  /// Declare a boolean flag (false unless present).
+  void add_flag(std::string name, std::string help) {
+    specs_[name] = Spec{std::move(help), "false", /*is_flag=*/true};
+  }
+
+  /// Parses argv. Throws std::invalid_argument on unknown options, missing
+  /// values, or malformed input.
+  void parse(int argc, const char* const* argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        positionals_.push_back(std::move(arg));
+        continue;
+      }
+      std::string name = arg.substr(2);
+      std::optional<std::string> inline_value;
+      if (const auto eq = name.find('='); eq != std::string::npos) {
+        inline_value = name.substr(eq + 1);
+        name = name.substr(0, eq);
+      }
+      const auto it = specs_.find(name);
+      if (it == specs_.end())
+        throw std::invalid_argument("unknown option --" + name);
+      if (it->second.is_flag) {
+        if (inline_value)
+          throw std::invalid_argument("flag --" + name + " takes no value");
+        values_[name] = "true";
+      } else if (inline_value) {
+        values_[name] = *inline_value;
+      } else {
+        if (i + 1 >= argc)
+          throw std::invalid_argument("option --" + name + " needs a value");
+        values_[name] = argv[++i];
+      }
+    }
+  }
+
+  [[nodiscard]] std::string get(const std::string& name) const {
+    if (const auto v = values_.find(name); v != values_.end()) return v->second;
+    const auto s = specs_.find(name);
+    if (s == specs_.end()) throw std::invalid_argument("undeclared option --" + name);
+    return s->second.default_value;
+  }
+
+  [[nodiscard]] std::size_t get_size(const std::string& name) const {
+    const std::string v = get(name);
+    std::size_t pos = 0;
+    const auto out = std::stoull(v, &pos);
+    if (pos != v.size())
+      throw std::invalid_argument("--" + name + ": expected integer, got '" + v + "'");
+    return static_cast<std::size_t>(out);
+  }
+
+  [[nodiscard]] double get_double(const std::string& name) const {
+    const std::string v = get(name);
+    std::size_t pos = 0;
+    const double out = std::stod(v, &pos);
+    if (pos != v.size())
+      throw std::invalid_argument("--" + name + ": expected number, got '" + v + "'");
+    return out;
+  }
+
+  [[nodiscard]] bool get_flag(const std::string& name) const { return get(name) == "true"; }
+
+  [[nodiscard]] bool was_set(const std::string& name) const {
+    return values_.count(name) != 0;
+  }
+
+  [[nodiscard]] const std::vector<std::string>& positionals() const { return positionals_; }
+
+  /// One line per declared option, sorted by name.
+  [[nodiscard]] std::string usage() const {
+    std::string out;
+    for (const auto& [name, spec] : specs_) {
+      out += "  --" + name;
+      if (!spec.is_flag) out += " <" + spec.default_value + ">";
+      out += "  " + spec.help + "\n";
+    }
+    return out;
+  }
+
+ private:
+  struct Spec {
+    std::string help;
+    std::string default_value;
+    bool is_flag = false;
+  };
+  std::map<std::string, Spec> specs_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positionals_;
+};
+
+}  // namespace nbody::support

@@ -1,0 +1,50 @@
+#include "support/env.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace nbody::support {
+
+std::optional<std::string> env_string(const char* name) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return std::nullopt;
+  return std::string(v);
+}
+
+std::size_t env_size(const char* name, std::size_t fallback) {
+  auto s = env_string(name);
+  if (!s) return fallback;
+  std::size_t pos = 0;
+  unsigned long long v = 0;
+  try {
+    v = std::stoull(*s, &pos);
+  } catch (const std::exception&) {
+    throw std::invalid_argument(std::string(name) + ": expected integer, got '" + *s + "'");
+  }
+  if (pos != s->size())
+    throw std::invalid_argument(std::string(name) + ": trailing characters in '" + *s + "'");
+  return static_cast<std::size_t>(v);
+}
+
+double env_double(const char* name, double fallback) {
+  auto s = env_string(name);
+  if (!s) return fallback;
+  std::size_t pos = 0;
+  double v = 0;
+  try {
+    v = std::stod(*s, &pos);
+  } catch (const std::exception&) {
+    throw std::invalid_argument(std::string(name) + ": expected number, got '" + *s + "'");
+  }
+  if (pos != s->size())
+    throw std::invalid_argument(std::string(name) + ": trailing characters in '" + *s + "'");
+  return v;
+}
+
+bool env_flag(const char* name, bool fallback) {
+  auto s = env_string(name);
+  if (!s) return fallback;
+  return *s == "1" || *s == "true" || *s == "yes" || *s == "on";
+}
+
+}  // namespace nbody::support

@@ -1,0 +1,31 @@
+// Environment-variable configuration helpers.
+//
+// All runtime tunables of the library are read through this one interface so
+// benchmarks and tests have a single documented surface:
+//   NBODY_THREADS  — worker count of the global thread pool (default:
+//                    hardware_concurrency).
+//   NBODY_CSV      — when "1", benches additionally emit CSV files.
+//   NBODY_SCALE    — global workload scale factor for benches (default 1.0);
+//                    lets the full harness run on small machines.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+namespace nbody::support {
+
+/// Returns the raw value of an environment variable, if set and non-empty.
+std::optional<std::string> env_string(const char* name);
+
+/// Parses an environment variable as a non-negative integer.
+/// Returns `fallback` when unset; throws std::invalid_argument on garbage.
+std::size_t env_size(const char* name, std::size_t fallback);
+
+/// Parses an environment variable as a double. Returns `fallback` when unset.
+double env_double(const char* name, double fallback);
+
+/// True when the variable is set to "1", "true", "yes" or "on".
+bool env_flag(const char* name, bool fallback = false);
+
+}  // namespace nbody::support

@@ -1,0 +1,36 @@
+// Non-owning callable reference, a minimal stand-in for C++26
+// std::function_ref. Used on the thread-pool dispatch path where a
+// heap-allocating std::function would be unacceptable.
+#pragma once
+
+#include <type_traits>
+#include <utility>
+
+namespace nbody::support {
+
+template <class Signature>
+class function_ref;  // undefined primary
+
+/// Type-erased, non-owning view of a callable with signature R(Args...).
+///
+/// The referenced callable must outlive the function_ref. Copy is shallow.
+template <class R, class... Args>
+class function_ref<R(Args...)> {
+ public:
+  template <class F,
+            class = std::enable_if_t<!std::is_same_v<std::decay_t<F>, function_ref> &&
+                                     std::is_invocable_r_v<R, F&, Args...>>>
+  function_ref(F&& f) noexcept  // NOLINT(google-explicit-constructor): mirrors std::function_ref
+      : obj_(const_cast<void*>(static_cast<const void*>(std::addressof(f)))),
+        call_([](void* obj, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<F>*>(obj))(std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const { return call_(obj_, std::forward<Args>(args)...); }
+
+ private:
+  void* obj_;
+  R (*call_)(void*, Args...);
+};
+
+}  // namespace nbody::support

@@ -1,0 +1,46 @@
+// Compensated (Kahan-Neumaier) summation.
+//
+// Energy-conservation diagnostics sum O(N^2) pairwise potential terms whose
+// magnitudes span many orders; naive accumulation loses the signal the tests
+// assert on. The simulation itself does NOT use compensated sums (matching
+// the paper's plain FP64 arithmetic) — only the diagnostics do.
+#pragma once
+
+namespace nbody::support {
+
+/// Neumaier variant of Kahan summation: robust when the addend exceeds the
+/// running sum in magnitude.
+class KahanSum {
+ public:
+  constexpr KahanSum() = default;
+  explicit constexpr KahanSum(double init) : sum_(init) {}
+
+  constexpr void add(double v) {
+    const double t = sum_ + v;
+    if ((sum_ >= 0 ? sum_ : -sum_) >= (v >= 0 ? v : -v)) {
+      comp_ += (sum_ - t) + v;
+    } else {
+      comp_ += (v - t) + sum_;
+    }
+    sum_ = t;
+  }
+
+  constexpr KahanSum& operator+=(double v) {
+    add(v);
+    return *this;
+  }
+
+  /// Merge another compensated sum (used to combine per-thread partials).
+  constexpr void merge(const KahanSum& other) {
+    add(other.sum_);
+    comp_ += other.comp_;
+  }
+
+  [[nodiscard]] constexpr double value() const { return sum_ + comp_; }
+
+ private:
+  double sum_ = 0.0;
+  double comp_ = 0.0;
+};
+
+}  // namespace nbody::support

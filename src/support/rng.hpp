@@ -1,0 +1,83 @@
+// Deterministic pseudo-random number generation for workload synthesis.
+//
+// Two generators:
+//   SplitMix64 — tiny, used for seeding and cheap per-index hashing.
+//   Xoshiro256ss — the workhorse stream generator (xoshiro256**), with
+//                  double/normal helpers. Both are fully deterministic across
+//                  platforms, which keeps the paper's "deterministic galaxy
+//                  collision" workload bit-reproducible.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+
+namespace nbody::support {
+
+/// SplitMix64: statistically solid 64-bit mixer (Steele et al.).
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Stateless hash of a 64-bit index; handy for per-body jitter.
+constexpr std::uint64_t hash_u64(std::uint64_t x) {
+  SplitMix64 s(x);
+  return s.next();
+}
+
+/// xoshiro256** by Blackman & Vigna; public-domain reference algorithm.
+class Xoshiro256ss {
+ public:
+  explicit Xoshiro256ss(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& w : s_) w = sm.next();
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Standard normal via Box-Muller (discards the paired variate for
+  /// simplicity; workload generation is not performance-sensitive).
+  double normal() {
+    double u1 = uniform();
+    while (u1 == 0.0) u1 = uniform();
+    const double u2 = uniform();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+  }
+
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace nbody::support

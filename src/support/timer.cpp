@@ -1,0 +1,31 @@
+#include "support/timer.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace nbody::support {
+
+double PhaseTimer::seconds(std::string_view name) const {
+  auto it = std::find(names_.begin(), names_.end(), name);
+  if (it == names_.end()) return 0.0;
+  return totals_[static_cast<std::size_t>(it - names_.begin())];
+}
+
+double PhaseTimer::total() const {
+  return std::accumulate(totals_.begin(), totals_.end(), 0.0);
+}
+
+void PhaseTimer::clear() {
+  names_.clear();
+  totals_.clear();
+}
+
+std::size_t PhaseTimer::index_of(std::string_view name) {
+  auto it = std::find(names_.begin(), names_.end(), name);
+  if (it != names_.end()) return static_cast<std::size_t>(it - names_.begin());
+  names_.emplace_back(name);
+  totals_.push_back(0.0);
+  return names_.size() - 1;
+}
+
+}  // namespace nbody::support

@@ -1,0 +1,93 @@
+// Wall-clock timing utilities used by the simulation driver and benches.
+//
+// `Stopwatch` measures one interval; `PhaseTimer` accumulates named phases
+// (the per-step breakdown behind the paper's Figure 8).
+#pragma once
+
+#include <array>
+#include <optional>
+#include <chrono>
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nbody::support {
+
+/// Monotonic stopwatch. Started on construction or `reset()`.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction / last reset.
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Accumulates wall time into named phases across many iterations.
+///
+/// Usage:
+///   PhaseTimer t;
+///   { auto s = t.scope("build"); build(); }
+///   t.seconds("build");
+class PhaseTimer {
+ public:
+  class Scope {
+   public:
+    Scope(PhaseTimer& owner, std::size_t idx) : owner_(&owner), idx_(idx) {}
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+    Scope(Scope&& o) noexcept : owner_(o.owner_), idx_(o.idx_), watch_(o.watch_) {
+      o.owner_ = nullptr;
+    }
+    Scope& operator=(Scope&&) = delete;
+    ~Scope() {
+      if (owner_ != nullptr) owner_->add(idx_, watch_.seconds());
+    }
+
+   private:
+    PhaseTimer* owner_;
+    std::size_t idx_;
+    Stopwatch watch_;
+  };
+
+  /// RAII scope that accumulates its lifetime into phase `name`.
+  [[nodiscard]] Scope scope(std::string_view name) { return Scope(*this, index_of(name)); }
+
+  /// Scope against an optional timer: strategies accept PhaseTimer* and pass
+  /// it here; a null timer costs nothing.
+  [[nodiscard]] static std::optional<Scope> maybe(PhaseTimer* timer, std::string_view name) {
+    if (timer == nullptr) return std::nullopt;
+    return std::optional<Scope>(std::in_place, *timer, timer->index_of(name));
+  }
+
+  /// Directly accumulate `secs` into phase `name`.
+  void add(std::string_view name, double secs) { add(index_of(name), secs); }
+
+  /// Total seconds recorded for `name` (0 when the phase never ran).
+  [[nodiscard]] double seconds(std::string_view name) const;
+
+  /// Sum over all phases.
+  [[nodiscard]] double total() const;
+
+  /// Phase names in first-use order.
+  [[nodiscard]] const std::vector<std::string>& names() const { return names_; }
+
+  void clear();
+
+ private:
+  std::size_t index_of(std::string_view name);
+  void add(std::size_t idx, double secs) { totals_[idx] += secs; }
+
+  std::vector<std::string> names_;
+  std::vector<double> totals_;
+};
+
+}  // namespace nbody::support

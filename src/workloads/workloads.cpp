@@ -1,0 +1,178 @@
+#include "workloads/workloads.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+
+namespace nbody::workloads {
+
+namespace {
+
+using support::Xoshiro256ss;
+using std::numbers::pi;
+
+/// One rotating disk galaxy appended to `sys` (3-D).
+void add_galaxy_3d(core::System<double, 3>& sys, std::size_t n_stars,
+                   const GalaxyParams& p, const math::vec3d& center,
+                   const math::vec3d& bulk_velocity, int spin, Xoshiro256ss& rng) {
+  sys.add(p.central_mass, center, bulk_velocity);
+  for (std::size_t s = 0; s < n_stars; ++s) {
+    // Radius ~ sqrt(u) gives a uniform surface density; floor keeps stars
+    // off the singular nucleus.
+    const double r = p.disk_radius * std::sqrt(rng.uniform(0.0025, 1.0));
+    const double phi = rng.uniform(0.0, 2.0 * pi);
+    const double z = rng.normal(0.0, p.thickness);
+    const math::vec3d pos = center + math::vec3d{{r * std::cos(phi), r * std::sin(phi), z}};
+    // Circular speed about the nucleus (disk self-gravity neglected — the
+    // workload only needs to be deterministic and galaxy-shaped).
+    const double v_circ = std::sqrt(p.G * p.central_mass / r);
+    const math::vec3d vel =
+        bulk_velocity +
+        math::vec3d{{-std::sin(phi), std::cos(phi), 0.0}} * (v_circ * static_cast<double>(spin));
+    sys.add(p.star_mass, pos, vel);
+  }
+}
+
+void add_galaxy_2d(core::System<double, 2>& sys, std::size_t n_stars,
+                   const GalaxyParams& p, const math::vec2d& center,
+                   const math::vec2d& bulk_velocity, int spin, Xoshiro256ss& rng) {
+  sys.add(p.central_mass, center, bulk_velocity);
+  for (std::size_t s = 0; s < n_stars; ++s) {
+    const double r = p.disk_radius * std::sqrt(rng.uniform(0.0025, 1.0));
+    const double phi = rng.uniform(0.0, 2.0 * pi);
+    const math::vec2d pos = center + math::vec2d{{r * std::cos(phi), r * std::sin(phi)}};
+    const double v_circ = std::sqrt(p.G * p.central_mass / r);
+    const math::vec2d vel =
+        bulk_velocity +
+        math::vec2d{{-std::sin(phi), std::cos(phi)}} * (v_circ * static_cast<double>(spin));
+    sys.add(p.star_mass, pos, vel);
+  }
+}
+
+}  // namespace
+
+core::System<double, 3> galaxy_collision(std::size_t n, std::uint64_t seed,
+                                         const GalaxyParams& p) {
+  NBODY_REQUIRE(n >= 2, "galaxy_collision: need at least 2 bodies");
+  Xoshiro256ss rng(seed);
+  core::System<double, 3> sys;
+  const std::size_t stars_a = (n - 2) / 2;
+  const std::size_t stars_b = (n - 2) - stars_a;
+  const double half_sep = p.separation / 2.0;
+  const double impact = p.disk_radius / 2.0;  // grazing, not head-on
+  add_galaxy_3d(sys, stars_a, p, {{-half_sep, -impact / 2.0, 0.0}},
+                {{p.approach_speed / 2.0, 0.0, 0.0}}, +1, rng);
+  add_galaxy_3d(sys, stars_b, p, {{half_sep, impact / 2.0, 0.0}},
+                {{-p.approach_speed / 2.0, 0.0, 0.0}}, -1, rng);
+  return sys;
+}
+
+core::System<double, 2> galaxy_collision_2d(std::size_t n, std::uint64_t seed,
+                                            const GalaxyParams& p) {
+  NBODY_REQUIRE(n >= 2, "galaxy_collision_2d: need at least 2 bodies");
+  Xoshiro256ss rng(seed);
+  core::System<double, 2> sys;
+  const std::size_t stars_a = (n - 2) / 2;
+  const std::size_t stars_b = (n - 2) - stars_a;
+  const double half_sep = p.separation / 2.0;
+  const double impact = p.disk_radius / 2.0;
+  add_galaxy_2d(sys, stars_a, p, {{-half_sep, -impact / 2.0}},
+                {{p.approach_speed / 2.0, 0.0}}, +1, rng);
+  add_galaxy_2d(sys, stars_b, p, {{half_sep, impact / 2.0}},
+                {{-p.approach_speed / 2.0, 0.0}}, -1, rng);
+  return sys;
+}
+
+core::System<double, 3> plummer_sphere(std::size_t n, std::uint64_t seed, double scale,
+                                       double G) {
+  NBODY_REQUIRE(n >= 1, "plummer_sphere: need at least 1 body");
+  Xoshiro256ss rng(seed);
+  core::System<double, 3> sys;
+  const double m = 1.0 / static_cast<double>(n);  // total mass 1
+  for (std::size_t i = 0; i < n; ++i) {
+    // Radius from the inverse Plummer cumulative mass profile.
+    const double u = rng.uniform(1e-10, 1.0);
+    const double r = scale / std::sqrt(std::pow(u, -2.0 / 3.0) - 1.0);
+    // Isotropic direction.
+    const double ct = rng.uniform(-1.0, 1.0);
+    const double st = std::sqrt(std::max(0.0, 1.0 - ct * ct));
+    const double ph = rng.uniform(0.0, 2.0 * pi);
+    const math::vec3d dir{{st * std::cos(ph), st * std::sin(ph), ct}};
+    // Speed via von Neumann rejection on q = v / v_escape (Aarseth et al.).
+    double q = 0.0;
+    for (;;) {
+      const double qq = rng.uniform(0.0, 1.0);
+      const double g = qq * qq * std::pow(1.0 - qq * qq, 3.5);
+      if (rng.uniform(0.0, 0.1) < g) {
+        q = qq;
+        break;
+      }
+    }
+    const double v_esc = std::sqrt(2.0 * G / scale) *
+                         std::pow(1.0 + (r / scale) * (r / scale), -0.25);
+    const double ctv = rng.uniform(-1.0, 1.0);
+    const double stv = std::sqrt(std::max(0.0, 1.0 - ctv * ctv));
+    const double phv = rng.uniform(0.0, 2.0 * pi);
+    const math::vec3d vdir{{stv * std::cos(phv), stv * std::sin(phv), ctv}};
+    sys.add(m, dir * r, vdir * (q * v_esc));
+  }
+  return sys;
+}
+
+core::System<double, 3> uniform_cube(std::size_t n, std::uint64_t seed, double half) {
+  Xoshiro256ss rng(seed);
+  core::System<double, 3> sys;
+  for (std::size_t i = 0; i < n; ++i) {
+    sys.add(1.0,
+            {{rng.uniform(-half, half), rng.uniform(-half, half), rng.uniform(-half, half)}},
+            math::vec3d::zero());
+  }
+  return sys;
+}
+
+core::System<double, 3> solar_system(std::size_t n_minor, std::uint64_t seed,
+                                     const SolarSystemParams& p) {
+  Xoshiro256ss rng(seed);
+  core::System<double, 3> sys;
+  sys.add(p.sun_mass, math::vec3d::zero(), math::vec3d::zero());
+  const double mu = p.G * p.sun_mass;
+  math::vec3d momentum = math::vec3d::zero();
+  for (std::size_t i = 0; i < n_minor; ++i) {
+    // Orbital elements: log-uniform semi-major axis, modest eccentricity
+    // and inclination, uniform angles.
+    const double a = p.min_radius * std::exp(rng.uniform(0.0, std::log(p.max_radius / p.min_radius)));
+    const double e = rng.uniform(0.0, p.max_eccentricity);
+    const double inc = rng.uniform(0.0, p.max_inclination);
+    const double omega = rng.uniform(0.0, 2.0 * pi);   // argument of periapsis
+    const double Omega = rng.uniform(0.0, 2.0 * pi);   // longitude of node
+    const double nu = rng.uniform(0.0, 2.0 * pi);      // true anomaly
+    // Perifocal position/velocity.
+    const double plr = a * (1.0 - e * e);  // semi-latus rectum
+    const double r = plr / (1.0 + e * std::cos(nu));
+    const math::vec3d pos_pf{{r * std::cos(nu), r * std::sin(nu), 0.0}};
+    const double vs = std::sqrt(mu / plr);
+    const math::vec3d vel_pf{{-vs * std::sin(nu), vs * (e + std::cos(nu)), 0.0}};
+    // Rotate perifocal -> inertial: Rz(Omega) * Rx(inc) * Rz(omega).
+    auto rot_z = [](const math::vec3d& v, double ang) {
+      const double c = std::cos(ang);
+      const double s = std::sin(ang);
+      return math::vec3d{{c * v[0] - s * v[1], s * v[0] + c * v[1], v[2]}};
+    };
+    auto rot_x = [](const math::vec3d& v, double ang) {
+      const double c = std::cos(ang);
+      const double s = std::sin(ang);
+      return math::vec3d{{v[0], c * v[1] - s * v[2], s * v[1] + c * v[2]}};
+    };
+    const math::vec3d pos = rot_z(rot_x(rot_z(pos_pf, omega), inc), Omega);
+    const math::vec3d vel = rot_z(rot_x(rot_z(vel_pf, omega), inc), Omega);
+    sys.add(p.body_mass, pos, vel);
+    momentum += vel * p.body_mass;
+  }
+  // Counter-momentum on the star: total linear momentum exactly zero.
+  sys.v[0] = -momentum / p.sun_mass;
+  return sys;
+}
+
+}  // namespace nbody::workloads

@@ -1,0 +1,68 @@
+// Deterministic workload generators for the paper's experiments.
+//
+//  * galaxy_collision — the evaluation workload: "a deterministic collision
+//    between two neighboring galaxies with varying number of bodies"
+//    (Sec. V-A). Two rotating disk galaxies with massive central bodies on
+//    an approach course. Fixed-seed, bit-reproducible.
+//  * plummer_sphere   — the classic Aarseth cluster model; used by tests and
+//    the θ ablation as a spherical, centrally-condensed distribution.
+//  * uniform_cube     — uniform random positions; the stress case for tree
+//    depth uniformity.
+//  * solar_system     — the stand-in for NASA JPL's Small-Body Database in
+//    the validation experiment (DESIGN.md §1): one dominant central mass and
+//    N minor bodies on randomized Keplerian orbits.
+//
+// All generators return 3-D double-precision systems (the paper evaluates
+// FP64, footnote 2); galaxy_collision_2d provides the quadtree-path variant.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/system.hpp"
+
+namespace nbody::workloads {
+
+struct GalaxyParams {
+  double central_mass = 1000.0;   // mass of each galaxy's nucleus
+  double star_mass = 1.0;         // mass of each disk star
+  double disk_radius = 10.0;      // disk extent
+  double thickness = 0.5;         // out-of-plane jitter (3-D only)
+  double separation = 40.0;       // initial distance between nuclei
+  double approach_speed = 2.0;    // closing speed along the separation axis
+  double G = 1.0;                 // must match the SimConfig used to run it
+};
+
+/// Two-galaxy collision with `n` bodies total (n >= 2).
+core::System<double, 3> galaxy_collision(std::size_t n, std::uint64_t seed = 42,
+                                         const GalaxyParams& params = {});
+
+/// 2-D variant exercising the quadtree code paths.
+core::System<double, 2> galaxy_collision_2d(std::size_t n, std::uint64_t seed = 42,
+                                            const GalaxyParams& params = {});
+
+/// Plummer sphere of `n` equal-mass bodies in virial equilibrium
+/// (total mass 1, scale radius `scale`).
+core::System<double, 3> plummer_sphere(std::size_t n, std::uint64_t seed = 7,
+                                       double scale = 1.0, double G = 1.0);
+
+/// `n` unit-mass bodies uniformly random in [-half, half]^3, at rest.
+core::System<double, 3> uniform_cube(std::size_t n, std::uint64_t seed = 3,
+                                     double half = 1.0);
+
+struct SolarSystemParams {
+  double sun_mass = 1.0;
+  double body_mass = 1e-12;       // minor bodies are test masses in effect
+  double min_radius = 0.3;        // semi-major axis range (AU-like units)
+  double max_radius = 40.0;
+  double max_eccentricity = 0.25;
+  double max_inclination = 0.3;   // radians
+  double G = 1.0;
+};
+
+/// Central star + `n_minor` bodies on randomized elliptical orbits.
+/// Body 0 is the star.
+core::System<double, 3> solar_system(std::size_t n_minor, std::uint64_t seed = 11,
+                                     const SolarSystemParams& params = {});
+
+}  // namespace nbody::workloads

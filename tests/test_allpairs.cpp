@@ -1,0 +1,211 @@
+// Tests for the O(N^2) baselines: AllPairs (par_unseq over bodies) and
+// AllPairsCol (par over pairs with atomic accumulation), plus the triangular
+// pair-index decoding.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "allpairs/allpairs.hpp"
+#include "core/reference.hpp"
+#include "core/system.hpp"
+#include "workloads/workloads.hpp"
+
+namespace {
+
+using nbody::exec::par;
+using nbody::exec::par_unseq;
+using nbody::exec::seq;
+using vec3 = nbody::math::vec3d;
+
+// ---------------------------------------------------------------- pair index
+
+TEST(PairIndex, EnumeratesStrictUpperTriangle) {
+  for (std::size_t n : {2u, 3u, 5u, 17u, 100u}) {
+    const std::size_t pairs = n * (n - 1) / 2;
+    std::size_t p = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j, ++p) {
+        const auto [di, dj] = nbody::allpairs::detail::pair_from_index(p, n);
+        EXPECT_EQ(di, i) << "n=" << n << " p=" << p;
+        EXPECT_EQ(dj, j) << "n=" << n << " p=" << p;
+      }
+    }
+    EXPECT_EQ(p, pairs);
+  }
+}
+
+TEST(PairIndex, LargeNBoundaries) {
+  const std::size_t n = 100'000;
+  const std::size_t pairs = n * (n - 1) / 2;
+  // First, last, and a handful of interior indices decode consistently.
+  for (std::size_t p : {std::size_t{0}, std::size_t{1}, pairs / 3, pairs / 2, pairs - 1}) {
+    const auto [i, j] = nbody::allpairs::detail::pair_from_index(p, n);
+    EXPECT_LT(i, j);
+    EXPECT_LT(j, n);
+    // Re-encode: row_start(i) + (j - i - 1) == p.
+    const std::size_t row_start = i * (n - 1) - i * (i - 1) / 2;
+    EXPECT_EQ(row_start + (j - i - 1), p);
+  }
+}
+
+// ---------------------------------------------------------------- all-pairs
+
+TEST(AllPairs, MatchesReferenceExactly) {
+  auto sys = nbody::workloads::plummer_sphere(300, 1);
+  nbody::core::SimConfig<double> cfg;
+  auto ref = sys;
+  nbody::core::reference_accelerations(ref, cfg);
+  nbody::allpairs::AllPairs<double, 3> strat;
+  strat.accelerations(par_unseq, sys, cfg);
+  for (std::size_t i = 0; i < sys.size(); ++i)
+    for (int d = 0; d < 3; ++d) EXPECT_DOUBLE_EQ(sys.a[i][d], ref.a[i][d]) << i;
+}
+
+TEST(AllPairs, SeqMatchesPar) {
+  auto s1 = nbody::workloads::plummer_sphere(200, 2);
+  auto s2 = s1;
+  nbody::core::SimConfig<double> cfg;
+  nbody::allpairs::AllPairs<double, 3> strat;
+  strat.accelerations(seq, s1, cfg);
+  strat.accelerations(par_unseq, s2, cfg);
+  for (std::size_t i = 0; i < s1.size(); ++i) EXPECT_EQ(s1.a[i], s2.a[i]);
+}
+
+TEST(AllPairs, EmptyAndSingle) {
+  nbody::core::System<double, 3> sys;
+  nbody::core::SimConfig<double> cfg;
+  nbody::allpairs::AllPairs<double, 3> strat;
+  strat.accelerations(par_unseq, sys, cfg);  // empty: no-op
+  sys.add(1.0, {{0, 0, 0}}, vec3::zero());
+  strat.accelerations(par_unseq, sys, cfg);
+  EXPECT_EQ(sys.a[0], vec3::zero());
+}
+
+TEST(AllPairs, TwoDimensional) {
+  nbody::core::System<double, 2> sys;
+  sys.add(1.0, {{0, 0}}, nbody::math::vec2d::zero());
+  sys.add(4.0, {{2, 0}}, nbody::math::vec2d::zero());
+  nbody::core::SimConfig<double> cfg;
+  cfg.softening = 0.0;
+  nbody::allpairs::AllPairs<double, 2> strat;
+  strat.accelerations(par_unseq, sys, cfg);
+  EXPECT_NEAR(sys.a[0][0], 1.0, 1e-12);
+  EXPECT_NEAR(sys.a[1][0], -0.25, 1e-12);
+}
+
+// ---------------------------------------------------------------- all-pairs-col
+
+TEST(AllPairsCol, MatchesAllPairsWithinRounding) {
+  auto sys_a = nbody::workloads::plummer_sphere(300, 3);
+  auto sys_b = sys_a;
+  nbody::core::SimConfig<double> cfg;
+  nbody::allpairs::AllPairs<double, 3> a;
+  nbody::allpairs::AllPairsCol<double, 3> b;
+  a.accelerations(par_unseq, sys_a, cfg);
+  b.accelerations(par, sys_b, cfg);
+  for (std::size_t i = 0; i < sys_a.size(); ++i) {
+    for (int d = 0; d < 3; ++d)
+      EXPECT_NEAR(sys_a.a[i][d], sys_b.a[i][d],
+                  1e-10 * std::max(1.0, std::abs(sys_a.a[i][d])))
+          << i;
+  }
+}
+
+TEST(AllPairsCol, HandlesMasslessBodies) {
+  // Newton's-third-law accumulation must not divide by a zero mass.
+  nbody::core::System<double, 3> sys;
+  sys.add(5.0, {{0, 0, 0}}, vec3::zero());
+  sys.add(0.0, {{1, 0, 0}}, vec3::zero());
+  nbody::core::SimConfig<double> cfg;
+  cfg.softening = 0.0;
+  nbody::allpairs::AllPairsCol<double, 3> strat;
+  strat.accelerations(par, sys, cfg);
+  EXPECT_NEAR(sys.a[1][0], -5.0, 1e-12);  // tracer attracted
+  EXPECT_NEAR(sys.a[0][0], 0.0, 1e-12);   // nothing back
+}
+
+TEST(AllPairsCol, MomentumNeutralAccumulation) {
+  // sum(m a) == 0 exactly up to rounding: each pair adds equal and opposite.
+  auto sys = nbody::workloads::plummer_sphere(400, 4);
+  nbody::core::SimConfig<double> cfg;
+  nbody::allpairs::AllPairsCol<double, 3> strat;
+  strat.accelerations(par, sys, cfg);
+  vec3 net = vec3::zero();
+  for (std::size_t i = 0; i < sys.size(); ++i) net += sys.a[i] * sys.m[i];
+  EXPECT_LT(norm(net), 1e-9);
+}
+
+TEST(AllPairsCol, SeqPolicyWorks) {
+  auto sys = nbody::workloads::plummer_sphere(100, 5);
+  nbody::core::SimConfig<double> cfg;
+  nbody::allpairs::AllPairsCol<double, 3> strat;
+  strat.accelerations(seq, sys, cfg);
+  auto ref = sys;
+  nbody::core::reference_accelerations(ref, cfg);
+  for (std::size_t i = 0; i < sys.size(); ++i)
+    for (int d = 0; d < 3; ++d) EXPECT_NEAR(sys.a[i][d], ref.a[i][d], 1e-10);
+}
+
+template <class P>
+constexpr bool col_accepts = requires(nbody::allpairs::AllPairsCol<double, 3> c,
+                                      nbody::core::System<double, 3> s,
+                                      nbody::core::SimConfig<double> cfg) {
+  c.accelerations(P{}, s, cfg);
+};
+
+TEST(AllPairsCol, RejectsParUnseqAtCompileTime) {
+  // Atomic accumulation is vectorization-unsafe: the strategy only accepts
+  // policies with parallel forward progress.
+  static_assert(col_accepts<nbody::exec::parallel_policy>);
+  static_assert(col_accepts<nbody::exec::sequenced_policy>);
+  static_assert(!col_accepts<nbody::exec::parallel_unsequenced_policy>);
+  EXPECT_TRUE(col_accepts<nbody::exec::parallel_policy>);
+  EXPECT_FALSE(col_accepts<nbody::exec::parallel_unsequenced_policy>);
+}
+
+TEST(AllPairsCol, ClearsStaleAccelerations) {
+  auto sys = nbody::workloads::plummer_sphere(50, 6);
+  for (auto& a : sys.a) a = {{1e9, 1e9, 1e9}};  // garbage from a prior step
+  nbody::core::SimConfig<double> cfg;
+  nbody::allpairs::AllPairsCol<double, 3> strat;
+  strat.accelerations(par, sys, cfg);
+  auto ref = sys;
+  nbody::core::reference_accelerations(ref, cfg);
+  for (std::size_t i = 0; i < sys.size(); ++i)
+    for (int d = 0; d < 3; ++d) EXPECT_NEAR(sys.a[i][d], ref.a[i][d], 1e-9);
+}
+
+// ---------------------------------------------------------------- tiled
+
+TEST(AllPairsTiled, MatchesAllPairsExactly) {
+  // Tiling only reorders the j loop in contiguous ascending blocks, so the
+  // accumulation order — and therefore every bit — is identical.
+  auto sys_a = nbody::workloads::plummer_sphere(400, 8);
+  auto sys_b = sys_a;
+  nbody::core::SimConfig<double> cfg;
+  nbody::allpairs::AllPairs<double, 3> plain;
+  nbody::allpairs::AllPairsTiled<double, 3> tiled(64);
+  plain.accelerations(par_unseq, sys_a, cfg);
+  tiled.accelerations(par_unseq, sys_b, cfg);
+  for (std::size_t i = 0; i < sys_a.size(); ++i) EXPECT_EQ(sys_a.a[i], sys_b.a[i]) << i;
+}
+
+TEST(AllPairsTiled, TileSizesAllAgree) {
+  auto base = nbody::workloads::plummer_sphere(300, 9);
+  nbody::core::SimConfig<double> cfg;
+  nbody::allpairs::AllPairs<double, 3> plain;
+  auto want = base;
+  plain.accelerations(par_unseq, want, cfg);
+  for (std::size_t tile : {1u, 7u, 64u, 1024u}) {
+    auto sys = base;
+    nbody::allpairs::AllPairsTiled<double, 3> tiled(tile);
+    tiled.accelerations(par_unseq, sys, cfg);
+    for (std::size_t i = 0; i < sys.size(); ++i) EXPECT_EQ(sys.a[i], want.a[i]) << tile;
+  }
+}
+
+TEST(AllPairsTiled, RejectsZeroTile) {
+  EXPECT_THROW((nbody::allpairs::AllPairsTiled<double, 3>(0)), std::invalid_argument);
+}
+
+}  // namespace

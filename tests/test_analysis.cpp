@@ -1,0 +1,124 @@
+// Tests for core/analysis.hpp: radial profiles, Lagrange radii, velocity
+// dispersion, and virial diagnostics — checked against closed-form values
+// on constructed systems and against theory on the Plummer model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "core/analysis.hpp"
+#include "workloads/workloads.hpp"
+
+namespace {
+
+using nbody::exec::par;
+using nbody::exec::seq;
+using vec3 = nbody::math::vec3d;
+
+TEST(RadialProfile, BinsMassByShell) {
+  nbody::core::System<double, 3> sys;
+  sys.add(1.0, {{0.05, 0, 0}}, vec3::zero());  // bin 0 of [0, 1) in 10 bins
+  sys.add(2.0, {{0.55, 0, 0}}, vec3::zero());  // bin 5
+  sys.add(4.0, {{5.0, 0, 0}}, vec3::zero());   // beyond r_max -> last bin
+  const auto prof = nbody::core::radial_profile(sys, vec3::zero(), 1.0, 10);
+  ASSERT_EQ(prof.size(), 10u);
+  EXPECT_DOUBLE_EQ(prof[0], 1.0);
+  EXPECT_DOUBLE_EQ(prof[5], 2.0);
+  EXPECT_DOUBLE_EQ(prof[9], 4.0);
+  EXPECT_DOUBLE_EQ(std::accumulate(prof.begin(), prof.end(), 0.0), 7.0);
+}
+
+TEST(RadialProfile, RejectsBadArguments) {
+  nbody::core::System<double, 3> sys(1);
+  EXPECT_THROW(nbody::core::radial_profile(sys, vec3::zero(), 1.0, 0),
+               std::invalid_argument);
+  EXPECT_THROW(nbody::core::radial_profile(sys, vec3::zero(), 0.0, 4),
+               std::invalid_argument);
+}
+
+TEST(RadialProfile, PlummerDensityFallsMonotonically) {
+  const auto sys = nbody::workloads::plummer_sphere(30'000, 3);
+  const auto prof = nbody::core::radial_profile(sys, vec3::zero(), 3.0, 6);
+  // Density = mass / shell volume must decrease outward for Plummer.
+  double prev = 1e300;
+  for (std::size_t b = 0; b < prof.size() - 1; ++b) {  // skip overflow bin
+    const double r0 = 0.5 * b, r1 = 0.5 * (b + 1);
+    const double vol = 4.0 / 3.0 * 3.14159265 * (r1 * r1 * r1 - r0 * r0 * r0);
+    const double density = prof[b] / vol;
+    EXPECT_LT(density, prev) << b;
+    prev = density;
+  }
+}
+
+TEST(LagrangeRadii, ExactOnConstructedShells) {
+  nbody::core::System<double, 3> sys;
+  for (int i = 1; i <= 10; ++i)
+    sys.add(1.0, {{0.1 * i, 0, 0}}, vec3::zero());  // radii 0.1 .. 1.0
+  const auto radii =
+      nbody::core::lagrange_radii(sys, vec3::zero(), std::vector<double>{0.1, 0.5, 1.0});
+  EXPECT_NEAR(radii[0], 0.1, 1e-12);
+  EXPECT_NEAR(radii[1], 0.5, 1e-12);
+  EXPECT_NEAR(radii[2], 1.0, 1e-12);
+}
+
+TEST(LagrangeRadii, MonotoneInFraction) {
+  const auto sys = nbody::workloads::plummer_sphere(5000, 4);
+  const auto radii = nbody::core::lagrange_radii(
+      sys, vec3::zero(), std::vector<double>{0.1, 0.25, 0.5, 0.75, 0.9});
+  for (std::size_t i = 1; i < radii.size(); ++i) EXPECT_GT(radii[i], radii[i - 1]);
+}
+
+TEST(LagrangeRadii, HalfMassMatchesPlummerTheory) {
+  const auto sys = nbody::workloads::plummer_sphere(30'000, 5);
+  // r_half = scale / sqrt(2^(2/3) - 1) ~ 1.3048.
+  EXPECT_NEAR(nbody::core::half_mass_radius(sys, vec3::zero()), 1.3048, 0.08);
+}
+
+TEST(LagrangeRadii, RejectsBadFraction) {
+  nbody::core::System<double, 3> sys(2);
+  EXPECT_THROW(
+      nbody::core::lagrange_radii(sys, vec3::zero(), std::vector<double>{0.0}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      nbody::core::lagrange_radii(sys, vec3::zero(), std::vector<double>{1.5}),
+      std::invalid_argument);
+}
+
+TEST(VelocityDispersion, ZeroForComovingSystem) {
+  nbody::core::System<double, 3> sys;
+  sys.add(1.0, {{0, 0, 0}}, {{3, 3, 3}});
+  sys.add(5.0, {{1, 0, 0}}, {{3, 3, 3}});
+  EXPECT_NEAR(nbody::core::velocity_dispersion(seq, sys), 0.0, 1e-12);
+}
+
+TEST(VelocityDispersion, KnownTwoBodyValue) {
+  nbody::core::System<double, 3> sys;
+  sys.add(1.0, {{0, 0, 0}}, {{+1, 0, 0}});
+  sys.add(1.0, {{1, 0, 0}}, {{-1, 0, 0}});
+  // Mean velocity zero; each |v - mean| = 1 -> dispersion 1.
+  EXPECT_NEAR(nbody::core::velocity_dispersion(seq, sys), 1.0, 1e-12);
+}
+
+TEST(VelocityDispersion, PoliciesAgree) {
+  const auto sys = nbody::workloads::plummer_sphere(3000, 6);
+  EXPECT_NEAR(nbody::core::velocity_dispersion(seq, sys),
+              nbody::core::velocity_dispersion(par, sys), 1e-12);
+}
+
+TEST(Virial, PlummerNearEquilibrium) {
+  const auto sys = nbody::workloads::plummer_sphere(4000, 7);
+  EXPECT_NEAR(nbody::core::virial_ratio(par, sys, 1.0, 0.0), 1.0, 0.25);
+}
+
+TEST(Virial, ColdSystemHasZeroRatio) {
+  const auto sys = nbody::workloads::uniform_cube(100, 8);  // at rest
+  EXPECT_DOUBLE_EQ(nbody::core::virial_ratio(seq, sys, 1.0, 0.0), 0.0);
+}
+
+TEST(Virial, EmptySystem) {
+  nbody::core::System<double, 3> sys;
+  EXPECT_DOUBLE_EQ(nbody::core::virial_ratio(seq, sys, 1.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(nbody::core::velocity_dispersion(seq, sys), 0.0);
+}
+
+}  // namespace

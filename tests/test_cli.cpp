@@ -1,0 +1,205 @@
+// Tests for the CLI option parser (support/cli.hpp) and snapshot I/O
+// (core/snapshot.hpp) that back the nbody_cli example.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/diagnostics.hpp"
+#include "core/snapshot.hpp"
+#include "support/cli.hpp"
+#include "workloads/workloads.hpp"
+
+namespace {
+
+using nbody::support::CliParser;
+
+CliParser make_parser() {
+  CliParser cli;
+  cli.add_option("n", "body count", "100");
+  cli.add_option("dt", "time step", "0.5");
+  cli.add_option("name", "a string", "default");
+  cli.add_flag("verbose", "more output");
+  return cli;
+}
+
+int parse(CliParser& cli, const std::vector<const char*>& args) {
+  std::vector<const char*> argv;
+  argv.reserve(args.size() + 1);
+  argv.push_back("prog");
+  for (const char* a : args) argv.push_back(a);
+  cli.parse(static_cast<int>(argv.size()), argv.data());
+  return 0;
+}
+
+// ---------------------------------------------------------------- parser
+
+TEST(Cli, DefaultsApplyWhenUnset) {
+  auto cli = make_parser();
+  parse(cli, {});
+  EXPECT_EQ(cli.get_size("n"), 100u);
+  EXPECT_DOUBLE_EQ(cli.get_double("dt"), 0.5);
+  EXPECT_EQ(cli.get("name"), "default");
+  EXPECT_FALSE(cli.get_flag("verbose"));
+}
+
+TEST(Cli, SpaceSeparatedValues) {
+  auto cli = make_parser();
+  parse(cli, {"--n", "42", "--name", "abc"});
+  EXPECT_EQ(cli.get_size("n"), 42u);
+  EXPECT_EQ(cli.get("name"), "abc");
+  EXPECT_TRUE(cli.was_set("n"));
+  EXPECT_FALSE(cli.was_set("dt"));
+}
+
+TEST(Cli, EqualsSeparatedValues) {
+  auto cli = make_parser();
+  parse(cli, {"--n=7", "--dt=0.25"});
+  EXPECT_EQ(cli.get_size("n"), 7u);
+  EXPECT_DOUBLE_EQ(cli.get_double("dt"), 0.25);
+}
+
+TEST(Cli, FlagsAreBoolean) {
+  auto cli = make_parser();
+  parse(cli, {"--verbose"});
+  EXPECT_TRUE(cli.get_flag("verbose"));
+}
+
+TEST(Cli, FlagRejectsValue) {
+  auto cli = make_parser();
+  EXPECT_THROW(parse(cli, {"--verbose=yes"}), std::invalid_argument);
+}
+
+TEST(Cli, UnknownOptionRejected) {
+  auto cli = make_parser();
+  EXPECT_THROW(parse(cli, {"--bogus", "1"}), std::invalid_argument);
+}
+
+TEST(Cli, MissingValueRejected) {
+  auto cli = make_parser();
+  EXPECT_THROW(parse(cli, {"--n"}), std::invalid_argument);
+}
+
+TEST(Cli, MalformedNumbersRejected) {
+  auto cli = make_parser();
+  parse(cli, {"--n", "12x", "--dt", "abc"});
+  EXPECT_THROW((void)cli.get_size("n"), std::invalid_argument);
+  EXPECT_THROW((void)cli.get_double("dt"), std::invalid_argument);
+}
+
+TEST(Cli, PositionalsCollected) {
+  auto cli = make_parser();
+  parse(cli, {"file1", "--n", "5", "file2"});
+  EXPECT_EQ(cli.positionals(), (std::vector<std::string>{"file1", "file2"}));
+}
+
+TEST(Cli, UndeclaredGetRejected) {
+  auto cli = make_parser();
+  parse(cli, {});
+  EXPECT_THROW(cli.get("nope"), std::invalid_argument);
+}
+
+TEST(Cli, UsageListsOptions) {
+  auto cli = make_parser();
+  const auto u = cli.usage();
+  EXPECT_NE(u.find("--n"), std::string::npos);
+  EXPECT_NE(u.find("--verbose"), std::string::npos);
+}
+
+// ---------------------------------------------------------------- snapshots
+
+struct TempDir {
+  std::filesystem::path path;
+  TempDir() {
+    path = std::filesystem::temp_directory_path() / "nbody_snapshot_test";
+    std::filesystem::create_directories(path);
+  }
+  ~TempDir() { std::filesystem::remove_all(path); }
+  std::string file(const char* name) const { return (path / name).string(); }
+};
+
+TEST(Snapshot, BinaryRoundTripIsExact) {
+  TempDir tmp;
+  const auto sys = nbody::workloads::galaxy_collision(500, 42);
+  nbody::core::save_snapshot_binary(sys, tmp.file("s.bin"));
+  const auto back = nbody::core::load_snapshot_binary<double, 3>(tmp.file("s.bin"));
+  ASSERT_EQ(back.size(), sys.size());
+  for (std::size_t i = 0; i < sys.size(); ++i) {
+    EXPECT_EQ(back.m[i], sys.m[i]);
+    EXPECT_EQ(back.x[i], sys.x[i]);
+    EXPECT_EQ(back.v[i], sys.v[i]);
+    EXPECT_EQ(back.id[i], sys.id[i]);
+  }
+}
+
+TEST(Snapshot, CsvRoundTripIsExact) {
+  TempDir tmp;
+  const auto sys = nbody::workloads::plummer_sphere(100, 7);
+  nbody::core::save_snapshot_csv(sys, tmp.file("s.csv"));
+  const auto back = nbody::core::load_snapshot_csv<double, 3>(tmp.file("s.csv"));
+  ASSERT_EQ(back.size(), sys.size());
+  // 17 significant digits: exact double round trip through decimal.
+  for (std::size_t i = 0; i < sys.size(); ++i) {
+    EXPECT_EQ(back.m[i], sys.m[i]) << i;
+    EXPECT_EQ(back.x[i], sys.x[i]) << i;
+    EXPECT_EQ(back.v[i], sys.v[i]) << i;
+    EXPECT_EQ(back.id[i], sys.id[i]) << i;
+  }
+}
+
+TEST(Snapshot, TwoDimensionalBinaryRoundTrip) {
+  TempDir tmp;
+  const auto sys = nbody::workloads::galaxy_collision_2d(200, 3);
+  nbody::core::save_snapshot_binary(sys, tmp.file("s2.bin"));
+  const auto back = nbody::core::load_snapshot_binary<double, 2>(tmp.file("s2.bin"));
+  ASSERT_EQ(back.size(), sys.size());
+  for (std::size_t i = 0; i < sys.size(); ++i) EXPECT_EQ(back.x[i], sys.x[i]);
+}
+
+TEST(Snapshot, DimensionMismatchRejected) {
+  TempDir tmp;
+  const auto sys = nbody::workloads::galaxy_collision(64, 1);
+  nbody::core::save_snapshot_binary(sys, tmp.file("s3.bin"));
+  EXPECT_THROW((nbody::core::load_snapshot_binary<double, 2>(tmp.file("s3.bin"))),
+               std::runtime_error);
+  EXPECT_THROW((nbody::core::load_snapshot_binary<float, 3>(tmp.file("s3.bin"))),
+               std::runtime_error);
+}
+
+TEST(Snapshot, GarbageFileRejected) {
+  TempDir tmp;
+  {
+    std::FILE* f = std::fopen(tmp.file("junk.bin").c_str(), "wb");
+    std::fputs("this is not a snapshot", f);
+    std::fclose(f);
+  }
+  EXPECT_THROW((nbody::core::load_snapshot_binary<double, 3>(tmp.file("junk.bin"))),
+               std::runtime_error);
+}
+
+TEST(Snapshot, MissingFileRejected) {
+  EXPECT_THROW((nbody::core::load_snapshot_binary<double, 3>("/nonexistent/nope.bin")),
+               std::runtime_error);
+}
+
+TEST(Snapshot, EmptySystemRoundTrips) {
+  TempDir tmp;
+  nbody::core::System<double, 3> sys;
+  nbody::core::save_snapshot_binary(sys, tmp.file("empty.bin"));
+  const auto back = nbody::core::load_snapshot_binary<double, 3>(tmp.file("empty.bin"));
+  EXPECT_EQ(back.size(), 0u);
+}
+
+TEST(Snapshot, PreservesPermutedIds) {
+  TempDir tmp;
+  auto sys = nbody::workloads::plummer_sphere(50, 9);
+  std::swap(sys.id[0], sys.id[49]);
+  nbody::core::save_snapshot_binary(sys, tmp.file("perm.bin"));
+  const auto back = nbody::core::load_snapshot_binary<double, 3>(tmp.file("perm.bin"));
+  EXPECT_EQ(back.id[0], sys.id[0]);
+  EXPECT_EQ(back.id[49], sys.id[49]);
+}
+
+}  // namespace

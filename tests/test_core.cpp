@@ -1,0 +1,386 @@
+// Tests for the core module: system state, bounding-box reduction
+// (Algorithm 3), the Störmer-Verlet integrators, diagnostics, and the serial
+// reference Barnes-Hut.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "allpairs/allpairs.hpp"
+#include "core/bbox.hpp"
+#include "core/diagnostics.hpp"
+#include "core/integrator.hpp"
+#include "core/reference.hpp"
+#include "core/simulation.hpp"
+#include "core/system.hpp"
+#include "support/rng.hpp"
+#include "workloads/workloads.hpp"
+
+namespace {
+
+using nbody::exec::par;
+using nbody::exec::par_unseq;
+using nbody::exec::seq;
+using vec3 = nbody::math::vec3d;
+
+// ---------------------------------------------------------------- system
+
+TEST(System, ResizeAssignsSequentialIds) {
+  nbody::core::System<double, 3> sys(5);
+  for (std::uint32_t i = 0; i < 5; ++i) EXPECT_EQ(sys.id[i], i);
+  sys.resize(8);
+  for (std::uint32_t i = 0; i < 8; ++i) EXPECT_EQ(sys.id[i], i);
+}
+
+TEST(System, AddAppends) {
+  nbody::core::System<double, 3> sys;
+  const auto idx = sys.add(2.0, {{1, 2, 3}}, {{4, 5, 6}});
+  EXPECT_EQ(idx, 0u);
+  EXPECT_EQ(sys.size(), 1u);
+  EXPECT_DOUBLE_EQ(sys.m[0], 2.0);
+  EXPECT_EQ(sys.x[0], (vec3{{1, 2, 3}}));
+  EXPECT_EQ(sys.v[0], (vec3{{4, 5, 6}}));
+  EXPECT_EQ(sys.a[0], vec3::zero());
+}
+
+TEST(System, AppendRebasesIds) {
+  nbody::core::System<double, 3> a(3), b(2);
+  a.append(b);
+  EXPECT_EQ(a.size(), 5u);
+  EXPECT_EQ(a.id[3], 3u);
+  EXPECT_EQ(a.id[4], 4u);
+}
+
+TEST(System, IndexOfId) {
+  nbody::core::System<double, 3> sys(4);
+  std::swap(sys.id[0], sys.id[3]);
+  EXPECT_EQ(sys.index_of_id(3), 0u);
+  EXPECT_EQ(sys.index_of_id(0), 3u);
+  EXPECT_EQ(sys.index_of_id(99), sys.size());
+}
+
+TEST(SimConfig, DerivedQuantities) {
+  nbody::core::SimConfig<double> cfg;
+  cfg.theta = 0.5;
+  cfg.softening = 0.1;
+  EXPECT_DOUBLE_EQ(cfg.theta2(), 0.25);
+  EXPECT_DOUBLE_EQ(cfg.eps2(), 0.01);
+}
+
+// ---------------------------------------------------------------- bbox
+
+TEST(BBox, ReductionFindsExtremes) {
+  std::vector<vec3> x = {{{1, 5, -2}}, {{-3, 2, 7}}, {{0, 0, 0}}};
+  const auto box = nbody::core::compute_bounding_box(par_unseq, x);
+  EXPECT_EQ(box.lo, (vec3{{-3, 0, -2}}));
+  EXPECT_EQ(box.hi, (vec3{{1, 5, 7}}));
+}
+
+TEST(BBox, EmptyInput) {
+  std::vector<vec3> x;
+  EXPECT_TRUE(nbody::core::compute_bounding_box(par_unseq, x).empty());
+  EXPECT_FALSE(nbody::core::compute_root_cube(par_unseq, x).empty());
+}
+
+TEST(BBox, PoliciesAgree) {
+  const auto sys = nbody::workloads::plummer_sphere(5000, 1);
+  const auto a = nbody::core::compute_bounding_box(seq, sys.x);
+  const auto b = nbody::core::compute_bounding_box(par, sys.x);
+  const auto c = nbody::core::compute_bounding_box(par_unseq, sys.x);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, c);
+}
+
+TEST(BBox, RootCubeContainsAllBodies) {
+  const auto sys = nbody::workloads::galaxy_collision(1000);
+  const auto cube = nbody::core::compute_root_cube(par, sys.x);
+  for (const auto& p : sys.x) EXPECT_TRUE(cube.contains(p));
+  const auto e = cube.extent();
+  EXPECT_DOUBLE_EQ(e[0], e[1]);
+  EXPECT_DOUBLE_EQ(e[1], e[2]);
+}
+
+// ---------------------------------------------------------------- integrators
+
+// Two-body circular orbit: the crispest conservation test there is.
+nbody::core::System<double, 3> circular_binary() {
+  nbody::core::System<double, 3> sys;
+  // Equal masses M=1 at +/-1 on x, circular velocity v = sqrt(G M_tot / 4r) ...
+  // For two bodies of mass m separated by d=2: each orbits the COM at r=1
+  // with v^2 = G m / (2 d) * 2 = G m / 4 * 2 ... derive directly:
+  // centripetal: v^2/r = G m / d^2 => v = sqrt(G m r / d^2) = sqrt(1/4) = 0.5.
+  sys.add(1.0, {{-1, 0, 0}}, {{0, -0.5, 0}});
+  sys.add(1.0, {{1, 0, 0}}, {{0, 0.5, 0}});
+  return sys;
+}
+
+TEST(Integrator, LeapfrogConservesEnergyOverManyOrbits) {
+  auto sys = circular_binary();
+  nbody::core::SimConfig<double> cfg;
+  cfg.dt = 1e-2;
+  cfg.softening = 0.0;
+  const double e0 =
+      nbody::core::total_energy(seq, sys, cfg.G, 0.0).total();
+  nbody::allpairs::AllPairs<double, 3> force;
+  // Orbit period: T = 2 pi r / v = 2 pi / 0.5 * 1 ~ 12.57; run ~8 orbits.
+  force.accelerations(seq, sys, cfg);
+  nbody::core::leapfrog_prime(seq, sys, cfg.dt);
+  const int steps = 10'000;
+  for (int s = 0; s < steps; ++s) {
+    force.accelerations(seq, sys, cfg);
+    nbody::core::leapfrog_step(seq, sys, cfg.dt);
+  }
+  // Re-synchronize velocities for the energy measurement.
+  force.accelerations(seq, sys, cfg);
+  nbody::core::leapfrog_synchronize(seq, sys, cfg.dt);
+  const double e1 = nbody::core::total_energy(seq, sys, cfg.G, 0.0).total();
+  EXPECT_NEAR(e1, e0, std::abs(e0) * 1e-3);  // symplectic: bounded drift
+}
+
+TEST(Integrator, LeapfrogPreservesCircularRadius) {
+  auto sys = circular_binary();
+  nbody::core::SimConfig<double> cfg;
+  cfg.dt = 1e-3;
+  cfg.softening = 0.0;
+  nbody::allpairs::AllPairs<double, 3> force;
+  force.accelerations(seq, sys, cfg);
+  nbody::core::leapfrog_prime(seq, sys, cfg.dt);
+  for (int s = 0; s < 5000; ++s) {
+    force.accelerations(seq, sys, cfg);
+    nbody::core::leapfrog_step(seq, sys, cfg.dt);
+  }
+  EXPECT_NEAR(norm(sys.x[0]), 1.0, 1e-3);
+  EXPECT_NEAR(norm(sys.x[1]), 1.0, 1e-3);
+}
+
+TEST(Integrator, VelocityVerletMatchesLeapfrogPositions) {
+  auto lf = circular_binary();
+  auto vv = circular_binary();
+  nbody::core::SimConfig<double> cfg;
+  cfg.dt = 1e-3;
+  cfg.softening = 0.0;
+  nbody::allpairs::AllPairs<double, 3> force;
+
+  force.accelerations(seq, lf, cfg);
+  nbody::core::leapfrog_prime(seq, lf, cfg.dt);
+  for (int s = 0; s < 1000; ++s) {
+    force.accelerations(seq, lf, cfg);
+    nbody::core::leapfrog_step(seq, lf, cfg.dt);
+  }
+
+  force.accelerations(seq, vv, cfg);
+  for (int s = 0; s < 1000; ++s) {
+    nbody::core::velocity_verlet_step(
+        seq, vv, cfg.dt, [&](nbody::core::System<double, 3>& s2) {
+          force.accelerations(seq, s2, cfg);
+        });
+  }
+  for (int i = 0; i < 2; ++i)
+    for (int d = 0; d < 3; ++d) EXPECT_NEAR(lf.x[i][d], vv.x[i][d], 1e-9) << i << d;
+}
+
+TEST(Integrator, MomentumExactlyConservedByPairSymmetricForces) {
+  auto sys = nbody::workloads::plummer_sphere(200, 2);
+  nbody::core::SimConfig<double> cfg;
+  nbody::allpairs::AllPairsCol<double, 3> force;  // exact pairwise +/- adds
+  const vec3 p0 = nbody::core::total_momentum(seq, sys);
+  force.accelerations(par, sys, cfg);
+  nbody::core::leapfrog_prime(seq, sys, cfg.dt);
+  for (int s = 0; s < 50; ++s) {
+    force.accelerations(par, sys, cfg);
+    nbody::core::leapfrog_step(seq, sys, cfg.dt);
+  }
+  const vec3 p1 = nbody::core::total_momentum(seq, sys);
+  EXPECT_LT(norm(p1 - p0), 1e-9);
+}
+
+TEST(AdaptiveStep, SuggestionScalesWithAcceleration) {
+  nbody::core::System<double, 3> weak, strong;
+  weak.add(1.0, {{0, 0, 0}}, vec3::zero());
+  weak.a[0] = {{0.01, 0, 0}};
+  strong.add(1.0, {{0, 0, 0}}, vec3::zero());
+  strong.a[0] = {{100.0, 0, 0}};
+  const double dt_weak = nbody::core::suggest_timestep(seq, weak, 0.1, 0.05, 1e-9, 1e9);
+  const double dt_strong = nbody::core::suggest_timestep(seq, strong, 0.1, 0.05, 1e-9, 1e9);
+  EXPECT_GT(dt_weak, dt_strong);
+  // dt ~ a^-1/2: ratio should be sqrt(100/0.01) = 100.
+  EXPECT_NEAR(dt_weak / dt_strong, 100.0, 1e-9);
+}
+
+TEST(AdaptiveStep, ClampedToBounds) {
+  nbody::core::System<double, 3> sys;
+  sys.add(1.0, {{0, 0, 0}}, vec3::zero());
+  sys.a[0] = {{1e30, 0, 0}};
+  EXPECT_DOUBLE_EQ(nbody::core::suggest_timestep(seq, sys, 0.1, 0.05, 1e-4, 1.0), 1e-4);
+  sys.a[0] = {{1e-30, 0, 0}};
+  EXPECT_DOUBLE_EQ(nbody::core::suggest_timestep(seq, sys, 0.1, 0.05, 1e-4, 1.0), 1.0);
+  sys.a[0] = vec3::zero();  // force-free: take the largest allowed step
+  EXPECT_DOUBLE_EQ(nbody::core::suggest_timestep(seq, sys, 0.1, 0.05, 1e-4, 1.0), 1.0);
+}
+
+TEST(AdaptiveStep, RejectsBadParameters) {
+  nbody::core::System<double, 3> sys(1);
+  EXPECT_THROW(nbody::core::suggest_timestep(seq, sys, 0.0, 0.05, 1e-4, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(nbody::core::suggest_timestep(seq, sys, 0.1, 0.05, 1.0, 0.5),
+               std::invalid_argument);
+}
+
+TEST(AdaptiveStep, RunAdaptiveReachesRequestedTime) {
+  auto sys = nbody::workloads::plummer_sphere(200, 9);
+  nbody::core::SimConfig<double> cfg;
+  cfg.softening = 0.05;
+  nbody::core::Simulation<double, 3, nbody::allpairs::AllPairs<double, 3>> sim(
+      std::move(sys), cfg);
+  const auto steps = sim.run_adaptive(par_unseq, 0.05, 0.2, 1e-5, 1e-2);
+  EXPECT_GT(steps, 0u);
+  EXPECT_NEAR(sim.simulated_time(), 0.05, 1e-12);
+  EXPECT_EQ(sim.steps_done(), steps);
+}
+
+TEST(AdaptiveStep, BeatsFixedStepOnEccentricBinaryAtEqualCost) {
+  // Eccentric binary: e ~ 0.9, perihelion passage needs tiny steps, the
+  // rest of the orbit doesn't. Adaptive stepping spends its budget at
+  // perihelion and conserves energy better than a fixed step with the SAME
+  // number of force evaluations.
+  auto make_binary = [] {
+    nbody::core::System<double, 3> sys;
+    // Apoapsis start: r = 2, vis-viva with a = 1.0526 (e=0.9): mu = 2m = 2? 
+    // Use m1 = m2 = 1, mu = G(m1+m2) = 2; r_apo = 2; a = r_apo/(1+e) ...
+    // a(1+e) = 2 with e = 0.9 -> a = 1.0526; v_apo = sqrt(mu(2/r - 1/a)).
+    const double e = 0.9;
+    const double r_apo = 2.0;
+    const double a = r_apo / (1 + e);
+    const double mu = 2.0;
+    const double v_apo = std::sqrt(mu * (2.0 / r_apo - 1.0 / a));
+    sys.add(1.0, {{-1, 0, 0}}, {{0, -v_apo / 2, 0}});
+    sys.add(1.0, {{1, 0, 0}}, {{0, v_apo / 2, 0}});
+    return sys;
+  };
+  nbody::core::SimConfig<double> cfg;
+  cfg.softening = 0.02;
+  const double t_end = 1.0;
+  const double e0 =
+      nbody::core::total_energy(seq, make_binary(), cfg.G, cfg.eps2()).total();
+
+  nbody::core::Simulation<double, 3, nbody::allpairs::AllPairs<double, 3>> adaptive(
+      make_binary(), cfg);
+  const auto adaptive_steps = adaptive.run_adaptive(seq, t_end, 0.05, 1e-6, 5e-2);
+  const double e_adaptive =
+      nbody::core::total_energy(seq, adaptive.system(), cfg.G, cfg.eps2()).total();
+
+  auto fixed_cfg = cfg;
+  fixed_cfg.dt = t_end / static_cast<double>(adaptive_steps);  // same step count
+  nbody::core::Simulation<double, 3, nbody::allpairs::AllPairs<double, 3>> fixed(
+      make_binary(), fixed_cfg);
+  fixed.run(seq, adaptive_steps);
+  fixed.synchronize_velocities(seq);
+  const double e_fixed =
+      nbody::core::total_energy(seq, fixed.system(), cfg.G, cfg.eps2()).total();
+
+  EXPECT_LT(std::abs(e_adaptive - e0), std::abs(e_fixed - e0));
+}
+
+// ---------------------------------------------------------------- diagnostics
+
+TEST(Diagnostics, KineticEnergy) {
+  nbody::core::System<double, 3> sys;
+  sys.add(2.0, vec3::zero(), {{3, 0, 0}});  // 0.5*2*9 = 9
+  sys.add(1.0, vec3::zero(), {{0, 4, 0}});  // 0.5*1*16 = 8
+  EXPECT_NEAR(nbody::core::kinetic_energy(seq, sys), 17.0, 1e-12);
+}
+
+TEST(Diagnostics, PotentialEnergyPairSum) {
+  nbody::core::System<double, 3> sys;
+  sys.add(2.0, {{0, 0, 0}}, vec3::zero());
+  sys.add(3.0, {{2, 0, 0}}, vec3::zero());
+  EXPECT_NEAR(nbody::core::potential_energy(seq, sys, 1.0, 0.0), -3.0, 1e-12);
+}
+
+TEST(Diagnostics, PotentialPoliciesAgree) {
+  const auto sys = nbody::workloads::plummer_sphere(400, 3);
+  const double a = nbody::core::potential_energy(seq, sys, 1.0, 1e-4);
+  const double b = nbody::core::potential_energy(par, sys, 1.0, 1e-4);
+  EXPECT_NEAR(a, b, std::abs(a) * 1e-12);
+}
+
+TEST(Diagnostics, TotalMassAndCom) {
+  nbody::core::System<double, 3> sys;
+  sys.add(1.0, {{0, 0, 0}}, vec3::zero());
+  sys.add(3.0, {{4, 0, 0}}, vec3::zero());
+  EXPECT_DOUBLE_EQ(nbody::core::total_mass(par, sys), 4.0);
+  EXPECT_EQ(nbody::core::center_of_mass(par, sys), (vec3{{3, 0, 0}}));
+}
+
+TEST(Diagnostics, L2ErrorMatchesById) {
+  nbody::core::System<double, 3> a(3), b(3);
+  a.x = {{{1, 0, 0}}, {{0, 1, 0}}, {{0, 0, 1}}};
+  b.x = a.x;
+  EXPECT_DOUBLE_EQ(nbody::core::l2_position_error(a, b), 0.0);
+  // Permute b's storage (ids follow): error must stay zero.
+  std::swap(b.x[0], b.x[2]);
+  std::swap(b.id[0], b.id[2]);
+  EXPECT_DOUBLE_EQ(nbody::core::l2_position_error(a, b), 0.0);
+  // A real difference registers.
+  b.x[0][0] += 0.5;
+  EXPECT_NEAR(nbody::core::l2_position_error(a, b), 0.5, 1e-12);
+}
+
+TEST(Diagnostics, RmsRelativeError) {
+  std::vector<vec3> ref = {{{1, 0, 0}}, {{0, 2, 0}}};
+  std::vector<vec3> test = ref;
+  EXPECT_DOUBLE_EQ(nbody::core::rms_relative_error(test, ref), 0.0);
+  test[0][0] = 1.1;
+  EXPECT_NEAR(nbody::core::rms_relative_error(test, ref), 0.1 / std::sqrt(2.0), 1e-12);
+}
+
+// ---------------------------------------------------------------- reference BH
+
+TEST(ReferenceBH, MatchesDirectSumAtSmallTheta) {
+  auto sys = nbody::workloads::plummer_sphere(400, 4);
+  nbody::core::SimConfig<double> cfg;
+  cfg.theta = 0.1;
+  auto ref = sys;
+  nbody::core::reference_accelerations(ref, cfg);
+  nbody::core::ReferenceBarnesHut<double, 3> bh;
+  bh.accelerations(seq, sys, cfg);
+  EXPECT_LT(nbody::core::rms_relative_error(sys.a, ref.a), 5e-3);
+}
+
+TEST(ReferenceBH, HandlesCoincidentBodies) {
+  nbody::core::System<double, 3> sys;
+  for (int i = 0; i < 5; ++i) sys.add(1.0, {{0.5, 0.5, 0.5}}, vec3::zero());
+  nbody::core::SimConfig<double> cfg;
+  nbody::core::ReferenceBarnesHut<double, 3> bh;
+  bh.accelerations(seq, sys, cfg);  // must terminate (max depth)
+  for (const auto& a : sys.a) EXPECT_EQ(a, vec3::zero());
+}
+
+// ---------------------------------------------------------------- simulation
+
+TEST(Simulation, RunsAndCountsSteps) {
+  auto sys = nbody::workloads::plummer_sphere(200, 5);
+  nbody::core::Simulation<double, 3, nbody::allpairs::AllPairs<double, 3>> sim(
+      std::move(sys), {});
+  sim.run(par_unseq, 3);
+  EXPECT_EQ(sim.steps_done(), 3u);
+  EXPECT_GT(sim.phases().seconds("force"), 0.0);
+  EXPECT_GT(sim.phases().seconds("update"), 0.0);
+}
+
+TEST(Simulation, EnergyStableOnPlummer) {
+  auto sys = nbody::workloads::plummer_sphere(300, 6);
+  nbody::core::SimConfig<double> cfg;
+  cfg.dt = 1e-3;
+  cfg.softening = 0.05;
+  const double e0 = nbody::core::total_energy(seq, sys, cfg.G, cfg.eps2()).total();
+  nbody::core::Simulation<double, 3, nbody::allpairs::AllPairs<double, 3>> sim(
+      std::move(sys), cfg);
+  sim.run(par_unseq, 200);
+  sim.synchronize_velocities(par_unseq);
+  const double e1 =
+      nbody::core::total_energy(seq, sim.system(), cfg.G, cfg.eps2()).total();
+  EXPECT_NEAR(e1, e0, std::abs(e0) * 0.02);
+}
+
+}  // namespace

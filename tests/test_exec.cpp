@@ -1,0 +1,560 @@
+// Tests for the execution substrate: thread pool, parallel for/reduce/sort/
+// scan, permutations, the policy semantics (forward-progress tags and the
+// vectorization-unsafety enforcement), and the atomic helpers.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+#include <random>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "exec/algorithms.hpp"
+#include "exec/atomic.hpp"
+#include "exec/policy.hpp"
+#include "exec/thread_pool.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace nbody::exec;
+
+// ---------------------------------------------------------------- thread pool
+
+TEST(ThreadPool, RunsEveryRankExactlyOnce) {
+  thread_pool pool(4);
+  std::vector<std::atomic<int>> hits(4);
+  auto fn = [&](unsigned r) { hits[r].fetch_add(1); };
+  nbody::support::function_ref<void(unsigned)> ref(fn);
+  pool.run(ref);
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ReusableAcrossRegions) {
+  thread_pool pool(3);
+  std::atomic<int> total{0};
+  for (int rep = 0; rep < 50; ++rep) {
+    auto fn = [&](unsigned) { total.fetch_add(1); };
+    nbody::support::function_ref<void(unsigned)> ref(fn);
+    pool.run(ref);
+  }
+  EXPECT_EQ(total.load(), 150);
+}
+
+TEST(ThreadPool, SingleParticipantRunsInline) {
+  thread_pool pool(1);
+  int hits = 0;
+  auto fn = [&](unsigned r) {
+    EXPECT_EQ(r, 0u);
+    ++hits;
+  };
+  nbody::support::function_ref<void(unsigned)> ref(fn);
+  pool.run(ref);
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(ThreadPool, RejectsZeroConcurrency) {
+  EXPECT_THROW(thread_pool(0), std::invalid_argument);
+}
+
+TEST(ThreadPool, PropagatesException) {
+  thread_pool pool(4);
+  auto fn = [&](unsigned r) {
+    if (r == 2) throw std::runtime_error("boom");
+  };
+  nbody::support::function_ref<void(unsigned)> ref(fn);
+  EXPECT_THROW(pool.run(ref), std::runtime_error);
+  // Pool still usable afterwards.
+  std::atomic<int> ok{0};
+  auto fn2 = [&](unsigned) { ok.fetch_add(1); };
+  nbody::support::function_ref<void(unsigned)> ref2(fn2);
+  pool.run(ref2);
+  EXPECT_EQ(ok.load(), 4);
+}
+
+TEST(ThreadPool, NestedRunDegradesToSequential) {
+  thread_pool pool(3);
+  std::atomic<int> inner{0};
+  auto outer = [&](unsigned) {
+    auto in = [&](unsigned) { inner.fetch_add(1); };
+    nbody::support::function_ref<void(unsigned)> iref(in);
+    pool.run(iref);  // nested: must not deadlock
+  };
+  nbody::support::function_ref<void(unsigned)> oref(outer);
+  pool.run(oref);
+  EXPECT_EQ(inner.load(), 9);  // 3 outer ranks x 3 inline inner ranks
+}
+
+TEST(ThreadPool, GlobalPoolExists) {
+  EXPECT_GE(thread_pool::global().concurrency(), 1u);
+}
+
+// ---------------------------------------------------------------- for_each
+
+template <class Policy>
+void check_for_each_covers(Policy policy) {
+  const std::size_t n = 10'000;
+  std::vector<std::atomic<int>> hits(n);
+  for_each_index(policy, n, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ForEach, SeqCoversAllIndicesOnce) { check_for_each_covers(seq); }
+TEST(ForEach, ParCoversAllIndicesOnce) { check_for_each_covers(par); }
+TEST(ForEach, ParUnseqCoversAllIndicesOnce) { check_for_each_covers(par_unseq); }
+
+TEST(ForEach, DynamicBackendCoversAllIndicesOnce) {
+  const backend saved = default_backend();
+  set_default_backend(backend::dynamic_chunk);
+  check_for_each_covers(par);
+  set_default_backend(saved);
+}
+
+TEST(ForEach, WorkStealBackendCoversAllIndicesOnce) {
+  const backend saved = default_backend();
+  set_default_backend(backend::work_steal);
+  check_for_each_covers(par);
+  check_for_each_covers(par_unseq);
+  set_default_backend(saved);
+}
+
+std::atomic<long long> benchmark_sink{0};  // defeats dead-code elimination
+
+TEST(ForEach, WorkStealBalancesSkewedIterations) {
+  // First indices are expensive: stealing must still cover everything once.
+  const backend saved = default_backend();
+  set_default_backend(backend::work_steal);
+  const std::size_t n = 2'000;
+  std::vector<std::atomic<int>> hits(n);
+  for_each_index(par, n, [&](std::size_t i) {
+    if (i < 32) {
+      double sink = 0;
+      for (int k = 0; k < 200'000; ++k) sink += k;
+      benchmark_sink.fetch_add(static_cast<long long>(sink), std::memory_order_relaxed);
+    }
+    hits[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(hits[i].load(), 1) << i;
+  set_default_backend(saved);
+}
+
+TEST(StealableRange, OwnerPopsFrontInOrder) {
+  nbody::exec::detail::StealableRange r;
+  r.reset(10, 20);
+  std::uint32_t first = 0, last = 0;
+  ASSERT_TRUE(r.pop_front(4, first, last));
+  EXPECT_EQ(first, 10u);
+  EXPECT_EQ(last, 14u);
+  ASSERT_TRUE(r.pop_front(100, first, last));  // clamped to remainder
+  EXPECT_EQ(first, 14u);
+  EXPECT_EQ(last, 20u);
+  EXPECT_FALSE(r.pop_front(1, first, last));
+}
+
+TEST(StealableRange, ThiefTakesBackHalf) {
+  nbody::exec::detail::StealableRange r;
+  r.reset(0, 10);
+  std::uint32_t first = 0, last = 0;
+  ASSERT_TRUE(r.steal_back(first, last));
+  EXPECT_EQ(first, 5u);
+  EXPECT_EQ(last, 10u);
+  ASSERT_TRUE(r.steal_back(first, last));  // half of the remaining [0,5)
+  EXPECT_EQ(first, 2u);
+  EXPECT_EQ(last, 5u);
+  // Owner still gets the front.
+  ASSERT_TRUE(r.pop_front(10, first, last));
+  EXPECT_EQ(first, 0u);
+  EXPECT_EQ(last, 2u);
+  EXPECT_FALSE(r.steal_back(first, last));
+}
+
+TEST(StealableRange, ConcurrentPopsAndStealsAreDisjointAndComplete) {
+  nbody::exec::detail::StealableRange r;
+  constexpr std::uint32_t kN = 100'000;
+  r.reset(0, kN);
+  std::vector<std::atomic<int>> taken(kN);
+  thread_pool pool(4);
+  auto worker = [&](unsigned rank) {
+    std::uint32_t first = 0, last = 0;
+    for (;;) {
+      const bool got = (rank % 2 == 0) ? r.pop_front(64, first, last)
+                                       : r.steal_back(first, last);
+      if (!got) break;
+      for (std::uint32_t i = first; i < last; ++i) taken[i].fetch_add(1);
+    }
+  };
+  nbody::support::function_ref<void(unsigned)> ref(worker);
+  pool.run(ref);
+  // A lone stealer can stop early when only owner-side work remains; drain.
+  std::uint32_t first = 0, last = 0;
+  while (r.pop_front(1024, first, last))
+    for (std::uint32_t i = first; i < last; ++i) taken[i].fetch_add(1);
+  for (std::uint32_t i = 0; i < kN; ++i) ASSERT_EQ(taken[i].load(), 1) << i;
+}
+
+TEST(ForEach, EmptyRangeIsNoop) {
+  bool touched = false;
+  for_each_index(par, 0, [&](std::size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ForEach, IteratorFormMutatesElements) {
+  std::vector<int> v(1000, 1);
+  for_each(par, v.begin(), v.end(), [](int& x) { x *= 2; });
+  EXPECT_TRUE(std::all_of(v.begin(), v.end(), [](int x) { return x == 2; }));
+}
+
+TEST(ForEach, InstallsProgressRegion) {
+  forward_progress seen_par{};
+  forward_progress seen_unseq{};
+  for_each_index(par, 1, [&](std::size_t) { seen_par = current_progress(); });
+  for_each_index(par_unseq, 1, [&](std::size_t) { seen_unseq = current_progress(); });
+  EXPECT_EQ(seen_par, forward_progress::parallel);
+  EXPECT_EQ(seen_unseq, forward_progress::weakly_parallel);
+  EXPECT_EQ(current_progress(), forward_progress::concurrent);  // restored
+}
+
+// ---------------------------------------------------------------- reduce
+
+TEST(TransformReduce, SumMatchesSequential) {
+  const std::size_t n = 100'000;
+  auto square = [](std::size_t i) { return static_cast<long long>(i) * 3; };
+  const long long want = transform_reduce_index(seq, n, 0LL, std::plus<>{}, square);
+  EXPECT_EQ(transform_reduce_index(par, n, 0LL, std::plus<>{}, square), want);
+  EXPECT_EQ(transform_reduce_index(par_unseq, n, 0LL, std::plus<>{}, square), want);
+}
+
+TEST(TransformReduce, EmptyRangeReturnsInit) {
+  EXPECT_EQ(transform_reduce_index(par, 0, 42, std::plus<>{}, [](std::size_t) { return 1; }),
+            42);
+}
+
+TEST(TransformReduce, FloatingPointDeterministicAcrossRuns) {
+  const std::size_t n = 200'000;
+  nbody::support::Xoshiro256ss rng(11);
+  std::vector<double> vals(n);
+  for (auto& v : vals) v = rng.uniform(-1.0, 1.0) * 1e6;
+  auto run = [&] {
+    return transform_reduce_index(par, n, 0.0, std::plus<>{},
+                                  [&](std::size_t i) { return vals[i]; });
+  };
+  const double first = run();
+  for (int rep = 0; rep < 5; ++rep) EXPECT_EQ(run(), first);
+}
+
+TEST(TransformReduce, WorkStealBackendDeterministic) {
+  const backend saved = default_backend();
+  set_default_backend(backend::work_steal);
+  const std::size_t n = 100'000;
+  std::vector<double> vals(n);
+  nbody::support::Xoshiro256ss rng(14);
+  for (auto& v : vals) v = rng.uniform(-1.0, 1.0);
+  auto run = [&] {
+    return transform_reduce_index(par, n, 0.0, std::plus<>{},
+                                  [&](std::size_t i) { return vals[i]; });
+  };
+  const double first = run();
+  for (int rep = 0; rep < 5; ++rep) EXPECT_EQ(run(), first);
+  set_default_backend(saved);
+}
+
+TEST(TransformReduce, DynamicBackendAlsoDeterministic) {
+  const backend saved = default_backend();
+  set_default_backend(backend::dynamic_chunk);
+  const std::size_t n = 100'000;
+  std::vector<double> vals(n);
+  nbody::support::Xoshiro256ss rng(13);
+  for (auto& v : vals) v = rng.uniform(-1.0, 1.0);
+  auto run = [&] {
+    return transform_reduce_index(par, n, 0.0, std::plus<>{},
+                                  [&](std::size_t i) { return vals[i]; });
+  };
+  const double first = run();
+  for (int rep = 0; rep < 5; ++rep) EXPECT_EQ(run(), first);
+  set_default_backend(saved);
+}
+
+TEST(TransformReduce, IteratorFormMinMax) {
+  std::vector<int> v = {5, -2, 9, 3, 9, -7};
+  struct MinMax {
+    int lo, hi;
+  };
+  const auto mm = nbody::exec::transform_reduce(
+      par, v.begin(), v.end(), MinMax{1 << 30, -(1 << 30)},
+      [](MinMax a, MinMax b) {
+        return MinMax{std::min(a.lo, b.lo), std::max(a.hi, b.hi)};
+      },
+      [](int x) {
+        return MinMax{x, x};
+      });
+  EXPECT_EQ(mm.lo, -7);
+  EXPECT_EQ(mm.hi, 9);
+}
+
+// ---------------------------------------------------------------- sort
+
+template <class Policy>
+void check_sort(Policy policy, std::size_t n) {
+  std::vector<std::uint64_t> v(n);
+  nbody::support::Xoshiro256ss rng(n);
+  for (auto& e : v) e = rng.next() % 1000;
+  std::vector<std::uint64_t> want = v;
+  std::stable_sort(want.begin(), want.end());
+  nbody::exec::sort(policy, v.begin(), v.end());
+  EXPECT_EQ(v, want);
+}
+
+TEST(Sort, WorkStealBackend) {
+  const backend saved = default_backend();
+  set_default_backend(backend::work_steal);
+  check_sort(par, 50'000);
+  set_default_backend(saved);
+}
+
+TEST(Sort, SeqSmall) { check_sort(seq, 100); }
+TEST(Sort, ParBelowCutoff) { check_sort(par, 1000); }
+TEST(Sort, ParAboveCutoff) { check_sort(par, 100'000); }
+TEST(Sort, ParUnseqAboveCutoff) { check_sort(par_unseq, 50'000); }
+TEST(Sort, Empty) { check_sort(par, 0); }
+TEST(Sort, Single) { check_sort(par, 1); }
+
+TEST(Sort, OddSizesRoundRobin) {
+  for (std::size_t n : {4095u, 4097u, 10'001u, 65'537u}) check_sort(par, n);
+}
+
+TEST(Sort, AlreadySorted) {
+  std::vector<int> v(50'000);
+  std::iota(v.begin(), v.end(), 0);
+  auto want = v;
+  nbody::exec::sort(par, v.begin(), v.end());
+  EXPECT_EQ(v, want);
+}
+
+TEST(Sort, ReverseSorted) {
+  std::vector<int> v(50'000);
+  std::iota(v.begin(), v.end(), 0);
+  std::reverse(v.begin(), v.end());
+  nbody::exec::sort(par, v.begin(), v.end());
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end()));
+}
+
+TEST(Sort, CustomComparatorDescending) {
+  std::vector<int> v(30'000);
+  nbody::support::Xoshiro256ss rng(77);
+  for (auto& e : v) e = static_cast<int>(rng.next() % 100);
+  nbody::exec::sort(par, v.begin(), v.end(), std::greater<>{});
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end(), std::greater<>{}));
+}
+
+TEST(Sort, StableForEqualKeys) {
+  // Pairs with few distinct keys: stability preserves second-component order.
+  const std::size_t n = 60'000;
+  std::vector<std::pair<int, int>> v(n);
+  for (std::size_t i = 0; i < n; ++i)
+    v[i] = {static_cast<int>(i % 7), static_cast<int>(i)};
+  nbody::exec::sort(par, v.begin(), v.end(),
+                    [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (std::size_t i = 1; i < n; ++i) {
+    if (v[i - 1].first == v[i].first) {
+      EXPECT_LT(v[i - 1].second, v[i].second);
+    }
+  }
+}
+
+// ---------------------------------------------------------------- scan
+
+TEST(Scan, ExclusiveMatchesStd) {
+  const std::size_t n = 50'000;
+  std::vector<long long> in(n), out(n), want(n);
+  for (std::size_t i = 0; i < n; ++i) in[i] = static_cast<long long>(i % 13) - 6;
+  std::exclusive_scan(in.begin(), in.end(), want.begin(), 100LL);
+  exclusive_scan(par, in.data(), out.data(), n, 100LL);
+  EXPECT_EQ(out, want);
+}
+
+TEST(Scan, ExclusiveSmallAndEmpty) {
+  std::vector<int> in = {1, 2, 3};
+  std::vector<int> out(3);
+  exclusive_scan(par, in.data(), out.data(), 3, 0);
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 3}));
+  exclusive_scan(par, in.data(), out.data(), 0, 0);  // no-op
+}
+
+TEST(Scan, InclusiveMatchesStd) {
+  const std::size_t n = 30'000;
+  std::vector<long long> in(n), out(n), want(n);
+  for (std::size_t i = 0; i < n; ++i) in[i] = static_cast<long long>(i % 7);
+  std::inclusive_scan(in.begin(), in.end(), want.begin());
+  inclusive_scan(par, in.data(), out.data(), n);
+  EXPECT_EQ(out, want);
+}
+
+TEST(Scan, SeqPolicy) {
+  std::vector<int> in = {4, 5, 6};
+  std::vector<int> out(3);
+  exclusive_scan(seq, in.data(), out.data(), 3, 1);
+  EXPECT_EQ(out, (std::vector<int>{1, 5, 10}));
+}
+
+// ---------------------------------------------------------------- permutation
+
+TEST(Permutation, SortPermutationOrdersKeys) {
+  std::vector<std::uint64_t> keys = {5, 1, 4, 1, 3};
+  const auto perm = make_sort_permutation(par, keys);
+  ASSERT_EQ(perm.size(), 5u);
+  for (std::size_t i = 1; i < perm.size(); ++i)
+    EXPECT_LE(keys[perm[i - 1]], keys[perm[i]]);
+  // Stability: the two 1-keys keep original relative order.
+  EXPECT_EQ(perm[0], 1u);
+  EXPECT_EQ(perm[1], 3u);
+}
+
+TEST(Permutation, ApplyGathers) {
+  std::vector<std::uint32_t> perm = {2, 0, 1};
+  std::vector<std::string> src = {"a", "b", "c"};
+  std::vector<std::string> dst;
+  apply_permutation(par, perm, src, dst);
+  EXPECT_EQ(dst, (std::vector<std::string>{"c", "a", "b"}));
+}
+
+TEST(Permutation, LargeRandomIsPermutation) {
+  const std::size_t n = 100'000;
+  std::vector<std::uint64_t> keys(n);
+  nbody::support::Xoshiro256ss rng(31);
+  for (auto& k : keys) k = rng.next();
+  const auto perm = make_sort_permutation(par, keys);
+  std::vector<char> seen(n, 0);
+  for (auto p : perm) {
+    ASSERT_LT(p, n);
+    ASSERT_EQ(seen[p], 0);
+    seen[p] = 1;
+  }
+}
+
+// ---------------------------------------------------------------- policy semantics
+
+TEST(Policy, TagsMatchPaperRequirements) {
+  static_assert(sequenced_policy::progress == forward_progress::concurrent);
+  static_assert(parallel_policy::progress == forward_progress::parallel);
+  static_assert(parallel_unsequenced_policy::progress == forward_progress::weakly_parallel);
+  static_assert(StarvationFreeCapable<parallel_policy>);
+  static_assert(StarvationFreeCapable<sequenced_policy>);
+  static_assert(!StarvationFreeCapable<parallel_unsequenced_policy>);
+  SUCCEED();
+}
+
+TEST(Policy, ViolationRecordedForSyncAtomicUnderParUnseq) {
+  reset_vectorization_unsafe_violations();
+  std::uint32_t word = 0;
+  for_each_index(par_unseq, 1, [&](std::size_t) {
+    (void)load_acquire(word);  // synchronizing atomic inside par_unseq
+  });
+  EXPECT_GE(vectorization_unsafe_violations(), 1u);
+  reset_vectorization_unsafe_violations();
+}
+
+TEST(Policy, NoViolationUnderPar) {
+  reset_vectorization_unsafe_violations();
+  std::uint32_t word = 0;
+  for_each_index(par, 100, [&](std::size_t) { (void)load_acquire(word); });
+  EXPECT_EQ(vectorization_unsafe_violations(), 0u);
+}
+
+TEST(PolicyDeathTest, StrictModeAbortsOnViolation) {
+  // NBODY_STRICT_POLICY=1 turns the diagnostic counter into an abort — the
+  // "fail loudly instead of deadlocking a GPU" debugging mode.
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        ::setenv("NBODY_STRICT_POLICY", "1", 1);
+        std::uint32_t word = 0;
+        progress_region region(forward_progress::weakly_parallel);
+        (void)load_acquire(word);
+      },
+      "vectorization-unsafe");
+}
+
+TEST(Policy, RelaxedAtomicsNotFlagged) {
+  reset_vectorization_unsafe_violations();
+  std::uint64_t counter = 0;
+  for_each_index(par_unseq, 100, [&](std::size_t) { fetch_add_relaxed(counter, std::uint64_t{1}); });
+  EXPECT_EQ(vectorization_unsafe_violations(), 0u);
+  EXPECT_EQ(counter, 100u);
+}
+
+// ---------------------------------------------------------------- atomics
+
+TEST(Atomics, IntegerFetchAddRelaxedCounts) {
+  std::uint64_t counter = 0;
+  for_each_index(par, 100'000, [&](std::size_t) { fetch_add_relaxed(counter, std::uint64_t{1}); });
+  EXPECT_EQ(counter, 100'000u);
+}
+
+TEST(Atomics, DoubleFetchAddRelaxedAccumulates) {
+  double sum = 0.0;
+  for_each_index(par, 10'000, [&](std::size_t) { fetch_add_relaxed(sum, 0.5); });
+  EXPECT_DOUBLE_EQ(sum, 5000.0);
+}
+
+TEST(Atomics, FetchAddReturnsPriorValue) {
+  std::uint32_t c = 10;
+  EXPECT_EQ(fetch_add_relaxed(c, 5u), 10u);
+  EXPECT_EQ(c, 15u);
+  EXPECT_EQ(fetch_add_acq_rel(c, 1u), 15u);
+}
+
+TEST(Atomics, CompareExchangeProtocol) {
+  std::uint32_t slot = 7;
+  std::uint32_t expected = 7;
+  EXPECT_TRUE(compare_exchange_acq_rel(slot, expected, 9u));
+  EXPECT_EQ(slot, 9u);
+  expected = 7;
+  // compare_exchange_weak may fail spuriously; a mismatch must *eventually*
+  // report the observed value without storing.
+  bool ok = compare_exchange_acquire(slot, expected, 11u);
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(expected, 9u);
+  EXPECT_EQ(slot, 9u);
+}
+
+TEST(Atomics, StoreLoadRoundTrip) {
+  std::uint32_t w = 0;
+  store_release(w, 123u);
+  EXPECT_EQ(load_acquire(w), 123u);
+  store_relaxed(w, 9u);
+  EXPECT_EQ(load_relaxed(w), 9u);
+}
+
+TEST(Atomics, ConcurrentCountingElection) {
+  // The multipole arrival-counter pattern: exactly one winner per group.
+  constexpr int kGroups = 64;
+  constexpr int kArrivalsPerGroup = 8;
+  std::vector<std::uint32_t> counters(kGroups, 0);
+  std::vector<std::uint32_t> winners(kGroups, 0);
+  for_each_index(par, kGroups * kArrivalsPerGroup, [&](std::size_t i) {
+    const std::size_t g = i / kArrivalsPerGroup;
+    const std::uint32_t prior = fetch_add_acq_rel(counters[g], 1u);
+    if (prior == kArrivalsPerGroup - 1) fetch_add_relaxed(winners[g], 1u);
+  });
+  for (int g = 0; g < kGroups; ++g) EXPECT_EQ(winners[g], 1u) << g;
+}
+
+// ---------------------------------------------------------------- backend
+
+TEST(Backend, NamesAreStable) {
+  EXPECT_STREQ(backend_name(backend::static_chunk), "static");
+  EXPECT_STREQ(backend_name(backend::dynamic_chunk), "dynamic");
+  EXPECT_STREQ(backend_name(backend::work_steal), "steal");
+}
+
+TEST(Backend, SetAndRestore) {
+  const backend saved = default_backend();
+  set_default_backend(backend::dynamic_chunk);
+  EXPECT_EQ(default_backend(), backend::dynamic_chunk);
+  set_default_backend(saved);
+  EXPECT_EQ(default_backend(), saved);
+}
+
+}  // namespace

@@ -1,0 +1,227 @@
+// Unit tests for src/math: vec arithmetic, AABB semantics (the reduction
+// monoid of the paper's Algorithm 3), orthant/child-box subdivision, and the
+// gravity kernel.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/aabb.hpp"
+#include "math/gravity.hpp"
+#include "math/vec.hpp"
+
+namespace {
+
+using nbody::math::aabb;
+using nbody::math::aabb2d;
+using nbody::math::aabb3d;
+using nbody::math::vec;
+using nbody::math::vec2d;
+using nbody::math::vec3d;
+
+// ---------------------------------------------------------------- vec
+
+TEST(Vec, Arithmetic) {
+  const vec3d a{{1, 2, 3}};
+  const vec3d b{{4, 5, 6}};
+  EXPECT_EQ(a + b, (vec3d{{5, 7, 9}}));
+  EXPECT_EQ(b - a, (vec3d{{3, 3, 3}}));
+  EXPECT_EQ(a * 2.0, (vec3d{{2, 4, 6}}));
+  EXPECT_EQ(2.0 * a, a * 2.0);
+  EXPECT_EQ(a / 2.0, (vec3d{{0.5, 1, 1.5}}));
+  EXPECT_EQ(-a, (vec3d{{-1, -2, -3}}));
+}
+
+TEST(Vec, CompoundAssignment) {
+  vec3d a{{1, 1, 1}};
+  a += vec3d{{1, 2, 3}};
+  EXPECT_EQ(a, (vec3d{{2, 3, 4}}));
+  a -= vec3d{{1, 1, 1}};
+  EXPECT_EQ(a, (vec3d{{1, 2, 3}}));
+  a *= 3.0;
+  EXPECT_EQ(a, (vec3d{{3, 6, 9}}));
+  a /= 3.0;
+  EXPECT_EQ(a, (vec3d{{1, 2, 3}}));
+}
+
+TEST(Vec, DotAndNorms) {
+  const vec3d a{{1, 2, 2}};
+  EXPECT_DOUBLE_EQ(dot(a, a), 9.0);
+  EXPECT_DOUBLE_EQ(norm2(a), 9.0);
+  EXPECT_DOUBLE_EQ(norm(a), 3.0);
+  EXPECT_DOUBLE_EQ(dot(a, vec3d{{0, 0, 0}}), 0.0);
+}
+
+TEST(Vec, MinMaxComponentwise) {
+  const vec3d a{{1, 5, 3}};
+  const vec3d b{{2, 4, 3}};
+  EXPECT_EQ(min(a, b), (vec3d{{1, 4, 3}}));
+  EXPECT_EQ(max(a, b), (vec3d{{2, 5, 3}}));
+  EXPECT_DOUBLE_EQ(max_component(a), 5.0);
+}
+
+TEST(Vec, SplatAndZero) {
+  EXPECT_EQ(vec3d::splat(2.0), (vec3d{{2, 2, 2}}));
+  EXPECT_EQ(vec3d::zero(), (vec3d{{0, 0, 0}}));
+  EXPECT_EQ(vec2d::zero(), (vec2d{{0, 0}}));
+}
+
+TEST(Vec, TwoDimensional) {
+  const vec2d a{{3, 4}};
+  EXPECT_DOUBLE_EQ(norm(a), 5.0);
+  EXPECT_EQ(a + a, (vec2d{{6, 8}}));
+}
+
+// ---------------------------------------------------------------- aabb
+
+TEST(Aabb, DefaultIsEmptyIdentity) {
+  const aabb3d e;
+  EXPECT_TRUE(e.empty());
+  const aabb3d b = aabb3d::of_point({{1, 2, 3}});
+  // Empty box is the identity of merged() — the reduction init of Alg. 3.
+  EXPECT_EQ(e.merged(b), b);
+  EXPECT_EQ(b.merged(e), b);
+}
+
+TEST(Aabb, MergedIsCommutativeAndGrowsMonotonically) {
+  const aabb3d a = aabb3d::of_point({{0, 0, 0}});
+  const aabb3d b = aabb3d::of_point({{1, -1, 2}});
+  const aabb3d m = a.merged(b);
+  EXPECT_EQ(m, b.merged(a));
+  EXPECT_TRUE(m.contains(a));
+  EXPECT_TRUE(m.contains(b));
+}
+
+TEST(Aabb, ContainsPoint) {
+  const aabb3d b{{{0, 0, 0}}, {{1, 1, 1}}};
+  EXPECT_TRUE(b.contains(vec3d{{0.5, 0.5, 0.5}}));
+  EXPECT_TRUE(b.contains(vec3d{{0, 0, 0}}));   // boundary inclusive
+  EXPECT_TRUE(b.contains(vec3d{{1, 1, 1}}));
+  EXPECT_FALSE(b.contains(vec3d{{1.01, 0.5, 0.5}}));
+  EXPECT_FALSE(b.contains(vec3d{{0.5, -0.01, 0.5}}));
+}
+
+TEST(Aabb, CenterExtentLongestSide) {
+  const aabb3d b{{{0, 0, 0}}, {{2, 4, 6}}};
+  EXPECT_EQ(b.center(), (vec3d{{1, 2, 3}}));
+  EXPECT_EQ(b.extent(), (vec3d{{2, 4, 6}}));
+  EXPECT_DOUBLE_EQ(b.longest_side(), 6.0);
+  EXPECT_DOUBLE_EQ(aabb3d{}.longest_side(), 0.0);
+}
+
+TEST(Aabb, OrthantIndexing3d) {
+  const aabb3d b{{{-1, -1, -1}}, {{1, 1, 1}}};
+  EXPECT_EQ(b.orthant({{-0.5, -0.5, -0.5}}), 0u);
+  EXPECT_EQ(b.orthant({{0.5, -0.5, -0.5}}), 1u);
+  EXPECT_EQ(b.orthant({{-0.5, 0.5, -0.5}}), 2u);
+  EXPECT_EQ(b.orthant({{0.5, 0.5, -0.5}}), 3u);
+  EXPECT_EQ(b.orthant({{-0.5, -0.5, 0.5}}), 4u);
+  EXPECT_EQ(b.orthant({{0.5, 0.5, 0.5}}), 7u);
+}
+
+TEST(Aabb, OrthantIndexing2d) {
+  const aabb2d b{{{0, 0}}, {{2, 2}}};
+  EXPECT_EQ(b.orthant({{0.5, 0.5}}), 0u);
+  EXPECT_EQ(b.orthant({{1.5, 0.5}}), 1u);
+  EXPECT_EQ(b.orthant({{0.5, 1.5}}), 2u);
+  EXPECT_EQ(b.orthant({{1.5, 1.5}}), 3u);
+}
+
+TEST(Aabb, ChildBoxesTileParent) {
+  const aabb3d b{{{-1, -2, -3}}, {{5, 6, 7}}};
+  // Every child box is inside the parent and centered points round-trip:
+  for (unsigned q = 0; q < 8; ++q) {
+    const aabb3d c = b.child_box(q);
+    EXPECT_TRUE(b.contains(c)) << q;
+    EXPECT_EQ(b.orthant(c.center()), q) << q;
+  }
+}
+
+TEST(Aabb, ChildBoxOrthantRoundTripRandomPoints) {
+  const aabb3d b{{{-4, -4, -4}}, {{4, 4, 4}}};
+  // A point lands in the child box of its orthant.
+  for (double xx = -3.5; xx < 4; xx += 1.7) {
+    for (double y = -3.5; y < 4; y += 1.7) {
+      for (double z = -3.5; z < 4; z += 1.7) {
+        const vec3d p{{xx, y, z}};
+        EXPECT_TRUE(b.child_box(b.orthant(p)).contains(p));
+      }
+    }
+  }
+}
+
+TEST(Aabb, InflatedCubeCoversBoxAndIsCubic) {
+  const aabb3d b{{{0, 0, 0}}, {{1, 2, 4}}};
+  const aabb3d c = b.inflated_cube();
+  EXPECT_TRUE(c.contains(b));
+  const vec3d e = c.extent();
+  EXPECT_DOUBLE_EQ(e[0], e[1]);
+  EXPECT_DOUBLE_EQ(e[1], e[2]);
+  EXPECT_GT(e[0], 4.0);  // strictly inflated
+}
+
+TEST(Aabb, InflatedCubeOfPointIsNonDegenerate) {
+  const aabb3d p = aabb3d::of_point({{3, 3, 3}});
+  const aabb3d c = p.inflated_cube();
+  EXPECT_FALSE(c.empty());
+  EXPECT_GT(c.longest_side(), 0.0);
+  EXPECT_TRUE(c.contains(vec3d{{3, 3, 3}}));
+}
+
+TEST(Aabb, InflatedCubeOfEmptyIsNonDegenerate) {
+  const aabb3d c = aabb3d{}.inflated_cube();
+  EXPECT_FALSE(c.empty());
+  EXPECT_GT(c.longest_side(), 0.0);
+}
+
+// ---------------------------------------------------------------- gravity
+
+TEST(Gravity, PointsTowardAttractor) {
+  const vec3d xi{{0, 0, 0}};
+  const vec3d xj{{2, 0, 0}};
+  const vec3d a = nbody::math::gravity_accel(xi, xj, 3.0, 1.0, 0.0);
+  EXPECT_GT(a[0], 0.0);
+  EXPECT_DOUBLE_EQ(a[1], 0.0);
+  EXPECT_DOUBLE_EQ(a[2], 0.0);
+  // |a| = G m / r^2 = 3/4.
+  EXPECT_NEAR(norm(a), 0.75, 1e-12);
+}
+
+TEST(Gravity, InverseSquareScaling) {
+  const vec3d xi{{0, 0, 0}};
+  const double a1 = norm(nbody::math::gravity_accel(xi, vec3d{{1, 0, 0}}, 1.0, 1.0, 0.0));
+  const double a2 = norm(nbody::math::gravity_accel(xi, vec3d{{2, 0, 0}}, 1.0, 1.0, 0.0));
+  EXPECT_NEAR(a1 / a2, 4.0, 1e-12);
+}
+
+TEST(Gravity, SofteningBoundsCloseEncounters) {
+  const vec3d xi{{0, 0, 0}};
+  const vec3d xj{{1e-9, 0, 0}};
+  const double eps2 = 1e-4;
+  const vec3d a = nbody::math::gravity_accel(xi, xj, 1.0, 1.0, eps2);
+  // Softened kernel stays finite: |a| <= m r/(eps^2)^{3/2} -> ~r/eps^3.
+  EXPECT_TRUE(std::isfinite(norm(a)));
+  EXPECT_LT(norm(a), 1.0);
+}
+
+TEST(Gravity, CoincidentUnsoftenedIsZero) {
+  const vec3d p{{1, 1, 1}};
+  const vec3d a = nbody::math::gravity_accel(p, p, 5.0, 1.0, 0.0);
+  EXPECT_EQ(a, vec3d::zero());
+}
+
+TEST(Gravity, PotentialIsNegativeAndScales) {
+  const vec3d xi{{0, 0, 0}};
+  const vec3d xj{{2, 0, 0}};
+  const double u = nbody::math::gravity_potential(xi, xj, 2.0, 3.0, 1.0, 0.0);
+  EXPECT_DOUBLE_EQ(u, -3.0);  // -G m1 m2 / r = -6/2
+}
+
+TEST(Gravity, TwoDKernel) {
+  const vec2d xi{{0, 0}};
+  const vec2d xj{{0, 3}};
+  const auto a = nbody::math::gravity_accel(xi, xj, 9.0, 1.0, 0.0);
+  EXPECT_DOUBLE_EQ(a[0], 0.0);
+  EXPECT_NEAR(a[1], 1.0, 1e-12);  // G m / r^2 = 9/9 (3-D kernel applied in 2-D)
+}
+
+}  // namespace

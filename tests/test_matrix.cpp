@@ -1,0 +1,189 @@
+// Configuration-matrix tests: every force strategy (including option
+// variants), every workload shape, and both execution policies, run through
+// a short simulation and checked against the invariants that must hold for
+// ANY correct configuration:
+//   * body count and stable-id permutation preserved,
+//   * total mass conserved bit-exactly,
+//   * all positions/velocities finite,
+//   * final state within a loose L2 ball of the exact all-pairs trajectory
+//     (catches wildly wrong forces without being tolerance-brittle).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "allpairs/allpairs.hpp"
+#include "bvh/strategy.hpp"
+#include "core/diagnostics.hpp"
+#include "core/reference.hpp"
+#include "core/simulation.hpp"
+#include "octree/strategy.hpp"
+#include "workloads/workloads.hpp"
+
+namespace {
+
+using nbody::exec::par;
+using nbody::exec::par_unseq;
+using nbody::exec::seq;
+using System3 = nbody::core::System<double, 3>;
+
+using Runner = std::function<System3(const System3&, const nbody::core::SimConfig<double>&,
+                                     std::size_t steps, bool parallel)>;
+
+// Strategies are created per run through a factory so non-copyable
+// strategies (the reference BH owns a unique_ptr tree) work too.
+template <class StrategyFactory, class ParPolicy>
+Runner make_runner(StrategyFactory make_strategy, ParPolicy par_policy) {
+  return [make_strategy, par_policy](const System3& initial,
+                                     const nbody::core::SimConfig<double>& cfg,
+                                     std::size_t steps, bool parallel) {
+    using Strategy = decltype(make_strategy());
+    nbody::core::Simulation<double, 3, Strategy> sim(initial, cfg, make_strategy());
+    if (parallel) {
+      sim.run(par_policy, steps);
+    } else {
+      sim.run(seq, steps);
+    }
+    return sim.system();
+  };
+}
+
+struct Config {
+  std::string name;
+  Runner run;
+};
+
+std::vector<Config> strategy_configs() {
+  std::vector<Config> out;
+  using Oct = nbody::octree::OctreeStrategy<double, 3>;
+  using Bvh = nbody::bvh::BVHStrategy<double, 3>;
+  out.push_back({"octree", make_runner([] { return Oct{}; }, par)});
+  out.push_back({"octree-presort", make_runner([] {
+                   typename Oct::Options o;
+                   o.presort = true;
+                   return Oct(o);
+                 }, par)});
+  out.push_back({"octree-reuse3", make_runner([] {
+                   typename Oct::Options o;
+                   o.reuse_interval = 3;
+                   return Oct(o);
+                 }, par)});
+  out.push_back({"bvh", make_runner([] { return Bvh{}; }, par_unseq)});
+  out.push_back({"bvh-leaf4", make_runner([] {
+                   typename Bvh::Options o;
+                   o.tree.leaf_size = 4;
+                   return Bvh(o);
+                 }, par_unseq)});
+  out.push_back({"bvh-morton-radix", make_runner([] {
+                   typename Bvh::Options o;
+                   o.tree.curve = nbody::bvh::CurveKind::morton;
+                   o.tree.sort = nbody::bvh::SortKind::radix;
+                   return Bvh(o);
+                 }, par_unseq)});
+  out.push_back({"bvh-bmax", make_runner([] {
+                   typename Bvh::Options o;
+                   o.tree.mac = nbody::bvh::MacKind::bmax;
+                   return Bvh(o);
+                 }, par_unseq)});
+  out.push_back({"allpairs",
+                 make_runner([] { return nbody::allpairs::AllPairs<double, 3>{}; }, par_unseq)});
+  out.push_back({"allpairs-col",
+                 make_runner([] { return nbody::allpairs::AllPairsCol<double, 3>{}; }, par)});
+  out.push_back({"allpairs-tiled", make_runner([] {
+                   return nbody::allpairs::AllPairsTiled<double, 3>(128);
+                 }, par_unseq)});
+  out.push_back({"reference-bh", make_runner([] {
+                   return nbody::core::ReferenceBarnesHut<double, 3>{};
+                 }, par)});
+  return out;
+}
+
+struct Workload {
+  std::string name;
+  System3 sys;
+};
+
+std::vector<Workload> workload_configs() {
+  return {
+      {"galaxy", nbody::workloads::galaxy_collision(600, 42)},
+      {"plummer", nbody::workloads::plummer_sphere(600, 5)},
+      {"cube", nbody::workloads::uniform_cube(600, 3, 2.0)},
+  };
+}
+
+struct Case {
+  std::string strategy;
+  std::string workload;
+  bool parallel;
+};
+
+std::vector<Case> all_cases() {
+  std::vector<Case> cases;
+  for (const auto& s : strategy_configs())
+    for (const auto& w : workload_configs())
+      for (bool parallel : {false, true})
+        cases.push_back({s.name, w.name, parallel});
+  return cases;
+}
+
+class StrategyMatrix : public ::testing::TestWithParam<Case> {};
+
+TEST_P(StrategyMatrix, InvariantsHold) {
+  const auto& c = GetParam();
+  // Locate the named strategy/workload (configs are cheap to rebuild).
+  Runner runner;
+  for (auto& s : strategy_configs())
+    if (s.name == c.strategy) runner = s.run;
+  System3 initial;
+  for (auto& w : workload_configs())
+    if (w.name == c.workload) initial = w.sys;
+  ASSERT_TRUE(runner != nullptr);
+  ASSERT_GT(initial.size(), 0u);
+
+  nbody::core::SimConfig<double> cfg;
+  cfg.dt = 5e-4;
+  cfg.softening = 0.05;
+  const std::size_t steps = 5;
+  const double m0 = nbody::core::total_mass(seq, initial);
+
+  const System3 fin = runner(initial, cfg, steps, c.parallel);
+
+  // Body count and id permutation.
+  ASSERT_EQ(fin.size(), initial.size());
+  std::vector<char> seen(fin.size(), 0);
+  for (auto id : fin.id) {
+    ASSERT_LT(id, seen.size());
+    ASSERT_EQ(seen[id], 0);
+    seen[id] = 1;
+  }
+  // Mass conserved bit-exactly (reordering never changes the multiset).
+  EXPECT_DOUBLE_EQ(nbody::core::total_mass(seq, fin), m0);
+  // Everything finite.
+  for (std::size_t i = 0; i < fin.size(); ++i) {
+    for (int d = 0; d < 3; ++d) {
+      EXPECT_TRUE(std::isfinite(fin.x[i][d])) << i;
+      EXPECT_TRUE(std::isfinite(fin.v[i][d])) << i;
+    }
+  }
+  // Loose trajectory agreement with the exact sum: catches sign errors,
+  // dropped bodies, ghost self-forces.
+  const System3 exact = make_runner(
+      [] { return nbody::allpairs::AllPairs<double, 3>{}; }, par_unseq)(initial, cfg, steps,
+                                                                        true);
+  EXPECT_LT(nbody::core::l2_position_error(fin, exact), 0.5);
+}
+
+std::string case_name(const ::testing::TestParamInfo<Case>& info) {
+  std::string n = info.param.strategy + "_" + info.param.workload +
+                  (info.param.parallel ? "_par" : "_seq");
+  for (auto& ch : n)
+    if (ch == '-') ch = '_';
+  return n;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllConfigs, StrategyMatrix, ::testing::ValuesIn(all_cases()),
+                         case_name);
+
+}  // namespace

@@ -1,0 +1,258 @@
+// Tests for the quadrupole extension (paper Sec. IV-A-3: "the algorithms
+// described here extend to multipoles"): SymTensor algebra, the point
+// quadrupole and parallel-axis identity, the far-field expansion against
+// direct summation, and — the property that matters — quadrupoles reducing
+// the Barnes-Hut force error at fixed theta for octree, BVH, and reference.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bvh/strategy.hpp"
+#include "core/diagnostics.hpp"
+#include "core/reference.hpp"
+#include "math/multipole.hpp"
+#include "octree/strategy.hpp"
+#include "support/rng.hpp"
+#include "workloads/workloads.hpp"
+
+namespace {
+
+using nbody::exec::par;
+using nbody::exec::par_unseq;
+using nbody::exec::seq;
+using nbody::math::point_quadrupole;
+using nbody::math::quadrupole_accel;
+using nbody::math::SymTensor;
+using vec3 = nbody::math::vec3d;
+
+// ---------------------------------------------------------------- SymTensor
+
+TEST(SymTensor, PackedIndexing3d) {
+  SymTensor<double, 3> t;
+  // (xx, xy, xz, yy, yz, zz)
+  EXPECT_EQ(t.index(0, 0), 0u);
+  EXPECT_EQ(t.index(0, 1), 1u);
+  EXPECT_EQ(t.index(0, 2), 2u);
+  EXPECT_EQ(t.index(1, 1), 3u);
+  EXPECT_EQ(t.index(1, 2), 4u);
+  EXPECT_EQ(t.index(2, 2), 5u);
+  // Symmetry of access.
+  EXPECT_EQ(t.index(2, 0), t.index(0, 2));
+  EXPECT_EQ(t.index(1, 0), t.index(0, 1));
+}
+
+TEST(SymTensor, PackedIndexing2d) {
+  SymTensor<double, 2> t;
+  EXPECT_EQ(t.index(0, 0), 0u);
+  EXPECT_EQ(t.index(0, 1), 1u);
+  EXPECT_EQ(t.index(1, 1), 2u);
+  EXPECT_EQ((SymTensor<double, 2>::size), 3u);
+}
+
+TEST(SymTensor, MulMatchesDenseMatrix) {
+  SymTensor<double, 3> t;
+  t.at(0, 0) = 1;
+  t.at(0, 1) = 2;
+  t.at(0, 2) = 3;
+  t.at(1, 1) = 4;
+  t.at(1, 2) = 5;
+  t.at(2, 2) = 6;
+  const vec3 v{{1, -1, 2}};
+  // Dense: [1 2 3; 2 4 5; 3 5 6] * (1,-1,2) = (1-2+6, 2-4+10, 3-5+12).
+  const vec3 r = t.mul(v);
+  EXPECT_DOUBLE_EQ(r[0], 5.0);
+  EXPECT_DOUBLE_EQ(r[1], 8.0);
+  EXPECT_DOUBLE_EQ(r[2], 10.0);
+  EXPECT_DOUBLE_EQ(t.quad_form(v), dot(v, r));
+}
+
+TEST(SymTensor, PointQuadrupoleIsTraceless) {
+  nbody::support::Xoshiro256ss rng(1);
+  for (int rep = 0; rep < 100; ++rep) {
+    const vec3 d{{rng.uniform(-2, 2), rng.uniform(-2, 2), rng.uniform(-2, 2)}};
+    const auto q = point_quadrupole(rng.uniform(0.1, 5.0), d);
+    EXPECT_NEAR(q.trace(), 0.0, 1e-12);
+  }
+}
+
+TEST(SymTensor, ParallelAxisMatchesDirectAccumulation) {
+  // Q about new origin computed two ways: (a) directly from the points,
+  // (b) from the old-origin Q via the parallel-axis shift.
+  nbody::support::Xoshiro256ss rng(2);
+  std::vector<vec3> pts(20);
+  std::vector<double> masses(20);
+  vec3 com_a = vec3::zero();
+  double mass = 0;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    pts[i] = {{rng.uniform(-1, 1), rng.uniform(-1, 1), rng.uniform(-1, 1)}};
+    masses[i] = rng.uniform(0.5, 2.0);
+    com_a += pts[i] * masses[i];
+    mass += masses[i];
+  }
+  com_a /= mass;  // cluster's own center of mass
+  const vec3 com_b = com_a + vec3{{0.7, -0.3, 0.4}};  // parent's center of mass
+
+  SymTensor<double, 3> direct_b{};
+  SymTensor<double, 3> about_a{};
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    direct_b += point_quadrupole(masses[i], pts[i] - com_b);
+    about_a += point_quadrupole(masses[i], pts[i] - com_a);
+  }
+  const auto shifted = about_a + point_quadrupole(mass, com_a - com_b);
+  for (std::size_t c = 0; c < SymTensor<double, 3>::size; ++c)
+    EXPECT_NEAR(shifted.q[c], direct_b.q[c], 1e-9) << c;
+}
+
+// ---------------------------------------------------------------- expansion
+
+TEST(QuadrupoleAccel, ImprovesFarFieldOfPointCluster) {
+  // A small dumbbell viewed from afar: monopole error is O((s/r)^2), adding
+  // the quadrupole drops it to O((s/r)^3).
+  const double m1 = 1.0, m2 = 2.0;
+  const vec3 x1{{-0.1, 0, 0}}, x2{{0.05, 0.02, -0.01}};
+  const double mass = m1 + m2;
+  const vec3 com = (x1 * m1 + x2 * m2) / mass;
+  auto quad = point_quadrupole(m1, x1 - com);
+  quad += point_quadrupole(m2, x2 - com);
+
+  nbody::support::Xoshiro256ss rng(3);
+  for (int rep = 0; rep < 50; ++rep) {
+    const double ct = rng.uniform(-1.0, 1.0);
+    const double st = std::sqrt(1 - ct * ct);
+    const double ph = rng.uniform(0.0, 6.28);
+    const vec3 xi = vec3{{st * std::cos(ph), st * std::sin(ph), ct}} * 3.0;
+    const vec3 exact = nbody::math::gravity_accel(xi, x1, m1, 1.0, 0.0) +
+                       nbody::math::gravity_accel(xi, x2, m2, 1.0, 0.0);
+    const vec3 mono = nbody::math::gravity_accel(xi, com, mass, 1.0, 0.0);
+    const vec3 quad_a = mono + quadrupole_accel(xi, com, quad, 1.0, 0.0);
+    EXPECT_LT(norm(quad_a - exact), 0.5 * norm(mono - exact)) << rep;
+  }
+}
+
+TEST(QuadrupoleAccel, ZeroTensorAddsNothing) {
+  const SymTensor<double, 3> zero{};
+  const vec3 a = quadrupole_accel(vec3{{1, 2, 3}}, vec3{{4, 5, 6}}, zero, 1.0, 0.0);
+  EXPECT_EQ(a, vec3::zero());
+}
+
+TEST(QuadrupoleAccel, SingleBodyNodeHasZeroQuadrupole) {
+  const auto q = point_quadrupole(2.0, vec3::zero());
+  for (double c : q.q) EXPECT_DOUBLE_EQ(c, 0.0);
+}
+
+// ---------------------------------------------------------------- end to end
+
+template <class Strategy, class Policy>
+double strategy_error(const nbody::core::System<double, 3>& initial,
+                      nbody::core::SimConfig<double> cfg, Policy policy) {
+  auto sys = initial;
+  Strategy strat;
+  strat.accelerations(policy, sys, cfg);
+  std::vector<vec3> got(sys.size());
+  for (std::size_t i = 0; i < sys.size(); ++i) got[sys.id[i]] = sys.a[i];
+  auto exact = initial;
+  cfg.quadrupole = false;
+  nbody::core::reference_accelerations(exact, cfg);
+  return nbody::core::rms_relative_error(got, exact.a);
+}
+
+TEST(QuadrupoleEndToEnd, OctreeErrorDropsAtFixedTheta) {
+  const auto sys = nbody::workloads::plummer_sphere(1500, 21);
+  nbody::core::SimConfig<double> cfg;
+  cfg.theta = 0.7;
+  cfg.quadrupole = false;
+  const double mono = strategy_error<nbody::octree::OctreeStrategy<double, 3>>(sys, cfg, par);
+  cfg.quadrupole = true;
+  const double quad = strategy_error<nbody::octree::OctreeStrategy<double, 3>>(sys, cfg, par);
+  EXPECT_LT(quad, 0.5 * mono);
+}
+
+TEST(QuadrupoleEndToEnd, BvhErrorDropsAtFixedTheta) {
+  const auto sys = nbody::workloads::plummer_sphere(1500, 22);
+  nbody::core::SimConfig<double> cfg;
+  cfg.theta = 0.7;
+  cfg.quadrupole = false;
+  const double mono =
+      strategy_error<nbody::bvh::BVHStrategy<double, 3>>(sys, cfg, par_unseq);
+  cfg.quadrupole = true;
+  const double quad =
+      strategy_error<nbody::bvh::BVHStrategy<double, 3>>(sys, cfg, par_unseq);
+  EXPECT_LT(quad, 0.5 * mono);
+}
+
+TEST(QuadrupoleEndToEnd, ReferenceErrorDropsAtFixedTheta) {
+  const auto sys = nbody::workloads::plummer_sphere(1000, 23);
+  nbody::core::SimConfig<double> cfg;
+  cfg.theta = 0.7;
+  cfg.quadrupole = false;
+  const double mono =
+      strategy_error<nbody::core::ReferenceBarnesHut<double, 3>>(sys, cfg, seq);
+  cfg.quadrupole = true;
+  const double quad =
+      strategy_error<nbody::core::ReferenceBarnesHut<double, 3>>(sys, cfg, seq);
+  EXPECT_LT(quad, 0.5 * mono);
+}
+
+TEST(QuadrupoleEndToEnd, OctreeNodeQuadrupolesMatchReferenceSums) {
+  // Cross-check the wait-free upward pass against a direct computation: the
+  // root quadrupole equals the sum over all bodies about the global com.
+  const auto sys = nbody::workloads::plummer_sphere(2000, 24);
+  nbody::octree::ConcurrentOctree<double, 3> tree;
+  tree.build(par, sys.x, nbody::core::compute_root_cube(par, sys.x));
+  tree.compute_multipoles(par, sys.m, sys.x);
+  tree.compute_quadrupoles(par, sys.m, sys.x);
+  const vec3 com = tree.node_com(0);
+  SymTensor<double, 3> want{};
+  for (std::size_t i = 0; i < sys.size(); ++i)
+    want += point_quadrupole(sys.m[i], sys.x[i] - com);
+  const auto& got = tree.node_quadrupole(0);
+  for (std::size_t c = 0; c < SymTensor<double, 3>::size; ++c)
+    EXPECT_NEAR(got.q[c], want.q[c], 1e-9 * std::max(1.0, std::abs(want.q[c]))) << c;
+}
+
+TEST(QuadrupoleEndToEnd, BvhRootQuadrupoleMatchesDirect) {
+  auto sys = nbody::workloads::plummer_sphere(1024, 25);
+  nbody::bvh::HilbertBVH<double, 3> bvh;
+  bvh.build(par_unseq, sys.m, sys.x, /*quadrupole=*/true);
+  ASSERT_TRUE(bvh.has_quadrupoles());
+  const vec3 com = bvh.node_com(1);
+  SymTensor<double, 3> want{};
+  for (std::size_t i = 0; i < sys.size(); ++i)
+    want += point_quadrupole(sys.m[i], sys.x[i] - com);
+  const auto& got = bvh.node_quadrupole(1);
+  for (std::size_t c = 0; c < SymTensor<double, 3>::size; ++c)
+    EXPECT_NEAR(got.q[c], want.q[c], 1e-9 * std::max(1.0, std::abs(want.q[c]))) << c;
+}
+
+TEST(QuadrupoleEndToEnd, RequestWithoutComputeThrows) {
+  auto sys = nbody::workloads::plummer_sphere(64, 26);
+  nbody::octree::ConcurrentOctree<double, 3> tree;
+  tree.build(par, sys.x, nbody::core::compute_root_cube(par, sys.x));
+  tree.compute_multipoles(par, sys.m, sys.x);
+  std::vector<vec3> a(sys.size());
+  EXPECT_THROW(tree.accelerations(par_unseq, sys.m, sys.x, a, 0.5, 1.0, 0.0, true),
+               std::invalid_argument);
+}
+
+TEST(QuadrupoleEndToEnd, TwoDimensionalQuadrupolesWork) {
+  nbody::support::Xoshiro256ss rng(27);
+  nbody::core::System<double, 2> sys;
+  for (int i = 0; i < 600; ++i)
+    sys.add(rng.uniform(0.5, 1.5), {{rng.uniform(-1, 1), rng.uniform(-1, 1)}},
+            nbody::math::vec2d::zero());
+  nbody::core::SimConfig<double> cfg;
+  cfg.theta = 0.7;
+  auto exact = sys;
+  nbody::core::reference_accelerations(exact, cfg);
+  auto run2d = [&](bool quad) {
+    auto s = sys;
+    auto c = cfg;
+    c.quadrupole = quad;
+    nbody::octree::OctreeStrategy<double, 2> strat;
+    strat.accelerations(par, s, c);
+    return nbody::core::rms_relative_error(s.a, exact.a);
+  };
+  EXPECT_LT(run2d(true), 0.7 * run2d(false));
+}
+
+}  // namespace

@@ -1,0 +1,125 @@
+// Tests for the spatial range queries both trees expose (the "tree
+// structures transfer to other domains" use from the paper's introduction):
+// equivalence with brute force over random centers/radii, boundary
+// inclusivity, pruning correctness on clustered data, and leaf-bucket /
+// max-depth-chain interaction.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "bvh/hilbert_bvh.hpp"
+#include "core/bbox.hpp"
+#include "octree/concurrent_octree.hpp"
+#include "support/rng.hpp"
+#include "workloads/workloads.hpp"
+
+namespace {
+
+using nbody::exec::par;
+using nbody::exec::par_unseq;
+using Octree3 = nbody::octree::ConcurrentOctree<double, 3>;
+using BVH3 = nbody::bvh::HilbertBVH<double, 3>;
+using vec3 = nbody::math::vec3d;
+
+std::set<std::uint32_t> brute_force_in_radius(const std::vector<vec3>& x, const vec3& c,
+                                              double r) {
+  std::set<std::uint32_t> out;
+  for (std::uint32_t i = 0; i < x.size(); ++i)
+    if (norm2(x[i] - c) <= r * r) out.insert(i);
+  return out;
+}
+
+class QueryRadii : public ::testing::TestWithParam<double> {};
+
+TEST_P(QueryRadii, OctreeMatchesBruteForce) {
+  const double radius = GetParam();
+  const auto sys = nbody::workloads::plummer_sphere(3000, 31);
+  Octree3 tree;
+  tree.build(par, sys.x, nbody::core::compute_root_cube(par, sys.x));
+  nbody::support::Xoshiro256ss rng(32);
+  for (int rep = 0; rep < 20; ++rep) {
+    const vec3 c{{rng.uniform(-2, 2), rng.uniform(-2, 2), rng.uniform(-2, 2)}};
+    std::set<std::uint32_t> got;
+    tree.for_each_in_radius(c, radius, sys.x, [&](std::uint32_t b) { got.insert(b); });
+    EXPECT_EQ(got, brute_force_in_radius(sys.x, c, radius)) << "rep " << rep;
+  }
+}
+
+TEST_P(QueryRadii, BvhMatchesBruteForce) {
+  const double radius = GetParam();
+  auto sys = nbody::workloads::plummer_sphere(3000, 33);
+  BVH3 tree;
+  tree.sort_bodies(par_unseq, sys, nbody::core::compute_bounding_box(par_unseq, sys.x));
+  tree.build(par_unseq, sys.m, sys.x);
+  nbody::support::Xoshiro256ss rng(34);
+  for (int rep = 0; rep < 20; ++rep) {
+    const vec3 c{{rng.uniform(-2, 2), rng.uniform(-2, 2), rng.uniform(-2, 2)}};
+    std::set<std::uint32_t> got;
+    tree.for_each_in_radius(c, radius, sys.x,
+                            [&](std::size_t b) { got.insert(static_cast<std::uint32_t>(b)); });
+    EXPECT_EQ(got, brute_force_in_radius(sys.x, c, radius)) << "rep " << rep;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Radii, QueryRadii, ::testing::Values(0.0, 0.05, 0.3, 1.0, 10.0));
+
+TEST(Queries, HugeRadiusReturnsEverything) {
+  const auto sys = nbody::workloads::uniform_cube(500, 35);
+  Octree3 tree;
+  tree.build(par, sys.x, nbody::core::compute_root_cube(par, sys.x));
+  EXPECT_EQ(tree.count_in_radius(vec3::zero(), 1e9, sys.x), sys.size());
+}
+
+TEST(Queries, ZeroRadiusHitsOnlyExactPosition) {
+  std::vector<vec3> x = {{{0, 0, 0}}, {{1, 0, 0}}};
+  Octree3 tree;
+  tree.build(par, x, nbody::math::aabb3d::cube(vec3::zero(), 2.0));
+  EXPECT_EQ(tree.count_in_radius({{1, 0, 0}}, 0.0, x), 1u);
+  EXPECT_EQ(tree.count_in_radius({{0.5, 0, 0}}, 0.0, x), 0u);
+}
+
+TEST(Queries, OctreeChainedBodiesAllFound) {
+  // Coincident bodies chain at max depth; the query must walk the chain.
+  std::vector<vec3> x(10, vec3{{0.25, 0.25, 0.25}});
+  x.push_back({{0.9, 0.9, 0.9}});
+  Octree3 tree;
+  tree.build(par, x, nbody::math::aabb3d::cube(vec3::zero(), 1.0));
+  EXPECT_EQ(tree.count_in_radius({{0.25, 0.25, 0.25}}, 0.01, x), 10u);
+}
+
+TEST(Queries, BvhLeafBucketsAllScanned) {
+  auto sys = nbody::workloads::uniform_cube(777, 36);
+  typename BVH3::Options opts;
+  opts.leaf_size = 8;
+  BVH3 tree(opts);
+  tree.sort_bodies(par_unseq, sys, nbody::core::compute_bounding_box(par_unseq, sys.x));
+  tree.build(par_unseq, sys.m, sys.x);
+  const vec3 c{{0.1, -0.2, 0.3}};
+  const double r = 0.5;
+  std::set<std::uint32_t> got;
+  tree.for_each_in_radius(c, r, sys.x,
+                          [&](std::size_t b) { got.insert(static_cast<std::uint32_t>(b)); });
+  EXPECT_EQ(got, brute_force_in_radius(sys.x, c, r));
+}
+
+TEST(Queries, NegativeRadiusRejected) {
+  std::vector<vec3> x = {{{0, 0, 0}}};
+  Octree3 tree;
+  tree.build(par, x, nbody::math::aabb3d::cube(vec3::zero(), 1.0));
+  EXPECT_THROW((void)tree.count_in_radius(vec3::zero(), -1.0, x), std::invalid_argument);
+}
+
+TEST(Queries, EmptyTreesReturnNothing) {
+  std::vector<vec3> x;
+  Octree3 oct;
+  oct.build(par, x, nbody::math::aabb3d::cube(vec3::zero(), 1.0));
+  EXPECT_EQ(oct.count_in_radius(vec3::zero(), 5.0, x), 0u);
+  std::vector<double> m;
+  BVH3 bvh;
+  bvh.build(par_unseq, m, x);
+  EXPECT_EQ(bvh.count_in_radius(vec3::zero(), 5.0, x), 0u);
+}
+
+}  // namespace

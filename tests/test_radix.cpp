@@ -1,0 +1,136 @@
+// Tests for the parallel LSD radix sort (exec/radix_sort.hpp): correctness
+// against std::stable_sort across input shapes and policies, stability, the
+// key_bits contract, and equivalence of the radix- and comparison-based sort
+// permutations (both stable ascending => identical).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "bvh/strategy.hpp"
+#include "core/diagnostics.hpp"
+#include "core/reference.hpp"
+#include "exec/radix_sort.hpp"
+#include "support/rng.hpp"
+#include "workloads/workloads.hpp"
+
+namespace {
+
+using namespace nbody::exec;
+
+using Item = std::pair<std::uint64_t, std::uint32_t>;
+
+std::vector<Item> random_items(std::size_t n, std::uint64_t key_mask,
+                               std::uint64_t seed = 1) {
+  nbody::support::Xoshiro256ss rng(seed);
+  std::vector<Item> v(n);
+  for (std::size_t i = 0; i < n; ++i)
+    v[i] = {rng.next() & key_mask, static_cast<std::uint32_t>(i)};
+  return v;
+}
+
+void expect_sorted_stable(const std::vector<Item>& got, std::vector<Item> want_input) {
+  std::stable_sort(want_input.begin(), want_input.end(),
+                   [](const Item& a, const Item& b) { return a.first < b.first; });
+  ASSERT_EQ(got.size(), want_input.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].first, want_input[i].first) << i;
+    EXPECT_EQ(got[i].second, want_input[i].second) << i;  // stability
+  }
+}
+
+class RadixSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RadixSizes, MatchesStableSortPar) {
+  auto v = random_items(GetParam(), ~0ull, GetParam());
+  const auto input = v;
+  radix_sort_pairs(par, v);
+  expect_sorted_stable(v, input);
+}
+
+TEST_P(RadixSizes, MatchesStableSortSeq) {
+  auto v = random_items(GetParam(), ~0ull, GetParam() + 1);
+  const auto input = v;
+  radix_sort_pairs(seq, v);
+  expect_sorted_stable(v, input);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RadixSizes,
+                         ::testing::Values(0, 1, 2, 3, 255, 256, 257, 10'000, 100'000));
+
+TEST(RadixSort, FewDistinctKeysKeepsStability) {
+  auto v = random_items(50'000, 0x7ull, 9);  // keys in [0, 8)
+  const auto input = v;
+  radix_sort_pairs(par, v);
+  expect_sorted_stable(v, input);
+}
+
+TEST(RadixSort, AlreadySortedAndReverse) {
+  std::vector<Item> v(10'000);
+  for (std::size_t i = 0; i < v.size(); ++i)
+    v[i] = {static_cast<std::uint64_t>(i), static_cast<std::uint32_t>(i)};
+  auto input = v;
+  radix_sort_pairs(par, v);
+  expect_sorted_stable(v, input);
+  std::reverse(v.begin(), v.end());
+  input = v;
+  radix_sort_pairs(par, v);
+  expect_sorted_stable(v, input);
+}
+
+TEST(RadixSort, NarrowKeyBitsRunsFewerPassesCorrectly) {
+  // Keys below 2^16: two 8-bit passes suffice and must produce the same
+  // order as the full 8-pass run.
+  auto v = random_items(20'000, 0xFFFFull, 10);
+  auto w = v;
+  const auto input = v;
+  radix_sort_pairs(par, v, 16);
+  radix_sort_pairs(par, w, 64);
+  expect_sorted_stable(v, input);
+  for (std::size_t i = 0; i < v.size(); ++i) EXPECT_EQ(v[i], w[i]);
+}
+
+TEST(RadixSort, OddPassCountEndsInPlace) {
+  // 24 key bits -> 3 passes: exercises the copy-back from the ping buffer.
+  auto v = random_items(10'000, 0xFFFFFFull, 11);
+  const auto input = v;
+  radix_sort_pairs(par, v, 24);
+  expect_sorted_stable(v, input);
+}
+
+TEST(RadixSort, RejectsBadKeyBits) {
+  auto v = random_items(16, ~0ull, 12);
+  EXPECT_THROW(radix_sort_pairs(par, v, 0), std::invalid_argument);
+  EXPECT_THROW(radix_sort_pairs(par, v, 65), std::invalid_argument);
+}
+
+TEST(RadixPermutation, IdenticalToComparisonPermutation) {
+  // Both sorts are stable ascending, so the permutations must match exactly.
+  nbody::support::Xoshiro256ss rng(13);
+  std::vector<std::uint64_t> keys(30'000);
+  for (auto& k : keys) k = rng.next() & 0xFFFFFFull;  // plenty of duplicates
+  const auto a = make_sort_permutation(par, keys);
+  const auto b = make_radix_sort_permutation(par, keys, 24);
+  EXPECT_EQ(a, b);
+}
+
+TEST(RadixBvh, RadixSortedPipelineMatchesComparisonSorted) {
+  // End to end: the BVH built from radix-sorted bodies is identical.
+  auto sys_a = nbody::workloads::plummer_sphere(3000, 14);
+  auto sys_b = sys_a;
+  nbody::core::SimConfig<double> cfg;
+  typename nbody::bvh::HilbertBVH<double, 3>::Options ra;
+  ra.sort = nbody::bvh::SortKind::radix;
+  nbody::bvh::BVHStrategy<double, 3> radix_strat(ra);
+  nbody::bvh::BVHStrategy<double, 3> comp_strat;
+  radix_strat.accelerations(par_unseq, sys_a, cfg);
+  comp_strat.accelerations(par_unseq, sys_b, cfg);
+  ASSERT_EQ(sys_a.size(), sys_b.size());
+  for (std::size_t i = 0; i < sys_a.size(); ++i) {
+    EXPECT_EQ(sys_a.id[i], sys_b.id[i]) << i;   // identical permutation
+    EXPECT_EQ(sys_a.a[i], sys_b.a[i]) << i;     // identical forces
+  }
+}
+
+}  // namespace

@@ -1,0 +1,322 @@
+// Tests for the space-filling-curve module: Morton bit interleaving,
+// Skilling's Hilbert transform (paper Sec. IV-B [17]), and the position ->
+// grid mapper. The Hilbert properties checked are the ones HilbertSort
+// relies on: bijectivity (sorting is a permutation) and unit-step adjacency
+// (consecutive curve indices are neighboring cells — the locality that makes
+// the sorted order tree-friendly).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+
+#include "math/aabb.hpp"
+#include "sfc/grid.hpp"
+#include "sfc/hilbert.hpp"
+#include "sfc/morton.hpp"
+#include "core/bbox.hpp"
+#include "sfc/reorder.hpp"
+#include "support/rng.hpp"
+#include "workloads/workloads.hpp"
+
+namespace {
+
+using namespace nbody::sfc;
+
+// ---------------------------------------------------------------- morton
+
+TEST(Morton, Encode2dKnownValues) {
+  std::uint32_t c00[2] = {0, 0};
+  std::uint32_t c10[2] = {1, 0};
+  std::uint32_t c01[2] = {0, 1};
+  std::uint32_t c11[2] = {1, 1};
+  EXPECT_EQ(morton_encode<2>(c00), 0u);
+  EXPECT_EQ(morton_encode<2>(c10), 1u);
+  EXPECT_EQ(morton_encode<2>(c01), 2u);
+  EXPECT_EQ(morton_encode<2>(c11), 3u);
+}
+
+TEST(Morton, Encode3dKnownValues) {
+  std::uint32_t c[3] = {1, 0, 0};
+  EXPECT_EQ(morton_encode<3>(c), 1u);
+  std::uint32_t cy[3] = {0, 1, 0};
+  EXPECT_EQ(morton_encode<3>(cy), 2u);
+  std::uint32_t cz[3] = {0, 0, 1};
+  EXPECT_EQ(morton_encode<3>(cz), 4u);
+  std::uint32_t call[3] = {1, 1, 1};
+  EXPECT_EQ(morton_encode<3>(call), 7u);
+}
+
+TEST(Morton, RoundTrip2d) {
+  nbody::support::Xoshiro256ss rng(1);
+  for (int i = 0; i < 2000; ++i) {
+    std::uint32_t c[2] = {static_cast<std::uint32_t>(rng.next()),
+                          static_cast<std::uint32_t>(rng.next())};
+    std::uint32_t out[2];
+    morton_decode<2>(morton_encode<2>(c), out);
+    EXPECT_EQ(out[0], c[0]);
+    EXPECT_EQ(out[1], c[1]);
+  }
+}
+
+TEST(Morton, RoundTrip3d) {
+  nbody::support::Xoshiro256ss rng(2);
+  for (int i = 0; i < 2000; ++i) {
+    std::uint32_t c[3] = {static_cast<std::uint32_t>(rng.next()) & 0x1fffff,
+                          static_cast<std::uint32_t>(rng.next()) & 0x1fffff,
+                          static_cast<std::uint32_t>(rng.next()) & 0x1fffff};
+    std::uint32_t out[3];
+    morton_decode<3>(morton_encode<3>(c), out);
+    EXPECT_EQ(out[0], c[0]);
+    EXPECT_EQ(out[1], c[1]);
+    EXPECT_EQ(out[2], c[2]);
+  }
+}
+
+TEST(Morton, MonotonicPerAxis) {
+  // Growing one coordinate never decreases the Morton key.
+  for (std::uint32_t x = 0; x < 64; ++x) {
+    std::uint32_t a[2] = {x, 17};
+    std::uint32_t b[2] = {x + 1, 17};
+    EXPECT_LT(morton_encode<2>(a), morton_encode<2>(b));
+  }
+}
+
+// ---------------------------------------------------------------- hilbert
+
+template <std::size_t D>
+struct HilbertDims {
+  static constexpr std::size_t dim = D;
+};
+
+TEST(Hilbert, Bits1Order2dIsGrayCodeSquare) {
+  // The 2x2 first-order Hilbert curve visits (0,0),(0,1),(1,1),(1,0).
+  std::array<std::uint32_t, 2> expect_x[4] = {{{0, 0}}, {{0, 1}}, {{1, 1}}, {{1, 0}}};
+  for (std::uint64_t h = 0; h < 4; ++h) {
+    const auto c = hilbert_decode<2>(h, 1);
+    EXPECT_EQ(c, expect_x[h]) << "h=" << h;
+  }
+}
+
+class HilbertBijection2d : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(HilbertBijection2d, EveryCellVisitedExactlyOnce) {
+  const unsigned bits = GetParam();
+  const std::uint64_t cells = 1ull << (2 * bits);
+  std::set<std::array<std::uint32_t, 2>> seen;
+  for (std::uint64_t h = 0; h < cells; ++h) {
+    seen.insert(hilbert_decode<2>(h, bits));
+  }
+  EXPECT_EQ(seen.size(), cells);
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, HilbertBijection2d, ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+class HilbertAdjacency2d : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(HilbertAdjacency2d, ConsecutiveIndicesAreGridNeighbors) {
+  const unsigned bits = GetParam();
+  const std::uint64_t cells = 1ull << (2 * bits);
+  auto prev = hilbert_decode<2>(0, bits);
+  for (std::uint64_t h = 1; h < cells; ++h) {
+    const auto cur = hilbert_decode<2>(h, bits);
+    const std::uint64_t manhattan =
+        (cur[0] > prev[0] ? cur[0] - prev[0] : prev[0] - cur[0]) +
+        (cur[1] > prev[1] ? cur[1] - prev[1] : prev[1] - cur[1]);
+    EXPECT_EQ(manhattan, 1u) << "step " << h;
+    prev = cur;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, HilbertAdjacency2d, ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u));
+
+class HilbertAdjacency3d : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(HilbertAdjacency3d, ConsecutiveIndicesAreGridNeighbors) {
+  const unsigned bits = GetParam();
+  const std::uint64_t cells = 1ull << (3 * bits);
+  auto prev = hilbert_decode<3>(0, bits);
+  for (std::uint64_t h = 1; h < cells; ++h) {
+    const auto cur = hilbert_decode<3>(h, bits);
+    std::uint64_t manhattan = 0;
+    for (int d = 0; d < 3; ++d)
+      manhattan += cur[d] > prev[d] ? cur[d] - prev[d] : prev[d] - cur[d];
+    EXPECT_EQ(manhattan, 1u) << "step " << h;
+    prev = cur;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, HilbertAdjacency3d, ::testing::Values(1u, 2u, 3u, 4u));
+
+TEST(Hilbert, RoundTrip2dRandom) {
+  nbody::support::Xoshiro256ss rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    const unsigned bits = 1 + static_cast<unsigned>(rng.next() % 32);
+    const std::uint32_t mask = bits == 32 ? 0xFFFFFFFFu : ((1u << bits) - 1);
+    std::array<std::uint32_t, 2> c = {static_cast<std::uint32_t>(rng.next()) & mask,
+                                      static_cast<std::uint32_t>(rng.next()) & mask};
+    const auto back = hilbert_decode<2>(hilbert_encode<2>(c, bits), bits);
+    EXPECT_EQ(back, c) << "bits=" << bits;
+  }
+}
+
+TEST(Hilbert, RoundTrip3dRandom) {
+  nbody::support::Xoshiro256ss rng(4);
+  for (int i = 0; i < 2000; ++i) {
+    const unsigned bits = 1 + static_cast<unsigned>(rng.next() % 21);
+    const std::uint32_t mask = (1u << bits) - 1;
+    std::array<std::uint32_t, 3> c = {static_cast<std::uint32_t>(rng.next()) & mask,
+                                      static_cast<std::uint32_t>(rng.next()) & mask,
+                                      static_cast<std::uint32_t>(rng.next()) & mask};
+    const auto back = hilbert_decode<3>(hilbert_encode<3>(c, bits), bits);
+    EXPECT_EQ(back, c) << "bits=" << bits;
+  }
+}
+
+TEST(Hilbert, TransposePackingRoundTrip) {
+  nbody::support::Xoshiro256ss rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const unsigned bits = 1 + static_cast<unsigned>(rng.next() % 21);
+    const std::uint64_t key = rng.next() & ((bits * 3 >= 64) ? ~0ull : ((1ull << (bits * 3)) - 1));
+    const auto t = key_to_transpose<3>(key, bits);
+    EXPECT_EQ(transpose_to_key<3>(t, bits), key);
+  }
+}
+
+TEST(Hilbert, KeyRangeIsDense) {
+  // encode covers exactly [0, 2^(D*bits)).
+  const unsigned bits = 3;
+  std::set<std::uint64_t> keys;
+  for (std::uint32_t x = 0; x < 8; ++x)
+    for (std::uint32_t y = 0; y < 8; ++y)
+      keys.insert(hilbert_encode<2>({x, y}, bits));
+  EXPECT_EQ(keys.size(), 64u);
+  EXPECT_EQ(*keys.begin(), 0u);
+  EXPECT_EQ(*keys.rbegin(), 63u);
+}
+
+TEST(Hilbert, LocalityBeatsRowMajorOrder) {
+  // Average Euclidean jump between curve-consecutive cells: Hilbert == 1 by
+  // adjacency; row-major order jumps across the row boundary. This is the
+  // property that makes Hilbert the right sort key for the BVH.
+  const unsigned bits = 4;
+  const std::uint32_t side = 1u << bits;
+  double hilbert_total = 0.0;
+  auto prev = hilbert_decode<2>(0, bits);
+  for (std::uint64_t h = 1; h < side * side; ++h) {
+    const auto cur = hilbert_decode<2>(h, bits);
+    const double dx = static_cast<double>(cur[0]) - prev[0];
+    const double dy = static_cast<double>(cur[1]) - prev[1];
+    hilbert_total += std::sqrt(dx * dx + dy * dy);
+    prev = cur;
+  }
+  double rowmajor_total = 0.0;
+  for (std::uint64_t i = 1; i < side * side; ++i) {
+    const double dx = static_cast<double>(i % side) - static_cast<double>((i - 1) % side);
+    const double dy = static_cast<double>(i / side) - static_cast<double>((i - 1) / side);
+    rowmajor_total += std::sqrt(dx * dx + dy * dy);
+  }
+  EXPECT_LT(hilbert_total, rowmajor_total);
+}
+
+// ---------------------------------------------------------------- grid mapper
+
+TEST(GridMapper, MapsCornersToExtremeCells) {
+  const nbody::math::aabb3d box{{{0, 0, 0}}, {{1, 1, 1}}};
+  const GridMapper<double, 3> grid(box, 4);
+  const auto lo = grid.cell_of({{0, 0, 0}});
+  const auto hi = grid.cell_of({{1, 1, 1}});
+  for (int d = 0; d < 3; ++d) {
+    EXPECT_EQ(lo[d], 0u);
+    EXPECT_EQ(hi[d], 15u);  // clamped into the last cell
+  }
+}
+
+TEST(GridMapper, ClampsOutOfBoxPoints) {
+  const nbody::math::aabb3d box{{{0, 0, 0}}, {{1, 1, 1}}};
+  const GridMapper<double, 3> grid(box, 4);
+  const auto below = grid.cell_of({{-5, -5, -5}});
+  const auto above = grid.cell_of({{9, 9, 9}});
+  for (int d = 0; d < 3; ++d) {
+    EXPECT_EQ(below[d], 0u);
+    EXPECT_EQ(above[d], 15u);
+  }
+}
+
+TEST(GridMapper, DegenerateAxisMapsToCellZero) {
+  // All bodies share z: the z-axis has zero extent.
+  const nbody::math::aabb3d box{{{0, 0, 5}}, {{1, 1, 5}}};
+  const GridMapper<double, 3> grid(box, 4);
+  EXPECT_EQ(grid.cell_of({{0.5, 0.5, 5}})[2], 0u);
+}
+
+TEST(GridMapper, HilbertKeysOrderNeighborsTogether) {
+  const nbody::math::aabb2d box{{{0, 0}}, {{1, 1}}};
+  const GridMapper<double, 2> grid(box, 8);
+  // Two nearby points get closer keys than two distant points, typically.
+  const auto kA = grid.hilbert_key({{0.1, 0.1}});
+  const auto kB = grid.hilbert_key({{0.1001, 0.1001}});
+  const auto kC = grid.hilbert_key({{0.9, 0.9}});
+  const auto dAB = kA > kB ? kA - kB : kB - kA;
+  const auto dAC = kA > kC ? kA - kC : kC - kA;
+  EXPECT_LT(dAB, dAC);
+}
+
+TEST(GridMapper, RejectsEmptyBox) {
+  EXPECT_THROW((GridMapper<double, 3>(nbody::math::aabb3d{}, 4)), std::invalid_argument);
+}
+
+TEST(GridMapper, RejectsBadBits) {
+  const nbody::math::aabb3d box{{{0, 0, 0}}, {{1, 1, 1}}};
+  EXPECT_THROW((GridMapper<double, 3>(box, 0)), std::invalid_argument);
+  EXPECT_THROW((GridMapper<double, 3>(box, 22)), std::invalid_argument);  // 3*22 > 64
+}
+
+TEST(GridMapper, MortonKeyMatchesManualInterleave) {
+  const nbody::math::aabb2d box{{{0, 0}}, {{1, 1}}};
+  const GridMapper<double, 2> grid(box, 2);
+  // Point in cell (1, 0) of a 4x4 grid -> morton key 1 at those low bits.
+  const auto k = grid.morton_key({{0.3, 0.1}});
+  std::uint32_t c[2] = {grid.cell_of({{0.3, 0.1}})[0], grid.cell_of({{0.3, 0.1}})[1]};
+  EXPECT_EQ(k, morton_encode<2>(c));
+}
+
+// ---------------------------------------------------------------- reorder
+
+TEST(Reorder, KeysComeBackSortedAndSystemPermuted) {
+  auto sys = nbody::workloads::plummer_sphere(2000, 19);
+  const auto original = sys;
+  const auto box = nbody::core::compute_bounding_box(nbody::exec::par, sys.x);
+  const auto keys = reorder_system(nbody::exec::par, sys, box);
+  ASSERT_EQ(keys.size(), sys.size());
+  for (std::size_t i = 1; i < keys.size(); ++i) EXPECT_LE(keys[i - 1], keys[i]);
+  for (std::size_t i = 0; i < sys.size(); ++i) {
+    EXPECT_EQ(sys.x[i], original.x[sys.id[i]]);
+    EXPECT_EQ(sys.m[i], original.m[sys.id[i]]);
+    EXPECT_EQ(sys.v[i], original.v[sys.id[i]]);
+  }
+}
+
+TEST(Reorder, RadixAndComparisonAgree) {
+  auto a = nbody::workloads::plummer_sphere(3000, 20);
+  auto b = a;
+  const auto box = nbody::core::compute_bounding_box(nbody::exec::par, a.x);
+  reorder_system(nbody::exec::par, a, box, KeyKind::hilbert, SortAlgo::comparison);
+  reorder_system(nbody::exec::par, b, box, KeyKind::hilbert, SortAlgo::radix);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a.id[i], b.id[i]) << i;
+}
+
+TEST(Reorder, MortonKeysAlsoSorted) {
+  auto sys = nbody::workloads::plummer_sphere(1000, 21);
+  const auto box = nbody::core::compute_bounding_box(nbody::exec::par, sys.x);
+  const auto keys = reorder_system(nbody::exec::par, sys, box, KeyKind::morton);
+  for (std::size_t i = 1; i < keys.size(); ++i) EXPECT_LE(keys[i - 1], keys[i]);
+}
+
+TEST(Reorder, EmptySystem) {
+  nbody::core::System<double, 3> sys;
+  const auto keys = reorder_system(nbody::exec::par, sys,
+                                   nbody::math::aabb3d::cube({{0, 0, 0}}, 1.0));
+  EXPECT_TRUE(keys.empty());
+}
+
+}  // namespace

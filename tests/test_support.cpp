@@ -1,0 +1,247 @@
+// Unit tests for src/support: env parsing, timers, RNG determinism,
+// compensated summation, function_ref.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <thread>
+
+#include "support/env.hpp"
+#include "support/function_ref.hpp"
+#include "support/kahan.hpp"
+#include "support/rng.hpp"
+#include "support/timer.hpp"
+
+namespace {
+
+using namespace nbody::support;
+
+// ---------------------------------------------------------------- env
+
+TEST(Env, UnsetReturnsFallback) {
+  ::unsetenv("NBODY_TEST_UNSET");
+  EXPECT_EQ(env_size("NBODY_TEST_UNSET", 7), 7u);
+  EXPECT_DOUBLE_EQ(env_double("NBODY_TEST_UNSET", 1.5), 1.5);
+  EXPECT_FALSE(env_flag("NBODY_TEST_UNSET"));
+  EXPECT_TRUE(env_flag("NBODY_TEST_UNSET", true));
+  EXPECT_FALSE(env_string("NBODY_TEST_UNSET").has_value());
+}
+
+TEST(Env, ParsesInteger) {
+  ::setenv("NBODY_TEST_INT", "42", 1);
+  EXPECT_EQ(env_size("NBODY_TEST_INT", 0), 42u);
+  ::unsetenv("NBODY_TEST_INT");
+}
+
+TEST(Env, ParsesDouble) {
+  ::setenv("NBODY_TEST_DBL", "2.25", 1);
+  EXPECT_DOUBLE_EQ(env_double("NBODY_TEST_DBL", 0.0), 2.25);
+  ::unsetenv("NBODY_TEST_DBL");
+}
+
+TEST(Env, RejectsGarbageInteger) {
+  ::setenv("NBODY_TEST_BAD", "12abc", 1);
+  EXPECT_THROW(env_size("NBODY_TEST_BAD", 0), std::invalid_argument);
+  ::setenv("NBODY_TEST_BAD", "abc", 1);
+  EXPECT_THROW(env_size("NBODY_TEST_BAD", 0), std::invalid_argument);
+  ::unsetenv("NBODY_TEST_BAD");
+}
+
+TEST(Env, FlagSpellings) {
+  for (const char* v : {"1", "true", "yes", "on"}) {
+    ::setenv("NBODY_TEST_FLAG", v, 1);
+    EXPECT_TRUE(env_flag("NBODY_TEST_FLAG")) << v;
+  }
+  for (const char* v : {"0", "false", "off", "banana"}) {
+    ::setenv("NBODY_TEST_FLAG", v, 1);
+    EXPECT_FALSE(env_flag("NBODY_TEST_FLAG")) << v;
+  }
+  ::unsetenv("NBODY_TEST_FLAG");
+}
+
+TEST(Env, EmptyStringIsUnset) {
+  ::setenv("NBODY_TEST_EMPTY", "", 1);
+  EXPECT_EQ(env_size("NBODY_TEST_EMPTY", 9), 9u);
+  ::unsetenv("NBODY_TEST_EMPTY");
+}
+
+// ---------------------------------------------------------------- timer
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  Stopwatch w;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  const double s = w.seconds();
+  EXPECT_GE(s, 0.005);
+  EXPECT_LT(s, 5.0);
+}
+
+TEST(Stopwatch, ResetRestarts) {
+  Stopwatch w;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  w.reset();
+  EXPECT_LT(w.seconds(), 0.005);
+}
+
+TEST(PhaseTimer, AccumulatesNamedPhases) {
+  PhaseTimer t;
+  t.add("build", 1.0);
+  t.add("force", 2.0);
+  t.add("build", 0.5);
+  EXPECT_DOUBLE_EQ(t.seconds("build"), 1.5);
+  EXPECT_DOUBLE_EQ(t.seconds("force"), 2.0);
+  EXPECT_DOUBLE_EQ(t.seconds("missing"), 0.0);
+  EXPECT_DOUBLE_EQ(t.total(), 3.5);
+}
+
+TEST(PhaseTimer, NamesInFirstUseOrder) {
+  PhaseTimer t;
+  t.add("b", 1.0);
+  t.add("a", 1.0);
+  t.add("b", 1.0);
+  ASSERT_EQ(t.names().size(), 2u);
+  EXPECT_EQ(t.names()[0], "b");
+  EXPECT_EQ(t.names()[1], "a");
+}
+
+TEST(PhaseTimer, ScopeRecordsInterval) {
+  PhaseTimer t;
+  {
+    auto s = t.scope("sleep");
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GT(t.seconds("sleep"), 0.0);
+}
+
+TEST(PhaseTimer, MaybeWithNullIsNoop) {
+  auto s = PhaseTimer::maybe(nullptr, "x");
+  EXPECT_FALSE(s.has_value());
+}
+
+TEST(PhaseTimer, ClearResets) {
+  PhaseTimer t;
+  t.add("a", 1.0);
+  t.clear();
+  EXPECT_TRUE(t.names().empty());
+  EXPECT_DOUBLE_EQ(t.total(), 0.0);
+}
+
+// ---------------------------------------------------------------- rng
+
+TEST(Rng, SplitMixDeterministic) {
+  SplitMix64 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, SplitMixSeedsDiffer) {
+  SplitMix64 a(1), b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, XoshiroDeterministic) {
+  Xoshiro256ss a(99), b(99);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, UniformInRange) {
+  Xoshiro256ss r(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformBoundedRange) {
+  Xoshiro256ss r(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform(-3.0, 7.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 7.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Xoshiro256ss r(17);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += r.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, NormalMomentsAreSane) {
+  Xoshiro256ss r(23);
+  double sum = 0, sq = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double v = r.normal();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, HashU64Differs) {
+  EXPECT_NE(hash_u64(0), hash_u64(1));
+  EXPECT_EQ(hash_u64(7), hash_u64(7));
+}
+
+// ---------------------------------------------------------------- kahan
+
+TEST(Kahan, SumsExactly) {
+  KahanSum s;
+  s.add(1.0);
+  s.add(2.0);
+  EXPECT_DOUBLE_EQ(s.value(), 3.0);
+}
+
+TEST(Kahan, RecoversSmallTerms) {
+  // 1e16 + 1 (x1000) - 1e16 == 1000 exactly with compensation; naive sum
+  // loses every +1.
+  KahanSum s(1e16);
+  for (int i = 0; i < 1000; ++i) s.add(1.0);
+  s.add(-1e16);
+  EXPECT_DOUBLE_EQ(s.value(), 1000.0);
+
+  double naive = 1e16;
+  for (int i = 0; i < 1000; ++i) naive += 1.0;
+  naive -= 1e16;
+  EXPECT_NE(naive, 1000.0);  // demonstrates why compensation matters
+}
+
+TEST(Kahan, NeumaierHandlesLargeAddend) {
+  // Classic case plain Kahan fails: the addend dwarfs the running sum.
+  KahanSum s;
+  s.add(1.0);
+  s.add(1e100);
+  s.add(1.0);
+  s.add(-1e100);
+  EXPECT_DOUBLE_EQ(s.value(), 2.0);
+}
+
+TEST(Kahan, MergeCombinesPartials) {
+  KahanSum a, b;
+  for (int i = 0; i < 500; ++i) a.add(0.1);
+  for (int i = 0; i < 500; ++i) b.add(0.1);
+  a.merge(b);
+  EXPECT_NEAR(a.value(), 100.0, 1e-12);
+}
+
+// ---------------------------------------------------------------- function_ref
+
+TEST(FunctionRef, CallsLambda) {
+  int hits = 0;
+  auto fn = [&](int v) { hits += v; };
+  nbody::support::function_ref<void(int)> ref(fn);
+  ref(3);
+  ref(4);
+  EXPECT_EQ(hits, 7);
+}
+
+TEST(FunctionRef, ReturnsValue) {
+  auto fn = [](int a, int b) { return a * b; };
+  nbody::support::function_ref<int(int, int)> ref(fn);
+  EXPECT_EQ(ref(6, 7), 42);
+}
+
+}  // namespace

@@ -1,0 +1,164 @@
+// Parameterized property sweeps across the configuration space the single-
+// point tests cannot cover: force accuracy bounds as a joint function of
+// (workload shape, theta) for both trees, BVH option products, Hilbert grid
+// resolutions, and octree capacity-parameter products. Every case asserts a
+// *bound*, not a golden number, so the suite stays robust across compilers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <tuple>
+
+#include "bvh/strategy.hpp"
+#include "core/diagnostics.hpp"
+#include "core/reference.hpp"
+#include "octree/strategy.hpp"
+#include "sfc/grid.hpp"
+#include "support/rng.hpp"
+#include "workloads/workloads.hpp"
+
+namespace {
+
+using nbody::exec::par;
+using nbody::exec::par_unseq;
+using nbody::exec::seq;
+using System3 = nbody::core::System<double, 3>;
+using vec3 = nbody::math::vec3d;
+
+System3 workload_by_name(const std::string& name, std::size_t n) {
+  if (name == "galaxy") return nbody::workloads::galaxy_collision(n, 42);
+  if (name == "plummer") return nbody::workloads::plummer_sphere(n, 5);
+  return nbody::workloads::uniform_cube(n, 3, 2.0);
+}
+
+// Empirical Barnes-Hut error ceiling as a function of theta for monopole
+// trees on these workloads; generous (2-4x observed) so the bound is a
+// regression tripwire, not a tight oracle.
+double error_ceiling(double theta) { return 0.12 * theta * theta + 2e-3; }
+
+// ---------------------------------------------------- accuracy x workload
+
+using AccuracyCase = std::tuple<std::string, double>;  // workload, theta
+
+class TreeAccuracy : public ::testing::TestWithParam<AccuracyCase> {};
+
+TEST_P(TreeAccuracy, OctreeErrorWithinThetaBound) {
+  const auto& [wname, theta] = GetParam();
+  auto sys = workload_by_name(wname, 1200);
+  nbody::core::SimConfig<double> cfg;
+  cfg.theta = theta;
+  auto ref = sys;
+  nbody::core::reference_accelerations(ref, cfg);
+  nbody::octree::OctreeStrategy<double, 3> strat;
+  strat.accelerations(par, sys, cfg);
+  EXPECT_LT(nbody::core::rms_relative_error(sys.a, ref.a), error_ceiling(theta))
+      << wname << " theta=" << theta;
+}
+
+TEST_P(TreeAccuracy, BvhErrorWithinThetaBound) {
+  const auto& [wname, theta] = GetParam();
+  auto sys = workload_by_name(wname, 1200);
+  nbody::core::SimConfig<double> cfg;
+  cfg.theta = theta;
+  auto ref = sys;
+  nbody::core::reference_accelerations(ref, cfg);
+  nbody::bvh::BVHStrategy<double, 3> strat;
+  strat.accelerations(par_unseq, sys, cfg);
+  std::vector<vec3> got(sys.size());
+  for (std::size_t i = 0; i < sys.size(); ++i) got[sys.id[i]] = sys.a[i];
+  // BVH boxes are elongated: the same theta admits ~3x the octree error
+  // (paper Sec. IV-B end) — bound scaled accordingly.
+  EXPECT_LT(nbody::core::rms_relative_error(got, ref.a), 3.0 * error_ceiling(theta))
+      << wname << " theta=" << theta;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WorkloadTheta, TreeAccuracy,
+    ::testing::Combine(::testing::Values("galaxy", "plummer", "cube"),
+                       ::testing::Values(0.2, 0.4, 0.6, 0.8)),
+    [](const ::testing::TestParamInfo<AccuracyCase>& info) {
+      return std::get<0>(info.param) + "_theta" +
+             std::to_string(static_cast<int>(std::get<1>(info.param) * 10));
+    });
+
+// ---------------------------------------------------- BVH option products
+
+using BvhOptionCase = std::tuple<std::size_t, int, int>;  // leaf, curve, sort
+
+class BvhOptionProduct : public ::testing::TestWithParam<BvhOptionCase> {};
+
+TEST_P(BvhOptionProduct, ExactAtThetaZeroForEveryCombination) {
+  const auto& [leaf, curve, sort] = GetParam();
+  typename nbody::bvh::HilbertBVH<double, 3>::Options opts;
+  opts.leaf_size = leaf;
+  opts.curve = static_cast<nbody::bvh::CurveKind>(curve);
+  opts.sort = static_cast<nbody::bvh::SortKind>(sort);
+  auto sys = nbody::workloads::plummer_sphere(500, 7);
+  nbody::core::SimConfig<double> cfg;
+  cfg.theta = 0.0;  // MAC never accepts: must equal the exact sum
+  auto ref = sys;
+  nbody::core::reference_accelerations(ref, cfg);
+  nbody::bvh::BVHStrategy<double, 3> strat(opts);
+  strat.accelerations(par_unseq, sys, cfg);
+  for (std::size_t i = 0; i < sys.size(); ++i) {
+    const auto want = ref.a[sys.id[i]];
+    for (int d = 0; d < 3; ++d) EXPECT_NEAR(sys.a[i][d], want[d], 1e-9) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Options, BvhOptionProduct,
+    ::testing::Combine(::testing::Values(std::size_t{1}, std::size_t{4}, std::size_t{16}),
+                       ::testing::Values(0, 1),   // hilbert, morton
+                       ::testing::Values(0, 1)),  // comparison, radix
+    [](const ::testing::TestParamInfo<BvhOptionCase>& info) {
+      return "leaf" + std::to_string(std::get<0>(info.param)) +
+             (std::get<1>(info.param) ? "_morton" : "_hilbert") +
+             (std::get<2>(info.param) ? "_radix" : "_merge");
+    });
+
+// ---------------------------------------------------- grid resolutions
+
+class GridBits : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(GridBits, KeysOrderPointsAlongACurveOfThatResolution) {
+  const unsigned bits = GetParam();
+  const nbody::math::aabb3d box{{{-1, -1, -1}}, {{1, 1, 1}}};
+  const nbody::sfc::GridMapper<double, 3> grid(box, bits);
+  nbody::support::Xoshiro256ss rng(bits);
+  for (int rep = 0; rep < 500; ++rep) {
+    const vec3 p{{rng.uniform(-1, 1), rng.uniform(-1, 1), rng.uniform(-1, 1)}};
+    const auto key = grid.hilbert_key(p);
+    // Key fits in D*bits bits and decodes back to the cell of p.
+    ASSERT_LT(key, 1ull << (3 * bits));
+    const auto cell = nbody::sfc::hilbert_decode<3>(key, bits);
+    EXPECT_EQ(cell, grid.cell_of(p));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, GridBits, ::testing::Values(1u, 2u, 4u, 8u, 16u, 21u));
+
+// ---------------------------------------------------- octree capacity params
+
+using CapacityCase = std::tuple<std::uint32_t, double>;  // min_capacity, factor
+
+class OctreeCapacity : public ::testing::TestWithParam<CapacityCase> {};
+
+TEST_P(OctreeCapacity, BuildSucceedsFromAnyStartingEstimate) {
+  const auto& [min_cap, factor] = GetParam();
+  typename nbody::octree::ConcurrentOctree<double, 3>::Params params;
+  params.min_capacity = min_cap;
+  params.capacity_factor = factor;
+  nbody::octree::ConcurrentOctree<double, 3> tree(params);
+  const auto sys = nbody::workloads::galaxy_collision(1500, 8);
+  tree.build(par, sys.x, nbody::core::compute_root_cube(par, sys.x));
+  const auto st = tree.stats();
+  EXPECT_EQ(st.bodies, sys.size());
+  EXPECT_LE(tree.node_count(), tree.capacity());
+}
+
+INSTANTIATE_TEST_SUITE_P(Params, OctreeCapacity,
+                         ::testing::Combine(::testing::Values(8u, 512u, 4096u),
+                                            ::testing::Values(0.0, 1.0, 8.0)));
+
+}  // namespace

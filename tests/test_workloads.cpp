@@ -1,0 +1,167 @@
+// Tests for the workload generators: determinism (the paper's galaxy
+// collision is deterministic by construction), physical sanity (bound disks,
+// zero net momentum where promised), and shape properties.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/diagnostics.hpp"
+#include "workloads/workloads.hpp"
+
+namespace {
+
+using nbody::exec::seq;
+using vec3 = nbody::math::vec3d;
+
+TEST(Galaxy, DeterministicAcrossCalls) {
+  const auto a = nbody::workloads::galaxy_collision(1000, 42);
+  const auto b = nbody::workloads::galaxy_collision(1000, 42);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.x[i], b.x[i]);
+    EXPECT_EQ(a.v[i], b.v[i]);
+    EXPECT_EQ(a.m[i], b.m[i]);
+  }
+}
+
+TEST(Galaxy, SeedChangesRealization) {
+  const auto a = nbody::workloads::galaxy_collision(100, 1);
+  const auto b = nbody::workloads::galaxy_collision(100, 2);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.size(); ++i) any_diff |= (a.x[i] != b.x[i]);
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Galaxy, RequestedBodyCount) {
+  for (std::size_t n : {2u, 3u, 10u, 999u, 10'000u})
+    EXPECT_EQ(nbody::workloads::galaxy_collision(n).size(), n) << n;
+}
+
+TEST(Galaxy, RejectsTooFewBodies) {
+  EXPECT_THROW(nbody::workloads::galaxy_collision(1), std::invalid_argument);
+}
+
+TEST(Galaxy, TwoNucleiPresent) {
+  nbody::workloads::GalaxyParams p;
+  const auto sys = nbody::workloads::galaxy_collision(1000, 42, p);
+  int nuclei = 0;
+  for (std::size_t i = 0; i < sys.size(); ++i)
+    if (sys.m[i] == p.central_mass) ++nuclei;
+  EXPECT_EQ(nuclei, 2);
+}
+
+TEST(Galaxy, GalaxiesApproachEachOther) {
+  nbody::workloads::GalaxyParams p;
+  const auto sys = nbody::workloads::galaxy_collision(500, 42, p);
+  // The two nuclei move toward each other along x.
+  std::vector<std::size_t> nuclei;
+  for (std::size_t i = 0; i < sys.size(); ++i)
+    if (sys.m[i] == p.central_mass) nuclei.push_back(i);
+  ASSERT_EQ(nuclei.size(), 2u);
+  const auto& l = sys.x[nuclei[0]][0] < sys.x[nuclei[1]][0] ? nuclei[0] : nuclei[1];
+  const auto& r = sys.x[nuclei[0]][0] < sys.x[nuclei[1]][0] ? nuclei[1] : nuclei[0];
+  EXPECT_GT(sys.v[l][0], 0.0);
+  EXPECT_LT(sys.v[r][0], 0.0);
+}
+
+TEST(Galaxy, StarsAreDiskBound) {
+  nbody::workloads::GalaxyParams p;
+  const auto sys = nbody::workloads::galaxy_collision(2000, 42, p);
+  // Every star within disk_radius (+ thickness margin) of some nucleus.
+  std::vector<vec3> centers;
+  for (std::size_t i = 0; i < sys.size(); ++i)
+    if (sys.m[i] == p.central_mass) centers.push_back(sys.x[i]);
+  for (std::size_t i = 0; i < sys.size(); ++i) {
+    if (sys.m[i] == p.central_mass) continue;
+    double dmin = 1e300;
+    for (const auto& c : centers) dmin = std::min(dmin, norm(sys.x[i] - c));
+    EXPECT_LT(dmin, p.disk_radius * 1.5) << i;
+  }
+}
+
+TEST(Galaxy, TwoDVariantMatchesShape) {
+  const auto sys = nbody::workloads::galaxy_collision_2d(500, 42);
+  EXPECT_EQ(sys.size(), 500u);
+  const auto a = nbody::workloads::galaxy_collision_2d(500, 42);
+  for (std::size_t i = 0; i < sys.size(); ++i) EXPECT_EQ(sys.x[i], a.x[i]);
+}
+
+TEST(Plummer, TotalMassIsOne) {
+  const auto sys = nbody::workloads::plummer_sphere(5000, 7);
+  EXPECT_NEAR(nbody::core::total_mass(seq, sys), 1.0, 1e-9);
+}
+
+TEST(Plummer, HalfMassRadiusNearTheory) {
+  // Plummer half-mass radius = scale / sqrt(2^(2/3) - 1) ~ 1.3048 * scale.
+  const auto sys = nbody::workloads::plummer_sphere(20'000, 8, 1.0);
+  std::vector<double> r(sys.size());
+  for (std::size_t i = 0; i < sys.size(); ++i) r[i] = norm(sys.x[i]);
+  std::nth_element(r.begin(), r.begin() + r.size() / 2, r.end());
+  EXPECT_NEAR(r[r.size() / 2], 1.3048, 0.1);
+}
+
+TEST(Plummer, RoughVirialEquilibrium) {
+  // 2K + U ~ 0 for an equilibrium model (generous tolerance: sampling).
+  const auto sys = nbody::workloads::plummer_sphere(3000, 9);
+  const double K = nbody::core::kinetic_energy(seq, sys);
+  const double U = nbody::core::potential_energy(seq, sys, 1.0, 0.0);
+  EXPECT_NEAR(2 * K / std::abs(U), 1.0, 0.25);
+}
+
+TEST(UniformCube, BoundsRespected) {
+  const auto sys = nbody::workloads::uniform_cube(5000, 3, 2.5);
+  for (const auto& p : sys.x)
+    for (int d = 0; d < 3; ++d) EXPECT_LE(std::abs(p[d]), 2.5);
+}
+
+TEST(UniformCube, Deterministic) {
+  const auto a = nbody::workloads::uniform_cube(100, 5);
+  const auto b = nbody::workloads::uniform_cube(100, 5);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a.x[i], b.x[i]);
+}
+
+TEST(SolarSystem, SunPlusMinorBodies) {
+  nbody::workloads::SolarSystemParams p;
+  const auto sys = nbody::workloads::solar_system(1000, 11, p);
+  EXPECT_EQ(sys.size(), 1001u);
+  EXPECT_DOUBLE_EQ(sys.m[0], p.sun_mass);
+  for (std::size_t i = 1; i < sys.size(); ++i) EXPECT_DOUBLE_EQ(sys.m[i], p.body_mass);
+}
+
+TEST(SolarSystem, NetMomentumIsZero) {
+  const auto sys = nbody::workloads::solar_system(2000, 11);
+  EXPECT_LT(norm(nbody::core::total_momentum(seq, sys)), 1e-12);
+}
+
+TEST(SolarSystem, OrbitsWithinRadialRange) {
+  nbody::workloads::SolarSystemParams p;
+  const auto sys = nbody::workloads::solar_system(3000, 12, p);
+  for (std::size_t i = 1; i < sys.size(); ++i) {
+    const double r = norm(sys.x[i]);
+    // r in [a(1-e), a(1+e)] with a in [min,max] and e <= emax.
+    EXPECT_GE(r, p.min_radius * (1.0 - p.max_eccentricity) * 0.99) << i;
+    EXPECT_LE(r, p.max_radius * (1.0 + p.max_eccentricity) * 1.01) << i;
+  }
+}
+
+TEST(SolarSystem, BodiesAreBoundOrbits) {
+  // Specific orbital energy negative: v^2/2 - mu/r < 0.
+  nbody::workloads::SolarSystemParams p;
+  const auto sys = nbody::workloads::solar_system(2000, 13, p);
+  const double mu = p.G * p.sun_mass;
+  for (std::size_t i = 1; i < sys.size(); ++i) {
+    const double e = 0.5 * norm2(sys.v[i]) - mu / norm(sys.x[i]);
+    EXPECT_LT(e, 0.0) << i;
+  }
+}
+
+TEST(SolarSystem, Deterministic) {
+  const auto a = nbody::workloads::solar_system(500, 14);
+  const auto b = nbody::workloads::solar_system(500, 14);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.x[i], b.x[i]);
+    EXPECT_EQ(a.v[i], b.v[i]);
+  }
+}
+
+}  // namespace
