@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bvh_design.dir/ablation_bvh_design.cpp.o"
+  "CMakeFiles/ablation_bvh_design.dir/ablation_bvh_design.cpp.o.d"
+  "ablation_bvh_design"
+  "ablation_bvh_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bvh_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mac_work.dir/ablation_mac_work.cpp.o"
+  "CMakeFiles/ablation_mac_work.dir/ablation_mac_work.cpp.o.d"
+  "ablation_mac_work"
+  "ablation_mac_work.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mac_work.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_memorder.dir/ablation_memorder.cpp.o"
+  "CMakeFiles/ablation_memorder.dir/ablation_memorder.cpp.o.d"
+  "ablation_memorder"
+  "ablation_memorder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_memorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_quadrupole.dir/ablation_quadrupole.cpp.o"
+  "CMakeFiles/ablation_quadrupole.dir/ablation_quadrupole.cpp.o.d"
+  "ablation_quadrupole"
+  "ablation_quadrupole.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_quadrupole.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sort.dir/ablation_sort.cpp.o"
+  "CMakeFiles/ablation_sort.dir/ablation_sort.cpp.o.d"
+  "ablation_sort"
+  "ablation_sort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/build_rates.dir/build_rates.cpp.o"
+  "CMakeFiles/build_rates.dir/build_rates.cpp.o.d"
+  "build_rates"
+  "build_rates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/build_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_seq_vs_par.dir/fig5_seq_vs_par.cpp.o"
+  "CMakeFiles/fig5_seq_vs_par.dir/fig5_seq_vs_par.cpp.o.d"
+  "fig5_seq_vs_par"
+  "fig5_seq_vs_par.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_seq_vs_par.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_small.dir/fig6_small.cpp.o"
+  "CMakeFiles/fig6_small.dir/fig6_small.cpp.o.d"
+  "fig6_small"
+  "fig6_small.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_small.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_mid.dir/fig7_mid.cpp.o"
+  "CMakeFiles/fig7_mid.dir/fig7_mid.cpp.o.d"
+  "fig7_mid"
+  "fig7_mid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_mid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_components.dir/fig8_components.cpp.o"
+  "CMakeFiles/fig8_components.dir/fig8_components.cpp.o.d"
+  "fig8_components"
+  "fig8_components.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/its_progress.dir/its_progress.cpp.o"
+  "CMakeFiles/its_progress.dir/its_progress.cpp.o.d"
+  "its_progress"
+  "its_progress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/its_progress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream.dir/stream.cpp.o"
+  "CMakeFiles/stream.dir/stream.cpp.o.d"
+  "stream"
+  "stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validation_solar.dir/validation_solar.cpp.o"
+  "CMakeFiles/validation_solar.dir/validation_solar.cpp.o.d"
+  "validation_solar"
+  "validation_solar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validation_solar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

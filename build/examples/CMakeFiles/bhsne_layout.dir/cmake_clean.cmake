@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bhsne_layout.dir/bhsne_layout.cpp.o"
+  "CMakeFiles/bhsne_layout.dir/bhsne_layout.cpp.o.d"
+  "bhsne_layout"
+  "bhsne_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bhsne_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_relaxation.dir/cluster_relaxation.cpp.o"
+  "CMakeFiles/cluster_relaxation.dir/cluster_relaxation.cpp.o.d"
+  "cluster_relaxation"
+  "cluster_relaxation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_relaxation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nbody_cli.dir/nbody_cli.cpp.o"
+  "CMakeFiles/nbody_cli.dir/nbody_cli.cpp.o.d"
+  "nbody_cli"
+  "nbody_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nbody_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

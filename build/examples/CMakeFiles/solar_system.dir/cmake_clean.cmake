@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solar_system.dir/solar_system.cpp.o"
+  "CMakeFiles/solar_system.dir/solar_system.cpp.o.d"
+  "solar_system"
+  "solar_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solar_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

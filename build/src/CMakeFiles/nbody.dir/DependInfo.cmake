@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bench_support/table.cpp" "src/CMakeFiles/nbody.dir/bench_support/table.cpp.o" "gcc" "src/CMakeFiles/nbody.dir/bench_support/table.cpp.o.d"
+  "/root/repo/src/exec/policy.cpp" "src/CMakeFiles/nbody.dir/exec/policy.cpp.o" "gcc" "src/CMakeFiles/nbody.dir/exec/policy.cpp.o.d"
+  "/root/repo/src/exec/thread_pool.cpp" "src/CMakeFiles/nbody.dir/exec/thread_pool.cpp.o" "gcc" "src/CMakeFiles/nbody.dir/exec/thread_pool.cpp.o.d"
+  "/root/repo/src/progress/fiber.cpp" "src/CMakeFiles/nbody.dir/progress/fiber.cpp.o" "gcc" "src/CMakeFiles/nbody.dir/progress/fiber.cpp.o.d"
+  "/root/repo/src/progress/scheduler.cpp" "src/CMakeFiles/nbody.dir/progress/scheduler.cpp.o" "gcc" "src/CMakeFiles/nbody.dir/progress/scheduler.cpp.o.d"
+  "/root/repo/src/support/env.cpp" "src/CMakeFiles/nbody.dir/support/env.cpp.o" "gcc" "src/CMakeFiles/nbody.dir/support/env.cpp.o.d"
+  "/root/repo/src/support/timer.cpp" "src/CMakeFiles/nbody.dir/support/timer.cpp.o" "gcc" "src/CMakeFiles/nbody.dir/support/timer.cpp.o.d"
+  "/root/repo/src/workloads/workloads.cpp" "src/CMakeFiles/nbody.dir/workloads/workloads.cpp.o" "gcc" "src/CMakeFiles/nbody.dir/workloads/workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nbody.dir/bench_support/table.cpp.o"
+  "CMakeFiles/nbody.dir/bench_support/table.cpp.o.d"
+  "CMakeFiles/nbody.dir/exec/policy.cpp.o"
+  "CMakeFiles/nbody.dir/exec/policy.cpp.o.d"
+  "CMakeFiles/nbody.dir/exec/thread_pool.cpp.o"
+  "CMakeFiles/nbody.dir/exec/thread_pool.cpp.o.d"
+  "CMakeFiles/nbody.dir/progress/fiber.cpp.o"
+  "CMakeFiles/nbody.dir/progress/fiber.cpp.o.d"
+  "CMakeFiles/nbody.dir/progress/scheduler.cpp.o"
+  "CMakeFiles/nbody.dir/progress/scheduler.cpp.o.d"
+  "CMakeFiles/nbody.dir/support/env.cpp.o"
+  "CMakeFiles/nbody.dir/support/env.cpp.o.d"
+  "CMakeFiles/nbody.dir/support/timer.cpp.o"
+  "CMakeFiles/nbody.dir/support/timer.cpp.o.d"
+  "CMakeFiles/nbody.dir/workloads/workloads.cpp.o"
+  "CMakeFiles/nbody.dir/workloads/workloads.cpp.o.d"
+  "libnbody.a"
+  "libnbody.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nbody.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

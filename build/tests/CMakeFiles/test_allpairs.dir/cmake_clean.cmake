@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_allpairs.dir/test_allpairs.cpp.o"
+  "CMakeFiles/test_allpairs.dir/test_allpairs.cpp.o.d"
+  "test_allpairs"
+  "test_allpairs.pdb"
+  "test_allpairs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_allpairs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_support[1]_include.cmake")
+include("/root/repo/build/tests/test_math[1]_include.cmake")
+include("/root/repo/build/tests/test_multipole[1]_include.cmake")
+include("/root/repo/build/tests/test_sfc[1]_include.cmake")
+include("/root/repo/build/tests/test_exec[1]_include.cmake")
+include("/root/repo/build/tests/test_radix[1]_include.cmake")
+include("/root/repo/build/tests/test_progress[1]_include.cmake")
+include("/root/repo/build/tests/test_allpairs[1]_include.cmake")
+include("/root/repo/build/tests/test_octree[1]_include.cmake")
+include("/root/repo/build/tests/test_bvh[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_cli[1]_include.cmake")
+include("/root/repo/build/tests/test_precision[1]_include.cmake")
+include("/root/repo/build/tests/test_analysis[1]_include.cmake")
+include("/root/repo/build/tests/test_matrix[1]_include.cmake")
+include("/root/repo/build/tests/test_queries[1]_include.cmake")
+include("/root/repo/build/tests/test_sweeps[1]_include.cmake")
