@@ -14,9 +14,19 @@ cmake --build "$BUILD_DIR"
 ctest --test-dir "$BUILD_DIR" --output-on-failure
 
 : > "$OUT"
+# POSIX sh has no pipefail: `bench | tee` would report tee's status and mask
+# a crashing benchmark. Capture to a temp file, check the bench's own exit
+# code, then append.
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
 for b in "$BUILD_DIR"/bench/*; do
   [ -x "$b" ] && [ -f "$b" ] || continue
   echo "==== $(basename "$b") ====" | tee -a "$OUT"
-  NBODY_CSV="${NBODY_CSV:-0}" "$b" 2>&1 | tee -a "$OUT"
+  if ! NBODY_CSV="${NBODY_CSV:-0}" "$b" >"$TMP" 2>&1; then
+    cat "$TMP" | tee -a "$OUT"
+    echo "FAILED: $(basename "$b")" | tee -a "$OUT"
+    exit 1
+  fi
+  cat "$TMP" | tee -a "$OUT"
 done
 echo "raw results in $OUT"

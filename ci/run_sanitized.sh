@@ -1,0 +1,29 @@
+#!/bin/sh
+# Sanitized tier-1 run: builds with AddressSanitizer + UBSan and executes the
+# test suite once per scheduling backend (NBODY_BACKEND=static|dynamic|steal),
+# so data races turned use-after-frees, lock-protocol bugs, and UB in the
+# atomic helpers surface across all three chunking disciplines.
+#
+# Usage: ci/run_sanitized.sh [build-dir]     (default: ./build-sanitized)
+set -eu
+BUILD_DIR="${1:-build-sanitized}"
+
+cmake -B "$BUILD_DIR" -S . \
+  -DNBODY_SANITIZE=address,undefined \
+  -DNBODY_BUILD_BENCH=OFF \
+  -DNBODY_BUILD_EXAMPLES=OFF \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+# halt_on_error makes UBSan failures fail ctest instead of just logging.
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
+export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_stack_use_after_return=1}"
+
+status=0
+for backend in static dynamic steal; do
+  echo "==== NBODY_BACKEND=$backend ===="
+  if ! NBODY_BACKEND="$backend" ctest --test-dir "$BUILD_DIR" --output-on-failure; then
+    status=1
+  fi
+done
+exit "$status"

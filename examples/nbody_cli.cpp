@@ -18,6 +18,7 @@
 #include "core/snapshot.hpp"
 #include "octree/strategy.hpp"
 #include "support/cli.hpp"
+#include "support/fault.hpp"
 #include "workloads/workloads.hpp"
 
 namespace {
@@ -50,6 +51,13 @@ struct AdaptiveParams {
 
 AdaptiveParams g_adaptive;  // set once in main before dispatch
 
+struct GuardedParams {
+  bool enabled = false;
+  core::GuardedOptions<double> opts{};
+};
+
+GuardedParams g_guarded;  // set once in main before dispatch
+
 template <class Strategy, class Policy>
 RunReport run_with(core::System<double, 3> sys, const core::SimConfig<double>& cfg,
                    Strategy strat, Policy policy, std::size_t steps,
@@ -60,6 +68,19 @@ RunReport run_with(core::System<double, 3> sys, const core::SimConfig<double>& c
     const auto taken = sim.run_adaptive(policy, g_adaptive.t_end, g_adaptive.eta,
                                         cfg.dt / 100.0, cfg.dt * 100.0);
     std::printf("adaptive: %zu steps to t=%g\n", taken, g_adaptive.t_end);
+  } else if (g_guarded.enabled) {
+    const auto rep = sim.run_guarded(policy, steps, g_guarded.opts);
+    sim.synchronize_velocities(policy);
+    std::string ckpt_note;
+    if (rep.checkpoint_failures)
+      ckpt_note = " (" + std::to_string(rep.checkpoint_failures) + " write failures)";
+    std::printf("guarded: %zu steps, %u/%u retries, ladder level %u, "
+                "%u checkpoint(s)%s\n",
+                rep.steps_completed, rep.retries_used, g_guarded.opts.max_retries,
+                rep.degrade_level, rep.checkpoints_written, ckpt_note.c_str());
+    for (const auto& ev : rep.log)
+      std::printf("  recovery @ step %zu: %s -> %s\n", ev.step, ev.reason.c_str(),
+                  ev.action.c_str());
   } else {
     sim.run(policy, steps);
     sim.synchronize_velocities(policy);
@@ -117,10 +138,18 @@ int main(int argc, char** argv) {
   cli.add_option("eta", "adaptive step accuracy parameter", "0.1");
   cli.add_flag("morton", "sort BVH along Morton instead of Hilbert");
   cli.add_flag("radix", "radix-sort the BVH keys");
+  cli.add_flag("guard", "run under supervision: health checks + checkpoint/restart");
+  cli.add_option("checkpoint-every", "steps between checkpoints (with --guard)", "16");
+  cli.add_option("checkpoint-path", "mirror checkpoints to this snapshot file", "");
+  cli.add_option("max-retries", "restore-and-retry budget (with --guard)", "4");
+  cli.add_option("energy-tol", "energy-drift guard tolerance (0 = off)", "0");
   cli.add_flag("help", "print this help");
 
   try {
     cli.parse(argc, argv);
+    // Re-arm from NBODY_FAULTS explicitly: the static-init arming swallows
+    // parse errors, this call surfaces them.
+    support::arm_faults_from_env();
     if (cli.get_flag("help")) {
       std::printf("nbody_cli — tree-based parallel N-body simulator\noptions:\n%s",
                   cli.usage().c_str());
@@ -138,6 +167,15 @@ int main(int argc, char** argv) {
     g_adaptive.enabled = cli.get_flag("adaptive");
     g_adaptive.t_end = cli.get_double("t-end");
     g_adaptive.eta = cli.get_double("eta");
+    g_guarded.enabled = cli.get_flag("guard");
+    g_guarded.opts.checkpoint_every = cli.get_size("checkpoint-every");
+    g_guarded.opts.checkpoint_path = cli.get("checkpoint-path");
+    g_guarded.opts.max_retries = static_cast<unsigned>(cli.get_size("max-retries"));
+    g_guarded.opts.energy_rel_tol = cli.get_double("energy-tol");
+    if (g_guarded.enabled && g_adaptive.enabled)
+      throw std::invalid_argument("--guard and --adaptive are mutually exclusive");
+    if (const auto faults = support::armed_faults_description(); !faults.empty())
+      std::printf("fault injection armed: %s\n", faults.c_str());
     const double m0 = core::total_mass(exec::seq, sys);
     const auto p0 = core::total_momentum(exec::seq, sys);
 

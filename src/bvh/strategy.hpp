@@ -65,6 +65,11 @@ class BVHStrategy {
 
   [[nodiscard]] const HilbertBVH<T, D>& tree() const { return tree_; }
 
+  /// Recovery hook (Simulation::run_guarded): re-sort on the next
+  /// accelerations() call — after a checkpoint restore the stale Hilbert
+  /// ordering no longer matches the restored positions.
+  void invalidate() { steps_since_sort_ = 0; }
+
  private:
   Options opts_{};
   HilbertBVH<T, D> tree_;

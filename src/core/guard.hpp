@@ -1,0 +1,206 @@
+// Between-step health checks for the guarded simulation loop.
+//
+// Each check inspects the live state and returns a structured GuardReport
+// instead of asserting, so Simulation::run_guarded (and tests) can treat a
+// failed invariant exactly like a thrown fault: restore the last checkpoint
+// and retry down the degradation ladder.
+//
+// Checks:
+//   * check_finite        — parallel sweep: every position/velocity
+//                           component is finite (NaN/Inf poisoning is the
+//                           first visible symptom of most races).
+//   * check_energy_drift  — watchdog against a step-0 EnergyReport; the
+//                           kinetic term optionally un-staggers leapfrog
+//                           velocities on the fly so the check can run
+//                           mid-run without touching state.
+//   * validate_octree     — structural validator for ConcurrentOctree-style
+//                           trees: parent/child consistency, no leftover
+//                           locks, every body reachable exactly once.
+//   * validate_bvh        — structural validator for HilbertBVH-style
+//                           trees: AABB containment of children and leaf
+//                           bodies, mass consistency.
+//
+// The tree validators are duck-typed templates (any type with the same
+// introspection surface works), which keeps this header free of octree/bvh
+// dependencies.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/diagnostics.hpp"
+#include "core/system.hpp"
+#include "exec/algorithms.hpp"
+
+namespace nbody::core {
+
+struct GuardReport {
+  std::string check;
+  bool ok = true;
+  std::string detail;  // empty when ok
+
+  [[nodiscard]] std::string to_string() const {
+    return check + ": " + (ok ? "ok" : "FAILED — " + detail);
+  }
+};
+
+/// Parallel finite-value sweep over positions and velocities.
+template <class Policy, class T, std::size_t D>
+GuardReport check_finite(Policy policy, const System<T, D>& sys) {
+  const std::size_t bad = exec::transform_reduce_index(
+      policy, sys.size(), std::size_t{0}, [](std::size_t a, std::size_t b) { return a + b; },
+      [&](std::size_t i) -> std::size_t {
+        for (std::size_t d = 0; d < D; ++d)
+          if (!std::isfinite(sys.x[i][d]) || !std::isfinite(sys.v[i][d])) return 1;
+        return 0;
+      });
+  GuardReport r{"finite", bad == 0, ""};
+  if (bad != 0)
+    r.detail = std::to_string(bad) + " of " + std::to_string(sys.size()) +
+               " bodies have non-finite position or velocity";
+  return r;
+}
+
+/// Total energy with the kinetic term evaluated at v - a*dt_stagger/2 —
+/// pass dt_stagger = dt while leapfrog velocities are half-step-offset,
+/// 0 when synchronized. Does not modify the system.
+template <class Policy, class T, std::size_t D>
+EnergyReport<T, D> staggered_energy(Policy policy, const System<T, D>& sys, T G, T eps2,
+                                    T dt_stagger) {
+  auto partial = exec::transform_reduce_index(
+      policy, sys.size(), support::KahanSum{},
+      [](support::KahanSum acc, const support::KahanSum& term) {
+        acc.merge(term);
+        return acc;
+      },
+      [&](std::size_t i) {
+        support::KahanSum s;
+        const auto v = sys.v[i] - sys.a[i] * (dt_stagger / T(2));
+        s.add(0.5 * static_cast<double>(sys.m[i]) * static_cast<double>(norm2(v)));
+        return s;
+      });
+  return {static_cast<T>(partial.value()), potential_energy(policy, sys, G, eps2)};
+}
+
+/// Energy-drift watchdog: relative drift of total energy against the
+/// step-0 reference. The reference scale is |E0| (or the energy magnitudes
+/// when E0 is near zero, as in virialized systems).
+template <class Policy, class T, std::size_t D>
+GuardReport check_energy_drift(Policy policy, const System<T, D>& sys,
+                               const EnergyReport<T, D>& reference, T G, T eps2, T rel_tol,
+                               T dt_stagger = T(0)) {
+  const auto now = staggered_energy(policy, sys, G, eps2, dt_stagger);
+  T scale = std::abs(reference.total());
+  const T magnitude = std::abs(reference.kinetic) + std::abs(reference.potential);
+  if (scale < magnitude * T(1e-3)) scale = magnitude;  // near-zero E0: use |K|+|U|
+  if (scale <= T(0)) scale = T(1);
+  const T drift = std::abs(now.total() - reference.total()) / scale;
+  GuardReport r{"energy-drift", drift <= rel_tol, ""};
+  if (!r.ok)
+    r.detail = "relative drift " + std::to_string(static_cast<double>(drift)) +
+               " exceeds tolerance " + std::to_string(static_cast<double>(rel_tol)) +
+               " (E0=" + std::to_string(static_cast<double>(reference.total())) +
+               ", E=" + std::to_string(static_cast<double>(now.total())) + ")";
+  return r;
+}
+
+/// Structural validator for a ConcurrentOctree-like tree (duck-typed on its
+/// introspection surface: slot(), parent_of_group(), node_count(), the slot
+/// classification statics, and the next-in-leaf chains exposed by chain()).
+/// Checks parent/child consistency, absence of leftover subdivision locks,
+/// and that every body index in [0, n_bodies) is reachable exactly once.
+template <class Tree>
+GuardReport validate_octree(const Tree& tree, std::size_t n_bodies) {
+  GuardReport r{"octree-structure", true, ""};
+  auto fail = [&](std::string why) {
+    r.ok = false;
+    r.detail = std::move(why);
+    return r;
+  };
+  const std::uint32_t nodes = tree.node_count();
+  if (nodes == 0) return fail("empty node pool (no root)");
+  std::vector<char> seen(n_bodies, 0);
+  std::size_t reachable = 0;
+  std::vector<std::uint32_t> todo{0u};
+  std::size_t visited = 0;
+  while (!todo.empty()) {
+    const std::uint32_t node = todo.back();
+    todo.pop_back();
+    if (++visited > nodes)
+      return fail("traversal visited more slots than allocated (cycle or corrupt offsets)");
+    const std::uint32_t v = tree.slot(node);
+    if (Tree::is_internal(v)) {
+      if (v + Tree::K > nodes)
+        return fail("internal node " + std::to_string(node) + " points past the pool (" +
+                    std::to_string(v) + "+" + std::to_string(Tree::K) + " > " +
+                    std::to_string(nodes) + ")");
+      if (tree.parent_of_group(Tree::group_of(v)) != node)
+        return fail("children of node " + std::to_string(node) +
+                    " carry a wrong parent offset");
+      for (std::uint32_t q = 0; q < Tree::K; ++q) todo.push_back(v + q);
+    } else if (Tree::is_body(v)) {
+      for (std::uint32_t b : tree.chain(v)) {
+        if (b >= n_bodies)
+          return fail("leaf references body " + std::to_string(b) + " >= n_bodies");
+        if (seen[b]) return fail("body " + std::to_string(b) + " reachable more than once");
+        seen[b] = 1;
+        ++reachable;
+      }
+    } else if (!Tree::is_empty(v)) {
+      return fail("node " + std::to_string(node) +
+                  " left in locked state (abandoned subdivision)");
+    }
+  }
+  if (reachable != n_bodies)
+    return fail(std::to_string(reachable) + " of " + std::to_string(n_bodies) +
+                " bodies reachable from the root");
+  return r;
+}
+
+/// Structural validator for a HilbertBVH-like tree (duck-typed): every
+/// internal node's AABB contains its children's AABBs and node masses are
+/// consistent with their children. With `check_bodies` the leaves' AABBs
+/// must also contain their bodies — valid only while `x` still holds the
+/// positions the tree was built from (bodies drift out of their boxes the
+/// moment the integrator moves them, so the between-step guard checks only
+/// the tree-internal invariants).
+template <class Tree, class T, std::size_t D>
+GuardReport validate_bvh(const Tree& tree, const std::vector<math::vec<T, D>>& x,
+                         bool check_bodies = true) {
+  GuardReport r{"bvh-structure", true, ""};
+  auto fail = [&](std::string why) {
+    r.ok = false;
+    r.detail = std::move(why);
+    return r;
+  };
+  const std::size_t leaf_begin = tree.leaf_count();
+  const std::size_t total = tree.node_total();
+  if (total < 2 * leaf_begin) return fail("node array smaller than the implicit layout");
+  // Leaves: bodies inside the leaf box (build-time positions only).
+  for (std::size_t j = 0; check_bodies && j < leaf_begin; ++j) {
+    const std::size_t k = leaf_begin + j;
+    const auto [b0, b1] = tree.leaf_range(j);
+    for (std::size_t b = b0; b < b1; ++b)
+      if (!tree.node_box(k).contains(x[b]))
+        return fail("leaf " + std::to_string(k) + " box does not contain body " +
+                    std::to_string(b));
+  }
+  // Internal nodes: box containment and mass consistency.
+  for (std::size_t k = 1; k < leaf_begin; ++k) {
+    const auto& box = tree.node_box(k);
+    if (!box.contains(tree.node_box(2 * k)) || !box.contains(tree.node_box(2 * k + 1)))
+      return fail("node " + std::to_string(k) + " box does not contain its children");
+    const T mk = tree.node_mass(k);
+    const T mc = tree.node_mass(2 * k) + tree.node_mass(2 * k + 1);
+    const T scale = std::abs(mk) > T(1) ? std::abs(mk) : T(1);
+    if (std::abs(mk - mc) > scale * T(1e-9))
+      return fail("node " + std::to_string(k) + " mass " +
+                  std::to_string(static_cast<double>(mk)) + " != children sum " +
+                  std::to_string(static_cast<double>(mc)));
+  }
+  return r;
+}
+
+}  // namespace nbody::core

@@ -13,13 +13,65 @@
 //       const SimConfig<T>&, support::PhaseTimer*);
 #pragma once
 
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
 #include <utility>
+#include <vector>
 
+#include "core/guard.hpp"
 #include "core/integrator.hpp"
+#include "core/snapshot.hpp"
 #include "core/system.hpp"
+#include "support/fault.hpp"
 #include "support/timer.hpp"
 
 namespace nbody::core {
+
+/// Tuning knobs for Simulation::run_guarded.
+template <class T>
+struct GuardedOptions {
+  /// Take a checkpoint every this many completed steps (0 = only the
+  /// initial one).
+  std::size_t checkpoint_every = 16;
+  /// When non-empty, every checkpoint is also written to this path as an
+  /// atomic binary snapshot (for cross-process restart). Write failures are
+  /// logged and survived — the in-memory checkpoint is the recovery
+  /// authority.
+  std::string checkpoint_path{};
+  /// Total restore-and-retry budget for the whole run; exhausting it
+  /// rethrows as std::runtime_error.
+  unsigned max_retries = 4;
+  /// Run the guard checks every this many steps (0 disables all checks).
+  std::size_t guard_every = 1;
+  /// Non-finite sweep over positions/velocities.
+  bool check_finite = true;
+  /// Structural tree validation (octree/BVH), when the strategy exposes a
+  /// tree() with a recognized introspection surface.
+  bool check_tree = true;
+  /// Energy-drift watchdog tolerance relative to the step-0 energy;
+  /// 0 disables (the check costs an O(N^2) potential evaluation).
+  T energy_rel_tol = T(0);
+};
+
+/// One recovery decision made by run_guarded, in order of occurrence.
+struct RecoveryEvent {
+  std::size_t step = 0;   // steps_done() when the failure was detected
+  std::string reason;     // what failed (exception text or guard report)
+  std::string action;     // what the loop did about it
+};
+
+/// Outcome summary of a run_guarded call.
+struct GuardedRunReport {
+  std::size_t steps_completed = 0;    // steps that survived their guards
+  unsigned retries_used = 0;
+  unsigned restores = 0;              // checkpoint restorations performed
+  unsigned degrade_level = 0;         // final rung of the policy ladder
+  unsigned checkpoints_written = 0;   // in-memory checkpoints taken
+  unsigned checkpoint_failures = 0;   // on-disk writes that failed (survived)
+  std::vector<RecoveryEvent> log;
+};
 
 template <class T, std::size_t D, class Strategy>
 class Simulation {
@@ -68,6 +120,89 @@ class Simulation {
     return steps;
   }
 
+  /// Advances `steps` time steps like run(), but under supervision:
+  /// periodic checkpoints (in memory, optionally mirrored to disk as atomic
+  /// snapshots), between-step health checks (finite sweep, structural tree
+  /// validation, optional energy watchdog), and on any thrown fault or
+  /// failed guard a restore of the last checkpoint followed by a retry one
+  /// rung down the degradation ladder:
+  ///
+  ///     par_unseq -> par -> seq        (entry policy bounds the top rung)
+  ///
+  /// An octree node-pool overflow additionally grows the pool before the
+  /// retry. The retry budget is bounded by GuardedOptions::max_retries;
+  /// exhausting it throws std::runtime_error carrying the last failure.
+  template <class Policy>
+  GuardedRunReport run_guarded(Policy policy, std::size_t steps,
+                               const GuardedOptions<T>& opts = {}) {
+    GuardedRunReport rep;
+    const std::size_t target = steps_done_ + steps;
+    // Initial checkpoint: the pre-run state is always restorable.
+    make_checkpoint(policy, opts, rep);
+    EnergyReport<T, D> e0{};
+    if (opts.energy_rel_tol > T(0))
+      e0 = staggered_energy(policy, sys_, cfg_.G, cfg_.eps2(), primed_ ? cfg_.dt : T(0));
+    unsigned level = 0;
+    std::size_t steps_since_ckpt = 0;
+    while (steps_done_ < target) {
+      bool ok = true;
+      std::string reason;
+      bool overflowed = false;
+      try {
+        step_at_level(policy, level);
+      } catch (const support::FaultInjected& e) {
+        ok = false;
+        reason = e.what();
+        overflowed = e.site() == support::FaultSite::octree_node_alloc;
+      } catch (const std::exception& e) {
+        ok = false;
+        reason = e.what();
+        overflowed = std::string(e.what()).find("overflow") != std::string::npos;
+      }
+      if (ok && opts.guard_every > 0 && (steps_done_ % opts.guard_every == 0 ||
+                                         steps_done_ == target)) {
+        const GuardReport g = run_guards(policy, opts, e0);
+        if (!g.ok) {
+          ok = false;
+          reason = g.to_string();
+        }
+      }
+      if (!ok) {
+        if (rep.retries_used >= opts.max_retries)
+          throw std::runtime_error("run_guarded: retry budget (" +
+                                   std::to_string(opts.max_retries) +
+                                   ") exhausted at step " + std::to_string(steps_done_) +
+                                   "; last failure: " + reason);
+        ++rep.retries_used;
+        std::string action = "restored checkpoint @ step " + std::to_string(ckpt_steps_);
+        restore_checkpoint();
+        ++rep.restores;
+        if (overflowed) {
+          if constexpr (requires { strategy_.grow_capacity(); }) {
+            strategy_.grow_capacity();
+            action += ", grew tree capacity";
+          }
+        }
+        if (level < max_level(policy)) {
+          ++level;
+          action += ", degraded to " + std::string(level_name(policy, level));
+        }
+        rep.log.push_back({steps_done_, reason, std::move(action)});
+        steps_since_ckpt = 0;
+        continue;
+      }
+      ++rep.steps_completed;
+      ++steps_since_ckpt;
+      if (opts.checkpoint_every > 0 && steps_since_ckpt >= opts.checkpoint_every &&
+          steps_done_ < target) {
+        make_checkpoint(policy, opts, rep);
+        steps_since_ckpt = 0;
+      }
+    }
+    rep.degrade_level = level;
+    return rep;
+  }
+
   [[nodiscard]] T simulated_time() const { return time_; }
 
   /// Re-synchronizes velocities to whole-step time (for diagnostics);
@@ -87,6 +222,126 @@ class Simulation {
   [[nodiscard]] std::size_t steps_done() const { return steps_done_; }
 
  private:
+  /// One run() iteration under `policy` (shared by run and the ladder).
+  template <class Policy>
+  void step_once(Policy policy) {
+    strategy_.accelerations(policy, sys_, cfg_, &phases_);
+    if (!primed_) {
+      leapfrog_prime(policy, sys_, cfg_.dt);
+      primed_ = true;
+    }
+    {
+      auto scope = phases_.scope("update");
+      leapfrog_step(policy, sys_, cfg_.dt);
+    }
+    time_ += cfg_.dt;
+    ++steps_done_;
+  }
+
+  // The degradation ladder. The entry policy fixes the top rung, so only
+  // policies at or below it are ever instantiated — a strategy that rejects
+  // par_unseq (the octree) compiles as long as run_guarded is entered with
+  // seq or par, exactly mirroring run().
+  template <class Policy>
+  static constexpr unsigned max_level(Policy) {
+    if constexpr (std::is_same_v<Policy, exec::parallel_unsequenced_policy>) return 2;
+    else if constexpr (std::is_same_v<Policy, exec::parallel_policy>) return 1;
+    else return 0;
+  }
+
+  template <class Policy>
+  static const char* level_name(Policy, unsigned level) {
+    if constexpr (std::is_same_v<Policy, exec::parallel_unsequenced_policy>)
+      return level == 0 ? "par_unseq" : level == 1 ? "par" : "seq";
+    else if constexpr (std::is_same_v<Policy, exec::parallel_policy>)
+      return level == 0 ? "par" : "seq";
+    else
+      return "seq";
+  }
+
+  template <class Policy>
+  void step_at_level(Policy, unsigned level) {
+    if constexpr (std::is_same_v<Policy, exec::parallel_unsequenced_policy>) {
+      if (level == 0) step_once(exec::par_unseq);
+      else if (level == 1) step_once(exec::par);
+      else step_once(exec::seq);
+    } else if constexpr (std::is_same_v<Policy, exec::parallel_policy>) {
+      if (level == 0) step_once(exec::par);
+      else step_once(exec::seq);
+    } else {
+      step_once(exec::seq);
+    }
+  }
+
+  /// Runs the enabled guard checks; returns the first failing report (or an
+  /// all-ok one). Tree validation is wired automatically when the strategy
+  /// exposes a tree() whose introspection surface we recognize.
+  template <class Policy>
+  GuardReport run_guards(Policy policy, const GuardedOptions<T>& opts,
+                         const EnergyReport<T, D>& e0) {
+    if (opts.check_finite) {
+      GuardReport r = check_finite(policy, sys_);
+      if (!r.ok) return r;
+    }
+    if (opts.check_tree) {
+      if constexpr (requires { strategy_.tree().parent_of_group(0u); }) {
+        GuardReport r = validate_octree(strategy_.tree(), sys_.size());
+        if (!r.ok) return r;
+      } else if constexpr (requires { strategy_.tree().node_total(); }) {
+        // Positions have drifted since the build: tree-internal checks only.
+        GuardReport r = validate_bvh(strategy_.tree(), sys_.x, /*check_bodies=*/false);
+        if (!r.ok) return r;
+      }
+    }
+    if (opts.energy_rel_tol > T(0)) {
+      GuardReport r = check_energy_drift(policy, sys_, e0, cfg_.G, cfg_.eps2(),
+                                         opts.energy_rel_tol, primed_ ? cfg_.dt : T(0));
+      if (!r.ok) return r;
+    }
+    return {"guards", true, ""};
+  }
+
+  /// Checkpoint = an exact copy of the integrator state: the system
+  /// (including the staggered leapfrog velocities and last accelerations),
+  /// the primed flag, and the clock. Restoring therefore resumes the
+  /// *identical* trajectory — synchronizing the live velocities here would
+  /// inject an O(dt^2) kick at every checkpoint, because sys_.a lags the
+  /// positions by one drift. Only the on-disk mirror is synchronized (on a
+  /// copy): snapshots store whole-step velocities by contract. The mirror
+  /// is best-effort — a failed write (e.g. an injected snapshot.write
+  /// fault) is logged and survived.
+  template <class Policy>
+  void make_checkpoint(Policy policy, const GuardedOptions<T>& opts,
+                       GuardedRunReport& rep) {
+    ckpt_sys_ = sys_;
+    ckpt_time_ = time_;
+    ckpt_steps_ = steps_done_;
+    ckpt_primed_ = primed_;
+    ++rep.checkpoints_written;
+    if (!opts.checkpoint_path.empty()) {
+      try {
+        if (primed_) {
+          System<T, D> synced = sys_;
+          leapfrog_synchronize(policy, synced, cfg_.dt);
+          save_snapshot_binary(synced, opts.checkpoint_path);
+        } else {
+          save_snapshot_binary(sys_, opts.checkpoint_path);
+        }
+      } catch (const std::exception& e) {
+        ++rep.checkpoint_failures;
+        rep.log.push_back({steps_done_, e.what(), "checkpoint write failed; continuing"});
+      }
+    }
+  }
+
+  void restore_checkpoint() {
+    sys_ = ckpt_sys_;
+    time_ = ckpt_time_;
+    steps_done_ = ckpt_steps_;
+    primed_ = ckpt_primed_;
+    if constexpr (requires(Strategy& s) { s.invalidate(); }) strategy_.invalidate();
+  }
+
   System<T, D> sys_;
   SimConfig<T> cfg_;
   Strategy strategy_;
@@ -94,6 +349,12 @@ class Simulation {
   std::size_t steps_done_ = 0;
   T time_ = T(0);
   bool primed_ = false;
+  // Last checkpoint (recovery authority; the optional disk mirror is for
+  // cross-process restart).
+  System<T, D> ckpt_sys_{};
+  T ckpt_time_ = T(0);
+  std::size_t ckpt_steps_ = 0;
+  bool ckpt_primed_ = false;
 };
 
 }  // namespace nbody::core

@@ -1,15 +1,29 @@
 // Snapshot I/O: persist a System to disk and read it back.
 //
 // Two formats:
-//   * binary  — exact bit-level round trip (magic + header + raw arrays),
-//     the format the CLI uses for checkpoints/restarts;
+//   * binary  — exact bit-level round trip (magic + header + raw arrays +
+//     payload checksum), the format the CLI and the guarded simulation loop
+//     use for checkpoints/restarts;
 //   * CSV     — human/pandas readable, one body per row, for plotting.
 //
 // Both formats carry the stable body ids so a reloaded system continues to
 // support identity-matched comparisons after Hilbert reorderings.
+//
+// Robustness properties (the checkpoint path must survive hostile input and
+// partial failures):
+//   * every write is atomic: data goes to "<path>.tmp" and is renamed over
+//     the target only after a successful flush, so a crash or injected
+//     fault mid-write never corrupts an existing checkpoint;
+//   * binary v2 appends an FNV-1a checksum over the payload; load verifies
+//     it, so bit rot and truncation are detected, not silently integrated;
+//   * the header's body count is validated against the actual file size
+//     *before* any allocation — a corrupted header cannot trigger a huge
+//     allocation;
+//   * v1 files (no checksum) remain readable.
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -17,45 +31,94 @@
 
 #include "core/system.hpp"
 #include "support/assert.hpp"
+#include "support/fault.hpp"
 
 namespace nbody::core {
 
 namespace snapshot_detail {
 inline constexpr std::uint64_t kMagic = 0x4e424f4459534e50ull;  // "NBODYSNP"
-inline constexpr std::uint32_t kVersion = 1;
-}  // namespace snapshot_detail
+inline constexpr std::uint32_t kVersion = 2;  // v2 = v1 + payload checksum
+inline constexpr std::size_t kHeaderBytes =
+    sizeof(std::uint64_t) + 3 * sizeof(std::uint32_t) + sizeof(std::uint64_t);
 
-/// Writes `sys` as a binary snapshot. Throws std::runtime_error on I/O error.
-template <class T, std::size_t D>
-void save_snapshot_binary(const System<T, D>& sys, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("save_snapshot_binary: cannot open " + path);
-  const std::uint64_t magic = snapshot_detail::kMagic;
-  const std::uint32_t version = snapshot_detail::kVersion;
-  const std::uint32_t dim = static_cast<std::uint32_t>(D);
-  const std::uint32_t scalar_bytes = static_cast<std::uint32_t>(sizeof(T));
-  const std::uint64_t n = sys.size();
-  auto put = [&](const void* p, std::size_t bytes) {
-    out.write(static_cast<const char*>(p), static_cast<std::streamsize>(bytes));
-  };
-  put(&magic, sizeof magic);
-  put(&version, sizeof version);
-  put(&dim, sizeof dim);
-  put(&scalar_bytes, sizeof scalar_bytes);
-  put(&n, sizeof n);
-  put(sys.m.data(), n * sizeof(T));
-  put(sys.x.data(), n * sizeof(typename System<T, D>::vec_t));
-  put(sys.v.data(), n * sizeof(typename System<T, D>::vec_t));
-  put(sys.id.data(), n * sizeof(std::uint32_t));
-  if (!out) throw std::runtime_error("save_snapshot_binary: write failed for " + path);
+/// FNV-1a over a byte range, chainable across calls via `h`.
+inline std::uint64_t fnv1a(const void* data, std::size_t n,
+                           std::uint64_t h = 0xcbf29ce484222325ull) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
 }
 
-/// Reads a binary snapshot written by save_snapshot_binary. Validates the
-/// header (magic, version, dimension, scalar width) before touching data.
+/// Renames tmp over path; on failure removes tmp and throws. The rename is
+/// what makes snapshot writes atomic with respect to crashes.
+inline void commit_tmp_file(const std::string& tmp, const std::string& path,
+                            const char* what) {
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error(std::string(what) + ": cannot rename " + tmp + " to " + path);
+  }
+}
+}  // namespace snapshot_detail
+
+/// Writes `sys` as a binary snapshot (format v2, checksummed), atomically:
+/// the target file is either the previous content or the complete new
+/// snapshot, never a torn write. Throws std::runtime_error on I/O error.
+template <class T, std::size_t D>
+void save_snapshot_binary(const System<T, D>& sys, const std::string& path) {
+  support::fault_point(support::FaultSite::snapshot_write);
+  const std::string tmp = path + ".tmp";
+  std::uint64_t checksum = 0xcbf29ce484222325ull;
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("save_snapshot_binary: cannot open " + tmp);
+    const std::uint64_t magic = snapshot_detail::kMagic;
+    const std::uint32_t version = snapshot_detail::kVersion;
+    const std::uint32_t dim = static_cast<std::uint32_t>(D);
+    const std::uint32_t scalar_bytes = static_cast<std::uint32_t>(sizeof(T));
+    const std::uint64_t n = sys.size();
+    auto put = [&](const void* p, std::size_t bytes) {
+      out.write(static_cast<const char*>(p), static_cast<std::streamsize>(bytes));
+    };
+    auto put_payload = [&](const void* p, std::size_t bytes) {
+      checksum = snapshot_detail::fnv1a(p, bytes, checksum);
+      put(p, bytes);
+    };
+    put(&magic, sizeof magic);
+    put(&version, sizeof version);
+    put(&dim, sizeof dim);
+    put(&scalar_bytes, sizeof scalar_bytes);
+    put(&n, sizeof n);
+    put_payload(sys.m.data(), n * sizeof(T));
+    put_payload(sys.x.data(), n * sizeof(typename System<T, D>::vec_t));
+    put_payload(sys.v.data(), n * sizeof(typename System<T, D>::vec_t));
+    put_payload(sys.id.data(), n * sizeof(std::uint32_t));
+    put(&checksum, sizeof checksum);
+    out.flush();
+    if (!out) {
+      out.close();
+      std::remove(tmp.c_str());
+      throw std::runtime_error("save_snapshot_binary: write failed for " + tmp);
+    }
+  }
+  snapshot_detail::commit_tmp_file(tmp, path, "save_snapshot_binary");
+}
+
+/// Reads a binary snapshot written by save_snapshot_binary (v2) or the
+/// pre-checksum v1 format. Validates the header (magic, version, dimension,
+/// scalar width) and checks the claimed body count against the real file
+/// size before allocating anything; v2 additionally verifies the payload
+/// checksum.
 template <class T, std::size_t D>
 System<T, D> load_snapshot_binary(const std::string& path) {
+  support::fault_point(support::FaultSite::snapshot_read);
   std::ifstream in(path, std::ios::binary);
   if (!in) throw std::runtime_error("load_snapshot_binary: cannot open " + path);
+  in.seekg(0, std::ios::end);
+  const auto file_size = static_cast<std::uint64_t>(in.tellg());
+  in.seekg(0, std::ios::beg);
   std::uint64_t magic = 0;
   std::uint32_t version = 0, dim = 0, scalar_bytes = 0;
   std::uint64_t n = 0;
@@ -69,41 +132,76 @@ System<T, D> load_snapshot_binary(const std::string& path) {
   get(&n, sizeof n);
   if (!in || magic != snapshot_detail::kMagic)
     throw std::runtime_error("load_snapshot_binary: not a snapshot file: " + path);
-  if (version != snapshot_detail::kVersion)
+  if (version != 1 && version != snapshot_detail::kVersion)
     throw std::runtime_error("load_snapshot_binary: unsupported version in " + path);
   if (dim != D || scalar_bytes != sizeof(T))
     throw std::runtime_error("load_snapshot_binary: dimension/precision mismatch in " + path);
+  // Validate the untrusted body count against the bytes actually present
+  // before System<T,D>(n) allocates anything.
+  const std::uint64_t per_body = sizeof(T) + 2 * sizeof(typename System<T, D>::vec_t) +
+                                 sizeof(std::uint32_t);
+  const std::uint64_t trailer = version >= 2 ? sizeof(std::uint64_t) : 0;
+  if (n >= (std::uint64_t{1} << 31) ||
+      file_size < snapshot_detail::kHeaderBytes + n * per_body + trailer)
+    throw std::runtime_error("load_snapshot_binary: implausible body count " +
+                             std::to_string(n) + " for file size " +
+                             std::to_string(file_size) + " in " + path);
   System<T, D> sys(static_cast<std::size_t>(n));
-  get(sys.m.data(), n * sizeof(T));
-  get(sys.x.data(), n * sizeof(typename System<T, D>::vec_t));
-  get(sys.v.data(), n * sizeof(typename System<T, D>::vec_t));
-  get(sys.id.data(), n * sizeof(std::uint32_t));
+  std::uint64_t checksum = 0xcbf29ce484222325ull;
+  auto get_payload = [&](void* p, std::size_t bytes) {
+    get(p, bytes);
+    checksum = snapshot_detail::fnv1a(p, bytes, checksum);
+  };
+  get_payload(sys.m.data(), n * sizeof(T));
+  get_payload(sys.x.data(), n * sizeof(typename System<T, D>::vec_t));
+  get_payload(sys.v.data(), n * sizeof(typename System<T, D>::vec_t));
+  get_payload(sys.id.data(), n * sizeof(std::uint32_t));
   if (!in) throw std::runtime_error("load_snapshot_binary: truncated file: " + path);
+  if (version >= 2) {
+    std::uint64_t stored = 0;
+    get(&stored, sizeof stored);
+    if (!in) throw std::runtime_error("load_snapshot_binary: truncated file: " + path);
+    if (stored != checksum)
+      throw std::runtime_error("load_snapshot_binary: payload checksum mismatch in " + path +
+                               " (file corrupted)");
+  }
   return sys;
 }
 
-/// Writes `sys` as CSV: id,m,x0..,v0.. — one row per body.
+/// Writes `sys` as CSV: id,m,x0..,v0.. — one row per body. Atomic like the
+/// binary writer (temp file + rename).
 template <class T, std::size_t D>
 void save_snapshot_csv(const System<T, D>& sys, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("save_snapshot_csv: cannot open " + path);
-  out << "id,m";
-  for (std::size_t d = 0; d < D; ++d) out << ",x" << d;
-  for (std::size_t d = 0; d < D; ++d) out << ",v" << d;
-  out << '\n';
-  out.precision(17);
-  for (std::size_t i = 0; i < sys.size(); ++i) {
-    out << sys.id[i] << ',' << sys.m[i];
-    for (std::size_t d = 0; d < D; ++d) out << ',' << sys.x[i][d];
-    for (std::size_t d = 0; d < D; ++d) out << ',' << sys.v[i][d];
+  support::fault_point(support::FaultSite::snapshot_write);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) throw std::runtime_error("save_snapshot_csv: cannot open " + tmp);
+    out << "id,m";
+    for (std::size_t d = 0; d < D; ++d) out << ",x" << d;
+    for (std::size_t d = 0; d < D; ++d) out << ",v" << d;
     out << '\n';
+    out.precision(17);
+    for (std::size_t i = 0; i < sys.size(); ++i) {
+      out << sys.id[i] << ',' << sys.m[i];
+      for (std::size_t d = 0; d < D; ++d) out << ',' << sys.x[i][d];
+      for (std::size_t d = 0; d < D; ++d) out << ',' << sys.v[i][d];
+      out << '\n';
+    }
+    out.flush();
+    if (!out) {
+      out.close();
+      std::remove(tmp.c_str());
+      throw std::runtime_error("save_snapshot_csv: write failed for " + tmp);
+    }
   }
-  if (!out) throw std::runtime_error("save_snapshot_csv: write failed for " + path);
+  snapshot_detail::commit_tmp_file(tmp, path, "save_snapshot_csv");
 }
 
 /// Reads a CSV snapshot written by save_snapshot_csv.
 template <class T, std::size_t D>
 System<T, D> load_snapshot_csv(const std::string& path) {
+  support::fault_point(support::FaultSite::snapshot_read);
   std::ifstream in(path);
   if (!in) throw std::runtime_error("load_snapshot_csv: cannot open " + path);
   std::string line;

@@ -26,6 +26,7 @@
 #include "exec/thread_pool.hpp"
 #include "support/assert.hpp"
 #include "support/env.hpp"
+#include "support/fault.hpp"
 
 namespace nbody::exec {
 
@@ -124,8 +125,15 @@ inline std::size_t dynamic_grain(std::size_t n, unsigned workers) {
 /// Runs f(begin, end) over [0, n) partitioned across the pool according to
 /// the active backend, inside a progress_region for `progress`.
 template <class F>
-void parallel_blocks(thread_pool& pool, forward_progress progress, std::size_t n, F&& f) {
+void parallel_blocks(thread_pool& pool, forward_progress progress, std::size_t n, F&& raw_f) {
   if (n == 0) return;
+  // Fault site exec.algo.chunk: every chunk dispatch of every backend passes
+  // through here, so injected failures exercise exception propagation out of
+  // static, dynamic, and work-stealing scheduling alike.
+  auto f = [&raw_f](std::size_t b, std::size_t e) {
+    support::fault_point(support::FaultSite::algo_chunk);
+    raw_f(b, e);
+  };
   const unsigned p = pool.concurrency();
   if (p == 1 || n == 1) {
     progress_region guard(progress);

@@ -2,6 +2,7 @@
 
 #include "support/assert.hpp"
 #include "support/env.hpp"
+#include "support/fault.hpp"
 
 namespace nbody::exec {
 
@@ -36,7 +37,10 @@ void thread_pool::run(support::function_ref<void(unsigned)> f) {
     // Inline (or nested) execution: run every rank sequentially. Nested
     // parallelism degrades gracefully instead of deadlocking the team.
     region_flag_guard guard;
-    for (unsigned r = 0; r < concurrency_; ++r) f(r);
+    for (unsigned r = 0; r < concurrency_; ++r) {
+      support::fault_point(support::FaultSite::pool_task);
+      f(r);
+    }
     return;
   }
 
@@ -51,6 +55,7 @@ void thread_pool::run(support::function_ref<void(unsigned)> f) {
   {
     region_flag_guard guard;
     try {
+      support::fault_point(support::FaultSite::pool_task);
       f(0);
     } catch (...) {
       std::lock_guard lock(error_mutex_);
@@ -87,6 +92,7 @@ void thread_pool::worker_main(unsigned rank) {
     {
       region_flag_guard guard;
       try {
+        support::fault_point(support::FaultSite::pool_task);
         (*job)(rank);
       } catch (...) {
         std::lock_guard lock(error_mutex_);

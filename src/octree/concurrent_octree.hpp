@@ -33,7 +33,10 @@
 //                          synchronization, safe under par_unseq.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "core/system.hpp"
@@ -43,6 +46,7 @@
 #include "math/gravity.hpp"
 #include "math/multipole.hpp"
 #include "support/assert.hpp"
+#include "support/fault.hpp"
 
 namespace nbody::octree {
 
@@ -64,6 +68,13 @@ class ConcurrentOctree {
   struct Params {
     std::uint32_t min_capacity = 512;  // nodes
     double capacity_factor = 4.0;      // nodes per body, first attempt
+    /// Bound on the overflow-retry doublings of build(). Exceeding it (or
+    /// max_capacity) throws instead of doubling toward OOM.
+    std::uint32_t max_build_retries = 24;
+    /// Hard node-pool ceiling. Node indices must stay below kBodyFlag for
+    /// the slot encoding to distinguish internal nodes from bodies, so the
+    /// default sits just under that flag.
+    std::uint32_t max_capacity = kBodyFlag - (1u << D);
   };
 
   /// Memory-ordering discipline of the multipole reduction's atomics.
@@ -86,20 +97,42 @@ class ConcurrentOctree {
 
   /// Inserts all bodies into a fresh tree over `root_box` in parallel.
   /// Starvation-free: rejects par_unseq at compile time.
+  ///
+  /// Pool exhaustion retries with a doubled pool, but the loop is *bounded*:
+  /// after Params::max_build_retries doublings, or once the pool would
+  /// exceed Params::max_capacity, build() throws a descriptive
+  /// std::runtime_error instead of doubling toward OOM. The tree is left
+  /// resettable — a subsequent build() call starts fresh.
   template <exec::StarvationFreeCapable Policy>
   void build(Policy policy, const std::vector<vec_t>& x, const box_t& root_box) {
     NBODY_REQUIRE(!root_box.empty(), "octree: empty root box");
     NBODY_REQUIRE(x.size() < kBodyFlag - 1, "octree: too many bodies");
     root_box_ = root_box;
-    std::uint32_t capacity = initial_capacity(x.size());
-    for (;;) {
+    std::uint32_t capacity = std::min(initial_capacity(x.size()), params_.max_capacity);
+    for (std::uint32_t attempt = 0;; ++attempt) {
       reset(capacity, x.size());
       exec::for_each_index(policy, x.size(), [&](std::size_t b) {
         insert_one(static_cast<std::uint32_t>(b), x);
       });
       if (!exec::load_relaxed(overflow_)) break;
-      capacity *= 2;
+      if (attempt >= params_.max_build_retries || capacity >= params_.max_capacity)
+        throw std::runtime_error(
+            "octree build: node pool overflow persists after " + std::to_string(attempt + 1) +
+            " attempt(s) at capacity " + std::to_string(capacity) + " for " +
+            std::to_string(x.size()) +
+            " bodies (retry/capacity bound reached; raise Params::max_capacity or "
+            "check for pathological body distributions)");
+      capacity = capacity > params_.max_capacity / 2 ? params_.max_capacity : capacity * 2;
     }
+  }
+
+  /// Degradation-ladder hook: doubles the first-attempt pool sizing so the
+  /// next build() starts with twice the headroom (clamped to max_capacity).
+  void grow_capacity() {
+    params_.capacity_factor *= 2.0;
+    params_.min_capacity = params_.min_capacity > params_.max_capacity / 2
+                               ? params_.max_capacity
+                               : params_.min_capacity * 2;
   }
 
   /// One root-to-leaf insertion (the body of Algorithm 4's parallel loop).
@@ -146,6 +179,10 @@ class ConcurrentOctree {
       }
       // Subdivide (Algorithm 5): lock, allocate children, push the resident
       // body down, publish, and retry the descent into the new children.
+      // Fault site octree.node_alloc fires *before* the lock is taken so an
+      // injected failure never leaves a slot locked: siblings keep making
+      // progress while the exception unwinds through the parallel region.
+      support::fault_point(support::FaultSite::octree_node_alloc);
       std::uint32_t expected = next;
       if (!exec::compare_exchange_acquire(child_[index], expected, kLocked)) {
         backoff.pause();
@@ -536,8 +573,12 @@ class ConcurrentOctree {
 
  private:
   [[nodiscard]] std::uint32_t initial_capacity(std::size_t n) const {
-    const double want = params_.capacity_factor * static_cast<double>(n);
-    auto cap = static_cast<std::uint32_t>(want) + params_.min_capacity;
+    // Computed in double and clamped before the narrowing cast so repeated
+    // grow_capacity() calls can never overflow the 32-bit node index space.
+    const double want = params_.capacity_factor * static_cast<double>(n) +
+                        static_cast<double>(params_.min_capacity);
+    const double capped = std::min(want, static_cast<double>(params_.max_capacity));
+    const auto cap = static_cast<std::uint32_t>(capped);
     return 1 + ((cap + K - 1) / K) * K;  // root + whole sibling groups
   }
 

@@ -87,6 +87,15 @@ class OctreeStrategy {
   /// The tree of the most recent accelerations() call (introspection).
   [[nodiscard]] const ConcurrentOctree<T, D>& tree() const { return tree_; }
 
+  /// Degradation-ladder hook (Simulation::run_guarded): give the next build
+  /// twice the node-pool headroom after an overflow failure.
+  void grow_capacity() { tree_.grow_capacity(); }
+
+  /// Recovery hook: force a full rebuild on the next accelerations() call —
+  /// after a checkpoint restore the cached topology no longer matches the
+  /// restored positions.
+  void invalidate() { steps_since_build_ = 0; }
+
  private:
   Options opts_{};
   ConcurrentOctree<T, D> tree_;

@@ -1,0 +1,201 @@
+#include "support/fault.hpp"
+
+#include <array>
+#include <mutex>
+
+#include "support/env.hpp"
+
+namespace nbody::support {
+
+namespace {
+
+constexpr std::array<const char*, kFaultSiteCount> kSiteNames = {
+    "exec.pool.task", "exec.algo.chunk", "octree.node_alloc", "snapshot.write",
+    "snapshot.read",
+};
+
+struct SiteState {
+  FaultConfig cfg;
+  std::atomic<std::uint64_t> evaluations{0};
+  std::atomic<std::uint64_t> fires{0};
+  std::uint64_t threshold = 0;  // fire when hash(seed, tick) < threshold
+};
+
+SiteState g_sites[kFaultSiteCount];
+std::mutex g_arm_mutex;  // serializes arm/disarm (fault_point stays lock-free)
+
+// SplitMix64: the per-tick decision hash. Full-period, cheap, and the same
+// generator support/rng.hpp seeds from, so firing sequences are portable.
+std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D49BB133111EB2ull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t rate_threshold(double rate) noexcept {
+  if (rate <= 0.0) return 0;
+  if (rate >= 1.0) return ~std::uint64_t{0};
+  return static_cast<std::uint64_t>(rate * 18446744073709551616.0 /* 2^64 */);
+}
+
+// Arm NBODY_FAULTS at static initialization so instrumented binaries honor
+// the environment without any explicit setup call.
+const bool g_env_armed = [] {
+  try {
+    arm_faults_from_env();
+  } catch (const std::exception&) {
+    // A malformed spec at startup must not terminate before main(); the
+    // explicit arm_faults_from_env() call (CLI) reports it properly.
+  }
+  return true;
+}();
+
+}  // namespace
+
+namespace fault_detail {
+
+std::atomic<std::uint32_t> g_armed_mask{0};
+
+bool should_fire(FaultSite site) noexcept {
+  auto& st = g_sites[static_cast<std::size_t>(site)];
+  const std::uint64_t tick = st.evaluations.fetch_add(1, std::memory_order_relaxed);
+  if (st.threshold == 0) return false;
+  if (st.threshold != ~std::uint64_t{0} &&
+      splitmix64(st.cfg.seed ^ (tick * 0xD1342543DE82EF95ull)) >= st.threshold)
+    return false;
+  if (st.cfg.max_fires != 0) {
+    // Consume one unit of the injection budget; losers of the race between
+    // the last units simply do not fire.
+    const std::uint64_t prior = st.fires.fetch_add(1, std::memory_order_relaxed);
+    if (prior >= st.cfg.max_fires) return false;
+  } else {
+    st.fires.fetch_add(1, std::memory_order_relaxed);
+  }
+  return true;
+}
+
+void throw_fault(FaultSite site) {
+  const auto& st = g_sites[static_cast<std::size_t>(site)];
+  throw FaultInjected(site, st.evaluations.load(std::memory_order_relaxed));
+}
+
+}  // namespace fault_detail
+
+FaultInjected::FaultInjected(FaultSite site, std::uint64_t tick)
+    : std::runtime_error(std::string("injected fault at site '") + fault_site_name(site) +
+                         "' (evaluation #" + std::to_string(tick) + ")"),
+      site_(site),
+      tick_(tick) {}
+
+const char* fault_site_name(FaultSite site) noexcept {
+  return kSiteNames[static_cast<std::size_t>(site)];
+}
+
+std::optional<FaultSite> fault_site_from_name(std::string_view name) noexcept {
+  for (std::size_t i = 0; i < kFaultSiteCount; ++i)
+    if (name == kSiteNames[i]) return static_cast<FaultSite>(i);
+  return std::nullopt;
+}
+
+void arm_fault(FaultSite site, FaultConfig cfg) {
+  std::lock_guard lock(g_arm_mutex);
+  auto& st = g_sites[static_cast<std::size_t>(site)];
+  st.cfg = cfg;
+  st.threshold = rate_threshold(cfg.rate);
+  st.evaluations.store(0, std::memory_order_relaxed);
+  st.fires.store(0, std::memory_order_relaxed);
+  fault_detail::g_armed_mask.fetch_or(1u << static_cast<unsigned>(site),
+                                      std::memory_order_relaxed);
+}
+
+void disarm_fault(FaultSite site) noexcept {
+  std::lock_guard lock(g_arm_mutex);
+  fault_detail::g_armed_mask.fetch_and(~(1u << static_cast<unsigned>(site)),
+                                       std::memory_order_relaxed);
+}
+
+void disarm_all_faults() noexcept {
+  std::lock_guard lock(g_arm_mutex);
+  fault_detail::g_armed_mask.store(0, std::memory_order_relaxed);
+}
+
+std::size_t arm_faults_from_spec(const std::string& spec) {
+  std::size_t armed = 0;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string entry = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (entry.empty()) continue;
+
+    // site:rate[:seed[:max_fires]]
+    std::array<std::string, 4> fields;
+    std::size_t nfields = 0, fpos = 0;
+    while (nfields < fields.size()) {
+      const std::size_t colon = entry.find(':', fpos);
+      if (colon == std::string::npos) {
+        fields[nfields++] = entry.substr(fpos);
+        break;
+      }
+      fields[nfields++] = entry.substr(fpos, colon - fpos);
+      fpos = colon + 1;
+    }
+    const auto site = fault_site_from_name(fields[0]);
+    if (!site)
+      throw std::invalid_argument("NBODY_FAULTS: unknown fault site '" + fields[0] + "'");
+    FaultConfig cfg;
+    try {
+      if (nfields >= 2 && !fields[1].empty()) cfg.rate = std::stod(fields[1]);
+      if (nfields >= 3 && !fields[2].empty()) cfg.seed = std::stoull(fields[2]);
+      if (nfields >= 4 && !fields[3].empty()) cfg.max_fires = std::stoull(fields[3]);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("NBODY_FAULTS: malformed entry '" + entry + "'");
+    }
+    if (cfg.rate < 0.0 || cfg.rate > 1.0)
+      throw std::invalid_argument("NBODY_FAULTS: rate out of [0,1] in '" + entry + "'");
+    arm_fault(*site, cfg);
+    ++armed;
+  }
+  return armed;
+}
+
+std::size_t arm_faults_from_env() {
+  const auto spec = env_string("NBODY_FAULTS");
+  if (!spec) return 0;
+  return arm_faults_from_spec(*spec);
+}
+
+bool fault_armed(FaultSite site) noexcept {
+  return (fault_detail::g_armed_mask.load(std::memory_order_relaxed) >>
+          static_cast<unsigned>(site)) &
+         1u;
+}
+
+std::uint64_t fault_evaluations(FaultSite site) noexcept {
+  return g_sites[static_cast<std::size_t>(site)].evaluations.load(std::memory_order_relaxed);
+}
+
+std::uint64_t fault_fires(FaultSite site) noexcept {
+  const auto& st = g_sites[static_cast<std::size_t>(site)];
+  const std::uint64_t f = st.fires.load(std::memory_order_relaxed);
+  return st.cfg.max_fires != 0 && f > st.cfg.max_fires ? st.cfg.max_fires : f;
+}
+
+std::string armed_faults_description() {
+  std::string out;
+  for (std::size_t i = 0; i < kFaultSiteCount; ++i) {
+    const auto site = static_cast<FaultSite>(i);
+    if (!fault_armed(site)) continue;
+    const auto& st = g_sites[i];
+    if (!out.empty()) out += '\n';
+    out += std::string(fault_site_name(site)) + " rate=" + std::to_string(st.cfg.rate) +
+           " seed=" + std::to_string(st.cfg.seed) +
+           " fires=" + std::to_string(fault_fires(site)) + "/" +
+           (st.cfg.max_fires == 0 ? std::string("inf") : std::to_string(st.cfg.max_fires));
+  }
+  return out;
+}
+
+}  // namespace nbody::support

@@ -1,0 +1,108 @@
+// Deterministic fault-injection framework.
+//
+// Every failure path the robustness story depends on — a task dying inside
+// the thread pool, a scheduling-backend chunk throwing, the octree's node
+// pool "running out", snapshot I/O failing — is represented by a named
+// *fault site*. Instrumented code calls fault_point(site); an armed site
+// throws FaultInjected on a seeded-deterministic subsequence of its
+// evaluations, so tests can exercise recovery paths on demand and replay
+// them.
+//
+// Arming is programmatic (arm_fault) or via the environment:
+//
+//   NBODY_FAULTS=site:rate[:seed[:max_fires]][,site:rate...]
+//   e.g. NBODY_FAULTS=octree.node_alloc:0.01:7:3,snapshot.write:1
+//
+// rate is the per-evaluation firing probability; seed selects the
+// deterministic firing subsequence; max_fires (0 = unlimited) bounds the
+// total number of injections, which keeps end-to-end recovery tests
+// convergent under a finite retry budget.
+//
+// Cost when disarmed: fault_point() is a single relaxed atomic load and a
+// predicted-not-taken branch — safe to leave in hot paths.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace nbody::support {
+
+enum class FaultSite : std::uint8_t {
+  pool_task,          // "exec.pool.task"      — thread_pool::run rank bodies
+  algo_chunk,         // "exec.algo.chunk"     — scheduling-backend chunks
+  octree_node_alloc,  // "octree.node_alloc"   — octree subdivision/allocation
+  snapshot_write,     // "snapshot.write"      — snapshot save paths
+  snapshot_read,      // "snapshot.read"       — snapshot load paths
+};
+inline constexpr std::size_t kFaultSiteCount = 5;
+
+/// Stable textual name of a site (the NBODY_FAULTS spelling).
+const char* fault_site_name(FaultSite site) noexcept;
+
+/// Parses a site name; nullopt for unknown names.
+std::optional<FaultSite> fault_site_from_name(std::string_view name) noexcept;
+
+struct FaultConfig {
+  double rate = 1.0;           // per-evaluation firing probability in [0, 1]
+  std::uint64_t seed = 0;      // selects the deterministic firing subsequence
+  std::uint64_t max_fires = 0; // total injection budget; 0 = unlimited
+};
+
+/// The exception an armed fault site throws.
+class FaultInjected : public std::runtime_error {
+ public:
+  FaultInjected(FaultSite site, std::uint64_t tick);
+  [[nodiscard]] FaultSite site() const noexcept { return site_; }
+  [[nodiscard]] std::uint64_t tick() const noexcept { return tick_; }
+
+ private:
+  FaultSite site_;
+  std::uint64_t tick_;  // which evaluation of the site fired
+};
+
+/// Arms `site` with `cfg` (resets its evaluation/fire counters).
+void arm_fault(FaultSite site, FaultConfig cfg);
+void disarm_fault(FaultSite site) noexcept;
+void disarm_all_faults() noexcept;
+
+/// Arms every site in a spec string (the NBODY_FAULTS grammar above).
+/// Returns the number of sites armed; throws std::invalid_argument on a
+/// malformed spec.
+std::size_t arm_faults_from_spec(const std::string& spec);
+
+/// Arms from the NBODY_FAULTS environment variable (no-op when unset).
+/// Runs automatically at static initialization in any binary linking this
+/// library; callable again for idempotent re-arming.
+std::size_t arm_faults_from_env();
+
+[[nodiscard]] bool fault_armed(FaultSite site) noexcept;
+[[nodiscard]] std::uint64_t fault_evaluations(FaultSite site) noexcept;
+[[nodiscard]] std::uint64_t fault_fires(FaultSite site) noexcept;
+
+/// One line per armed site ("site rate=R seed=S fires=F/max") or "" when
+/// nothing is armed — for CLI observability.
+[[nodiscard]] std::string armed_faults_description();
+
+namespace fault_detail {
+extern std::atomic<std::uint32_t> g_armed_mask;  // bit per FaultSite
+/// Slow path: counts the evaluation and decides deterministically.
+bool should_fire(FaultSite site) noexcept;
+[[noreturn]] void throw_fault(FaultSite site);
+}  // namespace fault_detail
+
+/// The injection point. Disarmed: one relaxed load, no branch taken.
+/// Armed and firing: throws FaultInjected.
+inline void fault_point(FaultSite site) {
+  const std::uint32_t mask = fault_detail::g_armed_mask.load(std::memory_order_relaxed);
+  if (mask == 0) [[likely]]
+    return;
+  if ((mask >> static_cast<unsigned>(site)) & 1u) {
+    if (fault_detail::should_fire(site)) fault_detail::throw_fault(site);
+  }
+}
+
+}  // namespace nbody::support

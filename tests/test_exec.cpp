@@ -9,6 +9,7 @@
 #include <random>
 #include <set>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "exec/algorithms.hpp"
@@ -72,6 +73,58 @@ TEST(ThreadPool, PropagatesException) {
   nbody::support::function_ref<void(unsigned)> ref2(fn2);
   pool.run(ref2);
   EXPECT_EQ(ok.load(), 4);
+}
+
+TEST(ThreadPool, ConcurrentExceptionsFromMultipleRanks) {
+  // Every rank throws at once; exactly one exception must surface per run
+  // (first_error_ capture) and the pool must stay usable afterwards.
+  thread_pool pool(4);
+  for (int rep = 0; rep < 20; ++rep) {
+    auto fn = [&](unsigned r) { throw std::runtime_error("rank " + std::to_string(r)); };
+    nbody::support::function_ref<void(unsigned)> ref(fn);
+    try {
+      pool.run(ref);
+      FAIL() << "expected an exception to propagate";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("rank "), std::string::npos);
+    }
+  }
+  std::atomic<int> ok{0};
+  auto fn2 = [&](unsigned) { ok.fetch_add(1); };
+  nbody::support::function_ref<void(unsigned)> ref2(fn2);
+  pool.run(ref2);
+  EXPECT_EQ(ok.load(), 4);
+}
+
+TEST(ParallelBlocks, ChunkExceptionPropagatesFromDynamicBackend) {
+  const backend saved = default_backend();
+  set_default_backend(backend::dynamic_chunk);
+  std::atomic<int> touched{0};
+  EXPECT_THROW(for_each_index(par, 10000, [&](std::size_t i) {
+    touched.fetch_add(1, std::memory_order_relaxed);
+    if (i == 4321) throw std::runtime_error("dynamic chunk boom");
+  }),
+               std::runtime_error);
+  set_default_backend(saved);
+  EXPECT_GT(touched.load(), 0);
+}
+
+TEST(ParallelBlocks, ChunkExceptionPropagatesFromStealBackend) {
+  const backend saved = default_backend();
+  set_default_backend(backend::work_steal);
+  std::atomic<int> touched{0};
+  EXPECT_THROW(for_each_index(par, 10000, [&](std::size_t i) {
+    touched.fetch_add(1, std::memory_order_relaxed);
+    if (i == 1234) throw std::runtime_error("steal chunk boom");
+  }),
+               std::runtime_error);
+  set_default_backend(saved);
+  // The range stays reusable: a clean pass over the same backend works.
+  set_default_backend(backend::work_steal);
+  std::vector<int> out(10000, 0);
+  for_each_index(par, out.size(), [&](std::size_t i) { out[i] = 1; });
+  set_default_backend(saved);
+  for (int v : out) ASSERT_EQ(v, 1);
 }
 
 TEST(ThreadPool, NestedRunDegradesToSequential) {

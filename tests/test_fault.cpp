@@ -1,0 +1,470 @@
+// Tests for the robustness layer: the fault-injection registry, the
+// instrumented failure paths (thread pool, scheduling backends, octree
+// build, snapshot I/O), the guard checks, and the guarded simulation loop's
+// checkpoint/restore/degrade recovery — including the end-to-end
+// acceptance scenario: with octree.node_alloc faults armed, run_guarded
+// restores from checkpoint, degrades, completes, and the final state
+// matches an unfaulted reference run to L2 <= 1e-6.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/bbox.hpp"
+#include "core/diagnostics.hpp"
+#include "core/guard.hpp"
+#include "core/simulation.hpp"
+#include "core/snapshot.hpp"
+#include "core/system.hpp"
+#include "bvh/strategy.hpp"
+#include "exec/algorithms.hpp"
+#include "exec/thread_pool.hpp"
+#include "octree/concurrent_octree.hpp"
+#include "octree/strategy.hpp"
+#include "support/fault.hpp"
+#include "workloads/workloads.hpp"
+
+namespace {
+
+using namespace nbody;
+using support::FaultConfig;
+using support::FaultInjected;
+using support::FaultSite;
+
+/// Every test arms through this RAII guard so no site stays armed across
+/// tests regardless of how the test exits.
+struct FaultScope {
+  FaultScope() { support::disarm_all_faults(); }
+  ~FaultScope() { support::disarm_all_faults(); }
+};
+
+std::string temp_path(const char* name) {
+  return std::string(::testing::TempDir()) + name;
+}
+
+// ------------------------------------------------------------------ registry
+
+TEST(FaultRegistry, SiteNamesRoundTrip) {
+  for (std::size_t i = 0; i < support::kFaultSiteCount; ++i) {
+    const auto site = static_cast<FaultSite>(i);
+    const auto back = support::fault_site_from_name(support::fault_site_name(site));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, site);
+  }
+  EXPECT_FALSE(support::fault_site_from_name("no.such.site").has_value());
+}
+
+TEST(FaultRegistry, DisarmedFaultPointIsInert) {
+  FaultScope scope;
+  EXPECT_FALSE(support::fault_armed(FaultSite::pool_task));
+  for (int i = 0; i < 1000; ++i)
+    EXPECT_NO_THROW(support::fault_point(FaultSite::pool_task));
+  EXPECT_EQ(support::fault_evaluations(FaultSite::pool_task), 0u);
+}
+
+TEST(FaultRegistry, AlwaysFireAndBudget) {
+  FaultScope scope;
+  support::arm_fault(FaultSite::snapshot_read, {1.0, 0, 2});
+  int thrown = 0;
+  for (int i = 0; i < 10; ++i) {
+    try {
+      support::fault_point(FaultSite::snapshot_read);
+    } catch (const FaultInjected& e) {
+      EXPECT_EQ(e.site(), FaultSite::snapshot_read);
+      ++thrown;
+    }
+  }
+  EXPECT_EQ(thrown, 2);  // max_fires bounds the injection budget
+  EXPECT_EQ(support::fault_fires(FaultSite::snapshot_read), 2u);
+  EXPECT_EQ(support::fault_evaluations(FaultSite::snapshot_read), 10u);
+}
+
+TEST(FaultRegistry, SeededSequenceIsDeterministic) {
+  FaultScope scope;
+  auto pattern = [&](std::uint64_t seed) {
+    support::arm_fault(FaultSite::snapshot_read, {0.5, seed, 0});
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; ++i) {
+      bool f = false;
+      try {
+        support::fault_point(FaultSite::snapshot_read);
+      } catch (const FaultInjected&) {
+        f = true;
+      }
+      fired.push_back(f);
+    }
+    return fired;
+  };
+  const auto a = pattern(7);
+  const auto b = pattern(7);
+  const auto c = pattern(8);
+  EXPECT_EQ(a, b);  // re-arming with the same seed replays the sequence
+  EXPECT_NE(a, c);  // a different seed selects a different subsequence
+  int fires = 0;
+  for (bool f : a) fires += f;
+  EXPECT_GT(fires, 8);  // rate 0.5 over 64 evaluations
+  EXPECT_LT(fires, 56);
+}
+
+TEST(FaultRegistry, SpecParsing) {
+  FaultScope scope;
+  EXPECT_EQ(support::arm_faults_from_spec("octree.node_alloc:0.25:9:3,snapshot.write:1"),
+            2u);
+  EXPECT_TRUE(support::fault_armed(FaultSite::octree_node_alloc));
+  EXPECT_TRUE(support::fault_armed(FaultSite::snapshot_write));
+  EXPECT_FALSE(support::fault_armed(FaultSite::pool_task));
+  const auto desc = support::armed_faults_description();
+  EXPECT_NE(desc.find("octree.node_alloc"), std::string::npos);
+  EXPECT_NE(desc.find("snapshot.write"), std::string::npos);
+
+  EXPECT_THROW(support::arm_faults_from_spec("bogus.site:1"), std::invalid_argument);
+  EXPECT_THROW(support::arm_faults_from_spec("snapshot.write:2.0"), std::invalid_argument);
+  EXPECT_THROW(support::arm_faults_from_spec("snapshot.write:xyz"), std::invalid_argument);
+}
+
+// ------------------------------------------------- instrumented failure paths
+
+TEST(FaultPaths, ThreadPoolTaskFaultPropagatesAndPoolSurvives) {
+  FaultScope scope;
+  exec::thread_pool pool(4);
+  support::arm_fault(FaultSite::pool_task, {1.0, 0, 1});
+  auto fn = [](unsigned) {};
+  nbody::support::function_ref<void(unsigned)> ref(fn);
+  EXPECT_THROW(pool.run(ref), FaultInjected);
+  support::disarm_all_faults();
+  std::atomic<int> ok{0};
+  auto fn2 = [&](unsigned) { ok.fetch_add(1); };
+  nbody::support::function_ref<void(unsigned)> ref2(fn2);
+  pool.run(ref2);
+  EXPECT_EQ(ok.load(), 4);
+}
+
+TEST(FaultPaths, ChunkFaultPropagatesFromEveryBackend) {
+  FaultScope scope;
+  const exec::backend saved = exec::default_backend();
+  for (exec::backend b : {exec::backend::static_chunk, exec::backend::dynamic_chunk,
+                          exec::backend::work_steal}) {
+    exec::set_default_backend(b);
+    support::arm_fault(FaultSite::algo_chunk, {1.0, 0, 1});
+    std::vector<int> out(1000, 0);
+    EXPECT_THROW(
+        exec::for_each_index(exec::par, out.size(), [&](std::size_t i) { out[i] = 1; }),
+        FaultInjected)
+        << "backend " << exec::backend_name(b);
+    support::disarm_all_faults();
+    EXPECT_NO_THROW(
+        exec::for_each_index(exec::par, out.size(), [&](std::size_t i) { out[i] = 2; }));
+    for (int v : out) EXPECT_EQ(v, 2);
+  }
+  exec::set_default_backend(saved);
+}
+
+TEST(FaultPaths, OctreeMidBuildFaultLeavesBuildRetryable) {
+  FaultScope scope;
+  auto sys = workloads::plummer_sphere(400, 11);
+  const auto box = core::compute_root_cube(exec::seq, sys.x);
+  octree::ConcurrentOctree<double, 3> tree;
+  support::arm_fault(FaultSite::octree_node_alloc, {1.0, 0, 1});
+  EXPECT_THROW(tree.build(exec::par, sys.x, box), FaultInjected);
+  // The interrupted build left no lock behind: a plain retry succeeds and
+  // yields a structurally valid tree holding every body.
+  EXPECT_NO_THROW(tree.build(exec::par, sys.x, box));
+  const auto report = core::validate_octree(tree, sys.size());
+  EXPECT_TRUE(report.ok) << report.detail;
+}
+
+TEST(FaultPaths, OctreeOverflowRetryLoopIsBounded) {
+  auto sys = workloads::uniform_cube(512, 3);
+  typename octree::ConcurrentOctree<double, 3>::Params p;
+  p.min_capacity = 9;
+  p.capacity_factor = 0.0;
+  p.max_capacity = 17;  // root + two sibling groups: hopeless for 512 bodies
+  p.max_build_retries = 3;
+  octree::ConcurrentOctree<double, 3> tree(p);
+  const auto box = core::compute_root_cube(exec::seq, sys.x);
+  try {
+    tree.build(exec::seq, sys.x, box);
+    FAIL() << "expected bounded overflow retry to throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("overflow"), std::string::npos) << e.what();
+  }
+}
+
+// ------------------------------------------------------------- snapshot I/O
+
+TEST(SnapshotHardening, RejectsImplausibleHeaderBodyCount) {
+  const auto path = temp_path("fault_header.snap");
+  auto sys = workloads::uniform_cube(32, 5);
+  core::save_snapshot_binary(sys, path);
+  {
+    // Corrupt the header's body count (offset 20: magic + three u32 fields).
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(20);
+    const std::uint64_t huge = 0x40000000ull;  // 2^30 bodies in a 2 KB file
+    f.write(reinterpret_cast<const char*>(&huge), sizeof huge);
+  }
+  try {
+    (void)core::load_snapshot_binary<double, 3>(path);
+    FAIL() << "expected implausible body count to be rejected";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("implausible body count"), std::string::npos)
+        << e.what();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotHardening, DetectsPayloadCorruption) {
+  const auto path = temp_path("fault_bitrot.snap");
+  auto sys = workloads::uniform_cube(32, 5);
+  core::save_snapshot_binary(sys, path);
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(static_cast<std::streamoff>(core::snapshot_detail::kHeaderBytes + 17));
+    char byte = 0;
+    f.read(&byte, 1);
+    f.seekp(static_cast<std::streamoff>(core::snapshot_detail::kHeaderBytes + 17));
+    byte = static_cast<char>(byte ^ 0x40);
+    f.write(&byte, 1);
+  }
+  try {
+    (void)core::load_snapshot_binary<double, 3>(path);
+    FAIL() << "expected the payload checksum to catch the flipped bit";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("checksum"), std::string::npos) << e.what();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotHardening, ReadsPreChecksumV1Files) {
+  const auto path = temp_path("fault_v1.snap");
+  auto sys = workloads::uniform_cube(16, 9);
+  {
+    // Hand-write the v1 layout: same header with version=1, raw payload, no
+    // trailing checksum.
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    const std::uint64_t magic = core::snapshot_detail::kMagic;
+    const std::uint32_t version = 1, dim = 3, scalar = sizeof(double);
+    const std::uint64_t n = sys.size();
+    out.write(reinterpret_cast<const char*>(&magic), sizeof magic);
+    out.write(reinterpret_cast<const char*>(&version), sizeof version);
+    out.write(reinterpret_cast<const char*>(&dim), sizeof dim);
+    out.write(reinterpret_cast<const char*>(&scalar), sizeof scalar);
+    out.write(reinterpret_cast<const char*>(&n), sizeof n);
+    out.write(reinterpret_cast<const char*>(sys.m.data()),
+              static_cast<std::streamsize>(n * sizeof(double)));
+    out.write(reinterpret_cast<const char*>(sys.x.data()),
+              static_cast<std::streamsize>(n * sizeof(math::vec<double, 3>)));
+    out.write(reinterpret_cast<const char*>(sys.v.data()),
+              static_cast<std::streamsize>(n * sizeof(math::vec<double, 3>)));
+    out.write(reinterpret_cast<const char*>(sys.id.data()),
+              static_cast<std::streamsize>(n * sizeof(std::uint32_t)));
+  }
+  const auto loaded = core::load_snapshot_binary<double, 3>(path);
+  ASSERT_EQ(loaded.size(), sys.size());
+  EXPECT_EQ(core::l2_position_error(loaded, sys), 0.0);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotHardening, FaultedWriteLeavesExistingSnapshotIntact) {
+  FaultScope scope;
+  const auto path = temp_path("fault_atomic.snap");
+  auto good = workloads::uniform_cube(24, 1);
+  core::save_snapshot_binary(good, path);
+  auto other = workloads::uniform_cube(24, 2);
+  support::arm_fault(FaultSite::snapshot_write, {1.0, 0, 0});
+  EXPECT_THROW(core::save_snapshot_binary(other, path), FaultInjected);
+  support::disarm_all_faults();
+  // The injected failure neither touched the target nor left a temp file.
+  const auto reloaded = core::load_snapshot_binary<double, 3>(path);
+  EXPECT_EQ(core::l2_position_error(reloaded, good), 0.0);
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotHardening, FaultedReadThrows) {
+  FaultScope scope;
+  const auto path = temp_path("fault_read.snap");
+  auto sys = workloads::uniform_cube(8, 4);
+  core::save_snapshot_binary(sys, path);
+  support::arm_fault(FaultSite::snapshot_read, {1.0, 0, 1});
+  auto load = [&] { (void)core::load_snapshot_binary<double, 3>(path); };
+  EXPECT_THROW(load(), FaultInjected);
+  EXPECT_NO_THROW(load());
+  std::remove(path.c_str());
+}
+
+// -------------------------------------------------------------------- guards
+
+TEST(Guards, FiniteSweepCatchesNaN) {
+  auto sys = workloads::uniform_cube(100, 6);
+  EXPECT_TRUE(core::check_finite(exec::par, sys).ok);
+  sys.v[37][1] = std::numeric_limits<double>::quiet_NaN();
+  const auto r = core::check_finite(exec::par, sys);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.detail.find("1 of 100"), std::string::npos) << r.detail;
+}
+
+TEST(Guards, OctreeValidatorAcceptsHealthyTree) {
+  auto sys = workloads::plummer_sphere(300, 13);
+  octree::ConcurrentOctree<double, 3> tree;
+  tree.build(exec::par, sys.x, core::compute_root_cube(exec::seq, sys.x));
+  const auto r = core::validate_octree(tree, sys.size());
+  EXPECT_TRUE(r.ok) << r.detail;
+}
+
+TEST(Guards, BvhValidatorAcceptsHealthyTree) {
+  auto sys = workloads::plummer_sphere(300, 13);
+  bvh::BVHStrategy<double, 3> strat;
+  core::SimConfig<double> cfg;
+  strat.accelerations(exec::par, sys, cfg);
+  const auto r = core::validate_bvh(strat.tree(), sys.x);
+  EXPECT_TRUE(r.ok) << r.detail;
+}
+
+TEST(Guards, EnergyWatchdogFlagsInjectedDrift) {
+  auto sys = workloads::plummer_sphere(200, 17);
+  core::SimConfig<double> cfg;
+  const auto e0 = core::total_energy(exec::par, sys, cfg.G, cfg.eps2());
+  EXPECT_TRUE(core::check_energy_drift(exec::par, sys, e0, cfg.G, cfg.eps2(), 1e-9).ok);
+  for (auto& v : sys.v) v *= 2.0;  // quadruple the kinetic energy
+  const auto r = core::check_energy_drift(exec::par, sys, e0, cfg.G, cfg.eps2(), 1e-3);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.detail.find("drift"), std::string::npos) << r.detail;
+}
+
+// -------------------------------------------------------------- run_guarded
+
+core::SimConfig<double> small_cfg() {
+  core::SimConfig<double> cfg;
+  cfg.dt = 1e-3;
+  cfg.theta = 0.6;
+  cfg.softening = 0.05;
+  return cfg;
+}
+
+TEST(RunGuarded, MatchesPlainRunWithoutFaults) {
+  auto sys = workloads::plummer_sphere(256, 21);
+  const auto cfg = small_cfg();
+
+  core::Simulation<double, 3, octree::OctreeStrategy<double, 3>> ref(sys, cfg);
+  ref.run(exec::par, 12);
+  ref.synchronize_velocities(exec::par);
+
+  core::Simulation<double, 3, octree::OctreeStrategy<double, 3>> guarded(sys, cfg);
+  core::GuardedOptions<double> opts;
+  opts.checkpoint_every = 4;
+  const auto rep = guarded.run_guarded(exec::par, 12, opts);
+  guarded.synchronize_velocities(exec::par);
+
+  EXPECT_EQ(rep.steps_completed, 12u);
+  EXPECT_EQ(rep.retries_used, 0u);
+  EXPECT_EQ(rep.degrade_level, 0u);
+  EXPECT_GE(rep.checkpoints_written, 3u);
+  EXPECT_LT(core::l2_position_error(guarded.system(), ref.system()), 1e-9);
+}
+
+// The acceptance scenario from the issue: octree.node_alloc faults armed,
+// run_guarded restores from checkpoint, degrades, completes, and the final
+// state matches an unfaulted reference to L2 <= 1e-6.
+TEST(RunGuarded, RecoversFromInjectedOctreeFaults) {
+  FaultScope scope;
+  auto sys = workloads::plummer_sphere(300, 29);
+  const auto cfg = small_cfg();
+
+  core::Simulation<double, 3, octree::OctreeStrategy<double, 3>> ref(sys, cfg);
+  ref.run(exec::par, 12);
+  ref.synchronize_velocities(exec::par);
+
+  const auto ckpt = temp_path("fault_guarded.snap");
+  core::Simulation<double, 3, octree::OctreeStrategy<double, 3>> guarded(sys, cfg);
+  core::GuardedOptions<double> opts;
+  opts.checkpoint_every = 3;
+  opts.checkpoint_path = ckpt;
+  opts.max_retries = 8;
+  support::arm_fault(FaultSite::octree_node_alloc, {1.0, 0, 3});  // three injections
+  const auto rep = guarded.run_guarded(exec::par, 12, opts);
+  support::disarm_all_faults();
+  guarded.synchronize_velocities(exec::par);
+
+  EXPECT_EQ(rep.steps_completed, 12u);
+  EXPECT_GE(rep.restores, 3u);          // every injection forced a restore
+  EXPECT_LE(rep.retries_used, 8u);
+  EXPECT_GE(rep.degrade_level, 1u);     // par -> seq after the first failure
+  EXPECT_FALSE(rep.log.empty());
+  EXPECT_NE(rep.log.front().reason.find("octree.node_alloc"), std::string::npos);
+  EXPECT_NE(rep.log.front().action.find("restored checkpoint"), std::string::npos);
+  EXPECT_LT(core::l2_position_error(guarded.system(), ref.system()), 1e-6);
+
+  // The on-disk checkpoint mirror is a loadable snapshot.
+  const auto mirrored = core::load_snapshot_binary<double, 3>(ckpt);
+  EXPECT_EQ(mirrored.size(), sys.size());
+  std::remove(ckpt.c_str());
+}
+
+TEST(RunGuarded, SurvivesCheckpointWriteFaults) {
+  FaultScope scope;
+  auto sys = workloads::plummer_sphere(128, 31);
+  const auto ckpt = temp_path("fault_ckpt_write.snap");
+  core::Simulation<double, 3, octree::OctreeStrategy<double, 3>> sim(sys, small_cfg());
+  core::GuardedOptions<double> opts;
+  opts.checkpoint_every = 2;
+  opts.checkpoint_path = ckpt;
+  support::arm_fault(FaultSite::snapshot_write, {1.0, 0, 0});  // every write fails
+  const auto rep = sim.run_guarded(exec::par, 6, opts);
+  support::disarm_all_faults();
+  EXPECT_EQ(rep.steps_completed, 6u);        // the run is not interrupted
+  EXPECT_GT(rep.checkpoint_failures, 0u);    // ...but the failures are reported
+  EXPECT_FALSE(rep.log.empty());
+  EXPECT_NE(rep.log.front().action.find("checkpoint write failed"), std::string::npos);
+  std::remove(ckpt.c_str());
+}
+
+TEST(RunGuarded, ExhaustedRetryBudgetThrows) {
+  FaultScope scope;
+  auto sys = workloads::plummer_sphere(128, 37);
+  core::Simulation<double, 3, octree::OctreeStrategy<double, 3>> sim(sys, small_cfg());
+  core::GuardedOptions<double> opts;
+  opts.max_retries = 2;
+  support::arm_fault(FaultSite::octree_node_alloc, {1.0, 0, 0});  // unbounded faults
+  try {
+    sim.run_guarded(exec::par, 4, opts);
+    FAIL() << "expected the retry budget to be exhausted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("retry budget"), std::string::npos) << e.what();
+  }
+}
+
+TEST(RunGuarded, FailedGuardTriggersRestore) {
+  auto sys = workloads::plummer_sphere(128, 41);
+  core::Simulation<double, 3, octree::OctreeStrategy<double, 3>> sim(sys, small_cfg());
+  core::GuardedOptions<double> opts;
+  opts.max_retries = 1;
+  opts.energy_rel_tol = 1e-18;  // unsatisfiable: every step "drifts"
+  try {
+    sim.run_guarded(exec::par, 4, opts);
+    FAIL() << "expected the energy guard to fail the run";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("energy-drift"), std::string::npos) << e.what();
+  }
+}
+
+TEST(RunGuarded, WorksWithBvhStrategy) {
+  auto sys = workloads::plummer_sphere(256, 43);
+  const auto cfg = small_cfg();
+  core::Simulation<double, 3, bvh::BVHStrategy<double, 3>> ref(sys, cfg);
+  ref.run(exec::par, 8);
+  ref.synchronize_velocities(exec::par);
+  core::Simulation<double, 3, bvh::BVHStrategy<double, 3>> guarded(sys, cfg);
+  const auto rep = guarded.run_guarded(exec::par, 8, {});
+  guarded.synchronize_velocities(exec::par);
+  EXPECT_EQ(rep.steps_completed, 8u);
+  EXPECT_EQ(rep.retries_used, 0u);
+  EXPECT_LT(core::l2_position_error(guarded.system(), ref.system()), 1e-9);
+}
+
+}  // namespace
