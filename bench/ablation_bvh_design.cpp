@@ -50,13 +50,13 @@ int main() {
       opts.leaf_size = leaf;
       bvh::BVHStrategy<double, 3> strat(opts);
       auto sys = initial;
-      strat.accelerations(exec::par_unseq, sys, cfg);
+      nbody::bench::accelerate(strat, exec::par_unseq, sys, cfg);
       std::vector<math::vec3d> got(sys.size());
       for (std::size_t i = 0; i < sys.size(); ++i) got[sys.id[i]] = sys.a[i];
       const double err = core::rms_relative_error(got, exact_sys.a);
       const int reps = 3;
       support::Stopwatch w;
-      for (int r = 0; r < reps; ++r) strat.accelerations(exec::par_unseq, sys, cfg);
+      for (int r = 0; r < reps; ++r) nbody::bench::accelerate(strat, exec::par_unseq, sys, cfg);
       const double tput = static_cast<double>(n) * reps / w.seconds();
       table.add_row({std::string(curve == bvh::CurveKind::hilbert ? "hilbert" : "morton"),
                      static_cast<long long>(leaf),

@@ -24,13 +24,13 @@ void measure_row(nbody::bench_support::Table& table, const char* algo,
                  Policy policy) {
   auto sys = initial;
   Strategy strat;
-  strat.accelerations(policy, sys, cfg);
+  nbody::bench::accelerate(strat, policy, sys, cfg);
   std::vector<math::vec3d> got(sys.size());
   for (std::size_t i = 0; i < sys.size(); ++i) got[sys.id[i]] = sys.a[i];
   const double err = core::rms_relative_error(got, exact);
   const int reps = 3;
   support::Stopwatch w;
-  for (int r = 0; r < reps; ++r) strat.accelerations(policy, sys, cfg);
+  for (int r = 0; r < reps; ++r) nbody::bench::accelerate(strat, policy, sys, cfg);
   const double tput = static_cast<double>(sys.size()) * reps / w.seconds();
   table.add_row({cfg.theta, std::string(algo),
                  std::string(cfg.quadrupole ? "quadrupole" : "monopole"), err, tput});

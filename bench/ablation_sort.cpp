@@ -81,9 +81,9 @@ int main() {
     opts.sort = kind;
     auto sys = initial;
     bvh::BVHStrategy<double, 3> strat(opts);
-    strat.accelerations(exec::par_unseq, sys, cfg);  // warm-up
+    nbody::bench::accelerate(strat, exec::par_unseq, sys, cfg);  // warm-up
     support::Stopwatch w;
-    for (int r = 0; r < 5; ++r) strat.accelerations(exec::par_unseq, sys, cfg);
+    for (int r = 0; r < 5; ++r) nbody::bench::accelerate(strat, exec::par_unseq, sys, cfg);
     e2e.add_row({std::string(kind == bvh::SortKind::comparison ? "comparison" : "radix"),
                  static_cast<double>(n) * 5 / w.seconds()});
   }

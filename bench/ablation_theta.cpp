@@ -28,14 +28,14 @@ Measurement measure(const core::System<double, 3>& initial,
                     Policy policy) {
   auto sys = initial;
   Strategy strat;
-  strat.accelerations(policy, sys, cfg);  // warm-up + result for the error
+  nbody::bench::accelerate(strat, policy, sys, cfg);  // warm-up + result for the error
   // Map to original order (BVH reorders).
   std::vector<math::vec3d> got(sys.size());
   for (std::size_t i = 0; i < sys.size(); ++i) got[sys.id[i]] = sys.a[i];
   const double err = core::rms_relative_error(got, exact);
   const int reps = 5;
   support::Stopwatch w;
-  for (int r = 0; r < reps; ++r) strat.accelerations(policy, sys, cfg);
+  for (int r = 0; r < reps; ++r) nbody::bench::accelerate(strat, policy, sys, cfg);
   const double tput = static_cast<double>(sys.size()) * reps / w.seconds();
   return {err, tput};
 }
@@ -67,12 +67,12 @@ int main() {
       opts.mac = bvh::MacKind::bmax;
       auto sys2 = initial;
       bvh::BVHStrategy<double, 3> strat(opts);
-      strat.accelerations(exec::par_unseq, sys2, cfg);
+      nbody::bench::accelerate(strat, exec::par_unseq, sys2, cfg);
       std::vector<math::vec3d> got(sys2.size());
       for (std::size_t i = 0; i < sys2.size(); ++i) got[sys2.id[i]] = sys2.a[i];
       const double err = core::rms_relative_error(got, exact_sys.a);
       support::Stopwatch w;
-      for (int r = 0; r < 5; ++r) strat.accelerations(exec::par_unseq, sys2, cfg);
+      for (int r = 0; r < 5; ++r) nbody::bench::accelerate(strat, exec::par_unseq, sys2, cfg);
       table.add_row({theta, std::string("bvh (bmax MAC)"), err,
                      static_cast<double>(sys2.size()) * 5 / w.seconds()});
     }

@@ -31,18 +31,18 @@ int main() {
   {
     auto sys = initial;
     allpairs::AllPairs<double, 3> plain;
-    plain.accelerations(exec::par_unseq, sys, cfg);  // warm-up
+    nbody::bench::accelerate(plain, exec::par_unseq, sys, cfg);  // warm-up
     support::Stopwatch w;
-    for (int r = 0; r < reps; ++r) plain.accelerations(exec::par_unseq, sys, cfg);
+    for (int r = 0; r < reps; ++r) nbody::bench::accelerate(plain, exec::par_unseq, sys, cfg);
     add("untiled", 0, w.seconds(), reps);
   }
   for (std::size_t tile : {std::size_t{64}, std::size_t{256}, std::size_t{1024},
                            std::size_t{4096}, std::size_t{16384}}) {
     auto sys = initial;
     allpairs::AllPairsTiled<double, 3> tiled(tile);
-    tiled.accelerations(exec::par_unseq, sys, cfg);  // warm-up
+    nbody::bench::accelerate(tiled, exec::par_unseq, sys, cfg);  // warm-up
     support::Stopwatch w;
-    for (int r = 0; r < reps; ++r) tiled.accelerations(exec::par_unseq, sys, cfg);
+    for (int r = 0; r < reps; ++r) nbody::bench::accelerate(tiled, exec::par_unseq, sys, cfg);
     add("tiled", tile, w.seconds(), reps);
   }
   table.print();

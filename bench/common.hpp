@@ -9,9 +9,14 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdio>
+#include <memory>
+#include <string>
 
 #include "core/simulation.hpp"
+#include "core/step_context.hpp"
 #include "core/system.hpp"
+#include "exec/thread_pool.hpp"
+#include "obs/obs.hpp"
 #include "support/env.hpp"
 #include "support/timer.hpp"
 #include "workloads/workloads.hpp"
@@ -41,11 +46,82 @@ inline core::SimConfig<double> paper_config() {
   return cfg;
 }
 
+/// Env-driven observability for the whole bench process: set
+/// NBODY_METRICS_JSON and/or NBODY_TRACE_OUT to paths and every
+/// instrumented region of the run lands in them, written (with the pool
+/// totals) at process exit. Off when the variables are unset — the sinks
+/// stay null and every instrumented site takes its no-op branch.
+class BenchObservability {
+ public:
+  static BenchObservability& instance() {
+    static BenchObservability o;
+    return o;
+  }
+
+  [[nodiscard]] obs::MetricsRegistry* metrics() { return metrics_.get(); }
+  [[nodiscard]] obs::TraceSession* trace() { return trace_.get(); }
+
+ private:
+  BenchObservability() {
+    if (auto p = support::env_string("NBODY_METRICS_JSON"); p && !p->empty()) {
+      metrics_path_ = *p;
+      metrics_ = std::make_unique<obs::MetricsRegistry>();
+    }
+    if (auto p = support::env_string("NBODY_TRACE_OUT"); p && !p->empty()) {
+      trace_path_ = *p;
+      trace_ = std::make_unique<obs::TraceSession>();
+    }
+    obs::install_global(metrics_.get(), trace_.get());
+  }
+
+  ~BenchObservability() {
+    obs::install_global(nullptr, nullptr);
+    try {
+      if (metrics_) {
+        exec::export_pool_metrics(exec::thread_pool::global(), *metrics_);
+        metrics_->write_json(metrics_path_);
+        std::fprintf(stderr, "bench metrics json: %s\n", metrics_path_.c_str());
+      }
+      if (trace_) {
+        trace_->write_json(trace_path_);
+        std::fprintf(stderr, "bench trace json: %s\n", trace_path_.c_str());
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "bench observability export failed: %s\n", e.what());
+    }
+  }
+
+  std::unique_ptr<obs::MetricsRegistry> metrics_;
+  std::unique_ptr<obs::TraceSession> trace_;
+  std::string metrics_path_;
+  std::string trace_path_;
+};
+
+/// StepContext against the bench-global observability sinks — the ablation
+/// harnesses drive strategies directly (outside a Simulation) through this.
+inline core::StepContext<double, 3> make_ctx(core::System<double, 3>& sys,
+                                             const core::SimConfig<double>& cfg,
+                                             support::PhaseTimer* timer = nullptr) {
+  auto& o = BenchObservability::instance();
+  return core::StepContext<double, 3>{sys, cfg, timer, o.metrics(), o.trace()};
+}
+
+/// One strategy invocation through make_ctx() — the ablation harnesses'
+/// replacement for the old 4-argument accelerations call.
+template <class Strategy, class Policy>
+void accelerate(Strategy& strategy, Policy policy, core::System<double, 3>& sys,
+                const core::SimConfig<double>& cfg, support::PhaseTimer* timer = nullptr) {
+  auto ctx = make_ctx(sys, cfg, timer);
+  strategy.accelerations(policy, ctx);
+}
+
 /// Times `steps` simulation steps of Strategy under Policy; returns seconds.
 template <class Strategy, class Policy>
 double time_steps(const core::System<double, 3>& initial, const core::SimConfig<double>& cfg,
                   Policy policy, std::size_t steps) {
   core::Simulation<double, 3, Strategy> sim(initial, cfg);
+  auto& o = BenchObservability::instance();
+  sim.set_observability(o.metrics(), o.trace());
   sim.run(policy, 1);  // warm-up + pool spin-up + priming step
   support::Stopwatch w;
   sim.run(policy, steps);

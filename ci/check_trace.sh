@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Validates the observability artifacts end to end: runs nbody_cli on a tiny
+# workload with --metrics-json and --trace-out, then parses both JSON
+# documents and checks the keys the tooling depends on.
+#
+# Usage: check_trace.sh <path-to-nbody_cli>
+set -euo pipefail
+
+CLI=${1:?usage: check_trace.sh <path-to-nbody_cli>}
+WORKDIR=$(mktemp -d)
+trap 'rm -rf "$WORKDIR"' EXIT
+
+METRICS="$WORKDIR/metrics.json"
+TRACE="$WORKDIR/trace.json"
+
+# Force a multi-worker pool: the acceptance check below wants spans from at
+# least two distinct ranks, and the default sizing follows the host's cores.
+NBODY_THREADS=4 "$CLI" --workload plummer --n 256 --steps 3 --strategy octree \
+  --policy par --metrics-json "$METRICS" --trace-out "$TRACE"
+
+python3 - "$METRICS" "$TRACE" <<'EOF'
+import json
+import sys
+
+metrics_path, trace_path = sys.argv[1], sys.argv[2]
+
+with open(metrics_path) as f:
+    metrics = json.load(f)
+
+assert metrics.get("schema") == "nbody.metrics.v1", f"bad schema: {metrics.get('schema')}"
+gauges = metrics["gauges"]
+for key in ("octree.nodes", "octree.max_depth", "pool.utilization", "pool.concurrency"):
+    assert key in gauges, f"missing gauge {key}"
+assert gauges["octree.nodes"] > 0, "octree.nodes should be positive"
+assert gauges["octree.max_depth"] > 0, "octree.max_depth should be positive"
+assert gauges["pool.concurrency"] == 4, f"pool.concurrency: {gauges['pool.concurrency']}"
+assert 0.0 <= gauges["pool.utilization"] <= 1.0, "pool.utilization out of [0, 1]"
+
+hists = metrics["histograms"]
+assert "octree.leaf_occupancy" in hists, "missing histogram octree.leaf_occupancy"
+occ = hists["octree.leaf_occupancy"]
+assert occ["count"] > 0, "leaf occupancy histogram is empty"
+assert sum(b["count"] for b in occ["buckets"]) == occ["count"], "bucket counts != count"
+
+counters = metrics["counters"]
+assert counters.get("octree.builds", 0) > 0, "octree.builds not counted"
+assert counters.get("sim.steps", 0) == 3, f"sim.steps: {counters.get('sim.steps')}"
+
+with open(trace_path) as f:
+    trace = json.load(f)
+
+events = trace["traceEvents"]
+assert events, "empty traceEvents"
+spans = [e for e in events if e.get("ph") == "X"]
+assert spans, "no complete spans"
+for e in spans:
+    for key in ("name", "pid", "tid", "ts", "dur"):
+        assert key in e, f"span missing {key}: {e}"
+
+ranks = {e["tid"] for e in spans}
+assert len(ranks) >= 2, f"spans from only {len(ranks)} rank(s): {sorted(ranks)}"
+
+names = {e["name"] for e in spans}
+for phase in ("step", "force", "build"):
+    assert phase in names, f"missing phase span '{phase}' (have: {sorted(names)})"
+
+print(f"check_trace OK: {len(events)} events, {len(ranks)} ranks, "
+      f"{len(names)} span names; metrics: {len(gauges)} gauges, "
+      f"{len(counters)} counters, {len(hists)} histograms")
+EOF

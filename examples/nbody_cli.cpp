@@ -9,6 +9,7 @@
 //   nbody_cli --load end.snap --steps 50 --strategy allpairs --policy seq
 //   nbody_cli --help
 #include <cstdio>
+#include <memory>
 #include <string>
 
 #include "allpairs/allpairs.hpp"
@@ -16,6 +17,8 @@
 #include "core/diagnostics.hpp"
 #include "core/simulation.hpp"
 #include "core/snapshot.hpp"
+#include "exec/thread_pool.hpp"
+#include "obs/obs.hpp"
 #include "octree/strategy.hpp"
 #include "support/cli.hpp"
 #include "support/fault.hpp"
@@ -58,11 +61,19 @@ struct GuardedParams {
 
 GuardedParams g_guarded;  // set once in main before dispatch
 
+struct Observability {
+  std::unique_ptr<obs::MetricsRegistry> metrics;
+  std::unique_ptr<obs::TraceSession> trace;
+};
+
+Observability g_obs;  // set once in main before dispatch
+
 template <class Strategy, class Policy>
 RunReport run_with(core::System<double, 3> sys, const core::SimConfig<double>& cfg,
                    Strategy strat, Policy policy, std::size_t steps,
                    support::PhaseTimer& phases_out) {
   core::Simulation<double, 3, Strategy> sim(std::move(sys), cfg, std::move(strat));
+  sim.set_observability(g_obs.metrics.get(), g_obs.trace.get());
   support::Stopwatch w;
   if (g_adaptive.enabled) {
     const auto taken = sim.run_adaptive(policy, g_adaptive.t_end, g_adaptive.eta,
@@ -99,9 +110,8 @@ RunReport dispatch_policy(const support::CliParser& cli, core::System<double, 3>
     return run_with(std::move(sys), cfg, std::move(strat), exec::seq, steps, phases);
   if (p == "par")
     return run_with(std::move(sys), cfg, std::move(strat), exec::par, steps, phases);
-  if constexpr (requires(Strategy s, core::System<double, 3>& sy,
-                         const core::SimConfig<double>& c) {
-                  s.accelerations(exec::par_unseq, sy, c, nullptr);
+  if constexpr (requires(Strategy s, core::StepContext<double, 3>& ctx) {
+                  s.accelerations(exec::par_unseq, ctx);
                 }) {
     if (p == "par_unseq")
       return run_with(std::move(sys), cfg, std::move(strat), exec::par_unseq, steps, phases);
@@ -143,6 +153,9 @@ int main(int argc, char** argv) {
   cli.add_option("checkpoint-path", "mirror checkpoints to this snapshot file", "");
   cli.add_option("max-retries", "restore-and-retry budget (with --guard)", "4");
   cli.add_option("energy-tol", "energy-drift guard tolerance (0 = off)", "0");
+  cli.add_option("metrics-json", "write a metrics-registry JSON report here", "");
+  cli.add_option("trace-out", "write a Chrome trace_event JSON here "
+                              "(load in chrome://tracing or ui.perfetto.dev)", "");
   cli.add_flag("help", "print this help");
 
   try {
@@ -174,6 +187,13 @@ int main(int argc, char** argv) {
     g_guarded.opts.energy_rel_tol = cli.get_double("energy-tol");
     if (g_guarded.enabled && g_adaptive.enabled)
       throw std::invalid_argument("--guard and --adaptive are mutually exclusive");
+    const std::string metrics_path = cli.get("metrics-json");
+    const std::string trace_path = cli.get("trace-out");
+    if (!metrics_path.empty()) g_obs.metrics = std::make_unique<obs::MetricsRegistry>();
+    if (!trace_path.empty()) g_obs.trace = std::make_unique<obs::TraceSession>();
+    // Publish the sinks to the ambient slots the exec layer reads (per-rank
+    // scheduler spans, worker ranks in trace tids).
+    obs::install_global(g_obs.metrics.get(), g_obs.trace.get());
     if (const auto faults = support::armed_faults_description(); !faults.empty())
       std::printf("fault injection armed: %s\n", faults.c_str());
     const double m0 = core::total_mass(exec::seq, sys);
@@ -224,6 +244,17 @@ int main(int argc, char** argv) {
       core::save_snapshot_binary(fin, path);
     if (const auto path = cli.get("save-csv"); !path.empty())
       core::save_snapshot_csv(fin, path);
+    if (g_obs.metrics) {
+      exec::export_pool_metrics(exec::thread_pool::global(), *g_obs.metrics);
+      g_obs.metrics->write_json(metrics_path);
+      std::printf("metrics json    : %s\n", metrics_path.c_str());
+    }
+    if (g_obs.trace) {
+      g_obs.trace->write_json(trace_path);
+      std::printf("trace json      : %s (%zu events, %zu ranks)\n", trace_path.c_str(),
+                  g_obs.trace->event_count(), g_obs.trace->span_rank_count());
+    }
+    obs::install_global(nullptr, nullptr);
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "nbody_cli: %s\noptions:\n%s", e.what(), cli.usage().c_str());

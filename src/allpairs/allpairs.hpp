@@ -18,6 +18,7 @@
 #include <optional>
 #include <utility>
 
+#include "core/step_context.hpp"
 #include "core/system.hpp"
 #include "exec/algorithms.hpp"
 #include "exec/atomic.hpp"
@@ -33,12 +34,12 @@ class AllPairs {
   static constexpr const char* name = "all-pairs";
 
   template <class Policy>
-  void accelerations(Policy policy, core::System<T, D>& sys, const core::SimConfig<T>& cfg,
-                     support::PhaseTimer* timer = nullptr) {
-    auto scope = support::PhaseTimer::maybe(timer, "force");
+  void accelerations(Policy policy, core::StepContext<T, D>& ctx) {
+    auto scope = ctx.phase("force");
+    core::System<T, D>& sys = ctx.sys;
     const std::size_t n = sys.size();
-    const T G = cfg.G;
-    const T eps2 = cfg.eps2();
+    const T G = ctx.cfg.G;
+    const T eps2 = ctx.cfg.eps2();
     exec::for_each_index(policy, n, [&, G, eps2](std::size_t i) {
       const auto xi = sys.x[i];
       auto acc = math::vec<T, D>::zero();
@@ -48,6 +49,8 @@ class AllPairs {
       }
       sys.a[i] = acc;
     });
+    if (ctx.metrics_enabled() && n >= 1)
+      ctx.metrics->counter("allpairs.interactions").add(static_cast<std::uint64_t>(n) * (n - 1));
   }
 };
 
@@ -80,12 +83,14 @@ class AllPairsCol {
   /// Requires a policy with parallel forward progress (par or seq): relaxed
   /// atomic accumulation is vectorization-unsafe under par_unseq.
   template <exec::StarvationFreeCapable Policy>
-  void accelerations(Policy policy, core::System<T, D>& sys, const core::SimConfig<T>& cfg,
-                     support::PhaseTimer* timer = nullptr) {
-    auto scope = support::PhaseTimer::maybe(timer, "force");
+  void accelerations(Policy policy, core::StepContext<T, D>& ctx) {
+    auto scope = ctx.phase("force");
+    core::System<T, D>& sys = ctx.sys;
     const std::size_t n = sys.size();
-    const T G = cfg.G;
-    const T eps2 = cfg.eps2();
+    const T G = ctx.cfg.G;
+    const T eps2 = ctx.cfg.eps2();
+    if (ctx.metrics_enabled() && n >= 2)
+      ctx.metrics->counter("allpairs.interactions").add(static_cast<std::uint64_t>(n) * (n - 1) / 2);
     exec::for_each_index(policy, n, [&](std::size_t i) { sys.a[i] = math::vec<T, D>::zero(); });
     if (n < 2) return;
     const std::size_t pairs = n * (n - 1) / 2;
@@ -121,13 +126,15 @@ class AllPairsTiled {
   [[nodiscard]] std::size_t tile() const { return tile_; }
 
   template <class Policy>
-  void accelerations(Policy policy, core::System<T, D>& sys, const core::SimConfig<T>& cfg,
-                     support::PhaseTimer* timer = nullptr) {
-    auto scope = support::PhaseTimer::maybe(timer, "force");
+  void accelerations(Policy policy, core::StepContext<T, D>& ctx) {
+    auto scope = ctx.phase("force");
+    core::System<T, D>& sys = ctx.sys;
     const std::size_t n = sys.size();
-    const T G = cfg.G;
-    const T eps2 = cfg.eps2();
+    const T G = ctx.cfg.G;
+    const T eps2 = ctx.cfg.eps2();
     const std::size_t tile = tile_;
+    if (ctx.metrics_enabled() && n >= 1)
+      ctx.metrics->counter("allpairs.interactions").add(static_cast<std::uint64_t>(n) * (n - 1));
     exec::for_each_index(policy, n, [&, G, eps2, tile, n](std::size_t i) {
       const auto xi = sys.x[i];
       auto acc = math::vec<T, D>::zero();

@@ -227,7 +227,7 @@ class HilbertBVH {
   /// acceleration_on with work counters (identical traversal).
   vec_t acceleration_on_counted(const vec_t& xi, std::size_t self, const std::vector<T>& m,
                                 const std::vector<vec_t>& x, T theta2, T G, T eps2,
-                                TraversalStats& stats) const {
+                                TraversalStats& stats, bool quadrupole = false) const {
     vec_t acc = vec_t::zero();
     if (n_bodies_ == 0) return acc;
     std::size_t k = 1;
@@ -247,6 +247,8 @@ class HilbertBVH {
         const T s2 = mac_size2(k);
         if (s2 < theta2 * d2) {
           acc += math::gravity_accel(xi, node_com_[k], node_mass_[k], G, eps2);
+          if (quadrupole)
+            acc += math::quadrupole_accel(xi, node_com_[k], node_quad_[k], G, eps2);
           ++stats.accepts;
         } else {
           k = 2 * k;

@@ -10,6 +10,7 @@
 
 #include "bvh/hilbert_bvh.hpp"
 #include "core/bbox.hpp"
+#include "core/step_context.hpp"
 #include "core/system.hpp"
 #include "support/timer.hpp"
 
@@ -38,28 +39,43 @@ class BVHStrategy {
   }
 
   template <class Policy>
-  void accelerations(Policy policy, core::System<T, D>& sys, const core::SimConfig<T>& cfg,
-                     support::PhaseTimer* timer = nullptr) {
+  void accelerations(Policy policy, core::StepContext<T, D>& ctx) {
+    core::System<T, D>& sys = ctx.sys;
+    const core::SimConfig<T>& cfg = ctx.cfg;
     if (steps_since_sort_ % opts_.reuse_interval == 0) {
       math::aabb<T, D> box;
       {
-        auto scope = support::PhaseTimer::maybe(timer, "bbox");
+        auto scope = ctx.phase("bbox");
         box = core::compute_bounding_box(policy, sys.x);
         if (box.empty()) box = box.inflated_cube();
       }
-      auto scope = support::PhaseTimer::maybe(timer, "sort");
-      tree_.sort_bodies(policy, sys, box);
+      {
+        auto scope = ctx.phase("sort");
+        support::Stopwatch sw;
+        tree_.sort_bodies(policy, sys, box);
+        if (ctx.metrics_enabled()) {
+          ctx.metrics->counter("bvh.sorts").add();
+          ctx.metrics
+              ->histogram("bvh.sort_seconds", {1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0})
+              .observe(sw.seconds());
+        }
+      }
       steps_since_sort_ = 0;
     }
     ++steps_since_sort_;
     {
-      auto scope = support::PhaseTimer::maybe(timer, "build");
+      auto scope = ctx.phase("build");
       tree_.build(policy, sys.m, sys.x, cfg.quadrupole);
     }
+    if (ctx.metrics_enabled()) {
+      ctx.metrics->counter("bvh.builds").add();
+      ctx.metrics->set_gauge("bvh.nodes", static_cast<double>(tree_.node_total()));
+      ctx.metrics->set_gauge("bvh.leaves", static_cast<double>(tree_.leaf_count()));
+      ctx.metrics->set_gauge("bvh.levels", static_cast<double>(tree_.levels()));
+    }
     {
-      auto scope = support::PhaseTimer::maybe(timer, "force");
-      tree_.accelerations(policy, sys.m, sys.x, sys.a, cfg.theta, cfg.G, cfg.eps2(),
-                          cfg.quadrupole);
+      auto scope = ctx.phase("force");
+      compute_forces(policy, ctx);
     }
   }
 
@@ -71,6 +87,34 @@ class BVHStrategy {
   void invalidate() { steps_since_sort_ = 0; }
 
  private:
+  template <class Policy>
+  void compute_forces(Policy policy, core::StepContext<T, D>& ctx) {
+    core::System<T, D>& sys = ctx.sys;
+    const core::SimConfig<T>& cfg = ctx.cfg;
+    if (!ctx.metrics_enabled()) {
+      tree_.accelerations(policy, sys.m, sys.x, sys.a, cfg.theta, cfg.G, cfg.eps2(),
+                          cfg.quadrupole);
+      return;
+    }
+    auto& m2p = ctx.metrics->counter("bvh.traversal.m2p");
+    auto& p2p = ctx.metrics->counter("bvh.traversal.p2p");
+    auto& opens = ctx.metrics->counter("bvh.traversal.opens");
+    auto& visited = ctx.metrics->counter("bvh.traversal.nodes_visited");
+    const T theta2 = cfg.theta * cfg.theta;
+    const T G = cfg.G;
+    const T eps2 = cfg.eps2();
+    const bool quad = cfg.quadrupole;
+    exec::for_each_index(policy, sys.x.size(), [&, theta2, G, eps2, quad](std::size_t i) {
+      typename HilbertBVH<T, D>::TraversalStats st;
+      sys.a[i] = tree_.acceleration_on_counted(sys.x[i], i, sys.m, sys.x, theta2, G, eps2,
+                                               st, quad);
+      m2p.add(st.accepts);
+      p2p.add(st.exact_pairs);
+      opens.add(st.opens);
+      visited.add(st.nodes_visited);
+    });
+  }
+
   Options opts_{};
   HilbertBVH<T, D> tree_;
   unsigned steps_since_sort_ = 0;

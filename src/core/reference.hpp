@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/bbox.hpp"
+#include "core/step_context.hpp"
 #include "core/system.hpp"
 #include "exec/policy.hpp"
 #include "math/aabb.hpp"
@@ -45,10 +46,14 @@ class ReferenceBarnesHut {
   /// Builds the tree and fills sys.a. Policy is accepted for interface
   /// uniformity but execution is always sequential.
   template <class Policy>
-  void accelerations(Policy, System<T, D>& sys, const SimConfig<T>& cfg,
-                     support::PhaseTimer* timer = nullptr) {
-    (void)timer;
-    build(sys);
+  void accelerations(Policy, StepContext<T, D>& ctx) {
+    System<T, D>& sys = ctx.sys;
+    const SimConfig<T>& cfg = ctx.cfg;
+    {
+      auto scope = ctx.phase("build");
+      build(sys);
+    }
+    auto scope = ctx.phase("force");
     const T theta2 = cfg.theta2();
     for (std::size_t i = 0; i < sys.size(); ++i) {
       auto acc = math::vec<T, D>::zero();

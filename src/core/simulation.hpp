@@ -9,8 +9,11 @@
 //
 // A Strategy is any type providing:
 //   static constexpr const char* name;
-//   template <class Policy> void accelerations(Policy, System<T,D>&,
-//       const SimConfig<T>&, support::PhaseTimer*);
+//   template <class Policy> void accelerations(Policy, StepContext<T, D>&);
+//
+// The StepContext bundles the system, the configuration, and the optional
+// observability sinks (PhaseTimer, MetricsRegistry, TraceSession) — see
+// core/step_context.hpp. Attach sinks with set_observability().
 #pragma once
 
 #include <cstddef>
@@ -23,7 +26,9 @@
 #include "core/guard.hpp"
 #include "core/integrator.hpp"
 #include "core/snapshot.hpp"
+#include "core/step_context.hpp"
 #include "core/system.hpp"
+#include "obs/obs.hpp"
 #include "support/fault.hpp"
 #include "support/timer.hpp"
 
@@ -82,19 +87,15 @@ class Simulation {
   /// Advances `steps` time steps under `policy`.
   template <class Policy>
   void run(Policy policy, std::size_t steps) {
-    for (std::size_t s = 0; s < steps; ++s) {
-      strategy_.accelerations(policy, sys_, cfg_, &phases_);
-      if (!primed_) {
-        leapfrog_prime(policy, sys_, cfg_.dt);
-        primed_ = true;
-      }
-      {
-        auto scope = phases_.scope("update");
-        leapfrog_step(policy, sys_, cfg_.dt);
-      }
-      time_ += cfg_.dt;
-      ++steps_done_;
-    }
+    for (std::size_t s = 0; s < steps; ++s) step_once(policy);
+  }
+
+  /// Attaches (or detaches, with nulls) the observability sinks threaded
+  /// through every subsequent step's StepContext. The Simulation does not
+  /// own them; keep them alive across the run.
+  void set_observability(obs::MetricsRegistry* metrics, obs::TraceSession* trace) {
+    metrics_ = metrics;
+    trace_ = trace;
   }
 
   /// Integrates until simulated time `t_end` with per-step adaptive dt
@@ -106,12 +107,16 @@ class Simulation {
     NBODY_REQUIRE(!primed_, "run_adaptive: velocities are leapfrog-staggered; "
                             "synchronize_velocities() first");
     std::size_t steps = 0;
-    strategy_.accelerations(policy, sys_, cfg_, &phases_);
+    {
+      StepContext<T, D> ctx = make_ctx(sys_);
+      strategy_.accelerations(policy, ctx);
+    }
     while (time_ < t_end) {
       T dt = suggest_timestep(policy, sys_, eta, cfg_.softening, dt_min, dt_max);
       if (time_ + dt > t_end) dt = t_end - time_;
       velocity_verlet_step(policy, sys_, dt, [&](System<T, D>& s) {
-        strategy_.accelerations(policy, s, cfg_, &phases_);
+        StepContext<T, D> ctx = make_ctx(s);
+        strategy_.accelerations(policy, ctx);
       });
       time_ += dt;
       ++steps;
@@ -148,6 +153,10 @@ class Simulation {
       bool ok = true;
       std::string reason;
       bool overflowed = false;
+      bool guard_failed = false;
+      // Snapshot the phase totals so a failed-and-discarded attempt can be
+      // re-labelled instead of double-counting under the real phase names.
+      const std::vector<double> phase_snap = phases_.snapshot();
       try {
         step_at_level(policy, level);
       } catch (const support::FaultInjected& e) {
@@ -164,15 +173,25 @@ class Simulation {
         const GuardReport g = run_guards(policy, opts, e0);
         if (!g.ok) {
           ok = false;
+          guard_failed = true;
           reason = g.to_string();
         }
       }
       if (!ok) {
-        if (rep.retries_used >= opts.max_retries)
+        if (metrics_ != nullptr) {
+          metrics_->counter("sim.guard.failures").add();
+          if (guard_failed) metrics_->counter("sim.guard.check_failures").add();
+          else metrics_->counter("sim.guard.faults").add();
+        }
+        phases_.reattribute_since(phase_snap, "(discarded)");
+        if (rep.retries_used >= opts.max_retries) {
+          if (trace_ != nullptr)
+            trace_->instant("guard.retry_budget_exhausted", reason);
           throw std::runtime_error("run_guarded: retry budget (" +
                                    std::to_string(opts.max_retries) +
                                    ") exhausted at step " + std::to_string(steps_done_) +
                                    "; last failure: " + reason);
+        }
         ++rep.retries_used;
         std::string action = "restored checkpoint @ step " + std::to_string(ckpt_steps_);
         restore_checkpoint();
@@ -187,6 +206,8 @@ class Simulation {
           ++level;
           action += ", degraded to " + std::string(level_name(policy, level));
         }
+        if (metrics_ != nullptr) metrics_->counter("sim.guard.recoveries").add();
+        if (trace_ != nullptr) trace_->instant("guard.recovery", reason + " -> " + action);
         rep.log.push_back({steps_done_, reason, std::move(action)});
         steps_since_ckpt = 0;
         continue;
@@ -200,6 +221,8 @@ class Simulation {
       }
     }
     rep.degrade_level = level;
+    if (metrics_ != nullptr)
+      metrics_->set_gauge("sim.guard.degrade_level", static_cast<double>(level));
     return rep;
   }
 
@@ -222,20 +245,27 @@ class Simulation {
   [[nodiscard]] std::size_t steps_done() const { return steps_done_; }
 
  private:
+  [[nodiscard]] StepContext<T, D> make_ctx(System<T, D>& sys) {
+    return StepContext<T, D>{sys, cfg_, &phases_, metrics_, trace_};
+  }
+
   /// One run() iteration under `policy` (shared by run and the ladder).
   template <class Policy>
   void step_once(Policy policy) {
-    strategy_.accelerations(policy, sys_, cfg_, &phases_);
+    auto step_span = obs::TraceSession::maybe(trace_, "step");
+    StepContext<T, D> ctx = make_ctx(sys_);
+    strategy_.accelerations(policy, ctx);
     if (!primed_) {
       leapfrog_prime(policy, sys_, cfg_.dt);
       primed_ = true;
     }
     {
-      auto scope = phases_.scope("update");
+      auto scope = ctx.phase("update");
       leapfrog_step(policy, sys_, cfg_.dt);
     }
     time_ += cfg_.dt;
     ++steps_done_;
+    if (metrics_ != nullptr) metrics_->counter("sim.steps").add();
   }
 
   // The degradation ladder. The entry policy fixes the top rung, so only
@@ -318,6 +348,9 @@ class Simulation {
     ckpt_steps_ = steps_done_;
     ckpt_primed_ = primed_;
     ++rep.checkpoints_written;
+    if (metrics_ != nullptr) metrics_->counter("sim.guard.checkpoints").add();
+    if (trace_ != nullptr)
+      trace_->instant("guard.checkpoint", "step " + std::to_string(steps_done_));
     if (!opts.checkpoint_path.empty()) {
       try {
         if (primed_) {
@@ -346,6 +379,8 @@ class Simulation {
   SimConfig<T> cfg_;
   Strategy strategy_;
   support::PhaseTimer phases_;
+  obs::MetricsRegistry* metrics_ = nullptr;  // not owned; may be null
+  obs::TraceSession* trace_ = nullptr;       // not owned; may be null
   std::size_t steps_done_ = 0;
   T time_ = T(0);
   bool primed_ = false;

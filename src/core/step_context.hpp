@@ -1,0 +1,75 @@
+// StepContext — the bundle a force strategy receives for one step.
+//
+// This replaces the old 4-argument strategy signature
+//   accelerations(Policy, System&, const SimConfig&, PhaseTimer*)
+// which could not grow another out-parameter. A Strategy is now any type
+// providing:
+//
+//   static constexpr const char* name;
+//   template <class Policy> void accelerations(Policy, StepContext<T, D>&);
+//
+// The context carries the system, the configuration, and the observability
+// sinks (all optional, null = disabled): the per-phase wall-clock
+// accumulator, the metrics registry, and the trace session. New
+// cross-cutting concerns land here as fields, never as signature changes.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <utility>
+
+#include "core/system.hpp"
+#include "obs/obs.hpp"
+#include "support/timer.hpp"
+
+namespace nbody::core {
+
+/// RAII scope opened by StepContext::phase(): accumulates wall time into the
+/// PhaseTimer phase and records a trace span of the same name — each leg
+/// independently optional and free when its sink is null.
+class PhaseScope {
+ public:
+  PhaseScope(std::optional<support::PhaseTimer::Scope> timer,
+             std::optional<obs::TraceSession::Scope> trace)
+      : timer_(std::move(timer)), trace_(std::move(trace)) {}
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+  PhaseScope(PhaseScope&&) noexcept = default;
+
+ private:
+  std::optional<support::PhaseTimer::Scope> timer_;
+  std::optional<obs::TraceSession::Scope> trace_;
+};
+
+template <class T, std::size_t D>
+struct StepContext {
+  System<T, D>& sys;
+  const SimConfig<T>& cfg;
+  support::PhaseTimer* timer = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::TraceSession* trace = nullptr;
+
+  /// Opens the named phase: times it, traces it, and (via the trace scope's
+  /// ambient region label) names the per-rank scheduler spans under it.
+  /// `name` must be a literal or otherwise outlive the scope.
+  [[nodiscard]] PhaseScope phase(const char* name) {
+    return PhaseScope(support::PhaseTimer::maybe(timer, name),
+                      obs::TraceSession::maybe(trace, name));
+  }
+
+  [[nodiscard]] bool metrics_enabled() const { return metrics != nullptr; }
+};
+
+/// One-shot convenience for callers outside the Simulation loop (tests,
+/// ablation harnesses): builds a transient context and runs the strategy.
+template <class Strategy, class Policy, class T, std::size_t D>
+  requires requires(Strategy& s, Policy p, StepContext<T, D>& c) { s.accelerations(p, c); }
+void accelerate(Strategy& strategy, Policy policy, System<T, D>& sys, const SimConfig<T>& cfg,
+                support::PhaseTimer* timer = nullptr,
+                obs::MetricsRegistry* metrics = nullptr,
+                obs::TraceSession* trace = nullptr) {
+  StepContext<T, D> ctx{sys, cfg, timer, metrics, trace};
+  strategy.accelerations(policy, ctx);
+}
+
+}  // namespace nbody::core

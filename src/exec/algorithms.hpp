@@ -24,6 +24,8 @@
 
 #include "exec/policy.hpp"
 #include "exec/thread_pool.hpp"
+#include "obs/runtime.hpp"
+#include "obs/trace.hpp"
 #include "support/assert.hpp"
 #include "support/env.hpp"
 #include "support/fault.hpp"
@@ -122,6 +124,29 @@ inline std::size_t dynamic_grain(std::size_t n, unsigned workers) {
   return grain == 0 ? 1 : grain;
 }
 
+/// Per-rank trace span for one scheduling region, named after the ambient
+/// region label (the enclosing StepContext phase). Records via
+/// complete_span() directly — never TraceSession::Scope, whose label
+/// exchange is a caller-thread protocol that worker ranks must not touch.
+/// Null session = two branches per *region*, not per element.
+class RankSpan {
+ public:
+  RankSpan(obs::TraceSession* trace, const char* label, unsigned rank)
+      : trace_(trace), label_(label), rank_(rank),
+        start_ns_(trace != nullptr ? trace->now_ns() : 0) {}
+  RankSpan(const RankSpan&) = delete;
+  RankSpan& operator=(const RankSpan&) = delete;
+  ~RankSpan() {
+    if (trace_ != nullptr) trace_->complete_span(label_, rank_, start_ns_, trace_->now_ns());
+  }
+
+ private:
+  obs::TraceSession* trace_;
+  const char* label_;
+  unsigned rank_;
+  std::uint64_t start_ns_;
+};
+
 /// Runs f(begin, end) over [0, n) partitioned across the pool according to
 /// the active backend, inside a progress_region for `progress`.
 template <class F>
@@ -134,10 +159,14 @@ void parallel_blocks(thread_pool& pool, forward_progress progress, std::size_t n
     support::fault_point(support::FaultSite::algo_chunk);
     raw_f(b, e);
   };
+  obs::TraceSession* const trace = obs::global_trace();
+  const char* const label = obs::region_label();
   const unsigned p = pool.concurrency();
   if (p == 1 || n == 1) {
     progress_region guard(progress);
+    RankSpan span(trace, label, obs::thread_rank());
     f(std::size_t{0}, n);
+    pool.note_chunks(1);
     return;
   }
   const backend b = default_backend();
@@ -146,20 +175,28 @@ void parallel_blocks(thread_pool& pool, forward_progress progress, std::size_t n
     const std::size_t rem = n % p;
     pool.run([&](unsigned rank) {
       progress_region guard(progress);
+      RankSpan span(trace, label, rank);
       const std::size_t begin = rank * base + std::min<std::size_t>(rank, rem);
       const std::size_t end = begin + base + (rank < rem ? 1 : 0);
-      if (begin < end) f(begin, end);
+      if (begin < end) {
+        f(begin, end);
+        pool.note_chunks(1);
+      }
     });
   } else if (b == backend::dynamic_chunk) {
     const std::size_t grain = dynamic_grain(n, p);
     std::atomic<std::size_t> next{0};
-    pool.run([&](unsigned) {
+    pool.run([&](unsigned rank) {
       progress_region guard(progress);
+      RankSpan span(trace, label, rank);
+      std::uint64_t chunks = 0;
       for (;;) {
         const std::size_t begin = next.fetch_add(grain, std::memory_order_relaxed);
         if (begin >= n) break;
         f(begin, std::min(begin + grain, n));
+        ++chunks;
       }
+      pool.note_chunks(chunks);
     });
   } else {
     // Work stealing: each rank owns a contiguous range, pops small chunks
@@ -179,24 +216,32 @@ void parallel_blocks(thread_pool& pool, forward_progress progress, std::size_t n
     }
     pool.run([&](unsigned rank) {
       progress_region guard(progress);
+      RankSpan span(trace, label, rank);
+      std::uint64_t chunks = 0, steals = 0, polls = 0;
       std::uint32_t first = 0, last = 0;
       for (;;) {
         if (ranges[rank].pop_front(grain, first, last)) {
           f(first, last);
+          ++chunks;
           continue;
         }
         // Own range empty: scan victims once; re-own what we steal.
         bool stole = false;
         for (unsigned off = 1; off < p; ++off) {
           const unsigned victim = (rank + off) % p;
+          ++polls;
           if (ranges[victim].steal_back(first, last)) {
             ranges[rank].reset(first, last);
             stole = true;
+            ++steals;
             break;
           }
         }
         if (!stole) break;  // everything drained
       }
+      pool.note_chunks(chunks);
+      pool.note_steals(steals);
+      pool.note_polls(polls);
     });
   }
 }

@@ -1,5 +1,10 @@
 #include "exec/thread_pool.hpp"
 
+#include <chrono>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/runtime.hpp"
 #include "support/assert.hpp"
 #include "support/env.hpp"
 #include "support/fault.hpp"
@@ -13,9 +18,17 @@ struct region_flag_guard {
   region_flag_guard() { t_in_region = true; }
   ~region_flag_guard() { t_in_region = false; }
 };
+
+std::uint64_t mono_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 }  // namespace
 
-thread_pool::thread_pool(unsigned concurrency) : concurrency_(concurrency) {
+thread_pool::thread_pool(unsigned concurrency)
+    : concurrency_(concurrency), rank_counters_(new RankCounters[concurrency]) {
   NBODY_REQUIRE(concurrency >= 1, "thread_pool: concurrency must be >= 1");
   workers_.reserve(concurrency - 1);
   for (unsigned r = 1; r < concurrency; ++r) {
@@ -32,15 +45,24 @@ thread_pool::~thread_pool() {
   for (auto& w : workers_) w.join();
 }
 
+void thread_pool::run_rank(support::function_ref<void(unsigned)>& f, unsigned rank) {
+  support::fault_point(support::FaultSite::pool_task);
+  const std::uint64_t start = mono_ns();
+  f(rank);
+  auto& rc = rank_counters_[rank];
+  rc.busy_ns.fetch_add(mono_ns() - start, std::memory_order_relaxed);
+  rc.tasks.fetch_add(1, std::memory_order_relaxed);
+}
+
 void thread_pool::run(support::function_ref<void(unsigned)> f) {
+  const std::uint64_t region_start = mono_ns();
+  regions_.fetch_add(1, std::memory_order_relaxed);
   if (concurrency_ == 1 || t_in_region) {
     // Inline (or nested) execution: run every rank sequentially. Nested
     // parallelism degrades gracefully instead of deadlocking the team.
     region_flag_guard guard;
-    for (unsigned r = 0; r < concurrency_; ++r) {
-      support::fault_point(support::FaultSite::pool_task);
-      f(r);
-    }
+    for (unsigned r = 0; r < concurrency_; ++r) run_rank(f, r);
+    region_wall_ns_.fetch_add(mono_ns() - region_start, std::memory_order_relaxed);
     return;
   }
 
@@ -55,8 +77,7 @@ void thread_pool::run(support::function_ref<void(unsigned)> f) {
   {
     region_flag_guard guard;
     try {
-      support::fault_point(support::FaultSite::pool_task);
-      f(0);
+      run_rank(f, 0);
     } catch (...) {
       std::lock_guard lock(error_mutex_);
       if (!first_error_) first_error_ = std::current_exception();
@@ -68,6 +89,7 @@ void thread_pool::run(support::function_ref<void(unsigned)> f) {
     done_cv_.wait(lock, [this] { return remaining_ == 0; });
     job_ = nullptr;
   }
+  region_wall_ns_.fetch_add(mono_ns() - region_start, std::memory_order_relaxed);
 
   std::exception_ptr err;
   {
@@ -79,6 +101,7 @@ void thread_pool::run(support::function_ref<void(unsigned)> f) {
 }
 
 void thread_pool::worker_main(unsigned rank) {
+  obs::set_thread_rank(rank);
   std::uint64_t seen_epoch = 0;
   for (;;) {
     support::function_ref<void(unsigned)>* job = nullptr;
@@ -92,8 +115,7 @@ void thread_pool::worker_main(unsigned rank) {
     {
       region_flag_guard guard;
       try {
-        support::fault_point(support::FaultSite::pool_task);
-        (*job)(rank);
+        run_rank(*job, rank);
       } catch (...) {
         std::lock_guard lock(error_mutex_);
         if (!first_error_) first_error_ = std::current_exception();
@@ -103,6 +125,62 @@ void thread_pool::worker_main(unsigned rank) {
       std::lock_guard lock(mutex_);
       if (--remaining_ == 0) done_cv_.notify_one();
     }
+  }
+}
+
+thread_pool::Stats thread_pool::stats() const noexcept {
+  Stats s;
+  s.regions = regions_.load(std::memory_order_relaxed);
+  s.region_wall_ns = region_wall_ns_.load(std::memory_order_relaxed);
+  s.chunks = chunks_.load(std::memory_order_relaxed);
+  s.steals = steals_.load(std::memory_order_relaxed);
+  s.polls = polls_.load(std::memory_order_relaxed);
+  for (unsigned r = 0; r < concurrency_; ++r) {
+    s.tasks += rank_counters_[r].tasks.load(std::memory_order_relaxed);
+    s.busy_ns += rank_counters_[r].busy_ns.load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+std::uint64_t thread_pool::rank_tasks(unsigned rank) const noexcept {
+  return rank < concurrency_ ? rank_counters_[rank].tasks.load(std::memory_order_relaxed)
+                             : 0;
+}
+
+std::uint64_t thread_pool::rank_busy_ns(unsigned rank) const noexcept {
+  return rank < concurrency_ ? rank_counters_[rank].busy_ns.load(std::memory_order_relaxed)
+                             : 0;
+}
+
+void thread_pool::note_chunks(std::uint64_t n) noexcept {
+  if (n != 0) chunks_.fetch_add(n, std::memory_order_relaxed);
+}
+
+void thread_pool::note_steals(std::uint64_t n) noexcept {
+  if (n != 0) steals_.fetch_add(n, std::memory_order_relaxed);
+}
+
+void thread_pool::note_polls(std::uint64_t n) noexcept {
+  if (n != 0) polls_.fetch_add(n, std::memory_order_relaxed);
+}
+
+void export_pool_metrics(const thread_pool& pool, obs::MetricsRegistry& reg) {
+  const thread_pool::Stats s = pool.stats();
+  reg.set_gauge("pool.concurrency", static_cast<double>(pool.concurrency()));
+  reg.set_gauge("pool.regions", static_cast<double>(s.regions));
+  reg.set_gauge("pool.tasks", static_cast<double>(s.tasks));
+  reg.set_gauge("pool.chunks", static_cast<double>(s.chunks));
+  reg.set_gauge("pool.steals", static_cast<double>(s.steals));
+  reg.set_gauge("pool.polls", static_cast<double>(s.polls));
+  reg.set_gauge("pool.busy_seconds", static_cast<double>(s.busy_ns) * 1e-9);
+  const double capacity_ns =
+      static_cast<double>(s.region_wall_ns) * static_cast<double>(pool.concurrency());
+  reg.set_gauge("pool.utilization",
+                capacity_ns > 0.0 ? static_cast<double>(s.busy_ns) / capacity_ns : 0.0);
+  for (unsigned r = 0; r < pool.concurrency(); ++r) {
+    const std::string prefix = "pool.worker." + std::to_string(r) + ".";
+    reg.set_gauge(prefix + "tasks", static_cast<double>(pool.rank_tasks(r)));
+    reg.set_gauge(prefix + "busy_seconds", static_cast<double>(pool.rank_busy_ns(r)) * 1e-9);
   }
 }
 

@@ -11,14 +11,21 @@
 // this library, whose algorithms drive the pool from the outer thread only.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 #include "support/function_ref.hpp"
+
+namespace nbody::obs {
+class MetricsRegistry;
+}
 
 namespace nbody::exec {
 
@@ -48,11 +55,46 @@ class thread_pool {
   /// True while the calling thread is inside a run() region of any pool.
   static bool in_parallel_region() noexcept;
 
+  /// Lifetime scheduler statistics, accumulated with relaxed atomics. Always
+  /// on — the accounting is per region / per chunk batch, never per element.
+  struct Stats {
+    std::uint64_t regions = 0;        // run() regions dispatched
+    std::uint64_t region_wall_ns = 0; // wall time summed over regions
+    std::uint64_t tasks = 0;          // rank invocations executed
+    std::uint64_t busy_ns = 0;        // time ranks spent inside f(rank)
+    std::uint64_t chunks = 0;         // blocks claimed (static/dynamic/steal)
+    std::uint64_t steals = 0;         // successful steals (work_steal backend)
+    std::uint64_t polls = 0;          // victim probes, hit or miss
+  };
+
+  /// Snapshot of the lifetime totals (and per-rank task/busy breakdown).
+  [[nodiscard]] Stats stats() const noexcept;
+  [[nodiscard]] std::uint64_t rank_tasks(unsigned rank) const noexcept;
+  [[nodiscard]] std::uint64_t rank_busy_ns(unsigned rank) const noexcept;
+
+  /// Accounting hooks for the scheduling layer (exec/algorithms.hpp): flush
+  /// per-region local counts once per rank, not per element.
+  void note_chunks(std::uint64_t n) noexcept;
+  void note_steals(std::uint64_t n) noexcept;
+  void note_polls(std::uint64_t n) noexcept;
+
  private:
   void worker_main(unsigned rank);
+  void run_rank(support::function_ref<void(unsigned)>& f, unsigned rank);
+
+  struct RankCounters {
+    std::atomic<std::uint64_t> tasks{0};
+    std::atomic<std::uint64_t> busy_ns{0};
+  };
 
   unsigned concurrency_;
   std::vector<std::thread> workers_;
+  std::unique_ptr<RankCounters[]> rank_counters_;  // one per rank (atomics pin it)
+  std::atomic<std::uint64_t> regions_{0};
+  std::atomic<std::uint64_t> region_wall_ns_{0};
+  std::atomic<std::uint64_t> chunks_{0};
+  std::atomic<std::uint64_t> steals_{0};
+  std::atomic<std::uint64_t> polls_{0};
 
   std::mutex mutex_;
   std::condition_variable start_cv_;
@@ -65,5 +107,11 @@ class thread_pool {
   std::mutex error_mutex_;
   std::exception_ptr first_error_;
 };
+
+/// Exports the pool's lifetime statistics into `reg` as `pool.*` gauges:
+/// concurrency, regions, tasks, chunks, steals, polls, busy_seconds, and
+/// utilization (busy time over regions × concurrency), plus per-worker
+/// `pool.worker.<rank>.{tasks,busy_seconds}`.
+void export_pool_metrics(const thread_pool& pool, obs::MetricsRegistry& reg);
 
 }  // namespace nbody::exec

@@ -1,0 +1,149 @@
+#include "obs/metrics.hpp"
+
+#include <bit>
+#include <cstdio>
+#include <stdexcept>
+
+namespace nbody::obs {
+
+double MetricsRegistry::Histogram::bit_to_double(std::uint64_t b) noexcept {
+  return std::bit_cast<double>(b);
+}
+
+std::uint64_t MetricsRegistry::Histogram::double_to_bit(double d) noexcept {
+  return std::bit_cast<std::uint64_t>(d);
+}
+
+MetricsRegistry::Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard lock(mu_);
+  if (const auto it = counter_index_.find(name); it != counter_index_.end())
+    return *it->second;
+  auto [it, inserted] = counter_index_.emplace(
+      std::string(name), std::unique_ptr<Counter>(new Counter(std::string(name))));
+  return *it->second;
+}
+
+MetricsRegistry::Histogram& MetricsRegistry::histogram(std::string_view name,
+                                                       std::vector<double> bounds) {
+  std::lock_guard lock(mu_);
+  if (const auto it = histogram_index_.find(name); it != histogram_index_.end())
+    return *it->second;
+  auto [it, inserted] = histogram_index_.emplace(
+      std::string(name),
+      std::unique_ptr<Histogram>(new Histogram(std::string(name), std::move(bounds))));
+  return *it->second;
+}
+
+void MetricsRegistry::set_gauge(std::string_view name, double value) {
+  std::lock_guard lock(mu_);
+  if (const auto it = gauges_.find(name); it != gauges_.end()) {
+    it->second = value;
+  } else {
+    gauges_.emplace(std::string(name), value);
+  }
+}
+
+std::uint64_t MetricsRegistry::counter_value(std::string_view name) const {
+  std::lock_guard lock(mu_);
+  const auto it = counter_index_.find(name);
+  return it == counter_index_.end() ? 0 : it->second->value();
+}
+
+double MetricsRegistry::gauge_value(std::string_view name) const {
+  std::lock_guard lock(mu_);
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+namespace {
+
+void append_escaped(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_double(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  // JSON has no inf/nan literals; clamp to null (readable by every parser).
+  const std::string_view sv(buf);
+  if (sv.find("inf") != std::string_view::npos || sv.find("nan") != std::string_view::npos) {
+    out += "null";
+  } else {
+    out += buf;
+  }
+}
+
+}  // namespace
+
+std::string MetricsRegistry::to_json() const {
+  std::lock_guard lock(mu_);
+  std::string out = "{\n  \"schema\": \"nbody.metrics.v1\",\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counter_index_) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    append_escaped(out, name);
+    out += ": " + std::to_string(c->value());
+  }
+  out += "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, v] : gauges_) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    append_escaped(out, name);
+    out += ": ";
+    append_double(out, v);
+  }
+  out += "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histogram_index_) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    append_escaped(out, name);
+    out += ": {\"count\": " + std::to_string(h->count()) + ", \"sum\": ";
+    append_double(out, h->sum());
+    out += ", \"buckets\": [";
+    for (std::size_t i = 0; i <= h->bounds().size(); ++i) {
+      if (i > 0) out += ", ";
+      out += "{\"le\": ";
+      if (i < h->bounds().size()) {
+        append_double(out, h->bounds()[i]);
+      } else {
+        out += "\"+inf\"";
+      }
+      out += ", \"count\": " + std::to_string(h->bucket_count(i)) + "}";
+    }
+    out += "]}";
+  }
+  out += "\n  }\n}\n";
+  return out;
+}
+
+void MetricsRegistry::write_json(const std::string& path) const {
+  const std::string doc = to_json();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) throw std::runtime_error("metrics: cannot open '" + path + "' for write");
+  const std::size_t written = std::fwrite(doc.data(), 1, doc.size(), f);
+  const int rc = std::fclose(f);
+  if (written != doc.size() || rc != 0)
+    throw std::runtime_error("metrics: short write to '" + path + "'");
+}
+
+}  // namespace nbody::obs

@@ -1,0 +1,135 @@
+// Observability: the process/metrics registry — counters, gauges, and
+// fixed-bucket histograms, exportable as one JSON artifact
+// (schema "nbody.metrics.v1", see DESIGN.md §"Observability").
+//
+// Designed to be compiled in always and cheap enough to leave enabled:
+//
+//   * handles (Counter&, Histogram&) are resolved by name once, outside the
+//     hot loops, under a mutex;
+//   * increments/observations on a resolved handle are relaxed atomic
+//     fetch_adds — vectorization-safe by the library's convention (relaxed
+//     atomics never call note_vectorization_unsafe_op), so counters may be
+//     bumped from par_unseq regions;
+//   * the disabled state is a null MetricsRegistry* — instrumented code
+//     null-checks once per step/phase, never per iteration.
+//
+// Anything that needs a registry without a StepContext (thread pool,
+// scheduling backends) reads the ambient pointer from obs/runtime.hpp.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nbody::obs {
+
+class MetricsRegistry {
+ public:
+  /// Monotonic counter. add() is a relaxed atomic fetch_add: safe from any
+  /// policy, including par_unseq.
+  class Counter {
+   public:
+    void add(std::uint64_t v = 1) noexcept { value_.fetch_add(v, std::memory_order_relaxed); }
+    [[nodiscard]] std::uint64_t value() const noexcept {
+      return value_.load(std::memory_order_relaxed);
+    }
+
+   private:
+    friend class MetricsRegistry;
+    explicit Counter(std::string name) : name_(std::move(name)) {}
+    std::string name_;
+    std::atomic<std::uint64_t> value_{0};
+  };
+
+  /// Fixed-bucket histogram: `bounds` are inclusive upper bounds in
+  /// ascending order, plus an implicit +inf overflow bucket. Tracks count
+  /// and sum (Prometheus-style), so averages fall out of the export.
+  class Histogram {
+   public:
+    void observe(double v) noexcept {
+      std::size_t i = 0;
+      while (i < bounds_.size() && v > bounds_[i]) ++i;
+      buckets_[i].fetch_add(1, std::memory_order_relaxed);
+      count_.fetch_add(1, std::memory_order_relaxed);
+      // Relaxed CAS accumulation of the double-valued sum (the same loop
+      // exec::fetch_add_relaxed uses; duplicated so obs stays dependency-free).
+      std::uint64_t expected = sum_bits_.load(std::memory_order_relaxed);
+      for (;;) {
+        const double cur = bit_to_double(expected);
+        const std::uint64_t desired = double_to_bit(cur + v);
+        if (sum_bits_.compare_exchange_weak(expected, desired, std::memory_order_relaxed,
+                                            std::memory_order_relaxed))
+          break;
+      }
+    }
+
+    [[nodiscard]] std::uint64_t count() const noexcept {
+      return count_.load(std::memory_order_relaxed);
+    }
+    [[nodiscard]] double sum() const noexcept {
+      return bit_to_double(sum_bits_.load(std::memory_order_relaxed));
+    }
+    [[nodiscard]] const std::vector<double>& bounds() const noexcept { return bounds_; }
+    /// Count in bucket i, i in [0, bounds().size()] (last = overflow).
+    [[nodiscard]] std::uint64_t bucket_count(std::size_t i) const noexcept {
+      return buckets_[i].load(std::memory_order_relaxed);
+    }
+
+   private:
+    friend class MetricsRegistry;
+    Histogram(std::string name, std::vector<double> bounds)
+        : name_(std::move(name)),
+          bounds_(std::move(bounds)),
+          buckets_(std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1)) {
+      for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+    }
+
+    static double bit_to_double(std::uint64_t b) noexcept;
+    static std::uint64_t double_to_bit(double d) noexcept;
+
+    std::string name_;
+    std::vector<double> bounds_;
+    std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;  // bounds.size() + 1
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<std::uint64_t> sum_bits_{0};  // IEEE-754 bits of the sum
+  };
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Get-or-create by name. The returned reference is stable for the
+  /// registry's lifetime; resolve once, increment from anywhere.
+  Counter& counter(std::string_view name);
+
+  /// Get-or-create; `bounds` is consulted only on creation (the first caller
+  /// fixes the bucket layout).
+  Histogram& histogram(std::string_view name, std::vector<double> bounds);
+
+  /// Gauges are last-write-wins snapshots (tree depth, pool utilization...).
+  void set_gauge(std::string_view name, double value);
+
+  // Read-side accessors (tests, exporters). Missing names read as zero.
+  [[nodiscard]] std::uint64_t counter_value(std::string_view name) const;
+  [[nodiscard]] double gauge_value(std::string_view name) const;
+
+  /// Serializes every metric as the "nbody.metrics.v1" JSON document.
+  [[nodiscard]] std::string to_json() const;
+
+  /// to_json() to a file; throws std::runtime_error on I/O failure.
+  void write_json(const std::string& path) const;
+
+ private:
+  mutable std::mutex mu_;
+  // unique_ptr values: stable metric addresses across map growth.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counter_index_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histogram_index_;
+  std::map<std::string, double, std::less<>> gauges_;
+};
+
+}  // namespace nbody::obs

@@ -1,0 +1,9 @@
+// Observability subsystem umbrella header: metrics registry, Chrome-trace
+// session, and the ambient runtime the execution substrate reads.
+// See DESIGN.md §"Observability" for the JSON schemas and overhead
+// guarantees.
+#pragma once
+
+#include "obs/metrics.hpp"   // IWYU pragma: export
+#include "obs/runtime.hpp"   // IWYU pragma: export
+#include "obs/trace.hpp"     // IWYU pragma: export

@@ -1,0 +1,37 @@
+#include "obs/runtime.hpp"
+
+#include <atomic>
+
+namespace nbody::obs {
+
+namespace {
+std::atomic<MetricsRegistry*> g_metrics{nullptr};
+std::atomic<TraceSession*> g_trace{nullptr};
+std::atomic<const char*> g_region_label{"parallel"};
+thread_local unsigned t_rank = 0;
+}  // namespace
+
+void install_global(MetricsRegistry* metrics, TraceSession* trace) noexcept {
+  g_metrics.store(metrics, std::memory_order_release);
+  g_trace.store(trace, std::memory_order_release);
+}
+
+MetricsRegistry* global_metrics() noexcept {
+  return g_metrics.load(std::memory_order_acquire);
+}
+
+TraceSession* global_trace() noexcept { return g_trace.load(std::memory_order_acquire); }
+
+unsigned thread_rank() noexcept { return t_rank; }
+
+void set_thread_rank(unsigned rank) noexcept { t_rank = rank; }
+
+const char* exchange_region_label(const char* label) noexcept {
+  return g_region_label.exchange(label, std::memory_order_acq_rel);
+}
+
+const char* region_label() noexcept {
+  return g_region_label.load(std::memory_order_acquire);
+}
+
+}  // namespace nbody::obs

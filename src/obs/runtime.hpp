@@ -1,0 +1,41 @@
+// Observability: ambient runtime state.
+//
+// The strategy layers receive their MetricsRegistry*/TraceSession* through
+// StepContext, but the execution substrate underneath them — the thread
+// pool, the scheduling backends — predates any step and cannot take a
+// context parameter through the policy-based algorithm signatures. Those
+// layers read the process-wide pointers installed here instead.
+//
+// All three globals are read with relaxed atomics on hot-ish paths (once
+// per parallel region, never per iteration); null means disabled and costs
+// one predicted branch.
+#pragma once
+
+#include <cstdint>
+
+namespace nbody::obs {
+
+class MetricsRegistry;
+class TraceSession;
+
+/// Installs (or clears, with nullptrs) the process-wide sinks. The caller
+/// keeps ownership and must clear before destroying them.
+void install_global(MetricsRegistry* metrics, TraceSession* trace) noexcept;
+
+[[nodiscard]] MetricsRegistry* global_metrics() noexcept;
+[[nodiscard]] TraceSession* global_trace() noexcept;
+
+/// Pool-participant rank of the calling thread: 0 for the main/calling
+/// thread, 1..p-1 for pool workers (set once in worker_main). Trace spans
+/// use this as their tid.
+[[nodiscard]] unsigned thread_rank() noexcept;
+void set_thread_rank(unsigned rank) noexcept;
+
+/// Ambient label for the parallel region being dispatched — the innermost
+/// live TraceSession::Scope's name ("build", "force", ...). The scheduling
+/// backends name their per-rank spans after it. Returns the previous label
+/// so scopes can nest. `label` must have static or enclosing-scope lifetime.
+const char* exchange_region_label(const char* label) noexcept;
+[[nodiscard]] const char* region_label() noexcept;
+
+}  // namespace nbody::obs

@@ -1,0 +1,135 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+#include <set>
+#include <stdexcept>
+
+#include "obs/runtime.hpp"
+
+namespace nbody::obs {
+
+TraceSession::Scope::Scope(TraceSession& session, const char* name)
+    : session_(&session),
+      name_(name),
+      prev_label_(exchange_region_label(name)),
+      tid_(thread_rank()),
+      start_ns_(session.now_ns()) {}
+
+TraceSession::Scope::~Scope() {
+  if (session_ == nullptr) return;
+  exchange_region_label(prev_label_);
+  session_->complete_span(name_, tid_, start_ns_, session_->now_ns());
+}
+
+void TraceSession::complete_span(const char* name, std::uint32_t tid,
+                                 std::uint64_t start_ns, std::uint64_t end_ns) {
+  Event e;
+  e.name = name;
+  e.ts_ns = start_ns;
+  e.dur_ns = end_ns >= start_ns ? end_ns - start_ns : 0;
+  e.tid = tid;
+  e.ph = 'X';
+  std::lock_guard lock(mu_);
+  events_.push_back(std::move(e));
+}
+
+void TraceSession::instant(const char* name, const std::string& detail) {
+  Event e;
+  e.name = name;
+  e.detail = detail;
+  e.ts_ns = now_ns();
+  e.tid = thread_rank();
+  e.ph = 'i';
+  std::lock_guard lock(mu_);
+  events_.push_back(std::move(e));
+}
+
+std::size_t TraceSession::event_count() const {
+  std::lock_guard lock(mu_);
+  return events_.size();
+}
+
+std::size_t TraceSession::span_rank_count() const {
+  std::lock_guard lock(mu_);
+  std::set<std::uint32_t> ranks;
+  for (const Event& e : events_)
+    if (e.ph == 'X') ranks.insert(e.tid);
+  return ranks.size();
+}
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+/// Chrome's ts/dur fields are microseconds; emit with ns precision.
+void append_us(std::string& out, std::uint64_t ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%llu.%03llu",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned long long>(ns % 1000));
+  out += buf;
+}
+
+}  // namespace
+
+std::string TraceSession::to_json() const {
+  std::lock_guard lock(mu_);
+  std::string out = "{\"traceEvents\": [";
+  bool first = true;
+  for (const Event& e : events_) {
+    out += first ? "\n  " : ",\n  ";
+    first = false;
+    out += "{\"name\": ";
+    append_escaped(out, e.name);
+    out += ", \"ph\": \"";
+    out += e.ph;
+    out += "\", \"pid\": 1, \"tid\": " + std::to_string(e.tid) + ", \"ts\": ";
+    append_us(out, e.ts_ns);
+    if (e.ph == 'X') {
+      out += ", \"dur\": ";
+      append_us(out, e.dur_ns);
+      out += ", \"cat\": \"phase\"";
+    } else {
+      out += ", \"s\": \"g\", \"cat\": \"event\"";
+      if (!e.detail.empty()) {
+        out += ", \"args\": {\"detail\": ";
+        append_escaped(out, e.detail);
+        out += "}";
+      }
+    }
+    out += "}";
+  }
+  out += "\n], \"displayTimeUnit\": \"ms\"}\n";
+  return out;
+}
+
+void TraceSession::write_json(const std::string& path) const {
+  const std::string doc = to_json();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) throw std::runtime_error("trace: cannot open '" + path + "' for write");
+  const std::size_t written = std::fwrite(doc.data(), 1, doc.size(), f);
+  const int rc = std::fclose(f);
+  if (written != doc.size() || rc != 0)
+    throw std::runtime_error("trace: short write to '" + path + "'");
+}
+
+}  // namespace nbody::obs

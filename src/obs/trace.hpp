@@ -1,0 +1,108 @@
+// Observability: TraceSession — per-phase span and instant-event recording,
+// exported as Chrome trace_event JSON (the "JSON Array Format" every
+// chrome://tracing and Perfetto build loads).
+//
+// Spans carry (name, thread rank, start ns, duration ns) where the rank is
+// the thread-pool participant rank published through obs/runtime.hpp —
+// rank 0 is the calling thread, workers are 1..p-1 — so a trace of one step
+// shows exactly which pool lanes ran which phase for how long.
+//
+// Recording takes a mutex per event. Events are phase- and region-grained
+// (a handful per step per rank), never per-body, so contention is
+// irrelevant; the disabled state is a null TraceSession* checked once per
+// scope, identical to the PhaseTimer convention.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace nbody::obs {
+
+class TraceSession {
+ public:
+  TraceSession() : t0_(std::chrono::steady_clock::now()) {}
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  /// RAII span: records a complete ("ph":"X") event over its lifetime, on
+  /// the recording thread's pool rank. While alive it also publishes `name`
+  /// as the ambient region label (obs/runtime.hpp), which is how per-rank
+  /// spans emitted inside the scheduling backends inherit the phase name.
+  /// `name` must outlive the scope (string literals in practice).
+  class Scope {
+   public:
+    Scope(TraceSession& session, const char* name);
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+    Scope(Scope&& o) noexcept
+        : session_(o.session_), name_(o.name_), prev_label_(o.prev_label_),
+          tid_(o.tid_), start_ns_(o.start_ns_) {
+      o.session_ = nullptr;
+    }
+    Scope& operator=(Scope&&) = delete;
+    ~Scope();
+
+   private:
+    TraceSession* session_;
+    const char* name_;
+    const char* prev_label_;
+    std::uint32_t tid_;
+    std::uint64_t start_ns_;
+  };
+
+  [[nodiscard]] Scope span(const char* name) { return Scope(*this, name); }
+
+  /// Scope against an optional session: null costs one branch, mirroring
+  /// support::PhaseTimer::maybe.
+  [[nodiscard]] static std::optional<Scope> maybe(TraceSession* session, const char* name) {
+    if (session == nullptr) return std::nullopt;
+    return std::optional<Scope>(std::in_place, *session, name);
+  }
+
+  /// Records a complete span with explicit timestamps (both in session ns).
+  void complete_span(const char* name, std::uint32_t tid, std::uint64_t start_ns,
+                     std::uint64_t end_ns);
+
+  /// Records an instant event ("ph":"i", global scope) at now — recovery
+  /// decisions, checkpoints, guard failures. `detail` lands in args.detail.
+  void instant(const char* name, const std::string& detail = {});
+
+  /// Nanoseconds since session start (the trace timebase).
+  [[nodiscard]] std::uint64_t now_ns() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0_)
+            .count());
+  }
+
+  [[nodiscard]] std::size_t event_count() const;
+
+  /// Number of distinct thread ranks that recorded at least one span.
+  [[nodiscard]] std::size_t span_rank_count() const;
+
+  /// Chrome trace_event "JSON Object Format": {"traceEvents": [...]}.
+  [[nodiscard]] std::string to_json() const;
+
+  /// to_json() to a file; throws std::runtime_error on I/O failure.
+  void write_json(const std::string& path) const;
+
+ private:
+  struct Event {
+    std::string name;
+    std::string detail;     // instants only
+    std::uint64_t ts_ns = 0;
+    std::uint64_t dur_ns = 0;
+    std::uint32_t tid = 0;
+    char ph = 'X';
+  };
+
+  std::chrono::steady_clock::time_point t0_;
+  mutable std::mutex mu_;
+  std::vector<Event> events_;
+};
+
+}  // namespace nbody::obs

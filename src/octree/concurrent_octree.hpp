@@ -156,6 +156,7 @@ class ConcurrentOctree {
         continue;
       }
       if (next == kLocked) {
+        exec::fetch_add_relaxed(lock_retries_, std::uint64_t{1});
         backoff.pause();  // another thread is subdividing this node
         continue;
       }
@@ -185,6 +186,7 @@ class ConcurrentOctree {
       support::fault_point(support::FaultSite::octree_node_alloc);
       std::uint32_t expected = next;
       if (!exec::compare_exchange_acquire(child_[index], expected, kLocked)) {
+        exec::fetch_add_relaxed(lock_retries_, std::uint64_t{1});
         backoff.pause();
         continue;
       }
@@ -337,15 +339,21 @@ class ConcurrentOctree {
     }
   };
 
-  /// acceleration_on with work counters (identical traversal).
-  vec_t acceleration_on_counted(const vec_t& xi, std::uint32_t self,
-                                const std::vector<T>& m, const std::vector<vec_t>& x,
-                                T theta2, T G, T eps2, TraversalStats& stats) const {
+  /// acceleration_on with work counters. The FP statements mirror
+  /// acceleration_on token for token — keep them in sync, the metered and
+  /// unmetered forces must agree exactly (tested in test_obs). The plain
+  /// traversal stays a separate function on purpose: its codegen is the
+  /// hottest loop in the library, and carrying the counter increments there
+  /// (even dead ones) measurably slows it.
+  vec_t acceleration_on_counted(const vec_t& xi, std::uint32_t self, const std::vector<T>& m,
+                                const std::vector<vec_t>& x, T theta2, T G, T eps2,
+                                TraversalStats& stats, bool quadrupole = false) const {
     vec_t acc = vec_t::zero();
     const std::uint32_t root_val = child_[0];
-    if (!is_internal(root_val)) {
-      stats.nodes_visited += 1;
-      for (std::uint32_t b : chain(root_val)) {
+    if (!is_internal(root_val)) {  // 0 or 1-leaf tree
+      ++stats.nodes_visited;
+      for (std::uint32_t b = is_body(root_val) ? body_of(root_val) : kChainEnd;
+           b != kChainEnd; b = next_in_leaf_[b]) {
         if (b == self) continue;
         acc += math::gravity_accel(xi, x[b], m[b], G, eps2);
         ++stats.exact_pairs;
@@ -363,6 +371,8 @@ class ConcurrentOctree {
         const T d2 = norm2(d);
         if (width * width < theta2 * d2) {
           acc += math::gravity_accel(xi, node_com_[node], node_mass_[node], G, eps2);
+          if (quadrupole)
+            acc += math::quadrupole_accel(xi, node_com_[node], node_quad_[node], G, eps2);
           ++stats.accepts;
         } else {
           node = v;
@@ -546,6 +556,11 @@ class ConcurrentOctree {
 
   [[nodiscard]] std::uint32_t node_count() const { return allocated_; }
   [[nodiscard]] std::uint32_t capacity() const { return capacity_; }
+  /// Subdivision-lock contention events observed by the most recent build
+  /// (spins on a Locked slot + failed lock CASes). Reset per build attempt.
+  [[nodiscard]] std::uint64_t lock_retries() const {
+    return exec::load_relaxed(const_cast<std::uint64_t&>(lock_retries_));
+  }
   [[nodiscard]] const box_t& root_box() const { return root_box_; }
   [[nodiscard]] std::uint32_t slot(std::uint32_t node) const { return child_[node]; }
   [[nodiscard]] std::uint32_t parent_of_group(std::uint32_t group) const {
@@ -589,6 +604,7 @@ class ConcurrentOctree {
     next_in_leaf_.resize(n_bodies);
     allocated_ = 1;  // node 0 is the root
     overflow_ = 0;
+    lock_retries_ = 0;
   }
 
   void interact_leaf(std::uint32_t v, const vec_t& xi, std::uint32_t self,
@@ -614,6 +630,7 @@ class ConcurrentOctree {
   std::uint32_t capacity_ = 0;
   std::uint32_t allocated_ = 1;  // bump pointer (atomic access)
   std::uint8_t overflow_ = 0;    // sticky abort flag (atomic access)
+  std::uint64_t lock_retries_ = 0;  // build-lock contention events (atomic access)
 };
 
 }  // namespace nbody::octree

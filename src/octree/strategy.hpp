@@ -13,6 +13,7 @@
 #pragma once
 
 #include "core/bbox.hpp"
+#include "core/step_context.hpp"
 #include "core/system.hpp"
 #include "octree/concurrent_octree.hpp"
 #include "sfc/reorder.hpp"
@@ -42,44 +43,46 @@ class OctreeStrategy {
 
   OctreeStrategy() = default;
   explicit OctreeStrategy(typename ConcurrentOctree<T, D>::Params params)
-      : OctreeStrategy(Options{params, 1}) {}
+      : OctreeStrategy(Options{params, 1, false}) {}
   explicit OctreeStrategy(Options opts) : opts_(opts), tree_(opts.tree) {
     NBODY_REQUIRE(opts.reuse_interval >= 1, "OctreeStrategy: reuse_interval must be >= 1");
   }
 
   template <exec::StarvationFreeCapable Policy>
-  void accelerations(Policy policy, core::System<T, D>& sys, const core::SimConfig<T>& cfg,
-                     support::PhaseTimer* timer = nullptr) {
+  void accelerations(Policy policy, core::StepContext<T, D>& ctx) {
+    core::System<T, D>& sys = ctx.sys;
+    const core::SimConfig<T>& cfg = ctx.cfg;
     const bool rebuild = steps_since_build_ % opts_.reuse_interval == 0;
     if (rebuild) {
       {
-        auto scope = support::PhaseTimer::maybe(timer, "bbox");
+        auto scope = ctx.phase("bbox");
         root_box_ = core::compute_root_cube(policy, sys.x);
       }
       if (opts_.presort) {
-        auto scope = support::PhaseTimer::maybe(timer, "sort");
+        auto scope = ctx.phase("sort");
         sfc::reorder_system(policy, sys, root_box_);
       }
-      auto scope = support::PhaseTimer::maybe(timer, "build");
-      tree_.build(policy, sys.x, root_box_);
+      {
+        auto scope = ctx.phase("build");
+        tree_.build(policy, sys.x, root_box_);
+      }
       steps_since_build_ = 0;
+      if (ctx.metrics_enabled()) record_build_metrics(*ctx.metrics);
     }
     ++steps_since_build_;
     {
-      auto scope = support::PhaseTimer::maybe(timer, "multipole");
+      auto scope = ctx.phase("multipole");
       tree_.compute_multipoles(policy, sys.m, sys.x);
       if (cfg.quadrupole) tree_.compute_quadrupoles(policy, sys.m, sys.x);
     }
     {
-      auto scope = support::PhaseTimer::maybe(timer, "force");
+      auto scope = ctx.phase("force");
       // The force DFS is synchronization-free: under a parallel caller it
       // runs with par_unseq, exactly as the paper's implementation does.
       if constexpr (Policy::is_parallel) {
-        tree_.accelerations(exec::par_unseq, sys.m, sys.x, sys.a, cfg.theta, cfg.G,
-                            cfg.eps2(), cfg.quadrupole);
+        compute_forces(exec::par_unseq, ctx);
       } else {
-        tree_.accelerations(exec::seq, sys.m, sys.x, sys.a, cfg.theta, cfg.G, cfg.eps2(),
-                            cfg.quadrupole);
+        compute_forces(exec::seq, ctx);
       }
     }
   }
@@ -97,6 +100,59 @@ class OctreeStrategy {
   void invalidate() { steps_since_build_ = 0; }
 
  private:
+  template <class ForcePolicy>
+  void compute_forces(ForcePolicy fp, core::StepContext<T, D>& ctx) {
+    core::System<T, D>& sys = ctx.sys;
+    const core::SimConfig<T>& cfg = ctx.cfg;
+    if (!ctx.metrics_enabled()) {
+      tree_.accelerations(fp, sys.m, sys.x, sys.a, cfg.theta, cfg.G, cfg.eps2(),
+                          cfg.quadrupole);
+      return;
+    }
+    // Counted traversal: identical forces, plus the interaction counters the
+    // paper's work-vs-theta discussion is about. Counter handles resolve
+    // once; per-body flushes are relaxed adds (par_unseq-safe).
+    auto& m2p = ctx.metrics->counter("octree.traversal.m2p");
+    auto& p2p = ctx.metrics->counter("octree.traversal.p2p");
+    auto& opens = ctx.metrics->counter("octree.traversal.opens");
+    auto& visited = ctx.metrics->counter("octree.traversal.nodes_visited");
+    const T theta2 = cfg.theta * cfg.theta;
+    const T G = cfg.G;
+    const T eps2 = cfg.eps2();
+    const bool quad = cfg.quadrupole;
+    exec::for_each_index(fp, sys.x.size(), [&, theta2, G, eps2, quad](std::size_t i) {
+      typename ConcurrentOctree<T, D>::TraversalStats st;
+      sys.a[i] = tree_.acceleration_on_counted(sys.x[i], static_cast<std::uint32_t>(i),
+                                               sys.m, sys.x, theta2, G, eps2, st, quad);
+      m2p.add(st.accepts);
+      p2p.add(st.exact_pairs);
+      opens.add(st.opens);
+      visited.add(st.nodes_visited);
+    });
+  }
+
+  void record_build_metrics(obs::MetricsRegistry& reg) const {
+    const auto st = tree_.stats();
+    reg.counter("octree.builds").add();
+    reg.counter("octree.lock_retries").add(tree_.lock_retries());
+    reg.set_gauge("octree.nodes", static_cast<double>(st.nodes));
+    reg.set_gauge("octree.internal_nodes", static_cast<double>(st.internal_nodes));
+    reg.set_gauge("octree.body_leaves", static_cast<double>(st.body_leaves));
+    reg.set_gauge("octree.empty_leaves", static_cast<double>(st.empty_leaves));
+    reg.set_gauge("octree.max_depth", static_cast<double>(st.max_depth));
+    reg.set_gauge("octree.capacity", static_cast<double>(tree_.capacity()));
+    reg.set_gauge("octree.memory_bytes", static_cast<double>(st.memory_bytes));
+    // Leaf occupancy: bodies per occupied leaf (max-depth chains make >1
+    // possible even with one-body subdivision).
+    auto& occ = reg.histogram("octree.leaf_occupancy", {1, 2, 4, 8, 16, 32});
+    const std::uint32_t nodes = tree_.node_count();
+    for (std::uint32_t nd = 0; nd < nodes; ++nd) {
+      const std::uint32_t v = tree_.slot(nd);
+      if (!ConcurrentOctree<T, D>::is_body(v)) continue;
+      occ.observe(static_cast<double>(tree_.chain(v).size()));
+    }
+  }
+
   Options opts_{};
   ConcurrentOctree<T, D> tree_;
   typename ConcurrentOctree<T, D>::box_t root_box_{};

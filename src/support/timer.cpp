@@ -15,6 +15,18 @@ double PhaseTimer::total() const {
   return std::accumulate(totals_.begin(), totals_.end(), 0.0);
 }
 
+void PhaseTimer::reattribute_since(const std::vector<double>& snap, std::string_view to) {
+  double moved = 0.0;
+  for (std::size_t i = 0; i < totals_.size(); ++i) {
+    const double base = i < snap.size() ? snap[i] : 0.0;
+    const double delta = totals_[i] - base;
+    if (delta <= 0.0) continue;
+    totals_[i] = base;
+    moved += delta;
+  }
+  if (moved > 0.0) add(to, moved);
+}
+
 void PhaseTimer::clear() {
   names_.clear();
   totals_.clear();

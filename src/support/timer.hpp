@@ -80,6 +80,17 @@ class PhaseTimer {
   /// Phase names in first-use order.
   [[nodiscard]] const std::vector<std::string>& names() const { return names_; }
 
+  /// Copy of the per-phase totals, index-aligned with names() at the time of
+  /// the call. Pair with reattribute_since() to undo speculative work.
+  [[nodiscard]] std::vector<double> snapshot() const { return totals_; }
+
+  /// Moves everything accumulated since `snap` (taken via snapshot()) into
+  /// phase `to`: each phase's positive delta is subtracted back out and the
+  /// sum is added to `to`. Used by run_guarded to re-label the time of a
+  /// failed-and-retried step as "(discarded)" instead of double-counting it
+  /// under the real phase names.
+  void reattribute_since(const std::vector<double>& snap, std::string_view to);
+
   void clear();
 
  private:

@@ -56,7 +56,7 @@ TEST(AllPairs, MatchesReferenceExactly) {
   auto ref = sys;
   nbody::core::reference_accelerations(ref, cfg);
   nbody::allpairs::AllPairs<double, 3> strat;
-  strat.accelerations(par_unseq, sys, cfg);
+  nbody::core::accelerate(strat, par_unseq, sys, cfg);
   for (std::size_t i = 0; i < sys.size(); ++i)
     for (int d = 0; d < 3; ++d) EXPECT_DOUBLE_EQ(sys.a[i][d], ref.a[i][d]) << i;
 }
@@ -66,8 +66,8 @@ TEST(AllPairs, SeqMatchesPar) {
   auto s2 = s1;
   nbody::core::SimConfig<double> cfg;
   nbody::allpairs::AllPairs<double, 3> strat;
-  strat.accelerations(seq, s1, cfg);
-  strat.accelerations(par_unseq, s2, cfg);
+  nbody::core::accelerate(strat, seq, s1, cfg);
+  nbody::core::accelerate(strat, par_unseq, s2, cfg);
   for (std::size_t i = 0; i < s1.size(); ++i) EXPECT_EQ(s1.a[i], s2.a[i]);
 }
 
@@ -75,9 +75,9 @@ TEST(AllPairs, EmptyAndSingle) {
   nbody::core::System<double, 3> sys;
   nbody::core::SimConfig<double> cfg;
   nbody::allpairs::AllPairs<double, 3> strat;
-  strat.accelerations(par_unseq, sys, cfg);  // empty: no-op
+  nbody::core::accelerate(strat, par_unseq, sys, cfg);  // empty: no-op
   sys.add(1.0, {{0, 0, 0}}, vec3::zero());
-  strat.accelerations(par_unseq, sys, cfg);
+  nbody::core::accelerate(strat, par_unseq, sys, cfg);
   EXPECT_EQ(sys.a[0], vec3::zero());
 }
 
@@ -88,7 +88,7 @@ TEST(AllPairs, TwoDimensional) {
   nbody::core::SimConfig<double> cfg;
   cfg.softening = 0.0;
   nbody::allpairs::AllPairs<double, 2> strat;
-  strat.accelerations(par_unseq, sys, cfg);
+  nbody::core::accelerate(strat, par_unseq, sys, cfg);
   EXPECT_NEAR(sys.a[0][0], 1.0, 1e-12);
   EXPECT_NEAR(sys.a[1][0], -0.25, 1e-12);
 }
@@ -101,8 +101,8 @@ TEST(AllPairsCol, MatchesAllPairsWithinRounding) {
   nbody::core::SimConfig<double> cfg;
   nbody::allpairs::AllPairs<double, 3> a;
   nbody::allpairs::AllPairsCol<double, 3> b;
-  a.accelerations(par_unseq, sys_a, cfg);
-  b.accelerations(par, sys_b, cfg);
+  nbody::core::accelerate(a, par_unseq, sys_a, cfg);
+  nbody::core::accelerate(b, par, sys_b, cfg);
   for (std::size_t i = 0; i < sys_a.size(); ++i) {
     for (int d = 0; d < 3; ++d)
       EXPECT_NEAR(sys_a.a[i][d], sys_b.a[i][d],
@@ -119,7 +119,7 @@ TEST(AllPairsCol, HandlesMasslessBodies) {
   nbody::core::SimConfig<double> cfg;
   cfg.softening = 0.0;
   nbody::allpairs::AllPairsCol<double, 3> strat;
-  strat.accelerations(par, sys, cfg);
+  nbody::core::accelerate(strat, par, sys, cfg);
   EXPECT_NEAR(sys.a[1][0], -5.0, 1e-12);  // tracer attracted
   EXPECT_NEAR(sys.a[0][0], 0.0, 1e-12);   // nothing back
 }
@@ -129,7 +129,7 @@ TEST(AllPairsCol, MomentumNeutralAccumulation) {
   auto sys = nbody::workloads::plummer_sphere(400, 4);
   nbody::core::SimConfig<double> cfg;
   nbody::allpairs::AllPairsCol<double, 3> strat;
-  strat.accelerations(par, sys, cfg);
+  nbody::core::accelerate(strat, par, sys, cfg);
   vec3 net = vec3::zero();
   for (std::size_t i = 0; i < sys.size(); ++i) net += sys.a[i] * sys.m[i];
   EXPECT_LT(norm(net), 1e-9);
@@ -139,7 +139,7 @@ TEST(AllPairsCol, SeqPolicyWorks) {
   auto sys = nbody::workloads::plummer_sphere(100, 5);
   nbody::core::SimConfig<double> cfg;
   nbody::allpairs::AllPairsCol<double, 3> strat;
-  strat.accelerations(seq, sys, cfg);
+  nbody::core::accelerate(strat, seq, sys, cfg);
   auto ref = sys;
   nbody::core::reference_accelerations(ref, cfg);
   for (std::size_t i = 0; i < sys.size(); ++i)
@@ -150,7 +150,7 @@ template <class P>
 constexpr bool col_accepts = requires(nbody::allpairs::AllPairsCol<double, 3> c,
                                       nbody::core::System<double, 3> s,
                                       nbody::core::SimConfig<double> cfg) {
-  c.accelerations(P{}, s, cfg);
+  nbody::core::accelerate(c, P{}, s, cfg);
 };
 
 TEST(AllPairsCol, RejectsParUnseqAtCompileTime) {
@@ -168,7 +168,7 @@ TEST(AllPairsCol, ClearsStaleAccelerations) {
   for (auto& a : sys.a) a = {{1e9, 1e9, 1e9}};  // garbage from a prior step
   nbody::core::SimConfig<double> cfg;
   nbody::allpairs::AllPairsCol<double, 3> strat;
-  strat.accelerations(par, sys, cfg);
+  nbody::core::accelerate(strat, par, sys, cfg);
   auto ref = sys;
   nbody::core::reference_accelerations(ref, cfg);
   for (std::size_t i = 0; i < sys.size(); ++i)
@@ -185,8 +185,8 @@ TEST(AllPairsTiled, MatchesAllPairsExactly) {
   nbody::core::SimConfig<double> cfg;
   nbody::allpairs::AllPairs<double, 3> plain;
   nbody::allpairs::AllPairsTiled<double, 3> tiled(64);
-  plain.accelerations(par_unseq, sys_a, cfg);
-  tiled.accelerations(par_unseq, sys_b, cfg);
+  nbody::core::accelerate(plain, par_unseq, sys_a, cfg);
+  nbody::core::accelerate(tiled, par_unseq, sys_b, cfg);
   for (std::size_t i = 0; i < sys_a.size(); ++i) EXPECT_EQ(sys_a.a[i], sys_b.a[i]) << i;
 }
 
@@ -195,11 +195,11 @@ TEST(AllPairsTiled, TileSizesAllAgree) {
   nbody::core::SimConfig<double> cfg;
   nbody::allpairs::AllPairs<double, 3> plain;
   auto want = base;
-  plain.accelerations(par_unseq, want, cfg);
+  nbody::core::accelerate(plain, par_unseq, want, cfg);
   for (std::size_t tile : {1u, 7u, 64u, 1024u}) {
     auto sys = base;
     nbody::allpairs::AllPairsTiled<double, 3> tiled(tile);
-    tiled.accelerations(par_unseq, sys, cfg);
+    nbody::core::accelerate(tiled, par_unseq, sys, cfg);
     for (std::size_t i = 0; i < sys.size(); ++i) EXPECT_EQ(sys.a[i], want.a[i]) << tile;
   }
 }

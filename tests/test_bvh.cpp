@@ -233,7 +233,7 @@ TEST(BvhTraversal, ThetaZeroIsExact) {
   auto ref = sys;
   nbody::core::reference_accelerations(ref, cfg);
   nbody::bvh::BVHStrategy<double, 3> strat;
-  strat.accelerations(par_unseq, sys, cfg);
+  nbody::core::accelerate(strat, par_unseq, sys, cfg);
   // Bodies were reordered: compare by id.
   const auto got = nbody::core::positions_by_id(sys);  // sanity for indexing
   for (std::size_t i = 0; i < sys.size(); ++i) {
@@ -249,7 +249,7 @@ TEST(BvhForce, ModerateThetaWithinBarnesHutError) {
   auto ref = sys;
   nbody::core::reference_accelerations(ref, cfg);
   nbody::bvh::BVHStrategy<double, 3> strat;
-  strat.accelerations(par_unseq, sys, cfg);
+  nbody::core::accelerate(strat, par_unseq, sys, cfg);
   // Map accelerations back to original order via ids.
   std::vector<vec3> got(sys.size());
   for (std::size_t i = 0; i < sys.size(); ++i) got[sys.id[i]] = sys.a[i];
@@ -263,7 +263,7 @@ TEST(BvhForce, TwoBodyForceIsNewtonian) {
   nbody::core::SimConfig<double> cfg;
   cfg.softening = 0.0;
   nbody::bvh::BVHStrategy<double, 3> strat;
-  strat.accelerations(par_unseq, sys, cfg);
+  nbody::core::accelerate(strat, par_unseq, sys, cfg);
   // Order may have changed; check by id.
   for (std::size_t i = 0; i < 2; ++i) {
     if (sys.id[i] == 0) {
@@ -279,8 +279,8 @@ TEST(BvhForce, SeqDeterministic) {
   auto sys2 = sys1;
   nbody::core::SimConfig<double> cfg;
   nbody::bvh::BVHStrategy<double, 3> s1, s2;
-  s1.accelerations(seq, sys1, cfg);
-  s2.accelerations(seq, sys2, cfg);
+  nbody::core::accelerate(s1, seq, sys1, cfg);
+  nbody::core::accelerate(s2, seq, sys2, cfg);
   for (std::size_t i = 0; i < sys1.size(); ++i) EXPECT_EQ(sys1.a[i], sys2.a[i]);
 }
 
@@ -294,7 +294,7 @@ TEST(BvhForce, TwoDimensionalQuadPath) {
   auto ref = sys;
   nbody::core::reference_accelerations(ref, cfg);
   nbody::bvh::BVHStrategy<double, 2> strat;
-  strat.accelerations(par_unseq, sys, cfg);
+  nbody::core::accelerate(strat, par_unseq, sys, cfg);
   std::vector<nbody::math::vec2d> got(sys.size());
   for (std::size_t i = 0; i < sys.size(); ++i) got[sys.id[i]] = sys.a[i];
   // BVH boxes are elongated and overlap, so a given theta admits more error
@@ -319,7 +319,7 @@ TEST(BvhForce, IsolatedLastBodyHasNoGhostSelfForce) {
   auto ref = sys;
   nbody::core::reference_accelerations(ref, cfg);
   nbody::bvh::BVHStrategy<double, 3> strat;
-  strat.accelerations(par_unseq, sys, cfg);
+  nbody::core::accelerate(strat, par_unseq, sys, cfg);
   for (std::size_t i = 0; i < sys.size(); ++i) {
     const auto want = ref.a[sys.id[i]];
     for (int d = 0; d < 3; ++d)
@@ -339,7 +339,7 @@ TEST_P(BvhLeafSize, ThetaZeroExactForEveryBucketSize) {
   typename BVH3::Options opts;
   opts.leaf_size = leaf;
   nbody::bvh::BVHStrategy<double, 3> strat(opts);
-  strat.accelerations(par_unseq, sys, cfg);
+  nbody::core::accelerate(strat, par_unseq, sys, cfg);
   for (std::size_t i = 0; i < sys.size(); ++i) {
     const auto want = ref.a[sys.id[i]];
     for (int d = 0; d < 3; ++d) EXPECT_NEAR(sys.a[i][d], want[d], 1e-9) << i;
@@ -376,7 +376,7 @@ TEST(BvhCurve, MortonOrderAlsoSortsAndComputesCorrectForces) {
   typename BVH3::Options opts;
   opts.curve = nbody::bvh::CurveKind::morton;
   nbody::bvh::BVHStrategy<double, 3> strat(opts);
-  strat.accelerations(par_unseq, sys, cfg);
+  nbody::core::accelerate(strat, par_unseq, sys, cfg);
   std::vector<vec3> got(sys.size());
   for (std::size_t i = 0; i < sys.size(); ++i) got[sys.id[i]] = sys.a[i];
   EXPECT_LT(nbody::core::rms_relative_error(got, ref.a), 3e-2);
@@ -468,7 +468,7 @@ TEST(BvhMac, BmaxThetaZeroStillExact) {
   typename BVH3::Options opts;
   opts.mac = nbody::bvh::MacKind::bmax;
   nbody::bvh::BVHStrategy<double, 3> strat(opts);
-  strat.accelerations(par_unseq, sys, cfg);
+  nbody::core::accelerate(strat, par_unseq, sys, cfg);
   for (std::size_t i = 0; i < sys.size(); ++i) {
     const auto want = ref.a[sys.id[i]];
     for (int d = 0; d < 3; ++d) EXPECT_NEAR(sys.a[i][d], want[d], 1e-9);
@@ -482,7 +482,7 @@ TEST(BvhPolicy, EntirePipelineAcceptsParUnseq) {
   auto sys = random_system(2000, 16);
   nbody::core::SimConfig<double> cfg;
   nbody::bvh::BVHStrategy<double, 3> strat;
-  strat.accelerations(par_unseq, sys, cfg);
+  nbody::core::accelerate(strat, par_unseq, sys, cfg);
   EXPECT_EQ(nbody::exec::vectorization_unsafe_violations(), 0u);
 }
 

@@ -123,15 +123,15 @@ TEST(Integrator, LeapfrogConservesEnergyOverManyOrbits) {
       nbody::core::total_energy(seq, sys, cfg.G, 0.0).total();
   nbody::allpairs::AllPairs<double, 3> force;
   // Orbit period: T = 2 pi r / v = 2 pi / 0.5 * 1 ~ 12.57; run ~8 orbits.
-  force.accelerations(seq, sys, cfg);
+  nbody::core::accelerate(force, seq, sys, cfg);
   nbody::core::leapfrog_prime(seq, sys, cfg.dt);
   const int steps = 10'000;
   for (int s = 0; s < steps; ++s) {
-    force.accelerations(seq, sys, cfg);
+    nbody::core::accelerate(force, seq, sys, cfg);
     nbody::core::leapfrog_step(seq, sys, cfg.dt);
   }
   // Re-synchronize velocities for the energy measurement.
-  force.accelerations(seq, sys, cfg);
+  nbody::core::accelerate(force, seq, sys, cfg);
   nbody::core::leapfrog_synchronize(seq, sys, cfg.dt);
   const double e1 = nbody::core::total_energy(seq, sys, cfg.G, 0.0).total();
   EXPECT_NEAR(e1, e0, std::abs(e0) * 1e-3);  // symplectic: bounded drift
@@ -143,10 +143,10 @@ TEST(Integrator, LeapfrogPreservesCircularRadius) {
   cfg.dt = 1e-3;
   cfg.softening = 0.0;
   nbody::allpairs::AllPairs<double, 3> force;
-  force.accelerations(seq, sys, cfg);
+  nbody::core::accelerate(force, seq, sys, cfg);
   nbody::core::leapfrog_prime(seq, sys, cfg.dt);
   for (int s = 0; s < 5000; ++s) {
-    force.accelerations(seq, sys, cfg);
+    nbody::core::accelerate(force, seq, sys, cfg);
     nbody::core::leapfrog_step(seq, sys, cfg.dt);
   }
   EXPECT_NEAR(norm(sys.x[0]), 1.0, 1e-3);
@@ -161,18 +161,18 @@ TEST(Integrator, VelocityVerletMatchesLeapfrogPositions) {
   cfg.softening = 0.0;
   nbody::allpairs::AllPairs<double, 3> force;
 
-  force.accelerations(seq, lf, cfg);
+  nbody::core::accelerate(force, seq, lf, cfg);
   nbody::core::leapfrog_prime(seq, lf, cfg.dt);
   for (int s = 0; s < 1000; ++s) {
-    force.accelerations(seq, lf, cfg);
+    nbody::core::accelerate(force, seq, lf, cfg);
     nbody::core::leapfrog_step(seq, lf, cfg.dt);
   }
 
-  force.accelerations(seq, vv, cfg);
+  nbody::core::accelerate(force, seq, vv, cfg);
   for (int s = 0; s < 1000; ++s) {
     nbody::core::velocity_verlet_step(
         seq, vv, cfg.dt, [&](nbody::core::System<double, 3>& s2) {
-          force.accelerations(seq, s2, cfg);
+          nbody::core::accelerate(force, seq, s2, cfg);
         });
   }
   for (int i = 0; i < 2; ++i)
@@ -184,10 +184,10 @@ TEST(Integrator, MomentumExactlyConservedByPairSymmetricForces) {
   nbody::core::SimConfig<double> cfg;
   nbody::allpairs::AllPairsCol<double, 3> force;  // exact pairwise +/- adds
   const vec3 p0 = nbody::core::total_momentum(seq, sys);
-  force.accelerations(par, sys, cfg);
+  nbody::core::accelerate(force, par, sys, cfg);
   nbody::core::leapfrog_prime(seq, sys, cfg.dt);
   for (int s = 0; s < 50; ++s) {
-    force.accelerations(par, sys, cfg);
+    nbody::core::accelerate(force, par, sys, cfg);
     nbody::core::leapfrog_step(seq, sys, cfg.dt);
   }
   const vec3 p1 = nbody::core::total_momentum(seq, sys);
@@ -343,7 +343,7 @@ TEST(ReferenceBH, MatchesDirectSumAtSmallTheta) {
   auto ref = sys;
   nbody::core::reference_accelerations(ref, cfg);
   nbody::core::ReferenceBarnesHut<double, 3> bh;
-  bh.accelerations(seq, sys, cfg);
+  nbody::core::accelerate(bh, seq, sys, cfg);
   EXPECT_LT(nbody::core::rms_relative_error(sys.a, ref.a), 5e-3);
 }
 
@@ -352,7 +352,7 @@ TEST(ReferenceBH, HandlesCoincidentBodies) {
   for (int i = 0; i < 5; ++i) sys.add(1.0, {{0.5, 0.5, 0.5}}, vec3::zero());
   nbody::core::SimConfig<double> cfg;
   nbody::core::ReferenceBarnesHut<double, 3> bh;
-  bh.accelerations(seq, sys, cfg);  // must terminate (max depth)
+  nbody::core::accelerate(bh, seq, sys, cfg);  // must terminate (max depth)
   for (const auto& a : sys.a) EXPECT_EQ(a, vec3::zero());
 }
 

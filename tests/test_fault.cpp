@@ -321,7 +321,7 @@ TEST(Guards, BvhValidatorAcceptsHealthyTree) {
   auto sys = workloads::plummer_sphere(300, 13);
   bvh::BVHStrategy<double, 3> strat;
   core::SimConfig<double> cfg;
-  strat.accelerations(exec::par, sys, cfg);
+  nbody::core::accelerate(strat, exec::par, sys, cfg);
   const auto r = core::validate_bvh(strat.tree(), sys.x);
   EXPECT_TRUE(r.ok) << r.detail;
 }

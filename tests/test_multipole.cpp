@@ -147,7 +147,7 @@ double strategy_error(const nbody::core::System<double, 3>& initial,
                       nbody::core::SimConfig<double> cfg, Policy policy) {
   auto sys = initial;
   Strategy strat;
-  strat.accelerations(policy, sys, cfg);
+  nbody::core::accelerate(strat, policy, sys, cfg);
   std::vector<vec3> got(sys.size());
   for (std::size_t i = 0; i < sys.size(); ++i) got[sys.id[i]] = sys.a[i];
   auto exact = initial;
@@ -249,7 +249,7 @@ TEST(QuadrupoleEndToEnd, TwoDimensionalQuadrupolesWork) {
     auto c = cfg;
     c.quadrupole = quad;
     nbody::octree::OctreeStrategy<double, 2> strat;
-    strat.accelerations(par, s, c);
+    nbody::core::accelerate(strat, par, s, c);
     return nbody::core::rms_relative_error(s.a, exact.a);
   };
   EXPECT_LT(run2d(true), 0.7 * run2d(false));

@@ -1,0 +1,558 @@
+// Tests for the observability subsystem: MetricsRegistry semantics (under
+// parallel increments), TraceSession span/instant recording and Chrome
+// trace_event JSON well-formedness (parsed back by a real JSON parser),
+// StepContext wiring through every force strategy, the pool-metrics export,
+// and run_guarded's recovery events landing in the trace.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "allpairs/allpairs.hpp"
+#include "bvh/strategy.hpp"
+#include "core/reference.hpp"
+#include "core/simulation.hpp"
+#include "core/step_context.hpp"
+#include "exec/algorithms.hpp"
+#include "exec/thread_pool.hpp"
+#include "obs/obs.hpp"
+#include "octree/strategy.hpp"
+#include "support/fault.hpp"
+#include "workloads/workloads.hpp"
+
+namespace {
+
+using namespace nbody;
+
+// The multi-rank assertions below need real pool workers; the default pool
+// sizing follows the host's core count, which may be 1. Pin it before the
+// first thread_pool::global() call (static init runs before any TEST body).
+const bool g_threads_forced = [] {
+  ::setenv("NBODY_THREADS", "4", /*overwrite=*/1);
+  return true;
+}();
+
+// ------------------------------------------------------------ JSON parsing
+//
+// Minimal recursive-descent JSON acceptor: the "parse back" half of the
+// well-formedness tests. Throws std::runtime_error on any syntax error.
+
+class JsonAcceptor {
+ public:
+  explicit JsonAcceptor(const std::string& text) : s_(text) {}
+
+  void run() {
+    skip_ws();
+    value();
+    skip_ws();
+    if (pos_ != s_.size()) fail("trailing content");
+  }
+
+ private:
+  void value() {
+    if (pos_ >= s_.size()) fail("unexpected end");
+    const char c = s_[pos_];
+    if (c == '{') object();
+    else if (c == '[') array();
+    else if (c == '"') string();
+    else if (c == 't') literal("true");
+    else if (c == 'f') literal("false");
+    else if (c == 'n') literal("null");
+    else number();
+  }
+
+  void object() {
+    expect('{');
+    skip_ws();
+    if (peek() == '}') { ++pos_; return; }
+    for (;;) {
+      skip_ws();
+      string();
+      skip_ws();
+      expect(':');
+      skip_ws();
+      value();
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      expect('}');
+      return;
+    }
+  }
+
+  void array() {
+    expect('[');
+    skip_ws();
+    if (peek() == ']') { ++pos_; return; }
+    for (;;) {
+      skip_ws();
+      value();
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      expect(']');
+      return;
+    }
+  }
+
+  void string() {
+    expect('"');
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (static_cast<unsigned char>(s_[pos_]) < 0x20) fail("raw control char in string");
+      if (s_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) fail("dangling escape");
+        const char e = s_[pos_];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= s_.size() || !std::isxdigit(static_cast<unsigned char>(s_[pos_])))
+              fail("bad \\u escape");
+          }
+        } else if (std::string("\"\\/bfnrt").find(e) == std::string::npos) {
+          fail("bad escape");
+        }
+      }
+      ++pos_;
+    }
+    expect('"');
+  }
+
+  void number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() && (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+                                s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+                                s_[pos_] == '+' || s_[pos_] == '-'))
+      ++pos_;
+    if (pos_ == start) fail("expected a value");
+  }
+
+  void literal(const char* lit) {
+    for (const char* p = lit; *p != '\0'; ++p) {
+      if (pos_ >= s_.size() || s_[pos_] != *p) fail("bad literal");
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+
+  void expect(char c) {
+    if (pos_ >= s_.size() || s_[pos_] != c)
+      fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\n' || s_[pos_] == '\t' ||
+                                s_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::runtime_error("JSON error at byte " + std::to_string(pos_) + ": " + why);
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+void expect_parses(const std::string& json) {
+  ASSERT_NO_THROW(JsonAcceptor(json).run()) << json;
+}
+
+core::SimConfig<double> test_config() {
+  core::SimConfig<double> cfg;
+  cfg.theta = 0.6;
+  cfg.dt = 1e-3;
+  cfg.softening = 0.05;
+  return cfg;
+}
+
+// ----------------------------------------------------------------- registry
+
+TEST(MetricsRegistry, CounterExactUnderPar) {
+  obs::MetricsRegistry reg;
+  auto& c = reg.counter("test.hits");
+  constexpr std::size_t kN = 100'000;
+  exec::for_each_index(exec::par, kN, [&](std::size_t) { c.add(); });
+  EXPECT_EQ(c.value(), kN);
+  EXPECT_EQ(reg.counter_value("test.hits"), kN);
+  EXPECT_EQ(reg.counter_value("test.never"), 0u);
+}
+
+TEST(MetricsRegistry, CounterHandleIsStableAcrossGrowth) {
+  obs::MetricsRegistry reg;
+  auto& first = reg.counter("stable");
+  for (int i = 0; i < 100; ++i) reg.counter("filler." + std::to_string(i));
+  first.add(7);
+  EXPECT_EQ(reg.counter_value("stable"), 7u);
+  EXPECT_EQ(&first, &reg.counter("stable"));
+}
+
+TEST(MetricsRegistry, GaugeLastWriteWins) {
+  obs::MetricsRegistry reg;
+  reg.set_gauge("depth", 3.0);
+  reg.set_gauge("depth", 9.0);
+  EXPECT_DOUBLE_EQ(reg.gauge_value("depth"), 9.0);
+  EXPECT_DOUBLE_EQ(reg.gauge_value("missing"), 0.0);
+}
+
+TEST(MetricsRegistry, HistogramBucketsCountAndSum) {
+  obs::MetricsRegistry reg;
+  auto& h = reg.histogram("occ", {1, 2, 4});
+  for (const double v : {0.5, 1.0, 2.0, 3.0, 4.0, 100.0}) h.observe(v);
+  // Inclusive upper bounds: <=1 gets 0.5 and 1.0; <=2 gets 2.0; <=4 gets
+  // 3.0 and 4.0; +inf gets 100.
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(2), 2u);
+  EXPECT_EQ(h.bucket_count(3), 1u);
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_DOUBLE_EQ(h.sum(), 110.5);
+}
+
+TEST(MetricsRegistry, HistogramSumExactUnderPar) {
+  obs::MetricsRegistry reg;
+  auto& h = reg.histogram("par", {10});
+  constexpr std::size_t kN = 20'000;
+  exec::for_each_index(exec::par, kN, [&](std::size_t) { h.observe(1.0); });
+  EXPECT_EQ(h.count(), kN);
+  EXPECT_DOUBLE_EQ(h.sum(), static_cast<double>(kN));
+}
+
+TEST(MetricsRegistry, HistogramBoundsFixedByFirstCaller) {
+  obs::MetricsRegistry reg;
+  auto& h = reg.histogram("h", {1, 2});
+  auto& again = reg.histogram("h", {99});
+  EXPECT_EQ(&h, &again);
+  EXPECT_EQ(again.bounds().size(), 2u);
+}
+
+TEST(MetricsRegistry, JsonExportParsesAndCarriesEverything) {
+  obs::MetricsRegistry reg;
+  reg.counter("a.count").add(42);
+  reg.set_gauge("b.gauge", 2.5);
+  reg.histogram("c.hist", {1, 8}).observe(3.0);
+  reg.set_gauge("weird\"name\n", 1.0);  // escaping must survive a parse
+  const std::string json = reg.to_json();
+  expect_parses(json);
+  EXPECT_NE(json.find("\"nbody.metrics.v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"a.count\": 42"), std::string::npos);
+  EXPECT_NE(json.find("\"b.gauge\": 2.5"), std::string::npos);
+  EXPECT_NE(json.find("\"+inf\""), std::string::npos);
+}
+
+// -------------------------------------------------------------------- trace
+
+TEST(TraceSession, SpansAndInstantsRecordAndExport) {
+  obs::TraceSession tr;
+  {
+    auto s = tr.span("outer");
+    auto s2 = tr.span("inner");
+  }
+  tr.instant("decision", "reason -> \"action\"\nwith newline");
+  EXPECT_EQ(tr.event_count(), 3u);
+  EXPECT_EQ(tr.span_rank_count(), 1u);  // all on the calling thread (rank 0)
+  const std::string json = tr.to_json();
+  expect_parses(json);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"detail\""), std::string::npos);
+}
+
+TEST(TraceSession, MaybeNullIsNoop) {
+  auto none = obs::TraceSession::maybe(nullptr, "x");
+  EXPECT_FALSE(none.has_value());
+}
+
+TEST(TraceSession, ScopePublishesRegionLabel) {
+  obs::TraceSession tr;
+  const char* before = obs::region_label();
+  {
+    auto s = tr.span("force");
+    EXPECT_STREQ(obs::region_label(), "force");
+    {
+      auto s2 = tr.span("build");
+      EXPECT_STREQ(obs::region_label(), "build");
+    }
+    EXPECT_STREQ(obs::region_label(), "force");
+  }
+  EXPECT_STREQ(obs::region_label(), before);
+}
+
+TEST(TraceSession, ParallelRegionsRecordSpansFromMultipleRanks) {
+  ASSERT_GE(exec::thread_pool::global().concurrency(), 2u) << "NBODY_THREADS not applied";
+  obs::TraceSession tr;
+  obs::install_global(nullptr, &tr);
+  {
+    auto phase = tr.span("force");
+    exec::for_each_index(exec::par, 100'000, [](std::size_t i) {
+      volatile double x = static_cast<double>(i);
+      (void)x;
+    });
+  }
+  obs::install_global(nullptr, nullptr);
+  EXPECT_GE(tr.span_rank_count(), 2u);
+  const std::string json = tr.to_json();
+  expect_parses(json);
+  // Per-rank scheduler spans inherit the enclosing phase name.
+  EXPECT_NE(json.find("\"name\": \"force\""), std::string::npos);
+}
+
+// ----------------------------------------------------- ambient runtime slots
+
+TEST(ObsRuntime, InstallGlobalRoundTrip) {
+  obs::MetricsRegistry reg;
+  obs::TraceSession tr;
+  obs::install_global(&reg, &tr);
+  EXPECT_EQ(obs::global_metrics(), &reg);
+  EXPECT_EQ(obs::global_trace(), &tr);
+  obs::install_global(nullptr, nullptr);
+  EXPECT_EQ(obs::global_metrics(), nullptr);
+  EXPECT_EQ(obs::global_trace(), nullptr);
+}
+
+// ------------------------------------------------------------- pool metrics
+
+TEST(PoolMetrics, ExportReportsUtilizationAndPerWorkerCounts) {
+  auto& pool = exec::thread_pool::global();
+  exec::for_each_index(exec::par, 100'000, [](std::size_t i) {
+    volatile double x = static_cast<double>(i) * 1.5;
+    (void)x;
+  });
+  obs::MetricsRegistry reg;
+  exec::export_pool_metrics(pool, reg);
+  EXPECT_DOUBLE_EQ(reg.gauge_value("pool.concurrency"),
+                   static_cast<double>(pool.concurrency()));
+  EXPECT_GT(reg.gauge_value("pool.regions"), 0.0);
+  EXPECT_GT(reg.gauge_value("pool.tasks"), 0.0);
+  EXPECT_GT(reg.gauge_value("pool.chunks"), 0.0);
+  const double util = reg.gauge_value("pool.utilization");
+  EXPECT_GE(util, 0.0);
+  EXPECT_LE(util, 1.0);
+  EXPECT_GE(reg.gauge_value("pool.worker.0.tasks"), 1.0);
+  expect_parses(reg.to_json());
+}
+
+// ------------------------------------------------- StepContext + strategies
+
+TEST(StepContext, PhaseFeedsTimerAndTrace) {
+  auto sys = workloads::plummer_sphere(64, 7);
+  const auto cfg = test_config();
+  support::PhaseTimer timer;
+  obs::TraceSession tr;
+  core::StepContext<double, 3> ctx{sys, cfg, &timer, nullptr, &tr};
+  {
+    auto p = ctx.phase("demo");
+    volatile double sink = 0;
+    for (int i = 0; i < 1000; ++i) sink = sink + static_cast<double>(i);
+  }
+  EXPECT_GT(timer.seconds("demo"), 0.0);
+  EXPECT_EQ(tr.event_count(), 1u);
+  EXPECT_FALSE(ctx.metrics_enabled());
+}
+
+TEST(StepContext, OctreeStrategyPopulatesMetricsWithoutChangingForces) {
+  const auto initial = workloads::plummer_sphere(300, 11);
+  const auto cfg = test_config();
+
+  // seq on both sides: the parallel multipole reduction sums in scheduling
+  // order, so two par runs differ in the last ulp even with metrics off.
+  // The claim under test — counting never perturbs the forces — is exact
+  // only on the deterministic path.
+  auto plain = initial;
+  octree::OctreeStrategy<double, 3> s1;
+  core::accelerate(s1, exec::seq, plain, cfg);
+
+  auto counted = initial;
+  octree::OctreeStrategy<double, 3> s2;
+  obs::MetricsRegistry reg;
+  obs::TraceSession tr;
+  support::PhaseTimer timer;
+  core::accelerate(s2, exec::seq, counted, cfg, &timer, &reg, &tr);
+
+  for (std::size_t i = 0; i < plain.size(); ++i)
+    for (std::size_t d = 0; d < 3; ++d)
+      EXPECT_DOUBLE_EQ(plain.a[i][d], counted.a[i][d]) << "body " << i;
+
+  EXPECT_EQ(reg.counter_value("octree.builds"), 1u);
+  EXPECT_GT(reg.gauge_value("octree.nodes"), 0.0);
+  EXPECT_GT(reg.gauge_value("octree.max_depth"), 0.0);
+  EXPECT_GT(reg.gauge_value("octree.memory_bytes"), 0.0);
+  EXPECT_GT(reg.counter_value("octree.traversal.p2p"), 0u);
+  EXPECT_GT(reg.counter_value("octree.traversal.m2p"), 0u);
+  EXPECT_GT(reg.counter_value("octree.traversal.nodes_visited"), 0u);
+  EXPECT_GT(tr.event_count(), 0u);
+  EXPECT_GT(timer.seconds("force"), 0.0);
+}
+
+TEST(StepContext, OctreeQuadrupoleForcesMatchWithMetricsOn) {
+  const auto initial = workloads::plummer_sphere(200, 3);
+  auto cfg = test_config();
+  cfg.quadrupole = true;
+
+  // seq for bit-exact comparison (see note in the test above).
+  auto plain = initial;
+  octree::OctreeStrategy<double, 3> s1;
+  core::accelerate(s1, exec::seq, plain, cfg);
+
+  auto counted = initial;
+  octree::OctreeStrategy<double, 3> s2;
+  obs::MetricsRegistry reg;
+  core::accelerate(s2, exec::seq, counted, cfg, nullptr, &reg, nullptr);
+
+  for (std::size_t i = 0; i < plain.size(); ++i)
+    for (std::size_t d = 0; d < 3; ++d)
+      EXPECT_DOUBLE_EQ(plain.a[i][d], counted.a[i][d]) << "body " << i;
+}
+
+TEST(StepContext, OctreeLeafOccupancyHistogramCoversAllBodies) {
+  auto sys = workloads::plummer_sphere(256, 5);
+  const auto cfg = test_config();
+  octree::OctreeStrategy<double, 3> strat;
+  obs::MetricsRegistry reg;
+  core::accelerate(strat, exec::par, sys, cfg, nullptr, &reg, nullptr);
+  // Every body sits in exactly one leaf chain, so the histogram's sum (total
+  // bodies over occupied leaves) equals N.
+  const auto& h = reg.histogram("octree.leaf_occupancy", {});
+  EXPECT_GT(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 256.0);
+}
+
+TEST(StepContext, BvhStrategyPopulatesMetricsWithoutChangingForces) {
+  const auto initial = workloads::plummer_sphere(300, 13);
+  auto cfg = test_config();
+  cfg.quadrupole = true;  // exercises the counted quadrupole traversal
+
+  auto plain = initial;
+  bvh::BVHStrategy<double, 3> s1;
+  core::accelerate(s1, exec::par_unseq, plain, cfg);
+
+  auto counted = initial;
+  bvh::BVHStrategy<double, 3> s2;
+  obs::MetricsRegistry reg;
+  core::accelerate(s2, exec::par_unseq, counted, cfg, nullptr, &reg, nullptr);
+
+  // Both runs Hilbert-reorder identically; compare by stable body id.
+  std::vector<math::vec3d> a1(plain.size()), a2(counted.size());
+  for (std::size_t i = 0; i < plain.size(); ++i) a1[plain.id[i]] = plain.a[i];
+  for (std::size_t i = 0; i < counted.size(); ++i) a2[counted.id[i]] = counted.a[i];
+  for (std::size_t i = 0; i < a1.size(); ++i)
+    for (std::size_t d = 0; d < 3; ++d) EXPECT_DOUBLE_EQ(a1[i][d], a2[i][d]) << "body " << i;
+
+  EXPECT_EQ(reg.counter_value("bvh.builds"), 1u);
+  EXPECT_EQ(reg.counter_value("bvh.sorts"), 1u);
+  EXPECT_GT(reg.gauge_value("bvh.nodes"), 0.0);
+  EXPECT_GT(reg.gauge_value("bvh.levels"), 0.0);
+  EXPECT_GT(reg.counter_value("bvh.traversal.p2p"), 0u);
+  EXPECT_GT(reg.counter_value("bvh.traversal.m2p"), 0u);
+  EXPECT_EQ(reg.histogram("bvh.sort_seconds", {}).count(), 1u);
+}
+
+TEST(StepContext, AllPairsVariantsCountInteractionsExactly) {
+  const std::size_t n = 64;
+  const auto cfg = test_config();
+
+  {
+    auto sys = workloads::uniform_cube(n, 1);
+    allpairs::AllPairs<double, 3> strat;
+    obs::MetricsRegistry reg;
+    core::accelerate(strat, exec::par_unseq, sys, cfg, nullptr, &reg, nullptr);
+    EXPECT_EQ(reg.counter_value("allpairs.interactions"), n * (n - 1));
+  }
+  {
+    auto sys = workloads::uniform_cube(n, 1);
+    allpairs::AllPairsCol<double, 3> strat;
+    obs::MetricsRegistry reg;
+    core::accelerate(strat, exec::par, sys, cfg, nullptr, &reg, nullptr);
+    EXPECT_EQ(reg.counter_value("allpairs.interactions"), n * (n - 1) / 2);
+  }
+  {
+    auto sys = workloads::uniform_cube(n, 1);
+    allpairs::AllPairsTiled<double, 3> strat(16);
+    obs::MetricsRegistry reg;
+    core::accelerate(strat, exec::par_unseq, sys, cfg, nullptr, &reg, nullptr);
+    EXPECT_EQ(reg.counter_value("allpairs.interactions"), n * (n - 1));
+  }
+}
+
+TEST(StepContext, ReferenceBarnesHutRunsThroughContext) {
+  auto sys = workloads::plummer_sphere(100, 2);
+  const auto cfg = test_config();
+  core::ReferenceBarnesHut<double, 3> strat;
+  support::PhaseTimer timer;
+  core::accelerate(strat, exec::seq, sys, cfg, &timer);
+  EXPECT_GT(timer.seconds("build"), 0.0);
+  EXPECT_GT(timer.seconds("force"), 0.0);
+}
+
+// ------------------------------------------------------- simulation wiring
+
+TEST(SimulationObs, RunRecordsStepsAndPhaseSpans) {
+  auto sys = workloads::plummer_sphere(200, 17);
+  const auto cfg = test_config();
+  core::Simulation<double, 3, octree::OctreeStrategy<double, 3>> sim(std::move(sys), cfg);
+  obs::MetricsRegistry reg;
+  obs::TraceSession tr;
+  sim.set_observability(&reg, &tr);
+  sim.run(exec::par, 3);
+  EXPECT_EQ(reg.counter_value("sim.steps"), 3u);
+  EXPECT_EQ(reg.counter_value("octree.builds"), 3u);
+  const std::string json = tr.to_json();
+  expect_parses(json);
+  EXPECT_NE(json.find("\"name\": \"step\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"force\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"update\""), std::string::npos);
+}
+
+TEST(SimulationObs, GuardedRecoveryEmitsTraceInstantsAndDiscardedPhase) {
+  support::disarm_all_faults();
+  auto sys = workloads::plummer_sphere(200, 23);
+  const auto cfg = test_config();
+  core::Simulation<double, 3, octree::OctreeStrategy<double, 3>> sim(std::move(sys), cfg);
+  obs::MetricsRegistry reg;
+  obs::TraceSession tr;
+  sim.set_observability(&reg, &tr);
+
+  support::arm_faults_from_spec("octree.node_alloc:1:0:2");  // first two builds fail
+  core::GuardedOptions<double> opts;
+  opts.checkpoint_every = 4;
+  opts.max_retries = 4;
+  const auto rep = sim.run_guarded(exec::par, 6, opts);
+  support::disarm_all_faults();
+
+  EXPECT_EQ(rep.steps_completed, 6u);
+  ASSERT_GE(rep.retries_used, 1u);
+  EXPECT_EQ(reg.counter_value("sim.guard.recoveries"), rep.retries_used);
+  EXPECT_GE(reg.counter_value("sim.guard.checkpoints"), 1u);
+  // The failed attempts' wall time is re-attributed, not double-counted.
+  EXPECT_GT(sim.phases().seconds("(discarded)"), 0.0);
+
+  const std::string json = tr.to_json();
+  expect_parses(json);
+  EXPECT_NE(json.find("\"name\": \"guard.recovery\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"guard.checkpoint\""), std::string::npos);
+  EXPECT_NE(json.find("octree.node_alloc"), std::string::npos);  // reason in args
+}
+
+// ------------------------------------------------------------- phase timer
+
+TEST(PhaseTimer, ReattributeSinceMovesOnlyTheDelta) {
+  support::PhaseTimer t;
+  t.add("build", 1.0);
+  t.add("force", 2.0);
+  const auto snap = t.snapshot();
+  t.add("build", 0.5);
+  t.add("update", 0.25);  // phase born after the snapshot
+  t.reattribute_since(snap, "(discarded)");
+  EXPECT_DOUBLE_EQ(t.seconds("build"), 1.0);
+  EXPECT_DOUBLE_EQ(t.seconds("force"), 2.0);
+  EXPECT_DOUBLE_EQ(t.seconds("update"), 0.0);
+  EXPECT_DOUBLE_EQ(t.seconds("(discarded)"), 0.75);
+  EXPECT_DOUBLE_EQ(t.total(), 3.75);
+}
+
+}  // namespace

@@ -286,7 +286,7 @@ TEST(OctreeForce, SmallThetaMatchesAllPairsClosely) {
   auto ref = sys;
   nbody::core::reference_accelerations(ref, cfg);
   nbody::octree::OctreeStrategy<double, 3> strat;
-  strat.accelerations(par, sys, cfg);
+  nbody::core::accelerate(strat, par, sys, cfg);
   const double err = nbody::core::rms_relative_error(sys.a, ref.a);
   EXPECT_LT(err, 5e-3);
 }
@@ -297,7 +297,7 @@ TEST(OctreeForce, ModerateThetaWithinBarnesHutError) {
   auto ref = sys;
   nbody::core::reference_accelerations(ref, cfg);
   nbody::octree::OctreeStrategy<double, 3> strat;
-  strat.accelerations(par, sys, cfg);
+  nbody::core::accelerate(strat, par, sys, cfg);
   EXPECT_LT(nbody::core::rms_relative_error(sys.a, ref.a), 3e-2);
 }
 
@@ -312,7 +312,7 @@ TEST(OctreeForce, ErrorShrinksWithTheta) {
     auto c = cfg;
     c.theta = theta;
     nbody::octree::OctreeStrategy<double, 3> strat;
-    strat.accelerations(par, sys, c);
+    nbody::core::accelerate(strat, par, sys, c);
     const double err = nbody::core::rms_relative_error(sys.a, ref.a);
     EXPECT_LT(err, prev_err * 1.5) << theta;  // monotone modulo noise
     prev_err = err;
@@ -328,7 +328,7 @@ TEST(OctreeForce, ThetaZeroIsExact) {
   auto ref = sys;
   nbody::core::reference_accelerations(ref, cfg);
   nbody::octree::OctreeStrategy<double, 3> strat;
-  strat.accelerations(par, sys, cfg);
+  nbody::core::accelerate(strat, par, sys, cfg);
   for (std::size_t i = 0; i < sys.size(); ++i)
     for (int d = 0; d < 3; ++d) EXPECT_NEAR(sys.a[i][d], ref.a[i][d], 1e-9) << i;
 }
@@ -340,7 +340,7 @@ TEST(OctreeForce, TwoBodyForceIsNewtonian) {
   nbody::core::SimConfig<double> cfg;
   cfg.softening = 0.0;
   nbody::octree::OctreeStrategy<double, 3> strat;
-  strat.accelerations(par, sys, cfg);
+  nbody::core::accelerate(strat, par, sys, cfg);
   EXPECT_NEAR(sys.a[0][0], 3.0, 1e-12);   // G m2 / r^2
   EXPECT_NEAR(sys.a[1][0], -2.0, 1e-12);  // -G m1 / r^2
 }
@@ -351,8 +351,8 @@ TEST(OctreeForce, SeqEqualsSeqRerun) {
   auto sys2 = sys1;
   nbody::core::SimConfig<double> cfg;
   nbody::octree::OctreeStrategy<double, 3> s1, s2;
-  s1.accelerations(seq, sys1, cfg);
-  s2.accelerations(seq, sys2, cfg);
+  nbody::core::accelerate(s1, seq, sys1, cfg);
+  nbody::core::accelerate(s2, seq, sys2, cfg);
   for (std::size_t i = 0; i < sys1.size(); ++i) EXPECT_EQ(sys1.a[i], sys2.a[i]);
 }
 
@@ -367,7 +367,7 @@ TEST(OctreeForce, Quadtree2dMatchesDirectSum) {
   auto ref = sys;
   nbody::core::reference_accelerations(ref, cfg);
   nbody::octree::OctreeStrategy<double, 2> strat;
-  strat.accelerations(par, sys, cfg);
+  nbody::core::accelerate(strat, par, sys, cfg);
   EXPECT_LT(nbody::core::rms_relative_error(sys.a, ref.a), 1e-2);
 }
 
@@ -378,7 +378,7 @@ TEST(OctreeForce, MasslessTracersFeelForce) {
   nbody::core::SimConfig<double> cfg;
   cfg.softening = 0.0;
   nbody::octree::OctreeStrategy<double, 3> strat;
-  strat.accelerations(par, sys, cfg);
+  nbody::core::accelerate(strat, par, sys, cfg);
   EXPECT_NEAR(sys.a[1][0], -2.5, 1e-12);  // G*10/4 toward origin
   EXPECT_NEAR(sys.a[0][0], 0.0, 1e-12);   // tracer exerts nothing
 }
@@ -502,8 +502,8 @@ TEST(OctreePresort, SameForcesAsUnsorted) {
   typename nbody::octree::OctreeStrategy<double, 3>::Options po;
   po.presort = true;
   nbody::octree::OctreeStrategy<double, 3> pre(po);
-  plain.accelerations(par, sys_a, cfg);
-  pre.accelerations(par, sys_b, cfg);
+  nbody::core::accelerate(plain, par, sys_a, cfg);
+  nbody::core::accelerate(pre, par, sys_b, cfg);
   // Presorted system is permuted: match by id. The tree (and therefore the
   // monopole sums) is identical up to node numbering, so forces agree to
   // rounding of the multipole accumulation order.

@@ -59,7 +59,7 @@ TEST(Float32, OctreeForcesTrackFloatExactSum) {
   cfg.softening = 0.05f;
   const auto exact = exact_accels<float>(sys, cfg.theta, cfg.eps2());
   nbody::octree::OctreeStrategy<float, 3> strat;
-  strat.accelerations(par, sys, cfg);
+  nbody::core::accelerate(strat, par, sys, cfg);
   double err2 = 0, norm2sum = 0;
   for (std::size_t i = 0; i < sys.size(); ++i) {
     err2 += static_cast<double>(norm2(sys.a[i] - exact[i]));
@@ -75,7 +75,7 @@ TEST(Float32, BvhForcesTrackFloatExactSum) {
   cfg.softening = 0.05f;
   const auto before = sys;
   nbody::bvh::BVHStrategy<float, 3> strat;
-  strat.accelerations(par_unseq, sys, cfg);
+  nbody::core::accelerate(strat, par_unseq, sys, cfg);
   const auto exact = exact_accels<float>(before, cfg.theta, cfg.eps2());
   double err2 = 0, norm2sum = 0;
   for (std::size_t i = 0; i < sys.size(); ++i) {
@@ -108,7 +108,7 @@ TEST(Float32, QuadrupoleAlsoWorksInSinglePrecision) {
     auto c = cfg;
     c.quadrupole = quad;
     nbody::octree::OctreeStrategy<float, 3> strat;
-    strat.accelerations(par, s, c);
+    nbody::core::accelerate(strat, par, s, c);
     double err2 = 0, n2 = 0;
     for (std::size_t i = 0; i < s.size(); ++i) {
       err2 += static_cast<double>(norm2(s.a[i] - exact[i]));
@@ -143,10 +143,10 @@ TEST(AngularMomentum, ConservedByCentralForceDynamics) {
   cfg.dt = 1e-3;
   const auto L0 = nbody::core::angular_momentum(seq, sys);
   nbody::allpairs::AllPairsCol<double, 3> force;  // exactly pair-antisymmetric
-  force.accelerations(par, sys, cfg);
+  nbody::core::accelerate(force, par, sys, cfg);
   nbody::core::leapfrog_prime(seq, sys, cfg.dt);
   for (int s = 0; s < 100; ++s) {
-    force.accelerations(par, sys, cfg);
+    nbody::core::accelerate(force, par, sys, cfg);
     nbody::core::leapfrog_step(seq, sys, cfg.dt);
   }
   const auto L1 = nbody::core::angular_momentum(seq, sys);

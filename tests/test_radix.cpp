@@ -124,8 +124,8 @@ TEST(RadixBvh, RadixSortedPipelineMatchesComparisonSorted) {
   ra.sort = nbody::bvh::SortKind::radix;
   nbody::bvh::BVHStrategy<double, 3> radix_strat(ra);
   nbody::bvh::BVHStrategy<double, 3> comp_strat;
-  radix_strat.accelerations(par_unseq, sys_a, cfg);
-  comp_strat.accelerations(par_unseq, sys_b, cfg);
+  nbody::core::accelerate(radix_strat, par_unseq, sys_a, cfg);
+  nbody::core::accelerate(comp_strat, par_unseq, sys_b, cfg);
   ASSERT_EQ(sys_a.size(), sys_b.size());
   for (std::size_t i = 0; i < sys_a.size(); ++i) {
     EXPECT_EQ(sys_a.id[i], sys_b.id[i]) << i;   // identical permutation

@@ -50,7 +50,7 @@ TEST_P(TreeAccuracy, OctreeErrorWithinThetaBound) {
   auto ref = sys;
   nbody::core::reference_accelerations(ref, cfg);
   nbody::octree::OctreeStrategy<double, 3> strat;
-  strat.accelerations(par, sys, cfg);
+  nbody::core::accelerate(strat, par, sys, cfg);
   EXPECT_LT(nbody::core::rms_relative_error(sys.a, ref.a), error_ceiling(theta))
       << wname << " theta=" << theta;
 }
@@ -63,7 +63,7 @@ TEST_P(TreeAccuracy, BvhErrorWithinThetaBound) {
   auto ref = sys;
   nbody::core::reference_accelerations(ref, cfg);
   nbody::bvh::BVHStrategy<double, 3> strat;
-  strat.accelerations(par_unseq, sys, cfg);
+  nbody::core::accelerate(strat, par_unseq, sys, cfg);
   std::vector<vec3> got(sys.size());
   for (std::size_t i = 0; i < sys.size(); ++i) got[sys.id[i]] = sys.a[i];
   // BVH boxes are elongated: the same theta admits ~3x the octree error
@@ -99,7 +99,7 @@ TEST_P(BvhOptionProduct, ExactAtThetaZeroForEveryCombination) {
   auto ref = sys;
   nbody::core::reference_accelerations(ref, cfg);
   nbody::bvh::BVHStrategy<double, 3> strat(opts);
-  strat.accelerations(par_unseq, sys, cfg);
+  nbody::core::accelerate(strat, par_unseq, sys, cfg);
   for (std::size_t i = 0; i < sys.size(); ++i) {
     const auto want = ref.a[sys.id[i]];
     for (int d = 0; d < 3; ++d) EXPECT_NEAR(sys.a[i][d], want[d], 1e-9) << i;
