@@ -1,0 +1,99 @@
+#!/usr/bin/env bash
+# Line-coverage gate for the core numerics and the execution layer.
+#
+# Configures a dedicated -DNBODY_COVERAGE=ON build (gcov instrumentation,
+# -O0), runs the fast test lanes (unit + chaos — the chaos lane is what
+# exercises the race detector paths in src/exec), and summarizes line
+# coverage restricted to src/core and src/exec. Fails when either the
+# combined line rate drops below the floor.
+#
+# Prefers gcovr when installed; otherwise falls back to aggregating
+# `gcov --json-format` output with the bundled python summarizer, so the gate
+# runs on a bare toolchain image.
+#
+# Usage: ci/run_coverage.sh [build-dir]     (default: ./build-coverage)
+set -euo pipefail
+
+BUILD_DIR="${1:-build-coverage}"
+FLOOR="${NBODY_COVERAGE_FLOOR:-75}"
+
+cmake -B "$BUILD_DIR" -S . \
+  -DNBODY_COVERAGE=ON \
+  -DNBODY_BUILD_BENCH=OFF \
+  -DNBODY_BUILD_EXAMPLES=OFF \
+  -DCMAKE_BUILD_TYPE=Debug
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+find "$BUILD_DIR" -name '*.gcda' -delete
+NBODY_THREADS=4 ctest --test-dir "$BUILD_DIR" -L 'unit|chaos' --output-on-failure
+
+if command -v gcovr > /dev/null 2>&1; then
+  exec gcovr --root . --object-directory "$BUILD_DIR" \
+    --filter 'src/core/' --filter 'src/exec/' \
+    --print-summary --fail-under-line "$FLOOR"
+fi
+
+echo "gcovr not found; using gcov --json-format fallback"
+GCOV_DIR="$BUILD_DIR/gcov-json"
+rm -rf "$GCOV_DIR"
+mkdir -p "$GCOV_DIR"
+# Absolute .gcda paths: gcov resolves the matching .gcno next to the data
+# file, while the JSON output lands in the cwd ($GCOV_DIR).
+find "$(cd "$BUILD_DIR" && pwd)" -name '*.gcda' | (
+  cd "$GCOV_DIR"
+  while IFS= read -r gcda; do
+    gcov --json-format "$gcda" > /dev/null 2>&1 || true
+  done
+)
+
+python3 - "$GCOV_DIR" "$FLOOR" <<'EOF'
+import glob
+import gzip
+import json
+import os
+import sys
+
+gcov_dir, floor = sys.argv[1], float(sys.argv[2])
+
+# Per source file: the union of instrumented lines and of executed lines
+# across every translation unit that included it (headers appear in many).
+instrumented = {}
+executed = {}
+
+reports = glob.glob(os.path.join(gcov_dir, "*.gcov.json.gz"))
+assert reports, "no gcov JSON output found - did the tests run?"
+for path in reports:
+    with gzip.open(path, "rt") as f:
+        doc = json.load(f)
+    for entry in doc.get("files", []):
+        name = os.path.normpath(entry["file"])
+        marker = name.find("src" + os.sep)
+        if marker < 0:
+            continue
+        rel = name[marker:]
+        if not (rel.startswith("src/core/") or rel.startswith("src/exec/")):
+            continue
+        inst = instrumented.setdefault(rel, set())
+        hit = executed.setdefault(rel, set())
+        for line in entry.get("lines", []):
+            inst.add(line["line_number"])
+            if line["count"] > 0:
+                hit.add(line["line_number"])
+
+assert instrumented, "no src/core or src/exec files in the coverage data"
+total_inst = total_hit = 0
+print(f"{'file':<48} {'lines':>6} {'cov%':>7}")
+for rel in sorted(instrumented):
+    n, h = len(instrumented[rel]), len(executed[rel])
+    total_inst += n
+    total_hit += h
+    print(f"{rel:<48} {n:>6} {100.0 * h / n:>6.1f}%")
+
+rate = 100.0 * total_hit / total_inst
+print(f"\nTOTAL src/core + src/exec: {total_hit}/{total_inst} lines = {rate:.1f}%"
+      f" (floor {floor:.0f}%)")
+if rate < floor:
+    print("FAIL: line coverage below floor")
+    sys.exit(1)
+print("coverage gate OK")
+EOF

@@ -8,10 +8,14 @@
 // progress_region so the vectorization-unsafety enforcement in
 // exec/atomic.hpp can see which guarantee the current region provides.
 //
-// Three scheduling backends stand in for the paper's "two toolchains per
-// system" (Sec. V-A): static contiguous chunking, dynamic atomic-counter
-// chunking, and range work-stealing. Select globally via
-// set_default_backend() or NBODY_BACKEND=static|dynamic|steal.
+// Four scheduling backends: static contiguous chunking, dynamic
+// atomic-counter chunking, and range work-stealing stand in for the paper's
+// "two toolchains per system" (Sec. V-A); the fourth, chaos_permute, is a
+// correctness tool, not a performance backend — it dispatches chunks in a
+// seed-permuted order with deterministic yield/delay injection so
+// schedule-sensitive bugs reproduce from NBODY_CHAOS_SEED (see
+// exec/chaos/chaos.hpp). Select globally via set_default_backend() or
+// NBODY_BACKEND=static|dynamic|steal|chaos.
 #pragma once
 
 #include <algorithm>
@@ -22,6 +26,7 @@
 #include <utility>
 #include <vector>
 
+#include "exec/chaos/chaos.hpp"
 #include "exec/policy.hpp"
 #include "exec/thread_pool.hpp"
 #include "obs/runtime.hpp"
@@ -32,13 +37,14 @@
 
 namespace nbody::exec {
 
-enum class backend : std::uint8_t { static_chunk, dynamic_chunk, work_steal };
+enum class backend : std::uint8_t { static_chunk, dynamic_chunk, work_steal, chaos_permute };
 
 inline const char* backend_name(backend b) {
   switch (b) {
     case backend::static_chunk: return "static";
     case backend::dynamic_chunk: return "dynamic";
     case backend::work_steal: return "steal";
+    case backend::chaos_permute: return "chaos";
   }
   return "?";
 }
@@ -49,6 +55,7 @@ inline backend& backend_ref() {
     auto s = support::env_string("NBODY_BACKEND");
     if (s && *s == "dynamic") return backend::dynamic_chunk;
     if (s && *s == "steal") return backend::work_steal;
+    if (s && *s == "chaos") return backend::chaos_permute;
     return backend::static_chunk;
   }();
   return b;
@@ -162,15 +169,47 @@ void parallel_blocks(thread_pool& pool, forward_progress progress, std::size_t n
   obs::TraceSession* const trace = obs::global_trace();
   const char* const label = obs::region_label();
   const unsigned p = pool.concurrency();
-  if (p == 1 || n == 1) {
+  const backend b = default_backend();
+  // The chaos backend keeps its permuted dispatch even on a single
+  // participant: chunk-*order* dependence (e.g. order-sensitive
+  // accumulation) is a schedule bug a one-thread pool can still expose.
+  if (n == 1 || (p == 1 && b != backend::chaos_permute)) {
     progress_region guard(progress);
     RankSpan span(trace, label, obs::thread_rank());
     f(std::size_t{0}, n);
     pool.note_chunks(1);
     return;
   }
-  const backend b = default_backend();
-  if (b == backend::static_chunk) {
+  if (b == backend::chaos_permute) {
+    // Schedule permutation: chunks are claimed from a shared counter like
+    // the dynamic backend, but the counter indexes a seed-shuffled chunk
+    // permutation, and each claim may first yield or delay (deterministic
+    // per (seed, region, rank)). Cooperative checkpoints inside f —
+    // spin_wait::pause, the octree's critical section — are routed through
+    // the same seeded stream, so lock-holder-suspended interleavings are
+    // explored and replayed from the master seed alone.
+    const std::size_t grain = dynamic_grain(n, p);
+    const std::size_t nchunks = (n + grain - 1) / grain;
+    const std::uint64_t rseed = chaos::next_region_seed();
+    const std::vector<std::uint32_t> order = chaos::make_permutation(rseed, nchunks);
+    std::atomic<std::size_t> next{0};
+    pool.run([&](unsigned rank) {
+      progress_region guard(progress);
+      RankSpan span(trace, label, rank);
+      chaos::YieldInjector inject(rseed, rank);
+      chaos::Perturber perturb(rseed, rank);
+      std::uint64_t chunks = 0;
+      for (;;) {
+        const std::size_t pos = next.fetch_add(1, std::memory_order_relaxed);
+        if (pos >= nchunks) break;
+        perturb.maybe_perturb();
+        const std::size_t begin = static_cast<std::size_t>(order[pos]) * grain;
+        f(begin, std::min(begin + grain, n));
+        ++chunks;
+      }
+      pool.note_chunks(chunks);
+    });
+  } else if (b == backend::static_chunk) {
     const std::size_t base = n / p;
     const std::size_t rem = n % p;
     pool.run([&](unsigned rank) {

@@ -10,11 +10,17 @@
 // relaxed atomics are also formally vectorization-unsafe in ISO C++, but we
 // only flag the synchronizing ones because those are what actually deadlock
 // lockstep hardware; this mirrors the paper's practical BVH/Octree split.
+//
+// Under NBODY_CHAOS builds every helper additionally reports to the chaos
+// race detector (exec/chaos/hooks.hpp): synchronizing operations reached
+// inside a par_unseq region become attributable policy violations, and the
+// access log records (rank, address, lock-set, policy) per operation.
 #pragma once
 
 #include <atomic>
 #include <type_traits>
 
+#include "exec/chaos/hooks.hpp"
 #include "exec/policy.hpp"
 
 namespace nbody::exec {
@@ -24,6 +30,7 @@ namespace nbody::exec {
 template <class T>
   requires std::is_integral_v<T>
 inline T fetch_add_relaxed(T& loc, T v) noexcept {
+  chaos::hook_atomic(&loc, "fetch_add_relaxed", false);
   return std::atomic_ref<T>(loc).fetch_add(v, std::memory_order_relaxed);
 }
 
@@ -34,6 +41,7 @@ inline T fetch_add_relaxed(T& loc, T v) noexcept {
 template <class T>
   requires std::is_floating_point_v<T>
 inline T fetch_add_relaxed(T& loc, T v) noexcept {
+  chaos::hook_atomic(&loc, "fetch_add_relaxed", false);
   std::atomic_ref<T> ref(loc);
   T expected = ref.load(std::memory_order_relaxed);
   while (!ref.compare_exchange_weak(expected, expected + v, std::memory_order_relaxed,
@@ -50,6 +58,7 @@ template <class T>
   requires std::is_integral_v<T>
 inline T fetch_add_seq_cst(T& loc, T v) noexcept {
   note_vectorization_unsafe_op();
+  chaos::hook_atomic(&loc, "fetch_add_seq_cst", true);
   return std::atomic_ref<T>(loc).fetch_add(v, std::memory_order_seq_cst);
 }
 
@@ -57,6 +66,7 @@ template <class T>
   requires std::is_floating_point_v<T>
 inline T fetch_add_seq_cst(T& loc, T v) noexcept {
   note_vectorization_unsafe_op();
+  chaos::hook_atomic(&loc, "fetch_add_seq_cst", true);
   std::atomic_ref<T> ref(loc);
   T expected = ref.load(std::memory_order_seq_cst);
   while (!ref.compare_exchange_weak(expected, expected + v, std::memory_order_seq_cst,
@@ -72,28 +82,33 @@ template <class T>
   requires std::is_integral_v<T>
 inline T fetch_add_acq_rel(T& loc, T v) noexcept {
   note_vectorization_unsafe_op();
+  chaos::hook_atomic(&loc, "fetch_add_acq_rel", true);
   return std::atomic_ref<T>(loc).fetch_add(v, std::memory_order_acq_rel);
 }
 
 template <class T>
 inline T load_acquire(T& loc) noexcept {
   note_vectorization_unsafe_op();
+  chaos::hook_atomic(&loc, "load_acquire", true);
   return std::atomic_ref<T>(loc).load(std::memory_order_acquire);
 }
 
 template <class T>
 inline T load_relaxed(T& loc) noexcept {
+  chaos::hook_atomic(&loc, "load_relaxed", false);
   return std::atomic_ref<T>(loc).load(std::memory_order_relaxed);
 }
 
 template <class T>
 inline void store_release(T& loc, T v) noexcept {
   note_vectorization_unsafe_op();
+  chaos::hook_atomic(&loc, "store_release", true);
   std::atomic_ref<T>(loc).store(v, std::memory_order_release);
 }
 
 template <class T>
 inline void store_relaxed(T& loc, T v) noexcept {
+  chaos::hook_atomic(&loc, "store_relaxed", false);
   std::atomic_ref<T>(loc).store(v, std::memory_order_relaxed);
 }
 
@@ -103,6 +118,7 @@ inline void store_relaxed(T& loc, T v) noexcept {
 template <class T>
 inline bool compare_exchange_acquire(T& loc, T& expected, T desired) noexcept {
   note_vectorization_unsafe_op();
+  chaos::hook_atomic(&loc, "compare_exchange_acquire", true);
   return std::atomic_ref<T>(loc).compare_exchange_weak(
       expected, desired, std::memory_order_acquire, std::memory_order_acquire);
 }
@@ -111,6 +127,7 @@ inline bool compare_exchange_acquire(T& loc, T& expected, T desired) noexcept {
 template <class T>
 inline bool compare_exchange_acq_rel(T& loc, T& expected, T desired) noexcept {
   note_vectorization_unsafe_op();
+  chaos::hook_atomic(&loc, "compare_exchange_acq_rel", true);
   return std::atomic_ref<T>(loc).compare_exchange_weak(
       expected, desired, std::memory_order_acq_rel, std::memory_order_acquire);
 }

@@ -1,0 +1,117 @@
+#include "exec/chaos/chaos.hpp"
+
+#include <atomic>
+#include <thread>
+
+#include "support/env.hpp"
+#include "support/rng.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace nbody::exec::chaos {
+
+namespace {
+
+/// One-word mixer (SplitMix64 finalizer) for deriving sub-streams.
+constexpr std::uint64_t mix(std::uint64_t a, std::uint64_t b) {
+  return support::hash_u64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+}
+
+std::atomic<std::uint64_t>& seed_ref() {
+  static std::atomic<std::uint64_t> s{[] {
+    return static_cast<std::uint64_t>(support::env_size("NBODY_CHAOS_SEED", 1));
+  }()};
+  return s;
+}
+
+std::atomic<std::uint64_t> g_region_counter{0};
+
+void hardware_pause() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#endif
+}
+
+/// Shared perturbation decision: draws from `state` and spins/yields.
+/// Yields ~1/16 of the time, spin-delays ~1/8, otherwise does nothing —
+/// frequent enough to shuffle interleavings, rare enough to keep the chaos
+/// lane usable for whole test sweeps.
+bool perturb_from(std::uint64_t& state) noexcept {
+  support::SplitMix64 rng(state);
+  const std::uint64_t draw = rng.next();
+  state = draw;
+  if ((draw & 0xF) == 0) {
+    std::this_thread::yield();
+    return true;
+  }
+  if ((draw & 0x7) == 1) {
+    const unsigned spins = 1u + static_cast<unsigned>((draw >> 8) & 0x3FF);
+    for (unsigned i = 0; i < spins; ++i) hardware_pause();
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::uint64_t seed() noexcept { return seed_ref().load(std::memory_order_relaxed); }
+
+void set_seed(std::uint64_t s) noexcept {
+  seed_ref().store(s, std::memory_order_relaxed);
+  g_region_counter.store(0, std::memory_order_relaxed);
+}
+
+std::string describe_seed() { return "NBODY_CHAOS_SEED=" + std::to_string(seed()); }
+
+std::uint64_t next_region_seed() noexcept {
+  const std::uint64_t region = g_region_counter.fetch_add(1, std::memory_order_relaxed);
+  return mix(seed(), region);
+}
+
+std::uint64_t regions_dispatched() noexcept {
+  return g_region_counter.load(std::memory_order_relaxed);
+}
+
+std::vector<std::uint32_t> make_permutation(std::uint64_t region_seed, std::size_t n) {
+  std::vector<std::uint32_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = static_cast<std::uint32_t>(i);
+  support::SplitMix64 rng(mix(region_seed, 0x5045524dULL));  // "PERM"
+  for (std::size_t i = n; i > 1; --i) {
+    const std::size_t j = static_cast<std::size_t>(rng.next() % i);
+    std::swap(perm[i - 1], perm[j]);
+  }
+  return perm;
+}
+
+Perturber::Perturber(std::uint64_t region_seed, unsigned rank) noexcept
+    : state_(mix(region_seed, 0x434c41494dULL + rank)) {}  // "CLAIM" + rank
+
+void Perturber::maybe_perturb() noexcept {
+  if (perturb_from(state_)) ++injected_;
+}
+
+YieldInjector::YieldInjector(std::uint64_t region_seed, unsigned rank) noexcept
+    : state_(mix(region_seed, 0x434b5054ULL + rank)) {  // "CKPT" + rank
+  const auto saved = get_checkpoint_hook();
+  saved_fn_ = saved.fn;
+  saved_ctx_ = saved.ctx;
+  set_checkpoint_hook(&YieldInjector::fire, this);
+}
+
+YieldInjector::~YieldInjector() { set_checkpoint_hook(saved_fn_, saved_ctx_); }
+
+void YieldInjector::fire(void* self, bool waiting) noexcept {
+  auto* inj = static_cast<YieldInjector*>(self);
+  // A waiting checkpoint (spin on a held lock) already implies the thread
+  // cannot progress; perturbing there only lengthens the spin. Ordinary
+  // checkpoints — e.g. inside the octree's subdivision critical section —
+  // are where a deterministic yield creates the lock-holder-suspended
+  // schedules lockstep hardware produces.
+  if (!waiting) perturb_from(inj->state_);
+}
+
+}  // namespace nbody::exec::chaos

@@ -1,0 +1,92 @@
+// Schedule-permuting ("chaos") scheduler support — the seed-replayable
+// interleaving explorer behind exec::backend::chaos_permute.
+//
+// On this library's fork-join pool the default schedulers (static, dynamic,
+// steal) explore essentially one interleaving per machine, so a
+// misannotated step — a lock reached under par_unseq, an order-dependent
+// accumulation — can pass every test by luck. The chaos backend makes the
+// schedule itself an input: driven by one master seed it
+//
+//   * permutes the chunk-dispatch order of every parallel region
+//     (Fisher-Yates over the chunk list, one fresh stream per region),
+//   * injects yields and short delays before chunk claims and at the
+//     library's cooperative checkpoints (exec::checkpoint(), which the
+//     octree calls inside its subdivision critical section),
+//
+// and every decision derives from mix(master_seed, region, rank, step), so
+// any failing schedule replays from the seed printed with the failure:
+// NBODY_CHAOS_SEED=<n>. Select with NBODY_BACKEND=chaos or
+// set_default_backend(backend::chaos_permute); seed from NBODY_CHAOS_SEED
+// or set_seed().
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exec/policy.hpp"
+
+namespace nbody::exec::chaos {
+
+/// Master seed of the chaos scheduler. Initialized once from
+/// NBODY_CHAOS_SEED (default 1); set_seed() overrides and resets the region
+/// counter so a run is replayable from its start.
+[[nodiscard]] std::uint64_t seed() noexcept;
+void set_seed(std::uint64_t s) noexcept;
+
+/// "NBODY_CHAOS_SEED=<n>" — appended to detector reports and property-test
+/// failures so the schedule can be replayed verbatim.
+[[nodiscard]] std::string describe_seed();
+
+/// Claims the next per-region stream seed: mix(seed, region_counter++).
+/// Each chaos-scheduled region draws one, so region k of a run is permuted
+/// identically across replays with the same master seed.
+[[nodiscard]] std::uint64_t next_region_seed() noexcept;
+
+/// Regions dispatched by the chaos backend since the last set_seed().
+[[nodiscard]] std::uint64_t regions_dispatched() noexcept;
+
+/// Deterministic permutation of [0, n) from `region_seed` (Fisher-Yates
+/// over a SplitMix64 stream).
+[[nodiscard]] std::vector<std::uint32_t> make_permutation(std::uint64_t region_seed,
+                                                          std::size_t n);
+
+/// Per-rank perturbation stream for one region: before every chunk claim the
+/// scheduler asks maybe_perturb(), which with seed-determined probability
+/// spins a short hashed-length delay or yields the OS thread.
+class Perturber {
+ public:
+  Perturber(std::uint64_t region_seed, unsigned rank) noexcept;
+
+  /// Advances the stream and possibly delays/yields the calling thread.
+  void maybe_perturb() noexcept;
+
+  /// Number of yields/delays injected so far (tests).
+  [[nodiscard]] std::uint64_t perturbations() const noexcept { return injected_; }
+
+ private:
+  std::uint64_t state_;
+  std::uint64_t injected_ = 0;
+};
+
+/// RAII: routes this thread's cooperative checkpoints (exec::checkpoint(),
+/// called e.g. inside the octree's subdivision critical section and from
+/// every spin_wait) into a deterministic yield stream for the duration of a
+/// chaos-scheduled region. Restores the previously installed hook — the
+/// forward-progress simulator owns the same hook on its fiber threads.
+class YieldInjector {
+ public:
+  YieldInjector(std::uint64_t region_seed, unsigned rank) noexcept;
+  YieldInjector(const YieldInjector&) = delete;
+  YieldInjector& operator=(const YieldInjector&) = delete;
+  ~YieldInjector();
+
+ private:
+  static void fire(void* self, bool waiting) noexcept;
+  std::uint64_t state_;
+  checkpoint_fn saved_fn_;
+  void* saved_ctx_;
+};
+
+}  // namespace nbody::exec::chaos

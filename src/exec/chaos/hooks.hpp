@@ -1,0 +1,57 @@
+// Instrumentation hooks the hot paths (exec/atomic.hpp, the octree's node
+// locks) call into the chaos race detector. Compiled to nothing unless the
+// library is built with -DNBODY_CHAOS=1 (CMake option NBODY_CHAOS), so a
+// flags-off build carries zero overhead; with the option on, a disabled
+// detector costs one relaxed load + branch per instrumented operation.
+//
+// This header is deliberately tiny: atomic.hpp is included by every hot
+// kernel, so the full detector (exec/chaos/race_detector.hpp) must not leak
+// into it.
+#pragma once
+
+#include <atomic>
+
+namespace nbody::exec::chaos {
+
+#if defined(NBODY_CHAOS)
+
+/// Defined in race_detector.cpp; true only between RaceDetector::enable()
+/// and disable() (or for the lifetime of a DetectorScope).
+extern std::atomic<bool> g_detector_enabled;
+
+inline bool detector_enabled() noexcept {
+  return g_detector_enabled.load(std::memory_order_relaxed);
+}
+
+// Out-of-line slow paths (race_detector.cpp).
+void detector_on_atomic(const void* addr, const char* op, bool synchronizing) noexcept;
+void detector_on_lock_acquired(const void* addr) noexcept;
+void detector_on_lock_released(const void* addr) noexcept;
+
+/// Atomic helper hook: `synchronizing` marks acquire/release/seq_cst
+/// operations (the vectorization-unsafe ones); relaxed operations pass
+/// false and are only recorded in the access log.
+inline void hook_atomic(const void* addr, const char* op, bool synchronizing) noexcept {
+  if (detector_enabled()) detector_on_atomic(addr, op, synchronizing);
+}
+
+/// Lock protocol hooks: the octree notifies these around its CAS-based
+/// subdivision lock; InstrumentedMutex notifies them around a std::mutex.
+inline void hook_lock_acquired(const void* addr) noexcept {
+  if (detector_enabled()) detector_on_lock_acquired(addr);
+}
+
+inline void hook_lock_released(const void* addr) noexcept {
+  if (detector_enabled()) detector_on_lock_released(addr);
+}
+
+#else
+
+inline constexpr bool detector_enabled() noexcept { return false; }
+inline void hook_atomic(const void*, const char*, bool) noexcept {}
+inline void hook_lock_acquired(const void*) noexcept {}
+inline void hook_lock_released(const void*) noexcept {}
+
+#endif  // NBODY_CHAOS
+
+}  // namespace nbody::exec::chaos

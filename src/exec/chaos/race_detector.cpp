@@ -1,0 +1,218 @@
+#include "exec/chaos/race_detector.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <sstream>
+
+#include "exec/chaos/chaos.hpp"
+#include "obs/runtime.hpp"
+
+namespace nbody::exec::chaos {
+
+// Defined unconditionally so the library links the same with NBODY_CHAOS on
+// or off; the hot-path hooks only reference it when the macro is set.
+std::atomic<bool> g_detector_enabled{false};
+
+namespace {
+
+// Held-lock set of the calling thread. Maintained only while the detector
+// is enabled (the hooks gate before calling in), so enable()/disable()
+// should bracket whole regions, not straddle critical sections — the
+// release path below tolerates an unmatched unlock regardless.
+thread_local std::vector<const void*> t_locks;
+
+// Cheap stable thread identity for the first-thread/multi-thread test.
+std::uint64_t this_thread_id() noexcept {
+  static std::atomic<std::uint64_t> next{1};
+  thread_local const std::uint64_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+const char* progress_name(forward_progress p) noexcept {
+  switch (p) {
+    case forward_progress::concurrent: return "concurrent";
+    case forward_progress::parallel: return "par";
+    case forward_progress::weakly_parallel: return "par_unseq";
+  }
+  return "?";
+}
+
+}  // namespace
+
+const char* access_kind_name(AccessKind k) noexcept {
+  switch (k) {
+    case AccessKind::plain_read: return "plain_read";
+    case AccessKind::plain_write: return "plain_write";
+    case AccessKind::atomic_relaxed: return "atomic_relaxed";
+    case AccessKind::atomic_sync: return "atomic_sync";
+    case AccessKind::lock_acquire: return "lock_acquire";
+    case AccessKind::lock_release: return "lock_release";
+  }
+  return "?";
+}
+
+std::string Violation::to_string() const {
+  std::ostringstream os;
+  os << (kind == Kind::policy ? "policy: " : "lockset: ") << op << " @0x" << std::hex
+     << addr << std::dec << " rank " << rank;
+  if (kind == Kind::policy) {
+    os << " under " << progress_name(policy);
+  } else {
+    os << " lockset={} (multi-thread write, no common lock)";
+  }
+  return os.str();
+}
+
+RaceDetector& RaceDetector::instance() {
+  static RaceDetector d;
+  return d;
+}
+
+void RaceDetector::enable(bool log_accesses) {
+  std::lock_guard lock(mutex_);
+  log_accesses_ = log_accesses;
+  g_detector_enabled.store(true, std::memory_order_relaxed);
+}
+
+void RaceDetector::disable() { g_detector_enabled.store(false, std::memory_order_relaxed); }
+
+bool RaceDetector::enabled() const noexcept {
+  return g_detector_enabled.load(std::memory_order_relaxed);
+}
+
+void RaceDetector::clear() {
+  std::lock_guard lock(mutex_);
+  addrs_.clear();
+  violations_.clear();
+  log_.clear();
+}
+
+void RaceDetector::log_locked(const void* addr, AccessKind kind, const char* op) {
+  if (!log_accesses_ || log_.size() >= kMaxLogged) return;
+  log_.push_back({reinterpret_cast<std::uintptr_t>(addr), obs::thread_rank(), kind, op,
+                  current_progress(), static_cast<std::uint32_t>(t_locks.size())});
+}
+
+void RaceDetector::record_policy_violation_locked(const void* addr, const char* op) {
+  violations_.push_back({Violation::Kind::policy, reinterpret_cast<std::uintptr_t>(addr),
+                         obs::thread_rank(), op, current_progress()});
+}
+
+void RaceDetector::on_lock_acquired(const void* lock) {
+  if (!enabled()) return;
+  const bool policy_ok = current_progress() != forward_progress::weakly_parallel;
+  std::lock_guard guard(mutex_);
+  t_locks.push_back(lock);
+  log_locked(lock, AccessKind::lock_acquire, "lock_acquire");
+  if (!policy_ok) record_policy_violation_locked(lock, "lock_acquire");
+}
+
+void RaceDetector::on_lock_released(const void* lock) {
+  if (!enabled()) return;
+  std::lock_guard guard(mutex_);
+  auto it = std::find(t_locks.rbegin(), t_locks.rend(), lock);
+  if (it != t_locks.rend()) t_locks.erase(std::next(it).base());
+  log_locked(lock, AccessKind::lock_release, "lock_release");
+}
+
+void RaceDetector::on_atomic(const void* addr, const char* op, bool synchronizing) {
+  if (!enabled()) return;
+  const bool violation =
+      synchronizing && current_progress() == forward_progress::weakly_parallel;
+  std::lock_guard guard(mutex_);
+  log_locked(addr, synchronizing ? AccessKind::atomic_sync : AccessKind::atomic_relaxed, op);
+  if (violation) record_policy_violation_locked(addr, op);
+}
+
+void RaceDetector::on_plain(const void* addr, const char* op, bool write) {
+  if (!enabled()) return;
+  const std::uint64_t tid = this_thread_id();
+  std::lock_guard guard(mutex_);
+  log_locked(addr, write ? AccessKind::plain_write : AccessKind::plain_read, op);
+  AddrState& s = addrs_[reinterpret_cast<std::uintptr_t>(addr)];
+  if (!s.lockset_init) {
+    s.lockset = t_locks;
+    std::sort(s.lockset.begin(), s.lockset.end());
+    s.lockset_init = true;
+    s.first_thread = tid;
+  } else {
+    // Intersect the candidate set with the locks held right now.
+    std::vector<const void*> held = t_locks;
+    std::sort(held.begin(), held.end());
+    std::vector<const void*> kept;
+    std::set_intersection(s.lockset.begin(), s.lockset.end(), held.begin(), held.end(),
+                          std::back_inserter(kept));
+    s.lockset = std::move(kept);
+    if (tid != s.first_thread) s.multi_thread = true;
+  }
+  s.written = s.written || write;
+  if (s.multi_thread && s.written && s.lockset.empty() && !s.reported) {
+    s.reported = true;
+    violations_.push_back({Violation::Kind::lockset,
+                           reinterpret_cast<std::uintptr_t>(addr), obs::thread_rank(), op,
+                           current_progress()});
+  }
+}
+
+std::vector<Violation> RaceDetector::violations() const {
+  std::lock_guard lock(mutex_);
+  return violations_;
+}
+
+std::size_t RaceDetector::violation_count() const {
+  std::lock_guard lock(mutex_);
+  return violations_.size();
+}
+
+std::size_t RaceDetector::policy_violations() const {
+  std::lock_guard lock(mutex_);
+  return static_cast<std::size_t>(
+      std::count_if(violations_.begin(), violations_.end(),
+                    [](const Violation& v) { return v.kind == Violation::Kind::policy; }));
+}
+
+std::size_t RaceDetector::lockset_races() const {
+  std::lock_guard lock(mutex_);
+  return static_cast<std::size_t>(
+      std::count_if(violations_.begin(), violations_.end(),
+                    [](const Violation& v) { return v.kind == Violation::Kind::lockset; }));
+}
+
+std::vector<AccessRecord> RaceDetector::access_log() const {
+  std::lock_guard lock(mutex_);
+  return log_;
+}
+
+std::string RaceDetector::report() const {
+  std::lock_guard lock(mutex_);
+  std::ostringstream os;
+  os << "race-detector: " << violations_.size() << " violation(s) [" << describe_seed()
+     << "]\n";
+  for (const Violation& v : violations_) os << "  " << v.to_string() << "\n";
+  return os.str();
+}
+
+// -- out-of-line hook targets (declared in hooks.hpp under NBODY_CHAOS) -----
+
+void detector_on_atomic(const void* addr, const char* op, bool synchronizing) noexcept {
+  try {
+    RaceDetector::instance().on_atomic(addr, op, synchronizing);
+  } catch (...) {  // allocation failure inside the harness must not kill the run
+  }
+}
+
+void detector_on_lock_acquired(const void* addr) noexcept {
+  try {
+    RaceDetector::instance().on_lock_acquired(addr);
+  } catch (...) {
+  }
+}
+
+void detector_on_lock_released(const void* addr) noexcept {
+  try {
+    RaceDetector::instance().on_lock_released(addr);
+  } catch (...) {
+  }
+}
+
+}  // namespace nbody::exec::chaos

@@ -1,0 +1,185 @@
+// Lockset + access-logging race detector — the second layer of the chaos
+// correctness tooling (the first is the schedule-permuting backend in
+// exec/chaos/chaos.hpp).
+//
+// Two checks, both fed by the instrumentation hooks in exec/chaos/hooks.hpp
+// (wired into every exec/atomic.hpp helper and the octree's node locks) and
+// by the explicit checked_load/checked_store accessors test fixtures use:
+//
+//   * policy check — the paper's per-step policy table, machine-checked: a
+//     lock acquisition or synchronizing atomic reached while the calling
+//     thread executes under weakly-parallel forward progress (par_unseq)
+//     is recorded as a `policy` violation with (rank, address, operation).
+//     This turns note_vectorization_unsafe_op()'s counter into an
+//     attributable report.
+//
+//   * Eraser-style lockset check — every *plain* instrumented access to a
+//     shared address intersects the address's candidate lockset with the
+//     locks the thread currently holds (Savage et al., 1997). An address
+//     written by two or more threads whose candidate lockset is empty is
+//     recorded as a `lockset` violation: no lock consistently guarded it.
+//     Atomic accesses are synchronization, not data, and are exempt.
+//
+// The detector is process-global, runtime-toggled (DetectorScope RAII or
+// enable()/disable()), and mutex-serialized — it is a correctness harness,
+// not a production profiler. Reports append the chaos seed so any schedule
+// that produced a violation replays verbatim (NBODY_CHAOS_SEED=<n>).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "exec/chaos/hooks.hpp"
+#include "exec/policy.hpp"
+
+namespace nbody::exec::chaos {
+
+enum class AccessKind : std::uint8_t {
+  plain_read,
+  plain_write,
+  atomic_relaxed,
+  atomic_sync,
+  lock_acquire,
+  lock_release,
+};
+
+[[nodiscard]] const char* access_kind_name(AccessKind k) noexcept;
+
+/// One instrumented event, recorded when access logging is on: who touched
+/// what, how, under which declared forward-progress guarantee, holding how
+/// many locks. The tuple the tentpole asks for — (thread rank, address,
+/// lock-set, policy).
+struct AccessRecord {
+  std::uintptr_t addr = 0;
+  unsigned rank = 0;                 // obs::thread_rank() of the accessor
+  AccessKind kind = AccessKind::plain_read;
+  const char* op = "";               // helper name, e.g. "fetch_add_acq_rel"
+  forward_progress policy = forward_progress::concurrent;
+  std::uint32_t locks_held = 0;      // size of the thread's lockset
+};
+
+struct Violation {
+  enum class Kind : std::uint8_t { policy, lockset };
+  Kind kind = Kind::policy;
+  std::uintptr_t addr = 0;
+  unsigned rank = 0;
+  const char* op = "";
+  forward_progress policy = forward_progress::concurrent;
+
+  /// One line, e.g.
+  ///   policy: fetch_add_acq_rel @0x7f.. rank 2 under par_unseq
+  ///   lockset: plain_write @0x7f.. rank 1 lockset={} (multi-thread write,
+  ///   no common lock)
+  [[nodiscard]] std::string to_string() const;
+};
+
+class RaceDetector {
+ public:
+  static RaceDetector& instance();
+
+  /// Starts recording. `log_accesses` additionally keeps a bounded log of
+  /// every instrumented event (kMaxLogged entries) for the output format
+  /// documented in DESIGN.md §4d.
+  void enable(bool log_accesses = false);
+  void disable();
+  [[nodiscard]] bool enabled() const noexcept;
+
+  /// Drops all per-address state, violations, and the access log.
+  void clear();
+
+  // -- instrumentation entry points (no-ops while disabled) -----------------
+  void on_lock_acquired(const void* lock);
+  void on_lock_released(const void* lock);
+  void on_atomic(const void* addr, const char* op, bool synchronizing);
+  void on_plain(const void* addr, const char* op, bool write);
+
+  // -- results --------------------------------------------------------------
+  [[nodiscard]] std::vector<Violation> violations() const;
+  [[nodiscard]] std::size_t violation_count() const;
+  [[nodiscard]] std::size_t policy_violations() const;
+  [[nodiscard]] std::size_t lockset_races() const;
+  [[nodiscard]] std::vector<AccessRecord> access_log() const;
+
+  /// Human-readable multi-line report: a summary header carrying the chaos
+  /// seed, then one line per violation (format of Violation::to_string).
+  [[nodiscard]] std::string report() const;
+
+  static constexpr std::size_t kMaxLogged = 1 << 16;
+
+ private:
+  RaceDetector() = default;
+
+  struct AddrState {
+    std::vector<const void*> lockset;  // candidate lockset (intersection)
+    bool lockset_init = false;
+    std::uint64_t first_thread = 0;
+    bool multi_thread = false;
+    bool written = false;
+    bool reported = false;
+  };
+
+  void record_policy_violation_locked(const void* addr, const char* op);
+  void log_locked(const void* addr, AccessKind kind, const char* op);
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uintptr_t, AddrState> addrs_;
+  std::vector<Violation> violations_;
+  std::vector<AccessRecord> log_;
+  bool log_accesses_ = false;
+};
+
+/// RAII scope for tests: clears + enables on construction, disables on
+/// destruction (results stay readable after the scope closes).
+class DetectorScope {
+ public:
+  explicit DetectorScope(bool log_accesses = false) {
+    RaceDetector::instance().clear();
+    RaceDetector::instance().enable(log_accesses);
+  }
+  DetectorScope(const DetectorScope&) = delete;
+  DetectorScope& operator=(const DetectorScope&) = delete;
+  ~DetectorScope() { RaceDetector::instance().disable(); }
+};
+
+/// std::mutex that reports its acquire/release to the detector — the
+/// lock-based counterpart of the octree's instrumented CAS lock, for
+/// fixtures and future lock-protected subsystems.
+class InstrumentedMutex {
+ public:
+  void lock() {
+    m_.lock();
+    RaceDetector::instance().on_lock_acquired(this);
+  }
+  void unlock() {
+    RaceDetector::instance().on_lock_released(this);
+    m_.unlock();
+  }
+  bool try_lock() {
+    if (!m_.try_lock()) return false;
+    RaceDetector::instance().on_lock_acquired(this);
+    return true;
+  }
+
+ private:
+  std::mutex m_;
+};
+
+/// Checked plain accessors: route a shared read/write through the lockset
+/// check. Test fixtures use these to plant (or prove the absence of)
+/// unsynchronized accesses.
+template <class T>
+inline T checked_load(const T& loc, const char* what = "plain_read") {
+  RaceDetector::instance().on_plain(&loc, what, /*write=*/false);
+  return loc;
+}
+
+template <class T>
+inline void checked_store(T& loc, T v, const char* what = "plain_write") {
+  RaceDetector::instance().on_plain(&loc, what, /*write=*/true);
+  loc = v;
+}
+
+}  // namespace nbody::exec::chaos

@@ -61,6 +61,10 @@ void set_checkpoint_hook(checkpoint_fn fn, void* ctx) noexcept {
   t_checkpoint_ctx = ctx;
 }
 
+checkpoint_hook_state get_checkpoint_hook() noexcept {
+  return {t_checkpoint, t_checkpoint_ctx};
+}
+
 void checkpoint() noexcept {
   if (t_checkpoint != nullptr) t_checkpoint(t_checkpoint_ctx, /*waiting=*/false);
 }

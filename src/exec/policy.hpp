@@ -102,7 +102,14 @@ void reset_vectorization_unsafe_violations() noexcept;
 /// scheduler exploits exactly that difference to starve waiters, the way
 /// lockstep SIMT hardware without ITS does.
 using checkpoint_fn = void (*)(void*, bool waiting);
+struct checkpoint_hook_state {
+  checkpoint_fn fn = nullptr;
+  void* ctx = nullptr;
+};
 void set_checkpoint_hook(checkpoint_fn fn, void* ctx) noexcept;
+/// Current hook of the calling thread, so a nested installer (the chaos
+/// scheduler's YieldInjector) can save and restore it.
+[[nodiscard]] checkpoint_hook_state get_checkpoint_hook() noexcept;
 void checkpoint() noexcept;          // ordinary progress point
 void checkpoint_waiting() noexcept;  // inside a spin-wait
 

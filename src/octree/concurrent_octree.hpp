@@ -191,6 +191,10 @@ class ConcurrentOctree {
         continue;
       }
       // ---- critical section ----
+      // The slot IS the lock (kLocked): tell the chaos race detector so its
+      // lockset check sees the subdivision protocol as a guarded region and
+      // its policy check attributes any par_unseq entry to this address.
+      exec::chaos::hook_lock_acquired(&child_[index]);
       // Cooperative yield point: on lockstep (non-ITS) scheduling this is
       // where the lock holder gets suspended while siblings spin — the
       // mechanism the progress simulator demonstrates.
@@ -198,6 +202,7 @@ class ConcurrentOctree {
       const std::uint32_t first = exec::fetch_add_relaxed(allocated_, K);
       if (first + K > capacity_) {
         exec::store_relaxed(overflow_, std::uint8_t{1});
+        exec::chaos::hook_lock_released(&child_[index]);
         exec::store_release(child_[index], next);  // restore and abort
         return false;
       }
@@ -205,6 +210,7 @@ class ConcurrentOctree {
       const std::uint32_t resident = body_of(next);
       const unsigned rq = box.orthant(x[resident]);
       exec::store_relaxed(child_[first + rq], kBodyFlag | resident);
+      exec::chaos::hook_lock_released(&child_[index]);
       exec::store_release(child_[index], first);  // unlock + publish children
       // ---- end critical section ----
       // Loop continues: the acquire load now sees an internal node.

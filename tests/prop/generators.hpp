@@ -1,0 +1,132 @@
+// Randomized system generators for the differential property harness
+// (tests/test_chaos.cpp, tests/test_chaos_sweep.cpp).
+//
+// Each case seed deterministically selects a shape and its parameters, so a
+// failing case replays from the printed seed alone. The shapes deliberately
+// include the degenerate inputs the strategies must survive: coincident
+// bodies (softening keeps the forces finite), huge mass ratios, collinear
+// chains, and tiny N including 0 and 1.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/system.hpp"
+#include "support/rng.hpp"
+#include "workloads/workloads.hpp"
+
+namespace nbody::prop {
+
+struct PropCase {
+  std::string name;
+  core::System<double, 3> sys;
+  // Multiplier on the harness's base tree tolerance: degenerate geometries
+  // (coincident clusters, extreme mass ratios) concentrate the Barnes-Hut
+  // truncation error in a handful of bodies, so their L2 ball is wider.
+  double tol_scale = 1.0;
+};
+
+inline double urand(support::Xoshiro256ss& rng, double lo, double hi) {
+  return lo + (hi - lo) * rng.uniform();
+}
+
+/// `k` bodies stacked on exactly the same point plus a scattered background.
+/// Exercises the octree's bounded-subdivision overflow path and the
+/// softened kernel (r = 0 between stacked bodies).
+inline core::System<double, 3> coincident_cluster(std::size_t n, std::uint64_t seed) {
+  support::Xoshiro256ss rng(seed);
+  core::System<double, 3> sys;
+  const math::vec<double, 3> pile{urand(rng, -1, 1), urand(rng, -1, 1), urand(rng, -1, 1)};
+  const std::size_t stacked = 2 + n / 4;
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool on_pile = i < stacked;
+    math::vec<double, 3> x =
+        on_pile ? pile
+                : math::vec<double, 3>{urand(rng, -4, 4), urand(rng, -4, 4), urand(rng, -4, 4)};
+    sys.add(urand(rng, 0.5, 2.0), x, math::vec<double, 3>::zero());
+  }
+  return sys;
+}
+
+/// Mass ratios spanning ~18 decades: a solar-system-like hierarchy pushed to
+/// the extreme. Checks that tiny bodies neither vanish from the multipole
+/// moments nor destabilize the comparison.
+inline core::System<double, 3> extreme_mass_ratio(std::size_t n, std::uint64_t seed) {
+  support::Xoshiro256ss rng(seed);
+  core::System<double, 3> sys;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double exponent = urand(rng, -9.0, 9.0);
+    const double mass = std::pow(10.0, exponent);
+    sys.add(mass,
+            {urand(rng, -2, 2), urand(rng, -2, 2), urand(rng, -2, 2)},
+            math::vec<double, 3>::zero());
+  }
+  return sys;
+}
+
+/// All bodies on one line: every octree split puts bodies in at most two
+/// octants, producing maximally skewed trees.
+inline core::System<double, 3> collinear_chain(std::size_t n, std::uint64_t seed) {
+  support::Xoshiro256ss rng(seed);
+  core::System<double, 3> sys;
+  const math::vec<double, 3> dir{urand(rng, 0.2, 1), urand(rng, 0.2, 1), urand(rng, 0.2, 1)};
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = urand(rng, -5, 5);
+    sys.add(1.0, {dir[0] * t, dir[1] * t, dir[2] * t}, math::vec<double, 3>::zero());
+  }
+  return sys;
+}
+
+/// Two dense clusters far apart — the regime where the opening criterion
+/// does the most work (whole far cluster accepted as one node).
+inline core::System<double, 3> two_clusters(std::size_t n, std::uint64_t seed) {
+  support::Xoshiro256ss rng(seed);
+  core::System<double, 3> sys;
+  const double sep = urand(rng, 8.0, 20.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double cx = (i % 2 == 0) ? -sep / 2 : sep / 2;
+    sys.add(urand(rng, 0.5, 2.0),
+            {cx + urand(rng, -0.5, 0.5), urand(rng, -0.5, 0.5), urand(rng, -0.5, 0.5)},
+            math::vec<double, 3>::zero());
+  }
+  return sys;
+}
+
+/// Deterministically maps a case seed to a generated system. Shapes cycle so
+/// any ≥10-case sweep covers every generator, including N = 0 / 1 / 2.
+inline PropCase make_case(std::uint64_t case_seed) {
+  support::Xoshiro256ss rng(support::hash_u64(case_seed ^ 0x9e3779b97f4a7c15ULL));
+  const std::size_t n = 16 + static_cast<std::size_t>(rng.next() % 113);  // 16..128
+  switch (case_seed % 10) {
+    case 0: return {"plummer/n=" + std::to_string(n),
+                    workloads::plummer_sphere(n, case_seed), 1.0};
+    case 1: return {"uniform/n=" + std::to_string(n),
+                    workloads::uniform_cube(n, case_seed), 1.0};
+    case 2: return {"galaxy/n=" + std::to_string(n),
+                    workloads::galaxy_collision(n, case_seed), 1.0};
+    case 3: return {"coincident/n=" + std::to_string(n),
+                    coincident_cluster(n, case_seed), 4.0};
+    case 4: return {"mass-ratio/n=" + std::to_string(n),
+                    extreme_mass_ratio(n, case_seed), 4.0};
+    case 5: return {"collinear/n=" + std::to_string(n),
+                    collinear_chain(n, case_seed), 2.0};
+    case 6: return {"two-clusters/n=" + std::to_string(n),
+                    two_clusters(n, case_seed), 2.0};
+    case 7: return {"empty/n=0", core::System<double, 3>(), 1.0};
+    case 8: {
+      core::System<double, 3> one;
+      one.add(urand(rng, 0.1, 10.0), {urand(rng, -1, 1), urand(rng, -1, 1), urand(rng, -1, 1)},
+              math::vec<double, 3>::zero());
+      return {"single/n=1", std::move(one), 1.0};
+    }
+    default: {
+      core::System<double, 3> pair;
+      pair.add(1.0, {urand(rng, -1, 1), 0, 0}, math::vec<double, 3>::zero());
+      pair.add(urand(rng, 0.1, 10.0), {urand(rng, 1.5, 3.0), 0, 0},
+               math::vec<double, 3>::zero());
+      return {"pair/n=2", std::move(pair), 1.0};
+    }
+  }
+}
+
+}  // namespace nbody::prop

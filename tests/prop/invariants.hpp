@@ -1,0 +1,123 @@
+// Force-comparison and metamorphic-transform helpers for the differential
+// property harness. Everything operates on a copy of the input system so a
+// single generated case can be pushed through every strategy and transform.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+#include "core/reference.hpp"
+#include "core/step_context.hpp"
+#include "core/system.hpp"
+#include "math/vec.hpp"
+#include "support/rng.hpp"
+
+namespace nbody::prop {
+
+using System3 = core::System<double, 3>;
+using Vec3 = math::vec<double, 3>;
+
+/// Runs one force evaluation of `strategy` on a copy of `sys` and returns
+/// the accelerations keyed by stable body id (strategies may reorder).
+template <class Strategy, class Policy>
+std::vector<Vec3> forces_of(Strategy&& strategy, Policy policy, const System3& sys,
+                            const core::SimConfig<double>& cfg) {
+  System3 work = sys;
+  core::accelerate(strategy, policy, work, cfg);
+  std::vector<Vec3> by_id(work.size(), Vec3::zero());
+  for (std::size_t i = 0; i < work.size(); ++i) by_id[work.id[i]] = work.a[i];
+  return by_id;
+}
+
+/// Exact O(N^2) reference accelerations, keyed by id (reference never
+/// reorders, but keying keeps every comparison uniform).
+inline std::vector<Vec3> reference_forces(const System3& sys,
+                                          const core::SimConfig<double>& cfg) {
+  System3 work = sys;
+  core::reference_accelerations(work, cfg);
+  std::vector<Vec3> by_id(work.size(), Vec3::zero());
+  for (std::size_t i = 0; i < work.size(); ++i) by_id[work.id[i]] = work.a[i];
+  return by_id;
+}
+
+/// Relative L2 error ||a - b|| / ||b||, the paper's Sec. V-A metric.
+/// Returns 0 for two empty (or both-zero) sets.
+inline double rel_l2_error(const std::vector<Vec3>& a, const std::vector<Vec3>& b) {
+  double num = 0, den = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    num += math::norm2(a[i] - b[i]);
+    den += math::norm2(b[i]);
+  }
+  if (den == 0) return std::sqrt(num);
+  return std::sqrt(num / den);
+}
+
+/// Largest absolute per-component difference; for bit-identity checks use
+/// max_abs_diff(...) == 0.
+inline double max_abs_diff(const std::vector<Vec3>& a, const std::vector<Vec3>& b) {
+  double worst = 0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    for (std::size_t d = 0; d < 3; ++d)
+      worst = std::max(worst, std::abs(a[i][d] - b[i][d]));
+  return worst;
+}
+
+// ---- metamorphic transforms ------------------------------------------------
+
+inline System3 translated(const System3& sys, const Vec3& t) {
+  System3 out = sys;
+  for (auto& x : out.x) x += t;
+  return out;
+}
+
+/// Exact-in-FP rotation by 90 degrees about z: (x, y, z) -> (-y, x, z).
+/// Negation and component swap are lossless, so equivariance holds up to
+/// the kernel's summation-order sensitivity, not the transform's.
+inline System3 rotated90_z(const System3& sys) {
+  System3 out = sys;
+  for (auto& x : out.x) x = Vec3{-x[1], x[0], x[2]};
+  for (auto& v : out.v) v = Vec3{-v[1], v[0], v[2]};
+  return out;
+}
+
+inline std::vector<Vec3> rotated90_z(const std::vector<Vec3>& a) {
+  std::vector<Vec3> out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = Vec3{-a[i][1], a[i][0], a[i][2]};
+  return out;
+}
+
+/// Fisher-Yates shuffle of body storage order. Stable ids ride along, so
+/// id-keyed force vectors of the shuffled system compare directly against
+/// the original's.
+inline System3 permuted(const System3& sys, std::uint64_t seed) {
+  System3 out = sys;
+  support::Xoshiro256ss rng(seed);
+  for (std::size_t i = out.size(); i > 1; --i) {
+    const std::size_t j = rng.next() % i;
+    std::swap(out.m[i - 1], out.m[j]);
+    std::swap(out.x[i - 1], out.x[j]);
+    std::swap(out.v[i - 1], out.v[j]);
+    std::swap(out.a[i - 1], out.a[j]);
+    std::swap(out.id[i - 1], out.id[j]);
+  }
+  return out;
+}
+
+/// |sum_i m_i a_i| / sum_i |m_i a_i| — Newton's third law residual.
+/// Exactly summed pairwise kernels drive this to rounding error; Barnes-Hut
+/// truncation leaves an O(theta^2) residual.
+inline double momentum_residual(const System3& sys, const std::vector<Vec3>& forces_by_id) {
+  Vec3 net = Vec3::zero();
+  double scale = 0;
+  for (std::size_t i = 0; i < sys.size(); ++i) {
+    const Vec3 f = forces_by_id[sys.id[i]] * sys.m[i];
+    net += f;
+    scale += std::sqrt(math::norm2(f));
+  }
+  if (scale == 0) return std::sqrt(math::norm2(net));
+  return std::sqrt(math::norm2(net)) / scale;
+}
+
+}  // namespace nbody::prop

@@ -1,0 +1,187 @@
+// Differential + metamorphic property sweep (CTest labels: chaos, slow).
+//
+// 50 randomized systems (tests/prop/generators.hpp: clustered, uniform,
+// degenerate — coincident bodies, N = 0/1/2, 18-decade mass ratios) are each
+// evaluated under 8 seed-permuted chaos schedules, asserting
+//
+//   octree  ≡  BVH  ≡  all-pairs  ≡  exact reference
+//
+// within analytic tolerance, plus metamorphic invariants (translation /
+// rotation equivariance, body-permutation invariance, momentum conservation).
+// Every assertion is scoped with the case name and NBODY_CHAOS_SEED so a
+// failing (system, schedule) pair replays from the printed seeds alone.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "allpairs/allpairs.hpp"
+#include "bvh/strategy.hpp"
+#include "exec/algorithms.hpp"
+#include "exec/chaos/chaos.hpp"
+#include "octree/strategy.hpp"
+#include "prop/generators.hpp"
+#include "prop/invariants.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+namespace chaos = nbody::exec::chaos;
+using nbody::exec::backend;
+using nbody::exec::par;
+using nbody::exec::par_unseq;
+using nbody::prop::forces_of;
+using nbody::prop::rel_l2_error;
+using nbody::prop::System3;
+using nbody::prop::Vec3;
+
+const bool g_thread_env = [] {
+  setenv("NBODY_THREADS", "4", /*overwrite=*/0);
+  return true;
+}();
+
+constexpr std::size_t kSystems = 50;
+constexpr std::size_t kSchedules = 8;
+
+// Base tolerances; each case's tol_scale widens the tree bounds for
+// degenerate geometries (see generators.hpp).
+constexpr double kExactTol = 1e-10;   // same kernel, different summation order
+constexpr double kAtomicTol = 1e-9;   // atomic scatter accumulation order
+// Barnes-Hut truncation at theta = 0.5. The ball is sized for the worst of
+// the small systems (few bodies average the per-body error down less), not
+// the typical ~1e-2 of the larger ones.
+constexpr double kTreeTol = 0.08;
+
+struct Forces {
+  std::vector<Vec3> octree, bvh, allpairs, allpairs_col;
+};
+
+Forces forces_under_schedule(const System3& sys, const nbody::core::SimConfig<double>& cfg,
+                             std::uint64_t schedule_seed) {
+  const backend saved = nbody::exec::default_backend();
+  nbody::exec::set_default_backend(backend::chaos_permute);
+  chaos::set_seed(schedule_seed);
+  Forces f;
+  f.octree = forces_of(nbody::octree::OctreeStrategy<double, 3>{}, par, sys, cfg);
+  f.bvh = forces_of(nbody::bvh::BVHStrategy<double, 3>{}, par_unseq, sys, cfg);
+  f.allpairs = forces_of(nbody::allpairs::AllPairs<double, 3>{}, par_unseq, sys, cfg);
+  f.allpairs_col = forces_of(nbody::allpairs::AllPairsCol<double, 3>{}, par, sys, cfg);
+  nbody::exec::set_default_backend(saved);
+  return f;
+}
+
+TEST(DifferentialSweep, AllStrategiesAgreeAcrossFiftySystemsAndEightSchedules) {
+  nbody::core::SimConfig<double> cfg;  // theta = 0.5, softened
+  for (std::uint64_t case_seed = 0; case_seed < kSystems; ++case_seed) {
+    const nbody::prop::PropCase c = nbody::prop::make_case(case_seed);
+    SCOPED_TRACE("case_seed=" + std::to_string(case_seed) + " " + c.name);
+    const auto ref = nbody::prop::reference_forces(c.sys, cfg);
+
+    Forces first{};
+    for (std::uint64_t k = 0; k < kSchedules; ++k) {
+      const std::uint64_t sched = nbody::support::hash_u64(case_seed * kSchedules + k + 1);
+      const Forces f = forces_under_schedule(c.sys, cfg, sched);
+      SCOPED_TRACE("schedule NBODY_CHAOS_SEED=" + std::to_string(sched));
+
+      // Differential: every strategy within its analytic ball of the exact sum.
+      EXPECT_LE(rel_l2_error(f.allpairs, ref), kExactTol * c.tol_scale);
+      EXPECT_LE(rel_l2_error(f.allpairs_col, ref), kAtomicTol * c.tol_scale);
+      EXPECT_LE(rel_l2_error(f.octree, ref), kTreeTol * c.tol_scale);
+      EXPECT_LE(rel_l2_error(f.bvh, ref), kTreeTol * c.tol_scale);
+
+      // Schedule invariance: the dispatch permutation may only perturb
+      // results through FP accumulation order, never through the answer.
+      if (k == 0) {
+        first = f;
+      } else {
+        EXPECT_EQ(nbody::prop::max_abs_diff(f.allpairs, first.allpairs), 0.0)
+            << "all-pairs must be bitwise schedule-invariant";
+        EXPECT_LE(rel_l2_error(f.allpairs_col, first.allpairs_col), kAtomicTol * c.tol_scale);
+        EXPECT_LE(rel_l2_error(f.octree, first.octree), kAtomicTol * c.tol_scale);
+        EXPECT_LE(rel_l2_error(f.bvh, first.bvh), kAtomicTol * c.tol_scale);
+      }
+    }
+  }
+}
+
+TEST(Metamorphic, TranslationEquivariance) {
+  nbody::core::SimConfig<double> cfg;
+  for (std::uint64_t case_seed = 0; case_seed < 12; ++case_seed) {
+    const auto c = nbody::prop::make_case(case_seed);
+    SCOPED_TRACE("case_seed=" + std::to_string(case_seed) + " " + c.name);
+    const Vec3 t{13.5, -7.25, 3.0};
+    const System3 moved = nbody::prop::translated(c.sys, t);
+
+    nbody::allpairs::AllPairs<double, 3> ap;
+    // Pairwise differences absorb the translation up to rounding of x + t.
+    EXPECT_LE(rel_l2_error(forces_of(ap, par, moved, cfg), forces_of(ap, par, c.sys, cfg)),
+              1e-8);
+    // The tree root shifts with the bodies, so acceptance decisions can flip
+    // near the theta boundary: both results sit in the reference's kTreeTol
+    // ball, hence within twice that of each other.
+    nbody::octree::OctreeStrategy<double, 3> oct;
+    EXPECT_LE(rel_l2_error(forces_of(oct, par, moved, cfg), forces_of(oct, par, c.sys, cfg)),
+              2 * kTreeTol * c.tol_scale);
+  }
+}
+
+TEST(Metamorphic, RotationEquivariance) {
+  nbody::core::SimConfig<double> cfg;
+  for (std::uint64_t case_seed = 0; case_seed < 12; ++case_seed) {
+    const auto c = nbody::prop::make_case(case_seed);
+    SCOPED_TRACE("case_seed=" + std::to_string(case_seed) + " " + c.name);
+    const System3 rot = nbody::prop::rotated90_z(c.sys);
+
+    nbody::allpairs::AllPairs<double, 3> ap;
+    // (x,y,z) -> (-y,x,z) is exact in FP; only summation order inside the
+    // kernel's norm can differ.
+    EXPECT_LE(rel_l2_error(forces_of(ap, par, rot, cfg),
+                           nbody::prop::rotated90_z(forces_of(ap, par, c.sys, cfg))),
+              1e-12);
+    nbody::bvh::BVHStrategy<double, 3> bvh;
+    EXPECT_LE(rel_l2_error(forces_of(bvh, par_unseq, rot, cfg),
+                           nbody::prop::rotated90_z(forces_of(bvh, par_unseq, c.sys, cfg))),
+              2 * kTreeTol * c.tol_scale);
+  }
+}
+
+TEST(Metamorphic, BodyPermutationInvariance) {
+  nbody::core::SimConfig<double> cfg;
+  for (std::uint64_t case_seed = 0; case_seed < 12; ++case_seed) {
+    const auto c = nbody::prop::make_case(case_seed);
+    SCOPED_TRACE("case_seed=" + std::to_string(case_seed) + " " + c.name);
+    const System3 shuffled = nbody::prop::permuted(c.sys, case_seed + 1000);
+
+    // Stable ids key the comparison, so identical physics must come back.
+    nbody::allpairs::AllPairs<double, 3> ap;
+    EXPECT_LE(rel_l2_error(forces_of(ap, par, shuffled, cfg), forces_of(ap, par, c.sys, cfg)),
+              kExactTol * c.tol_scale);
+    // The octree's shape depends on positions only; storage order merely
+    // reorders insertions and accumulation.
+    nbody::octree::OctreeStrategy<double, 3> oct;
+    EXPECT_LE(
+        rel_l2_error(forces_of(oct, par, shuffled, cfg), forces_of(oct, par, c.sys, cfg)),
+        1e-7 * c.tol_scale);
+  }
+}
+
+TEST(Metamorphic, MomentumConservation) {
+  nbody::core::SimConfig<double> cfg;
+  for (std::uint64_t case_seed = 0; case_seed < 12; ++case_seed) {
+    const auto c = nbody::prop::make_case(case_seed);
+    if (c.sys.size() < 2) continue;
+    SCOPED_TRACE("case_seed=" + std::to_string(case_seed) + " " + c.name);
+
+    // Newton's third law: exact for symmetric pairwise kernels (up to
+    // accumulation rounding), O(theta^2) for Barnes-Hut truncation.
+    nbody::allpairs::AllPairsCol<double, 3> col;
+    EXPECT_LE(nbody::prop::momentum_residual(c.sys, forces_of(col, par, c.sys, cfg)), 1e-10);
+    nbody::octree::OctreeStrategy<double, 3> oct;
+    EXPECT_LE(nbody::prop::momentum_residual(c.sys, forces_of(oct, par, c.sys, cfg)),
+              kTreeTol * c.tol_scale);
+  }
+}
+
+}  // namespace

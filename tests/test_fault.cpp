@@ -392,7 +392,16 @@ TEST(RunGuarded, RecoversFromInjectedOctreeFaults) {
   guarded.synchronize_velocities(exec::par);
 
   EXPECT_EQ(rep.steps_completed, 12u);
-  EXPECT_GE(rep.restores, 3u);          // every injection forced a restore
+  // Every armed injection fired. With a multi-thread pool several workers
+  // can consume fires inside one failed build, so a single restore may
+  // absorb more than one injection; only the serial pool guarantees a
+  // restore per fire.
+  EXPECT_EQ(support::fault_fires(FaultSite::octree_node_alloc), 3u);
+  if (exec::thread_pool::global().concurrency() == 1) {
+    EXPECT_GE(rep.restores, 3u);
+  } else {
+    EXPECT_GE(rep.restores, 1u);
+  }
   EXPECT_LE(rep.retries_used, 8u);
   EXPECT_GE(rep.degrade_level, 1u);     // par -> seq after the first failure
   EXPECT_FALSE(rep.log.empty());
