@@ -1,0 +1,120 @@
+// Ablation: group interaction-list traversal vs the per-body DFS of the
+// paper's Algorithm 2 / Fig. 3. One MAC-driven walk per block of spatially
+// coherent bodies emits shared M2P/P2P lists which the SoA batch kernels
+// replay (math/batch_kernels.hpp) — the Bonsai-style evaluation the paper's
+// related work attributes to Bédorf et al. Rows time the *force phase only*
+// (PhaseTimer), so tree build / Hilbert sort costs — identical in both
+// variants — never dilute the comparison.
+//
+// Writes a JSON fragment when invoked with an output path argument; the CI
+// regression gate (ci/run_bench_gate.sh) runs this binary once per
+// scheduling backend and merges the fragments into BENCH_group_traversal.json.
+#include <cstdio>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "bench_support/table.hpp"
+#include "bvh/strategy.hpp"
+#include "octree/strategy.hpp"
+#include "support/env.hpp"
+
+namespace {
+
+using namespace nbody;
+
+struct Row {
+  const char* strategy;
+  std::size_t n;
+  double dfs_s;    // force-phase seconds per step, per-body DFS
+  double group_s;  // force-phase seconds per step, group traversal
+};
+
+/// Best-of-`reps` force-phase seconds for one strategy instance. The huge
+/// reuse_interval keeps build (octree) / sort (BVH) out of the repeated
+/// calls; the PhaseTimer isolates the "force" phase regardless.
+template <class Strategy>
+double force_seconds(Strategy& strategy, core::System<double, 3>& sys,
+                     const core::SimConfig<double>& cfg, int reps) {
+  nbody::bench::accelerate(strategy, exec::par, sys, cfg);  // warm-up
+  double best = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < reps; ++r) {
+    support::PhaseTimer t;
+    nbody::bench::accelerate(strategy, exec::par, sys, cfg, &t);
+    best = std::min(best, t.seconds("force"));
+  }
+  return best;
+}
+
+template <class Strategy>
+Row measure(const char* name, const core::System<double, 3>& initial,
+            core::SimConfig<double> cfg, std::size_t group_size, int reps) {
+  typename Strategy::Options opts{};
+  opts.reuse_interval = 1u << 30;  // build/sort once, then force-only steps
+  Row row{name, initial.size(), 0.0, 0.0};
+  {
+    auto sys = initial;
+    Strategy s(opts);
+    cfg.group_size = 0;
+    row.dfs_s = force_seconds(s, sys, cfg, reps);
+  }
+  {
+    auto sys = initial;
+    Strategy s(opts);
+    cfg.group_size = group_size;
+    row.group_s = force_seconds(s, sys, cfg, reps);
+  }
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = argc > 1 ? argv[1] : "";
+  const auto group_size = static_cast<std::size_t>(
+      nbody::support::env_double("NBODY_GROUP_SIZE", 64));
+  const int reps = 3;
+  const auto cfg = nbody::bench::paper_config();
+  const char* backend = exec::backend_name(exec::default_backend());
+
+  std::vector<Row> rows;
+  nbody::bench_support::Table table(
+      "Group traversal vs per-body DFS (force phase, par, backend=" +
+          std::string(backend) + ", group=" + std::to_string(group_size) + ")",
+      {"strategy", "N", "dfs s/step", "group s/step", "group/dfs"});
+  for (std::size_t n : {std::size_t{1024}, std::size_t{4096}, std::size_t{16384}}) {
+    const auto initial = workloads::galaxy_collision(n);
+    rows.push_back(measure<octree::OctreeStrategy<double, 3>>("octree", initial, cfg,
+                                                              group_size, reps));
+    rows.push_back(
+        measure<bvh::BVHStrategy<double, 3>>("bvh", initial, cfg, group_size, reps));
+  }
+  for (const Row& r : rows)
+    table.add_row({std::string(r.strategy), static_cast<long long>(r.n), r.dfs_s, r.group_s,
+                   r.group_s / r.dfs_s});
+  table.print();
+  table.maybe_write_csv("ablation_group");
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "ablation_group: cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"group_traversal\",\n  \"backend\": \"%s\",\n", backend);
+    std::fprintf(f, "  \"group_size\": %zu,\n  \"rows\": [\n", group_size);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      std::fprintf(f,
+                   "    {\"strategy\": \"%s\", \"n\": %zu, \"dfs_s\": %.6e, "
+                   "\"group_s\": %.6e, \"ratio\": %.4f}%s\n",
+                   r.strategy, r.n, r.dfs_s, r.group_s, r.group_s / r.dfs_s,
+                   i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

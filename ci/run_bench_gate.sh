@@ -1,0 +1,91 @@
+#!/bin/sh
+# Benchmark regression gate for the group-traversal force path.
+#
+# Runs bench/ablation_group once per scheduling backend
+# (NBODY_BACKEND=static|dynamic|steal), merges the per-backend fragments
+# into BENCH_group_traversal.json, and fails when either
+#   (a) group traversal is slower than the per-body DFS at N >= 4096 beyond
+#       the noise band (the optimization's acceptance criterion), or
+#   (b) any (strategy, backend, N) group/DFS ratio regressed beyond the band
+#       relative to the committed seed JSON.
+# Ratios — not absolute seconds — are compared, so the gate is robust to the
+# host being faster or slower than the machine that produced the seed.
+#
+# Usage: ci/run_bench_gate.sh <ablation_group-binary> <seed-json> [out-json]
+#
+# Environment:
+#   NBODY_BENCH_GATE_BAND       relative noise band (default 0.25)
+#   NBODY_BENCH_GATE_BOOTSTRAP  1 = (re)write the seed from this run and pass
+set -eu
+
+BIN="${1:?usage: run_bench_gate.sh <ablation_group-binary> <seed-json> [out-json]}"
+SEED="${2:?usage: run_bench_gate.sh <ablation_group-binary> <seed-json> [out-json]}"
+OUT="${3:-BENCH_group_traversal.json}"
+BAND="${NBODY_BENCH_GATE_BAND:-0.25}"
+BOOTSTRAP="${NBODY_BENCH_GATE_BOOTSTRAP:-0}"
+
+TMPDIR_GATE="$(mktemp -d)"
+trap 'rm -rf "$TMPDIR_GATE"' EXIT
+
+# chaos_permute is a verification backend (randomized schedules), not a
+# performance discipline — the gate sweeps the three production backends.
+for backend in static dynamic steal; do
+  echo "==== ablation_group NBODY_BACKEND=$backend ===="
+  NBODY_BACKEND="$backend" "$BIN" "$TMPDIR_GATE/$backend.json"
+done
+
+python3 - "$TMPDIR_GATE" "$OUT" "$SEED" "$BAND" "$BOOTSTRAP" <<'EOF'
+import json, os, sys
+
+frag_dir, out_path, seed_path, band, bootstrap = sys.argv[1:6]
+band = float(band)
+
+merged = {"bench": "group_traversal", "group_size": None, "backends": {}}
+for name in sorted(os.listdir(frag_dir)):
+    with open(os.path.join(frag_dir, name)) as f:
+        frag = json.load(f)
+    merged["group_size"] = frag["group_size"]
+    merged["backends"][frag["backend"]] = frag["rows"]
+with open(out_path, "w") as f:
+    json.dump(merged, f, indent=2)
+    f.write("\n")
+print(f"merged results -> {out_path}")
+
+if bootstrap == "1" or not os.path.exists(seed_path):
+    with open(seed_path, "w") as f:
+        json.dump(merged, f, indent=2)
+        f.write("\n")
+    print(f"bootstrap: seed written -> {seed_path}")
+    sys.exit(0)
+
+with open(seed_path) as f:
+    seed = json.load(f)
+seed_ratio = {
+    (b, r["strategy"], r["n"]): r["ratio"]
+    for b, rows in seed["backends"].items()
+    for r in rows
+}
+
+failures = []
+for backend, rows in merged["backends"].items():
+    for r in rows:
+        key = (backend, r["strategy"], r["n"])
+        ratio = r["ratio"]
+        # (a) absolute acceptance: group no slower than DFS at N >= 4096.
+        if r["n"] >= 4096 and ratio > 1.0 + band:
+            failures.append(
+                f"{backend}/{r['strategy']}/N={r['n']}: group/dfs ratio "
+                f"{ratio:.3f} > {1.0 + band:.3f} (group slower than DFS)")
+        # (b) regression vs the committed seed ratio.
+        if key in seed_ratio and ratio > seed_ratio[key] * (1.0 + band):
+            failures.append(
+                f"{backend}/{r['strategy']}/N={r['n']}: ratio {ratio:.3f} "
+                f"regressed beyond seed {seed_ratio[key]:.3f} * {1.0 + band:.3f}")
+
+if failures:
+    print("BENCH GATE FAILED:")
+    for f_ in failures:
+        print(f"  {f_}")
+    sys.exit(1)
+print(f"bench gate passed (band {band:.2f}, {sum(len(v) for v in merged['backends'].values())} rows)")
+EOF

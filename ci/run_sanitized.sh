@@ -22,11 +22,12 @@ export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_stack_use_after_return=1}"
 # The slow chaos sweep (label `slow`) is excluded: it repeats the same force
 # kernels hundreds of times, which under ASan multiplies the lane's runtime
 # without covering new code. ci/run_coverage.sh and the plain ctest run keep
-# exercising it.
+# exercising it. The benchmark gate (label `bench`) is excluded too: timing
+# under ASan is meaningless, and this lane builds with benches off anyway.
 status=0
 for backend in static dynamic steal chaos; do
   echo "==== NBODY_BACKEND=$backend ===="
-  if ! NBODY_BACKEND="$backend" ctest --test-dir "$BUILD_DIR" -LE slow --output-on-failure; then
+  if ! NBODY_BACKEND="$backend" ctest --test-dir "$BUILD_DIR" -LE "slow|bench" --output-on-failure; then
     status=1
   fi
 done

@@ -139,6 +139,7 @@ int main(int argc, char** argv) {
   cli.add_option("softening", "Plummer softening length", "0.05");
   cli.add_option("leaf-size", "BVH bodies per leaf (power of two)", "1");
   cli.add_option("reuse", "rebuild tree / re-sort every k steps", "1");
+  cli.add_option("group-size", "bodies per traversal group (0 = per-body walk)", "0");
   cli.add_option("save", "write final state as binary snapshot", "");
   cli.add_option("save-csv", "write final state as CSV", "");
   cli.add_option("load", "start from a binary snapshot", "");
@@ -174,6 +175,7 @@ int main(int argc, char** argv) {
     cfg.theta = cli.get_double("theta");
     cfg.softening = cli.get_double("softening");
     cfg.quadrupole = cli.get_flag("quadrupole");
+    cfg.group_size = cli.get_size("group-size");
 
     auto sys = make_workload(cli);
     const std::size_t steps = cli.get_size("steps");

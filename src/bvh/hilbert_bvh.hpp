@@ -28,6 +28,7 @@
 #include "exec/algorithms.hpp"
 #include "exec/radix_sort.hpp"
 #include "math/aabb.hpp"
+#include "math/batch_kernels.hpp"
 #include "math/gravity.hpp"
 #include "math/multipole.hpp"
 #include "sfc/grid.hpp"
@@ -313,6 +314,45 @@ class HilbertBVH {
     exec::for_each_index(policy, x.size(), [&, theta2, G, eps2, quadrupole](std::size_t i) {
       a_out[i] = acceleration_on(x[i], i, m, x, theta2, G, eps2, quadrupole);
     });
+  }
+
+  // -- group traversal (interaction-list collection) --------------------------
+
+  /// One MAC-driven walk for a group of (Hilbert-contiguous) bodies bounded
+  /// by `gbox`: emits the group's shared M2P/P2P interaction lists. Accepts
+  /// a node only when the configured MAC holds against the *closest* point
+  /// of the group box — a subset of every member's per-body accepts, so the
+  /// replay is at least as accurate as acceleration_on (see
+  /// ConcurrentOctree::collect_group_lists and DESIGN.md §4e). Skip-list
+  /// successor stepping and the zero-mass pruning match the per-body DFS.
+  /// Synchronization-free; safe under par_unseq.
+  void collect_group_lists(const box_t& gbox, const std::vector<T>& m,
+                           const std::vector<vec_t>& x, T theta2,
+                           math::InteractionLists<T, D>& out, bool quadrupole = false) const {
+    if (n_bodies_ == 0) return;
+    std::size_t k = 1;
+    for (;;) {
+      bool descend = false;
+      if (k >= leaf_begin_) {
+        const auto [b0, b1] = leaf_range(k - leaf_begin_);
+        for (std::size_t b = b0; b < b1; ++b) out.push_body(x[b], m[b]);
+      } else if (node_mass_[k] > T(0)) {
+        const T d2 = gbox.dist2(node_com_[k]);
+        if (mac_size2(k) < theta2 * d2) {
+          if (quadrupole)
+            out.push_node(node_com_[k], node_mass_[k], node_quad_[k]);
+          else
+            out.push_node(node_com_[k], node_mass_[k]);
+        } else {
+          k = 2 * k;
+          descend = true;
+        }
+      }
+      if (descend) continue;
+      while (k != 1 && (k & 1)) k >>= 1;
+      if (k == 1) return;
+      ++k;
+    }
   }
 
   // -- spatial queries --------------------------------------------------------

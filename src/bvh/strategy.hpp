@@ -12,6 +12,7 @@
 #include "core/bbox.hpp"
 #include "core/step_context.hpp"
 #include "core/system.hpp"
+#include "math/batch_kernels.hpp"
 #include "support/timer.hpp"
 
 namespace nbody::bvh {
@@ -75,7 +76,13 @@ class BVHStrategy {
     }
     {
       auto scope = ctx.phase("force");
-      compute_forces(policy, ctx);
+      // group_size > 0 selects group traversal: the Hilbert sort already
+      // made consecutive indices spatially coherent, so groups are plain
+      // contiguous blocks of the sorted System — no gather/scatter needed.
+      if (cfg.group_size > 0)
+        compute_forces_grouped(policy, ctx);
+      else
+        compute_forces(policy, ctx);
     }
   }
 
@@ -112,6 +119,67 @@ class BVHStrategy {
       p2p.add(st.exact_pairs);
       opens.add(st.opens);
       visited.add(st.nodes_visited);
+    });
+  }
+
+  /// Per-worker scratch of the grouped force path (see OctreeStrategy's
+  /// twin): reused across groups, thread_local ⇒ synchronization-free.
+  struct GroupScratch {
+    math::InteractionLists<T, D> lists;
+  };
+
+  /// Group-traversal force evaluation over contiguous Hilbert-sorted blocks.
+  /// One MAC-driven walk per block against the block's bounding box; the
+  /// emitted lists replay through the SoA batch kernels straight into
+  /// sys.a[b0, b1) — targets are already contiguous in the sorted System.
+  template <class Policy>
+  void compute_forces_grouped(Policy policy, core::StepContext<T, D>& ctx) {
+    core::System<T, D>& sys = ctx.sys;
+    const core::SimConfig<T>& cfg = ctx.cfg;
+    const std::size_t n = sys.x.size();
+    if (n == 0) return;
+    // Dispatch guarantees group_size > 0; clamp above to N (one big group).
+    const std::size_t gsize = cfg.group_size < n ? cfg.group_size : n;
+    const std::size_t ngroups = (n + gsize - 1) / gsize;
+    const T theta2 = cfg.theta2();
+    const T G = cfg.G;
+    const T eps2 = cfg.eps2();
+    const bool quad = cfg.quadrupole;
+    const bool counted = ctx.metrics_enabled();
+    auto* groups_ctr = counted ? &ctx.metrics->counter("bvh.group.groups") : nullptr;
+    auto* m2p_ctr = counted ? &ctx.metrics->counter("bvh.group.m2p") : nullptr;
+    auto* p2p_ctr = counted ? &ctx.metrics->counter("bvh.group.p2p") : nullptr;
+    auto* walk_ns = counted ? &ctx.metrics->counter("bvh.group.walk_ns") : nullptr;
+    auto* kernel_ns = counted ? &ctx.metrics->counter("bvh.group.kernel_ns") : nullptr;
+    auto* m2p_len = counted ? &ctx.metrics->histogram("bvh.group.m2p_len",
+                                                      {16, 64, 256, 1024, 4096, 16384})
+                            : nullptr;
+    auto* p2p_len = counted ? &ctx.metrics->histogram("bvh.group.p2p_len",
+                                                      {16, 64, 256, 1024, 4096, 16384})
+                            : nullptr;
+    exec::for_each_index(policy, ngroups, [&, theta2, G, eps2, quad, gsize, n](std::size_t gi) {
+      static thread_local GroupScratch s;
+      const std::size_t b0 = gi * gsize;
+      const std::size_t b1 = b0 + gsize < n ? b0 + gsize : n;
+      math::aabb<T, D> gbox;
+      for (std::size_t k = b0; k < b1; ++k) gbox = gbox.merged(sys.x[k]);
+      s.lists.clear();
+      support::Stopwatch sw;
+      tree_.collect_group_lists(gbox, sys.m, sys.x, theta2, s.lists, quad);
+      const double walk_s = sw.seconds();
+      sw.reset();
+      math::evaluate_interaction_lists(s.lists, sys.x.data() + b0, b1 - b0, G, eps2,
+                                       sys.a.data() + b0);
+      const double kernel_s = sw.seconds();
+      if (groups_ctr != nullptr) {
+        groups_ctr->add();
+        m2p_ctr->add(s.lists.m2p_size());
+        p2p_ctr->add(s.lists.p2p_size());
+        walk_ns->add(static_cast<std::uint64_t>(walk_s * 1e9));
+        kernel_ns->add(static_cast<std::uint64_t>(kernel_s * 1e9));
+        m2p_len->observe(static_cast<double>(s.lists.m2p_size()));
+        p2p_len->observe(static_cast<double>(s.lists.p2p_size()));
+      }
     });
   }
 

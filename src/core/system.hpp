@@ -87,6 +87,12 @@ struct SimConfig {
   T theta = T(0.5);      // Barnes-Hut opening angle
   T softening = T(1e-2); // Plummer softening length eps
   bool quadrupole = false;  // add traceless-quadrupole terms to accepted nodes
+  /// Bodies per traversal group for the tree strategies' force phase:
+  /// 0 (default) walks the tree once per body (the paper's Algorithm 2 /
+  /// Fig. 3); > 0 walks once per group of this many spatially coherent
+  /// bodies and replays the shared interaction lists through the SoA batch
+  /// kernels (math/batch_kernels.hpp). Values are clamped to [1, N].
+  std::size_t group_size = 0;
 
   [[nodiscard]] T eps2() const { return softening * softening; }
   [[nodiscard]] T theta2() const { return theta * theta; }

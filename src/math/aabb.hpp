@@ -89,6 +89,19 @@ struct aabb {
     return r;
   }
 
+  /// Squared distance from `p` to the closest point of the box (0 when the
+  /// box contains `p`). This is the d_min of the group opening criterion:
+  /// every body inside the box is at least this far from `p`.
+  [[nodiscard]] constexpr T dist2(const vec<T, D>& p) const {
+    T d2 = T(0);
+    for (std::size_t i = 0; i < D; ++i) {
+      const T c = p[i] < lo[i] ? lo[i] : (p[i] > hi[i] ? hi[i] : p[i]);
+      const T delta = p[i] - c;
+      d2 += delta * delta;
+    }
+    return d2;
+  }
+
   /// Expands a possibly degenerate box into a non-degenerate cube: the
   /// octree requires a root with strictly positive side length even when all
   /// bodies coincide or N == 1.

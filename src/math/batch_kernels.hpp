@@ -1,0 +1,189 @@
+// SoA interaction lists + tiled batch kernels for group traversal.
+//
+// GPU treecodes (Bonsai; Bédorf et al.) and the many-core work of Tokuue &
+// Ishiyama walk the tree once per *group* of spatially coherent bodies
+// instead of once per body: the walk emits the group's shared interaction
+// lists — accepted nodes (M2P) and opened leaves' bodies (P2P) — and every
+// body in the group then replays the same two lists through dense,
+// branch-light kernels. This header owns the list storage and the replay
+// kernels; the tree classes own the MAC-driven walks that fill the lists
+// (ConcurrentOctree::collect_group_lists, HilbertBVH::collect_group_lists).
+//
+// Memory layout: structure-of-arrays. Each list keeps one contiguous array
+// per coordinate plus one for the masses, so the kernels' inner loops read
+// unit-stride streams and auto-vectorize under par_unseq semantics (no
+// branches in the hot path — the r² > 0 coincidence guard compiles to a
+// select). Quadrupole tensors stay AoS in a side vector: they are touched
+// once per accepted node, not once per (body, node) pair of the monopole
+// stream. Lists grow geometrically through std::vector (the
+// overflow/regrowth path is exercised in tests/test_group.cpp); callers
+// reuse one InteractionLists per worker thread so steady state allocates
+// nothing.
+//
+// Self-interaction needs no index bookkeeping: a target body appearing in
+// its own P2P list contributes d = 0 ⇒ exactly zero acceleration, matching
+// the j ≠ i exclusion of the per-body DFS bit-for-bit (zero is the additive
+// identity). Coincident *distinct* bodies behave identically in both paths
+// (softened, or zeroed by the r² > 0 guard when eps = 0).
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "math/multipole.hpp"
+#include "math/vec.hpp"
+
+namespace nbody::math {
+
+/// Shared interaction lists of one traversal group, SoA layout.
+template <class T, std::size_t D>
+class InteractionLists {
+ public:
+  /// Drops contents, keeps capacity (per-thread reuse across groups).
+  void clear() {
+    for (std::size_t d = 0; d < D; ++d) {
+      node_pos_[d].clear();
+      body_pos_[d].clear();
+    }
+    node_mass_.clear();
+    node_quad_.clear();
+    body_mass_.clear();
+  }
+
+  /// Pre-sizes both lists; appends past these bounds regrow geometrically.
+  void reserve(std::size_t nodes, std::size_t bodies) {
+    for (std::size_t d = 0; d < D; ++d) {
+      node_pos_[d].reserve(nodes);
+      body_pos_[d].reserve(bodies);
+    }
+    node_mass_.reserve(nodes);
+    body_mass_.reserve(bodies);
+  }
+
+  /// Appends one accepted node (monopole only).
+  void push_node(const vec<T, D>& com, T mass) {
+    for (std::size_t d = 0; d < D; ++d) node_pos_[d].push_back(com[d]);
+    node_mass_.push_back(mass);
+  }
+
+  /// Appends one accepted node with its traceless quadrupole.
+  void push_node(const vec<T, D>& com, T mass, const SymTensor<T, D>& quad) {
+    push_node(com, mass);
+    node_quad_.push_back(quad);
+  }
+
+  /// Appends one opened-leaf source body.
+  void push_body(const vec<T, D>& x, T mass) {
+    for (std::size_t d = 0; d < D; ++d) body_pos_[d].push_back(x[d]);
+    body_mass_.push_back(mass);
+  }
+
+  [[nodiscard]] std::size_t m2p_size() const { return node_mass_.size(); }
+  [[nodiscard]] std::size_t p2p_size() const { return body_mass_.size(); }
+  [[nodiscard]] std::size_t m2p_capacity() const { return node_mass_.capacity(); }
+  [[nodiscard]] std::size_t p2p_capacity() const { return body_mass_.capacity(); }
+  [[nodiscard]] bool has_quadrupoles() const {
+    return node_quad_.size() == node_mass_.size() && !node_mass_.empty();
+  }
+
+  [[nodiscard]] const std::vector<T>& node_pos(std::size_t d) const { return node_pos_[d]; }
+  [[nodiscard]] const std::vector<T>& node_mass() const { return node_mass_; }
+  [[nodiscard]] const std::vector<SymTensor<T, D>>& node_quad() const { return node_quad_; }
+  [[nodiscard]] const std::vector<T>& body_pos(std::size_t d) const { return body_pos_[d]; }
+  [[nodiscard]] const std::vector<T>& body_mass() const { return body_mass_; }
+
+ private:
+  std::array<std::vector<T>, D> node_pos_;  // M2P: accepted-node centers of mass
+  std::vector<T> node_mass_;
+  std::vector<SymTensor<T, D>> node_quad_;  // parallel to node_mass_ iff quadrupole
+  std::array<std::vector<T>, D> body_pos_;  // P2P: opened-leaf source bodies
+  std::vector<T> body_mass_;
+};
+
+/// Source-tile length of the batch kernels: long enough to amortize the
+/// per-tile loop setup, short enough that a tile's D+1 streams stay in L1
+/// while every body of the group replays it.
+inline constexpr std::size_t kBatchTile = 128;
+
+namespace detail {
+
+/// One (targets × source-tile) monopole block: acc[i] += Σ_j G m_j d /
+/// (|d|² + eps²)^{3/2}. Shared by the P2P and the M2P monopole streams —
+/// a point mass is a point mass.
+template <class T, std::size_t D>
+inline void monopole_tile(const std::array<const T*, D>& src, const T* mass,
+                          std::size_t j0, std::size_t j1, const vec<T, D>* xt,
+                          std::size_t g, T G, T eps2, vec<T, D>* acc) {
+  for (std::size_t i = 0; i < g; ++i) {
+    const vec<T, D> xi = xt[i];
+    vec<T, D> a = vec<T, D>::zero();
+    for (std::size_t j = j0; j < j1; ++j) {
+      std::array<T, D> diff;
+      T r2 = eps2;
+      for (std::size_t d = 0; d < D; ++d) {
+        diff[d] = src[d][j] - xi[d];
+        r2 += diff[d] * diff[d];
+      }
+      // Branchless coincidence guard: the select keeps the loop vectorizable.
+      const T inv_r = r2 > T(0) ? T(1) / std::sqrt(r2) : T(0);
+      const T w = G * mass[j] * inv_r * inv_r * inv_r;
+      for (std::size_t d = 0; d < D; ++d) a[d] += diff[d] * w;
+    }
+    acc[i] += a;
+  }
+}
+
+}  // namespace detail
+
+/// Replays the P2P list for `g` targets: acc[i] += exact pairwise terms.
+template <class T, std::size_t D>
+void p2p_batch(const InteractionLists<T, D>& lists, const vec<T, D>* xt, std::size_t g,
+               T G, T eps2, vec<T, D>* acc) {
+  std::array<const T*, D> src;
+  for (std::size_t d = 0; d < D; ++d) src[d] = lists.body_pos(d).data();
+  const T* mass = lists.body_mass().data();
+  const std::size_t n = lists.p2p_size();
+  for (std::size_t j0 = 0; j0 < n; j0 += kBatchTile)
+    detail::monopole_tile<T, D>(src, mass, j0, std::min(j0 + kBatchTile, n), xt, g, G, eps2,
+                                acc);
+}
+
+/// Replays the M2P list for `g` targets: acc[i] += multipole approximations
+/// of the accepted nodes (monopole stream, plus the AoS quadrupole side
+/// pass when the lists carry tensors).
+template <class T, std::size_t D>
+void m2p_batch(const InteractionLists<T, D>& lists, const vec<T, D>* xt, std::size_t g,
+               T G, T eps2, vec<T, D>* acc) {
+  std::array<const T*, D> src;
+  for (std::size_t d = 0; d < D; ++d) src[d] = lists.node_pos(d).data();
+  const T* mass = lists.node_mass().data();
+  const std::size_t n = lists.m2p_size();
+  for (std::size_t j0 = 0; j0 < n; j0 += kBatchTile)
+    detail::monopole_tile<T, D>(src, mass, j0, std::min(j0 + kBatchTile, n), xt, g, G, eps2,
+                                acc);
+  if (!lists.has_quadrupoles()) return;
+  const auto& quads = lists.node_quad();
+  for (std::size_t i = 0; i < g; ++i) {
+    const vec<T, D> xi = xt[i];
+    vec<T, D> a = vec<T, D>::zero();
+    for (std::size_t j = 0; j < n; ++j) {
+      vec<T, D> com;
+      for (std::size_t d = 0; d < D; ++d) com[d] = src[d][j];
+      a += quadrupole_accel(xi, com, quads[j], G, eps2);
+    }
+    acc[i] += a;
+  }
+}
+
+/// Full replay: zeroes acc[0, g) and accumulates both lists.
+template <class T, std::size_t D>
+void evaluate_interaction_lists(const InteractionLists<T, D>& lists, const vec<T, D>* xt,
+                                std::size_t g, T G, T eps2, vec<T, D>* acc) {
+  for (std::size_t i = 0; i < g; ++i) acc[i] = vec<T, D>::zero();
+  p2p_batch(lists, xt, g, G, eps2, acc);
+  m2p_batch(lists, xt, g, G, eps2, acc);
+}
+
+}  // namespace nbody::math

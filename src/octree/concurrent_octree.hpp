@@ -43,6 +43,7 @@
 #include "exec/algorithms.hpp"
 #include "exec/atomic.hpp"
 #include "math/aabb.hpp"
+#include "math/batch_kernels.hpp"
 #include "math/gravity.hpp"
 #include "math/multipole.hpp"
 #include "support/assert.hpp"
@@ -467,6 +468,88 @@ class ConcurrentOctree {
       a_out[i] = acceleration_on(x[i], static_cast<std::uint32_t>(i), m, x, theta2, G, eps2,
                                  quadrupole);
     });
+  }
+
+  // -- group traversal (interaction-list collection) --------------------------
+
+  /// One MAC-driven walk for a whole *group* of bodies bounded by `gbox`
+  /// (Bonsai-style): emits the group's shared interaction lists instead of
+  /// accelerations. A node is accepted — appended to the M2P list — only
+  /// when the criterion holds against the *closest* point of the group box
+  /// (s² < θ² · dist²(com, gbox)), i.e. when every body inside the box
+  /// would also accept it; otherwise it is opened, and reached leaves
+  /// append their chained bodies to the P2P list. The emitted M2P set is
+  /// therefore a subset of any member's per-body accepts, so replaying the
+  /// lists is at least as accurate as the per-body DFS (it substitutes
+  /// exact or finer terms for some approximations — the source of the
+  /// tolerance band in the differential suite, DESIGN.md §4e).
+  ///
+  /// Group members land in their own P2P list; their self-contribution is
+  /// exactly zero (see math/batch_kernels.hpp). Synchronization-free like
+  /// acceleration_on: safe under par_unseq, tree must not mutate.
+  void collect_group_lists(const box_t& gbox, const std::vector<T>& m,
+                           const std::vector<vec_t>& x, T theta2,
+                           math::InteractionLists<T, D>& out, bool quadrupole = false) const {
+    const std::uint32_t root_val = child_[0];
+    if (!is_internal(root_val)) {  // 0 or 1-leaf tree
+      if (is_body(root_val))
+        for (std::uint32_t b = body_of(root_val); b != kChainEnd; b = next_in_leaf_[b])
+          out.push_body(x[b], m[b]);
+      return;
+    }
+    T width = root_box_.longest_side() * T(0.5);
+    std::uint32_t node = root_val;
+    for (;;) {
+      const std::uint32_t v = child_[node];
+      bool descend = false;
+      if (is_internal(v)) {
+        const T d2 = gbox.dist2(node_com_[node]);
+        if (width * width < theta2 * d2) {
+          if (quadrupole)
+            out.push_node(node_com_[node], node_mass_[node], node_quad_[node]);
+          else
+            out.push_node(node_com_[node], node_mass_[node]);
+        } else {
+          node = v;
+          width *= T(0.5);
+          descend = true;
+        }
+      } else if (is_body(v)) {
+        for (std::uint32_t b = body_of(v); b != kChainEnd; b = next_in_leaf_[b])
+          out.push_body(x[b], m[b]);
+      }
+      if (descend) continue;
+      for (;;) {
+        if ((node - 1) % K < K - 1) {
+          ++node;
+          break;
+        }
+        node = parent_[group_of(node)];
+        width *= T(2);
+        if (node == 0) return;
+      }
+    }
+  }
+
+  /// Appends every body to `out` in leaf DFS order — the spatially coherent
+  /// order the grouped force path partitions into blocks (the octree never
+  /// reorders the System, so group membership comes from this walk).
+  /// Single-threaded O(nodes); runs once per (re)build.
+  void leaf_body_order(std::vector<std::uint32_t>& out) const {
+    out.clear();
+    std::vector<std::uint32_t> todo{0};
+    while (!todo.empty()) {
+      const std::uint32_t node = todo.back();
+      todo.pop_back();
+      const std::uint32_t v = child_[node];
+      if (is_internal(v)) {
+        // Reverse push so orthant 0 pops first: out follows Morton order.
+        for (std::uint32_t q = K; q-- > 0;) todo.push_back(v + q);
+      } else if (is_body(v)) {
+        for (std::uint32_t b = body_of(v); b != kChainEnd; b = next_in_leaf_[b])
+          out.push_back(b);
+      }
+    }
   }
 
   // -- spatial queries --------------------------------------------------------

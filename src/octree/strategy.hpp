@@ -15,6 +15,7 @@
 #include "core/bbox.hpp"
 #include "core/step_context.hpp"
 #include "core/system.hpp"
+#include "math/batch_kernels.hpp"
 #include "octree/concurrent_octree.hpp"
 #include "sfc/reorder.hpp"
 #include "support/timer.hpp"
@@ -67,6 +68,7 @@ class OctreeStrategy {
         tree_.build(policy, sys.x, root_box_);
       }
       steps_since_build_ = 0;
+      order_dirty_ = true;  // new topology ⇒ stale group partition
       if (ctx.metrics_enabled()) record_build_metrics(*ctx.metrics);
     }
     ++steps_since_build_;
@@ -77,12 +79,21 @@ class OctreeStrategy {
     }
     {
       auto scope = ctx.phase("force");
-      // The force DFS is synchronization-free: under a parallel caller it
-      // runs with par_unseq, exactly as the paper's implementation does.
+      // The force phase is synchronization-free either way: under a parallel
+      // caller it runs with par_unseq, exactly as the paper's implementation
+      // does. group_size > 0 selects the group-traversal evaluation
+      // (one walk per block of spatially coherent bodies, replayed through
+      // the SoA batch kernels) instead of the per-body DFS.
       if constexpr (Policy::is_parallel) {
-        compute_forces(exec::par_unseq, ctx);
+        if (cfg.group_size > 0)
+          compute_forces_grouped(exec::par_unseq, ctx);
+        else
+          compute_forces(exec::par_unseq, ctx);
       } else {
-        compute_forces(exec::seq, ctx);
+        if (cfg.group_size > 0)
+          compute_forces_grouped(exec::seq, ctx);
+        else
+          compute_forces(exec::seq, ctx);
       }
     }
   }
@@ -95,9 +106,13 @@ class OctreeStrategy {
   void grow_capacity() { tree_.grow_capacity(); }
 
   /// Recovery hook: force a full rebuild on the next accelerations() call —
-  /// after a checkpoint restore the cached topology no longer matches the
+  /// after a checkpoint restore the cached topology (and with it the cached
+  /// group partition of the grouped force path) no longer matches the
   /// restored positions.
-  void invalidate() { steps_since_build_ = 0; }
+  void invalidate() {
+    steps_since_build_ = 0;
+    order_dirty_ = true;
+  }
 
  private:
   template <class ForcePolicy>
@@ -131,6 +146,85 @@ class OctreeStrategy {
     });
   }
 
+  /// Per-worker scratch of the grouped force path, reused across groups so
+  /// steady state allocates nothing. thread_local ⇒ no synchronization
+  /// (par_unseq-safe and lockset-clean by construction).
+  struct GroupScratch {
+    math::InteractionLists<T, D> lists;
+    std::vector<typename core::System<T, D>::vec_t> xt;
+    std::vector<typename core::System<T, D>::vec_t> acc;
+  };
+
+  /// Group-traversal force evaluation: partition bodies into blocks of the
+  /// cached leaf-DFS order (spatially coherent by construction — the octree
+  /// never reorders the System), walk the tree once per block against the
+  /// block's bounding box, and replay the emitted interaction lists through
+  /// the SoA batch kernels. Gather/scatter through body_order_ maps block
+  /// slots back to System indices.
+  template <class ForcePolicy>
+  void compute_forces_grouped(ForcePolicy fp, core::StepContext<T, D>& ctx) {
+    using vec_t = typename core::System<T, D>::vec_t;
+    core::System<T, D>& sys = ctx.sys;
+    const core::SimConfig<T>& cfg = ctx.cfg;
+    const std::size_t n = sys.x.size();
+    if (n == 0) return;
+    if (order_dirty_ || body_order_.size() != n) {
+      tree_.leaf_body_order(body_order_);
+      order_dirty_ = false;
+    }
+    // Dispatch guarantees group_size > 0; clamp above to N (one big group).
+    const std::size_t gsize = cfg.group_size < n ? cfg.group_size : n;
+    const std::size_t ngroups = (n + gsize - 1) / gsize;
+    const T theta2 = cfg.theta2();
+    const T G = cfg.G;
+    const T eps2 = cfg.eps2();
+    const bool quad = cfg.quadrupole;
+    // Metric handles resolve once; per-group flushes are relaxed adds.
+    const bool counted = ctx.metrics_enabled();
+    auto* groups_ctr = counted ? &ctx.metrics->counter("octree.group.groups") : nullptr;
+    auto* m2p_ctr = counted ? &ctx.metrics->counter("octree.group.m2p") : nullptr;
+    auto* p2p_ctr = counted ? &ctx.metrics->counter("octree.group.p2p") : nullptr;
+    auto* walk_ns = counted ? &ctx.metrics->counter("octree.group.walk_ns") : nullptr;
+    auto* kernel_ns = counted ? &ctx.metrics->counter("octree.group.kernel_ns") : nullptr;
+    auto* m2p_len = counted ? &ctx.metrics->histogram("octree.group.m2p_len",
+                                                      {16, 64, 256, 1024, 4096, 16384})
+                            : nullptr;
+    auto* p2p_len = counted ? &ctx.metrics->histogram("octree.group.p2p_len",
+                                                      {16, 64, 256, 1024, 4096, 16384})
+                            : nullptr;
+    exec::for_each_index(fp, ngroups, [&, theta2, G, eps2, quad, gsize, n](std::size_t gi) {
+      static thread_local GroupScratch s;
+      const std::size_t b0 = gi * gsize;
+      const std::size_t b1 = b0 + gsize < n ? b0 + gsize : n;
+      const std::size_t g = b1 - b0;
+      s.xt.resize(g);
+      s.acc.resize(g);
+      typename ConcurrentOctree<T, D>::box_t gbox{};
+      for (std::size_t k = 0; k < g; ++k) {
+        const vec_t xi = sys.x[body_order_[b0 + k]];
+        s.xt[k] = xi;
+        gbox = gbox.merged(xi);
+      }
+      s.lists.clear();
+      support::Stopwatch sw;
+      tree_.collect_group_lists(gbox, sys.m, sys.x, theta2, s.lists, quad);
+      const double walk_s = sw.seconds();
+      sw.reset();
+      math::evaluate_interaction_lists(s.lists, s.xt.data(), g, G, eps2, s.acc.data());
+      const double kernel_s = sw.seconds();
+      for (std::size_t k = 0; k < g; ++k) sys.a[body_order_[b0 + k]] = s.acc[k];
+      if (groups_ctr != nullptr) {
+        groups_ctr->add();
+        m2p_ctr->add(s.lists.m2p_size());
+        p2p_ctr->add(s.lists.p2p_size());
+        walk_ns->add(static_cast<std::uint64_t>(walk_s * 1e9));
+        kernel_ns->add(static_cast<std::uint64_t>(kernel_s * 1e9));
+        m2p_len->observe(static_cast<double>(s.lists.m2p_size()));
+        p2p_len->observe(static_cast<double>(s.lists.p2p_size()));
+      }
+    });
+  }
+
   void record_build_metrics(obs::MetricsRegistry& reg) const {
     const auto st = tree_.stats();
     reg.counter("octree.builds").add();
@@ -157,6 +251,11 @@ class OctreeStrategy {
   ConcurrentOctree<T, D> tree_;
   typename ConcurrentOctree<T, D>::box_t root_box_{};
   unsigned steps_since_build_ = 0;
+  // Grouped force path: leaf-DFS body order cached per build; dirty after a
+  // rebuild or an invalidate() (checkpoint restore) so stale partitions are
+  // never replayed against a new topology.
+  std::vector<std::uint32_t> body_order_;
+  bool order_dirty_ = true;
 };
 
 }  // namespace nbody::octree

@@ -1,0 +1,283 @@
+// Group-traversal force path: edge cases, interaction-list storage, the
+// composition with reuse_interval amortization and run_guarded checkpoint
+// restore (stale-partition invalidation), and chaos/race-detector coverage
+// of the list build (a planted unsynchronized list-append must be caught; a
+// clean grouped traversal must be lockset-clean). The broad differential
+// force-equivalence sweep lives in tests/test_chaos_sweep.cpp.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bvh/strategy.hpp"
+#include "core/diagnostics.hpp"
+#include "core/simulation.hpp"
+#include "core/step_context.hpp"
+#include "core/system.hpp"
+#include "exec/algorithms.hpp"
+#include "exec/chaos/chaos.hpp"
+#include "exec/chaos/race_detector.hpp"
+#include "math/batch_kernels.hpp"
+#include "math/gravity.hpp"
+#include "octree/strategy.hpp"
+#include "prop/generators.hpp"
+#include "prop/invariants.hpp"
+#include "support/fault.hpp"
+#include "workloads/workloads.hpp"
+
+namespace {
+
+using namespace nbody;
+using exec::par;
+using exec::par_unseq;
+using exec::seq;
+using prop::forces_of;
+using prop::max_abs_diff;
+using prop::rel_l2_error;
+using prop::System3;
+using prop::Vec3;
+
+// Guarantee real concurrency for the race-detector tests even on a 1-core
+// box (same guard as test_chaos.cpp); callers may still override.
+const bool g_thread_env = [] {
+  setenv("NBODY_THREADS", "4", /*overwrite=*/0);
+  return true;
+}();
+
+constexpr double kTreeTol = 0.08;  // matches the differential sweep's ball
+
+core::SimConfig<double> grouped_cfg(std::size_t gsize) {
+  core::SimConfig<double> cfg;
+  cfg.group_size = gsize;
+  return cfg;
+}
+
+// ------------------------------------------------------------ edge cases
+
+// group_size = 1 degenerates to one walk per body — same algorithm as the
+// DFS up to the conservative box MAC (a point box: dist2 to the body
+// itself), so it must sit in the DFS's truncation ball.
+TEST(GroupTraversal, GroupSizeOneMatchesPerBodyDFS) {
+  const System3 sys = workloads::plummer_sphere(200, 11);
+  const auto ref = prop::reference_forces(sys, grouped_cfg(0));
+  for (std::size_t gsize : {std::size_t{1}, std::size_t{3}, std::size_t{200}, std::size_t{5000}}) {
+    SCOPED_TRACE("group_size=" + std::to_string(gsize));
+    const auto oct = forces_of(octree::OctreeStrategy<double, 3>{}, par, sys, grouped_cfg(gsize));
+    const auto bvh = forces_of(bvh::BVHStrategy<double, 3>{}, par_unseq, sys, grouped_cfg(gsize));
+    EXPECT_LE(rel_l2_error(oct, ref), kTreeTol);
+    EXPECT_LE(rel_l2_error(bvh, ref), kTreeTol);
+  }
+}
+
+// group_size > N collapses to a single group holding every body: the walk
+// can accept nothing (every node overlaps the group box) and the kernels
+// reduce to the exact all-pairs sum.
+TEST(GroupTraversal, GroupLargerThanNIsExactAllPairs) {
+  const System3 sys = workloads::uniform_cube(96, 17);
+  const auto ref = prop::reference_forces(sys, grouped_cfg(0));
+  const auto oct = forces_of(octree::OctreeStrategy<double, 3>{}, seq, sys, grouped_cfg(1 << 20));
+  const auto bvh = forces_of(bvh::BVHStrategy<double, 3>{}, seq, sys, grouped_cfg(1 << 20));
+  // Summation order differs from the reference loop, nothing else.
+  EXPECT_LE(rel_l2_error(oct, ref), 1e-10);
+  EXPECT_LE(rel_l2_error(bvh, ref), 1e-10);
+}
+
+TEST(GroupTraversal, EmptyAndSingleBodySystems) {
+  for (std::size_t n : {std::size_t{0}, std::size_t{1}}) {
+    SCOPED_TRACE("n=" + std::to_string(n));
+    System3 sys;
+    if (n == 1) sys.add(2.5, {0.3, -0.1, 0.7}, Vec3::zero());
+    const auto cfg = grouped_cfg(4);
+    auto oct = forces_of(octree::OctreeStrategy<double, 3>{}, par, sys, cfg);
+    auto bvh = forces_of(bvh::BVHStrategy<double, 3>{}, par_unseq, sys, cfg);
+    ASSERT_EQ(oct.size(), n);
+    ASSERT_EQ(bvh.size(), n);
+    for (const auto& a : oct) EXPECT_EQ(a, Vec3::zero());
+    for (const auto& a : bvh) EXPECT_EQ(a, Vec3::zero());
+  }
+}
+
+// ---------------------------------------------- interaction-list storage
+
+// Deliberately undersized reserve: every append past capacity takes the
+// geometric-regrowth path, and the evaluated result must still match a
+// direct scalar sum over the same sources.
+TEST(InteractionLists, RegrowthPastReserveKeepsContents) {
+  support::Xoshiro256ss rng(99);
+  math::InteractionLists<double, 3> lists;
+  lists.reserve(1, 1);  // force regrowth on nearly every push
+  const std::size_t kNodes = 300, kBodies = 500;
+  std::vector<Vec3> src_x;
+  std::vector<double> src_m;
+  for (std::size_t j = 0; j < kNodes + kBodies; ++j) {
+    const Vec3 x{prop::urand(rng, -3, 3), prop::urand(rng, -3, 3), prop::urand(rng, -3, 3)};
+    const double m = prop::urand(rng, 0.1, 2.0);
+    if (j < kNodes)
+      lists.push_node(x, m);
+    else
+      lists.push_body(x, m);
+    src_x.push_back(x);
+    src_m.push_back(m);
+  }
+  ASSERT_EQ(lists.m2p_size(), kNodes);
+  ASSERT_EQ(lists.p2p_size(), kBodies);
+  EXPECT_GE(lists.m2p_capacity(), kNodes);
+  EXPECT_GE(lists.p2p_capacity(), kBodies);
+
+  const Vec3 target{0.1, 0.2, -0.3};
+  const double G = 1.0, eps2 = 1e-4;
+  Vec3 batch;
+  math::evaluate_interaction_lists(lists, &target, 1, G, eps2, &batch);
+  Vec3 direct = Vec3::zero();
+  for (std::size_t j = 0; j < src_x.size(); ++j)
+    direct += math::gravity_accel(target, src_x[j], src_m[j], G, eps2);
+  EXPECT_LE(std::sqrt(math::norm2(batch - direct) / math::norm2(direct)), 1e-12);
+}
+
+// A target present in its own P2P list picks up exactly zero from itself —
+// the self-interaction trick the grouped path relies on.
+TEST(InteractionLists, SelfSourceContributesExactlyZero) {
+  math::InteractionLists<double, 3> lists;
+  const Vec3 self{1.0, -2.0, 0.5};
+  lists.push_body(self, 3.0);
+  Vec3 acc;
+  math::evaluate_interaction_lists(lists, &self, 1, 1.0, /*eps2=*/0.0, &acc);
+  EXPECT_EQ(acc, Vec3::zero());
+}
+
+// --------------------------------------- composition with reuse_interval
+
+// reuse_interval > 1 keeps the octree topology (and the cached group
+// partition) across steps; the grouped trajectory must track the per-body
+// DFS trajectory under the same amortization.
+TEST(GroupTraversal, ComposesWithReuseInterval) {
+  const System3 initial = workloads::galaxy_collision(400, 23);
+  auto cfg = grouped_cfg(0);
+
+  octree::OctreeStrategy<double, 3>::Options oct_opts;
+  oct_opts.reuse_interval = 3;
+  core::Simulation<double, 3, octree::OctreeStrategy<double, 3>> dfs_oct(
+      initial, cfg, octree::OctreeStrategy<double, 3>(oct_opts));
+  dfs_oct.run(par, 9);
+
+  cfg.group_size = 24;
+  core::Simulation<double, 3, octree::OctreeStrategy<double, 3>> grp_oct(
+      initial, cfg, octree::OctreeStrategy<double, 3>(oct_opts));
+  grp_oct.run(par, 9);
+  EXPECT_LT(core::l2_position_error(grp_oct.system(), dfs_oct.system()), 1e-3);
+
+  bvh::BVHStrategy<double, 3>::Options bvh_opts;
+  bvh_opts.reuse_interval = 3;
+  cfg.group_size = 0;
+  core::Simulation<double, 3, bvh::BVHStrategy<double, 3>> dfs_bvh(
+      initial, cfg, bvh::BVHStrategy<double, 3>(bvh_opts));
+  dfs_bvh.run(par_unseq, 9);
+
+  cfg.group_size = 24;
+  core::Simulation<double, 3, bvh::BVHStrategy<double, 3>> grp_bvh(
+      initial, cfg, bvh::BVHStrategy<double, 3>(bvh_opts));
+  grp_bvh.run(par_unseq, 9);
+  EXPECT_LT(core::l2_position_error(grp_bvh.system(), dfs_bvh.system()), 1e-3);
+}
+
+// invalidate() must drop the cached group partition: after it, a strategy
+// that already ran on different positions produces bit-identical forces to a
+// fresh strategy (same positions, seq build ⇒ same topology, same lists).
+TEST(GroupTraversal, InvalidateDropsStalePartition) {
+  const System3 a = workloads::plummer_sphere(150, 31);
+  const System3 b = workloads::uniform_cube(150, 32);
+  const auto cfg = grouped_cfg(16);
+
+  octree::OctreeStrategy<double, 3> warm;
+  (void)forces_of(warm, seq, a, cfg);  // caches a's partition
+  warm.invalidate();
+  const auto warm_forces = forces_of(warm, seq, b, cfg);
+  const auto fresh_forces = forces_of(octree::OctreeStrategy<double, 3>{}, seq, b, cfg);
+  EXPECT_EQ(max_abs_diff(warm_forces, fresh_forces), 0.0);
+}
+
+// End-to-end stale-list invalidation: run_guarded restores a checkpoint
+// after injected octree faults, calls invalidate(), and the grouped run must
+// land on the unfaulted grouped trajectory — a stale partition replayed
+// against the restored positions would not.
+TEST(GroupTraversal, RunGuardedRestoreInvalidatesGroupPartition) {
+  struct FaultScope {
+    FaultScope() { support::disarm_all_faults(); }
+    ~FaultScope() { support::disarm_all_faults(); }
+  } scope;
+  const auto sys = workloads::plummer_sphere(300, 29);
+  auto cfg = grouped_cfg(32);
+  cfg.dt = 1e-3;
+  // reuse_interval > 1 makes the invalidation load-bearing: without the
+  // restore hook the pre-fault topology and group partition would be
+  // replayed against the restored positions for up to 3 more steps.
+  octree::OctreeStrategy<double, 3>::Options opts_reuse;
+  opts_reuse.reuse_interval = 4;
+
+  core::Simulation<double, 3, octree::OctreeStrategy<double, 3>> ref(
+      sys, cfg, octree::OctreeStrategy<double, 3>(opts_reuse));
+  ref.run(par, 12);
+  ref.synchronize_velocities(par);
+
+  core::Simulation<double, 3, octree::OctreeStrategy<double, 3>> guarded(
+      sys, cfg, octree::OctreeStrategy<double, 3>(opts_reuse));
+  core::GuardedOptions<double> opts;
+  opts.checkpoint_every = 3;
+  opts.max_retries = 8;
+  support::arm_fault(support::FaultSite::octree_node_alloc, {1.0, 0, 3});
+  const auto rep = guarded.run_guarded(par, 12, opts);
+  support::disarm_all_faults();
+  guarded.synchronize_velocities(par);
+
+  EXPECT_EQ(rep.steps_completed, 12u);
+  EXPECT_GE(rep.restores, 1u);
+  // The restore's forced rebuild shifts the guarded run's amortization
+  // boundaries relative to the unfaulted run, so agreement is at the
+  // reuse-amortization level (cf. ComposesWithReuseInterval), not bitwise.
+  EXPECT_LT(core::l2_position_error(guarded.system(), ref.system()), 2e-3);
+}
+
+// ------------------------------------------------- race-detector coverage
+
+#if defined(NBODY_CHAOS)
+namespace chaos = exec::chaos;
+
+// Planted bug: groups append to one shared interaction list through an
+// unsynchronized cursor instead of thread-local scratch. The Eraser-style
+// lockset check must flag the cross-thread writes.
+TEST(GroupTraversalRaces, PlantedSharedListAppendIsCaught) {
+  chaos::DetectorScope scope;
+  std::uint64_t cursor = 0;  // shared append cursor, no lock — the bug
+  std::vector<double> shared_list(4096, 0.0);
+  exec::for_each_index(par, 256, [&](std::size_t i) {
+    const std::uint64_t at = chaos::checked_load(cursor);
+    shared_list[at % shared_list.size()] = static_cast<double>(i);
+    chaos::checked_store(cursor, at + 1);
+  });
+  auto& det = chaos::RaceDetector::instance();
+  EXPECT_GE(det.lockset_races(), 1u) << det.report();
+}
+
+// Negative control: the real grouped force path keeps all list state in
+// thread-local scratch and writes disjoint acceleration slots — a full
+// grouped evaluation under the detector must be violation-free.
+TEST(GroupTraversalRaces, GroupedTraversalIsLocksetClean) {
+  chaos::DetectorScope scope;
+  System3 sys = workloads::plummer_sphere(512, 5);
+  const auto cfg = grouped_cfg(32);
+  {
+    octree::OctreeStrategy<double, 3> strategy;
+    core::accelerate(strategy, par, sys, cfg);
+  }
+  {
+    bvh::BVHStrategy<double, 3> strategy;
+    core::accelerate(strategy, par, sys, cfg);
+  }
+  auto& det = chaos::RaceDetector::instance();
+  EXPECT_EQ(det.violation_count(), 0u) << det.report();
+}
+#endif  // NBODY_CHAOS
+
+}  // namespace
