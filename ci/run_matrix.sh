@@ -16,6 +16,10 @@
 #        `check_matrix` CTest case)
 #        FULL=1 ci/run_matrix.sh <build-dir>      — instead runs the ctest
 #        unit lane once per backend.
+#        CANCEL=1 ci/run_matrix.sh <path-to-nbody_cli> — cancellation lane:
+#        flag-conflict exit codes + a watchdog-reclaimed injected hang
+#        (registered as the `check_cancellation` CTest case, whose hard
+#        TIMEOUT is the deadlock detector the watchdog must beat).
 set -euo pipefail
 
 if [ "${FULL:-0}" = "1" ]; then
@@ -29,6 +33,44 @@ if [ "${FULL:-0}" = "1" ]; then
     fi
   done
   exit "$status"
+fi
+
+if [ "${CANCEL:-0}" = "1" ]; then
+  CLI=${1:?usage: CANCEL=1 run_matrix.sh <path-to-nbody_cli>}
+
+  expect_conflict() {
+    local desc=$1; shift
+    set +e
+    "$CLI" "$@" > /dev/null 2>&1
+    local rc=$?
+    set -e
+    if [ "$rc" -ne 3 ]; then
+      echo "FAIL: $desc: expected exit 3 (flag conflict), got $rc" >&2
+      exit 1
+    fi
+    echo "  conflict rejected (exit 3): $desc"
+  }
+
+  echo "==== contradictory robustness flags ===="
+  expect_conflict "--watchdog-ms without --guard" \
+    --workload plummer --n 64 --steps 1 --watchdog-ms 50
+  expect_conflict "--step-deadline-ms without --guard" \
+    --workload plummer --n 64 --steps 1 --step-deadline-ms 100
+  expect_conflict "negative --run-deadline-ms" \
+    --workload plummer --n 64 --steps 1 --guard --run-deadline-ms -5
+  expect_conflict "--max-retries 0 with --guard" \
+    --workload plummer --n 64 --steps 1 --guard --max-retries 0
+
+  echo "==== watchdog reclaims an injected worker hang ===="
+  # One chunk wedges on the first parallel region of step 1; the 100 ms
+  # watchdog must cancel it, restore the checkpoint, and let the run finish
+  # well inside this script's CTest TIMEOUT.
+  NBODY_FAULTS="exec.chunk.hang:1:0:1" NBODY_THREADS=4 \
+    "$CLI" --workload plummer --n 2048 --steps 8 --policy par --guard \
+    --watchdog-ms 100 --run-deadline-ms 60000 --checkpoint-every 2 \
+    --max-retries 6
+  echo "cancellation lane OK"
+  exit 0
 fi
 
 CLI=${1:?usage: run_matrix.sh <path-to-nbody_cli>}

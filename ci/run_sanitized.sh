@@ -31,4 +31,16 @@ for backend in static dynamic steal chaos; do
     status=1
   fi
 done
+
+# Cancellation/watchdog suite, explicitly: stop-token drains, mid-sort and
+# mid-scan cancellation, and the wedged-worker watchdog all race workers
+# against a cancelling dispatcher, which is exactly the shape of bug the
+# sanitizers exist to catch. Named directly (not just via labels) so a
+# label change can never silently drop it from this lane.
+echo "==== cancellation suite ===="
+if ! ctest --test-dir "$BUILD_DIR" \
+     -R "^(StopToken|FaultSkip|CancelAlgorithms|Watchdog|PoolShutdown|GuardedDeadlines|CancellationE2E)\." \
+     --output-on-failure; then
+  status=1
+fi
 exit "$status"

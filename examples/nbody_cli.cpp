@@ -28,6 +28,32 @@ namespace {
 
 using namespace nbody;
 
+/// Contradictory or invalid robustness-flag combination. Distinct from
+/// generic usage errors (exit 2) so scripts can tell "you asked for a
+/// nonsensical guarded run" (exit 3) from "you typo'd an option".
+struct FlagConflict : std::invalid_argument {
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Rejects robustness-flag combinations that would otherwise run with
+/// silently-ignored or self-defeating settings. Exit code 3.
+void validate_robustness_flags(const support::CliParser& cli, bool guard) {
+  const char* needs_guard[] = {"step-deadline-ms", "run-deadline-ms", "watchdog-ms"};
+  for (const char* flag : needs_guard) {
+    if (!guard && cli.was_set(flag))
+      throw FlagConflict(std::string("--") + flag +
+                         " requires --guard (deadlines and the watchdog act through "
+                         "the guarded recovery loop)");
+    if (cli.get_double(flag) < 0)
+      throw FlagConflict(std::string("--") + flag + " must be >= 0 (got " +
+                         cli.get(flag) + ")");
+  }
+  if (guard && cli.was_set("max-retries") && cli.get_size("max-retries") == 0)
+    throw FlagConflict("--max-retries 0 with --guard is contradictory: a guarded "
+                       "run needs at least one retry to recover; drop --guard or "
+                       "raise --max-retries");
+}
+
 core::System<double, 3> make_workload(const support::CliParser& cli) {
   if (cli.was_set("load")) return core::load_snapshot_binary<double, 3>(cli.get("load"));
   const std::size_t n = cli.get_size("n");
@@ -89,6 +115,10 @@ RunReport run_with(core::System<double, 3> sys, const core::SimConfig<double>& c
                 "%u checkpoint(s)%s\n",
                 rep.steps_completed, rep.retries_used, g_guarded.opts.max_retries,
                 rep.degrade_level, rep.checkpoints_written, ckpt_note.c_str());
+    if (rep.deadline_misses || rep.watchdog_trips || rep.accuracy_rungs)
+      std::printf("  time budget: %u deadline miss(es), %u watchdog trip(s), "
+                  "%u accuracy rung(s)\n",
+                  rep.deadline_misses, rep.watchdog_trips, rep.accuracy_rungs);
     for (const auto& ev : rep.log)
       std::printf("  recovery @ step %zu: %s -> %s\n", ev.step, ev.reason.c_str(),
                   ev.action.c_str());
@@ -154,6 +184,12 @@ int main(int argc, char** argv) {
   cli.add_option("checkpoint-path", "mirror checkpoints to this snapshot file", "");
   cli.add_option("max-retries", "restore-and-retry budget (with --guard)", "4");
   cli.add_option("energy-tol", "energy-drift guard tolerance (0 = off)", "0");
+  cli.add_option("step-deadline-ms", "wall-clock budget per step, cancels + retries "
+                                     "on a miss (0 = off, with --guard)", "0");
+  cli.add_option("run-deadline-ms", "wall-clock budget for the whole run "
+                                    "(0 = off, with --guard)", "0");
+  cli.add_option("watchdog-ms", "stall window of the stuck-worker watchdog "
+                                "(0 = off, with --guard)", "0");
   cli.add_option("metrics-json", "write a metrics-registry JSON report here", "");
   cli.add_option("trace-out", "write a Chrome trace_event JSON here "
                               "(load in chrome://tracing or ui.perfetto.dev)", "");
@@ -165,7 +201,9 @@ int main(int argc, char** argv) {
     // parse errors, this call surfaces them.
     support::arm_faults_from_env();
     if (cli.get_flag("help")) {
-      std::printf("nbody_cli — tree-based parallel N-body simulator\noptions:\n%s",
+      std::printf("nbody_cli — tree-based parallel N-body simulator\noptions:\n%s"
+                  "exit codes: 0 success, 2 usage error, "
+                  "3 contradictory robustness flags\n",
                   cli.usage().c_str());
       return 0;
     }
@@ -187,6 +225,10 @@ int main(int argc, char** argv) {
     g_guarded.opts.checkpoint_path = cli.get("checkpoint-path");
     g_guarded.opts.max_retries = static_cast<unsigned>(cli.get_size("max-retries"));
     g_guarded.opts.energy_rel_tol = cli.get_double("energy-tol");
+    validate_robustness_flags(cli, g_guarded.enabled);
+    g_guarded.opts.step_deadline_ms = cli.get_double("step-deadline-ms");
+    g_guarded.opts.run_deadline_ms = cli.get_double("run-deadline-ms");
+    g_guarded.opts.watchdog_ms = cli.get_double("watchdog-ms");
     if (g_guarded.enabled && g_adaptive.enabled)
       throw std::invalid_argument("--guard and --adaptive are mutually exclusive");
     const std::string metrics_path = cli.get("metrics-json");
@@ -258,6 +300,9 @@ int main(int argc, char** argv) {
     }
     obs::install_global(nullptr, nullptr);
     return 0;
+  } catch (const FlagConflict& e) {
+    std::fprintf(stderr, "nbody_cli: %s\n", e.what());
+    return 3;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "nbody_cli: %s\noptions:\n%s", e.what(), cli.usage().c_str());
     return 2;

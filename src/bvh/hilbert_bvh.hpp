@@ -329,6 +329,9 @@ class HilbertBVH {
   void collect_group_lists(const box_t& gbox, const std::vector<T>& m,
                            const std::vector<vec_t>& x, T theta2,
                            math::InteractionLists<T, D>& out, bool quadrupole = false) const {
+    // Cooperative progress point per group walk (see
+    // ConcurrentOctree::collect_group_lists).
+    exec::checkpoint();
     if (n_bodies_ == 0) return;
     std::size_t k = 1;
     for (;;) {

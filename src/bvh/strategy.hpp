@@ -93,6 +93,11 @@ class BVHStrategy {
   /// ordering no longer matches the restored positions.
   void invalidate() { steps_since_sort_ = 0; }
 
+  /// Accuracy-rung hook (Simulation::run_guarded deadline shedding): amortize
+  /// Hilbert re-sorts over more steps. Values < 1 are clamped to 1.
+  void set_reuse_interval(unsigned k) { opts_.reuse_interval = k < 1 ? 1 : k; }
+  [[nodiscard]] unsigned reuse_interval() const noexcept { return opts_.reuse_interval; }
+
  private:
   template <class Policy>
   void compute_forces(Policy policy, core::StepContext<T, D>& ctx) {

@@ -16,7 +16,9 @@
 // core/step_context.hpp. Attach sinks with set_observability().
 #pragma once
 
+#include <chrono>
 #include <cstddef>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <type_traits>
@@ -28,6 +30,9 @@
 #include "core/snapshot.hpp"
 #include "core/step_context.hpp"
 #include "core/system.hpp"
+#include "exec/stop_token.hpp"
+#include "exec/thread_pool.hpp"
+#include "exec/watchdog.hpp"
 #include "obs/obs.hpp"
 #include "support/fault.hpp"
 #include "support/timer.hpp"
@@ -58,6 +63,18 @@ struct GuardedOptions {
   /// Energy-drift watchdog tolerance relative to the step-0 energy;
   /// 0 disables (the check costs an O(N^2) potential evaluation).
   T energy_rel_tol = T(0);
+  /// Wall-clock budget per step attempt, in milliseconds (0 = none). A step
+  /// that blows it is cancelled cooperatively (exec::Cancelled, cause
+  /// deadline), the checkpoint restored, and the recovery ladder walked.
+  double step_deadline_ms = 0;
+  /// Wall-clock budget for the whole run_guarded call (0 = none). Folded
+  /// into each attempt's armed deadline; once it passes, run_guarded throws
+  /// std::runtime_error like an exhausted retry budget.
+  double run_deadline_ms = 0;
+  /// Stall window of the thread-pool watchdog (0 = watchdog off): an active
+  /// parallel region whose per-rank progress heartbeats freeze for this long
+  /// is cancelled with cause watchdog and recovered like any other fault.
+  double watchdog_ms = 0;
 };
 
 /// One recovery decision made by run_guarded, in order of occurrence.
@@ -75,6 +92,9 @@ struct GuardedRunReport {
   unsigned degrade_level = 0;         // final rung of the policy ladder
   unsigned checkpoints_written = 0;   // in-memory checkpoints taken
   unsigned checkpoint_failures = 0;   // on-disk writes that failed (survived)
+  unsigned deadline_misses = 0;       // step attempts cancelled on a deadline
+  unsigned watchdog_trips = 0;        // step attempts reclaimed by the watchdog
+  unsigned accuracy_rungs = 0;        // accuracy degradations applied
   std::vector<RecoveryEvent> log;
 };
 
@@ -148,22 +168,81 @@ class Simulation {
     if (opts.energy_rel_tol > T(0))
       e0 = staggered_energy(policy, sys_, cfg_.G, cfg_.eps2(), primed_ ? cfg_.dt : T(0));
     unsigned level = 0;
+    unsigned acc_rung = 0;
     std::size_t steps_since_ckpt = 0;
+    // Time budgets. The run deadline is one absolute instant; each attempt
+    // arms the earlier of (its step budget, the run deadline) on a *fresh*
+    // stop source so a consumed stop never leaks into the retry.
+    const std::uint64_t run_deadline_ns =
+        opts.run_deadline_ms > 0
+            ? exec::detail::stop_state::now_ns() +
+                  static_cast<std::uint64_t>(opts.run_deadline_ms * 1e6)
+            : 0;
+    std::optional<exec::Watchdog> watchdog;
+    if (opts.watchdog_ms > 0)
+      watchdog.emplace(exec::thread_pool::global(),
+                       std::chrono::milliseconds(
+                           static_cast<long>(opts.watchdog_ms < 1 ? 1 : opts.watchdog_ms)));
+    const bool cancellable =
+        opts.step_deadline_ms > 0 || run_deadline_ns != 0 || watchdog.has_value();
     while (steps_done_ < target) {
+      if (run_deadline_ns != 0 &&
+          exec::detail::stop_state::now_ns() >= run_deadline_ns) {
+        if (metrics_ != nullptr) metrics_->counter("sim.deadline.run_misses").add();
+        if (trace_ != nullptr)
+          trace_->instant("deadline.miss", "run deadline exhausted at step " +
+                                               std::to_string(steps_done_));
+        throw std::runtime_error("run_guarded: run deadline (" +
+                                 std::to_string(opts.run_deadline_ms) +
+                                 "ms) exhausted at step " + std::to_string(steps_done_) +
+                                 " of " + std::to_string(target));
+      }
       bool ok = true;
       std::string reason;
       bool overflowed = false;
       bool guard_failed = false;
+      exec::stop_cause cancel_cause = exec::stop_cause::none;
       // Snapshot the phase totals so a failed-and-discarded attempt can be
       // re-labelled instead of double-counting under the real phase names.
       const std::vector<double> phase_snap = phases_.snapshot();
       try {
-        step_at_level(policy, level);
+        if (cancellable) {
+          exec::stop_source stop;
+          std::uint64_t dl = 0;
+          std::string why;
+          if (opts.step_deadline_ms > 0) {
+            dl = exec::detail::stop_state::now_ns() +
+                 static_cast<std::uint64_t>(opts.step_deadline_ms * 1e6);
+            why = "step deadline (" + std::to_string(opts.step_deadline_ms) + "ms)";
+          }
+          if (run_deadline_ns != 0 && (dl == 0 || run_deadline_ns < dl)) {
+            dl = run_deadline_ns;
+            why = "run deadline (" + std::to_string(opts.run_deadline_ms) + "ms)";
+          }
+          if (dl != 0) stop.arm_deadline_at(dl, why);
+          if (watchdog) watchdog->arm(stop.state());
+          {
+            // Ambient install scoped to the step only: the guard checks below
+            // run exec algorithms too and must not see this attempt's stop.
+            exec::scoped_ambient_stop scope(stop);
+            step_at_level(policy, level);
+          }
+          if (watchdog) watchdog->disarm();
+        } else {
+          step_at_level(policy, level);
+        }
+      } catch (const exec::Cancelled& e) {
+        if (watchdog) watchdog->disarm();
+        ok = false;
+        reason = e.what();
+        cancel_cause = e.cause();
       } catch (const support::FaultInjected& e) {
+        if (watchdog) watchdog->disarm();
         ok = false;
         reason = e.what();
         overflowed = e.site() == support::FaultSite::octree_node_alloc;
       } catch (const std::exception& e) {
+        if (watchdog) watchdog->disarm();
         ok = false;
         reason = e.what();
         overflowed = std::string(e.what()).find("overflow") != std::string::npos;
@@ -182,6 +261,15 @@ class Simulation {
           metrics_->counter("sim.guard.failures").add();
           if (guard_failed) metrics_->counter("sim.guard.check_failures").add();
           else metrics_->counter("sim.guard.faults").add();
+        }
+        if (cancel_cause == exec::stop_cause::deadline) {
+          ++rep.deadline_misses;
+          if (metrics_ != nullptr) metrics_->counter("sim.deadline.misses").add();
+          if (trace_ != nullptr) trace_->instant("deadline.miss", reason);
+        } else if (cancel_cause == exec::stop_cause::watchdog) {
+          ++rep.watchdog_trips;
+          if (metrics_ != nullptr)
+            metrics_->counter("sim.deadline.watchdog_trips").add();
         }
         phases_.reattribute_since(phase_snap, "(discarded)");
         if (rep.retries_used >= opts.max_retries) {
@@ -205,6 +293,16 @@ class Simulation {
         if (level < max_level(policy)) {
           ++level;
           action += ", degraded to " + std::string(level_name(policy, level));
+        } else if (cancel_cause != exec::stop_cause::none) {
+          // Policy ladder exhausted and the failure was a time budget:
+          // shed accuracy instead of dying (deadline -> degradation rungs).
+          const std::string rung = apply_accuracy_rung(acc_rung);
+          if (!rung.empty()) {
+            ++rep.accuracy_rungs;
+            if (metrics_ != nullptr)
+              metrics_->counter("sim.deadline.accuracy_rungs").add();
+            action += ", " + rung;
+          }
         }
         if (metrics_ != nullptr) metrics_->counter("sim.guard.recoveries").add();
         if (trace_ != nullptr) trace_->instant("guard.recovery", reason + " -> " + action);
@@ -301,6 +399,43 @@ class Simulation {
     } else {
       step_once(exec::seq);
     }
+  }
+
+  /// Deadline-shedding accuracy ladder, entered only once the policy ladder
+  /// is exhausted: each rung trades force accuracy for wall-clock, so an
+  /// overloaded box sheds work instead of dying. Advances `rung` past every
+  /// rung it consumes (including inapplicable ones) and returns a
+  /// description of the applied change — empty when the ladder is spent,
+  /// in which case the retry proceeds unchanged and the retry budget bounds
+  /// the loop.
+  std::string apply_accuracy_rung(unsigned& rung) {
+    while (rung < 3) {
+      const unsigned r = rung++;
+      switch (r) {
+        case 0:
+          cfg_.theta = cfg_.theta * T(1.5);
+          return "loosened theta to " + std::to_string(static_cast<double>(cfg_.theta));
+        case 1:
+          if constexpr (requires {
+                          strategy_.set_reuse_interval(1u);
+                          strategy_.reuse_interval();
+                        }) {
+            const unsigned k = strategy_.reuse_interval() * 4;
+            strategy_.set_reuse_interval(k);
+            return "raised reuse_interval to " + std::to_string(k);
+          }
+          break;
+        case 2:
+          // Group-traversal evaluation is the measured-faster force mode at
+          // scale (DESIGN.md §4e); switch to it if the run isn't using it.
+          if (cfg_.group_size == 0) {
+            cfg_.group_size = 256;
+            return "switched to group traversal (group_size=256)";
+          }
+          break;
+      }
+    }
+    return "";
   }
 
   /// Runs the enabled guard checks; returns the first failing report (or an

@@ -20,15 +20,19 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <iterator>
 #include <numeric>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "exec/chaos/chaos.hpp"
 #include "exec/policy.hpp"
+#include "exec/stop_token.hpp"
 #include "exec/thread_pool.hpp"
+#include "obs/metrics.hpp"
 #include "obs/runtime.hpp"
 #include "obs/trace.hpp"
 #include "support/assert.hpp"
@@ -123,6 +127,43 @@ inline void set_default_backend(backend b) { detail::backend_ref() = b; }
 
 namespace detail {
 
+/// Stripe length between cancellation polls when a stop token is installed:
+/// each chunk body is executed in stripes of at most this many iterations
+/// with a token poll + liveness heartbeat between stripes, so cancellation
+/// latency is bounded by min(chunk, stripe) work. Flags-off (no ambient
+/// token) the stripe loop is bypassed entirely.
+inline constexpr std::size_t kPollStripe = 8192;
+
+/// Drain-side throw point: called by the dispatching thread after a region
+/// completes (and from sequential fallbacks). Never called from inside a
+/// region's iterations — see the flag-then-drain contract in stop_token.hpp.
+inline void throw_if_cancelled(const stop_token& tok) {
+  if (!tok.stop_requested()) return;
+  if (auto* m = obs::global_metrics(); m != nullptr)
+    m->counter("exec.cancel.regions").add();
+  tok.throw_if_stopped();
+}
+
+/// The exec.chunk.hang fault's wedge: burns time on this rank until the
+/// cancellation machinery (deadline or watchdog via the stop token) reclaims
+/// it — returns true, the chunk's work is dropped (the region is being
+/// abandoned anyway). Re-reads the ambient token each iteration so a token
+/// installed after the wedge began still frees it. If no stop can ever
+/// arrive — stopless region and no ambient source, e.g. the site fired in
+/// a guard-check region outside the guarded step's scope — the wedge is
+/// inert and returns false so the caller runs the chunk normally: a fault
+/// that nothing can reclaim must not turn into silent data loss or a
+/// deadlock of the *recovery* machinery itself.
+inline bool hang_until_stopped(const stop_token& tok) {
+  for (;;) {
+    if (tok.stop_requested()) return true;
+    const stop_token ambient = ambient_stop_token();
+    if (ambient.stop_requested()) return true;
+    if (!tok.stop_possible() && !ambient.stop_possible()) return false;
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+}
+
 /// Chunk size for dynamic scheduling: small enough to balance irregular
 /// iterations, large enough to amortize the shared counter.
 inline std::size_t dynamic_grain(std::size_t n, unsigned workers) {
@@ -159,12 +200,38 @@ class RankSpan {
 template <class F>
 void parallel_blocks(thread_pool& pool, forward_progress progress, std::size_t n, F&& raw_f) {
   if (n == 0) return;
+  // Cancellation: capture the ambient stop token once per region. With no
+  // token installed (the common case) every chunk takes one predicted branch
+  // and runs raw_f directly; with a token, chunks execute in kPollStripe
+  // stripes with a poll + pool heartbeat between stripes, and a chunk that
+  // observes the flag stops claiming work (flag-then-drain — the throw
+  // happens on the dispatching thread after the region drains).
+  const stop_token tok = ambient_stop_token();
   // Fault site exec.algo.chunk: every chunk dispatch of every backend passes
   // through here, so injected failures exercise exception propagation out of
-  // static, dynamic, and work-stealing scheduling alike.
-  auto f = [&raw_f](std::size_t b, std::size_t e) {
+  // static, dynamic, and work-stealing scheduling alike. exec.chunk.hang is
+  // the behavioral variant: it wedges this rank inside the chunk until the
+  // stop token reclaims it (the chunk's work is dropped — the region is
+  // being abandoned anyway).
+  auto f = [&raw_f, &pool, &tok](std::size_t b, std::size_t e, unsigned rank) {
     support::fault_point(support::FaultSite::algo_chunk);
-    raw_f(b, e);
+    if (support::fault_fires_now(support::FaultSite::chunk_hang)) [[unlikely]] {
+      if (hang_until_stopped(tok)) return;  // reclaimed: drop the chunk
+      // Inert wedge (no reclaimer anywhere): fall through, run normally.
+    }
+    // Single raw_f call site on purpose: a separate flags-off direct call
+    // would be a second inlined clone of the (often hot) chunk body, and the
+    // clones' layout can differ by far more than the poll cost being avoided
+    // (bench/ablation_cancel.cpp measured double-digit % between clones).
+    // Flags-off the stripe covers the whole chunk: one iteration, two
+    // predicted branches, no heartbeat.
+    const bool cancellable = tok.stop_possible();
+    const std::size_t stripe = cancellable ? kPollStripe : e - b;
+    for (std::size_t s = b; s < e; s += stripe) {
+      if (cancellable && tok.stop_requested()) return;  // drain, don't throw
+      raw_f(s, std::min(s + stripe, e));
+      if (cancellable) pool.beat(rank);
+    }
   };
   obs::TraceSession* const trace = obs::global_trace();
   const char* const label = obs::region_label();
@@ -174,10 +241,14 @@ void parallel_blocks(thread_pool& pool, forward_progress progress, std::size_t n
   // participant: chunk-*order* dependence (e.g. order-sensitive
   // accumulation) is a schedule bug a one-thread pool can still expose.
   if (n == 1 || (p == 1 && b != backend::chaos_permute)) {
-    progress_region guard(progress);
-    RankSpan span(trace, label, obs::thread_rank());
-    f(std::size_t{0}, n);
-    pool.note_chunks(1);
+    {
+      progress_region guard(progress);
+      RankSpan span(trace, label, obs::thread_rank());
+      thread_pool::inline_region region(pool);  // watchdog sees inline work
+      f(std::size_t{0}, n, obs::thread_rank());
+      pool.note_chunks(1);
+    }
+    throw_if_cancelled(tok);
     return;
   }
   if (b == backend::chaos_permute) {
@@ -200,15 +271,17 @@ void parallel_blocks(thread_pool& pool, forward_progress progress, std::size_t n
       chaos::Perturber perturb(rseed, rank);
       std::uint64_t chunks = 0;
       for (;;) {
+        if (tok.stop_requested()) break;  // drain
         const std::size_t pos = next.fetch_add(1, std::memory_order_relaxed);
         if (pos >= nchunks) break;
         perturb.maybe_perturb();
         const std::size_t begin = static_cast<std::size_t>(order[pos]) * grain;
-        f(begin, std::min(begin + grain, n));
+        f(begin, std::min(begin + grain, n), rank);
         ++chunks;
       }
       pool.note_chunks(chunks);
     });
+    throw_if_cancelled(tok);
   } else if (b == backend::static_chunk) {
     const std::size_t base = n / p;
     const std::size_t rem = n % p;
@@ -218,10 +291,11 @@ void parallel_blocks(thread_pool& pool, forward_progress progress, std::size_t n
       const std::size_t begin = rank * base + std::min<std::size_t>(rank, rem);
       const std::size_t end = begin + base + (rank < rem ? 1 : 0);
       if (begin < end) {
-        f(begin, end);
+        f(begin, end, rank);  // cancellation polls via the stripe loop in f
         pool.note_chunks(1);
       }
     });
+    throw_if_cancelled(tok);
   } else if (b == backend::dynamic_chunk) {
     const std::size_t grain = dynamic_grain(n, p);
     std::atomic<std::size_t> next{0};
@@ -230,13 +304,15 @@ void parallel_blocks(thread_pool& pool, forward_progress progress, std::size_t n
       RankSpan span(trace, label, rank);
       std::uint64_t chunks = 0;
       for (;;) {
+        if (tok.stop_requested()) break;  // drain
         const std::size_t begin = next.fetch_add(grain, std::memory_order_relaxed);
         if (begin >= n) break;
-        f(begin, std::min(begin + grain, n));
+        f(begin, std::min(begin + grain, n), rank);
         ++chunks;
       }
       pool.note_chunks(chunks);
     });
+    throw_if_cancelled(tok);
   } else {
     // Work stealing: each rank owns a contiguous range, pops small chunks
     // from its front, and steals the back half of another rank's range when
@@ -259,8 +335,9 @@ void parallel_blocks(thread_pool& pool, forward_progress progress, std::size_t n
       std::uint64_t chunks = 0, steals = 0, polls = 0;
       std::uint32_t first = 0, last = 0;
       for (;;) {
+        if (tok.stop_requested()) break;  // drain
         if (ranges[rank].pop_front(grain, first, last)) {
-          f(first, last);
+          f(first, last, rank);
           ++chunks;
           continue;
         }
@@ -282,6 +359,7 @@ void parallel_blocks(thread_pool& pool, forward_progress progress, std::size_t n
       pool.note_steals(steals);
       pool.note_polls(polls);
     });
+    throw_if_cancelled(tok);
   }
 }
 
@@ -297,7 +375,20 @@ template <class Policy, class F>
   requires is_execution_policy_v<Policy>
 void for_each_index(Policy, std::size_t n, F f) {
   if constexpr (!Policy::is_parallel) {
-    for (std::size_t i = 0; i < n; ++i) f(i);
+    const stop_token tok = ambient_stop_token();
+    if (!tok.stop_possible()) {
+      for (std::size_t i = 0; i < n; ++i) f(i);
+      return;
+    }
+    // seq is cancellable too (deadlines apply at every rung of the
+    // degradation ladder); here dispatcher == executor, so the poll may
+    // throw directly between stripes.
+    for (std::size_t s = 0; s < n; s += detail::kPollStripe) {
+      detail::throw_if_cancelled(tok);
+      const std::size_t e = std::min(s + detail::kPollStripe, n);
+      for (std::size_t i = s; i < e; ++i) f(i);
+    }
+    detail::throw_if_cancelled(tok);
   } else {
     detail::parallel_blocks(thread_pool::global(), Policy::progress, n,
                             [&](std::size_t b, std::size_t e) {
@@ -328,17 +419,27 @@ template <class Policy, class T, class Reduce, class Transform>
   requires is_execution_policy_v<Policy>
 T transform_reduce_index(Policy, std::size_t n, T init, Reduce reduce, Transform transform) {
   if constexpr (!Policy::is_parallel) {
+    const stop_token tok = ambient_stop_token();
     T acc = std::move(init);
-    for (std::size_t i = 0; i < n; ++i) acc = reduce(std::move(acc), transform(i));
+    for (std::size_t s = 0; s < n; s += detail::kPollStripe) {
+      if (tok.stop_possible()) detail::throw_if_cancelled(tok);
+      const std::size_t e = std::min(s + detail::kPollStripe, n);
+      for (std::size_t i = s; i < e; ++i) acc = reduce(std::move(acc), transform(i));
+    }
     return acc;
   } else {
     if (n == 0) return init;
     auto& pool = thread_pool::global();
     const unsigned p = pool.concurrency();
     if (p == 1) {
+      const stop_token tok = ambient_stop_token();
       progress_region guard(Policy::progress);
       T acc = std::move(init);
-      for (std::size_t i = 0; i < n; ++i) acc = reduce(std::move(acc), transform(i));
+      for (std::size_t s = 0; s < n; s += detail::kPollStripe) {
+        if (tok.stop_possible()) detail::throw_if_cancelled(tok);
+        const std::size_t e = std::min(s + detail::kPollStripe, n);
+        for (std::size_t i = s; i < e; ++i) acc = reduce(std::move(acc), transform(i));
+      }
       return acc;
     }
     // One partial per fixed-size chunk, combined in chunk order.
@@ -396,6 +497,9 @@ void sort(Policy, It first, It last, Comp comp = {}) {
   }
   constexpr std::size_t kSerialCutoff = 1 << 12;
   if (p == 1 || n <= kSerialCutoff) {
+    // A serial stable_sort has no chunk boundaries to poll at; honor a stop
+    // that is already pending, then run to completion (bounded by cutoff).
+    detail::throw_if_cancelled(ambient_stop_token());
     progress_region guard(Policy::progress);
     std::stable_sort(first, last, comp);
     return;
@@ -473,7 +577,9 @@ void exclusive_scan(Policy, const T* in, T* out, std::size_t n, T init, Op op = 
     std::exclusive_scan(in, in + n, out, init, op);
     return;
   }
+  const stop_token tok = ambient_stop_token();
   if (p == 1 || n < 4096) {
+    detail::throw_if_cancelled(tok);
     progress_region guard(Policy::progress);
     std::exclusive_scan(in, in + n, out, init, op);
     return;
@@ -481,19 +587,27 @@ void exclusive_scan(Policy, const T* in, T* out, std::size_t n, T init, Op op = 
   const std::size_t nblocks = p;
   const std::size_t block = (n + nblocks - 1) / nblocks;
   std::vector<T> block_sums(nblocks, T{});
-  // Pass 1: local reductions.
+  // Pass 1: local reductions (striped with cancellation polls when a stop
+  // token is installed — a rank that observes the flag drains; the throw
+  // happens here on the dispatching thread between passes).
   pool.run([&](unsigned rank) {
     progress_region guard(Policy::progress);
     const std::size_t b = std::min<std::size_t>(rank * block, n);
     const std::size_t e = std::min(b + block, n);
     T acc{};
     bool any = false;
-    for (std::size_t i = b; i < e; ++i) {
-      acc = any ? op(std::move(acc), in[i]) : in[i];
-      any = true;
+    for (std::size_t s = b; s < e; s += detail::kPollStripe) {
+      if (tok.stop_possible() && tok.stop_requested()) return;  // drain
+      const std::size_t se = std::min(s + detail::kPollStripe, e);
+      for (std::size_t i = s; i < se; ++i) {
+        acc = any ? op(std::move(acc), in[i]) : in[i];
+        any = true;
+      }
+      if (tok.stop_possible()) pool.beat(rank);
     }
     if (any) block_sums[rank] = std::move(acc);
   });
+  detail::throw_if_cancelled(tok);
   // Sequential scan of block sums.
   std::vector<T> block_offsets(nblocks);
   T acc = init;
@@ -507,11 +621,17 @@ void exclusive_scan(Policy, const T* in, T* out, std::size_t n, T init, Op op = 
     const std::size_t b = std::min<std::size_t>(rank * block, n);
     const std::size_t e = std::min(b + block, n);
     T local = block_offsets[rank];
-    for (std::size_t i = b; i < e; ++i) {
-      out[i] = local;
-      local = op(std::move(local), in[i]);
+    for (std::size_t s = b; s < e; s += detail::kPollStripe) {
+      if (tok.stop_possible() && tok.stop_requested()) return;  // drain
+      const std::size_t se = std::min(s + detail::kPollStripe, e);
+      for (std::size_t i = s; i < se; ++i) {
+        out[i] = local;
+        local = op(std::move(local), in[i]);
+      }
+      if (tok.stop_possible()) pool.beat(rank);
     }
   });
+  detail::throw_if_cancelled(tok);
 }
 
 /// Inclusive scan built on the exclusive one: out[i] = in[0] op ... op in[i].

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <thread>
 
+#include "exec/stop_token.hpp"
 #include "support/env.hpp"
 
 #if defined(__x86_64__) || defined(__i386__)
@@ -66,10 +67,18 @@ checkpoint_hook_state get_checkpoint_hook() noexcept {
 }
 
 void checkpoint() noexcept {
+  // Observe the ambient stop token: one relaxed load when no token is
+  // installed, and when one is, the poll folds in the armed deadline (the
+  // token self-requests a stop once the clock passes it). Observation only —
+  // checkpoint() is noexcept and runs inside critical sections, so
+  // cancellation stays flag-then-drain: the scheduling layer acts on the
+  // flag at chunk boundaries.
+  (void)ambient_stop_token().stop_requested();
   if (t_checkpoint != nullptr) t_checkpoint(t_checkpoint_ctx, /*waiting=*/false);
 }
 
 void checkpoint_waiting() noexcept {
+  (void)ambient_stop_token().stop_requested();
   if (t_checkpoint != nullptr) t_checkpoint(t_checkpoint_ctx, /*waiting=*/true);
 }
 

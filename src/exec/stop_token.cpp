@@ -1,0 +1,88 @@
+#include "exec/stop_token.hpp"
+
+#include "obs/metrics.hpp"
+#include "obs/runtime.hpp"
+#include "obs/trace.hpp"
+
+namespace nbody::exec {
+
+namespace {
+// Ambient stop target. Raw pointer + relaxed loads on the poll path; the
+// installer (scoped_ambient_stop) keeps the source alive for the scope's
+// duration, the same ownership contract obs::install_global uses.
+std::atomic<detail::stop_state*> g_ambient{nullptr};
+}  // namespace
+
+const char* stop_cause_name(stop_cause c) noexcept {
+  switch (c) {
+    case stop_cause::none: return "none";
+    case stop_cause::requested: return "requested";
+    case stop_cause::deadline: return "deadline";
+    case stop_cause::watchdog: return "watchdog";
+  }
+  return "?";
+}
+
+namespace detail {
+
+bool stop_state::request(stop_cause cause, std::string reason) noexcept {
+  if (claimed_.exchange(true, std::memory_order_acq_rel)) return false;
+  cause_ = cause;
+  // noexcept contract: losing the string on allocation failure is
+  // acceptable, losing the stop is not.
+  try {
+    reason_ = std::move(reason);
+  } catch (...) {
+  }
+  requested_.store(true, std::memory_order_release);
+  return true;
+}
+
+}  // namespace detail
+
+Cancelled::Cancelled(stop_cause cause, const std::string& reason)
+    : std::runtime_error("cancelled (" + std::string(stop_cause_name(cause)) +
+                         "): " + reason),
+      cause_(cause) {}
+
+void stop_token::throw_if_stopped() const {
+  if (stop_requested()) throw Cancelled(state_->cause(), state_->reason());
+}
+
+stop_source::stop_source() : state_(std::make_shared<detail::stop_state>()) {}
+
+void stop_source::arm_deadline(std::chrono::nanoseconds budget, std::string reason) {
+  arm_deadline_at(detail::stop_state::now_ns() +
+                      static_cast<std::uint64_t>(budget.count()),
+                  std::move(reason));
+}
+
+void stop_source::arm_deadline_at(std::uint64_t deadline_ns, std::string reason) {
+  state_->deadline_ns_ = deadline_ns;
+  state_->deadline_reason_ = std::move(reason);
+}
+
+bool stop_source::request_stop(stop_cause cause, std::string reason) {
+  const bool won = state_->request(cause, std::move(reason));
+  if (won) {
+    if (auto* m = obs::global_metrics(); m != nullptr)
+      m->counter("exec.cancel.requests").add();
+    if (auto* t = obs::global_trace(); t != nullptr)
+      t->instant("cancel.stop", std::string(stop_cause_name(cause)) + ": " +
+                                    state_->reason());
+  }
+  return won;
+}
+
+stop_token ambient_stop_token() noexcept {
+  return stop_token(g_ambient.load(std::memory_order_relaxed));
+}
+
+scoped_ambient_stop::scoped_ambient_stop(stop_source& source) noexcept
+    : saved_(g_ambient.exchange(source.state().get(), std::memory_order_relaxed)) {}
+
+scoped_ambient_stop::~scoped_ambient_stop() {
+  g_ambient.store(saved_, std::memory_order_relaxed);
+}
+
+}  // namespace nbody::exec

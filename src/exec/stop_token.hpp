@@ -1,0 +1,194 @@
+// Cooperative cancellation: stop_source / stop_token in the shape of C++20
+// <stop_token>, specialized for this library's execution substrate.
+//
+// A stop_source owns a shared stop state; stop_tokens are cheap views of it.
+// A request can come from three places — an explicit request_stop() call, a
+// wall-clock deadline armed on the source, or the thread-pool watchdog
+// (exec/watchdog.hpp) — and every parallel algorithm polls the *ambient*
+// token (installed process-wide with scoped_ambient_stop, the same pattern
+// obs::install_global uses) at chunk and stripe boundaries, so chunk
+// granularity bounds cancellation latency.
+//
+// Cancellation is flag-then-drain under every policy: polls never throw
+// inside a parallel region's iterations — a chunk loop that observes the
+// flag simply stops claiming work — and the dispatching thread surfaces one
+// `Cancelled` exception after the region drains, exactly like any other
+// region failure. This is policy-legal even under par_unseq (no exception
+// machinery, no synchronization beyond relaxed/acq-rel atomics inside the
+// unsequenced iterations) and leaves no lock held: the only in-region throw
+// sites are chunk boundaries, where no library lock is live.
+//
+// Cost when no token is installed: one relaxed atomic load (the ambient
+// pointer) per region plus one predicted branch per stripe — measured ≤1%
+// on the N=4096 octree force phase (bench/ablation_cancel, EXPERIMENTS.md).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+namespace nbody::exec {
+
+/// Why a stop was requested — carried by the state and by Cancelled so
+/// Simulation::run_guarded can classify the recovery (deadline miss vs
+/// watchdog trip vs explicit cancellation).
+enum class stop_cause : std::uint8_t {
+  none = 0,
+  requested,  // explicit request_stop()
+  deadline,   // the armed wall-clock deadline passed
+  watchdog,   // the thread-pool watchdog tripped on a stalled rank
+};
+
+const char* stop_cause_name(stop_cause c) noexcept;
+
+namespace detail {
+
+/// Shared cancellation state. The reason/cause fields are written exactly
+/// once, by whichever requester wins `claimed_`, strictly before the
+/// `requested_` release-store that publishes them — readers load
+/// `requested_` with acquire and may then read reason()/cause() freely.
+struct stop_state {
+  /// First-requester-wins. Returns true when this call performed the stop.
+  bool request(stop_cause cause, std::string reason) noexcept;
+
+  [[nodiscard]] bool stop_requested() noexcept {
+    if (requested_.load(std::memory_order_acquire)) return true;
+    if (deadline_ns_ != 0 && now_ns() >= deadline_ns_) {
+      request(stop_cause::deadline, deadline_reason_);
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] stop_cause cause() const noexcept { return cause_; }
+  [[nodiscard]] const std::string& reason() const noexcept { return reason_; }
+
+  [[nodiscard]] static std::uint64_t now_ns() noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+
+  std::atomic<bool> requested_{false};
+  std::atomic<bool> claimed_{false};
+  stop_cause cause_ = stop_cause::none;
+  std::string reason_;
+  // Steady-clock deadline in ns since epoch; 0 = none. Set before the state
+  // is shared (stop_source::arm_deadline), read-only afterwards.
+  std::uint64_t deadline_ns_ = 0;
+  std::string deadline_reason_ = "deadline exceeded";
+};
+
+}  // namespace detail
+
+/// The exception a cancelled region surfaces — caught by run_guarded like
+/// any other step failure (FaultInjected, overflow, guard report).
+class Cancelled : public std::runtime_error {
+ public:
+  Cancelled(stop_cause cause, const std::string& reason);
+  [[nodiscard]] stop_cause cause() const noexcept { return cause_; }
+
+ private:
+  stop_cause cause_;
+};
+
+/// Cheap copyable view of a stop_source's state. A default-constructed
+/// token is stopless: stop_requested() is false forever.
+class stop_token {
+ public:
+  stop_token() = default;
+
+  /// True once a stop was requested (or the armed deadline passed — the
+  /// deadline is folded into the poll so no helper thread is needed to
+  /// enforce it). Safe from any policy: relaxed/acquire atomics only.
+  [[nodiscard]] bool stop_requested() const noexcept {
+    return state_ != nullptr && state_->stop_requested();
+  }
+
+  /// True when this token can ever report a stop (has a state).
+  [[nodiscard]] bool stop_possible() const noexcept { return state_ != nullptr; }
+
+  [[nodiscard]] stop_cause cause() const noexcept {
+    return state_ != nullptr ? state_->cause() : stop_cause::none;
+  }
+  [[nodiscard]] std::string reason() const {
+    return state_ != nullptr ? state_->reason() : std::string{};
+  }
+
+  /// Throws Cancelled when stopped. Call only at safe points (no locks
+  /// held); the scheduling backends never call this from inside a region's
+  /// iterations — see the flag-then-drain contract above.
+  void throw_if_stopped() const;
+
+ private:
+  friend class stop_source;
+  friend stop_token ambient_stop_token() noexcept;
+  explicit stop_token(detail::stop_state* s) noexcept : state_(s) {}
+  detail::stop_state* state_ = nullptr;
+};
+
+/// Owns a cancellation state. One source per cancellable scope (run_guarded
+/// creates a fresh one per step attempt, so a consumed stop never leaks
+/// into the retry).
+class stop_source {
+ public:
+  stop_source();
+  stop_source(const stop_source&) = delete;
+  stop_source& operator=(const stop_source&) = delete;
+
+  /// Arms a wall-clock deadline `budget` from now; polls observe it lazily.
+  /// Call before sharing tokens (not synchronized against concurrent polls
+  /// of the same source).
+  void arm_deadline(std::chrono::nanoseconds budget,
+                    std::string reason = "deadline exceeded");
+  /// Absolute steady-clock deadline in ns (stop_state::now_ns() scale).
+  void arm_deadline_at(std::uint64_t deadline_ns,
+                       std::string reason = "deadline exceeded");
+
+  /// Requests a stop; first caller wins and sets cause/reason. Returns true
+  /// when this call performed the transition. Bumps the ambient
+  /// `exec.cancel.requests` metric and emits a `cancel.stop` trace instant.
+  bool request_stop(stop_cause cause = stop_cause::requested,
+                    std::string reason = "stop requested");
+
+  [[nodiscard]] bool stop_requested() const noexcept {
+    return state_->stop_requested();
+  }
+  [[nodiscard]] stop_token token() noexcept { return stop_token(state_.get()); }
+
+  /// Shared handle for monitors that may outlive one attempt's stack frame
+  /// (the watchdog holds one while sampling).
+  [[nodiscard]] std::shared_ptr<detail::stop_state> state() const noexcept {
+    return state_;
+  }
+
+ private:
+  std::shared_ptr<detail::stop_state> state_;
+};
+
+/// The ambient token every exec algorithm polls: one relaxed atomic load.
+/// Stopless when nothing is installed.
+[[nodiscard]] stop_token ambient_stop_token() noexcept;
+
+/// RAII: installs `source`'s state as the process-wide ambient stop target
+/// and restores the previous one on destruction (scopes nest). The source
+/// must outlive the scope. Install around a cancellable region from the
+/// *calling* thread before dispatch — workers read the global, so the token
+/// is visible to every rank without threading a parameter through the
+/// policy-based algorithm signatures.
+class scoped_ambient_stop {
+ public:
+  explicit scoped_ambient_stop(stop_source& source) noexcept;
+  scoped_ambient_stop(const scoped_ambient_stop&) = delete;
+  scoped_ambient_stop& operator=(const scoped_ambient_stop&) = delete;
+  ~scoped_ambient_stop();
+
+ private:
+  detail::stop_state* saved_;
+};
+
+}  // namespace nbody::exec

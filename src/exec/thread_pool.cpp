@@ -61,7 +61,14 @@ void thread_pool::run(support::function_ref<void(unsigned)> f) {
     // Inline (or nested) execution: run every rank sequentially. Nested
     // parallelism degrades gracefully instead of deadlocking the team.
     region_flag_guard guard;
-    for (unsigned r = 0; r < concurrency_; ++r) run_rank(f, r);
+    try {
+      for (unsigned r = 0; r < concurrency_; ++r) run_rank(f, r);
+    } catch (...) {
+      regions_done_.fetch_add(1, std::memory_order_relaxed);
+      region_wall_ns_.fetch_add(mono_ns() - region_start, std::memory_order_relaxed);
+      throw;
+    }
+    regions_done_.fetch_add(1, std::memory_order_relaxed);
     region_wall_ns_.fetch_add(mono_ns() - region_start, std::memory_order_relaxed);
     return;
   }
@@ -89,6 +96,7 @@ void thread_pool::run(support::function_ref<void(unsigned)> f) {
     done_cv_.wait(lock, [this] { return remaining_ == 0; });
     job_ = nullptr;
   }
+  regions_done_.fetch_add(1, std::memory_order_relaxed);
   region_wall_ns_.fetch_add(mono_ns() - region_start, std::memory_order_relaxed);
 
   std::exception_ptr err;
@@ -108,7 +116,12 @@ void thread_pool::worker_main(unsigned rank) {
     {
       std::unique_lock lock(mutex_);
       start_cv_.wait(lock, [&] { return shutdown_ || epoch_ != seen_epoch; });
-      if (shutdown_) return;
+      // Service a pending region even when shutdown raced in: returning here
+      // with epoch_ != seen_epoch would leave remaining_ stuck above zero and
+      // deadlock the dispatcher in done_cv_.wait (with job_ never cleared) —
+      // and through it, the destructor's join. Shutdown only wins once the
+      // region backlog is drained.
+      if (epoch_ == seen_epoch) return;  // shutdown_, nothing pending
       seen_epoch = epoch_;
       job = job_;
     }
@@ -150,6 +163,19 @@ std::uint64_t thread_pool::rank_tasks(unsigned rank) const noexcept {
 std::uint64_t thread_pool::rank_busy_ns(unsigned rank) const noexcept {
   return rank < concurrency_ ? rank_counters_[rank].busy_ns.load(std::memory_order_relaxed)
                              : 0;
+}
+
+std::uint64_t thread_pool::rank_progress(unsigned rank) const noexcept {
+  return rank < concurrency_
+             ? rank_counters_[rank].progress.load(std::memory_order_relaxed)
+             : 0;
+}
+
+std::uint64_t thread_pool::progress_sum() const noexcept {
+  std::uint64_t sum = 0;
+  for (unsigned r = 0; r < concurrency_; ++r)
+    sum += rank_counters_[r].progress.load(std::memory_order_relaxed);
+  return sum;
 }
 
 void thread_pool::note_chunks(std::uint64_t n) noexcept {

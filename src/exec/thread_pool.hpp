@@ -78,6 +78,45 @@ class thread_pool {
   void note_steals(std::uint64_t n) noexcept;
   void note_polls(std::uint64_t n) noexcept;
 
+  /// Liveness heartbeat: the scheduling layer beats a rank once per chunk /
+  /// stripe it completes. The watchdog (exec/watchdog.hpp) samples the sum —
+  /// an active region whose heartbeat signature freezes is a stalled worker.
+  void beat(unsigned rank) noexcept {
+    // Clamp: a nested/foreign caller may carry another pool's thread rank.
+    rank_counters_[rank < concurrency_ ? rank : 0].progress.fetch_add(
+        1, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t rank_progress(unsigned rank) const noexcept;
+  [[nodiscard]] std::uint64_t progress_sum() const noexcept;
+
+  /// Regions dispatched but not yet finished (0 or 1 under the single-owner
+  /// contract; the inline/nested path counts too). The watchdog only arms
+  /// its stall window while this is non-zero.
+  [[nodiscard]] std::uint64_t active_regions() const noexcept {
+    return regions_.load(std::memory_order_relaxed) -
+           regions_done_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t regions_done() const noexcept {
+    return regions_done_.load(std::memory_order_relaxed);
+  }
+
+  /// RAII region accounting for work the scheduling layer executes inline,
+  /// without dispatching run() (single participant / single chunk). Keeps
+  /// active_regions() truthful there, so the watchdog's stall window covers
+  /// inline execution — a wedge on the caller thread is still a stall.
+  class inline_region {
+   public:
+    explicit inline_region(thread_pool& pool) noexcept : pool_(pool) {
+      pool_.regions_.fetch_add(1, std::memory_order_relaxed);
+    }
+    inline_region(const inline_region&) = delete;
+    inline_region& operator=(const inline_region&) = delete;
+    ~inline_region() { pool_.regions_done_.fetch_add(1, std::memory_order_relaxed); }
+
+   private:
+    thread_pool& pool_;
+  };
+
  private:
   void worker_main(unsigned rank);
   void run_rank(support::function_ref<void(unsigned)>& f, unsigned rank);
@@ -85,12 +124,14 @@ class thread_pool {
   struct RankCounters {
     std::atomic<std::uint64_t> tasks{0};
     std::atomic<std::uint64_t> busy_ns{0};
+    std::atomic<std::uint64_t> progress{0};  // chunk/stripe heartbeats
   };
 
   unsigned concurrency_;
   std::vector<std::thread> workers_;
   std::unique_ptr<RankCounters[]> rank_counters_;  // one per rank (atomics pin it)
   std::atomic<std::uint64_t> regions_{0};
+  std::atomic<std::uint64_t> regions_done_{0};
   std::atomic<std::uint64_t> region_wall_ns_{0};
   std::atomic<std::uint64_t> chunks_{0};
   std::atomic<std::uint64_t> steals_{0};

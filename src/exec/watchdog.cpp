@@ -1,0 +1,108 @@
+#include "exec/watchdog.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "exec/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/runtime.hpp"
+#include "obs/trace.hpp"
+
+namespace nbody::exec {
+
+Watchdog::Watchdog(thread_pool& pool, std::chrono::milliseconds stall_window)
+    : pool_(pool), window_(std::max(stall_window, std::chrono::milliseconds(1))) {
+  sampler_ = std::thread([this] { sampler_main(); });
+}
+
+Watchdog::~Watchdog() {
+  {
+    std::lock_guard lock(mutex_);
+    shutdown_ = true;
+    armed_.reset();
+  }
+  cv_.notify_all();
+  sampler_.join();
+}
+
+void Watchdog::arm(std::shared_ptr<detail::stop_state> state) {
+  {
+    std::lock_guard lock(mutex_);
+    armed_ = std::move(state);
+    ++generation_;
+  }
+  cv_.notify_all();
+}
+
+void Watchdog::disarm() {
+  std::lock_guard lock(mutex_);
+  armed_.reset();
+  ++generation_;
+}
+
+std::uint64_t Watchdog::signature() const noexcept {
+  // Any forward motion changes this: a heartbeat from any rank, or a region
+  // finishing (covers regions too small to beat even once).
+  return pool_.progress_sum() + pool_.regions_done();
+}
+
+void Watchdog::sampler_main() {
+  const auto period =
+      std::max<std::chrono::milliseconds>(window_ / 4, std::chrono::milliseconds(1));
+
+  std::unique_lock lock(mutex_);
+  std::uint64_t last_sig = 0;
+  std::uint64_t seen_generation = 0;
+  auto last_change = std::chrono::steady_clock::now();
+
+  for (;;) {
+    cv_.wait(lock, [&] { return shutdown_ || armed_ != nullptr; });
+    if (shutdown_) return;
+
+    if (generation_ != seen_generation) {
+      // Fresh arm: restart the stall clock so a previous attempt's frozen
+      // signature can't trip the new one instantly.
+      seen_generation = generation_;
+      last_sig = signature();
+      last_change = std::chrono::steady_clock::now();
+    }
+
+    cv_.wait_for(lock, period,
+                 [&] { return shutdown_ || generation_ != seen_generation; });
+    if (shutdown_) return;
+    if (armed_ == nullptr || generation_ != seen_generation) continue;
+
+    if (auto* m = obs::global_metrics(); m != nullptr)
+      m->counter("pool.watchdog.samples").add();
+
+    const auto now = std::chrono::steady_clock::now();
+    const std::uint64_t sig = signature();
+    if (sig != last_sig || pool_.active_regions() == 0) {
+      // Forward motion, or nothing running (an idle pool is not a stall).
+      last_sig = sig;
+      last_change = now;
+      continue;
+    }
+    if (now - last_change < window_) continue;
+
+    // Active region, heartbeat frozen for the whole window: trip.
+    const auto stalled_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(now - last_change).count();
+    auto state = armed_;
+    armed_.reset();  // one trip per arm
+    ++generation_;
+    lock.unlock();
+    trips_.fetch_add(1, std::memory_order_relaxed);
+    if (auto* m = obs::global_metrics(); m != nullptr)
+      m->counter("pool.watchdog.trips").add();
+    if (auto* t = obs::global_trace(); t != nullptr)
+      t->instant("watchdog.trip",
+                 "no worker progress for " + std::to_string(stalled_ms) + "ms");
+    state->request(stop_cause::watchdog,
+                   "watchdog: no worker progress for " + std::to_string(stalled_ms) +
+                       "ms (window " + std::to_string(window_.count()) + "ms)");
+    lock.lock();
+  }
+}
+
+}  // namespace nbody::exec

@@ -1,0 +1,82 @@
+// Stuck-worker watchdog for the thread pool.
+//
+// A hang inside a parallel region — a wedged chunk, a livelocked spin, the
+// NBODY_FAULTS exec.chunk.hang site — is invisible to the guarded loop's
+// exception machinery: nothing throws, the region just never drains. The
+// watchdog turns that silence into an ordinary recoverable fault. A single
+// sampling thread reads the pool's heartbeat counters (RankCounters.progress,
+// beaten once per chunk/stripe by the scheduling layer) and, when a region
+// is active but the heartbeat signature has been frozen for the configured
+// stall window, requests a stop on the armed stop state with
+// stop_cause::watchdog. Healthy workers observe the ambient token at the
+// next chunk boundary and drain; the wedged one is reclaimed by the hang
+// site's own token poll; the dispatcher surfaces Cancelled and run_guarded
+// restores the checkpoint.
+//
+// One Watchdog per guarded run, re-armed per step attempt (arm/disarm), so
+// sub-millisecond steps don't pay a thread spawn each. The sampler sleeps on
+// a condition variable while disarmed — an idle watchdog costs nothing but a
+// parked thread.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "exec/stop_token.hpp"
+
+namespace nbody::exec {
+
+class thread_pool;
+
+class Watchdog {
+ public:
+  /// Starts the sampler thread (parked until arm()). `stall_window` is how
+  /// long an active region's heartbeat may stay frozen before the trip; the
+  /// sampling period is stall_window / 4, floored at 1ms.
+  Watchdog(thread_pool& pool, std::chrono::milliseconds stall_window);
+  ~Watchdog();
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// Begins watching on behalf of `state` (the current attempt's stop
+  /// source). The stall clock starts fresh; a trip requests a stop with
+  /// stop_cause::watchdog on `state` and self-disarms (one trip per arm).
+  void arm(std::shared_ptr<detail::stop_state> state);
+
+  /// Stops watching; safe to call when not armed. After return the sampler
+  /// holds no reference to the previously armed state.
+  void disarm();
+
+  /// Lifetime trip count (across arms). Also exported as the ambient
+  /// `pool.watchdog.trips` counter.
+  [[nodiscard]] std::uint64_t trips() const noexcept {
+    return trips_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::chrono::milliseconds stall_window() const noexcept {
+    return window_;
+  }
+
+ private:
+  void sampler_main();
+  [[nodiscard]] std::uint64_t signature() const noexcept;
+
+  thread_pool& pool_;
+  std::chrono::milliseconds window_;
+  std::atomic<std::uint64_t> trips_{0};
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::shared_ptr<detail::stop_state> armed_;  // nullptr = parked
+  bool shutdown_ = false;
+  std::uint64_t generation_ = 0;  // bumped per arm/disarm to reset the clock
+
+  std::thread sampler_;
+};
+
+}  // namespace nbody::exec

@@ -490,6 +490,10 @@ class ConcurrentOctree {
   void collect_group_lists(const box_t& gbox, const std::vector<T>& m,
                            const std::vector<vec_t>& x, T theta2,
                            math::InteractionLists<T, D>& out, bool quadrupole = false) const {
+    // Cooperative progress point per group walk: lets the chaos scheduler
+    // interleave here and keeps an armed deadline observed between chunk
+    // polls even when one group's walk is long.
+    exec::checkpoint();
     const std::uint32_t root_val = child_[0];
     if (!is_internal(root_val)) {  // 0 or 1-leaf tree
       if (is_body(root_val))

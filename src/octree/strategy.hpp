@@ -114,6 +114,11 @@ class OctreeStrategy {
     order_dirty_ = true;
   }
 
+  /// Accuracy-rung hook (Simulation::run_guarded deadline shedding): amortize
+  /// tree builds over more steps. Values < 1 are clamped to 1.
+  void set_reuse_interval(unsigned k) { opts_.reuse_interval = k < 1 ? 1 : k; }
+  [[nodiscard]] unsigned reuse_interval() const noexcept { return opts_.reuse_interval; }
+
  private:
   template <class ForcePolicy>
   void compute_forces(ForcePolicy fp, core::StepContext<T, D>& ctx) {

@@ -11,7 +11,7 @@ namespace {
 
 constexpr std::array<const char*, kFaultSiteCount> kSiteNames = {
     "exec.pool.task", "exec.algo.chunk", "octree.node_alloc", "snapshot.write",
-    "snapshot.read",
+    "snapshot.read",  "exec.chunk.hang",
 };
 
 struct SiteState {
@@ -60,6 +60,7 @@ std::atomic<std::uint32_t> g_armed_mask{0};
 bool should_fire(FaultSite site) noexcept {
   auto& st = g_sites[static_cast<std::size_t>(site)];
   const std::uint64_t tick = st.evaluations.fetch_add(1, std::memory_order_relaxed);
+  if (tick < st.cfg.skip) return false;
   if (st.threshold == 0) return false;
   if (st.threshold != ~std::uint64_t{0} &&
       splitmix64(st.cfg.seed ^ (tick * 0xD1342543DE82EF95ull)) >= st.threshold)
@@ -130,8 +131,8 @@ std::size_t arm_faults_from_spec(const std::string& spec) {
     pos = comma + 1;
     if (entry.empty()) continue;
 
-    // site:rate[:seed[:max_fires]]
-    std::array<std::string, 4> fields;
+    // site:rate[:seed[:max_fires[:skip]]]
+    std::array<std::string, 5> fields;
     std::size_t nfields = 0, fpos = 0;
     while (nfields < fields.size()) {
       const std::size_t colon = entry.find(':', fpos);
@@ -150,6 +151,7 @@ std::size_t arm_faults_from_spec(const std::string& spec) {
       if (nfields >= 2 && !fields[1].empty()) cfg.rate = std::stod(fields[1]);
       if (nfields >= 3 && !fields[2].empty()) cfg.seed = std::stoull(fields[2]);
       if (nfields >= 4 && !fields[3].empty()) cfg.max_fires = std::stoull(fields[3]);
+      if (nfields >= 5 && !fields[4].empty()) cfg.skip = std::stoull(fields[4]);
     } catch (const std::exception&) {
       throw std::invalid_argument("NBODY_FAULTS: malformed entry '" + entry + "'");
     }

@@ -10,13 +10,23 @@
 //
 // Arming is programmatic (arm_fault) or via the environment:
 //
-//   NBODY_FAULTS=site:rate[:seed[:max_fires]][,site:rate...]
+//   NBODY_FAULTS=site:rate[:seed[:max_fires[:skip]]][,site:rate...]
 //   e.g. NBODY_FAULTS=octree.node_alloc:0.01:7:3,snapshot.write:1
+//        NBODY_FAULTS=exec.chunk.hang:1:0:1:64
 //
 // rate is the per-evaluation firing probability; seed selects the
 // deterministic firing subsequence; max_fires (0 = unlimited) bounds the
 // total number of injections, which keeps end-to-end recovery tests
-// convergent under a finite retry budget.
+// convergent under a finite retry budget; skip exempts the first `skip`
+// evaluations, so an injection can be aimed deterministically at a later
+// phase of a run (e.g. a mid-force-phase hang) instead of the first thing
+// the process does.
+//
+// Most sites fail by throwing FaultInjected from fault_point(). The
+// exec.chunk.hang site is *behavioral*: the scheduling layer asks
+// fault_fires_now() and, when it fires, simulates a wedged worker — a spin
+// that only the cooperative-cancellation machinery (exec/stop_token.hpp,
+// tripped by a deadline or the pool watchdog) can reclaim.
 //
 // Cost when disarmed: fault_point() is a single relaxed atomic load and a
 // predicted-not-taken branch — safe to leave in hot paths.
@@ -37,8 +47,9 @@ enum class FaultSite : std::uint8_t {
   octree_node_alloc,  // "octree.node_alloc"   — octree subdivision/allocation
   snapshot_write,     // "snapshot.write"      — snapshot save paths
   snapshot_read,      // "snapshot.read"       — snapshot load paths
+  chunk_hang,         // "exec.chunk.hang"     — behavioral: wedge a worker
 };
-inline constexpr std::size_t kFaultSiteCount = 5;
+inline constexpr std::size_t kFaultSiteCount = 6;
 
 /// Stable textual name of a site (the NBODY_FAULTS spelling).
 const char* fault_site_name(FaultSite site) noexcept;
@@ -50,6 +61,7 @@ struct FaultConfig {
   double rate = 1.0;           // per-evaluation firing probability in [0, 1]
   std::uint64_t seed = 0;      // selects the deterministic firing subsequence
   std::uint64_t max_fires = 0; // total injection budget; 0 = unlimited
+  std::uint64_t skip = 0;      // first `skip` evaluations never fire
 };
 
 /// The exception an armed fault site throws.
@@ -103,6 +115,17 @@ inline void fault_point(FaultSite site) {
   if ((mask >> static_cast<unsigned>(site)) & 1u) {
     if (fault_detail::should_fire(site)) fault_detail::throw_fault(site);
   }
+}
+
+/// Non-throwing query form for behavioral sites (exec.chunk.hang): returns
+/// true when the site is armed and fires on this evaluation; the caller
+/// enacts the failure itself. Same disarmed cost as fault_point().
+inline bool fault_fires_now(FaultSite site) noexcept {
+  const std::uint32_t mask = fault_detail::g_armed_mask.load(std::memory_order_relaxed);
+  if (mask == 0) [[likely]]
+    return false;
+  return ((mask >> static_cast<unsigned>(site)) & 1u) != 0 &&
+         fault_detail::should_fire(site);
 }
 
 }  // namespace nbody::support
