@@ -17,9 +17,18 @@
 #        FULL=1 ci/run_matrix.sh <build-dir>      — instead runs the ctest
 #        unit lane once per backend.
 #        CANCEL=1 ci/run_matrix.sh <path-to-nbody_cli> — cancellation lane:
-#        flag-conflict exit codes + a watchdog-reclaimed injected hang
-#        (registered as the `check_cancellation` CTest case, whose hard
+#        flag-conflict exit codes (solo + server flags), malformed
+#        NBODY_FAULTS rejection (exit 4), and a watchdog-reclaimed injected
+#        hang (registered as the `check_cancellation` CTest case, whose hard
 #        TIMEOUT is the deadlock detector the watchdog must beat).
+#        SERVE=1 ci/run_matrix.sh <path-to-nbody_cli> — job-server E2E lane:
+#        8 concurrent jobs under injected faults (one poison, one hang) must
+#        drain with healthy results bit-identical to solo runs, then a
+#        kill -9'd server must resume from its journal and finish.
+#        SOAK=1 ci/run_matrix.sh <path-to-nbody_cli> — job-server soak lane:
+#        a job mix under low-rate fault injection + chaos backend +
+#        watchdogs; the server must never crash, every non-poison job must
+#        complete, and the poison job must be quarantined.
 set -euo pipefail
 
 if [ "${FULL:-0}" = "1" ]; then
@@ -61,6 +70,37 @@ if [ "${CANCEL:-0}" = "1" ]; then
   expect_conflict "--max-retries 0 with --guard" \
     --workload plummer --n 64 --steps 1 --guard --max-retries 0
 
+  echo "==== contradictory server flags ===="
+  expect_conflict "--serve without --jobs-dir" \
+    --serve
+  expect_conflict "--jobs-dir without --serve" \
+    --workload plummer --n 64 --steps 1 --jobs-dir /tmp/nonexistent-jobs
+  expect_conflict "--serve with --trace-out" \
+    --serve --jobs-dir /tmp/nonexistent-jobs --trace-out /tmp/t.json
+  expect_conflict "--serve with --max-concurrent-jobs 0" \
+    --serve --jobs-dir /tmp/nonexistent-jobs --max-concurrent-jobs 0
+  expect_conflict "--serve with --guard" \
+    --serve --jobs-dir /tmp/nonexistent-jobs --guard
+
+  echo "==== malformed NBODY_FAULTS rejected with exit 4 ===="
+  expect_fault_spec_error() {
+    local desc=$1 spec=$2
+    set +e
+    NBODY_FAULTS="$spec" "$CLI" --workload plummer --n 64 --steps 1 \
+      > /dev/null 2>&1
+    local rc=$?
+    set -e
+    if [ "$rc" -ne 4 ]; then
+      echo "FAIL: $desc: expected exit 4 (malformed NBODY_FAULTS), got $rc" >&2
+      exit 1
+    fi
+    echo "  fault spec rejected (exit 4): $desc"
+  }
+  expect_fault_spec_error "unknown site" "bogus.site:1"
+  expect_fault_spec_error "rate out of range" "snapshot.write:1.5"
+  expect_fault_spec_error "missing rate" "snapshot.write"
+  expect_fault_spec_error "stray comma" "snapshot.write:1,"
+
   echo "==== watchdog reclaims an injected worker hang ===="
   # One chunk wedges on the first parallel region of step 1; the 100 ms
   # watchdog must cancel it, restore the checkpoint, and let the run finish
@@ -70,6 +110,176 @@ if [ "${CANCEL:-0}" = "1" ]; then
     --watchdog-ms 100 --run-deadline-ms 60000 --checkpoint-every 2 \
     --max-retries 6
   echo "cancellation lane OK"
+  exit 0
+fi
+
+if [ "${SERVE:-0}" = "1" ]; then
+  CLI=${1:?usage: SERVE=1 run_matrix.sh <path-to-nbody_cli>}
+  WORKDIR=$(mktemp -d)
+  trap 'rm -rf "$WORKDIR"' EXIT
+
+  echo "==== phase A: 8 concurrent jobs, one poison, one injected hang ===="
+  JOBS=$WORKDIR/jobs
+  WORK=$WORKDIR/work
+  mkdir -p "$JOBS"
+  # Two seq jobs are the bit-identity probes; the rest exercise the
+  # strategy x policy spread. All spec knobs that matter for the solo
+  # comparison (dt/theta/softening) stay at their shared defaults.
+  cat > "$JOBS/probe-a.job" <<'SPEC'
+workload=plummer n=96 seed=101 steps=48 strategy=allpairs policy=seq
+checkpoint_every=4
+SPEC
+  cat > "$JOBS/probe-b.job" <<'SPEC'
+workload=cube n=80 seed=202 steps=40 strategy=allpairs policy=seq
+checkpoint_every=4
+SPEC
+  for i in 1 2 3; do
+    cat > "$JOBS/par-$i.job" <<SPEC
+workload=plummer n=256 seed=$((300 + i)) steps=32 strategy=octree policy=par
+checkpoint_every=4 watchdog_ms=200
+SPEC
+  done
+  cat > "$JOBS/bvh-1.job" <<'SPEC'
+workload=galaxy n=192 seed=77 steps=32 strategy=bvh policy=par
+checkpoint_every=4 watchdog_ms=200
+SPEC
+  cat > "$JOBS/bvh-2.job" <<'SPEC'
+workload=cube n=160 seed=88 steps=32 strategy=bvh policy=par_unseq
+checkpoint_every=4 watchdog_ms=200
+SPEC
+  cat > "$JOBS/venom.job" <<'SPEC'
+workload=poison n=64 seed=9 steps=16 strategy=allpairs policy=seq
+checkpoint_every=4
+SPEC
+
+  # exec.chunk.hang wedges the first parallel chunk of whichever par job
+  # dispatches first; its watchdog must reclaim it and the retry ladder must
+  # still land the job. The poison job can only be retired by quarantine.
+  NBODY_FAULTS="exec.chunk.hang:1:0:1" NBODY_THREADS=4 \
+    "$CLI" --serve --jobs-dir "$JOBS" --journal "$WORKDIR/journal.nbjl" \
+    --serve-work-dir "$WORK" --max-concurrent-jobs 8 --job-retries 3 \
+    --serve-slice-steps 8 | tee "$WORKDIR/serve-a.log"
+
+  grep -q "serve: 7 completed, 1 quarantined, 0 shed, 0 suspended" \
+    "$WORKDIR/serve-a.log" || {
+    echo "FAIL: expected 7 completed + 1 quarantined" >&2; exit 1; }
+  grep -q "^job venom: quarantined" "$WORKDIR/serve-a.log" || {
+    echo "FAIL: poison job not quarantined" >&2; exit 1; }
+  [ -s "$WORK/quarantine/venom.txt" ] || {
+    echo "FAIL: quarantine bundle missing" >&2; exit 1; }
+  grep -q "workload=poison" "$WORK/quarantine/venom.txt" || {
+    echo "FAIL: quarantine bundle lacks the job spec" >&2; exit 1; }
+
+  echo "==== phase A: healthy results bit-identical to solo runs ===="
+  NBODY_THREADS=4 "$CLI" --workload plummer --n 96 --seed 101 --steps 48 \
+    --strategy allpairs --policy seq --save "$WORKDIR/solo-a.snap" > /dev/null
+  NBODY_THREADS=4 "$CLI" --workload cube --n 80 --seed 202 --steps 40 \
+    --strategy allpairs --policy seq --save "$WORKDIR/solo-b.snap" > /dev/null
+  cmp "$WORK/out/probe-a.snap" "$WORKDIR/solo-a.snap" || {
+    echo "FAIL: probe-a server result differs from solo run" >&2; exit 1; }
+  cmp "$WORK/out/probe-b.snap" "$WORKDIR/solo-b.snap" || {
+    echo "FAIL: probe-b server result differs from solo run" >&2; exit 1; }
+  echo "  bit-identical: probe-a, probe-b"
+
+  echo "==== phase B: kill -9 mid-run, restart resumes from the journal ===="
+  JOBS2=$WORKDIR/jobs2
+  WORK2=$WORKDIR/work2
+  JOURNAL2=$WORKDIR/journal2.nbjl
+  mkdir -p "$JOBS2"
+  cat > "$JOBS2/longhaul.job" <<'SPEC'
+workload=plummer n=192 seed=404 steps=4000 strategy=allpairs policy=seq
+checkpoint_every=8
+SPEC
+  NBODY_THREADS=2 "$CLI" --serve --jobs-dir "$JOBS2" --journal "$JOURNAL2" \
+    --serve-work-dir "$WORK2" --max-concurrent-jobs 1 --serve-slice-steps 16 \
+    > "$WORKDIR/serve-b1.log" 2>&1 &
+  SERVER_PID=$!
+  # Wait for durable progress (a checkpoint record), then murder the server.
+  for _ in $(seq 1 200); do
+    if grep -q " checkpoint longhaul " "$JOURNAL2" 2>/dev/null; then break; fi
+    if ! kill -0 "$SERVER_PID" 2>/dev/null; then break; fi
+    sleep 0.05
+  done
+  if kill -0 "$SERVER_PID" 2>/dev/null; then
+    kill -9 "$SERVER_PID"
+    wait "$SERVER_PID" 2>/dev/null || true
+    echo "  server killed mid-run"
+  else
+    echo "FAIL: server finished before the kill landed — enlarge the job" >&2
+    exit 1
+  fi
+  grep -q " checkpoint longhaul " "$JOURNAL2" || {
+    echo "FAIL: no durable checkpoint before the kill" >&2; exit 1; }
+
+  NBODY_THREADS=2 "$CLI" --serve --jobs-dir "$JOBS2" --journal "$JOURNAL2" \
+    --serve-work-dir "$WORK2" --max-concurrent-jobs 1 --serve-slice-steps 64 \
+    | tee "$WORKDIR/serve-b2.log"
+  grep -q "^job longhaul: completed steps=4000/4000" "$WORKDIR/serve-b2.log" || {
+    echo "FAIL: restarted server did not finish the resumed job" >&2; exit 1; }
+  grep -q "1 resumed from journal" "$WORKDIR/serve-b2.log" || {
+    echo "FAIL: restart did not resume from the journal" >&2; exit 1; }
+  [ -s "$WORK2/out/longhaul.snap" ] || {
+    echo "FAIL: resumed job left no result snapshot" >&2; exit 1; }
+
+  # A third serve over the same journal must retire nothing: the journal
+  # remembers the completion, so a finished backlog stays finished.
+  NBODY_THREADS=2 "$CLI" --serve --jobs-dir "$JOBS2" --journal "$JOURNAL2" \
+    --serve-work-dir "$WORK2" --max-concurrent-jobs 1 | tee "$WORKDIR/serve-b3.log"
+  grep -q "serve: 0 completed, 0 quarantined, 0 shed, 0 suspended" \
+    "$WORKDIR/serve-b3.log" || {
+    echo "FAIL: third serve re-ran already-finished work" >&2; exit 1; }
+  echo "server E2E lane OK"
+  exit 0
+fi
+
+if [ "${SOAK:-0}" = "1" ]; then
+  CLI=${1:?usage: SOAK=1 run_matrix.sh <path-to-nbody_cli>}
+  WORKDIR=$(mktemp -d)
+  trap 'rm -rf "$WORKDIR"' EXIT
+  SOAK_JOBS=${SOAK_JOBS:-10}
+
+  echo "==== soak: $SOAK_JOBS jobs under fault injection + chaos backend ===="
+  JOBS=$WORKDIR/jobs
+  WORK=$WORKDIR/work
+  mkdir -p "$JOBS"
+  workloads=(plummer cube galaxy)
+  strategies=(octree bvh allpairs)
+  for i in $(seq 1 "$SOAK_JOBS"); do
+    w=${workloads[$((i % 3))]}
+    s=${strategies[$((i % 3))]}
+    p=par
+    if [ $((i % 4)) = 0 ]; then p=seq; fi
+    cat > "$JOBS/soak-$i.job" <<SPEC
+workload=$w n=$((128 + 32 * (i % 4))) seed=$((1000 + i)) steps=48
+strategy=$s policy=$p checkpoint_every=4 watchdog_ms=250
+SPEC
+  done
+  cat > "$JOBS/venom.job" <<'SPEC'
+workload=poison n=64 seed=13 steps=16 strategy=allpairs policy=seq
+checkpoint_every=4
+SPEC
+
+  # Low-rate faults at every server site plus a capped worker hang, on the
+  # chaos-permuted backend, with per-job watchdogs armed: the server must
+  # absorb all of it — zero crashes, every healthy job retired, the poison
+  # job quarantined. Retry budgets are sized so the odds of a healthy job
+  # burning them all on injected faults are negligible.
+  NBODY_FAULTS="server.admit:0.02,server.journal.write:0.05,server.dispatch:0.02,exec.chunk.hang:0.02:7:2" \
+  NBODY_BACKEND=chaos NBODY_CHAOS_SEED=4242 NBODY_THREADS=4 \
+    "$CLI" --serve --jobs-dir "$JOBS" --journal "$WORKDIR/journal.nbjl" \
+    --serve-work-dir "$WORK" --max-concurrent-jobs 4 --job-retries 6 \
+    --serve-slice-steps 8 --serve-wall-ms 300000 | tee "$WORKDIR/soak.log"
+
+  grep -q "serve: $SOAK_JOBS completed, 1 quarantined, 0 shed, 0 suspended" \
+    "$WORKDIR/soak.log" || {
+    echo "FAIL: soak expected $SOAK_JOBS completed + 1 quarantined" >&2; exit 1; }
+  grep -q "^job venom: quarantined" "$WORKDIR/soak.log" || {
+    echo "FAIL: poison job not quarantined" >&2; exit 1; }
+  for i in $(seq 1 "$SOAK_JOBS"); do
+    [ -s "$WORK/out/soak-$i.snap" ] || {
+      echo "FAIL: soak-$i left no result snapshot" >&2; exit 1; }
+  done
+  echo "soak lane OK ($SOAK_JOBS healthy jobs drained, poison quarantined)"
   exit 0
 fi
 

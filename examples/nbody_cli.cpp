@@ -7,10 +7,16 @@
 //   nbody_cli --workload plummer --n 5000 --strategy bvh --quadrupole
 //             --leaf-size 8 --save end.snap
 //   nbody_cli --load end.snap --steps 50 --strategy allpairs --policy seq
+//   nbody_cli --serve --jobs-dir jobs --journal jobs/journal.nbjl
 //   nbody_cli --help
+#include <algorithm>
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "allpairs/allpairs.hpp"
 #include "bvh/strategy.hpp"
@@ -20,6 +26,7 @@
 #include "exec/thread_pool.hpp"
 #include "obs/obs.hpp"
 #include "octree/strategy.hpp"
+#include "server/job_server.hpp"
 #include "support/cli.hpp"
 #include "support/fault.hpp"
 #include "workloads/workloads.hpp"
@@ -52,6 +59,143 @@ void validate_robustness_flags(const support::CliParser& cli, bool guard) {
     throw FlagConflict("--max-retries 0 with --guard is contradictory: a guarded "
                        "run needs at least one retry to recover; drop --guard or "
                        "raise --max-retries");
+}
+
+/// Same contract as validate_robustness_flags, for the server mode. Server
+/// flags only make sense with --serve; --serve needs a jobs directory; and a
+/// server with zero runners or a per-run trace session is contradictory.
+void validate_server_flags(const support::CliParser& cli) {
+  const bool serve = cli.get_flag("serve");
+  const char* needs_serve[] = {"jobs-dir",           "journal",
+                               "max-concurrent-jobs", "job-retries",
+                               "serve-slice-steps",   "serve-queue-capacity",
+                               "serve-memory-budget", "serve-wall-ms",
+                               "serve-work-dir",      "serve-watchdog-ms"};
+  for (const char* flag : needs_serve)
+    if (!serve && cli.was_set(flag))
+      throw FlagConflict(std::string("--") + flag +
+                         " only makes sense with --serve (it configures the job "
+                         "server, not a single run)");
+  if (!serve) {
+    if (cli.get_flag("export-job-metrics"))
+      throw FlagConflict("--export-job-metrics only makes sense with --serve; for a "
+                         "single run use --metrics-json");
+    return;
+  }
+  if (!cli.was_set("jobs-dir"))
+    throw FlagConflict("--serve needs --jobs-dir (the directory holding *.job specs)");
+  if (cli.get_size("max-concurrent-jobs") == 0)
+    throw FlagConflict("--max-concurrent-jobs 0 is contradictory: a server with no "
+                       "runner threads can never drain its queue; use >= 1");
+  if (cli.was_set("trace-out"))
+    throw FlagConflict("--serve with --trace-out is contradictory: a trace session "
+                       "spans one run, and the server multiplexes many jobs — use "
+                       "--export-job-metrics for per-job observability");
+  if (cli.get_flag("guard"))
+    throw FlagConflict("--serve already runs every job slice guarded; --guard and "
+                       "its knobs act on single runs and would be silently ignored");
+  if (cli.get_flag("adaptive"))
+    throw FlagConflict("--serve and --adaptive are incompatible: jobs carry their "
+                       "own integration settings in their .job specs");
+}
+
+/// `--serve` entry point: admit every jobs-dir/*.job spec (resuming from the
+/// journal first, when one is configured), drain, and report per job.
+int run_server(const support::CliParser& cli) {
+  namespace fs = std::filesystem;
+  server::ServerOptions sopts;
+  sopts.max_concurrent_jobs = cli.get_size("max-concurrent-jobs");
+  sopts.job_retries = static_cast<unsigned>(cli.get_size("job-retries"));
+  sopts.queue_capacity = cli.get_size("serve-queue-capacity");
+  sopts.memory_budget_bodies = cli.get_size("serve-memory-budget");
+  sopts.slice_steps = cli.get_size("serve-slice-steps");
+  sopts.default_watchdog_ms = cli.get_double("serve-watchdog-ms");
+  sopts.wall_budget_ms = cli.get_double("serve-wall-ms");
+  sopts.work_dir =
+      cli.was_set("serve-work-dir") ? cli.get("serve-work-dir") : cli.get("jobs-dir");
+  sopts.journal_path = cli.get("journal");
+  sopts.export_job_metrics = cli.get_flag("export-job-metrics");
+
+  server::JobServer srv(sopts);
+  const std::size_t resumed = srv.resume_from_journal();
+
+  // Skip spec files for jobs the journal already knows: resumed ones were
+  // just re-admitted, and ones whose last record is terminal are retired —
+  // a restart finishes the backlog, it does not re-run finished work.
+  std::vector<std::string> have;
+  for (const auto& r : srv.reports()) have.push_back(r.spec.id);
+  if (!sopts.journal_path.empty())
+    for (const auto& rec : server::JobJournal::replay(sopts.journal_path).records)
+      if (rec.type == server::JournalRecordType::complete ||
+          rec.type == server::JournalRecordType::quarantine ||
+          rec.type == server::JournalRecordType::shed)
+        have.push_back(rec.job_id);
+
+  std::vector<fs::path> spec_files;
+  for (const auto& ent : fs::directory_iterator(cli.get("jobs-dir")))
+    if (ent.is_regular_file() && ent.path().extension() == ".job")
+      spec_files.push_back(ent.path());
+  std::sort(spec_files.begin(), spec_files.end());
+
+  std::size_t admitted = 0;
+  for (const auto& path : spec_files) {
+    std::ifstream in(path);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    server::JobSpec spec;
+    try {
+      spec = server::parse_job_spec(buf.str(), path.stem().string());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "serve: skipping %s: %s\n", path.string().c_str(), e.what());
+      continue;
+    }
+    if (std::find(have.begin(), have.end(), spec.id) != have.end())
+      continue;  // already re-admitted from the journal
+    server::AdmitResult res;
+    for (int attempt = 0; attempt < 3; ++attempt) {
+      res = srv.submit(spec);
+      // An injected admission fault is transient by design; real rejections
+      // (backpressure, duplicates, bad specs) are not worth retrying.
+      if (res.admitted || res.reason.find("admission fault") == std::string::npos) break;
+    }
+    if (res.admitted)
+      ++admitted;
+    else
+      std::fprintf(stderr, "serve: rejected %s: %s\n", spec.id.c_str(),
+                   res.reason.c_str());
+  }
+
+  std::printf("serve: %zu job(s) admitted, %zu resumed from journal, %zu runner(s), "
+              "slice=%zu steps\n",
+              admitted, resumed, sopts.max_concurrent_jobs, sopts.slice_steps);
+  srv.run_until_drained();
+
+  std::size_t completed = 0, quarantined = 0, shed = 0, suspended = 0;
+  for (const auto& r : srv.reports()) {
+    std::string tail;
+    if (!r.result_path.empty()) tail += " result=" + r.result_path;
+    if (!r.quarantine_path.empty()) tail += " quarantine=" + r.quarantine_path;
+    if (!r.last_error.empty()) tail += " error=\"" + r.last_error + "\"";
+    std::printf("job %s: %s steps=%zu/%zu slices=%u retries=%u restores=%u "
+                "evictions=%u wall=%.0fms%s\n",
+                r.spec.id.c_str(), server::job_state_name(r.state), r.steps_done,
+                r.spec.steps, r.slices, r.failures, r.restores, r.evictions, r.wall_ms,
+                tail.c_str());
+    switch (r.state) {
+      case server::JobState::completed: ++completed; break;
+      case server::JobState::quarantined: ++quarantined; break;
+      case server::JobState::shed: ++shed; break;
+      case server::JobState::suspended: ++suspended; break;
+      default: break;
+    }
+  }
+  std::printf("serve: %zu completed, %zu quarantined, %zu shed, %zu suspended; "
+              "rejected=%zu journal_lost=%llu\n",
+              completed, quarantined, shed, suspended, srv.rejected_submits(),
+              static_cast<unsigned long long>(srv.journal_lost_writes()));
+  // The server surviving is the contract: quarantined poison or a suspended
+  // (resumable) backlog is a successful serve, not a failure.
+  return 0;
 }
 
 core::System<double, 3> make_workload(const support::CliParser& cli) {
@@ -193,6 +337,23 @@ int main(int argc, char** argv) {
   cli.add_option("metrics-json", "write a metrics-registry JSON report here", "");
   cli.add_option("trace-out", "write a Chrome trace_event JSON here "
                               "(load in chrome://tracing or ui.perfetto.dev)", "");
+  cli.add_flag("serve", "job-server mode: run every --jobs-dir/*.job spec");
+  cli.add_option("jobs-dir", "directory of *.job specs (with --serve)", "");
+  cli.add_option("journal", "write-ahead job journal for crash resume "
+                            "(with --serve)", "");
+  cli.add_option("max-concurrent-jobs", "server runner threads", "2");
+  cli.add_option("job-retries", "consecutive failed slices before quarantine", "3");
+  cli.add_option("serve-slice-steps", "steps per scheduling slice (0 = whole job)",
+                 "64");
+  cli.add_option("serve-queue-capacity", "admission backpressure threshold", "256");
+  cli.add_option("serve-memory-budget", "bodies-in-core budget, evicts to disk "
+                                        "beyond it (0 = unlimited)", "0");
+  cli.add_option("serve-wall-ms", "server wall budget; survivors are suspended "
+                                  "resumable (0 = none)", "0");
+  cli.add_option("serve-work-dir", "root for checkpoints/out/quarantine "
+                                   "(default: --jobs-dir)", "");
+  cli.add_option("serve-watchdog-ms", "default per-job stall window (0 = off)", "0");
+  cli.add_flag("export-job-metrics", "write out/<id>.metrics.json per completed job");
   cli.add_flag("help", "print this help");
 
   try {
@@ -203,9 +364,16 @@ int main(int argc, char** argv) {
     if (cli.get_flag("help")) {
       std::printf("nbody_cli — tree-based parallel N-body simulator\noptions:\n%s"
                   "exit codes: 0 success, 2 usage error, "
-                  "3 contradictory robustness flags\n",
+                  "3 contradictory robustness flags, 4 malformed NBODY_FAULTS\n",
                   cli.usage().c_str());
       return 0;
+    }
+
+    validate_server_flags(cli);
+    if (cli.get_flag("serve")) {
+      if (const auto faults = support::armed_faults_description(); !faults.empty())
+        std::printf("fault injection armed: %s\n", faults.c_str());
+      return run_server(cli);
     }
 
     core::SimConfig<double> cfg;
@@ -300,6 +468,9 @@ int main(int argc, char** argv) {
     }
     obs::install_global(nullptr, nullptr);
     return 0;
+  } catch (const support::FaultSpecError& e) {
+    std::fprintf(stderr, "nbody_cli: %s\n", e.what());
+    return 4;
   } catch (const FlagConflict& e) {
     std::fprintf(stderr, "nbody_cli: %s\n", e.what());
     return 3;

@@ -7,10 +7,12 @@
 namespace nbody::exec {
 
 namespace {
-// Ambient stop target. Raw pointer + relaxed loads on the poll path; the
-// installer (scoped_ambient_stop) keeps the source alive for the scope's
-// duration, the same ownership contract obs::install_global uses.
-std::atomic<detail::stop_state*> g_ambient{nullptr};
+// Ambient stop target, one per thread. The installer (scoped_ambient_stop on
+// the dispatching thread, the pool's worker loop on workers) keeps the state
+// alive for the scope's duration. Thread-local rather than process-global so
+// concurrent jobs — server runner threads each inside their own guarded run —
+// poll disjoint targets.
+thread_local detail::stop_state* t_ambient = nullptr;
 }  // namespace
 
 const char* stop_cause_name(stop_cause c) noexcept {
@@ -36,6 +38,32 @@ bool stop_state::request(stop_cause cause, std::string reason) noexcept {
   }
   requested_.store(true, std::memory_order_release);
   return true;
+}
+
+stop_state* ambient_state() noexcept { return t_ambient; }
+
+stop_state* exchange_ambient_state(stop_state* s) noexcept {
+  stop_state* prev = t_ambient;
+  t_ambient = s;
+  return prev;
+}
+
+void ambient_progress_beat() noexcept {
+  if (t_ambient != nullptr)
+    t_ambient->progress_.fetch_add(1, std::memory_order_relaxed);
+}
+
+stop_state* job_region_enter() noexcept {
+  stop_state* s = t_ambient;
+  if (s != nullptr) s->active_.fetch_add(1, std::memory_order_relaxed);
+  return s;
+}
+
+void job_region_exit(stop_state* s) noexcept {
+  if (s != nullptr) {
+    s->progress_.fetch_add(1, std::memory_order_relaxed);
+    s->active_.fetch_sub(1, std::memory_order_relaxed);
+  }
 }
 
 }  // namespace detail
@@ -74,15 +102,13 @@ bool stop_source::request_stop(stop_cause cause, std::string reason) {
   return won;
 }
 
-stop_token ambient_stop_token() noexcept {
-  return stop_token(g_ambient.load(std::memory_order_relaxed));
-}
+stop_token ambient_stop_token() noexcept { return stop_token(t_ambient); }
 
 scoped_ambient_stop::scoped_ambient_stop(stop_source& source) noexcept
-    : saved_(g_ambient.exchange(source.state().get(), std::memory_order_relaxed)) {}
+    : saved_(detail::exchange_ambient_state(source.state().get())) {}
 
 scoped_ambient_stop::~scoped_ambient_stop() {
-  g_ambient.store(saved_, std::memory_order_relaxed);
+  detail::exchange_ambient_state(saved_);
 }
 
 }  // namespace nbody::exec

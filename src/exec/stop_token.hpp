@@ -5,9 +5,15 @@
 // A request can come from three places — an explicit request_stop() call, a
 // wall-clock deadline armed on the source, or the thread-pool watchdog
 // (exec/watchdog.hpp) — and every parallel algorithm polls the *ambient*
-// token (installed process-wide with scoped_ambient_stop, the same pattern
-// obs::install_global uses) at chunk and stripe boundaries, so chunk
-// granularity bounds cancellation latency.
+// token (installed with scoped_ambient_stop) at chunk and stripe boundaries,
+// so chunk granularity bounds cancellation latency.
+//
+// The ambient target is *thread-local*, not process-global: concurrent jobs
+// (server runner threads, each inside its own run_guarded) install disjoint
+// scopes without clobbering each other. The thread pool propagates the
+// dispatching thread's ambient state into its workers for the duration of
+// each region (exec/thread_pool.cpp), so worker-side polls and heartbeats
+// attribute to the job that dispatched the region.
 //
 // Cancellation is flag-then-drain under every policy: polls never throw
 // inside a parallel region's iterations — a chunk loop that observes the
@@ -81,7 +87,29 @@ struct stop_state {
   // is shared (stop_source::arm_deadline), read-only afterwards.
   std::uint64_t deadline_ns_ = 0;
   std::string deadline_reason_ = "deadline exceeded";
+
+  // Per-job liveness accounting, maintained by the pool's region entry/exit
+  // and chunk heartbeats while this state is the executing thread's ambient.
+  // The watchdog samples *only its armed state's* counters, so concurrent
+  // jobs sharing the pool can neither mask a neighbour's stall (their beats
+  // don't advance this signature) nor trip a healthy neighbour.
+  std::atomic<std::uint32_t> active_{0};    // regions in flight for this job
+  std::atomic<std::uint64_t> progress_{0};  // heartbeats + region completions
 };
+
+/// Thread-local ambient accessors (exec-internal). The pool uses these to
+/// install the dispatcher's ambient state on workers for a region's span.
+[[nodiscard]] stop_state* ambient_state() noexcept;
+stop_state* exchange_ambient_state(stop_state* s) noexcept;
+
+/// Chunk/stripe heartbeat on the calling thread's ambient job state.
+void ambient_progress_beat() noexcept;
+
+/// Region accounting against the calling thread's ambient state: enter bumps
+/// active_ and returns the state (may be nullptr); exit bumps progress_ and
+/// drops active_. Pass enter's return value to exit even after an exception.
+[[nodiscard]] stop_state* job_region_enter() noexcept;
+void job_region_exit(stop_state* s) noexcept;
 
 }  // namespace detail
 
@@ -174,12 +202,14 @@ class stop_source {
 /// Stopless when nothing is installed.
 [[nodiscard]] stop_token ambient_stop_token() noexcept;
 
-/// RAII: installs `source`'s state as the process-wide ambient stop target
-/// and restores the previous one on destruction (scopes nest). The source
-/// must outlive the scope. Install around a cancellable region from the
-/// *calling* thread before dispatch — workers read the global, so the token
-/// is visible to every rank without threading a parameter through the
-/// policy-based algorithm signatures.
+/// RAII: installs `source`'s state as the calling thread's ambient stop
+/// target and restores the previous one on destruction (scopes nest). The
+/// source must outlive the scope. Install around a cancellable region from
+/// the *calling* thread before dispatch — the pool mirrors the dispatcher's
+/// ambient into every worker for the region's duration, so the token is
+/// visible to every rank without threading a parameter through the
+/// policy-based algorithm signatures, and concurrent jobs on other threads
+/// keep their own targets.
 class scoped_ambient_stop {
  public:
   explicit scoped_ambient_stop(stop_source& source) noexcept;

@@ -25,6 +25,16 @@ std::uint64_t mono_ns() {
           std::chrono::steady_clock::now().time_since_epoch())
           .count());
 }
+
+// Enter/exit accounting against the calling thread's ambient job state,
+// exception-safe across both execution paths of run().
+struct job_region_scope {
+  detail::stop_state* state = detail::job_region_enter();
+  job_region_scope() = default;
+  job_region_scope(const job_region_scope&) = delete;
+  job_region_scope& operator=(const job_region_scope&) = delete;
+  ~job_region_scope() { detail::job_region_exit(state); }
+};
 }  // namespace
 
 thread_pool::thread_pool(unsigned concurrency)
@@ -56,10 +66,11 @@ void thread_pool::run_rank(support::function_ref<void(unsigned)>& f, unsigned ra
 
 void thread_pool::run(support::function_ref<void(unsigned)> f) {
   const std::uint64_t region_start = mono_ns();
-  regions_.fetch_add(1, std::memory_order_relaxed);
   if (concurrency_ == 1 || t_in_region) {
     // Inline (or nested) execution: run every rank sequentially. Nested
     // parallelism degrades gracefully instead of deadlocking the team.
+    regions_.fetch_add(1, std::memory_order_relaxed);
+    job_region_scope job_scope;
     region_flag_guard guard;
     try {
       for (unsigned r = 0; r < concurrency_; ++r) run_rank(f, r);
@@ -73,9 +84,17 @@ void thread_pool::run(support::function_ref<void(unsigned)> f) {
     return;
   }
 
+  // One dispatched region at a time: concurrent job threads queue here FIFO.
+  // The job's active_/progress_ accounting starts only once the region is
+  // actually dispatched — time spent queued is not a stall.
+  std::lock_guard dispatch_lock(dispatch_mutex_);
+  regions_.fetch_add(1, std::memory_order_relaxed);
+  job_region_scope job_scope;
+
   {
     std::lock_guard lock(mutex_);
     job_ = &f;
+    region_ambient_ = job_scope.state;
     remaining_ = concurrency_ - 1;
     ++epoch_;
   }
@@ -95,6 +114,7 @@ void thread_pool::run(support::function_ref<void(unsigned)> f) {
     std::unique_lock lock(mutex_);
     done_cv_.wait(lock, [this] { return remaining_ == 0; });
     job_ = nullptr;
+    region_ambient_ = nullptr;
   }
   regions_done_.fetch_add(1, std::memory_order_relaxed);
   region_wall_ns_.fetch_add(mono_ns() - region_start, std::memory_order_relaxed);
@@ -113,6 +133,7 @@ void thread_pool::worker_main(unsigned rank) {
   std::uint64_t seen_epoch = 0;
   for (;;) {
     support::function_ref<void(unsigned)>* job = nullptr;
+    detail::stop_state* job_state = nullptr;
     {
       std::unique_lock lock(mutex_);
       start_cv_.wait(lock, [&] { return shutdown_ || epoch_ != seen_epoch; });
@@ -124,15 +145,21 @@ void thread_pool::worker_main(unsigned rank) {
       if (epoch_ == seen_epoch) return;  // shutdown_, nothing pending
       seen_epoch = epoch_;
       job = job_;
+      job_state = region_ambient_;
     }
     {
+      // Mirror the dispatcher's ambient stop state for this region's span so
+      // this rank's token polls, hang-site reclaim, and heartbeats all hit
+      // the dispatching job's state rather than a stale or foreign one.
       region_flag_guard guard;
+      detail::stop_state* saved = detail::exchange_ambient_state(job_state);
       try {
         run_rank(*job, rank);
       } catch (...) {
         std::lock_guard lock(error_mutex_);
         if (!first_error_) first_error_ = std::current_exception();
       }
+      detail::exchange_ambient_state(saved);
     }
     {
       std::lock_guard lock(mutex_);

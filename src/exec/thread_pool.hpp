@@ -9,6 +9,12 @@
 // Nested regions (a worker invoking run() again) degrade to sequential
 // execution of all ranks on the calling thread — safe, and sufficient for
 // this library, whose algorithms drive the pool from the outer thread only.
+//
+// Multiple *job* threads (server runners, each outside any region) may call
+// run() concurrently: whole regions are serialized FIFO on an internal
+// dispatch mutex, and each region carries its dispatcher's ambient stop
+// state into the workers, so cancellation polls and watchdog heartbeats
+// attribute to the job that dispatched it (see exec/stop_token.hpp).
 #pragma once
 
 #include <atomic>
@@ -21,6 +27,7 @@
 #include <thread>
 #include <vector>
 
+#include "exec/stop_token.hpp"
 #include "support/function_ref.hpp"
 
 namespace nbody::obs {
@@ -79,12 +86,15 @@ class thread_pool {
   void note_polls(std::uint64_t n) noexcept;
 
   /// Liveness heartbeat: the scheduling layer beats a rank once per chunk /
-  /// stripe it completes. The watchdog (exec/watchdog.hpp) samples the sum —
-  /// an active region whose heartbeat signature freezes is a stalled worker.
+  /// stripe it completes. Feeds two consumers: the pool-wide per-rank
+  /// counters (stats/debugging) and the executing thread's ambient job
+  /// state, which the watchdog (exec/watchdog.hpp) samples per job — an
+  /// active job whose heartbeat signature freezes is a stalled worker.
   void beat(unsigned rank) noexcept {
     // Clamp: a nested/foreign caller may carry another pool's thread rank.
     rank_counters_[rank < concurrency_ ? rank : 0].progress.fetch_add(
         1, std::memory_order_relaxed);
+    detail::ambient_progress_beat();
   }
   [[nodiscard]] std::uint64_t rank_progress(unsigned rank) const noexcept;
   [[nodiscard]] std::uint64_t progress_sum() const noexcept;
@@ -102,19 +112,25 @@ class thread_pool {
 
   /// RAII region accounting for work the scheduling layer executes inline,
   /// without dispatching run() (single participant / single chunk). Keeps
-  /// active_regions() truthful there, so the watchdog's stall window covers
-  /// inline execution — a wedge on the caller thread is still a stall.
+  /// active_regions() — and the calling job's per-state counters — truthful
+  /// there, so the watchdog's stall window covers inline execution: a wedge
+  /// on the caller thread is still a stall.
   class inline_region {
    public:
-    explicit inline_region(thread_pool& pool) noexcept : pool_(pool) {
+    explicit inline_region(thread_pool& pool) noexcept
+        : pool_(pool), job_state_(detail::job_region_enter()) {
       pool_.regions_.fetch_add(1, std::memory_order_relaxed);
     }
     inline_region(const inline_region&) = delete;
     inline_region& operator=(const inline_region&) = delete;
-    ~inline_region() { pool_.regions_done_.fetch_add(1, std::memory_order_relaxed); }
+    ~inline_region() {
+      pool_.regions_done_.fetch_add(1, std::memory_order_relaxed);
+      detail::job_region_exit(job_state_);
+    }
 
    private:
     thread_pool& pool_;
+    detail::stop_state* job_state_;
   };
 
  private:
@@ -137,6 +153,12 @@ class thread_pool {
   std::atomic<std::uint64_t> steals_{0};
   std::atomic<std::uint64_t> polls_{0};
 
+  // Serializes whole dispatched regions: concurrent job threads queue here
+  // FIFO instead of interleaving writes to job_/remaining_/epoch_. Held for
+  // the region's full span (dispatch through drain); the inline/nested path
+  // never takes it, so a worker re-entering run() cannot self-deadlock.
+  std::mutex dispatch_mutex_;
+
   std::mutex mutex_;
   std::condition_variable start_cv_;
   std::condition_variable done_cv_;
@@ -144,6 +166,7 @@ class thread_pool {
   unsigned remaining_ = 0;           // workers yet to finish current region
   bool shutdown_ = false;
   support::function_ref<void(unsigned)>* job_ = nullptr;
+  detail::stop_state* region_ambient_ = nullptr;  // dispatcher's ambient, per region
 
   std::mutex error_mutex_;
   std::exception_ptr first_error_;

@@ -40,11 +40,19 @@ void Watchdog::disarm() {
   ++generation_;
 }
 
-std::uint64_t Watchdog::signature() const noexcept {
-  // Any forward motion changes this: a heartbeat from any rank, or a region
-  // finishing (covers regions too small to beat even once).
-  return pool_.progress_sum() + pool_.regions_done();
+namespace {
+// Any forward motion of *this job* changes this: a chunk/stripe heartbeat
+// from a rank working on its behalf, or one of its regions finishing
+// (job_region_exit bumps progress_, covering regions too small to beat even
+// once). Other jobs' activity on the shared pool is invisible here.
+std::uint64_t job_signature(const detail::stop_state& s) noexcept {
+  return s.progress_.load(std::memory_order_relaxed);
 }
+
+bool job_idle(const detail::stop_state& s) noexcept {
+  return s.active_.load(std::memory_order_relaxed) == 0;
+}
+}  // namespace
 
 void Watchdog::sampler_main() {
   const auto period =
@@ -63,7 +71,7 @@ void Watchdog::sampler_main() {
       // Fresh arm: restart the stall clock so a previous attempt's frozen
       // signature can't trip the new one instantly.
       seen_generation = generation_;
-      last_sig = signature();
+      last_sig = job_signature(*armed_);
       last_change = std::chrono::steady_clock::now();
     }
 
@@ -76,16 +84,19 @@ void Watchdog::sampler_main() {
       m->counter("pool.watchdog.samples").add();
 
     const auto now = std::chrono::steady_clock::now();
-    const std::uint64_t sig = signature();
-    if (sig != last_sig || pool_.active_regions() == 0) {
-      // Forward motion, or nothing running (an idle pool is not a stall).
+    const std::uint64_t sig = job_signature(*armed_);
+    if (sig != last_sig || job_idle(*armed_)) {
+      // Forward motion, or this job has no region in flight (a job that is
+      // between regions — queued on the dispatch mutex, running guards, or
+      // in backoff — is not stalled).
       last_sig = sig;
       last_change = now;
       continue;
     }
     if (now - last_change < window_) continue;
 
-    // Active region, heartbeat frozen for the whole window: trip.
+    // This job has an active region whose heartbeat froze for the whole
+    // window: trip its stop state (and only its).
     const auto stalled_ms =
         std::chrono::duration_cast<std::chrono::milliseconds>(now - last_change).count();
     auto state = armed_;

@@ -4,14 +4,21 @@
 // NBODY_FAULTS exec.chunk.hang site — is invisible to the guarded loop's
 // exception machinery: nothing throws, the region just never drains. The
 // watchdog turns that silence into an ordinary recoverable fault. A single
-// sampling thread reads the pool's heartbeat counters (RankCounters.progress,
-// beaten once per chunk/stripe by the scheduling layer) and, when a region
-// is active but the heartbeat signature has been frozen for the configured
-// stall window, requests a stop on the armed stop state with
-// stop_cause::watchdog. Healthy workers observe the ambient token at the
-// next chunk boundary and drain; the wedged one is reclaimed by the hang
-// site's own token poll; the dispatcher surfaces Cancelled and run_guarded
-// restores the checkpoint.
+// sampling thread reads the armed stop state's *per-job* heartbeat counters
+// (stop_state::progress_/active_, beaten once per chunk/stripe by the
+// scheduling layer and per region entry/exit by the pool, attributed through
+// the thread-local ambient) and, when the job has a region active but its
+// heartbeat signature has been frozen for the configured stall window,
+// requests a stop on the armed stop state with stop_cause::watchdog. Healthy
+// workers observe the ambient token at the next chunk boundary and drain;
+// the wedged one is reclaimed by the hang site's own token poll; the
+// dispatcher surfaces Cancelled and run_guarded restores the checkpoint.
+//
+// Sampling per-job rather than pool-global counters is what makes concurrent
+// guarded runs safe: one job's beats cannot mask a neighbour's stall, and a
+// deliberately wedged job cannot trip a healthy neighbour's watchdog — each
+// watchdog sees only the job it armed for (tests/test_cancel.cpp covers the
+// two-job concurrent-trip case).
 //
 // One Watchdog per guarded run, re-armed per step attempt (arm/disarm), so
 // sub-millisecond steps don't pay a thread spawn each. The sampler sleeps on
@@ -64,9 +71,8 @@ class Watchdog {
 
  private:
   void sampler_main();
-  [[nodiscard]] std::uint64_t signature() const noexcept;
 
-  thread_pool& pool_;
+  thread_pool& pool_;  // kept for construction-site symmetry; sampling is per-job
   std::chrono::milliseconds window_;
   std::atomic<std::uint64_t> trips_{0};
 

@@ -1,0 +1,148 @@
+#include "server/job.hpp"
+
+#include <cctype>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "workloads/workloads.hpp"
+
+namespace nbody::server {
+
+namespace {
+
+bool valid_id(const std::string& id) {
+  if (id.empty() || id.size() > 128) return false;
+  for (const char c : id) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+[[noreturn]] void bad(const std::string& what) {
+  throw std::invalid_argument("job spec: " + what);
+}
+
+std::size_t to_size(const std::string& v, const std::string& key) {
+  if (v.empty() || v.find_first_not_of("0123456789") != std::string::npos)
+    bad(key + "='" + v + "' is not a non-negative integer");
+  try {
+    return static_cast<std::size_t>(std::stoull(v));
+  } catch (const std::exception&) {
+    bad(key + "='" + v + "' is out of range");
+  }
+}
+
+double to_double(const std::string& v, const std::string& key) {
+  std::size_t consumed = 0;
+  double d = 0;
+  try {
+    d = std::stod(v, &consumed);
+  } catch (const std::exception&) {
+    bad(key + "='" + v + "' is not a number");
+  }
+  if (consumed != v.size()) bad(key + "='" + v + "' has trailing characters");
+  return d;
+}
+
+bool to_bool(const std::string& v, const std::string& key) {
+  if (v == "1" || v == "true") return true;
+  if (v == "0" || v == "false") return false;
+  bad(key + "='" + v + "' is not a boolean (want 0|1|true|false)");
+}
+
+}  // namespace
+
+void validate_job_spec(const JobSpec& spec) {
+  if (!valid_id(spec.id))
+    bad("id '" + spec.id + "' must be non-empty [A-Za-z0-9._-]+ (max 128 chars)");
+  if (spec.workload != "galaxy" && spec.workload != "plummer" &&
+      spec.workload != "cube" && spec.workload != "solar" && spec.workload != "poison")
+    bad("unknown workload '" + spec.workload + "' (want galaxy|plummer|cube|solar|poison)");
+  if (spec.n < 2) bad("n must be >= 2");
+  if (spec.steps == 0) bad("steps must be >= 1");
+  if (spec.strategy != "octree" && spec.strategy != "bvh" && spec.strategy != "allpairs")
+    bad("unknown strategy '" + spec.strategy + "' (want octree|bvh|allpairs)");
+  if (spec.policy != "seq" && spec.policy != "par" && spec.policy != "par_unseq")
+    bad("unknown policy '" + spec.policy + "' (want seq|par|par_unseq)");
+  if (spec.strategy == "octree" && spec.policy == "par_unseq")
+    bad("octree needs parallel forward progress: par_unseq is rejected — use par");
+  if (!(spec.dt > 0)) bad("dt must be > 0");
+  if (!(spec.theta > 0)) bad("theta must be > 0");
+  if (spec.softening < 0) bad("softening must be >= 0");
+  if (spec.step_deadline_ms < 0 || spec.run_budget_ms < 0 || spec.start_deadline_ms < 0)
+    bad("time budgets must be >= 0");
+}
+
+std::string serialize_job_spec(const JobSpec& s) {
+  std::ostringstream out;
+  out << "id=" << s.id << " workload=" << s.workload << " n=" << s.n
+      << " seed=" << s.seed << " steps=" << s.steps << " strategy=" << s.strategy
+      << " policy=" << s.policy << " dt=" << s.dt << " theta=" << s.theta
+      << " softening=" << s.softening << " group_size=" << s.group_size
+      << " quadrupole=" << (s.quadrupole ? 1 : 0)
+      << " checkpoint_every=" << s.checkpoint_every
+      << " step_deadline_ms=" << s.step_deadline_ms
+      << " run_budget_ms=" << s.run_budget_ms
+      << " start_deadline_ms=" << s.start_deadline_ms
+      << " watchdog_ms=" << s.watchdog_ms;
+  return out.str();
+}
+
+JobSpec parse_job_spec(const std::string& text, const std::string& fallback_id) {
+  JobSpec s;
+  s.id = fallback_id;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    std::istringstream toks(line);
+    std::string tok;
+    while (toks >> tok) {
+      if (tok[0] == '#') break;  // comment to end of line
+      const std::size_t eq = tok.find('=');
+      if (eq == std::string::npos || eq == 0)
+        bad("expected key=value, got '" + tok + "'");
+      const std::string key = tok.substr(0, eq);
+      const std::string val = tok.substr(eq + 1);
+      if (key == "id") s.id = val;
+      else if (key == "workload") s.workload = val;
+      else if (key == "n") s.n = to_size(val, key);
+      else if (key == "seed") s.seed = to_size(val, key);
+      else if (key == "steps") s.steps = to_size(val, key);
+      else if (key == "strategy") s.strategy = val;
+      else if (key == "policy") s.policy = val;
+      else if (key == "dt") s.dt = to_double(val, key);
+      else if (key == "theta") s.theta = to_double(val, key);
+      else if (key == "softening") s.softening = to_double(val, key);
+      else if (key == "group_size") s.group_size = to_size(val, key);
+      else if (key == "quadrupole") s.quadrupole = to_bool(val, key);
+      else if (key == "checkpoint_every") s.checkpoint_every = to_size(val, key);
+      else if (key == "step_deadline_ms") s.step_deadline_ms = to_double(val, key);
+      else if (key == "run_budget_ms") s.run_budget_ms = to_double(val, key);
+      else if (key == "start_deadline_ms") s.start_deadline_ms = to_double(val, key);
+      else if (key == "watchdog_ms") s.watchdog_ms = to_double(val, key);
+      else bad("unknown key '" + key + "'");
+    }
+  }
+  validate_job_spec(s);
+  return s;
+}
+
+core::System<double, 3> make_job_system(const JobSpec& spec) {
+  if (spec.workload == "galaxy") return workloads::galaxy_collision(spec.n, spec.seed);
+  if (spec.workload == "plummer") return workloads::plummer_sphere(spec.n, spec.seed);
+  if (spec.workload == "cube") return workloads::uniform_cube(spec.n, spec.seed);
+  if (spec.workload == "solar") return workloads::solar_system(spec.n, spec.seed);
+  if (spec.workload == "poison") {
+    // A healthy-looking galaxy with a NaN planted in body 0: every guarded
+    // attempt fails the finite sweep, so only quarantine can retire it.
+    auto sys = workloads::galaxy_collision(spec.n, spec.seed);
+    sys.x[0][0] = std::numeric_limits<double>::quiet_NaN();
+    return sys;
+  }
+  bad("unknown workload '" + spec.workload + "'");
+}
+
+}  // namespace nbody::server

@@ -1,0 +1,73 @@
+// Job descriptions for the multi-simulation JobServer (server/job_server.hpp).
+//
+// A JobSpec is one independent simulation: a workload recipe (so the spec is
+// a few dozen bytes and fully replayable from the journal), the SimConfig
+// knobs, the strategy/policy pair, and the job's robustness budgets. Specs
+// travel three ways — as `key=value` job files in a --jobs-dir, as the
+// payload of journal `admit` records, and programmatically from tests — so
+// parse/serialize round-trip exactly.
+//
+// The "poison" workload is deliberate: a galaxy system with a non-finite
+// position planted in body 0. Every guarded attempt fails its finite sweep,
+// every retry ladder bottoms out, and the server's quarantine policy is the
+// only thing that can retire it — the canonical poison-job fixture for the
+// E2E robustness tests.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "core/system.hpp"
+
+namespace nbody::server {
+
+struct JobSpec {
+  /// Identifier: [A-Za-z0-9._-]+, unique per server. Doubles as the stem of
+  /// the job's checkpoint/result/quarantine file names.
+  std::string id;
+
+  // ---- what to simulate ----
+  std::string workload = "galaxy";  // galaxy|plummer|cube|solar|poison
+  std::size_t n = 256;              // body count
+  std::uint64_t seed = 42;          // workload RNG seed
+  std::size_t steps = 100;          // total steps to integrate
+  std::string strategy = "octree";  // octree|bvh|allpairs
+  std::string policy = "par";       // seq|par|par_unseq (par_unseq: bvh/allpairs)
+  double dt = 1e-3;
+  double theta = 0.5;
+  double softening = 0.05;
+  std::size_t group_size = 0;
+  bool quadrupole = false;
+
+  // ---- robustness budgets ----
+  /// Guarded-run checkpoint cadence inside a slice.
+  std::size_t checkpoint_every = 8;
+  /// Per-step wall budget (0 = none), enforced by run_guarded's deadline.
+  double step_deadline_ms = 0;
+  /// Total wall budget across every attempt of this job (0 = none); the
+  /// remaining budget is armed as each slice's run deadline.
+  double run_budget_ms = 0;
+  /// Load-shedding deadline: if the job has not *started* within this many
+  /// ms of admission, it is shed instead of run (0 = never shed).
+  double start_deadline_ms = 0;
+  /// Stall window for this job's watchdog; < 0 = use the server default.
+  double watchdog_ms = -1;
+};
+
+/// Throws std::invalid_argument when a spec is not runnable (bad id, unknown
+/// workload/strategy/policy, zero n/steps, octree+par_unseq, ...).
+void validate_job_spec(const JobSpec& spec);
+
+/// One-line `key=value` form (space-separated) — the journal payload.
+std::string serialize_job_spec(const JobSpec& spec);
+
+/// Parses `key=value` pairs separated by whitespace or newlines; lines
+/// starting with '#' are comments. Unknown keys are rejected. When the text
+/// carries no `id`, `fallback_id` is used. Throws std::invalid_argument.
+JobSpec parse_job_spec(const std::string& text, const std::string& fallback_id = "");
+
+/// Materializes the job's initial system from its workload recipe.
+core::System<double, 3> make_job_system(const JobSpec& spec);
+
+}  // namespace nbody::server

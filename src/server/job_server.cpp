@@ -1,0 +1,710 @@
+#include "server/job_server.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "allpairs/allpairs.hpp"
+#include "bvh/strategy.hpp"
+#include "core/integrator.hpp"
+#include "core/simulation.hpp"
+#include "core/snapshot.hpp"
+#include "exec/policy.hpp"
+#include "exec/stop_token.hpp"
+#include "octree/strategy.hpp"
+#include "support/fault.hpp"
+#include "support/timer.hpp"
+
+namespace nbody::server {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::uint64_t now_ns() { return exec::detail::stop_state::now_ns(); }
+
+constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+}  // namespace
+
+const char* job_state_name(JobState s) noexcept {
+  switch (s) {
+    case JobState::queued: return "queued";
+    case JobState::running: return "running";
+    case JobState::completed: return "completed";
+    case JobState::quarantined: return "quarantined";
+    case JobState::shed: return "shed";
+    case JobState::suspended: return "suspended";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------- runner
+
+/// Type-erased live simulation: one strategy × policy instantiation behind a
+/// slice-and-snapshot interface. The Simulation (and with it the in-memory
+/// guarded-run machinery) stays alive across slices, so consecutive slices
+/// continue the identical trajectory a single uninterrupted run would take.
+class JobServer::ISimRunner {
+ public:
+  virtual ~ISimRunner() = default;
+  virtual core::GuardedRunReport run_slice(std::size_t steps,
+                                           const core::GuardedOptions<double>& o) = 0;
+  /// Writes a synchronized (whole-step velocity) snapshot of the current
+  /// state without perturbing the live staggered integrator state.
+  virtual void save_snapshot(const std::string& path) = 0;
+};
+
+namespace {
+
+template <class Strategy, class Policy>
+class SimRunner final : public JobServer::ISimRunner {
+ public:
+  SimRunner(core::System<double, 3> sys, const core::SimConfig<double>& cfg,
+            Strategy strat, Policy policy, obs::MetricsRegistry* metrics)
+      : sim_(std::move(sys), cfg, std::move(strat)), policy_(policy) {
+    sim_.set_observability(metrics, nullptr);
+  }
+
+  core::GuardedRunReport run_slice(std::size_t steps,
+                                   const core::GuardedOptions<double>& o) override {
+    auto rep = sim_.run_guarded(policy_, steps, o);
+    stepped_ = true;
+    return rep;
+  }
+
+  void save_snapshot(const std::string& path) override {
+    // Snapshots store whole-step velocities by contract; synchronize a copy
+    // so the live trajectory is not perturbed (snapshot.hpp, simulation.hpp).
+    core::System<double, 3> copy = sim_.system();
+    if (stepped_) core::leapfrog_synchronize(exec::seq, copy, sim_.config().dt);
+    core::save_snapshot_binary(copy, path);
+  }
+
+ private:
+  core::Simulation<double, 3, Strategy> sim_;
+  Policy policy_;
+  bool stepped_ = false;  // leapfrog priming happened; velocities staggered
+};
+
+template <class Strategy>
+std::unique_ptr<JobServer::ISimRunner> make_runner_for(
+    core::System<double, 3> sys, const core::SimConfig<double>& cfg, Strategy strat,
+    const std::string& policy, obs::MetricsRegistry* metrics) {
+  if (policy == "seq")
+    return std::make_unique<SimRunner<Strategy, exec::sequenced_policy>>(
+        std::move(sys), cfg, std::move(strat), exec::seq, metrics);
+  if (policy == "par")
+    return std::make_unique<SimRunner<Strategy, exec::parallel_policy>>(
+        std::move(sys), cfg, std::move(strat), exec::par, metrics);
+  if constexpr (requires(Strategy s, core::StepContext<double, 3>& ctx) {
+                  s.accelerations(exec::par_unseq, ctx);
+                }) {
+    if (policy == "par_unseq")
+      return std::make_unique<SimRunner<Strategy, exec::parallel_unsequenced_policy>>(
+          std::move(sys), cfg, std::move(strat), exec::par_unseq, metrics);
+  }
+  throw std::invalid_argument("job policy '" + policy +
+                              "' is not runnable with this strategy");
+}
+
+std::unique_ptr<JobServer::ISimRunner> make_runner(const JobSpec& spec,
+                                                   core::System<double, 3> sys,
+                                                   obs::MetricsRegistry* metrics) {
+  core::SimConfig<double> cfg;
+  cfg.dt = spec.dt;
+  cfg.theta = spec.theta;
+  cfg.softening = spec.softening;
+  cfg.quadrupole = spec.quadrupole;
+  cfg.group_size = spec.group_size;
+  if (spec.strategy == "octree")
+    return make_runner_for(std::move(sys), cfg, octree::OctreeStrategy<double, 3>{},
+                           spec.policy, metrics);
+  if (spec.strategy == "bvh")
+    return make_runner_for(std::move(sys), cfg, bvh::BVHStrategy<double, 3>{},
+                           spec.policy, metrics);
+  if (spec.strategy == "allpairs")
+    return make_runner_for(std::move(sys), cfg, allpairs::AllPairs<double, 3>{},
+                           spec.policy, metrics);
+  throw std::invalid_argument("unknown job strategy '" + spec.strategy + "'");
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- entries
+
+struct JobServer::JobEntry {
+  JobSpec spec;
+  JobState state = JobState::queued;
+  std::size_t steps_done = 0;
+  unsigned slices = 0;
+  unsigned failures = 0;
+  unsigned consecutive_failures = 0;
+  unsigned evictions = 0;
+  unsigned restores = 0;
+  unsigned watchdog_trips = 0;
+  unsigned deadline_misses = 0;
+  double wall_ms = 0;
+  std::uint64_t admitted_ns = 0;
+  std::uint64_t not_before_ns = 0;  // backoff release time
+  std::string last_error;
+  std::string checkpoint_file;      // last durable snapshot (steps_done state)
+  std::string result_path;
+  std::string quarantine_path;
+  std::vector<std::string> recovery_log;
+  obs::MetricsRegistry metrics;     // per-job metrics session
+  std::unique_ptr<ISimRunner> runner;  // live between slices when retained
+};
+
+// Everything a slice changed, carried back to apply_outcome so JobEntry
+// fields are only ever written under the server lock (reports() may read
+// them concurrently). The one exception is e.runner, which nothing else
+// touches while the job is `running`.
+struct JobServer::SliceOutcome {
+  bool ok = false;
+  std::string error;
+  std::size_t steps_delta = 0;
+  bool restarted_from_zero = false;  // corrupt checkpoint: progress reset
+  unsigned restores = 0;
+  unsigned watchdog_trips = 0;
+  unsigned deadline_misses = 0;
+  std::vector<std::string> log;
+  double wall_ms = 0;
+};
+
+// ---------------------------------------------------------------- server
+
+JobServer::JobServer(ServerOptions opts) : opts_(std::move(opts)) {
+  if (opts_.max_concurrent_jobs == 0)
+    throw std::invalid_argument("JobServer: max_concurrent_jobs must be >= 1");
+  fs::create_directories(fs::path(opts_.work_dir) / "checkpoints");
+  fs::create_directories(fs::path(opts_.work_dir) / "out");
+  fs::create_directories(fs::path(opts_.work_dir) / "quarantine");
+  if (!opts_.journal_path.empty())
+    journal_ = std::make_unique<JobJournal>(opts_.journal_path);
+}
+
+JobServer::~JobServer() = default;
+
+void JobServer::set_completion_hook(CompletionHook hook) {
+  std::lock_guard lock(mutex_);
+  completion_hook_ = std::move(hook);
+}
+
+std::uint64_t JobServer::journal_lost_writes() const noexcept {
+  return journal_ ? journal_->lost_writes() : 0;
+}
+
+std::size_t JobServer::rejected_submits() const noexcept {
+  std::lock_guard lock(mutex_);
+  return rejected_;
+}
+
+AdmitResult JobServer::submit(JobSpec spec) {
+  return admit_internal(std::move(spec), 0, {}, /*journal_admit=*/true);
+}
+
+AdmitResult JobServer::admit_internal(JobSpec spec, std::size_t steps_done,
+                                      std::string checkpoint_file, bool journal_admit) {
+  try {
+    validate_job_spec(spec);
+  } catch (const std::exception& e) {
+    std::lock_guard lock(mutex_);
+    ++rejected_;
+    return {false, e.what()};
+  }
+  std::unique_lock lock(mutex_);
+  exec::checkpoint();  // chaos yield: admission is a schedulable decision
+  for (const auto& j : jobs_)
+    if (j->spec.id == spec.id) {
+      ++rejected_;
+      return {false, "duplicate job id '" + spec.id + "'"};
+    }
+  std::size_t live = 0;
+  for (const auto& j : jobs_)
+    if (j->state == JobState::queued || j->state == JobState::running) ++live;
+  if (live >= opts_.queue_capacity) {
+    ++rejected_;
+    return {false, "backpressure: " + std::to_string(live) + " live jobs >= capacity " +
+                       std::to_string(opts_.queue_capacity)};
+  }
+  try {
+    support::fault_point(support::FaultSite::server_admit);
+  } catch (const std::exception& e) {
+    ++rejected_;
+    return {false, std::string("admission fault: ") + e.what()};
+  }
+  auto entry = std::make_unique<JobEntry>();
+  entry->spec = std::move(spec);
+  entry->steps_done = steps_done;
+  entry->checkpoint_file = std::move(checkpoint_file);
+  entry->admitted_ns = now_ns();
+  const std::string id = entry->spec.id;
+  const std::string payload = serialize_job_spec(entry->spec);
+  jobs_.push_back(std::move(entry));
+  queue_.push_back(jobs_.size() - 1);
+  lock.unlock();
+  if (journal_ && journal_admit)
+    journal_->append(JournalRecordType::admit, id, steps_done, payload);
+  cv_.notify_all();
+  return {true, {}};
+}
+
+std::size_t JobServer::resume_from_journal() {
+  if (!journal_) return 0;
+  const JournalReplay replay = JobJournal::replay(journal_->path());
+  // Fold to the last state per job. Records are appended in order, so a
+  // later record supersedes an earlier one.
+  struct Folded {
+    std::string spec_payload;
+    JournalRecordType last = JournalRecordType::admit;
+    std::size_t steps = 0;
+    std::string checkpoint_file;
+    bool seen_admit = false;
+  };
+  std::vector<std::pair<std::string, Folded>> folded;  // insertion-ordered
+  auto slot = [&](const std::string& id) -> Folded& {
+    for (auto& [k, v] : folded)
+      if (k == id) return v;
+    folded.emplace_back(id, Folded{});
+    return folded.back().second;
+  };
+  for (const auto& r : replay.records) {
+    Folded& f = slot(r.job_id);
+    f.last = r.type;
+    switch (r.type) {
+      case JournalRecordType::admit:
+        f.seen_admit = true;
+        f.spec_payload = r.detail;
+        // A fresh admit may carry resumed progress (re-admit after restart).
+        f.steps = r.steps;
+        break;
+      case JournalRecordType::checkpoint:
+      case JournalRecordType::evict:
+        f.steps = r.steps;
+        f.checkpoint_file = r.detail;
+        break;
+      default:
+        break;
+    }
+  }
+  std::size_t resumed = 0;
+  for (auto& [id, f] : folded) {
+    if (!f.seen_admit) continue;
+    if (f.last == JournalRecordType::complete || f.last == JournalRecordType::quarantine ||
+        f.last == JournalRecordType::shed)
+      continue;  // retired
+    JobSpec spec;
+    try {
+      spec = parse_job_spec(f.spec_payload, id);
+    } catch (const std::exception&) {
+      continue;  // unreplayable admit payload: nothing safe to do
+    }
+    if (admit_internal(std::move(spec), f.steps, f.checkpoint_file,
+                       /*journal_admit=*/true)
+            .admitted)
+      ++resumed;
+  }
+  return resumed;
+}
+
+void JobServer::request_shutdown() {
+  {
+    std::lock_guard lock(mutex_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool JobServer::all_terminal() const {
+  for (const auto& j : jobs_)
+    if (j->state == JobState::queued || j->state == JobState::running) return false;
+  return true;
+}
+
+bool JobServer::fits_in_core(const JobEntry& e) const {
+  if (opts_.memory_budget_bodies == 0 || e.runner != nullptr) return true;
+  if (bodies_in_core_ == 0) return true;  // progress guarantee: never wedge
+  return bodies_in_core_ + e.spec.n <= opts_.memory_budget_bodies;
+}
+
+void JobServer::evict_retained_for(std::size_t needed_bodies) {
+  // Checkpoint-evict retained runners of *queued* jobs (oldest first) until
+  // the newcomer fits. Running jobs are never evicted mid-slice.
+  for (const std::size_t idx : queue_) {
+    if (bodies_in_core_ + needed_bodies <= opts_.memory_budget_bodies) return;
+    JobEntry& e = *jobs_[idx];
+    if (e.state != JobState::queued || !e.runner) continue;
+    try {
+      save_durable_checkpoint(e, JournalRecordType::evict);
+      e.runner.reset();
+      bodies_in_core_ -= e.spec.n;
+      ++e.evictions;
+    } catch (const std::exception& ex) {
+      // Can't persist its state: keep it in core rather than lose progress.
+      e.recovery_log.push_back(std::string("eviction checkpoint failed: ") + ex.what());
+    }
+  }
+}
+
+/// Durable checkpoint: snapshot to an immutable, step-stamped file, then
+/// journal it. The pair is crash-atomic by construction — see journal.hpp.
+void JobServer::save_durable_checkpoint(JobEntry& e, JournalRecordType type) {
+  const std::string path = (fs::path(opts_.work_dir) / "checkpoints" /
+                            (e.spec.id + "." + std::to_string(e.steps_done) + ".snap"))
+                               .string();
+  e.runner->save_snapshot(path);  // throws on I/O failure
+  const std::string previous = e.checkpoint_file;
+  e.checkpoint_file = path;
+  if (journal_) journal_->append(type, e.spec.id, e.steps_done, path);
+  if (!previous.empty() && previous != path) {
+    std::error_code ec;
+    fs::remove(previous, ec);  // best-effort cleanup of the superseded file
+  }
+}
+
+void JobServer::quarantine(JobEntry& e) {
+  const std::string path =
+      (fs::path(opts_.work_dir) / "quarantine" / (e.spec.id + ".txt")).string();
+  try {
+    const std::string tmp = path + ".tmp";
+    {
+      std::ofstream out(tmp, std::ios::trunc);
+      out << "poison job quarantined: " << e.spec.id << "\n"
+          << "spec: " << serialize_job_spec(e.spec) << "\n"
+          << "steps_done: " << e.steps_done << "/" << e.spec.steps << "\n"
+          << "slices: " << e.slices << " failures: " << e.failures
+          << " (consecutive: " << e.consecutive_failures << ")\n"
+          << "guarded restores: " << e.restores
+          << " watchdog trips: " << e.watchdog_trips
+          << " deadline misses: " << e.deadline_misses << "\n"
+          << "last error: " << e.last_error << "\n";
+      if (const auto faults = support::armed_faults_description(); !faults.empty())
+        out << "armed faults:\n" << faults << "\n";
+      out << "recovery log:\n";
+      for (const auto& line : e.recovery_log) out << "  " << line << "\n";
+      if (!e.checkpoint_file.empty())
+        out << "last good checkpoint: " << e.checkpoint_file << "\n";
+    }
+    core::snapshot_detail::commit_tmp_file(tmp, path, "quarantine bundle");
+    e.quarantine_path = path;
+  } catch (const std::exception& ex) {
+    e.recovery_log.push_back(std::string("quarantine bundle write failed: ") + ex.what());
+  }
+  e.state = JobState::quarantined;
+  if (journal_)
+    journal_->append(JournalRecordType::quarantine, e.spec.id, e.steps_done,
+                     e.quarantine_path.empty() ? e.last_error : e.quarantine_path);
+}
+
+void JobServer::complete(JobEntry& e) {
+  const std::string path =
+      (fs::path(opts_.work_dir) / "out" / (e.spec.id + ".snap")).string();
+  e.runner->save_snapshot(path);  // throws on I/O failure -> slice failure
+  e.result_path = path;
+  if (opts_.export_job_metrics) {
+    try {
+      e.metrics.write_json(
+          (fs::path(opts_.work_dir) / "out" / (e.spec.id + ".metrics.json")).string());
+    } catch (const std::exception&) {
+      // Metrics export is best-effort; the result snapshot is the contract.
+    }
+  }
+  e.runner.reset();
+  bodies_in_core_ -= e.spec.n;
+  e.state = JobState::completed;
+  if (journal_) journal_->append(JournalRecordType::complete, e.spec.id, e.steps_done, path);
+  if (!e.checkpoint_file.empty()) {
+    std::error_code ec;
+    fs::remove(e.checkpoint_file, ec);
+    e.checkpoint_file.clear();
+  }
+}
+
+void JobServer::materialize(JobEntry& e, SliceOutcome& out) {
+  core::System<double, 3> sys;
+  if (e.steps_done > 0 && !e.checkpoint_file.empty() && !out.restarted_from_zero) {
+    try {
+      sys = core::load_snapshot_binary<double, 3>(e.checkpoint_file);
+    } catch (const std::exception& ex) {
+      // Corrupt/truncated checkpoint: fail *cleanly* into the retry ladder —
+      // restart the job from its workload recipe rather than propagate UB.
+      out.log.push_back("checkpoint '" + e.checkpoint_file + "' unusable (" +
+                        ex.what() + "); restarting from step 0");
+      out.restarted_from_zero = true;
+      sys = make_job_system(e.spec);
+    }
+  } else {
+    sys = make_job_system(e.spec);
+  }
+  e.runner = make_runner(e.spec, std::move(sys), &e.metrics);
+}
+
+JobServer::SliceOutcome JobServer::run_one_slice(JobEntry& e) {
+  SliceOutcome out;
+  support::Stopwatch timer;
+  try {
+    support::fault_point(support::FaultSite::server_dispatch);
+    if (!e.runner) materialize(e, out);
+    const std::size_t done = out.restarted_from_zero ? 0 : e.steps_done;
+    core::GuardedOptions<double> gopts;
+    gopts.checkpoint_every = e.spec.checkpoint_every;
+    gopts.max_retries = opts_.guard_max_retries;
+    gopts.step_deadline_ms = e.spec.step_deadline_ms;
+    gopts.watchdog_ms =
+        e.spec.watchdog_ms >= 0 ? e.spec.watchdog_ms : opts_.default_watchdog_ms;
+    if (e.spec.run_budget_ms > 0) {
+      const double remaining = e.spec.run_budget_ms - e.wall_ms;
+      if (remaining <= 0)
+        throw std::runtime_error("job wall budget (" +
+                                 std::to_string(e.spec.run_budget_ms) + "ms) exhausted");
+      gopts.run_deadline_ms = remaining;
+    }
+    std::size_t todo = e.spec.steps - done;
+    if (opts_.slice_steps > 0) todo = std::min(todo, opts_.slice_steps);
+    const auto rep = e.runner->run_slice(todo, gopts);
+    out.steps_delta = rep.steps_completed;
+    out.restores = rep.restores;
+    out.watchdog_trips = rep.watchdog_trips;
+    out.deadline_misses = rep.deadline_misses;
+    for (const auto& ev : rep.log)
+      out.log.push_back("step " + std::to_string(ev.step) + ": " + ev.reason + " -> " +
+                        ev.action);
+    out.ok = true;
+  } catch (const std::exception& ex) {
+    out.error = ex.what();
+  }
+  out.wall_ms = timer.seconds() * 1e3;
+  return out;
+}
+
+void JobServer::apply_outcome(std::unique_lock<exec::chaos::InstrumentedMutex>& lock,
+                              std::size_t idx, const SliceOutcome& out) {
+  JobEntry& e = *jobs_[idx];
+  ++e.slices;
+  e.wall_ms += out.wall_ms;
+  if (out.restarted_from_zero) {
+    e.steps_done = 0;
+    e.checkpoint_file.clear();
+  }
+  e.restores += out.restores;
+  e.watchdog_trips += out.watchdog_trips;
+  e.deadline_misses += out.deadline_misses;
+  for (const auto& line : out.log) e.recovery_log.push_back(line);
+  bool terminal = false;
+  if (out.ok) {
+    e.steps_done += out.steps_delta;
+    e.consecutive_failures = 0;
+    if (e.steps_done >= e.spec.steps) {
+      try {
+        complete(e);
+        terminal = true;
+      } catch (const std::exception& ex) {
+        // Result write failed: the trajectory itself is fine, so keep the
+        // runner alive and retry the write after a short backoff.
+        ++e.failures;
+        ++e.consecutive_failures;
+        e.last_error = std::string("result write failed: ") + ex.what();
+        e.recovery_log.push_back(e.last_error);
+        e.state = JobState::queued;
+        e.not_before_ns =
+            now_ns() + static_cast<std::uint64_t>(opts_.backoff_base_ms * 1e6);
+        queue_.push_back(idx);
+      }
+    } else if (shutdown_) {
+      try {
+        save_durable_checkpoint(e, JournalRecordType::checkpoint);
+      } catch (const std::exception& ex) {
+        e.recovery_log.push_back(std::string("suspend checkpoint failed: ") + ex.what());
+      }
+      e.runner.reset();
+      bodies_in_core_ -= e.spec.n;
+      e.state = JobState::suspended;
+    } else {
+      // Durable progress, then round-robin: requeue behind any waiters.
+      try {
+        save_durable_checkpoint(e, JournalRecordType::checkpoint);
+      } catch (const std::exception& ex) {
+        e.recovery_log.push_back(std::string("checkpoint write failed: ") + ex.what());
+      }
+      e.state = JobState::queued;
+      queue_.push_back(idx);
+    }
+  } else {
+    ++e.failures;
+    ++e.consecutive_failures;
+    e.last_error = out.error;
+    e.recovery_log.push_back("slice failed: " + out.error);
+    // The failed attempt's in-memory state is suspect; fall back to the last
+    // durable checkpoint (or a fresh start) on the retry. The job was
+    // counted in-core when claimed, whether or not materialization ran.
+    e.runner.reset();
+    bodies_in_core_ -= e.spec.n;
+    if (e.consecutive_failures >= opts_.job_retries) {
+      quarantine(e);
+      terminal = true;
+    } else {
+      const double backoff =
+          std::min(opts_.backoff_cap_ms,
+                   opts_.backoff_base_ms *
+                       static_cast<double>(1u << (e.consecutive_failures - 1)));
+      e.not_before_ns = now_ns() + static_cast<std::uint64_t>(backoff * 1e6);
+      e.state = JobState::queued;
+      if (journal_)
+        journal_->append(JournalRecordType::retry, e.spec.id, e.steps_done, out.error);
+      queue_.push_back(idx);
+    }
+  }
+  if (terminal && completion_hook_) {
+    const JobReport report = make_report(e);
+    auto hook = completion_hook_;
+    lock.unlock();
+    hook(report);
+    lock.lock();
+  }
+}
+
+void JobServer::runner_loop() {
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    exec::checkpoint();  // chaos yield: the dispatch decision point
+    if (wall_deadline_ns_ != 0 && now_ns() >= wall_deadline_ns_) shutdown_ = true;
+    if (shutdown_) return;
+    if (all_terminal()) {
+      cv_.notify_all();
+      return;
+    }
+    const std::uint64_t now = now_ns();
+    std::size_t picked = kNone;
+    std::uint64_t earliest_wake = 0;
+    for (std::size_t qi = 0; qi < queue_.size(); ++qi) {
+      const std::size_t idx = queue_[qi];
+      JobEntry& e = *jobs_[idx];
+      if (e.state != JobState::queued) {  // stale index (defensive)
+        queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(qi));
+        --qi;
+        continue;
+      }
+      // Deadline-aware shedding: too late to start is a decision, not a run.
+      if (e.spec.start_deadline_ms > 0 && e.steps_done == 0 &&
+          static_cast<double>(now - e.admitted_ns) * 1e-6 > e.spec.start_deadline_ms) {
+        e.state = JobState::shed;
+        e.last_error = "start deadline (" + std::to_string(e.spec.start_deadline_ms) +
+                       "ms) passed while queued";
+        if (journal_)
+          journal_->append(JournalRecordType::shed, e.spec.id, 0, e.last_error);
+        queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(qi));
+        --qi;
+        if (completion_hook_) {
+          const JobReport report = make_report(e);
+          auto hook = completion_hook_;
+          lock.unlock();
+          hook(report);
+          lock.lock();
+        }
+        continue;
+      }
+      if (e.not_before_ns > now) {  // backing off
+        if (earliest_wake == 0 || e.not_before_ns < earliest_wake)
+          earliest_wake = e.not_before_ns;
+        continue;
+      }
+      if (!fits_in_core(e)) {
+        evict_retained_for(e.spec.n);
+        if (!fits_in_core(e)) continue;  // still no room: skip this round
+      }
+      picked = qi;
+      break;
+    }
+    if (picked == kNone) {
+      using namespace std::chrono_literals;
+      auto wait = 10ms;
+      if (earliest_wake != 0 && earliest_wake > now)
+        wait = std::min(
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::nanoseconds(earliest_wake - now)) + 1ms,
+            std::chrono::milliseconds(50));
+      cv_.wait_for(lock, wait);
+      continue;
+    }
+    const std::size_t idx = queue_[picked];
+    queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(picked));
+    JobEntry& e = *jobs_[idx];
+    e.state = JobState::running;
+    if (!e.runner) bodies_in_core_ += e.spec.n;  // claimed for materialization
+    lock.unlock();
+    const SliceOutcome out = run_one_slice(e);
+    lock.lock();
+    apply_outcome(lock, idx, out);
+    cv_.notify_all();
+  }
+}
+
+void JobServer::run_until_drained() {
+  {
+    std::lock_guard lock(mutex_);
+    wall_deadline_ns_ =
+        opts_.wall_budget_ms > 0
+            ? now_ns() + static_cast<std::uint64_t>(opts_.wall_budget_ms * 1e6)
+            : 0;
+  }
+  std::vector<std::thread> runners;
+  runners.reserve(opts_.max_concurrent_jobs);
+  for (std::size_t r = 0; r < opts_.max_concurrent_jobs; ++r)
+    runners.emplace_back([this] { runner_loop(); });
+  for (auto& t : runners) t.join();
+  // Anything still live was stopped by shutdown/wall budget: suspend it
+  // (queued jobs keep their last durable checkpoint; nothing is running).
+  std::lock_guard lock(mutex_);
+  for (auto& j : jobs_) {
+    if (j->state == JobState::queued || j->state == JobState::running) {
+      j->state = JobState::suspended;
+      if (j->runner) {
+        j->runner.reset();
+        bodies_in_core_ -= j->spec.n;
+      }
+    }
+  }
+  queue_.clear();
+}
+
+JobReport JobServer::make_report(const JobEntry& e) const {
+  JobReport r;
+  r.spec = e.spec;
+  r.state = e.state;
+  r.steps_done = e.steps_done;
+  r.slices = e.slices;
+  r.failures = e.failures;
+  r.evictions = e.evictions;
+  r.restores = e.restores;
+  r.watchdog_trips = e.watchdog_trips;
+  r.deadline_misses = e.deadline_misses;
+  r.wall_ms = e.wall_ms;
+  r.last_error = e.last_error;
+  r.result_path = e.result_path;
+  r.quarantine_path = e.quarantine_path;
+  r.recovery_log = e.recovery_log;
+  return r;
+}
+
+std::vector<JobReport> JobServer::reports() const {
+  std::lock_guard lock(mutex_);
+  std::vector<JobReport> out;
+  out.reserve(jobs_.size());
+  for (const auto& j : jobs_) out.push_back(make_report(*j));
+  return out;
+}
+
+JobReport JobServer::report_for(const std::string& id) const {
+  std::lock_guard lock(mutex_);
+  for (const auto& j : jobs_)
+    if (j->spec.id == id) return make_report(*j);
+  throw std::invalid_argument("JobServer: unknown job id '" + id + "'");
+}
+
+}  // namespace nbody::server

@@ -1,0 +1,193 @@
+// JobServer — a fault-isolated multi-simulation daemon over the shared pool.
+//
+// The server admits independent simulation jobs (server/job.hpp) and runs
+// them on `max_concurrent_jobs` runner threads. Each runner executes its
+// claimed job in *slices* of `slice_steps` guarded steps via
+// Simulation::run_guarded, so every job gets the full robustness stack of
+// PR 5 — its own stop sources and deadlines, its own per-job watchdog
+// (exec/watchdog.hpp samples per-job heartbeat counters, so concurrent jobs
+// neither mask nor trip each other), the policy/accuracy degradation
+// ladders, and in-memory checkpoint recovery — while the slice boundary is
+// where the *server's* policies act:
+//
+//   * fairness     — under pressure a finished slice requeues to the back,
+//                    so long jobs round-robin instead of starving neighbours;
+//   * durability   — each slice boundary writes an immutable snapshot
+//                    (checkpoints/<id>.<steps>.snap) and journals it, so a
+//                    killed server resumes from the last completed slice;
+//   * memory       — a bodies-in-core budget; when a queued job doesn't fit,
+//                    retained runners of other queued jobs are checkpoint-
+//                    evicted (state dropped to disk) to make room;
+//   * retry        — a failed slice (exhausted guarded retries, dispatch
+//                    fault, anything thrown) discards the slice, backs off
+//                    exponentially, and retries from the last durable
+//                    checkpoint; after `job_retries` *consecutive* failures
+//                    the job is quarantined with a diagnostic bundle —
+//                    the server itself never crashes and healthy jobs keep
+//                    running;
+//   * shedding     — a job whose start_deadline_ms passes while still
+//                    queued is shed instead of run.
+//
+// Admission control: submit() rejects (backpressure) when the queue is at
+// queue_capacity, and the server.admit fault site makes admission itself
+// injectable. All server state transitions ride an InstrumentedMutex and a
+// chaos-schedule yield point, so the chaos backend + lockset race detector
+// (exec/chaos) see the dispatch path.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/chaos/race_detector.hpp"
+#include "obs/metrics.hpp"
+#include "server/job.hpp"
+#include "server/journal.hpp"
+
+namespace nbody::server {
+
+struct ServerOptions {
+  /// Runner threads = concurrently executing jobs.
+  std::size_t max_concurrent_jobs = 2;
+  /// K: consecutive failed slices before a job is quarantined as poison.
+  unsigned job_retries = 3;
+  /// Admission backpressure: submit() rejects beyond this many live
+  /// (non-terminal) jobs.
+  std::size_t queue_capacity = 256;
+  /// Bodies-in-core budget across materialized jobs (0 = unlimited).
+  std::size_t memory_budget_bodies = 0;
+  /// Steps per scheduling slice (0 = run each job to completion in one
+  /// slice; no fairness, no durable mid-run checkpoints).
+  std::size_t slice_steps = 64;
+  /// Per-slice retry budget handed to run_guarded.
+  unsigned guard_max_retries = 4;
+  /// Watchdog stall window for jobs that don't set their own (0 = off).
+  double default_watchdog_ms = 0;
+  /// Exponential backoff after a failed slice: base * 2^(failures-1), capped.
+  double backoff_base_ms = 5.0;
+  double backoff_cap_ms = 250.0;
+  /// Wall budget for run_until_drained (0 = none): on expiry in-flight jobs
+  /// finish their slice, are checkpointed, and left `suspended` (resumable).
+  double wall_budget_ms = 0;
+  /// Root for checkpoints/, out/, quarantine/ (created on construction).
+  std::string work_dir = ".";
+  /// Journal file (empty = journaling and crash-resume off).
+  std::string journal_path{};
+  /// Also write each completed job's metrics registry to out/<id>.metrics.json.
+  bool export_job_metrics = false;
+};
+
+enum class JobState : std::uint8_t {
+  queued,       // admitted, waiting for a runner (includes backoff)
+  running,      // a runner is executing a slice
+  completed,    // all steps done; result snapshot written
+  quarantined,  // K consecutive failures; diagnostic bundle written
+  shed,         // start deadline passed while queued; never ran
+  suspended,    // server stopped (wall budget / shutdown); resumable
+};
+
+const char* job_state_name(JobState s) noexcept;
+
+struct JobReport {
+  JobSpec spec;
+  JobState state = JobState::queued;
+  std::size_t steps_done = 0;
+  unsigned slices = 0;            // slices attempted (ok or failed)
+  unsigned failures = 0;          // failed slices (lifetime)
+  unsigned evictions = 0;         // checkpoint-evictions under memory pressure
+  unsigned restores = 0;          // guarded-run restores, summed over slices
+  unsigned watchdog_trips = 0;    // summed over slices
+  unsigned deadline_misses = 0;   // summed over slices
+  double wall_ms = 0;             // execution wall time, summed over slices
+  std::string last_error;
+  std::string result_path;        // completed: out/<id>.snap
+  std::string quarantine_path;    // quarantined: quarantine/<id>.txt
+  std::vector<std::string> recovery_log;
+};
+
+struct AdmitResult {
+  bool admitted = false;
+  std::string reason;  // why not, when !admitted
+};
+
+class JobServer {
+ public:
+  explicit JobServer(ServerOptions opts);
+  ~JobServer();
+
+  JobServer(const JobServer&) = delete;
+  JobServer& operator=(const JobServer&) = delete;
+
+  /// Admission control. Validates the spec, applies backpressure and the
+  /// server.admit fault site, journals the admit. Never throws on rejection
+  /// — the result says why. Duplicate ids are rejected.
+  AdmitResult submit(JobSpec spec);
+
+  /// Replays the journal and re-admits every non-terminal job at its last
+  /// durable checkpoint. Call before run_until_drained on a restarted
+  /// server. Returns the number of jobs resumed. Jobs whose last journal
+  /// state is complete/quarantine/shed are left retired.
+  std::size_t resume_from_journal();
+
+  /// Runs runner threads until every job is terminal (or the wall budget
+  /// expires / request_shutdown is called). Blocks the calling thread.
+  void run_until_drained();
+
+  /// Graceful stop: runners finish their current slice, checkpoint, and
+  /// leave remaining jobs `suspended`.
+  void request_shutdown();
+
+  [[nodiscard]] std::vector<JobReport> reports() const;
+  [[nodiscard]] JobReport report_for(const std::string& id) const;
+  [[nodiscard]] const ServerOptions& options() const noexcept { return opts_; }
+  [[nodiscard]] std::uint64_t journal_lost_writes() const noexcept;
+  [[nodiscard]] std::size_t rejected_submits() const noexcept;
+
+  /// Invoked (from runner threads, outside the server lock) whenever a job
+  /// reaches a terminal state. Set before run_until_drained.
+  using CompletionHook = std::function<void(const JobReport&)>;
+  void set_completion_hook(CompletionHook hook);
+
+  /// Type-erased live simulation (defined in job_server.cpp). Public only so
+  /// the strategy × policy factory templates there can subclass it.
+  class ISimRunner;
+
+ private:
+  struct JobEntry;
+  struct SliceOutcome;
+
+  void runner_loop();
+  SliceOutcome run_one_slice(JobEntry& e);
+  void apply_outcome(std::unique_lock<exec::chaos::InstrumentedMutex>& lock,
+                     std::size_t idx, const SliceOutcome& out);
+  void materialize(JobEntry& e, SliceOutcome& out);
+  bool fits_in_core(const JobEntry& e) const;
+  void evict_retained_for(std::size_t needed_bodies);
+  void save_durable_checkpoint(JobEntry& e, JournalRecordType type);
+  void quarantine(JobEntry& e);
+  void complete(JobEntry& e);
+  [[nodiscard]] bool all_terminal() const;
+  [[nodiscard]] JobReport make_report(const JobEntry& e) const;
+  AdmitResult admit_internal(JobSpec spec, std::size_t steps_done,
+                             std::string checkpoint_file, bool journal_admit);
+
+  ServerOptions opts_;
+  std::unique_ptr<JobJournal> journal_;
+
+  mutable exec::chaos::InstrumentedMutex mutex_;
+  std::condition_variable_any cv_;
+  std::vector<std::unique_ptr<JobEntry>> jobs_;
+  std::deque<std::size_t> queue_;         // indices into jobs_, FIFO
+  std::size_t bodies_in_core_ = 0;
+  std::size_t rejected_ = 0;
+  bool shutdown_ = false;
+  std::uint64_t wall_deadline_ns_ = 0;    // run_until_drained budget, 0 = none
+  CompletionHook completion_hook_;
+};
+
+}  // namespace nbody::server

@@ -1,0 +1,119 @@
+#include "server/journal.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/snapshot.hpp"
+#include "support/fault.hpp"
+
+namespace nbody::server {
+
+namespace {
+
+constexpr const char* kMagic = "NBJL1";
+
+constexpr const char* kTypeNames[] = {
+    "admit", "checkpoint", "evict", "retry", "complete", "quarantine", "shed",
+};
+
+std::string crc_hex(const std::string& payload) {
+  const std::uint64_t h = core::snapshot_detail::fnv1a(payload.data(), payload.size());
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(h));
+  return std::string(buf);
+}
+
+// Record fields must stay one-line; a reason string with newlines would
+// desynchronize the grammar for every later record.
+std::string flatten(std::string s) {
+  for (char& c : s)
+    if (c == '\n' || c == '\r') c = ' ';
+  return s;
+}
+
+}  // namespace
+
+const char* journal_record_type_name(JournalRecordType t) noexcept {
+  return kTypeNames[static_cast<std::size_t>(t)];
+}
+
+JobJournal::JobJournal(std::string path) : path_(std::move(path)) {
+  // Continue the sequence past any existing records so a restarted server
+  // appends monotonically (replay keeps the *last* record per job).
+  const JournalReplay prior = replay(path_);
+  for (const auto& r : prior.records) seq_ = r.seq >= seq_ ? r.seq + 1 : seq_;
+  out_.open(path_, std::ios::app | std::ios::binary);
+  if (!out_) throw std::runtime_error("JobJournal: cannot open " + path_ + " for append");
+}
+
+bool JobJournal::append(JournalRecordType type, const std::string& job_id,
+                        std::size_t steps, const std::string& detail) noexcept {
+  std::lock_guard lock(mutex_);
+  try {
+    support::fault_point(support::FaultSite::server_journal_write);
+    std::ostringstream line;
+    line << kMagic << ' ' << seq_ << ' ' << journal_record_type_name(type) << ' '
+         << job_id << ' ' << steps;
+    if (!detail.empty()) line << ' ' << flatten(detail);
+    const std::string payload = line.str();
+    out_ << payload << " crc=" << crc_hex(payload) << '\n';
+    out_.flush();
+    if (!out_) {
+      out_.clear();
+      ++lost_;
+      return false;
+    }
+    ++seq_;
+    return true;
+  } catch (...) {
+    ++lost_;
+    return false;
+  }
+}
+
+JournalReplay JobJournal::replay(const std::string& path) {
+  JournalReplay rep;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return rep;  // no journal yet: empty replay
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const std::size_t crc_pos = line.rfind(" crc=");
+    bool ok = crc_pos != std::string::npos && line.compare(0, 6, "NBJL1 ") == 0;
+    JournalRecord rec;
+    if (ok) {
+      const std::string payload = line.substr(0, crc_pos);
+      ok = line.substr(crc_pos + 5) == crc_hex(payload);
+      if (ok) {
+        std::istringstream toks(payload);
+        std::string magic, type_name;
+        toks >> magic >> rec.seq >> type_name >> rec.job_id >> rec.steps;
+        ok = !toks.fail();
+        if (ok) {
+          std::getline(toks, rec.detail);
+          if (!rec.detail.empty() && rec.detail[0] == ' ') rec.detail.erase(0, 1);
+          ok = false;
+          for (std::size_t i = 0; i < std::size(kTypeNames); ++i) {
+            if (type_name == kTypeNames[i]) {
+              rec.type = static_cast<JournalRecordType>(i);
+              ok = true;
+              break;
+            }
+          }
+        }
+      }
+    }
+    if (!ok) {
+      // Torn or corrupt line: everything before it is trustworthy, nothing
+      // after it is. Stop here (kill -9 mid-append lands exactly here).
+      rep.truncated = true;
+      rep.truncated_at = line;
+      return rep;
+    }
+    rep.records.push_back(std::move(rec));
+  }
+  return rep;
+}
+
+}  // namespace nbody::server

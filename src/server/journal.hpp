@@ -1,0 +1,88 @@
+// Write-ahead job journal for the JobServer.
+//
+// An append-only, line-oriented log of job lifecycle transitions, reusing
+// the snapshot-v2 durability idioms (core/snapshot.hpp): every record is
+// FNV-1a checksummed, appends are flushed, and replay stops at the first
+// record that fails its checksum — a torn tail from a kill -9 is expected
+// and tolerated, never UB. Records are deliberately self-contained: the
+// `admit` record carries the full serialized JobSpec, and `checkpoint`
+// records name an immutable snapshot file whose path embeds the step count
+// (checkpoints/<id>.<steps>.snap), so the (journal record, snapshot file)
+// pair is atomic without a two-file commit protocol — a crash between
+// snapshot write and journal append simply leaves the journal pointing at
+// the previous, still-existing file.
+//
+// Line grammar (one record per line):
+//
+//   NBJL1 <seq> <type> <job_id> <steps> [<detail...>] crc=<16-hex>
+//
+// where crc is FNV-1a over everything before " crc=". Appends go through
+// the server.journal.write fault site; a failed append (injected or real
+// I/O) is *counted and survived* — the journal is a recovery accelerator,
+// not a correctness dependency, and a lost record at worst re-runs work.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace nbody::server {
+
+enum class JournalRecordType : std::uint8_t {
+  admit,       // detail = serialized JobSpec
+  checkpoint,  // detail = snapshot path (step count embedded in the name)
+  evict,       // checkpoint-evicted under pressure (detail = snapshot path)
+  retry,       // a slice failed; detail = reason (backoff follows)
+  complete,    // detail = result snapshot path
+  quarantine,  // detail = diagnostic bundle path
+  shed,        // dropped by deadline-aware load shedding before starting
+};
+
+const char* journal_record_type_name(JournalRecordType t) noexcept;
+
+struct JournalRecord {
+  std::uint64_t seq = 0;
+  JournalRecordType type = JournalRecordType::admit;
+  std::string job_id;
+  std::size_t steps = 0;
+  std::string detail;
+};
+
+/// Result of replaying a journal file: the records that passed their
+/// checksums, plus whether replay stopped early on a torn/corrupt line.
+struct JournalReplay {
+  std::vector<JournalRecord> records;
+  bool truncated = false;       // a bad line stopped the replay
+  std::string truncated_at;     // the offending line (diagnostics)
+};
+
+/// Append-side handle. Thread-safe; each append is one flushed line.
+class JobJournal {
+ public:
+  /// Opens `path` for append, creating it if missing. Throws on failure.
+  explicit JobJournal(std::string path);
+
+  /// Appends one checksummed record. Returns false (and counts the loss)
+  /// when the write fails — including an injected server.journal.write
+  /// fault. Never throws.
+  bool append(JournalRecordType type, const std::string& job_id, std::size_t steps,
+              const std::string& detail) noexcept;
+
+  [[nodiscard]] std::uint64_t lost_writes() const noexcept { return lost_; }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+  /// Replays a journal file. A missing file is an empty replay, not an
+  /// error. Stops at the first checksum/grammar failure (torn tail).
+  static JournalReplay replay(const std::string& path);
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  std::mutex mutex_;
+  std::uint64_t seq_ = 0;
+  std::uint64_t lost_ = 0;
+};
+
+}  // namespace nbody::server

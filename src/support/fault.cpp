@@ -2,6 +2,7 @@
 
 #include <array>
 #include <mutex>
+#include <vector>
 
 #include "support/env.hpp"
 
@@ -10,8 +11,9 @@ namespace nbody::support {
 namespace {
 
 constexpr std::array<const char*, kFaultSiteCount> kSiteNames = {
-    "exec.pool.task", "exec.algo.chunk", "octree.node_alloc", "snapshot.write",
-    "snapshot.read",  "exec.chunk.hang",
+    "exec.pool.task", "exec.algo.chunk", "octree.node_alloc",
+    "snapshot.write", "snapshot.read",   "exec.chunk.hang",
+    "server.admit",   "server.journal.write", "server.dispatch",
 };
 
 struct SiteState {
@@ -121,46 +123,94 @@ void disarm_all_faults() noexcept {
   fault_detail::g_armed_mask.store(0, std::memory_order_relaxed);
 }
 
+namespace {
+
+[[noreturn]] void bad_spec(const std::string& what, const std::string& entry) {
+  throw FaultSpecError("NBODY_FAULTS: " + what + " in entry '" + entry +
+                       "' (grammar: site:rate[:seed[:max_fires[:skip]]])");
+}
+
+// Full-token rate parse: the whole field must be one finite decimal in
+// [0, 1]. std::stod alone accepts trailing garbage ("0.5x"), leading
+// whitespace and hex — all of which previously mis-armed campaigns silently.
+double parse_rate_field(const std::string& tok, const std::string& entry) {
+  if (tok.find_first_not_of("0123456789.eE+-") != std::string::npos)
+    bad_spec("rate '" + tok + "' is not a decimal number", entry);
+  double v = 0.0;
+  std::size_t consumed = 0;
+  try {
+    v = std::stod(tok, &consumed);
+  } catch (const std::exception&) {
+    bad_spec("rate '" + tok + "' is not a decimal number", entry);
+  }
+  if (consumed != tok.size())
+    bad_spec("rate '" + tok + "' has trailing characters", entry);
+  if (!(v >= 0.0 && v <= 1.0))
+    bad_spec("rate '" + tok + "' out of [0,1]", entry);
+  return v;
+}
+
+// Full-token unsigned parse: digits only. std::stoull alone accepts "-3"
+// (wraps to 2^64-3), "7q" (trailing garbage) and " 8" (whitespace).
+std::uint64_t parse_u64_field(const std::string& tok, const char* what,
+                              const std::string& entry) {
+  if (tok.find_first_not_of("0123456789") != std::string::npos)
+    bad_spec(std::string(what) + " '" + tok + "' is not a non-negative integer", entry);
+  try {
+    return std::stoull(tok);
+  } catch (const std::exception&) {
+    bad_spec(std::string(what) + " '" + tok + "' is out of range", entry);
+  }
+}
+
+}  // namespace
+
 std::size_t arm_faults_from_spec(const std::string& spec) {
-  std::size_t armed = 0;
+  if (spec.empty()) bad_spec("no fault entries", spec);
+  // Two-phase: validate every entry before arming anything, so a bad entry
+  // can never leave a partially-armed campaign behind.
+  std::vector<std::pair<FaultSite, FaultConfig>> parsed;
   std::size_t pos = 0;
-  while (pos < spec.size()) {
+  while (pos <= spec.size()) {
     std::size_t comma = spec.find(',', pos);
     if (comma == std::string::npos) comma = spec.size();
     const std::string entry = spec.substr(pos, comma - pos);
     pos = comma + 1;
-    if (entry.empty()) continue;
+    // A stray comma means some entry got lost (unquoted shell expansion,
+    // trailing separator) — refuse rather than arm a partial campaign.
+    if (entry.empty()) bad_spec("empty entry (stray comma)", spec);
 
-    // site:rate[:seed[:max_fires[:skip]]]
-    std::array<std::string, 5> fields;
-    std::size_t nfields = 0, fpos = 0;
-    while (nfields < fields.size()) {
+    // site:rate[:seed[:max_fires[:skip]]] — site and rate are mandatory;
+    // an empty *optional* field keeps its default, anything non-empty must
+    // parse in full.
+    std::vector<std::string> fields;
+    std::size_t fpos = 0;
+    for (;;) {
       const std::size_t colon = entry.find(':', fpos);
       if (colon == std::string::npos) {
-        fields[nfields++] = entry.substr(fpos);
+        fields.push_back(entry.substr(fpos));
         break;
       }
-      fields[nfields++] = entry.substr(fpos, colon - fpos);
+      fields.push_back(entry.substr(fpos, colon - fpos));
       fpos = colon + 1;
     }
+    if (fields.size() > 5) bad_spec("too many fields", entry);
+    if (fields[0].empty()) bad_spec("empty site name", entry);
     const auto site = fault_site_from_name(fields[0]);
-    if (!site)
-      throw std::invalid_argument("NBODY_FAULTS: unknown fault site '" + fields[0] + "'");
+    if (!site) bad_spec("unknown fault site '" + fields[0] + "'", entry);
+    if (fields.size() < 2 || fields[1].empty()) bad_spec("missing rate", entry);
     FaultConfig cfg;
-    try {
-      if (nfields >= 2 && !fields[1].empty()) cfg.rate = std::stod(fields[1]);
-      if (nfields >= 3 && !fields[2].empty()) cfg.seed = std::stoull(fields[2]);
-      if (nfields >= 4 && !fields[3].empty()) cfg.max_fires = std::stoull(fields[3]);
-      if (nfields >= 5 && !fields[4].empty()) cfg.skip = std::stoull(fields[4]);
-    } catch (const std::exception&) {
-      throw std::invalid_argument("NBODY_FAULTS: malformed entry '" + entry + "'");
-    }
-    if (cfg.rate < 0.0 || cfg.rate > 1.0)
-      throw std::invalid_argument("NBODY_FAULTS: rate out of [0,1] in '" + entry + "'");
-    arm_fault(*site, cfg);
-    ++armed;
+    cfg.rate = parse_rate_field(fields[1], entry);
+    if (fields.size() >= 3 && !fields[2].empty())
+      cfg.seed = parse_u64_field(fields[2], "seed", entry);
+    if (fields.size() >= 4 && !fields[3].empty())
+      cfg.max_fires = parse_u64_field(fields[3], "max_fires", entry);
+    if (fields.size() >= 5 && !fields[4].empty())
+      cfg.skip = parse_u64_field(fields[4], "skip", entry);
+    parsed.emplace_back(*site, cfg);
   }
-  return armed;
+  for (const auto& [site, cfg] : parsed) arm_fault(site, cfg);
+  return parsed.size();
 }
 
 std::size_t arm_faults_from_env() {

@@ -2,8 +2,9 @@
 //
 // Every failure path the robustness story depends on — a task dying inside
 // the thread pool, a scheduling-backend chunk throwing, the octree's node
-// pool "running out", snapshot I/O failing — is represented by a named
-// *fault site*. Instrumented code calls fault_point(site); an armed site
+// pool "running out", snapshot I/O failing, the job server's admission /
+// journal / dispatch paths failing — is represented by a named *fault
+// site*. Instrumented code calls fault_point(site); an armed site
 // throws FaultInjected on a seeded-deterministic subsequence of its
 // evaluations, so tests can exercise recovery paths on demand and replay
 // them.
@@ -42,14 +43,17 @@
 namespace nbody::support {
 
 enum class FaultSite : std::uint8_t {
-  pool_task,          // "exec.pool.task"      — thread_pool::run rank bodies
-  algo_chunk,         // "exec.algo.chunk"     — scheduling-backend chunks
-  octree_node_alloc,  // "octree.node_alloc"   — octree subdivision/allocation
-  snapshot_write,     // "snapshot.write"      — snapshot save paths
-  snapshot_read,      // "snapshot.read"       — snapshot load paths
-  chunk_hang,         // "exec.chunk.hang"     — behavioral: wedge a worker
+  pool_task,            // "exec.pool.task"       — thread_pool::run rank bodies
+  algo_chunk,           // "exec.algo.chunk"      — scheduling-backend chunks
+  octree_node_alloc,    // "octree.node_alloc"    — octree subdivision/allocation
+  snapshot_write,       // "snapshot.write"       — snapshot save paths
+  snapshot_read,        // "snapshot.read"        — snapshot load paths
+  chunk_hang,           // "exec.chunk.hang"      — behavioral: wedge a worker
+  server_admit,         // "server.admit"         — JobServer admission path
+  server_journal_write, // "server.journal.write" — job-journal append
+  server_dispatch,      // "server.dispatch"      — runner claiming/dispatching a job
 };
-inline constexpr std::size_t kFaultSiteCount = 6;
+inline constexpr std::size_t kFaultSiteCount = 9;
 
 /// Stable textual name of a site (the NBODY_FAULTS spelling).
 const char* fault_site_name(FaultSite site) noexcept;
@@ -62,6 +66,15 @@ struct FaultConfig {
   std::uint64_t seed = 0;      // selects the deterministic firing subsequence
   std::uint64_t max_fires = 0; // total injection budget; 0 = unlimited
   std::uint64_t skip = 0;      // first `skip` evaluations never fire
+};
+
+/// A malformed NBODY_FAULTS spec string. Derives from std::invalid_argument
+/// (existing catch sites keep working) but is distinguishable so the CLI can
+/// map it to its own exit code (4) instead of the generic usage error (2):
+/// a silently mis-armed fault campaign is worse than no campaign at all.
+class FaultSpecError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
 };
 
 /// The exception an armed fault site throws.
@@ -82,8 +95,10 @@ void disarm_fault(FaultSite site) noexcept;
 void disarm_all_faults() noexcept;
 
 /// Arms every site in a spec string (the NBODY_FAULTS grammar above).
-/// Returns the number of sites armed; throws std::invalid_argument on a
-/// malformed spec.
+/// Returns the number of sites armed; throws FaultSpecError (an
+/// std::invalid_argument) on any malformed field: unknown/empty site, rate
+/// not a full decimal in [0,1], seed/max_fires/skip not plain non-negative
+/// integers, or more than five fields. Nothing degrades silently.
 std::size_t arm_faults_from_spec(const std::string& spec);
 
 /// Arms from the NBODY_FAULTS environment variable (no-op when unset).

@@ -525,4 +525,43 @@ TEST(CancellationE2E, WatchdogReclaimsHangAndRunCompletes) {
   EXPECT_LT(core::l2_position_error(sim.system(), ref.system()), 1e-6);
 }
 
+// ------------------------------- per-job watchdog isolation (satellite)
+
+// Two concurrent guarded jobs on the shared global pool, one injected hang:
+// only the wedged job's watchdog trips, and both jobs complete. With the
+// old pool-global stall signature (progress summed across all regions), a
+// concurrent healthy job's heartbeats masked the wedged job's frozen
+// counters — per-job attribution through the ambient stop state is what
+// makes the JobServer's fault isolation sound.
+TEST(CancellationE2E, ConcurrentJobsWatchdogTripsOnlyTheWedgedOne) {
+  FaultScope faults;
+  const auto cfg = small_cfg();
+  support::arm_fault(FaultSite::chunk_hang, {1.0, 0, 1});
+  core::GuardedOptions<double> opts;
+  opts.checkpoint_every = 2;
+  opts.max_retries = 6;
+  opts.watchdog_ms = 80;
+  std::atomic<int> ready{0};
+  core::GuardedRunReport reps[2];
+  std::size_t steps_done[2] = {0, 0};
+  auto job = [&](int slot) {
+    auto sys = workloads::plummer_sphere(512, 17 + static_cast<std::uint64_t>(slot));
+    core::Simulation<double, 3, octree::OctreeStrategy<double, 3>> sim(sys, cfg);
+    ready.fetch_add(1);
+    while (ready.load() < 2) std::this_thread::yield();
+    reps[slot] = sim.run_guarded(exec::par, 6, opts);
+    steps_done[slot] = sim.steps_done();
+  };
+  std::thread a(job, 0), b(job, 1);
+  a.join();
+  b.join();
+  EXPECT_EQ(steps_done[0], 6u);
+  EXPECT_EQ(steps_done[1], 6u);
+  EXPECT_EQ(support::fault_fires(FaultSite::chunk_hang), 1u);
+  const unsigned t0 = reps[0].watchdog_trips, t1 = reps[1].watchdog_trips;
+  EXPECT_GE(t0 + t1, 1u) << "the wedged job must be reclaimed by its own watchdog";
+  EXPECT_EQ(std::min(t0, t1), 0u)
+      << "the healthy job's watchdog must not trip on the other job's stall";
+}
+
 }  // namespace

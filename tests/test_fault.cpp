@@ -127,6 +127,53 @@ TEST(FaultRegistry, SpecParsing) {
   EXPECT_THROW(support::arm_faults_from_spec("snapshot.write:xyz"), std::invalid_argument);
 }
 
+TEST(FaultRegistry, ServerSitesParse) {
+  FaultScope scope;
+  EXPECT_EQ(support::arm_faults_from_spec(
+                "server.admit:1,server.journal.write:0.5:3,server.dispatch:1:0:2"),
+            3u);
+  EXPECT_TRUE(support::fault_armed(FaultSite::server_admit));
+  EXPECT_TRUE(support::fault_armed(FaultSite::server_journal_write));
+  EXPECT_TRUE(support::fault_armed(FaultSite::server_dispatch));
+}
+
+// Satellite: every malformed field of site:rate[:seed[:max_fires[:skip]]]
+// is rejected with FaultSpecError (never silently mis-armed), and the
+// message names the offending entry.
+TEST(FaultRegistry, MalformedSpecRejectedPerField) {
+  FaultScope scope;
+  const char* bad[] = {
+      "",                            // empty spec
+      ",",                           // empty entries
+      ":1",                          // empty site name
+      "snapshot.write",              // missing rate
+      "snapshot.write:",             // empty rate
+      "snapshot.write:-0.1",         // rate below 0
+      "snapshot.write:1.5",          // rate above 1
+      "snapshot.write:nan",          // rate not a plain decimal
+      "snapshot.write:0.5x",         // trailing junk in rate
+      "snapshot.write:1:abc",        // seed not an integer
+      "snapshot.write:1:-1",         // seed negative
+      "snapshot.write:1:0:many",     // max_fires not an integer
+      "snapshot.write:1:0:1:later",  // skip not an integer
+      "snapshot.write:1:0:1:2:9",    // more than five fields
+      "snapshot.write:1,bogus:1",    // one good entry cannot carry a bad one
+  };
+  for (const char* spec : bad) {
+    EXPECT_THROW(support::arm_faults_from_spec(spec), support::FaultSpecError)
+        << "spec '" << spec << "' should have been rejected";
+    // FaultSpecError stays catchable as std::invalid_argument for existing
+    // callers (the CLI maps it to exit 4 instead of the usage error 2).
+    try {
+      support::arm_faults_from_spec(spec);
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("NBODY_FAULTS"), std::string::npos)
+          << "message should carry the grammar hint: " << e.what();
+    }
+  }
+  EXPECT_EQ(support::armed_faults_description(), "");  // nothing mis-armed
+}
+
 // ------------------------------------------------- instrumented failure paths
 
 TEST(FaultPaths, ThreadPoolTaskFaultPropagatesAndPoolSurvives) {

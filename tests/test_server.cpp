@@ -1,0 +1,570 @@
+// JobServer end-to-end: journal durability, admission control, fault
+// isolation (poison quarantine, retry/backoff, hang reclaim), memory-budget
+// eviction, deadline shedding, crash/suspend resume, and checkpoint
+// corruption recovery. Companion shell-level coverage: ci/run_matrix.sh
+// (SERVE=1, SOAK=1 lanes).
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "allpairs/allpairs.hpp"
+#include "bvh/strategy.hpp"
+#include "core/integrator.hpp"
+#include "core/simulation.hpp"
+#include "core/snapshot.hpp"
+#include "exec/chaos/race_detector.hpp"
+#include "exec/policy.hpp"
+#include "server/job_server.hpp"
+#include "support/fault.hpp"
+#include "workloads/workloads.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace nbody;
+using support::FaultSite;
+
+struct FaultScope {
+  FaultScope() { support::disarm_all_faults(); }
+  ~FaultScope() { support::disarm_all_faults(); }
+};
+
+struct TempDir {
+  fs::path path;
+  // The pid suffix matters: ctest -j runs each discovered test as its own
+  // process, so parametrized cases sharing a fixed name would remove_all
+  // each other's state mid-test.
+  explicit TempDir(const char* name) {
+    path = fs::temp_directory_path() /
+           (std::string(name) + "." + std::to_string(::getpid()));
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() { fs::remove_all(path); }
+  [[nodiscard]] std::string file(const char* f) const { return (path / f).string(); }
+};
+
+server::JobSpec quick_spec(const std::string& id, std::size_t n = 32,
+                           std::size_t steps = 20) {
+  server::JobSpec s;
+  s.id = id;
+  s.workload = "plummer";
+  s.n = n;
+  s.steps = steps;
+  s.strategy = "allpairs";
+  s.policy = "seq";
+  s.checkpoint_every = 4;
+  return s;
+}
+
+server::ServerOptions quick_opts(const TempDir& tmp, std::size_t runners = 1) {
+  server::ServerOptions o;
+  o.max_concurrent_jobs = runners;
+  o.work_dir = tmp.path.string();
+  o.journal_path = tmp.file("journal.nbjl");
+  o.slice_steps = 8;
+  return o;
+}
+
+// ------------------------------------------------------------- the journal
+
+TEST(Journal, RoundtripAndSequenceContinuation) {
+  TempDir tmp("nbody_server_journal");
+  {
+    server::JobJournal j(tmp.file("j.nbjl"));
+    EXPECT_TRUE(j.append(server::JournalRecordType::admit, "a", 0, "id=a n=32"));
+    EXPECT_TRUE(j.append(server::JournalRecordType::checkpoint, "a", 8, "a.8.snap"));
+    EXPECT_TRUE(j.append(server::JournalRecordType::complete, "a", 20, "out/a.snap"));
+  }
+  auto rep = server::JobJournal::replay(tmp.file("j.nbjl"));
+  EXPECT_FALSE(rep.truncated);
+  ASSERT_EQ(rep.records.size(), 3u);
+  EXPECT_EQ(rep.records[0].type, server::JournalRecordType::admit);
+  EXPECT_EQ(rep.records[0].detail, "id=a n=32");
+  EXPECT_EQ(rep.records[1].steps, 8u);
+  EXPECT_EQ(rep.records[2].seq, 2u);
+  // A reopened journal continues the sequence.
+  server::JobJournal j2(tmp.file("j.nbjl"));
+  EXPECT_TRUE(j2.append(server::JournalRecordType::retry, "a", 20, "again"));
+  rep = server::JobJournal::replay(tmp.file("j.nbjl"));
+  ASSERT_EQ(rep.records.size(), 4u);
+  EXPECT_EQ(rep.records[3].seq, 3u);
+}
+
+TEST(Journal, TornTailToleratedAndStopsReplay) {
+  TempDir tmp("nbody_server_journal_torn");
+  {
+    server::JobJournal j(tmp.file("j.nbjl"));
+    j.append(server::JournalRecordType::admit, "a", 0, "spec");
+    j.append(server::JournalRecordType::checkpoint, "a", 8, "a.8.snap");
+  }
+  {  // simulate kill -9 mid-append: a half-written last line
+    std::ofstream out(tmp.file("j.nbjl"), std::ios::app);
+    out << "NBJL1 2 complete a 2";  // no crc, no newline
+  }
+  const auto rep = server::JobJournal::replay(tmp.file("j.nbjl"));
+  EXPECT_TRUE(rep.truncated);
+  ASSERT_EQ(rep.records.size(), 2u);
+  EXPECT_EQ(rep.records[1].type, server::JournalRecordType::checkpoint);
+}
+
+TEST(Journal, FlippedChecksumByteStopsReplayAtThatRecord) {
+  TempDir tmp("nbody_server_journal_crc");
+  {
+    server::JobJournal j(tmp.file("j.nbjl"));
+    j.append(server::JournalRecordType::admit, "a", 0, "spec");
+    j.append(server::JournalRecordType::checkpoint, "a", 8, "a.8.snap");
+    j.append(server::JournalRecordType::complete, "a", 20, "out/a.snap");
+  }
+  std::ifstream in(tmp.file("j.nbjl"));
+  std::vector<std::string> lines;
+  for (std::string l; std::getline(in, l);) lines.push_back(l);
+  in.close();
+  ASSERT_EQ(lines.size(), 3u);
+  lines[1][10] ^= 1;  // flip a payload byte: crc no longer matches
+  std::ofstream out(tmp.file("j.nbjl"), std::ios::trunc);
+  for (const auto& l : lines) out << l << '\n';
+  out.close();
+  const auto rep = server::JobJournal::replay(tmp.file("j.nbjl"));
+  EXPECT_TRUE(rep.truncated);
+  ASSERT_EQ(rep.records.size(), 1u);  // only the record before the corruption
+  EXPECT_EQ(rep.records[0].type, server::JournalRecordType::admit);
+}
+
+// ------------------------------------------------------------ the job spec
+
+TEST(JobSpec, SerializeParseRoundtrip) {
+  auto s = quick_spec("round-trip_1", 48, 30);
+  s.strategy = "bvh";
+  s.policy = "par";
+  s.quadrupole = true;
+  s.run_budget_ms = 1500;
+  const auto back = server::parse_job_spec(server::serialize_job_spec(s), "x");
+  EXPECT_EQ(back.id, s.id);
+  EXPECT_EQ(back.n, s.n);
+  EXPECT_EQ(back.steps, s.steps);
+  EXPECT_EQ(back.strategy, s.strategy);
+  EXPECT_EQ(back.quadrupole, true);
+  EXPECT_DOUBLE_EQ(back.run_budget_ms, 1500);
+}
+
+TEST(JobSpec, RejectsInvalidSpecs) {
+  EXPECT_THROW(server::parse_job_spec("workload=nope n=32", "j"),
+               std::invalid_argument);
+  EXPECT_THROW(server::parse_job_spec("n=1", "j"), std::invalid_argument);
+  EXPECT_THROW(server::parse_job_spec("steps=0", "j"), std::invalid_argument);
+  EXPECT_THROW(server::parse_job_spec("n=abc", "j"), std::invalid_argument);
+  EXPECT_THROW(server::parse_job_spec("dt=-1", "j"), std::invalid_argument);
+  EXPECT_THROW(server::parse_job_spec("bogus_key=1", "j"), std::invalid_argument);
+  EXPECT_THROW(server::parse_job_spec("strategy=octree policy=par_unseq", "j"),
+               std::invalid_argument);
+  EXPECT_THROW(server::parse_job_spec("", "bad id!"), std::invalid_argument);
+  // Comments and multi-line specs parse.
+  const auto ok = server::parse_job_spec("# a comment\nn=64 steps=5\npolicy=seq\n", "ok");
+  EXPECT_EQ(ok.n, 64u);
+}
+
+// --------------------------------------------------------- basic operation
+
+TEST(JobServer, SingleJobCompletesWithResultSnapshot) {
+  TempDir tmp("nbody_server_single");
+  server::JobServer srv(quick_opts(tmp));
+  ASSERT_TRUE(srv.submit(quick_spec("solo")).admitted);
+  srv.run_until_drained();
+  const auto r = srv.report_for("solo");
+  EXPECT_EQ(r.state, server::JobState::completed);
+  EXPECT_EQ(r.steps_done, 20u);
+  EXPECT_EQ(r.failures, 0u);
+  const auto sys = core::load_snapshot_binary<double, 3>(r.result_path);
+  EXPECT_EQ(sys.size(), 32u);
+}
+
+TEST(JobServer, DuplicateIdAndBackpressureRejected) {
+  TempDir tmp("nbody_server_admission");
+  auto opts = quick_opts(tmp);
+  opts.queue_capacity = 2;
+  server::JobServer srv(opts);
+  EXPECT_TRUE(srv.submit(quick_spec("a")).admitted);
+  const auto dup = srv.submit(quick_spec("a"));
+  EXPECT_FALSE(dup.admitted);
+  EXPECT_NE(dup.reason.find("duplicate"), std::string::npos);
+  EXPECT_TRUE(srv.submit(quick_spec("b")).admitted);
+  const auto full = srv.submit(quick_spec("c"));
+  EXPECT_FALSE(full.admitted);
+  EXPECT_NE(full.reason.find("backpressure"), std::string::npos);
+  EXPECT_EQ(srv.rejected_submits(), 2u);
+  srv.run_until_drained();
+}
+
+TEST(JobServer, RejectsInvalidSpecWithoutThrowing) {
+  TempDir tmp("nbody_server_invalid");
+  server::JobServer srv(quick_opts(tmp));
+  auto bad = quick_spec("bad");
+  bad.steps = 0;
+  const auto res = srv.submit(bad);
+  EXPECT_FALSE(res.admitted);
+  EXPECT_NE(res.reason.find("steps"), std::string::npos);
+}
+
+// The acceptance bar: >= 8 concurrent jobs, each bit-identical to a solo
+// run of the same spec. Deterministic configurations only (seq policy), no
+// memory pressure (retained runners, no eviction roundtrip), no failures.
+TEST(JobServer, EightConcurrentJobsBitIdenticalToSoloRuns) {
+  TempDir tmp("nbody_server_concurrent");
+  auto opts = quick_opts(tmp, /*runners=*/8);
+  opts.slice_steps = 7;  // deliberately not a divisor of any job's steps
+  server::JobServer srv(opts);
+  std::vector<server::JobSpec> specs;
+  for (int i = 0; i < 8; ++i) {
+    auto s = quick_spec("job" + std::to_string(i), 24 + 4 * (i % 3), 15 + i);
+    s.seed = 100 + static_cast<std::uint64_t>(i);
+    s.strategy = (i % 2 == 0) ? "allpairs" : "bvh";
+    specs.push_back(s);
+    ASSERT_TRUE(srv.submit(s).admitted);
+  }
+  srv.run_until_drained();
+  for (const auto& s : specs) {
+    const auto r = srv.report_for(s.id);
+    ASSERT_EQ(r.state, server::JobState::completed) << s.id << ": " << r.last_error;
+    ASSERT_EQ(r.restores, 0u) << s.id;  // restores would perturb bit-identity
+    const auto got = core::load_snapshot_binary<double, 3>(r.result_path);
+
+    // Solo reference: same spec, one straight-line guarded-free run.
+    core::SimConfig<double> cfg;
+    cfg.dt = s.dt;
+    cfg.theta = s.theta;
+    cfg.softening = s.softening;
+    auto sys = server::make_job_system(s);
+    core::System<double, 3> want;
+    if (s.strategy == "allpairs") {
+      core::Simulation<double, 3, allpairs::AllPairs<double, 3>> sim(sys, cfg);
+      sim.run(exec::seq, s.steps);
+      sim.synchronize_velocities(exec::seq);
+      want = sim.system();
+    } else {
+      core::Simulation<double, 3, bvh::BVHStrategy<double, 3>> sim(sys, cfg);
+      sim.run(exec::seq, s.steps);
+      sim.synchronize_velocities(exec::seq);
+      want = sim.system();
+    }
+    ASSERT_EQ(got.size(), want.size()) << s.id;
+    for (std::size_t b = 0; b < want.size(); ++b)
+      for (std::size_t d = 0; d < 3; ++d) {
+        ASSERT_EQ(got.x[b][d], want.x[b][d]) << s.id << " body " << b;
+        ASSERT_EQ(got.v[b][d], want.v[b][d]) << s.id << " body " << b;
+      }
+  }
+}
+
+// ---------------------------------------------------------- fault isolation
+
+TEST(JobServer, PoisonJobQuarantinedHealthyJobsComplete) {
+  TempDir tmp("nbody_server_poison");
+  auto opts = quick_opts(tmp, /*runners=*/2);
+  opts.job_retries = 2;
+  opts.backoff_base_ms = 1;
+  server::JobServer srv(opts);
+  auto poison = quick_spec("venom", 16, 10);
+  poison.workload = "poison";
+  ASSERT_TRUE(srv.submit(poison).admitted);
+  ASSERT_TRUE(srv.submit(quick_spec("healthy1")).admitted);
+  ASSERT_TRUE(srv.submit(quick_spec("healthy2")).admitted);
+  srv.run_until_drained();
+
+  const auto q = srv.report_for("venom");
+  EXPECT_EQ(q.state, server::JobState::quarantined);
+  EXPECT_EQ(q.failures, 2u);  // exactly K consecutive failures
+  ASSERT_FALSE(q.quarantine_path.empty());
+  std::ifstream bundle(q.quarantine_path);
+  std::string text((std::istreambuf_iterator<char>(bundle)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(text.find("venom"), std::string::npos);
+  EXPECT_NE(text.find("workload=poison"), std::string::npos);
+  EXPECT_NE(text.find("last error"), std::string::npos);
+
+  EXPECT_EQ(srv.report_for("healthy1").state, server::JobState::completed);
+  EXPECT_EQ(srv.report_for("healthy2").state, server::JobState::completed);
+}
+
+TEST(JobServer, DispatchFaultRetriesWithBackoffThenCompletes) {
+  FaultScope faults;
+  TempDir tmp("nbody_server_retry");
+  auto opts = quick_opts(tmp);
+  opts.job_retries = 4;
+  opts.backoff_base_ms = 1;
+  server::JobServer srv(opts);
+  ASSERT_TRUE(srv.submit(quick_spec("flaky")).admitted);
+  // First two dispatch attempts die; the third succeeds.
+  support::arm_fault(FaultSite::server_dispatch, {1.0, 0, 2});
+  srv.run_until_drained();
+  const auto r = srv.report_for("flaky");
+  EXPECT_EQ(r.state, server::JobState::completed);
+  EXPECT_EQ(r.failures, 2u);
+  EXPECT_EQ(r.steps_done, 20u);
+  EXPECT_EQ(support::fault_fires(FaultSite::server_dispatch), 2u);
+}
+
+TEST(JobServer, AdmissionFaultRejectsWithoutCrashing) {
+  FaultScope faults;
+  TempDir tmp("nbody_server_admitfault");
+  server::JobServer srv(quick_opts(tmp));
+  support::arm_fault(FaultSite::server_admit, {1.0, 0, 1});
+  const auto res = srv.submit(quick_spec("first"));
+  EXPECT_FALSE(res.admitted);
+  EXPECT_NE(res.reason.find("admission fault"), std::string::npos);
+  EXPECT_TRUE(srv.submit(quick_spec("first")).admitted);  // transient: retry lands
+  srv.run_until_drained();
+  EXPECT_EQ(srv.report_for("first").state, server::JobState::completed);
+}
+
+TEST(JobServer, JournalWriteFaultCountedAndSurvived) {
+  FaultScope faults;
+  TempDir tmp("nbody_server_journalfault");
+  server::JobServer srv(quick_opts(tmp));
+  support::arm_fault(FaultSite::server_journal_write, {1.0, 0, 1});
+  ASSERT_TRUE(srv.submit(quick_spec("stoic")).admitted);  // admit record is lost
+  srv.run_until_drained();
+  EXPECT_EQ(srv.report_for("stoic").state, server::JobState::completed);
+  EXPECT_EQ(srv.journal_lost_writes(), 1u);
+}
+
+// An injected worker hang inside a job's parallel region: the per-job
+// watchdog reclaims it via the guarded ladder; the server never sees a
+// wedged runner thread.
+TEST(JobServer, WatchdogReclaimsHungJob) {
+  FaultScope faults;
+  TempDir tmp("nbody_server_hang");
+  auto opts = quick_opts(tmp);
+  opts.guard_max_retries = 6;
+  server::JobServer srv(opts);
+  auto s = quick_spec("wedge", 64, 6);
+  s.strategy = "bvh";
+  s.policy = "par";
+  s.watchdog_ms = 80;
+  ASSERT_TRUE(srv.submit(s).admitted);
+  support::arm_fault(FaultSite::chunk_hang, {1.0, 0, 1});
+  srv.run_until_drained();
+  const auto r = srv.report_for("wedge");
+  EXPECT_EQ(r.state, server::JobState::completed) << r.last_error;
+  EXPECT_EQ(support::fault_fires(FaultSite::chunk_hang), 1u);
+  EXPECT_GE(r.watchdog_trips, 1u);
+}
+
+// --------------------------------------------- scheduling-policy behaviors
+
+TEST(JobServer, StartDeadlineShedsQueuedJob) {
+  TempDir tmp("nbody_server_shed");
+  auto opts = quick_opts(tmp, /*runners=*/1);
+  opts.slice_steps = 0;  // first job holds the runner for its whole run
+  server::JobServer srv(opts);
+  ASSERT_TRUE(srv.submit(quick_spec("hog", 256, 60)).admitted);
+  auto late = quick_spec("late", 16, 5);
+  late.start_deadline_ms = 1e-3;  // any queue wait at all overshoots this
+  ASSERT_TRUE(srv.submit(late).admitted);
+  srv.run_until_drained();
+  EXPECT_EQ(srv.report_for("hog").state, server::JobState::completed);
+  const auto r = srv.report_for("late");
+  EXPECT_EQ(r.state, server::JobState::shed);
+  EXPECT_EQ(r.steps_done, 0u);
+  EXPECT_NE(r.last_error.find("start deadline"), std::string::npos);
+  // The shed decision is journaled.
+  bool saw_shed = false;
+  for (const auto& rec : server::JobJournal::replay(opts.journal_path).records)
+    saw_shed |= rec.type == server::JournalRecordType::shed && rec.job_id == "late";
+  EXPECT_TRUE(saw_shed);
+}
+
+TEST(JobServer, MemoryBudgetEvictsAndBothJobsComplete) {
+  TempDir tmp("nbody_server_evict");
+  auto opts = quick_opts(tmp, /*runners=*/1);
+  opts.memory_budget_bodies = 100;  // two n=64 jobs cannot both stay in core
+  opts.slice_steps = 8;
+  server::JobServer srv(opts);
+  ASSERT_TRUE(srv.submit(quick_spec("fat1", 64, 24)).admitted);
+  ASSERT_TRUE(srv.submit(quick_spec("fat2", 64, 24)).admitted);
+  srv.run_until_drained();
+  const auto r1 = srv.report_for("fat1");
+  const auto r2 = srv.report_for("fat2");
+  EXPECT_EQ(r1.state, server::JobState::completed) << r1.last_error;
+  EXPECT_EQ(r2.state, server::JobState::completed) << r2.last_error;
+  EXPECT_EQ(r1.steps_done, 24u);
+  EXPECT_EQ(r2.steps_done, 24u);
+  EXPECT_GE(r1.evictions + r2.evictions, 1u);
+}
+
+// ------------------------------------------------------------ crash resume
+
+TEST(JobServer, WallBudgetSuspendsThenFreshServerResumesFromJournal) {
+  TempDir tmp("nbody_server_resume");
+  {
+    auto opts = quick_opts(tmp);
+    opts.wall_budget_ms = 25;
+    opts.slice_steps = 8;
+    server::JobServer srv(opts);
+    ASSERT_TRUE(srv.submit(quick_spec("marathon", 256, 2000)).admitted);
+    srv.run_until_drained();
+    const auto r = srv.report_for("marathon");
+    ASSERT_EQ(r.state, server::JobState::suspended);
+    ASSERT_LT(r.steps_done, 2000u);
+  }
+  // A brand-new server (fresh process, in spirit) resumes from the journal.
+  server::JobServer srv2(quick_opts(tmp));
+  EXPECT_EQ(srv2.resume_from_journal(), 1u);
+  {
+    const auto r = srv2.report_for("marathon");
+    EXPECT_EQ(r.state, server::JobState::queued);
+    EXPECT_GT(r.steps_done, 0u);  // picked up at the last durable checkpoint
+  }
+  srv2.run_until_drained();
+  const auto r = srv2.report_for("marathon");
+  EXPECT_EQ(r.state, server::JobState::completed) << r.last_error;
+  EXPECT_EQ(r.steps_done, 2000u);
+  // A third replay sees the job retired and resumes nothing.
+  server::JobServer srv3(quick_opts(tmp));
+  EXPECT_EQ(srv3.resume_from_journal(), 0u);
+}
+
+// ----------------------------------------- checkpoint corruption (satellite)
+
+enum class Corruption { truncated, flipped_checksum, v1_header };
+
+const char* corruption_name(Corruption c) {
+  switch (c) {
+    case Corruption::truncated: return "truncated";
+    case Corruption::flipped_checksum: return "flipped_checksum";
+    case Corruption::v1_header: return "v1_header";
+  }
+  return "?";
+}
+
+void corrupt_file(const std::string& path, Corruption how) {
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.is_open());
+  f.seekg(0, std::ios::end);
+  const auto size = static_cast<std::size_t>(f.tellg());
+  switch (how) {
+    case Corruption::truncated:
+      f.close();
+      fs::resize_file(path, size / 2);
+      break;
+    case Corruption::flipped_checksum: {
+      f.seekg(-1, std::ios::end);
+      char last = 0;
+      f.get(last);
+      last = static_cast<char>(last ^ 0x5a);
+      f.seekp(-1, std::ios::end);
+      f.put(last);
+      break;
+    }
+    case Corruption::v1_header: {
+      // Stamp the version field (after the 8-byte magic) to 1 and truncate
+      // mid-payload: a v1 claim over a torn v2 body must fail cleanly in the
+      // v2 reader's size validation, not read garbage.
+      const std::uint32_t v1 = 1;
+      f.seekp(8, std::ios::beg);
+      f.write(reinterpret_cast<const char*>(&v1), sizeof v1);
+      f.close();
+      fs::resize_file(path, size / 2);
+      break;
+    }
+  }
+}
+
+class CorruptCheckpoint
+    : public ::testing::TestWithParam<std::tuple<Corruption, const char*>> {};
+
+TEST_P(CorruptCheckpoint, RestartsCleanlyFromStepZero) {
+  const auto [how, strategy] = GetParam();
+  TempDir tmp("nbody_server_corrupt");
+  auto spec = quick_spec("phoenix", 48, 24);
+  spec.strategy = strategy;
+  spec.policy = "seq";
+
+  // Fabricate the durable state a crashed server would leave behind: a
+  // journaled admit + checkpoint pair whose snapshot file we then corrupt.
+  const std::string ckpt = tmp.file("checkpoints/phoenix.8.snap");
+  fs::create_directories(tmp.path / "checkpoints");
+  core::save_snapshot_binary(server::make_job_system(spec), ckpt);
+  {
+    server::JobJournal j(tmp.file("journal.nbjl"));
+    j.append(server::JournalRecordType::admit, spec.id, 0,
+             server::serialize_job_spec(spec));
+    j.append(server::JournalRecordType::checkpoint, spec.id, 8, ckpt);
+  }
+  corrupt_file(ckpt, how);
+  const auto load_corrupt = [&] { core::load_snapshot_binary<double, 3>(ckpt); };
+  EXPECT_THROW(load_corrupt(), std::runtime_error);
+
+  server::JobServer srv(quick_opts(tmp));
+  ASSERT_EQ(srv.resume_from_journal(), 1u);
+  srv.run_until_drained();
+  const auto r = srv.report_for("phoenix");
+  EXPECT_EQ(r.state, server::JobState::completed) << r.last_error;
+  EXPECT_EQ(r.steps_done, 24u);  // restarted from 0, ran all 24 steps
+  bool logged = false;
+  for (const auto& line : r.recovery_log)
+    logged |= line.find("unusable") != std::string::npos;
+  EXPECT_TRUE(logged) << "corruption should be reported in the recovery log";
+}
+
+std::string corruption_case_name(
+    const ::testing::TestParamInfo<std::tuple<Corruption, const char*>>& info) {
+  return std::string(corruption_name(std::get<0>(info.param))) + "_" +
+         std::get<1>(info.param);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModes, CorruptCheckpoint,
+    ::testing::Combine(::testing::Values(Corruption::truncated,
+                                         Corruption::flipped_checksum,
+                                         Corruption::v1_header),
+                       ::testing::Values("octree", "bvh")),
+    corruption_case_name);
+
+// ------------------------------------------------- chaos/detector coverage
+
+// Negative control: a full server run under the race detector records lock
+// traffic from the dispatch path (InstrumentedMutex) and reports zero
+// violations.
+TEST(JobServerChaos, DispatchPathIsRaceCleanUnderDetector) {
+  TempDir tmp("nbody_server_detector");
+  std::size_t lock_events = 0, races = 0;
+  {
+    exec::chaos::DetectorScope detector(/*log_accesses=*/true);
+    server::JobServer srv(quick_opts(tmp, /*runners=*/2));
+    ASSERT_TRUE(srv.submit(quick_spec("clean1", 24, 10)).admitted);
+    ASSERT_TRUE(srv.submit(quick_spec("clean2", 24, 10)).admitted);
+    srv.run_until_drained();
+    auto& det = exec::chaos::RaceDetector::instance();
+    races = det.lockset_races();
+    for (const auto& a : det.access_log())
+      if (a.kind == exec::chaos::AccessKind::lock_acquire) ++lock_events;
+  }
+  EXPECT_GT(lock_events, 0u) << "the server's dispatch lock should be instrumented";
+  EXPECT_EQ(races, 0u) << exec::chaos::RaceDetector::instance().report();
+}
+
+// Positive control: an unsynchronized cross-thread write planted in the
+// completion hook (which runs on runner threads, outside the server lock)
+// is exactly what the lockset detector must flag.
+TEST(JobServerChaos, PlantedRaceInCompletionHookIsDetected) {
+  TempDir tmp("nbody_server_planted");
+  int shared = 0;
+  exec::chaos::DetectorScope detector;
+  exec::chaos::checked_store(shared, 1);  // main thread writes first...
+  server::JobServer srv(quick_opts(tmp));
+  srv.set_completion_hook([&](const server::JobReport&) {
+    exec::chaos::checked_store(shared, 2);  // ...runner thread writes lockless
+  });
+  ASSERT_TRUE(srv.submit(quick_spec("bait", 16, 5)).admitted);
+  srv.run_until_drained();
+  EXPECT_GE(exec::chaos::RaceDetector::instance().lockset_races(), 1u);
+}
+
+}  // namespace
