@@ -159,6 +159,9 @@ struct JobServer::JobEntry {
   std::vector<std::string> recovery_log;
   obs::MetricsRegistry metrics;     // per-job metrics session
   std::unique_ptr<ISimRunner> runner;  // live between slices when retained
+  // An evictor has claimed this queued entry and is snapshotting its runner
+  // outside the lock; runners and other evictors must skip it until cleared.
+  bool evicting = false;
 };
 
 // Everything a slice changed, carried back to apply_outcome so JobEntry
@@ -175,6 +178,17 @@ struct JobServer::SliceOutcome {
   unsigned deadline_misses = 0;
   std::vector<std::string> log;
   double wall_ms = 0;
+};
+
+// A slice-boundary snapshot written *outside* the server lock (the entry is
+// unshared while its job is `running`): holding mutex_ across a full-system
+// disk write would serialize every runner thread and block submit()/reports()
+// for the I/O duration. apply_outcome only commits the bookkeeping.
+struct JobServer::PreparedSnapshot {
+  bool is_result = false;  // out/<id>.snap (job finished) vs durable checkpoint
+  bool ok = false;         // the write succeeded
+  std::string path;
+  std::string error;       // when !ok
 };
 
 // ---------------------------------------------------------------- server
@@ -244,13 +258,16 @@ AdmitResult JobServer::admit_internal(JobSpec spec, std::size_t steps_done,
   entry->steps_done = steps_done;
   entry->checkpoint_file = std::move(checkpoint_file);
   entry->admitted_ns = now_ns();
-  const std::string id = entry->spec.id;
-  const std::string payload = serialize_job_spec(entry->spec);
+  // Journal the admit BEFORE the job becomes runnable: runners poll every
+  // 10ms, so a small job could otherwise complete — and journal its terminal
+  // record — before its admit record lands, and last-record-wins replay
+  // would then resurrect the finished job on the next restart.
+  if (journal_ && journal_admit)
+    journal_->append(JournalRecordType::admit, entry->spec.id, steps_done,
+                     serialize_job_spec(entry->spec));
   jobs_.push_back(std::move(entry));
   queue_.push_back(jobs_.size() - 1);
   lock.unlock();
-  if (journal_ && journal_admit)
-    journal_->append(JournalRecordType::admit, id, steps_done, payload);
   cv_.notify_all();
   return {true, {}};
 }
@@ -333,32 +350,66 @@ bool JobServer::fits_in_core(const JobEntry& e) const {
   return bodies_in_core_ + e.spec.n <= opts_.memory_budget_bodies;
 }
 
-void JobServer::evict_retained_for(std::size_t needed_bodies) {
+bool JobServer::evict_retained_for(std::unique_lock<exec::chaos::InstrumentedMutex>& lock,
+                                   std::size_t needed_bodies) {
   // Checkpoint-evict retained runners of *queued* jobs (oldest first) until
-  // the newcomer fits. Running jobs are never evicted mid-slice.
-  for (const std::size_t idx : queue_) {
-    if (bodies_in_core_ + needed_bodies <= opts_.memory_budget_bodies) return;
-    JobEntry& e = *jobs_[idx];
-    if (e.state != JobState::queued || !e.runner) continue;
+  // the newcomer fits. Running jobs are never evicted mid-slice. Each victim
+  // is claimed via its `evicting` flag and snapshotted with the lock
+  // dropped, so the eviction I/O never stalls the other runners. Returns
+  // whether anything was evicted; when true the lock was released, so the
+  // caller's scan state is stale and must be restarted.
+  bool evicted_any = false;
+  std::vector<std::size_t> attempted;  // jobs_ indices tried this call
+  const auto tried = [&](std::size_t idx) {
+    return std::find(attempted.begin(), attempted.end(), idx) != attempted.end();
+  };
+  for (;;) {
+    if (bodies_in_core_ + needed_bodies <= opts_.memory_budget_bodies) break;
+    std::size_t victim = kNone;
+    for (const std::size_t idx : queue_) {
+      const JobEntry& e = *jobs_[idx];
+      if (e.state == JobState::queued && e.runner && !e.evicting && !tried(idx)) {
+        victim = idx;
+        break;
+      }
+    }
+    if (victim == kNone) break;
+    attempted.push_back(victim);
+    JobEntry& e = *jobs_[victim];
+    e.evicting = true;
+    const std::string path = (fs::path(opts_.work_dir) / "checkpoints" /
+                              (e.spec.id + "." + std::to_string(e.steps_done) + ".snap"))
+                                 .string();
+    lock.unlock();
+    bool ok = false;
+    std::string error;
     try {
-      save_durable_checkpoint(e, JournalRecordType::evict);
+      e.runner->save_snapshot(path);  // throws on I/O failure
+      ok = true;
+    } catch (const std::exception& ex) {
+      error = ex.what();
+    }
+    lock.lock();
+    e.evicting = false;
+    if (ok) {
+      commit_checkpoint(e, path, JournalRecordType::evict);
       e.runner.reset();
       bodies_in_core_ -= e.spec.n;
       ++e.evictions;
-    } catch (const std::exception& ex) {
+      evicted_any = true;
+    } else {
       // Can't persist its state: keep it in core rather than lose progress.
-      e.recovery_log.push_back(std::string("eviction checkpoint failed: ") + ex.what());
+      e.recovery_log.push_back("eviction checkpoint failed: " + error);
     }
   }
+  return evicted_any;
 }
 
-/// Durable checkpoint: snapshot to an immutable, step-stamped file, then
-/// journal it. The pair is crash-atomic by construction — see journal.hpp.
-void JobServer::save_durable_checkpoint(JobEntry& e, JournalRecordType type) {
-  const std::string path = (fs::path(opts_.work_dir) / "checkpoints" /
-                            (e.spec.id + "." + std::to_string(e.steps_done) + ".snap"))
-                               .string();
-  e.runner->save_snapshot(path);  // throws on I/O failure
+/// Commits an already-written snapshot: records it as the job's durable
+/// checkpoint and journals it. Snapshot-then-journal is crash-atomic by
+/// construction — see journal.hpp.
+void JobServer::commit_checkpoint(JobEntry& e, const std::string& path,
+                                  JournalRecordType type) {
   const std::string previous = e.checkpoint_file;
   e.checkpoint_file = path;
   if (journal_) journal_->append(type, e.spec.id, e.steps_done, path);
@@ -402,23 +453,15 @@ void JobServer::quarantine(JobEntry& e) {
                      e.quarantine_path.empty() ? e.last_error : e.quarantine_path);
 }
 
-void JobServer::complete(JobEntry& e) {
-  const std::string path =
-      (fs::path(opts_.work_dir) / "out" / (e.spec.id + ".snap")).string();
-  e.runner->save_snapshot(path);  // throws on I/O failure -> slice failure
-  e.result_path = path;
-  if (opts_.export_job_metrics) {
-    try {
-      e.metrics.write_json(
-          (fs::path(opts_.work_dir) / "out" / (e.spec.id + ".metrics.json")).string());
-    } catch (const std::exception&) {
-      // Metrics export is best-effort; the result snapshot is the contract.
-    }
-  }
+void JobServer::complete(JobEntry& e, const std::string& result_path) {
+  // The result snapshot (and optional metrics export) was already written
+  // outside the lock by prepare_snapshot; this is bookkeeping only.
+  e.result_path = result_path;
   e.runner.reset();
   bodies_in_core_ -= e.spec.n;
   e.state = JobState::completed;
-  if (journal_) journal_->append(JournalRecordType::complete, e.spec.id, e.steps_done, path);
+  if (journal_)
+    journal_->append(JournalRecordType::complete, e.spec.id, e.steps_done, result_path);
   if (!e.checkpoint_file.empty()) {
     std::error_code ec;
     fs::remove(e.checkpoint_file, ec);
@@ -483,8 +526,43 @@ JobServer::SliceOutcome JobServer::run_one_slice(JobEntry& e) {
   return out;
 }
 
+// Runs on the runner thread with the lock dropped, after the slice and
+// before apply_outcome. The entry is unshared while its job is `running`
+// (reports() only reads fields apply_outcome writes under the lock), so the
+// snapshot I/O — the expensive part of every slice boundary — happens
+// without serializing the other runners.
+JobServer::PreparedSnapshot JobServer::prepare_snapshot(JobEntry& e,
+                                                        const SliceOutcome& out) {
+  PreparedSnapshot prep;
+  if (!out.ok) return prep;  // failed slice: its in-memory state is suspect
+  const std::size_t base = out.restarted_from_zero ? 0 : e.steps_done;
+  const std::size_t new_steps = base + out.steps_delta;
+  prep.is_result = new_steps >= e.spec.steps;
+  prep.path = prep.is_result
+                  ? (fs::path(opts_.work_dir) / "out" / (e.spec.id + ".snap")).string()
+                  : (fs::path(opts_.work_dir) / "checkpoints" /
+                     (e.spec.id + "." + std::to_string(new_steps) + ".snap"))
+                        .string();
+  try {
+    e.runner->save_snapshot(prep.path);  // throws on I/O failure
+    prep.ok = true;
+  } catch (const std::exception& ex) {
+    prep.error = ex.what();
+  }
+  if (prep.is_result && prep.ok && opts_.export_job_metrics) {
+    try {
+      e.metrics.write_json(
+          (fs::path(opts_.work_dir) / "out" / (e.spec.id + ".metrics.json")).string());
+    } catch (const std::exception&) {
+      // Metrics export is best-effort; the result snapshot is the contract.
+    }
+  }
+  return prep;
+}
+
 void JobServer::apply_outcome(std::unique_lock<exec::chaos::InstrumentedMutex>& lock,
-                              std::size_t idx, const SliceOutcome& out) {
+                              std::size_t idx, const SliceOutcome& out,
+                              const PreparedSnapshot& prep) {
   JobEntry& e = *jobs_[idx];
   ++e.slices;
   e.wall_ms += out.wall_ms;
@@ -500,40 +578,37 @@ void JobServer::apply_outcome(std::unique_lock<exec::chaos::InstrumentedMutex>& 
   if (out.ok) {
     e.steps_done += out.steps_delta;
     e.consecutive_failures = 0;
-    if (e.steps_done >= e.spec.steps) {
-      try {
-        complete(e);
+    if (prep.is_result) {
+      if (prep.ok) {
+        complete(e, prep.path);
         terminal = true;
-      } catch (const std::exception& ex) {
+      } else {
         // Result write failed: the trajectory itself is fine, so keep the
         // runner alive and retry the write after a short backoff.
         ++e.failures;
         ++e.consecutive_failures;
-        e.last_error = std::string("result write failed: ") + ex.what();
+        e.last_error = "result write failed: " + prep.error;
         e.recovery_log.push_back(e.last_error);
         e.state = JobState::queued;
         e.not_before_ns =
             now_ns() + static_cast<std::uint64_t>(opts_.backoff_base_ms * 1e6);
         queue_.push_back(idx);
       }
-    } else if (shutdown_) {
-      try {
-        save_durable_checkpoint(e, JournalRecordType::checkpoint);
-      } catch (const std::exception& ex) {
-        e.recovery_log.push_back(std::string("suspend checkpoint failed: ") + ex.what());
-      }
-      e.runner.reset();
-      bodies_in_core_ -= e.spec.n;
-      e.state = JobState::suspended;
     } else {
-      // Durable progress, then round-robin: requeue behind any waiters.
-      try {
-        save_durable_checkpoint(e, JournalRecordType::checkpoint);
-      } catch (const std::exception& ex) {
-        e.recovery_log.push_back(std::string("checkpoint write failed: ") + ex.what());
+      // Durable progress (already on disk), then either suspend on shutdown
+      // or round-robin: requeue behind any waiters.
+      if (prep.ok)
+        commit_checkpoint(e, prep.path, JournalRecordType::checkpoint);
+      else
+        e.recovery_log.push_back("checkpoint write failed: " + prep.error);
+      if (shutdown_) {
+        e.runner.reset();
+        bodies_in_core_ -= e.spec.n;
+        e.state = JobState::suspended;
+      } else {
+        e.state = JobState::queued;
+        queue_.push_back(idx);
       }
-      e.state = JobState::queued;
-      queue_.push_back(idx);
     }
   } else {
     ++e.failures;
@@ -549,10 +624,12 @@ void JobServer::apply_outcome(std::unique_lock<exec::chaos::InstrumentedMutex>& 
       quarantine(e);
       terminal = true;
     } else {
+      // Clamp the exponent: job_retries above 32 would otherwise shift past
+      // the width of unsigned (UB). The cap bounds the result anyway.
+      const unsigned exponent = std::min(e.consecutive_failures - 1, 31u);
       const double backoff =
           std::min(opts_.backoff_cap_ms,
-                   opts_.backoff_base_ms *
-                       static_cast<double>(1u << (e.consecutive_failures - 1)));
+                   opts_.backoff_base_ms * static_cast<double>(1u << exponent));
       e.not_before_ns = now_ns() + static_cast<std::uint64_t>(backoff * 1e6);
       e.state = JobState::queued;
       if (journal_)
@@ -582,6 +659,11 @@ void JobServer::runner_loop() {
     const std::uint64_t now = now_ns();
     std::size_t picked = kNone;
     std::uint64_t earliest_wake = 0;
+    bool rescan = false;
+    // Shed decisions are collected during the scan and their hooks invoked
+    // after it, outside the lock: unlocking mid-scan would let other runners
+    // mutate queue_ under our feet and skip/re-examine entries this round.
+    std::vector<JobReport> shed_reports;
     for (std::size_t qi = 0; qi < queue_.size(); ++qi) {
       const std::size_t idx = queue_[qi];
       JobEntry& e = *jobs_[idx];
@@ -590,6 +672,7 @@ void JobServer::runner_loop() {
         --qi;
         continue;
       }
+      if (e.evicting) continue;  // an evictor owns it while snapshotting
       // Deadline-aware shedding: too late to start is a decision, not a run.
       if (e.spec.start_deadline_ms > 0 && e.steps_done == 0 &&
           static_cast<double>(now - e.admitted_ns) * 1e-6 > e.spec.start_deadline_ms) {
@@ -600,13 +683,7 @@ void JobServer::runner_loop() {
           journal_->append(JournalRecordType::shed, e.spec.id, 0, e.last_error);
         queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(qi));
         --qi;
-        if (completion_hook_) {
-          const JobReport report = make_report(e);
-          auto hook = completion_hook_;
-          lock.unlock();
-          hook(report);
-          lock.lock();
-        }
+        if (completion_hook_) shed_reports.push_back(make_report(e));
         continue;
       }
       if (e.not_before_ns > now) {  // backing off
@@ -615,13 +692,27 @@ void JobServer::runner_loop() {
         continue;
       }
       if (!fits_in_core(e)) {
-        evict_retained_for(e.spec.n);
-        if (!fits_in_core(e)) continue;  // still no room: skip this round
+        if (evict_retained_for(lock, e.spec.n)) {
+          // Eviction dropped the lock: the queue — and this candidate — may
+          // have changed hands. Restart the scan with fresh state.
+          rescan = true;
+          break;
+        }
+        continue;  // nothing evictable: skip this round
       }
       picked = qi;
       break;
     }
     if (picked == kNone) {
+      if (!shed_reports.empty()) {
+        if (auto hook = completion_hook_) {
+          lock.unlock();
+          for (const auto& report : shed_reports) hook(report);
+          lock.lock();
+        }
+        continue;  // hooks ran unlocked: rescan rather than wait on stale state
+      }
+      if (rescan) continue;
       using namespace std::chrono_literals;
       auto wait = 10ms;
       if (earliest_wake != 0 && earliest_wake > now)
@@ -637,10 +728,15 @@ void JobServer::runner_loop() {
     JobEntry& e = *jobs_[idx];
     e.state = JobState::running;
     if (!e.runner) bodies_in_core_ += e.spec.n;  // claimed for materialization
+    CompletionHook shed_hook;
+    if (!shed_reports.empty()) shed_hook = completion_hook_;
     lock.unlock();
+    if (shed_hook)
+      for (const auto& report : shed_reports) shed_hook(report);
     const SliceOutcome out = run_one_slice(e);
+    const PreparedSnapshot prep = prepare_snapshot(e, out);
     lock.lock();
-    apply_outcome(lock, idx, out);
+    apply_outcome(lock, idx, out, prep);
     cv_.notify_all();
   }
 }

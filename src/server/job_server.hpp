@@ -160,17 +160,21 @@ class JobServer {
  private:
   struct JobEntry;
   struct SliceOutcome;
+  struct PreparedSnapshot;
 
   void runner_loop();
   SliceOutcome run_one_slice(JobEntry& e);
+  PreparedSnapshot prepare_snapshot(JobEntry& e, const SliceOutcome& out);
   void apply_outcome(std::unique_lock<exec::chaos::InstrumentedMutex>& lock,
-                     std::size_t idx, const SliceOutcome& out);
+                     std::size_t idx, const SliceOutcome& out,
+                     const PreparedSnapshot& prep);
   void materialize(JobEntry& e, SliceOutcome& out);
   bool fits_in_core(const JobEntry& e) const;
-  void evict_retained_for(std::size_t needed_bodies);
-  void save_durable_checkpoint(JobEntry& e, JournalRecordType type);
+  bool evict_retained_for(std::unique_lock<exec::chaos::InstrumentedMutex>& lock,
+                          std::size_t needed_bodies);
+  void commit_checkpoint(JobEntry& e, const std::string& path, JournalRecordType type);
   void quarantine(JobEntry& e);
-  void complete(JobEntry& e);
+  void complete(JobEntry& e, const std::string& result_path);
   [[nodiscard]] bool all_terminal() const;
   [[nodiscard]] JobReport make_report(const JobEntry& e) const;
   AdmitResult admit_internal(JobSpec spec, std::size_t steps_done,

@@ -1,8 +1,10 @@
 #include "server/journal.hpp"
 
 #include <cstdio>
+#include <filesystem>
 #include <sstream>
 #include <stdexcept>
+#include <system_error>
 
 #include "core/snapshot.hpp"
 #include "support/fault.hpp"
@@ -32,6 +34,17 @@ std::string flatten(std::string s) {
   return s;
 }
 
+std::string format_line(std::uint64_t seq, JournalRecordType type,
+                        const std::string& job_id, std::size_t steps,
+                        const std::string& detail) {
+  std::ostringstream line;
+  line << kMagic << ' ' << seq << ' ' << journal_record_type_name(type) << ' '
+       << job_id << ' ' << steps;
+  if (!detail.empty()) line << ' ' << flatten(detail);
+  const std::string payload = line.str();
+  return payload + " crc=" + crc_hex(payload);
+}
+
 }  // namespace
 
 const char* journal_record_type_name(JournalRecordType t) noexcept {
@@ -43,8 +56,37 @@ JobJournal::JobJournal(std::string path) : path_(std::move(path)) {
   // appends monotonically (replay keeps the *last* record per job).
   const JournalReplay prior = replay(path_);
   for (const auto& r : prior.records) seq_ = r.seq >= seq_ ? r.seq + 1 : seq_;
+  if (prior.truncated) heal_torn_tail(prior);
   out_.open(path_, std::ios::app | std::ios::binary);
   if (!out_) throw std::runtime_error("JobJournal: cannot open " + path_ + " for append");
+}
+
+void JobJournal::heal_torn_tail(const JournalReplay& prior) {
+  // Replay tolerates a torn tail, but appending after one would glue the
+  // next record onto the partial line; that glued line fails its CRC on the
+  // next replay, which then stops there and loses every record written
+  // after the first crash. Cut the file back to the end of the last valid
+  // record so appends start on a fresh line.
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::resize_file(path_, prior.valid_bytes, ec);
+  if (!ec) {
+    healed_ = true;
+    return;
+  }
+  // resize_file failed (exotic filesystem): rewrite the valid prefix
+  // through the snapshot tmp+rename commit idiom instead.
+  const std::string tmp = path_ + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc | std::ios::binary);
+    for (const auto& r : prior.records)
+      out << format_line(r.seq, r.type, r.job_id, r.steps, r.detail) << '\n';
+    out.flush();
+    if (!out)
+      throw std::runtime_error("JobJournal: cannot heal torn tail of " + path_);
+  }
+  core::snapshot_detail::commit_tmp_file(tmp, path_, "journal heal");
+  healed_ = true;
 }
 
 bool JobJournal::append(JournalRecordType type, const std::string& job_id,
@@ -52,12 +94,7 @@ bool JobJournal::append(JournalRecordType type, const std::string& job_id,
   std::lock_guard lock(mutex_);
   try {
     support::fault_point(support::FaultSite::server_journal_write);
-    std::ostringstream line;
-    line << kMagic << ' ' << seq_ << ' ' << journal_record_type_name(type) << ' '
-         << job_id << ' ' << steps;
-    if (!detail.empty()) line << ' ' << flatten(detail);
-    const std::string payload = line.str();
-    out_ << payload << " crc=" << crc_hex(payload) << '\n';
+    out_ << format_line(seq_, type, job_id, steps, detail) << '\n';
     out_.flush();
     if (!out_) {
       out_.clear();
@@ -77,8 +114,18 @@ JournalReplay JobJournal::replay(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return rep;  // no journal yet: empty replay
   std::string line;
+  std::uint64_t consumed = 0;  // bytes up to and including the previous line
   while (std::getline(in, line)) {
-    if (line.empty()) continue;
+    // Byte offset just past this line. tellg() is -1 once EOF is hit on a
+    // final line with no trailing newline — count the raw bytes instead.
+    const auto pos = in.tellg();
+    const std::uint64_t line_end = pos == std::streampos(-1)
+                                       ? consumed + line.size()
+                                       : static_cast<std::uint64_t>(pos);
+    if (line.empty()) {
+      consumed = line_end;
+      continue;
+    }
     const std::size_t crc_pos = line.rfind(" crc=");
     bool ok = crc_pos != std::string::npos && line.compare(0, 6, "NBJL1 ") == 0;
     JournalRecord rec;
@@ -109,10 +156,13 @@ JournalReplay JobJournal::replay(const std::string& path) {
       // after it is. Stop here (kill -9 mid-append lands exactly here).
       rep.truncated = true;
       rep.truncated_at = line;
+      rep.valid_bytes = consumed;
       return rep;
     }
+    consumed = line_end;
     rep.records.push_back(std::move(rec));
   }
+  rep.valid_bytes = consumed;
   return rep;
 }
 

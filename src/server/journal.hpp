@@ -56,12 +56,18 @@ struct JournalReplay {
   std::vector<JournalRecord> records;
   bool truncated = false;       // a bad line stopped the replay
   std::string truncated_at;     // the offending line (diagnostics)
+  std::uint64_t valid_bytes = 0;  // byte offset just past the last valid record
 };
 
 /// Append-side handle. Thread-safe; each append is one flushed line.
 class JobJournal {
  public:
-  /// Opens `path` for append, creating it if missing. Throws on failure.
+  /// Opens `path` for append, creating it if missing. A torn tail (kill -9
+  /// mid-append) is *healed* first: the file is truncated back to the end
+  /// of its last valid record, so the next append starts on a fresh line
+  /// instead of gluing onto the partial one — otherwise that glued line
+  /// would fail its CRC and hide every later record from future replays.
+  /// Throws on failure.
   explicit JobJournal(std::string path);
 
   /// Appends one checksummed record. Returns false (and counts the loss)
@@ -72,17 +78,22 @@ class JobJournal {
 
   [[nodiscard]] std::uint64_t lost_writes() const noexcept { return lost_; }
   [[nodiscard]] const std::string& path() const noexcept { return path_; }
+  /// True when construction found a torn tail and truncated it away.
+  [[nodiscard]] bool healed_torn_tail() const noexcept { return healed_; }
 
   /// Replays a journal file. A missing file is an empty replay, not an
   /// error. Stops at the first checksum/grammar failure (torn tail).
   static JournalReplay replay(const std::string& path);
 
  private:
+  void heal_torn_tail(const JournalReplay& prior);
+
   std::string path_;
   std::ofstream out_;
   std::mutex mutex_;
   std::uint64_t seq_ = 0;
   std::uint64_t lost_ = 0;
+  bool healed_ = false;
 };
 
 }  // namespace nbody::server

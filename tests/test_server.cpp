@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -112,6 +113,39 @@ TEST(Journal, TornTailToleratedAndStopsReplay) {
   EXPECT_TRUE(rep.truncated);
   ASSERT_EQ(rep.records.size(), 2u);
   EXPECT_EQ(rep.records[1].type, server::JournalRecordType::checkpoint);
+}
+
+// The double-crash scenario: a torn tail must be healed when the journal is
+// reopened, otherwise the first post-restart record glues onto the partial
+// line, fails its CRC, and hides every later record from the NEXT replay —
+// re-running finished jobs and dropping ones admitted after the restart.
+TEST(Journal, TornTailHealedOnReopenSoLaterRecordsSurviveReplay) {
+  TempDir tmp("nbody_server_journal_heal");
+  {
+    server::JobJournal j(tmp.file("j.nbjl"));
+    j.append(server::JournalRecordType::admit, "a", 0, "spec");
+    j.append(server::JournalRecordType::complete, "a", 20, "out/a.snap");
+  }
+  {  // first crash: kill -9 mid-append, half a line, no newline
+    std::ofstream out(tmp.file("j.nbjl"), std::ios::app | std::ios::binary);
+    out << "NBJL1 2 admit b 0 wo";
+  }
+  {  // restarted server: reopen heals the tail, then appends continue
+    server::JobJournal j(tmp.file("j.nbjl"));
+    EXPECT_TRUE(j.healed_torn_tail());
+    EXPECT_TRUE(j.append(server::JournalRecordType::admit, "c", 0, "spec-c"));
+    EXPECT_TRUE(j.append(server::JournalRecordType::complete, "c", 10, "out/c.snap"));
+  }
+  // Second crash + replay: every post-heal record must be reachable.
+  const auto rep = server::JobJournal::replay(tmp.file("j.nbjl"));
+  EXPECT_FALSE(rep.truncated);
+  ASSERT_EQ(rep.records.size(), 4u);
+  EXPECT_EQ(rep.records[2].job_id, "c");
+  EXPECT_EQ(rep.records[2].seq, 2u);  // sequence continues past the valid prefix
+  EXPECT_EQ(rep.records[3].type, server::JournalRecordType::complete);
+  // A clean reopen does not report a heal.
+  server::JobJournal clean(tmp.file("j.nbjl"));
+  EXPECT_FALSE(clean.healed_torn_tail());
 }
 
 TEST(Journal, FlippedChecksumByteStopsReplayAtThatRecord) {
@@ -428,6 +462,88 @@ TEST(JobServer, WallBudgetSuspendsThenFreshServerResumesFromJournal) {
   // A third replay sees the job retired and resumes nothing.
   server::JobServer srv3(quick_opts(tmp));
   EXPECT_EQ(srv3.resume_from_journal(), 0u);
+}
+
+// Crash DURING a crash-recovery cycle: the first kill -9 tears the journal
+// tail, the restarted server heals it and finishes the work, and a third
+// server must see everything retired — finished jobs stay finished even
+// though their terminal records were appended after the torn line.
+TEST(JobServer, TornJournalTailHealedAcrossRestartFinishedJobsStayFinished) {
+  TempDir tmp("nbody_server_torn_resume");
+  {
+    auto opts = quick_opts(tmp);
+    opts.wall_budget_ms = 25;
+    opts.slice_steps = 8;
+    server::JobServer srv(opts);
+    ASSERT_TRUE(srv.submit(quick_spec("longhaul", 256, 2000)).admitted);
+    ASSERT_TRUE(srv.submit(quick_spec("sprint", 16, 4)).admitted);
+    srv.run_until_drained();
+    ASSERT_EQ(srv.report_for("longhaul").state, server::JobState::suspended);
+  }
+  {  // kill -9 mid-append: a half-written record with no newline
+    std::ofstream out(tmp.file("journal.nbjl"), std::ios::app | std::ios::binary);
+    out << "NBJL1 999 checkpoint longhaul 1";
+  }
+  {
+    server::JobServer srv2(quick_opts(tmp));
+    EXPECT_GE(srv2.resume_from_journal(), 1u);
+    srv2.run_until_drained();
+    const auto r = srv2.report_for("longhaul");
+    EXPECT_EQ(r.state, server::JobState::completed) << r.last_error;
+  }
+  // Without the heal, srv2's records would be glued onto the torn line and
+  // unreachable here — and "longhaul" would be re-run from its pre-crash
+  // progress on every subsequent restart.
+  server::JobServer srv3(quick_opts(tmp));
+  EXPECT_EQ(srv3.resume_from_journal(), 0u);
+}
+
+// The admit record must land in the journal before the job is runnable:
+// runners poll every 10ms, so a small job submitted while the server is
+// draining can otherwise journal its terminal record first, and
+// last-record-wins replay would resurrect the finished job.
+TEST(JobServer, AdmitRecordPrecedesAnyOutcomeRecordUnderConcurrentSubmit) {
+  TempDir tmp("nbody_server_admit_order");
+  auto opts = quick_opts(tmp, /*runners=*/2);
+  opts.slice_steps = 0;  // whole job in one slice: fastest possible turnaround
+  server::JobServer srv(opts);
+  ASSERT_TRUE(srv.submit(quick_spec("first", 16, 2)).admitted);
+  std::thread feeder([&] {
+    for (int i = 1; i < 10; ++i)
+      srv.submit(quick_spec("tiny" + std::to_string(i), 16, 2));
+  });
+  srv.run_until_drained();
+  feeder.join();
+  const auto rep = server::JobJournal::replay(opts.journal_path);
+  EXPECT_FALSE(rep.truncated);
+  std::set<std::string> admitted;
+  for (const auto& r : rep.records) {
+    if (r.type == server::JournalRecordType::admit)
+      admitted.insert(r.job_id);
+    else
+      EXPECT_TRUE(admitted.count(r.job_id))
+          << journal_record_type_name(r.type) << " record for '" << r.job_id
+          << "' precedes its admit record";
+  }
+}
+
+// job_retries above the width of unsigned must not shift UB into the
+// backoff computation; the cap bounds every wait so quarantine is reached
+// promptly. (The sanitizer lane is what would catch an unclamped shift.)
+TEST(JobServer, ManyRetriesBackoffStaysClampedUntilQuarantine) {
+  TempDir tmp("nbody_server_backoff");
+  auto opts = quick_opts(tmp);
+  opts.job_retries = 40;  // exponent would exceed 31 without the clamp
+  opts.backoff_base_ms = 0.01;
+  opts.backoff_cap_ms = 0.1;
+  server::JobServer srv(opts);
+  auto poison = quick_spec("relentless", 16, 10);
+  poison.workload = "poison";
+  ASSERT_TRUE(srv.submit(poison).admitted);
+  srv.run_until_drained();
+  const auto r = srv.report_for("relentless");
+  EXPECT_EQ(r.state, server::JobState::quarantined);
+  EXPECT_EQ(r.failures, 40u);
 }
 
 // ----------------------------------------- checkpoint corruption (satellite)
