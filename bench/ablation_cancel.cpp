@@ -52,10 +52,10 @@ int main() {
   auto sys = workloads::plummer_sphere(n, 42);
   const auto cfg = nbody::bench::paper_config();
 
-  // Build once, then force-only evaluations (huge reuse_interval): the tree
+  // Build once, then force-only evaluations (huge refit interval): the tree
   // is identical for every mode and every rep.
   typename octree::OctreeStrategy<double, 3>::Options opts{};
-  opts.reuse_interval = 1u << 30;
+  opts.update = core::TreeUpdatePolicy::from_reuse_interval(1u << 30, "ablation_cancel");
   octree::OctreeStrategy<double, 3> strategy(opts);
   nbody::bench::accelerate(strategy, exec::par, sys, cfg);  // build + warm-up
 

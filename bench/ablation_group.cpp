@@ -46,7 +46,8 @@ template <class Strategy>
 Row measure(const char* name, const core::System<double, 3>& initial,
             core::SimConfig<double> cfg, std::size_t group_size, int reps) {
   typename Strategy::Options opts{};
-  opts.reuse_interval = 1u << 30;  // build/sort once, then force-only steps
+  // Build/sort once, then force-only steps.
+  opts.update = core::TreeUpdatePolicy::from_reuse_interval(1u << 30, "ablation_group");
   Row row{name, initial.size(), std::numeric_limits<double>::infinity(),
           std::numeric_limits<double>::infinity()};
   auto dfs_sys = initial;

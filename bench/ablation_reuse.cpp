@@ -48,7 +48,7 @@ int main() {
   for (unsigned k : {1u, 2u, 4u, 8u}) {
     {
       typename octree::OctreeStrategy<double, 3>::Options o;
-      o.reuse_interval = k;
+      o.update = core::TreeUpdatePolicy::from_reuse_interval(k, "ablation_reuse");
       auto [sys, secs] = run(initial, cfg, octree::OctreeStrategy<double, 3>(o), exec::par,
                              steps);
       if (k == 1) oct_base = sys;
@@ -58,7 +58,7 @@ int main() {
     }
     {
       typename bvh::BVHStrategy<double, 3>::Options o;
-      o.reuse_interval = k;
+      o.update = core::TreeUpdatePolicy::from_reuse_interval(k, "ablation_reuse");
       auto [sys, secs] =
           run(initial, cfg, bvh::BVHStrategy<double, 3>(o), exec::par_unseq, steps);
       if (k == 1) bvh_base = sys;

@@ -1,0 +1,136 @@
+// Ablation: tree-update policy (rebuild | refit:k | incremental) on the
+// temporal-coherence workload (drifting cluster). Incremental maintenance
+// only pays off when most bodies stay in their cells between steps — this
+// harness measures exactly the cost the policy controls: the per-step
+// tree-maintenance seconds (bbox + sort + build + quality + update phases),
+// with the force/multipole phases (identical across modes up to truncation
+// noise) excluded. Whole-step seconds are reported alongside for context.
+//
+// Writes a JSON fragment when invoked with an output path argument; the CI
+// regression gate (ci/run_bench_gate.sh) runs this binary once per
+// scheduling backend and merges the fragments into BENCH_tree_update.json.
+// The gate's acceptance criterion: incremental maintenance strictly cheaper
+// than per-step rebuild at N >= 4096.
+#include <cstdio>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "bench_support/table.hpp"
+#include "bvh/strategy.hpp"
+#include "core/simulation.hpp"
+#include "octree/strategy.hpp"
+
+namespace {
+
+using namespace nbody;
+
+struct Row {
+  const char* strategy;
+  const char* mode;
+  std::size_t n;
+  double maint_s = std::numeric_limits<double>::infinity();  // per step
+  double step_s = std::numeric_limits<double>::infinity();   // per step
+};
+
+double maintenance_seconds(const support::PhaseTimer& t) {
+  return t.seconds("bbox") + t.seconds("sort") + t.seconds("build") +
+         t.seconds("quality") + t.seconds("update");
+}
+
+/// One measured block: a fresh simulation under `spec`, primed with one
+/// step (the Built action + pool spin-up), then `steps` timed steps on the
+/// coherently drifting system.
+template <class Strategy, class Policy>
+void measure_block(Row& row, const core::System<double, 3>& initial,
+                   const core::SimConfig<double>& cfg, const char* spec, Policy policy,
+                   std::size_t steps) {
+  typename Strategy::Options opts{};
+  opts.update = core::TreeUpdatePolicy::parse(spec, "ablation_tree_update");
+  core::Simulation<double, 3, Strategy> sim(initial, cfg, Strategy(opts));
+  sim.run(policy, 1);
+  const double maint0 = maintenance_seconds(sim.phases());
+  support::Stopwatch w;
+  sim.run(policy, steps);
+  const double wall = w.seconds();
+  const double maint = maintenance_seconds(sim.phases()) - maint0;
+  row.maint_s = std::min(row.maint_s, maint / static_cast<double>(steps));
+  row.step_s = std::min(row.step_s, wall / static_cast<double>(steps));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = argc > 1 ? argv[1] : "";
+  const int reps = 3;
+  const std::size_t steps = 10;
+  auto cfg = nbody::bench::paper_config();
+  const char* backend = exec::backend_name(exec::default_backend());
+  const char* modes[] = {"rebuild", "refit:4", "incremental"};
+
+  std::vector<Row> rows;
+  for (std::size_t n : {std::size_t{4096}, std::size_t{16384}}) {
+    const auto initial = workloads::drifting_cluster(n);
+    for (const char* mode : modes) {
+      rows.push_back({"octree", mode, n});
+      rows.push_back({"bvh", mode, n});
+    }
+    // INTERLEAVED minima (see ablation_group): modes alternate within each
+    // rep so an external stall spanning one block cannot bias the ratios.
+    for (int r = 0; r < reps; ++r) {
+      std::size_t i = rows.size() - 6;
+      for (const char* mode : modes) {
+        measure_block<octree::OctreeStrategy<double, 3>>(rows[i++], initial, cfg, mode,
+                                                         exec::par, steps);
+        measure_block<bvh::BVHStrategy<double, 3>>(rows[i++], initial, cfg, mode,
+                                                   exec::par, steps);
+      }
+    }
+  }
+
+  // Ratios vs the rebuild row of the same (strategy, N).
+  auto rebuild_of = [&](const Row& r, auto field) {
+    for (const Row& b : rows)
+      if (std::string(b.strategy) == r.strategy && b.n == r.n &&
+          std::string(b.mode) == "rebuild")
+        return field(b);
+    return std::numeric_limits<double>::quiet_NaN();
+  };
+
+  nbody::bench_support::Table table(
+      "Tree-update policy ablation (drifting cluster, " + std::to_string(steps) +
+          " steps/block, backend=" + std::string(backend) + ")",
+      {"strategy", "mode", "N", "maint s/step", "step s/step", "maint ratio"});
+  for (const Row& r : rows)
+    table.add_row({std::string(r.strategy), std::string(r.mode),
+                   static_cast<long long>(r.n), r.maint_s, r.step_s,
+                   r.maint_s / rebuild_of(r, [](const Row& b) { return b.maint_s; })});
+  table.print();
+  table.maybe_write_csv("ablation_tree_update");
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "ablation_tree_update: cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"tree_update\",\n  \"backend\": \"%s\",\n", backend);
+    std::fprintf(f, "  \"workload\": \"drifting_cluster\",\n  \"rows\": [\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      const double mratio = r.maint_s / rebuild_of(r, [](const Row& b) { return b.maint_s; });
+      const double sratio = r.step_s / rebuild_of(r, [](const Row& b) { return b.step_s; });
+      std::fprintf(f,
+                   "    {\"strategy\": \"%s\", \"mode\": \"%s\", \"n\": %zu, "
+                   "\"maint_s\": %.6e, \"step_s\": %.6e, \"ratio\": %.4f, "
+                   "\"step_ratio\": %.4f}%s\n",
+                   r.strategy, r.mode, r.n, r.maint_s, r.step_s, mratio, sratio,
+                   i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

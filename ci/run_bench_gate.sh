@@ -1,17 +1,28 @@
 #!/bin/sh
-# Benchmark regression gate for the group-traversal force path.
+# Benchmark regression gate, shared by every gated ablation binary.
 #
-# Runs bench/ablation_group once per scheduling backend
-# (NBODY_BACKEND=static|dynamic|steal), merges the per-backend fragments
-# into BENCH_group_traversal.json, and fails when either
-#   (a) group traversal is slower than the per-body DFS at N >= 4096 beyond
-#       the noise band (the optimization's acceptance criterion), or
-#   (b) any (strategy, backend, N) group/DFS ratio regressed beyond the band
-#       relative to the committed seed JSON.
+# Runs the given ablation binary once per scheduling backend
+# (NBODY_BACKEND=static|dynamic|steal), merges the per-backend JSON
+# fragments (keyed by their "bench" field) into the output JSON, and judges
+# the merged results with the acceptance rule of that bench:
+#
+#   group_traversal  (bench/ablation_group)
+#     (a) group traversal no slower than the per-body DFS at N >= 4096
+#         beyond the noise band;
+#     (b) no (strategy, backend, N) group/DFS ratio regressed beyond the
+#         band relative to the committed seed JSON.
+#
+#   tree_update      (bench/ablation_tree_update)
+#     (a) incremental tree maintenance strictly cheaper than the per-step
+#         rebuild at N >= 4096 on the drifting-cluster workload
+#         (maintenance-phase ratio < 1);
+#     (b) no (strategy, mode, backend, N) maintenance ratio regressed
+#         beyond the band relative to the committed seed JSON.
+#
 # Ratios — not absolute seconds — are compared, so the gate is robust to the
 # host being faster or slower than the machine that produced the seed.
 #
-# Usage: ci/run_bench_gate.sh <ablation_group-binary> <seed-json> [out-json]
+# Usage: ci/run_bench_gate.sh <ablation-binary> <seed-json> [out-json]
 #
 # A failed judgement is retried once with a fresh sweep: a genuine ratio
 # regression is deterministic and fails both attempts, while a transient
@@ -23,9 +34,9 @@
 #   NBODY_BENCH_GATE_BOOTSTRAP  1 = (re)write the seed from this run and pass
 set -eu
 
-BIN="${1:?usage: run_bench_gate.sh <ablation_group-binary> <seed-json> [out-json]}"
-SEED="${2:?usage: run_bench_gate.sh <ablation_group-binary> <seed-json> [out-json]}"
-OUT="${3:-BENCH_group_traversal.json}"
+BIN="${1:?usage: run_bench_gate.sh <ablation-binary> <seed-json> [out-json]}"
+SEED="${2:?usage: run_bench_gate.sh <ablation-binary> <seed-json> [out-json]}"
+OUT="${3:-BENCH_out.json}"
 BAND="${NBODY_BENCH_GATE_BAND:-0.25}"
 BOOTSTRAP="${NBODY_BENCH_GATE_BOOTSTRAP:-0}"
 
@@ -36,7 +47,7 @@ attempt() {
   # chaos_permute is a verification backend (randomized schedules), not a
   # performance discipline — the gate sweeps the three production backends.
   for backend in static dynamic steal; do
-    echo "==== ablation_group NBODY_BACKEND=$backend ===="
+    echo "==== $(basename "$BIN") NBODY_BACKEND=$backend ===="
     NBODY_BACKEND="$backend" "$BIN" "$TMPDIR_GATE/$backend.json"
   done
 
@@ -46,12 +57,14 @@ import json, os, sys
 frag_dir, out_path, seed_path, band, bootstrap = sys.argv[1:6]
 band = float(band)
 
-merged = {"bench": "group_traversal", "group_size": None, "backends": {}}
+merged = {"backends": {}}
 for name in sorted(os.listdir(frag_dir)):
     with open(os.path.join(frag_dir, name)) as f:
         frag = json.load(f)
-    merged["group_size"] = frag["group_size"]
-    merged["backends"][frag["backend"]] = frag["rows"]
+    backend = frag.pop("backend")
+    rows = frag.pop("rows")
+    merged.update(frag)  # bench name + bench-specific scalars (group_size, ...)
+    merged["backends"][backend] = rows
 with open(out_path, "w") as f:
     json.dump(merged, f, indent=2)
     f.write("\n")
@@ -66,34 +79,51 @@ if bootstrap == "1" or not os.path.exists(seed_path):
 
 with open(seed_path) as f:
     seed = json.load(f)
+
+bench = merged.get("bench", "?")
+
+def row_key(backend, row):
+    # mode distinguishes tree_update rows; absent for group_traversal.
+    return (backend, row["strategy"], row.get("mode"), row["n"])
+
 seed_ratio = {
-    (b, r["strategy"], r["n"]): r["ratio"]
-    for b, rows in seed["backends"].items()
+    row_key(b, r): r["ratio"]
+    for b, rows in seed.get("backends", {}).items()
     for r in rows
 }
 
 failures = []
 for backend, rows in merged["backends"].items():
     for r in rows:
-        key = (backend, r["strategy"], r["n"])
+        key = row_key(backend, r)
         ratio = r["ratio"]
-        # (a) absolute acceptance: group no slower than DFS at N >= 4096.
-        if r["n"] >= 4096 and ratio > 1.0 + band:
-            failures.append(
-                f"{backend}/{r['strategy']}/N={r['n']}: group/dfs ratio "
-                f"{ratio:.3f} > {1.0 + band:.3f} (group slower than DFS)")
-        # (b) regression vs the committed seed ratio.
+        where = "/".join(str(k) for k in key if k is not None)
+        if bench == "group_traversal":
+            # (a) absolute acceptance: group no slower than DFS at N >= 4096.
+            if r["n"] >= 4096 and ratio > 1.0 + band:
+                failures.append(
+                    f"{where}: group/dfs ratio {ratio:.3f} > {1.0 + band:.3f} "
+                    f"(group slower than DFS)")
+        elif bench == "tree_update":
+            # (a) absolute acceptance: incremental maintenance beats the
+            # per-step rebuild at N >= 4096 (the temporal-coherence payoff).
+            if r.get("mode") == "incremental" and r["n"] >= 4096 and ratio >= 1.0:
+                failures.append(
+                    f"{where}: incremental/rebuild maintenance ratio {ratio:.3f} "
+                    f">= 1.0 (incremental no longer beats per-step rebuild)")
+        # (b) regression vs the committed seed ratio (all benches).
         if key in seed_ratio and ratio > seed_ratio[key] * (1.0 + band):
             failures.append(
-                f"{backend}/{r['strategy']}/N={r['n']}: ratio {ratio:.3f} "
-                f"regressed beyond seed {seed_ratio[key]:.3f} * {1.0 + band:.3f}")
+                f"{where}: ratio {ratio:.3f} regressed beyond seed "
+                f"{seed_ratio[key]:.3f} * {1.0 + band:.3f}")
 
 if failures:
     print("BENCH GATE FAILED:")
     for f_ in failures:
         print(f"  {f_}")
     sys.exit(1)
-print(f"bench gate passed (band {band:.2f}, {sum(len(v) for v in merged['backends'].values())} rows)")
+print(f"bench gate passed ({bench}, band {band:.2f}, "
+      f"{sum(len(v) for v in merged['backends'].values())} rows)")
 EOF
 }
 

@@ -43,4 +43,16 @@ if ! ctest --test-dir "$BUILD_DIR" \
      --output-on-failure; then
   status=1
 fi
+
+# Incremental tree-maintenance suite, explicitly: the incremental octree
+# update (parallel contains-scan + concurrent reinsert into a live tree) and
+# the BVH refit reuse memory across steps in exactly the pattern ASan's
+# use-after-free and the race detector exist to catch. Named directly so a
+# label change can never silently drop it from this lane.
+echo "==== incremental tree-maintenance suite ===="
+if ! ctest --test-dir "$BUILD_DIR" \
+     -R "^(TreeUpdatePolicyParse|TreeMaintenanceDecide|OctreeIncremental|QualityMonitor|RunGuarded)\." \
+     --output-on-failure; then
+  status=1
+fi
 exit "$status"

@@ -207,8 +207,25 @@ core::System<double, 3> make_workload(const support::CliParser& cli) {
   if (w == "plummer") return workloads::plummer_sphere(n, seed);
   if (w == "cube") return workloads::uniform_cube(n, seed);
   if (w == "solar") return workloads::solar_system(n, seed);
+  if (w == "drift") return workloads::drifting_cluster(n, seed);
   throw std::invalid_argument("unknown workload '" + w +
-                              "' (want galaxy|plummer|cube|solar)");
+                              "' (want galaxy|plummer|cube|solar|drift)");
+}
+
+/// Resolves --tree-update / deprecated --reuse into one policy. Both set is a
+/// FlagConflict; --reuse alone maps through the legacy-compatible conversion
+/// and warns on stderr.
+core::TreeUpdatePolicy resolve_tree_update(const support::CliParser& cli) {
+  if (cli.was_set("tree-update") && cli.was_set("reuse"))
+    throw FlagConflict("--reuse is a deprecated alias of --tree-update; setting "
+                       "both is contradictory — drop --reuse");
+  if (cli.was_set("reuse")) {
+    std::fprintf(stderr, "nbody_cli: --reuse is deprecated; use --tree-update="
+                         "rebuild|refit[:k]|incremental[:k]\n");
+    return core::TreeUpdatePolicy::from_reuse_interval(
+        static_cast<unsigned>(cli.get_size("reuse")), "nbody_cli");
+  }
+  return core::TreeUpdatePolicy::parse(cli.get("tree-update"), "nbody_cli");
 }
 
 struct RunReport {
@@ -302,7 +319,7 @@ RunReport dispatch_policy(const support::CliParser& cli, core::System<double, 3>
 
 int main(int argc, char** argv) {
   support::CliParser cli;
-  cli.add_option("workload", "galaxy|plummer|cube|solar", "galaxy");
+  cli.add_option("workload", "galaxy|plummer|cube|solar|drift", "galaxy");
   cli.add_option("n", "body count (ignored with --load)", "4000");
   cli.add_option("seed", "workload RNG seed", "42");
   cli.add_option("steps", "time steps to integrate", "100");
@@ -312,7 +329,10 @@ int main(int argc, char** argv) {
   cli.add_option("theta", "Barnes-Hut opening angle", "0.5");
   cli.add_option("softening", "Plummer softening length", "0.05");
   cli.add_option("leaf-size", "BVH bodies per leaf (power of two)", "1");
-  cli.add_option("reuse", "rebuild tree / re-sort every k steps", "1");
+  cli.add_option("tree-update", "tree maintenance policy: rebuild | refit[:k] | "
+                                "incremental[:k]", "rebuild");
+  cli.add_option("reuse", "deprecated alias: k maps onto --tree-update "
+                          "(1 = rebuild, k > 1 = refit:k)", "1");
   cli.add_option("group-size", "bodies per traversal group (0 = per-body walk)", "0");
   cli.add_option("save", "write final state as binary snapshot", "");
   cli.add_option("save-csv", "write final state as CSV", "");
@@ -420,7 +440,7 @@ int main(int argc, char** argv) {
     const std::string strategy = cli.get("strategy");
     if (strategy == "octree") {
       typename octree::OctreeStrategy<double, 3>::Options o;
-      o.reuse_interval = static_cast<unsigned>(cli.get_size("reuse"));
+      o.update = resolve_tree_update(cli);
       report = dispatch_policy(cli, std::move(sys), cfg,
                                octree::OctreeStrategy<double, 3>(o), steps, phases);
     } else if (strategy == "bvh") {
@@ -428,7 +448,7 @@ int main(int argc, char** argv) {
       o.tree.leaf_size = cli.get_size("leaf-size");
       o.tree.curve = cli.get_flag("morton") ? bvh::CurveKind::morton : bvh::CurveKind::hilbert;
       o.tree.sort = cli.get_flag("radix") ? bvh::SortKind::radix : bvh::SortKind::comparison;
-      o.reuse_interval = static_cast<unsigned>(cli.get_size("reuse"));
+      o.update = resolve_tree_update(cli);
       report = dispatch_policy(cli, std::move(sys), cfg, bvh::BVHStrategy<double, 3>(o),
                                steps, phases);
     } else if (strategy == "allpairs") {

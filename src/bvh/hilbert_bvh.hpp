@@ -21,6 +21,7 @@
 #include <algorithm>
 #include <bit>
 #include <cstdint>
+#include <functional>
 #include <utility>
 #include <vector>
 
@@ -95,6 +96,7 @@ class HilbertBVH {
   template <class Policy>
   void sort_bodies(Policy policy, core::System<T, D>& sys, const box_t& box) {
     const std::size_t n = sys.size();
+    sort_box_ = box;
     keys_.resize(n);
     if (n == 0) return;
     const sfc::GridMapper<T, D> grid(box);
@@ -358,6 +360,78 @@ class HilbertBVH {
     }
   }
 
+  // -- incremental maintenance (order-coherence monitors) ---------------------
+  //
+  // The BVH's build() already *is* a refit — it recomputes every box and
+  // moment from the current positions each step — so keeping the tree is
+  // always correct and re-sorting is purely a performance decision. These
+  // two metrics quantify how far the sorted order has decayed; the strategy
+  // re-sorts when either crosses its policy threshold.
+
+  /// Box the last sort_bodies() gridded over (empty before any sort).
+  [[nodiscard]] const box_t& sort_box() const { return sort_box_; }
+
+  /// Fraction of sampled adjacent sorted-body pairs whose curve keys —
+  /// recomputed for the *current* positions on the last sort's grid — are
+  /// out of order. Zero right after a sort; grows as motion decays the
+  /// order. GridMapper clamps positions outside the sort box onto its
+  /// boundary, so drifted bodies saturate instead of faulting (pair with a
+  /// sort_box() containment check: coherent bulk drift clamps whole runs to
+  /// equal boundary keys, which this metric alone would read as "ordered").
+  ///
+  /// Pairs are sampled at `stride` (default 8): the policy threshold is a
+  /// few percent, so an unbiased estimate over n/stride pairs decides the
+  /// re-sort just as well as the census — at a quarter of the sort's own
+  /// key-computation cost, which is the whole point of the monitor.
+  template <class Policy>
+  [[nodiscard]] double order_inversion_fraction(Policy policy, const std::vector<vec_t>& x,
+                                                std::size_t stride = 8) const {
+    const std::size_t n = x.size();
+    if (n < 2 || sort_box_.empty()) return 0.0;
+    if (stride == 0) stride = 1;
+    const std::size_t pairs = (n - 1 + stride - 1) / stride;
+    const sfc::GridMapper<T, D> grid(sort_box_);
+    const auto key_of = [&](std::size_t i) {
+      return opts_.curve == CurveKind::hilbert ? grid.hilbert_key(x[i]) : grid.morton_key(x[i]);
+    };
+    const std::uint64_t inversions = exec::transform_reduce_index(
+        policy, pairs, std::uint64_t{0}, std::plus<>{}, [&](std::size_t j) -> std::uint64_t {
+          const std::size_t i = j * stride;
+          return key_of(i) > key_of(i + 1) ? 1 : 0;
+        });
+    return static_cast<double>(inversions) / static_cast<double>(pairs);
+  }
+
+  /// Mean sibling-box overlap of the last build: per internal node, the
+  /// volume of its children's box intersection over its own box volume
+  /// (0 when siblings are disjoint). Elongating, interpenetrating boxes —
+  /// the degradation mode of a stale Hilbert order — drive it up; compared
+  /// against its own post-sort baseline, not an absolute scale.
+  template <class Policy>
+  [[nodiscard]] double sibling_overlap_metric(Policy policy) const {
+    if (leaf_begin_ < 2) return 0.0;
+    const std::size_t internals = leaf_begin_ - 1;
+    const double sum = exec::transform_reduce_index(
+        policy, internals, 0.0, std::plus<>{}, [&](std::size_t off) -> double {
+          const std::size_t k = 1 + off;
+          const box_t& a = node_box_[2 * k];
+          const box_t& b = node_box_[2 * k + 1];
+          const box_t& p = node_box_[k];
+          if (a.empty() || b.empty() || p.empty()) return 0.0;
+          double ov = 1.0;
+          double pv = 1.0;
+          for (std::size_t d = 0; d < D; ++d) {
+            const double o =
+                std::min<double>(a.hi[d], b.hi[d]) - std::max<double>(a.lo[d], b.lo[d]);
+            if (o <= 0.0) return 0.0;  // disjoint along d
+            ov *= o;
+            pv *= static_cast<double>(p.hi[d] - p.lo[d]);
+          }
+          return pv > 0.0 ? ov / pv : 1.0;
+        });
+    return sum / static_cast<double>(internals);
+  }
+
   // -- spatial queries --------------------------------------------------------
 
   /// Invokes fn(sorted_body_index) for every body within `radius` of
@@ -460,6 +534,7 @@ class HilbertBVH {
   std::size_t n_bodies_ = 0;
   std::size_t leaf_begin_ = 1;  // index of first leaf == leaf count
   std::vector<std::uint64_t> keys_;
+  box_t sort_box_{};  // grid box of the last sort (order-coherence monitors)
   std::vector<T> node_mass_;
   std::vector<vec_t> node_com_;
   std::vector<box_t> node_box_;

@@ -12,6 +12,7 @@
 #include "core/bbox.hpp"
 #include "core/step_context.hpp"
 #include "core/system.hpp"
+#include "core/tree_maintenance.hpp"
 #include "math/batch_kernels.hpp"
 #include "support/timer.hpp"
 
@@ -24,31 +25,68 @@ class BVHStrategy {
 
   struct Options {
     typename HilbertBVH<T, D>::Options tree{};
-    /// Re-sort along the Hilbert curve every `reuse_interval` steps; between
-    /// re-sorts the stale ordering is kept and only boxes/moments are
-    /// rebuilt (they track the moved bodies exactly — only box *tightness*
-    /// degrades). The Iwasawa-style amortization from the paper's related
-    /// work, applied to the sort instead of the build.
-    unsigned reuse_interval = 1;
+    /// Tree-lifecycle policy (core::TreeMaintenance), applied to the
+    /// Hilbert *sort*: the per-step build() already refits every box and
+    /// moment from the moved positions, so keeping the stale order is
+    /// always correct and re-sorting is purely a performance decision.
+    /// rebuild re-sorts every step; refit:k re-sorts every k-th step (the
+    /// old reuse_interval); incremental re-sorts when the order-coherence
+    /// monitors (key inversions, sibling-box overlap, bounding-box escape)
+    /// say the order has decayed.
+    core::TreeUpdatePolicy update{};
   };
 
   BVHStrategy() = default;
   explicit BVHStrategy(typename HilbertBVH<T, D>::Options opts)
-      : BVHStrategy(Options{opts, 1}) {}
-  explicit BVHStrategy(Options opts) : opts_(opts), tree_(opts.tree) {
-    NBODY_REQUIRE(opts.reuse_interval >= 1, "BVHStrategy: reuse_interval must be >= 1");
-  }
+      : BVHStrategy(Options{opts, {}}) {}
+  explicit BVHStrategy(Options opts)
+      : opts_(opts), tree_(opts.tree), maint_(opts.update, "BVHStrategy") {}
 
+  /// TreeMaintenance lifecycle: decides sort-vs-keep, performs the sort and
+  /// the per-step box/moment refit (build), and reports the decision.
+  /// accelerations() calls it first; exposed for tests and harnesses.
   template <class Policy>
-  void accelerations(Policy policy, core::StepContext<T, D>& ctx) {
+  core::TreeAction prepare(Policy policy, core::StepContext<T, D>& ctx) {
     core::System<T, D>& sys = ctx.sys;
     const core::SimConfig<T>& cfg = ctx.cfg;
-    if (steps_since_sort_ % opts_.reuse_interval == 0) {
+    const bool incremental = maint_.policy().mode == core::TreeUpdateMode::incremental;
+    // Order-coherence monitor — only when the lifecycle would keep the
+    // current order this step.
+    bool degraded = false;
+    if (incremental && maint_.would_keep() && sys.size() >= 2) {
+      auto scope = ctx.phase("quality");
+      const core::TreeUpdatePolicy& pol = maint_.policy();
+      const double inv = tree_.order_inversion_fraction(policy, sys.x);
+      const double ov = tree_.sibling_overlap_metric(policy);
+      // Bulk drift clamps whole key runs onto the grid boundary (reading as
+      // "ordered"), so bounding-box escape is its own degradation signal.
+      const bool escaped =
+          !tree_.sort_box().contains(core::compute_bounding_box(policy, sys.x));
+      degraded = escaped || inv > pol.max_inversion_fraction ||
+                 ov > baseline_overlap_ * pol.max_overlap_growth + 0.02;
+      if (ctx.metrics_enabled()) {
+        ctx.metrics->set_gauge("bvh.quality.inversion_fraction", inv);
+        ctx.metrics->set_gauge("bvh.quality.sibling_overlap", ov);
+        ctx.metrics->set_gauge("bvh.quality.escaped", escaped ? 1.0 : 0.0);
+        if (degraded) ctx.metrics->counter("bvh.sorts.quality").add();
+      }
+    }
+    core::TreeAction act = maint_.decide(degraded);
+    if (act == core::TreeAction::Built || act == core::TreeAction::Rebuilt) {
       math::aabb<T, D> box;
       {
         auto scope = ctx.phase("bbox");
         box = core::compute_bounding_box(policy, sys.x);
         if (box.empty()) box = box.inflated_cube();
+        // Incremental mode sorts over an inflated box so small drift stays
+        // on the grid between re-sorts (escape degrades to a re-sort). The
+        // 25% margin costs well under one bit of key resolution.
+        if (incremental) {
+          const auto center = box.center();
+          const auto half = box.extent() * T(0.625);  // 1.25x half-extent
+          box.lo = center - half;
+          box.hi = center + half;
+        }
       }
       {
         auto scope = ctx.phase("sort");
@@ -61,10 +99,10 @@ class BVHStrategy {
               .observe(sw.seconds());
         }
       }
-      steps_since_sort_ = 0;
     }
-    ++steps_since_sort_;
     {
+      // Every step refits boxes and moments from the current positions —
+      // the Refitted/Updated actions are this pass over the kept order.
       auto scope = ctx.phase("build");
       tree_.build(policy, sys.m, sys.x, cfg.quadrupole);
     }
@@ -74,6 +112,20 @@ class BVHStrategy {
       ctx.metrics->set_gauge("bvh.leaves", static_cast<double>(tree_.leaf_count()));
       ctx.metrics->set_gauge("bvh.levels", static_cast<double>(tree_.levels()));
     }
+    if (incremental &&
+        (act == core::TreeAction::Built || act == core::TreeAction::Rebuilt)) {
+      // Post-sort overlap baseline the growth monitor compares against.
+      baseline_overlap_ = tree_.sibling_overlap_metric(policy);
+    }
+    ctx.note_tree_action(act);
+    last_action_ = act;
+    return act;
+  }
+
+  template <class Policy>
+  void accelerations(Policy policy, core::StepContext<T, D>& ctx) {
+    const core::SimConfig<T>& cfg = ctx.cfg;
+    prepare(policy, ctx);
     {
       auto scope = ctx.phase("force");
       // group_size > 0 selects group traversal: the Hilbert sort already
@@ -91,12 +143,19 @@ class BVHStrategy {
   /// Recovery hook (Simulation::run_guarded): re-sort on the next
   /// accelerations() call — after a checkpoint restore the stale Hilbert
   /// ordering no longer matches the restored positions.
-  void invalidate() { steps_since_sort_ = 0; }
+  void invalidate() { maint_.invalidate(); }
 
-  /// Accuracy-rung hook (Simulation::run_guarded deadline shedding): amortize
-  /// Hilbert re-sorts over more steps. Values < 1 are clamped to 1.
-  void set_reuse_interval(unsigned k) { opts_.reuse_interval = k < 1 ? 1 : k; }
-  [[nodiscard]] unsigned reuse_interval() const noexcept { return opts_.reuse_interval; }
+  /// Tree-lifecycle policy (accuracy-rung and CLI surface).
+  [[nodiscard]] const core::TreeUpdatePolicy& update_policy() const { return maint_.policy(); }
+  void set_update_policy(core::TreeUpdatePolicy p) { maint_.set_policy(p); }
+  /// What prepare() did on the most recent step.
+  [[nodiscard]] core::TreeAction last_action() const { return last_action_; }
+
+  /// Deprecated reuse_interval shims: delegate to the TreeUpdatePolicy
+  /// mapping (k == 1 → rebuild, k > 1 → refit:k) and validate k >= 1 like
+  /// the constructors always did.
+  void set_reuse_interval(unsigned k) { maint_.set_reuse_interval(k); }
+  [[nodiscard]] unsigned reuse_interval() const { return maint_.reuse_interval(); }
 
  private:
   template <class Policy>
@@ -190,7 +249,9 @@ class BVHStrategy {
 
   Options opts_{};
   HilbertBVH<T, D> tree_;
-  unsigned steps_since_sort_ = 0;
+  core::TreeMaintenance maint_{};
+  core::TreeAction last_action_ = core::TreeAction::Built;
+  double baseline_overlap_ = 0.0;  // sibling overlap right after a sort
 };
 
 }  // namespace nbody::bvh

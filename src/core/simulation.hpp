@@ -416,13 +416,21 @@ class Simulation {
           cfg_.theta = cfg_.theta * T(1.5);
           return "loosened theta to " + std::to_string(static_cast<double>(cfg_.theta));
         case 1:
+          // Walk the tree-update policy toward cheaper maintenance: rebuild
+          // and refit amortize full rebuilds over 4x more steps; a
+          // cadence-capped incremental policy relaxes its cap the same way.
+          // Quality-triggered incremental (interval 0) already rebuilds as
+          // rarely as its monitor allows — nothing to shed, fall through.
           if constexpr (requires {
-                          strategy_.set_reuse_interval(1u);
-                          strategy_.reuse_interval();
+                          strategy_.update_policy();
+                          strategy_.set_update_policy(TreeUpdatePolicy{});
                         }) {
-            const unsigned k = strategy_.reuse_interval() * 4;
-            strategy_.set_reuse_interval(k);
-            return "raised reuse_interval to " + std::to_string(k);
+            TreeUpdatePolicy p = strategy_.update_policy();
+            if (p.mode == TreeUpdateMode::incremental && p.interval == 0) break;
+            if (p.mode == TreeUpdateMode::rebuild) p.mode = TreeUpdateMode::refit;
+            p.interval *= 4;
+            strategy_.set_update_policy(p);
+            return "relaxed tree maintenance to " + p.to_string();
           }
           break;
         case 2:
@@ -488,12 +496,15 @@ class Simulation {
       trace_->instant("guard.checkpoint", "step " + std::to_string(steps_done_));
     if (!opts.checkpoint_path.empty()) {
       try {
+        // The mirror carries run metadata (v3) so a cross-process restart
+        // can resume the clock, not just the body state.
+        const SnapshotMeta meta{static_cast<double>(time_), steps_done_};
         if (primed_) {
           System<T, D> synced = sys_;
           leapfrog_synchronize(policy, synced, cfg_.dt);
-          save_snapshot_binary(synced, opts.checkpoint_path);
+          save_snapshot_binary(synced, opts.checkpoint_path, meta);
         } else {
-          save_snapshot_binary(sys_, opts.checkpoint_path);
+          save_snapshot_binary(sys_, opts.checkpoint_path, meta);
         }
       } catch (const std::exception& e) {
         ++rep.checkpoint_failures;

@@ -35,9 +35,19 @@
 
 namespace nbody::core {
 
+/// Optional run metadata carried by binary snapshots from format v3 on:
+/// where in the run the checkpoint was taken. Written only by the explicit
+/// metadata overload of save_snapshot_binary — the default writer stays at
+/// v2, so byte-identical snapshot comparisons of plain saves keep working.
+struct SnapshotMeta {
+  double time = 0.0;        // simulated time at the snapshot
+  std::uint64_t steps = 0;  // integration steps completed
+};
+
 namespace snapshot_detail {
 inline constexpr std::uint64_t kMagic = 0x4e424f4459534e50ull;  // "NBODYSNP"
 inline constexpr std::uint32_t kVersion = 2;  // v2 = v1 + payload checksum
+inline constexpr std::uint32_t kVersionMeta = 3;  // v3 = v2 + SnapshotMeta trailer
 inline constexpr std::size_t kHeaderBytes =
     sizeof(std::uint64_t) + 3 * sizeof(std::uint32_t) + sizeof(std::uint64_t);
 
@@ -63,19 +73,20 @@ inline void commit_tmp_file(const std::string& tmp, const std::string& path,
 }
 }  // namespace snapshot_detail
 
-/// Writes `sys` as a binary snapshot (format v2, checksummed), atomically:
-/// the target file is either the previous content or the complete new
-/// snapshot, never a torn write. Throws std::runtime_error on I/O error.
+namespace snapshot_detail {
+/// Shared binary writer: v2 without metadata, v3 (payload + SnapshotMeta
+/// trailer, both checksummed) when `meta` is non-null.
 template <class T, std::size_t D>
-void save_snapshot_binary(const System<T, D>& sys, const std::string& path) {
+void save_binary_impl(const System<T, D>& sys, const std::string& path,
+                      const SnapshotMeta* meta) {
   support::fault_point(support::FaultSite::snapshot_write);
   const std::string tmp = path + ".tmp";
   std::uint64_t checksum = 0xcbf29ce484222325ull;
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out) throw std::runtime_error("save_snapshot_binary: cannot open " + tmp);
-    const std::uint64_t magic = snapshot_detail::kMagic;
-    const std::uint32_t version = snapshot_detail::kVersion;
+    const std::uint64_t magic = kMagic;
+    const std::uint32_t version = meta != nullptr ? kVersionMeta : kVersion;
     const std::uint32_t dim = static_cast<std::uint32_t>(D);
     const std::uint32_t scalar_bytes = static_cast<std::uint32_t>(sizeof(T));
     const std::uint64_t n = sys.size();
@@ -83,7 +94,7 @@ void save_snapshot_binary(const System<T, D>& sys, const std::string& path) {
       out.write(static_cast<const char*>(p), static_cast<std::streamsize>(bytes));
     };
     auto put_payload = [&](const void* p, std::size_t bytes) {
-      checksum = snapshot_detail::fnv1a(p, bytes, checksum);
+      checksum = fnv1a(p, bytes, checksum);
       put(p, bytes);
     };
     put(&magic, sizeof magic);
@@ -95,6 +106,10 @@ void save_snapshot_binary(const System<T, D>& sys, const std::string& path) {
     put_payload(sys.x.data(), n * sizeof(typename System<T, D>::vec_t));
     put_payload(sys.v.data(), n * sizeof(typename System<T, D>::vec_t));
     put_payload(sys.id.data(), n * sizeof(std::uint32_t));
+    if (meta != nullptr) {
+      put_payload(&meta->time, sizeof meta->time);
+      put_payload(&meta->steps, sizeof meta->steps);
+    }
     put(&checksum, sizeof checksum);
     out.flush();
     if (!out) {
@@ -103,16 +118,36 @@ void save_snapshot_binary(const System<T, D>& sys, const std::string& path) {
       throw std::runtime_error("save_snapshot_binary: write failed for " + tmp);
     }
   }
-  snapshot_detail::commit_tmp_file(tmp, path, "save_snapshot_binary");
+  commit_tmp_file(tmp, path, "save_snapshot_binary");
+}
+}  // namespace snapshot_detail
+
+/// Writes `sys` as a binary snapshot (format v2, checksummed), atomically:
+/// the target file is either the previous content or the complete new
+/// snapshot, never a torn write. Throws std::runtime_error on I/O error.
+template <class T, std::size_t D>
+void save_snapshot_binary(const System<T, D>& sys, const std::string& path) {
+  snapshot_detail::save_binary_impl(sys, path, nullptr);
 }
 
-/// Reads a binary snapshot written by save_snapshot_binary (v2) or the
+/// Metadata-carrying variant (format v3): additionally records simulated
+/// time and completed steps so a restart can resume the clock, not just the
+/// state. The checkpoint mirror of Simulation::run_guarded uses this.
+template <class T, std::size_t D>
+void save_snapshot_binary(const System<T, D>& sys, const std::string& path,
+                          const SnapshotMeta& meta) {
+  snapshot_detail::save_binary_impl(sys, path, &meta);
+}
+
+/// Reads a binary snapshot written by save_snapshot_binary (v2/v3) or the
 /// pre-checksum v1 format. Validates the header (magic, version, dimension,
 /// scalar width) and checks the claimed body count against the real file
-/// size before allocating anything; v2 additionally verifies the payload
-/// checksum.
+/// size before allocating anything; v2+ additionally verifies the payload
+/// checksum. When `meta_out` is non-null it receives the v3 metadata
+/// (defaults for v1/v2 files).
 template <class T, std::size_t D>
-System<T, D> load_snapshot_binary(const std::string& path) {
+System<T, D> load_snapshot_binary(const std::string& path,
+                                  SnapshotMeta* meta_out = nullptr) {
   support::fault_point(support::FaultSite::snapshot_read);
   std::ifstream in(path, std::ios::binary);
   if (!in) throw std::runtime_error("load_snapshot_binary: cannot open " + path);
@@ -132,7 +167,7 @@ System<T, D> load_snapshot_binary(const std::string& path) {
   get(&n, sizeof n);
   if (!in || magic != snapshot_detail::kMagic)
     throw std::runtime_error("load_snapshot_binary: not a snapshot file: " + path);
-  if (version != 1 && version != snapshot_detail::kVersion)
+  if (version < 1 || version > snapshot_detail::kVersionMeta)
     throw std::runtime_error("load_snapshot_binary: unsupported version in " + path);
   if (dim != D || scalar_bytes != sizeof(T))
     throw std::runtime_error("load_snapshot_binary: dimension/precision mismatch in " + path);
@@ -140,7 +175,8 @@ System<T, D> load_snapshot_binary(const std::string& path) {
   // before System<T,D>(n) allocates anything.
   const std::uint64_t per_body = sizeof(T) + 2 * sizeof(typename System<T, D>::vec_t) +
                                  sizeof(std::uint32_t);
-  const std::uint64_t trailer = version >= 2 ? sizeof(std::uint64_t) : 0;
+  std::uint64_t trailer = version >= 2 ? sizeof(std::uint64_t) : 0;
+  if (version >= 3) trailer += sizeof(double) + sizeof(std::uint64_t);
   if (n >= (std::uint64_t{1} << 31) ||
       file_size < snapshot_detail::kHeaderBytes + n * per_body + trailer)
     throw std::runtime_error("load_snapshot_binary: implausible body count " +
@@ -156,6 +192,11 @@ System<T, D> load_snapshot_binary(const std::string& path) {
   get_payload(sys.x.data(), n * sizeof(typename System<T, D>::vec_t));
   get_payload(sys.v.data(), n * sizeof(typename System<T, D>::vec_t));
   get_payload(sys.id.data(), n * sizeof(std::uint32_t));
+  SnapshotMeta meta{};
+  if (version >= 3) {
+    get_payload(&meta.time, sizeof meta.time);
+    get_payload(&meta.steps, sizeof meta.steps);
+  }
   if (!in) throw std::runtime_error("load_snapshot_binary: truncated file: " + path);
   if (version >= 2) {
     std::uint64_t stored = 0;
@@ -165,6 +206,7 @@ System<T, D> load_snapshot_binary(const std::string& path) {
       throw std::runtime_error("load_snapshot_binary: payload checksum mismatch in " + path +
                                " (file corrupted)");
   }
+  if (meta_out != nullptr) *meta_out = meta;
   return sys;
 }
 

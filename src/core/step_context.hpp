@@ -19,6 +19,7 @@
 #include <utility>
 
 #include "core/system.hpp"
+#include "core/tree_maintenance.hpp"
 #include "obs/obs.hpp"
 #include "support/timer.hpp"
 
@@ -58,6 +59,19 @@ struct StepContext {
   }
 
   [[nodiscard]] bool metrics_enabled() const { return metrics != nullptr; }
+
+  /// What the strategy's tree-lifecycle prepare() did this step (set via
+  /// note_tree_action; meaningful for tree strategies only).
+  std::optional<TreeAction> tree_action{};
+
+  /// Called by a strategy's prepare() to report its lifecycle decision:
+  /// records it on the context and bumps the per-action metrics counter
+  /// (tree.prepare.built / rebuilt / refitted / updated).
+  void note_tree_action(TreeAction a) {
+    tree_action = a;
+    if (metrics != nullptr)
+      metrics->counter(std::string("tree.prepare.") + tree_action_name(a)).add();
+  }
 };
 
 /// One-shot convenience for callers outside the Simulation loop (tests,

@@ -1,0 +1,234 @@
+// TreeMaintenance — the shared tree-lifecycle contract of both force
+// strategies (DESIGN.md §4h).
+//
+// Tree codes that exploit temporal coherence (Bonsai, Cornerstone) do not
+// reconstruct their spatial structure every step: they refit what moved and
+// rebuild only when the structure has degraded. This header centralizes the
+// *decision* side of that idea so the octree and BVH strategies stop
+// duplicating `steps % reuse_interval` counters:
+//
+//   TreeUpdateMode    — the user-facing policy: rebuild | refit | incremental
+//   TreeUpdatePolicy  — mode + rebuild cadence + quality thresholds, with
+//                       parsing for the CLI's --tree-update=mode[:k] flag and
+//                       a mapping from the deprecated reuse_interval integer
+//   TreeAction        — what prepare() actually did this step:
+//                       Built | Rebuilt | Refitted | Updated
+//   TreeMaintenance   — the per-strategy decision engine: decide() walks the
+//                       cadence/quality/invalidation state machine, and
+//                       invalidate() forces a full rebuild on the next step
+//                       (the checkpoint-restore hook)
+//
+// A strategy implements the lifecycle API as
+//
+//   TreeAction prepare(Policy, StepContext&);   // decide + build/refit/update
+//   void invalidate();                          // delegate to TreeMaintenance
+//
+// and calls prepare() at the top of accelerations(). The tree-specific
+// quality monitors (cell-crossing counts and depth skew for the octree,
+// Hilbert-order inversions and sibling-box overlap for the BVH) stay in the
+// strategies; TreeMaintenance only consumes their verdict.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "support/assert.hpp"
+
+namespace nbody::core {
+
+/// What a strategy's prepare() did to its tree this step.
+enum class TreeAction : std::uint8_t {
+  Built,     // first construction (no prior tree)
+  Rebuilt,   // full reconstruction (cadence, quality, or invalidation)
+  Refitted,  // topology kept; boxes/moments recomputed from moved positions
+  Updated,   // incremental maintenance (moved bodies relocated, then refit)
+};
+
+[[nodiscard]] constexpr const char* tree_action_name(TreeAction a) {
+  switch (a) {
+    case TreeAction::Built: return "built";
+    case TreeAction::Rebuilt: return "rebuilt";
+    case TreeAction::Refitted: return "refitted";
+    case TreeAction::Updated: return "updated";
+  }
+  return "?";
+}
+
+/// How the spatial structure tracks the moving bodies.
+enum class TreeUpdateMode : std::uint8_t {
+  rebuild,      // full rebuild every step (the paper's Algorithm 2 default)
+  refit,        // full rebuild every k-th step, refit in between (the
+                // Iwasawa-style amortization the old reuse_interval expressed)
+  incremental,  // move/refit in place; full rebuild on quality degradation
+                // (and every k-th step when k > 0 as a safety cadence)
+};
+
+[[nodiscard]] constexpr const char* tree_update_mode_name(TreeUpdateMode m) {
+  switch (m) {
+    case TreeUpdateMode::rebuild: return "rebuild";
+    case TreeUpdateMode::refit: return "refit";
+    case TreeUpdateMode::incremental: return "incremental";
+  }
+  return "?";
+}
+
+/// The tree-update policy: mode, full-rebuild cadence, and the quality
+/// thresholds of the incremental mode's degradation monitor.
+struct TreeUpdatePolicy {
+  TreeUpdateMode mode = TreeUpdateMode::rebuild;
+  /// Full rebuild (octree) / Hilbert re-sort (BVH) cadence in steps.
+  /// rebuild: must be 1. refit: >= 1 (1 degenerates to rebuild-every-step).
+  /// incremental: 0 means quality-triggered only (no forced cadence).
+  unsigned interval = 1;
+
+  // -- incremental-mode quality thresholds (the quality monitor) -----------
+  /// Octree: rebuild when more than this fraction of bodies crossed a cell
+  /// boundary in one step (cheap refits stop paying off).
+  double max_moved_fraction = 0.25;
+  /// Octree: rebuild when cumulative cell crossings since the last rebuild
+  /// exceed this fraction of N (structure entropy: vacated leaves and
+  /// incremental subdivisions accumulate).
+  double max_drift_fraction = 1.0;
+  /// Octree: rebuild when incremental insertions deepened the tree by more
+  /// than this many levels past the depth of the last full build
+  /// (depth-skew monitor).
+  unsigned max_depth_growth = 4;
+  /// BVH: re-sort when the fraction of adjacent Hilbert-key inversions in
+  /// the stale order exceeds this (order-coherence monitor).
+  double max_inversion_fraction = 0.05;
+  /// BVH: re-sort when the mean sibling-box overlap grows past this factor
+  /// of its post-sort baseline (box-overlap-growth monitor).
+  double max_overlap_growth = 2.0;
+
+  /// Enforces the mode/interval constraints; `who` names the caller in the
+  /// failure message. Both the strategy constructors and the runtime
+  /// setters funnel through here, so invalid policies fail identically
+  /// everywhere instead of the old constructor-throws-setter-clamps split.
+  void validate(const char* who) const {
+    NBODY_REQUIRE(!(mode == TreeUpdateMode::rebuild && interval != 1),
+                  std::string(who) + ": tree-update mode 'rebuild' rebuilds every "
+                                     "step; an interval makes no sense (use refit:k)");
+    NBODY_REQUIRE(!(mode == TreeUpdateMode::refit && interval < 1),
+                  std::string(who) + ": tree-update mode 'refit' needs interval >= 1");
+  }
+
+  /// The deprecated `reuse_interval` integer, mapped onto the new policy:
+  /// k == 1 rebuilds every step; k > 1 is refit:k (the reuse steps always
+  /// recomputed moments from the moved positions, i.e. they were refits).
+  [[nodiscard]] static TreeUpdatePolicy from_reuse_interval(unsigned k, const char* who) {
+    NBODY_REQUIRE(k >= 1, std::string(who) + ": reuse_interval must be >= 1");
+    TreeUpdatePolicy p;
+    p.mode = k == 1 ? TreeUpdateMode::rebuild : TreeUpdateMode::refit;
+    p.interval = k;
+    return p;
+  }
+
+  /// Parses the CLI syntax `rebuild | refit[:k] | incremental[:k]`.
+  /// Throws std::invalid_argument (via NBODY_REQUIRE) on malformed input.
+  [[nodiscard]] static TreeUpdatePolicy parse(const std::string& spec, const char* who) {
+    TreeUpdatePolicy p;
+    std::string mode = spec;
+    long k = -1;
+    if (const auto colon = spec.find(':'); colon != std::string::npos) {
+      mode = spec.substr(0, colon);
+      const std::string tail = spec.substr(colon + 1);
+      NBODY_REQUIRE(!tail.empty() && tail.find_first_not_of("0123456789") == std::string::npos,
+                    std::string(who) + ": malformed tree-update interval '" + tail + "'");
+      k = std::stol(tail);
+    }
+    if (mode == "rebuild") {
+      p.mode = TreeUpdateMode::rebuild;
+      p.interval = k < 0 ? 1 : static_cast<unsigned>(k);
+    } else if (mode == "refit") {
+      p.mode = TreeUpdateMode::refit;
+      p.interval = k < 0 ? 4 : static_cast<unsigned>(k);
+    } else if (mode == "incremental") {
+      p.mode = TreeUpdateMode::incremental;
+      p.interval = k < 0 ? 0 : static_cast<unsigned>(k);
+    } else {
+      NBODY_REQUIRE(false, std::string(who) + ": unknown tree-update mode '" + mode +
+                               "' (want rebuild|refit[:k]|incremental[:k])");
+    }
+    p.validate(who);
+    return p;
+  }
+
+  [[nodiscard]] std::string to_string() const {
+    std::string s = tree_update_mode_name(mode);
+    if (!(mode == TreeUpdateMode::rebuild ||
+          (mode == TreeUpdateMode::incremental && interval == 0)))
+      s += ":" + std::to_string(interval);
+    return s;
+  }
+};
+
+/// The per-strategy lifecycle decision engine. Owns the policy and the
+/// cadence counter that used to live (twice) in the strategies as
+/// `steps_since_build % reuse_interval`.
+class TreeMaintenance {
+ public:
+  TreeMaintenance() = default;
+  TreeMaintenance(TreeUpdatePolicy policy, const char* who) : who_(who) {
+    set_policy(policy);
+  }
+
+  void set_policy(TreeUpdatePolicy policy) {
+    policy.validate(who_);
+    policy_ = policy;
+  }
+  [[nodiscard]] const TreeUpdatePolicy& policy() const { return policy_; }
+
+  /// True when the next decide() would keep the current tree (refit or
+  /// incremental step) absent a quality degradation — the strategy runs its
+  /// quality monitor only in that case.
+  [[nodiscard]] bool would_keep() const {
+    return built_ && !force_rebuild_ &&
+           !(policy_.interval != 0 && steps_since_build_ % policy_.interval == 0);
+  }
+
+  /// Advances the lifecycle one step: full build when never built, when
+  /// invalidated, when the cadence comes due, or when the strategy's quality
+  /// monitor reports `degraded`; otherwise Refitted (refit mode — and
+  /// rebuild mode never reaches here) or Updated (incremental mode).
+  TreeAction decide(bool degraded = false) {
+    const bool full = !built_ || force_rebuild_ || degraded ||
+                      (policy_.interval != 0 && steps_since_build_ % policy_.interval == 0);
+    TreeAction act;
+    if (full) {
+      act = built_ ? TreeAction::Rebuilt : TreeAction::Built;
+      built_ = true;
+      force_rebuild_ = false;
+      steps_since_build_ = 0;
+    } else {
+      act = policy_.mode == TreeUpdateMode::incremental ? TreeAction::Updated
+                                                        : TreeAction::Refitted;
+    }
+    ++steps_since_build_;
+    return act;
+  }
+
+  /// Forces a full rebuild on the next decide() — the checkpoint-restore
+  /// hook: restored positions invalidate every derived structure (topology,
+  /// cached group partitions, incremental bookkeeping).
+  void invalidate() { force_rebuild_ = true; }
+
+  [[nodiscard]] unsigned steps_since_rebuild() const { return steps_since_build_; }
+
+  // -- deprecated reuse_interval shims -------------------------------------
+  // Kept for the accuracy-rung test surface and out-of-tree callers; both
+  // validate through TreeUpdatePolicy (k < 1 now fails like the constructors
+  // always did, instead of being silently clamped).
+  void set_reuse_interval(unsigned k) {
+    set_policy(TreeUpdatePolicy::from_reuse_interval(k, who_));
+  }
+  [[nodiscard]] unsigned reuse_interval() const { return policy_.interval; }
+
+ private:
+  const char* who_ = "TreeMaintenance";
+  TreeUpdatePolicy policy_{};
+  unsigned steps_since_build_ = 0;
+  bool built_ = false;
+  bool force_rebuild_ = false;
+};
+
+}  // namespace nbody::core

@@ -163,20 +163,30 @@ class ConcurrentOctree {
       }
       if (is_empty(next)) {
         // Claim the empty leaf for b. The release on success publishes the
-        // chain terminator written below.
+        // chain terminator written below. The leaf record must also be
+        // written *before* the CAS: a subdividing thread that later pushes b
+        // down reads the slot with acquire and overwrites body_leaf_[b]
+        // under its lock, so pre-CAS is the only order that cannot lose
+        // that overwrite.
         exec::store_relaxed(next_in_leaf_[b], kChainEnd);
+        if (track_) body_leaf_[b] = index;
         std::uint32_t expected = kEmpty;
-        if (exec::compare_exchange_acq_rel(child_[index], expected, kBodyFlag | b))
+        if (exec::compare_exchange_acq_rel(child_[index], expected, kBodyFlag | b)) {
+          if (track_) note_depth(depth);
           return true;
+        }
         continue;  // lost the race; re-read the slot
       }
       // Body-containing leaf.
       if (depth >= kMaxDepth) {
         // List leaf: push b onto the chain headed by the resident body.
         exec::store_relaxed(next_in_leaf_[b], body_of(next));
+        if (track_) body_leaf_[b] = index;
         std::uint32_t expected = next;
-        if (exec::compare_exchange_acq_rel(child_[index], expected, kBodyFlag | b))
+        if (exec::compare_exchange_acq_rel(child_[index], expected, kBodyFlag | b)) {
+          if (track_) note_depth(depth);
           return true;
+        }
         continue;
       }
       // Subdivide (Algorithm 5): lock, allocate children, push the resident
@@ -210,6 +220,13 @@ class ConcurrentOctree {
       exec::store_relaxed(parent_[group_of(first)], index);
       const std::uint32_t resident = body_of(next);
       const unsigned rq = box.orthant(x[resident]);
+      if (track_) {
+        // Record the new children's cell geometry and the resident's new
+        // leaf inside the critical section: the release below publishes
+        // them together with the children themselves.
+        for (std::uint32_t q = 0; q < K; ++q) node_box_[first + q] = box.child_box(q);
+        body_leaf_[resident] = first + rq;
+      }
       exec::store_relaxed(child_[first + rq], kBodyFlag | resident);
       exec::chaos::hook_lock_released(&child_[index]);
       exec::store_release(child_[index], first);  // unlock + publish children
@@ -556,6 +573,83 @@ class ConcurrentOctree {
     }
   }
 
+  // -- incremental maintenance (temporal coherence) ---------------------------
+  //
+  // With geometry tracking enabled, the tree additionally records each
+  // node's cell box and each body's current leaf, which makes the
+  // move-only update possible: plan_update() flags bodies whose position
+  // left their leaf's cell, apply_update() unlinks exactly those and
+  // re-runs the standard insertion protocol for them. Everything else —
+  // topology, untouched chains, the per-step multipole refit — is reused.
+  // Tracking costs one O(capacity) box array and per-insert bookkeeping, so
+  // it is off by default and only the incremental policy turns it on.
+
+  /// Enables/disables geometry tracking. Takes effect at the next build().
+  void set_track_geometry(bool on) { track_ = on; }
+  [[nodiscard]] bool track_geometry() const { return track_; }
+
+  struct UpdatePlan {
+    std::uint32_t moved = 0;    // bodies that left their leaf cell
+    std::uint32_t escaped = 0;  // of those, bodies now outside the root box
+  };
+
+  /// Flags bodies that crossed a cell boundary since the tree last placed
+  /// them. Read-only scan, no synchronizing atomics: any policy. Requires
+  /// geometry tracking and an unchanged body count.
+  template <class Policy>
+  UpdatePlan plan_update(Policy policy, const std::vector<vec_t>& x) {
+    NBODY_REQUIRE(track_, "octree plan_update: geometry tracking disabled");
+    NBODY_REQUIRE(body_leaf_.size() == x.size(),
+                  "octree plan_update: body count changed since build");
+    moved_flag_.assign(x.size(), 0);
+    exec::store_relaxed(moved_count_, 0u);
+    exec::store_relaxed(escaped_count_, 0u);
+    exec::for_each_index(policy, x.size(), [&](std::size_t i) {
+      if (node_box_[body_leaf_[i]].contains(x[i])) return;
+      moved_flag_[i] = 1;
+      exec::fetch_add_relaxed(moved_count_, 1u);
+      if (!root_box_.contains(x[i])) exec::fetch_add_relaxed(escaped_count_, 1u);
+    });
+    return {exec::load_relaxed(moved_count_), exec::load_relaxed(escaped_count_)};
+  }
+
+  /// Relocates the bodies the last plan_update() flagged: serial unlink
+  /// from their stale leaves, then parallel reinsertion via insert_one (the
+  /// same starvation-free CAS protocol as build). Vacated subtrees stay
+  /// allocated as garbage until the next full rebuild — traversals never
+  /// reach them and the validator tolerates them. Returns false on node-
+  /// pool overflow; the tree is then mid-surgery and the caller MUST do a
+  /// full rebuild before using it.
+  template <exec::StarvationFreeCapable Policy>
+  bool apply_update(Policy policy, const std::vector<vec_t>& x) {
+    NBODY_REQUIRE(track_ && moved_flag_.size() == x.size(),
+                  "octree apply_update: run plan_update first");
+    moved_list_.clear();
+    for (std::uint32_t b = 0; b < static_cast<std::uint32_t>(x.size()); ++b) {
+      if (moved_flag_[b] != 0) {
+        unlink_body(b);
+        moved_list_.push_back(b);
+      }
+    }
+    if (moved_list_.empty()) return true;
+    exec::store_relaxed(overflow_, std::uint8_t{0});
+    exec::for_each_index(policy, moved_list_.size(),
+                         [&](std::size_t j) { insert_one(moved_list_[j], x); });
+    return exec::load_relaxed(overflow_) == 0;
+  }
+
+  /// Deepest insertion recorded since the last build()/prepare() — grows as
+  /// incremental reinsertions subdivide; the depth-skew quality signal.
+  [[nodiscard]] unsigned max_insert_depth() const {
+    return exec::load_relaxed(const_cast<std::uint32_t&>(max_depth_seen_));
+  }
+  /// Leaves emptied by incremental removals since the last build().
+  [[nodiscard]] std::uint32_t vacated_leaves() const { return vacated_leaves_; }
+  /// Current leaf of body b (geometry tracking only; test hook).
+  [[nodiscard]] std::uint32_t leaf_of(std::uint32_t b) const { return body_leaf_[b]; }
+  /// Cell box of a node (geometry tracking only; test hook).
+  [[nodiscard]] const box_t& node_box(std::uint32_t node) const { return node_box_[node]; }
+
   // -- spatial queries --------------------------------------------------------
 
   /// Invokes fn(body_index) for every body within `radius` of `center`.
@@ -698,6 +792,43 @@ class ConcurrentOctree {
     allocated_ = 1;  // node 0 is the root
     overflow_ = 0;
     lock_retries_ = 0;
+    if (track_) {
+      node_box_.assign(capacity, box_t{});
+      node_box_[0] = root_box_;
+      body_leaf_.assign(n_bodies, 0);
+      max_depth_seen_ = 0;
+      vacated_leaves_ = 0;
+    } else {
+      node_box_.clear();
+      body_leaf_.clear();
+    }
+  }
+
+  /// Relaxed-CAS max of the tracked insertion depth (geometry mode only).
+  void note_depth(unsigned depth) {
+    auto d = static_cast<std::uint32_t>(depth);
+    std::uint32_t cur = exec::load_relaxed(max_depth_seen_);
+    while (d > cur) {
+      std::uint32_t expected = cur;
+      if (exec::compare_exchange_acq_rel(max_depth_seen_, expected, d)) break;
+      cur = exec::load_relaxed(max_depth_seen_);
+    }
+  }
+
+  /// Serial unlink of body b from its leaf chain (apply_update only; the
+  /// caller guarantees no concurrent tree access).
+  void unlink_body(std::uint32_t b) {
+    const std::uint32_t leaf = body_leaf_[b];
+    const std::uint32_t head = body_of(child_[leaf]);
+    if (head == b) {
+      const std::uint32_t next = next_in_leaf_[b];
+      child_[leaf] = next == kChainEnd ? kEmpty : (kBodyFlag | next);
+      if (next == kChainEnd) ++vacated_leaves_;
+    } else {
+      std::uint32_t prev = head;
+      while (next_in_leaf_[prev] != b) prev = next_in_leaf_[prev];
+      next_in_leaf_[prev] = next_in_leaf_[b];
+    }
   }
 
   void interact_leaf(std::uint32_t v, const vec_t& xi, std::uint32_t self,
@@ -724,6 +855,16 @@ class ConcurrentOctree {
   std::uint32_t allocated_ = 1;  // bump pointer (atomic access)
   std::uint8_t overflow_ = 0;    // sticky abort flag (atomic access)
   std::uint64_t lock_retries_ = 0;  // build-lock contention events (atomic access)
+  // Incremental-maintenance state (populated only when track_ is on).
+  bool track_ = false;
+  std::vector<box_t> node_box_;            // cell geometry per node
+  std::vector<std::uint32_t> body_leaf_;   // current leaf per body
+  std::vector<std::uint8_t> moved_flag_;   // plan_update scratch
+  std::vector<std::uint32_t> moved_list_;  // apply_update scratch
+  std::uint32_t moved_count_ = 0;    // plan counters (atomic access)
+  std::uint32_t escaped_count_ = 0;  // (atomic access)
+  std::uint32_t max_depth_seen_ = 0;  // deepest insertion (atomic max)
+  std::uint32_t vacated_leaves_ = 0;  // leaves emptied by unlinks since build
 };
 
 }  // namespace nbody::octree

@@ -15,6 +15,7 @@
 #include "core/bbox.hpp"
 #include "core/step_context.hpp"
 #include "core/system.hpp"
+#include "core/tree_maintenance.hpp"
 #include "math/batch_kernels.hpp"
 #include "octree/concurrent_octree.hpp"
 #include "sfc/reorder.hpp"
@@ -29,12 +30,13 @@ class OctreeStrategy {
 
   struct Options {
     typename ConcurrentOctree<T, D>::Params tree{};
-    /// Rebuild the tree every `reuse_interval` steps and reuse its topology
-    /// in between, recomputing only the multipole moments from the moved
-    /// positions — the amortization of Iwasawa et al. the paper's related
-    /// work notes "can be applied to any Barnes-Hut implementation".
-    /// 1 (default) rebuilds every step, as the paper's Algorithm 2 does.
-    unsigned reuse_interval = 1;
+    /// Tree-lifecycle policy (core::TreeMaintenance): rebuild every step
+    /// (default, the paper's Algorithm 2), refit:k (rebuild every k-th
+    /// step, refit moments in between — the amortization of Iwasawa et al.
+    /// the old reuse_interval expressed), or incremental (relocate only the
+    /// bodies that crossed cell boundaries; full rebuild on quality
+    /// degradation).
+    core::TreeUpdatePolicy update{};
     /// Curve-order the bodies before each (re)build: neighboring threads
     /// then insert into neighboring subtrees, cutting subdivision-lock
     /// contention and improving traversal locality (Burtscher & Pingali's
@@ -44,34 +46,83 @@ class OctreeStrategy {
 
   OctreeStrategy() = default;
   explicit OctreeStrategy(typename ConcurrentOctree<T, D>::Params params)
-      : OctreeStrategy(Options{params, 1, false}) {}
-  explicit OctreeStrategy(Options opts) : opts_(opts), tree_(opts.tree) {
-    NBODY_REQUIRE(opts.reuse_interval >= 1, "OctreeStrategy: reuse_interval must be >= 1");
+      : OctreeStrategy(Options{params, {}, false}) {}
+  explicit OctreeStrategy(Options opts)
+      : opts_(opts), tree_(opts.tree), maint_(opts.update, "OctreeStrategy") {}
+
+  /// TreeMaintenance lifecycle: decides build / refit / incremental-update
+  /// for this step, performs the structural work, and reports the decision
+  /// through the context. accelerations() calls it first; exposed for tests
+  /// and harnesses that drive the lifecycle directly.
+  template <exec::StarvationFreeCapable Policy>
+  core::TreeAction prepare(Policy policy, core::StepContext<T, D>& ctx) {
+    core::System<T, D>& sys = ctx.sys;
+    const bool incremental = maint_.policy().mode == core::TreeUpdateMode::incremental;
+    tree_.set_track_geometry(incremental);
+    // Quality monitor — only worth running when the lifecycle would
+    // otherwise keep the tree this step.
+    bool degraded = false;
+    typename ConcurrentOctree<T, D>::UpdatePlan plan{};
+    if (incremental && maint_.would_keep()) {
+      if (!tracked_build_ || tracked_n_ != sys.size()) {
+        degraded = true;  // no usable geometry record (mode switch / resize)
+      } else if (sys.size() > 0) {
+        auto scope = ctx.phase("quality");
+        plan = tree_.plan_update(policy, sys.x);
+        moves_since_build_ += plan.moved;
+        const core::TreeUpdatePolicy& pol = maint_.policy();
+        const auto n = static_cast<double>(sys.size());
+        const unsigned depth_growth = tree_.max_insert_depth() - build_depth_;
+        degraded = plan.escaped > 0 ||
+                   static_cast<double>(plan.moved) > pol.max_moved_fraction * n ||
+                   static_cast<double>(moves_since_build_) > pol.max_drift_fraction * n ||
+                   depth_growth > pol.max_depth_growth;
+        if (ctx.metrics_enabled()) {
+          ctx.metrics->set_gauge("octree.quality.moved_fraction",
+                                 static_cast<double>(plan.moved) / n);
+          ctx.metrics->set_gauge("octree.quality.escaped",
+                                 static_cast<double>(plan.escaped));
+          ctx.metrics->set_gauge("octree.quality.depth_growth",
+                                 static_cast<double>(depth_growth));
+          ctx.metrics->set_gauge("octree.quality.vacated_leaves",
+                                 static_cast<double>(tree_.vacated_leaves()));
+          if (degraded) ctx.metrics->counter("octree.rebuilds.quality").add();
+        }
+      }
+    }
+    core::TreeAction act = maint_.decide(degraded);
+    if (act == core::TreeAction::Built || act == core::TreeAction::Rebuilt) {
+      rebuild(policy, ctx);
+    } else if (act == core::TreeAction::Updated && plan.moved > 0) {
+      bool ok = false;
+      {
+        auto scope = ctx.phase("update");
+        ok = tree_.apply_update(policy, sys.x);
+        if (ok && ctx.metrics_enabled())
+          ctx.metrics->counter("octree.update.moved").add(plan.moved);
+      }
+      if (ok) {
+        order_dirty_ = true;  // relocations perturb the leaf-DFS order
+      } else {
+        // Node pool exhausted mid-update: the tree is mid-surgery, so fall
+        // back to a full rebuild (which also resets the bookkeeping).
+        rebuild(policy, ctx);
+        act = core::TreeAction::Rebuilt;
+      }
+    }
+    // Refit steps need no structural work here: accelerations() recomputes
+    // the multipole moments from the moved positions every step, which is
+    // exactly the bottom-up refit.
+    ctx.note_tree_action(act);
+    last_action_ = act;
+    return act;
   }
 
   template <exec::StarvationFreeCapable Policy>
   void accelerations(Policy policy, core::StepContext<T, D>& ctx) {
     core::System<T, D>& sys = ctx.sys;
     const core::SimConfig<T>& cfg = ctx.cfg;
-    const bool rebuild = steps_since_build_ % opts_.reuse_interval == 0;
-    if (rebuild) {
-      {
-        auto scope = ctx.phase("bbox");
-        root_box_ = core::compute_root_cube(policy, sys.x);
-      }
-      if (opts_.presort) {
-        auto scope = ctx.phase("sort");
-        sfc::reorder_system(policy, sys, root_box_);
-      }
-      {
-        auto scope = ctx.phase("build");
-        tree_.build(policy, sys.x, root_box_);
-      }
-      steps_since_build_ = 0;
-      order_dirty_ = true;  // new topology ⇒ stale group partition
-      if (ctx.metrics_enabled()) record_build_metrics(*ctx.metrics);
-    }
-    ++steps_since_build_;
+    prepare(policy, ctx);
     {
       auto scope = ctx.phase("multipole");
       tree_.compute_multipoles(policy, sys.m, sys.x);
@@ -106,20 +157,58 @@ class OctreeStrategy {
   void grow_capacity() { tree_.grow_capacity(); }
 
   /// Recovery hook: force a full rebuild on the next accelerations() call —
-  /// after a checkpoint restore the cached topology (and with it the cached
-  /// group partition of the grouped force path) no longer matches the
-  /// restored positions.
+  /// after a checkpoint restore the cached topology, the incremental
+  /// bookkeeping, and the cached group partition of the grouped force path
+  /// no longer match the restored positions.
   void invalidate() {
-    steps_since_build_ = 0;
+    maint_.invalidate();
     order_dirty_ = true;
   }
 
-  /// Accuracy-rung hook (Simulation::run_guarded deadline shedding): amortize
-  /// tree builds over more steps. Values < 1 are clamped to 1.
-  void set_reuse_interval(unsigned k) { opts_.reuse_interval = k < 1 ? 1 : k; }
-  [[nodiscard]] unsigned reuse_interval() const noexcept { return opts_.reuse_interval; }
+  /// Tree-lifecycle policy (accuracy-rung and CLI surface).
+  [[nodiscard]] const core::TreeUpdatePolicy& update_policy() const { return maint_.policy(); }
+  void set_update_policy(core::TreeUpdatePolicy p) { maint_.set_policy(p); }
+  /// What prepare() did on the most recent step.
+  [[nodiscard]] core::TreeAction last_action() const { return last_action_; }
+
+  /// Deprecated reuse_interval shims: delegate to the TreeUpdatePolicy
+  /// mapping (k == 1 → rebuild, k > 1 → refit:k) and validate k >= 1 like
+  /// the constructors always did.
+  void set_reuse_interval(unsigned k) { maint_.set_reuse_interval(k); }
+  [[nodiscard]] unsigned reuse_interval() const { return maint_.reuse_interval(); }
 
  private:
+  /// Full (re)build: bounding box, optional presort, fresh tree; resets the
+  /// incremental bookkeeping and dirties the cached group partition.
+  template <exec::StarvationFreeCapable Policy>
+  void rebuild(Policy policy, core::StepContext<T, D>& ctx) {
+    core::System<T, D>& sys = ctx.sys;
+    {
+      auto scope = ctx.phase("bbox");
+      root_box_ = core::compute_root_cube(policy, sys.x);
+      // Incremental mode inflates the root cube so small drift stays inside
+      // the domain between rebuilds (any escape degrades to a rebuild).
+      if (tree_.track_geometry() && !root_box_.empty()) {
+        const T half = root_box_.extent()[0] * T(0.625);  // 1.25x half-extent
+        root_box_ = ConcurrentOctree<T, D>::box_t::cube(root_box_.center(), half);
+      }
+    }
+    if (opts_.presort) {
+      auto scope = ctx.phase("sort");
+      sfc::reorder_system(policy, sys, root_box_);
+    }
+    {
+      auto scope = ctx.phase("build");
+      tree_.build(policy, sys.x, root_box_);
+    }
+    order_dirty_ = true;  // new topology ⇒ stale group partition
+    moves_since_build_ = 0;
+    build_depth_ = tree_.max_insert_depth();
+    tracked_build_ = tree_.track_geometry();
+    tracked_n_ = sys.size();
+    if (ctx.metrics_enabled()) record_build_metrics(*ctx.metrics);
+  }
+
   template <class ForcePolicy>
   void compute_forces(ForcePolicy fp, core::StepContext<T, D>& ctx) {
     core::System<T, D>& sys = ctx.sys;
@@ -255,10 +344,16 @@ class OctreeStrategy {
   Options opts_{};
   ConcurrentOctree<T, D> tree_;
   typename ConcurrentOctree<T, D>::box_t root_box_{};
-  unsigned steps_since_build_ = 0;
+  core::TreeMaintenance maint_{};
+  core::TreeAction last_action_ = core::TreeAction::Built;
+  // Incremental-quality bookkeeping, reset by rebuild().
+  std::uint64_t moves_since_build_ = 0;  // cumulative cell crossings
+  unsigned build_depth_ = 0;             // tree depth right after the build
+  bool tracked_build_ = false;           // last build recorded geometry
+  std::size_t tracked_n_ = 0;            // body count at the last build
   // Grouped force path: leaf-DFS body order cached per build; dirty after a
-  // rebuild or an invalidate() (checkpoint restore) so stale partitions are
-  // never replayed against a new topology.
+  // rebuild, an incremental update, or an invalidate() (checkpoint restore)
+  // so stale partitions are never replayed against a new topology.
   std::vector<std::uint32_t> body_order_;
   bool order_dirty_ = true;
 };

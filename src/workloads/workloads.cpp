@@ -121,6 +121,20 @@ core::System<double, 3> plummer_sphere(std::size_t n, std::uint64_t seed, double
   return sys;
 }
 
+core::System<double, 3> drifting_cluster(std::size_t n, std::uint64_t seed,
+                                         const DriftingClusterParams& p) {
+  NBODY_REQUIRE(n >= 1, "drifting_cluster: need at least 1 body");
+  // Start from a virialized Plummer sphere, damp the internal motions (the
+  // coherence is the point, not the equilibrium), then superimpose the bulk
+  // drift along a fixed oblique direction.
+  core::System<double, 3> sys = plummer_sphere(n, seed, p.cluster_radius, p.G);
+  const math::vec3d dir = math::vec3d{{2.0, 1.0, 0.5}} / std::sqrt(5.25);
+  const math::vec3d drift = dir * p.drift_speed;
+  for (std::size_t i = 0; i < n; ++i)
+    sys.v[i] = sys.v[i] * p.dispersion_fraction + drift;
+  return sys;
+}
+
 core::System<double, 3> uniform_cube(std::size_t n, std::uint64_t seed, double half) {
   Xoshiro256ss rng(seed);
   core::System<double, 3> sys;

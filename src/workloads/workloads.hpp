@@ -50,6 +50,21 @@ core::System<double, 3> plummer_sphere(std::size_t n, std::uint64_t seed = 7,
 core::System<double, 3> uniform_cube(std::size_t n, std::uint64_t seed = 3,
                                      double half = 1.0);
 
+struct DriftingClusterParams {
+  double cluster_radius = 1.0;      // Plummer scale radius
+  double drift_speed = 0.5;         // bulk velocity magnitude
+  double dispersion_fraction = 0.3; // internal velocity scale vs equilibrium
+  double G = 1.0;                   // must match the SimConfig used to run it
+};
+
+/// A Plummer-like cluster of `n` bodies moving with a coherent bulk
+/// velocity — the temporal-coherence workload for the tree-update
+/// ablation: per step, every body translates by roughly drift_speed·dt
+/// while only a small fraction cross cell boundaries, the regime where
+/// incremental tree maintenance beats per-step rebuilds.
+core::System<double, 3> drifting_cluster(std::size_t n, std::uint64_t seed = 5,
+                                         const DriftingClusterParams& params = {});
+
 struct SolarSystemParams {
   double sun_mass = 1.0;
   double body_mass = 1e-12;       // minor bodies are test masses in effect

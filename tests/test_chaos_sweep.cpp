@@ -19,12 +19,15 @@
 
 #include "allpairs/allpairs.hpp"
 #include "bvh/strategy.hpp"
+#include "core/diagnostics.hpp"
+#include "core/simulation.hpp"
 #include "exec/algorithms.hpp"
 #include "exec/chaos/chaos.hpp"
 #include "octree/strategy.hpp"
 #include "prop/generators.hpp"
 #include "prop/invariants.hpp"
 #include "support/rng.hpp"
+#include "workloads/workloads.hpp"
 
 namespace {
 
@@ -201,6 +204,65 @@ TEST(DifferentialSweep, GroupTraversalStableAcrossChaosSchedules) {
         EXPECT_LE(rel_l2_error(bvh, first_bvh), stable_tol);
       }
     }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Tree-maintenance differential suite: the refit and incremental update modes
+// are approximations of the per-step rebuild, so on every scheduling backend
+// (static, dynamic, work-steal, chaos-permute) a short trajectory under
+// either mode must stay inside the amortization ball of the rebuild-every-
+// step trajectory. The coherently drifting cluster is the regime the
+// incremental path is built for: the bulk translation relocates a small
+// fraction of bodies per step while the cluster's shape barely changes.
+// ---------------------------------------------------------------------------
+
+template <class Strategy, class Policy>
+System3 run_steps(const System3& initial, const nbody::core::SimConfig<double>& cfg,
+                  typename Strategy::Options opts, Policy policy, std::size_t steps) {
+  nbody::core::Simulation<double, 3, Strategy> sim(initial, cfg, Strategy(opts));
+  sim.run(policy, steps);
+  return sim.system();
+}
+
+TEST(DifferentialSweep, RefitAndIncrementalTrackRebuildOnEveryBackend) {
+  using Oct = nbody::octree::OctreeStrategy<double, 3>;
+  using Bvh = nbody::bvh::BVHStrategy<double, 3>;
+  const System3 initial = nbody::workloads::drifting_cluster(600, 21);
+  nbody::core::SimConfig<double> cfg;
+  cfg.dt = 5e-4;
+  const std::size_t steps = 12;
+  // Same amortization ball as TreeReuse.*StaysCloseToRebuilt over a
+  // comparable horizon: the modes differ only in when geometry is refreshed.
+  constexpr double kAmortTol = 1e-2;
+
+  for (backend b : {backend::static_chunk, backend::dynamic_chunk, backend::work_steal,
+                    backend::chaos_permute}) {
+    SCOPED_TRACE(std::string("backend=") + nbody::exec::backend_name(b));
+    const backend saved = nbody::exec::default_backend();
+    nbody::exec::set_default_backend(b);
+    if (b == backend::chaos_permute) chaos::set_seed(1234);
+
+    typename Oct::Options oct_rebuild;  // default: rebuild every step
+    const System3 oct_base = run_steps<Oct>(initial, cfg, oct_rebuild, par, steps);
+    for (const char* spec : {"refit:4", "incremental"}) {
+      SCOPED_TRACE(std::string("octree --tree-update=") + spec);
+      typename Oct::Options o;
+      o.update = nbody::core::TreeUpdatePolicy::parse(spec, "sweep");
+      const System3 got = run_steps<Oct>(initial, cfg, o, par, steps);
+      EXPECT_LT(nbody::core::l2_position_error(got, oct_base), kAmortTol);
+    }
+
+    typename Bvh::Options bvh_rebuild;
+    const System3 bvh_base = run_steps<Bvh>(initial, cfg, bvh_rebuild, par_unseq, steps);
+    for (const char* spec : {"refit:4", "incremental"}) {
+      SCOPED_TRACE(std::string("bvh --tree-update=") + spec);
+      typename Bvh::Options o;
+      o.update = nbody::core::TreeUpdatePolicy::parse(spec, "sweep");
+      const System3 got = run_steps<Bvh>(initial, cfg, o, par_unseq, steps);
+      EXPECT_LT(nbody::core::l2_position_error(got, bvh_base), kAmortTol);
+    }
+    nbody::exec::set_default_backend(saved);
   }
 }
 

@@ -157,7 +157,7 @@ TEST(GroupTraversal, ComposesWithReuseInterval) {
   auto cfg = grouped_cfg(0);
 
   octree::OctreeStrategy<double, 3>::Options oct_opts;
-  oct_opts.reuse_interval = 3;
+  oct_opts.update = core::TreeUpdatePolicy::parse("refit:3", "test");
   core::Simulation<double, 3, octree::OctreeStrategy<double, 3>> dfs_oct(
       initial, cfg, octree::OctreeStrategy<double, 3>(oct_opts));
   dfs_oct.run(par, 9);
@@ -169,7 +169,7 @@ TEST(GroupTraversal, ComposesWithReuseInterval) {
   EXPECT_LT(core::l2_position_error(grp_oct.system(), dfs_oct.system()), 1e-3);
 
   bvh::BVHStrategy<double, 3>::Options bvh_opts;
-  bvh_opts.reuse_interval = 3;
+  bvh_opts.update = core::TreeUpdatePolicy::parse("refit:3", "test");
   cfg.group_size = 0;
   core::Simulation<double, 3, bvh::BVHStrategy<double, 3>> dfs_bvh(
       initial, cfg, bvh::BVHStrategy<double, 3>(bvh_opts));
@@ -210,11 +210,11 @@ TEST(GroupTraversal, RunGuardedRestoreInvalidatesGroupPartition) {
   const auto sys = workloads::plummer_sphere(300, 29);
   auto cfg = grouped_cfg(32);
   cfg.dt = 1e-3;
-  // reuse_interval > 1 makes the invalidation load-bearing: without the
+  // A refit interval > 1 makes the invalidation load-bearing: without the
   // restore hook the pre-fault topology and group partition would be
   // replayed against the restored positions for up to 3 more steps.
   octree::OctreeStrategy<double, 3>::Options opts_reuse;
-  opts_reuse.reuse_interval = 4;
+  opts_reuse.update = core::TreeUpdatePolicy::parse("refit:4", "test");
 
   core::Simulation<double, 3, octree::OctreeStrategy<double, 3>> ref(
       sys, cfg, octree::OctreeStrategy<double, 3>(opts_reuse));

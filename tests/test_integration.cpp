@@ -174,7 +174,7 @@ TEST(TreeReuse, OctreeReusedTopologyStaysCloseToRebuilt) {
   nbody::core::SimConfig<double> cfg;
   cfg.dt = 5e-4;
   typename nbody::octree::OctreeStrategy<double, 3>::Options reuse4;
-  reuse4.reuse_interval = 4;
+  reuse4.update = nbody::core::TreeUpdatePolicy::parse("refit:4", "test");
   nbody::core::Simulation<double, 3, nbody::octree::OctreeStrategy<double, 3>> every(
       initial, cfg);
   nbody::core::Simulation<double, 3, nbody::octree::OctreeStrategy<double, 3>> reused(
@@ -191,7 +191,7 @@ TEST(TreeReuse, BvhReuseLosesNoBodyAndStaysClose) {
   nbody::core::SimConfig<double> cfg;
   cfg.dt = 5e-4;
   typename nbody::bvh::BVHStrategy<double, 3>::Options reuse4;
-  reuse4.reuse_interval = 4;
+  reuse4.update = nbody::core::TreeUpdatePolicy::parse("refit:4", "test");
   nbody::core::Simulation<double, 3, nbody::bvh::BVHStrategy<double, 3>> every(initial,
                                                                                cfg);
   nbody::core::Simulation<double, 3, nbody::bvh::BVHStrategy<double, 3>> reused(
@@ -207,7 +207,7 @@ TEST(TreeReuse, IntervalOneIsExactlyTheDefault) {
   const auto initial = nbody::workloads::galaxy_collision(400, 14);
   nbody::core::SimConfig<double> cfg;
   typename nbody::octree::OctreeStrategy<double, 3>::Options one;
-  one.reuse_interval = 1;
+  one.update = nbody::core::TreeUpdatePolicy::parse("rebuild", "test");
   nbody::core::Simulation<double, 3, nbody::octree::OctreeStrategy<double, 3>> a(initial,
                                                                                  cfg);
   nbody::core::Simulation<double, 3, nbody::octree::OctreeStrategy<double, 3>> b(

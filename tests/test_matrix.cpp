@@ -65,9 +65,14 @@ std::vector<Config> strategy_configs() {
                    o.presort = true;
                    return Oct(o);
                  }, par)});
-  out.push_back({"octree-reuse3", make_runner([] {
+  out.push_back({"octree-refit3", make_runner([] {
                    typename Oct::Options o;
-                   o.reuse_interval = 3;
+                   o.update = nbody::core::TreeUpdatePolicy::parse("refit:3", "matrix");
+                   return Oct(o);
+                 }, par)});
+  out.push_back({"octree-incr", make_runner([] {
+                   typename Oct::Options o;
+                   o.update = nbody::core::TreeUpdatePolicy::parse("incremental", "matrix");
                    return Oct(o);
                  }, par)});
   out.push_back({"bvh", make_runner([] { return Bvh{}; }, par_unseq)});
@@ -80,6 +85,11 @@ std::vector<Config> strategy_configs() {
                    typename Bvh::Options o;
                    o.tree.curve = nbody::bvh::CurveKind::morton;
                    o.tree.sort = nbody::bvh::SortKind::radix;
+                   return Bvh(o);
+                 }, par_unseq)});
+  out.push_back({"bvh-incr", make_runner([] {
+                   typename Bvh::Options o;
+                   o.update = nbody::core::TreeUpdatePolicy::parse("incremental", "matrix");
                    return Bvh(o);
                  }, par_unseq)});
   out.push_back({"bvh-bmax", make_runner([] {

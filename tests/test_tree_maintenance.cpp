@@ -1,0 +1,295 @@
+// TreeMaintenance lifecycle API (CTest label: chaos): policy parsing and
+// validation (constructor and setter now fail identically), the decide()
+// state machine, the octree's incremental move-only update (plan/apply,
+// structural validity, spatial queries see relocated bodies), the quality
+// monitors forcing a mid-run rebuild on degradation (octree cell-crossing
+// flood, BVH order inversions), and run_guarded's checkpoint restore
+// invalidating the incremental bookkeeping end to end.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+#include "bvh/strategy.hpp"
+#include "core/bbox.hpp"
+#include "core/diagnostics.hpp"
+#include "core/guard.hpp"
+#include "core/simulation.hpp"
+#include "core/step_context.hpp"
+#include "core/tree_maintenance.hpp"
+#include "octree/strategy.hpp"
+#include "support/fault.hpp"
+#include "support/rng.hpp"
+#include "workloads/workloads.hpp"
+
+namespace {
+
+using namespace nbody;
+using core::TreeAction;
+using core::TreeMaintenance;
+using core::TreeUpdateMode;
+using core::TreeUpdatePolicy;
+using exec::par;
+using exec::par_unseq;
+using exec::seq;
+using System3 = core::System<double, 3>;
+
+const bool g_thread_env = [] {
+  setenv("NBODY_THREADS", "4", /*overwrite=*/0);
+  return true;
+}();
+
+// ------------------------------------------------------------ policy parsing
+
+TEST(TreeUpdatePolicyParse, RoundTripsEveryMode) {
+  EXPECT_EQ(TreeUpdatePolicy::parse("rebuild", "t").to_string(), "rebuild");
+  EXPECT_EQ(TreeUpdatePolicy::parse("refit", "t").to_string(), "refit:4");
+  EXPECT_EQ(TreeUpdatePolicy::parse("refit:7", "t").to_string(), "refit:7");
+  EXPECT_EQ(TreeUpdatePolicy::parse("incremental", "t").to_string(), "incremental");
+  EXPECT_EQ(TreeUpdatePolicy::parse("incremental:16", "t").to_string(), "incremental:16");
+
+  const auto inc = TreeUpdatePolicy::parse("incremental", "t");
+  EXPECT_EQ(inc.mode, TreeUpdateMode::incremental);
+  EXPECT_EQ(inc.interval, 0u);  // quality-triggered only
+}
+
+TEST(TreeUpdatePolicyParse, RejectsMalformedSpecs) {
+  for (const char* bad : {"", "turbo", "refit:", "refit:abc", "refit:0",
+                          "rebuild:3", "incremental:-1", "refit:4x"}) {
+    SCOPED_TRACE(bad);
+    EXPECT_THROW((void)TreeUpdatePolicy::parse(bad, "t"), std::invalid_argument);
+  }
+}
+
+TEST(TreeUpdatePolicyParse, LegacyReuseIntervalMapsOntoPolicy) {
+  const auto k1 = TreeUpdatePolicy::from_reuse_interval(1, "t");
+  EXPECT_EQ(k1.mode, TreeUpdateMode::rebuild);
+  EXPECT_EQ(k1.interval, 1u);
+  const auto k5 = TreeUpdatePolicy::from_reuse_interval(5, "t");
+  EXPECT_EQ(k5.mode, TreeUpdateMode::refit);
+  EXPECT_EQ(k5.interval, 5u);
+  EXPECT_THROW((void)TreeUpdatePolicy::from_reuse_interval(0, "t"), std::invalid_argument);
+}
+
+// The old API split: constructors threw on k < 1 while set_reuse_interval
+// silently clamped. Both now funnel through TreeUpdatePolicy and fail the
+// same way.
+TEST(TreeUpdatePolicyParse, ConstructorAndSetterValidateIdentically) {
+  octree::OctreeStrategy<double, 3>::Options bad;
+  bad.update.mode = TreeUpdateMode::rebuild;
+  bad.update.interval = 0;
+  EXPECT_THROW((octree::OctreeStrategy<double, 3>{bad}), std::invalid_argument);
+
+  octree::OctreeStrategy<double, 3> oct;
+  EXPECT_THROW(oct.set_reuse_interval(0), std::invalid_argument);
+  bvh::BVHStrategy<double, 3> bvh;
+  EXPECT_THROW(bvh.set_reuse_interval(0), std::invalid_argument);
+  // Valid updates go through and are visible via the policy surface.
+  oct.set_reuse_interval(6);
+  EXPECT_EQ(oct.update_policy().mode, TreeUpdateMode::refit);
+  EXPECT_EQ(oct.reuse_interval(), 6u);
+}
+
+// --------------------------------------------------------- decide() machine
+
+TEST(TreeMaintenanceDecide, RefitCadenceMatchesLegacyModulo) {
+  TreeMaintenance m(TreeUpdatePolicy::parse("refit:3", "t"), "t");
+  EXPECT_EQ(m.decide(), TreeAction::Built);
+  EXPECT_EQ(m.decide(), TreeAction::Refitted);
+  EXPECT_EQ(m.decide(), TreeAction::Refitted);
+  EXPECT_EQ(m.decide(), TreeAction::Rebuilt);  // every 3rd step, like k=3 reuse
+  EXPECT_EQ(m.decide(), TreeAction::Refitted);
+
+  TreeMaintenance every(TreeUpdatePolicy::parse("rebuild", "t"), "t");
+  EXPECT_EQ(every.decide(), TreeAction::Built);
+  EXPECT_EQ(every.decide(), TreeAction::Rebuilt);
+  EXPECT_EQ(every.decide(), TreeAction::Rebuilt);
+}
+
+TEST(TreeMaintenanceDecide, IncrementalRunsUntilDegradedOrInvalidated) {
+  TreeMaintenance m(TreeUpdatePolicy::parse("incremental", "t"), "t");
+  EXPECT_FALSE(m.would_keep());  // nothing built yet
+  EXPECT_EQ(m.decide(), TreeAction::Built);
+  EXPECT_TRUE(m.would_keep());
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(m.decide(), TreeAction::Updated);
+  EXPECT_EQ(m.decide(/*degraded=*/true), TreeAction::Rebuilt);
+  EXPECT_EQ(m.decide(), TreeAction::Updated);
+  m.invalidate();
+  EXPECT_FALSE(m.would_keep());
+  EXPECT_EQ(m.decide(), TreeAction::Rebuilt);
+}
+
+TEST(TreeMaintenanceDecide, IncrementalSafetyCadenceStillRebuilds) {
+  TreeMaintenance m(TreeUpdatePolicy::parse("incremental:4", "t"), "t");
+  EXPECT_EQ(m.decide(), TreeAction::Built);
+  EXPECT_EQ(m.decide(), TreeAction::Updated);
+  EXPECT_EQ(m.decide(), TreeAction::Updated);
+  EXPECT_EQ(m.decide(), TreeAction::Updated);
+  EXPECT_EQ(m.decide(), TreeAction::Rebuilt);
+}
+
+// ---------------------------------------------- octree incremental update
+
+// Move-only surgery on a live tree: plan flags exactly the teleported body,
+// apply relocates it, and the result is structurally valid with spatial
+// queries (and the multipole refit) seeing the new position.
+TEST(OctreeIncremental, PlanAndApplyRelocateAcrossTheDomain) {
+  System3 sys = workloads::plummer_sphere(400, 17);
+  octree::ConcurrentOctree<double, 3> tree;
+  tree.set_track_geometry(true);
+  const auto box = core::compute_root_cube(seq, sys.x);
+  tree.build(par, sys.x, box);
+
+  // Teleport body 0 to a far corner, well inside the root cube.
+  const auto old_pos = sys.x[0];
+  const auto c = box.center();
+  const auto ext = box.extent();
+  for (std::size_t d = 0; d < 3; ++d) sys.x[0][d] = c[d] + 0.45 * ext[d];
+
+  const auto plan = tree.plan_update(par, sys.x);
+  EXPECT_GE(plan.moved, 1u);
+  EXPECT_EQ(plan.escaped, 0u);
+  ASSERT_TRUE(tree.apply_update(par, sys.x));
+  tree.compute_multipoles(par, sys.m, sys.x);
+
+  const auto report = core::validate_octree(tree, sys.size());
+  EXPECT_TRUE(report.ok) << report.detail;
+  // The relocated body is findable at its new position and its recorded
+  // leaf cell actually contains it.
+  EXPECT_GE(tree.count_in_radius(sys.x[0], 1e-9, sys.x), 1u);
+  EXPECT_TRUE(tree.node_box(tree.leaf_of(0)).contains(sys.x[0]));
+  // And no stale copy remains at the old position (unless a neighbor
+  // genuinely sits there).
+  std::size_t at_old = 0;
+  for (std::size_t i = 1; i < sys.size(); ++i)
+    if (math::norm2(sys.x[i] - old_pos) < 1e-18) ++at_old;
+  EXPECT_EQ(tree.count_in_radius(old_pos, 1e-9, sys.x), at_old);
+}
+
+// The incremental trajectory must track a rebuild-every-step trajectory on
+// the coherent-drift workload the mode is designed for.
+TEST(OctreeIncremental, TrajectoryTracksRebuildOnDriftingCluster) {
+  const System3 initial = workloads::drifting_cluster(500, 9);
+  core::SimConfig<double> cfg;
+  cfg.dt = 5e-4;
+
+  core::Simulation<double, 3, octree::OctreeStrategy<double, 3>> rebuild(initial, cfg);
+  rebuild.run(par, 16);
+
+  octree::OctreeStrategy<double, 3>::Options o;
+  o.update = TreeUpdatePolicy::parse("incremental", "test");
+  core::Simulation<double, 3, octree::OctreeStrategy<double, 3>> incr(
+      initial, cfg, octree::OctreeStrategy<double, 3>(o));
+  incr.run(par, 16);
+
+  EXPECT_LT(core::l2_position_error(incr.system(), rebuild.system()), 1e-2);
+}
+
+// ------------------------------------------------------- quality monitors
+
+TEST(QualityMonitor, OctreeCellCrossingFloodForcesRebuild) {
+  System3 sys = workloads::plummer_sphere(300, 23);
+  core::SimConfig<double> cfg;
+  octree::OctreeStrategy<double, 3>::Options o;
+  o.update = TreeUpdatePolicy::parse("incremental", "test");
+  octree::OctreeStrategy<double, 3> strat(o);
+
+  core::accelerate(strat, par, sys, cfg);
+  EXPECT_EQ(strat.last_action(), TreeAction::Built);
+
+  // Gentle motion: a tiny coherent nudge keeps (nearly) everyone in their
+  // cell — the lifecycle keeps the tree.
+  for (auto& x : sys.x) x[0] += 1e-9;
+  core::accelerate(strat, par, sys, cfg);
+  EXPECT_EQ(strat.last_action(), TreeAction::Updated);
+
+  // Scramble every position: far more than max_moved_fraction of the bodies
+  // cross cells (many escape the inflated root cube too) — the quality
+  // monitor must force a full rebuild.
+  support::Xoshiro256ss rng(77);
+  for (auto& x : sys.x)
+    for (std::size_t d = 0; d < 3; ++d) x[d] = rng.uniform(-50.0, 50.0);
+  core::accelerate(strat, par, sys, cfg);
+  EXPECT_EQ(strat.last_action(), TreeAction::Rebuilt);
+}
+
+TEST(QualityMonitor, BvhOrderInversionFloodForcesResort) {
+  System3 sys = workloads::plummer_sphere(600, 29);
+  core::SimConfig<double> cfg;
+  bvh::BVHStrategy<double, 3>::Options o;
+  o.update = TreeUpdatePolicy::parse("incremental", "test");
+  bvh::BVHStrategy<double, 3> strat(o);
+
+  core::accelerate(strat, par_unseq, sys, cfg);
+  EXPECT_EQ(strat.last_action(), TreeAction::Built);
+
+  for (auto& x : sys.x) x[0] += 1e-9;
+  core::accelerate(strat, par_unseq, sys, cfg);
+  EXPECT_EQ(strat.last_action(), TreeAction::Updated);
+
+  // Point-reflect the cluster: the bounding box barely changes but the
+  // Hilbert order of the (still sorted-by-old-keys) array is shredded —
+  // the inversion monitor must trigger a re-sort.
+  for (auto& x : sys.x) x = -x;
+  core::accelerate(strat, par_unseq, sys, cfg);
+  EXPECT_EQ(strat.last_action(), TreeAction::Rebuilt);
+}
+
+// ------------------------------------------- run_guarded restore semantics
+
+// A checkpoint restore must invalidate the incremental bookkeeping: the
+// restored positions no longer match the tracked geometry, so the next step
+// is a forced full rebuild and the guarded trajectory lands on the unfaulted
+// one at amortization level (cf. test_group's group-partition twin).
+TEST(RunGuarded, RestoreInvalidatesIncrementalState) {
+  struct FaultScope {
+    FaultScope() { support::disarm_all_faults(); }
+    ~FaultScope() { support::disarm_all_faults(); }
+  } scope;
+  const auto sys = workloads::drifting_cluster(300, 31);
+  core::SimConfig<double> cfg;
+  cfg.dt = 1e-3;
+  octree::OctreeStrategy<double, 3>::Options o;
+  o.update = TreeUpdatePolicy::parse("incremental", "test");
+
+  core::Simulation<double, 3, octree::OctreeStrategy<double, 3>> ref(
+      sys, cfg, octree::OctreeStrategy<double, 3>(o));
+  ref.run(par, 12);
+  ref.synchronize_velocities(par);
+
+  core::Simulation<double, 3, octree::OctreeStrategy<double, 3>> guarded(
+      sys, cfg, octree::OctreeStrategy<double, 3>(o));
+  core::GuardedOptions<double> gopts;
+  gopts.checkpoint_every = 3;
+  gopts.max_retries = 8;
+  support::arm_fault(support::FaultSite::octree_node_alloc, {1.0, 0, 3});
+  const auto rep = guarded.run_guarded(par, 12, gopts);
+  support::disarm_all_faults();
+  guarded.synchronize_velocities(par);
+
+  EXPECT_EQ(rep.steps_completed, 12u);
+  EXPECT_GE(rep.restores, 1u);
+  EXPECT_LT(core::l2_position_error(guarded.system(), ref.system()), 2e-3);
+  // After the restore-forced rebuild the strategy went back to incremental
+  // stepping (the mode survives recovery, only the bookkeeping resets).
+  EXPECT_EQ(guarded.strategy().update_policy().mode, TreeUpdateMode::incremental);
+}
+
+// invalidate() alone (no fault machinery) forces the next step to rebuild.
+TEST(RunGuarded, ExplicitInvalidateForcesRebuildNextStep) {
+  System3 sys = workloads::plummer_sphere(200, 37);
+  core::SimConfig<double> cfg;
+  octree::OctreeStrategy<double, 3>::Options o;
+  o.update = TreeUpdatePolicy::parse("incremental", "test");
+  octree::OctreeStrategy<double, 3> strat(o);
+  core::accelerate(strat, par, sys, cfg);
+  core::accelerate(strat, par, sys, cfg);
+  EXPECT_EQ(strat.last_action(), TreeAction::Updated);
+  strat.invalidate();
+  core::accelerate(strat, par, sys, cfg);
+  EXPECT_EQ(strat.last_action(), TreeAction::Rebuilt);
+}
+
+}  // namespace
