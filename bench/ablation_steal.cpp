@@ -1,0 +1,119 @@
+// Ablation: scheduling backend (static | dynamic | steal) on the
+// force phase of the drifting-cluster workload. The topology-aware
+// steal-half deques exist to keep the irregular force phase balanced
+// without the dynamic backend's shared-counter contention, so this harness
+// measures exactly that: force-phase seconds per step under each backend,
+// same tree, same bodies.
+//
+// Unlike the other gated ablations this binary sweeps the backends
+// *in-process* (the acceptance criterion is cross-backend: steal force
+// phase no slower than dynamic at N >= 16384), so the CI gate invokes it
+// once with NBODY_BENCH_GATE_ONESHOT=1 instead of once per NBODY_BACKEND.
+// Rows reuse the generic gate schema: "mode" carries the backend name and
+// "ratio" is force_s relative to the dynamic backend at the same N.
+#include <cstdio>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "bench_support/table.hpp"
+#include "core/simulation.hpp"
+#include "exec/algorithms.hpp"
+#include "octree/strategy.hpp"
+
+namespace {
+
+using namespace nbody;
+
+struct Row {
+  exec::backend b;
+  std::size_t n;
+  double force_s = std::numeric_limits<double>::infinity();  // per step
+  double step_s = std::numeric_limits<double>::infinity();   // per step
+};
+
+/// One measured block: a fresh simulation under `b`, primed with one step
+/// (tree built, pool spun up, victim table cached), then `steps` timed
+/// steps. Keeps the per-block minimum across reps.
+void measure_block(Row& row, const core::System<double, 3>& initial,
+                   const core::SimConfig<double>& cfg, std::size_t steps) {
+  const exec::backend saved = exec::default_backend();
+  exec::set_default_backend(row.b);
+  core::Simulation<double, 3, octree::OctreeStrategy<double, 3>> sim(initial, cfg);
+  sim.run(exec::par, 1);
+  const double force0 = sim.phases().seconds("force");
+  support::Stopwatch w;
+  sim.run(exec::par, steps);
+  const double wall = w.seconds();
+  const double force = sim.phases().seconds("force") - force0;
+  row.force_s = std::min(row.force_s, force / static_cast<double>(steps));
+  row.step_s = std::min(row.step_s, wall / static_cast<double>(steps));
+  exec::set_default_backend(saved);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = argc > 1 ? argv[1] : "";
+  const int reps = 3;
+  const std::size_t steps = 8;
+  auto cfg = nbody::bench::paper_config();
+  const exec::backend backends[] = {exec::backend::static_chunk, exec::backend::dynamic_chunk,
+                                    exec::backend::work_steal};
+
+  std::vector<Row> rows;
+  for (std::size_t n : {std::size_t{4096}, std::size_t{16384}}) {
+    const auto initial = workloads::drifting_cluster(n);
+    for (exec::backend b : backends) rows.push_back({b, n});
+    // INTERLEAVED minima (see ablation_group): backends alternate within
+    // each rep so an external stall spanning one block cannot bias ratios.
+    for (int r = 0; r < reps; ++r) {
+      std::size_t i = rows.size() - 3;
+      for (exec::backend b : backends) {
+        (void)b;
+        measure_block(rows[i], initial, cfg, steps);
+        ++i;
+      }
+    }
+  }
+
+  // Ratios vs the dynamic-backend row of the same N.
+  auto dynamic_force = [&](const Row& r) {
+    for (const Row& b : rows)
+      if (b.n == r.n && b.b == exec::backend::dynamic_chunk) return b.force_s;
+    return std::numeric_limits<double>::quiet_NaN();
+  };
+
+  nbody::bench_support::Table table(
+      "Scheduling-backend ablation (drifting cluster, octree force phase, " +
+          std::to_string(steps) + " steps/block)",
+      {"backend", "N", "force s/step", "step s/step", "force ratio vs dynamic"});
+  for (const Row& r : rows)
+    table.add_row({std::string(exec::backend_name(r.b)), static_cast<long long>(r.n),
+                   r.force_s, r.step_s, r.force_s / dynamic_force(r)});
+  table.print();
+  table.maybe_write_csv("ablation_steal");
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "ablation_steal: cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"steal\",\n  \"backend\": \"all\",\n");
+    std::fprintf(f, "  \"workload\": \"drifting_cluster\",\n  \"rows\": [\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      std::fprintf(f,
+                   "    {\"strategy\": \"octree\", \"mode\": \"%s\", \"n\": %zu, "
+                   "\"force_s\": %.6e, \"step_s\": %.6e, \"ratio\": %.4f}%s\n",
+                   exec::backend_name(r.b), r.n, r.force_s, r.step_s,
+                   r.force_s / dynamic_force(r), i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

@@ -19,6 +19,14 @@
 #     (b) no (strategy, mode, backend, N) maintenance ratio regressed
 #         beyond the band relative to the committed seed JSON.
 #
+#   steal            (bench/ablation_steal)
+#     (a) steal-backend force phase no slower than the dynamic backend at
+#         N >= 16384 beyond the noise band (row "mode" carries the backend,
+#         "ratio" is force_s vs dynamic at the same N);
+#     (b) no (backend, N) force ratio regressed beyond the band vs the seed.
+#     This binary sweeps the backends in-process (its rule is cross-backend),
+#     so its gate sets NBODY_BENCH_GATE_ONESHOT=1 to run it once.
+#
 # Ratios — not absolute seconds — are compared, so the gate is robust to the
 # host being faster or slower than the machine that produced the seed.
 #
@@ -39,17 +47,24 @@ SEED="${2:?usage: run_bench_gate.sh <ablation-binary> <seed-json> [out-json]}"
 OUT="${3:-BENCH_out.json}"
 BAND="${NBODY_BENCH_GATE_BAND:-0.25}"
 BOOTSTRAP="${NBODY_BENCH_GATE_BOOTSTRAP:-0}"
+ONESHOT="${NBODY_BENCH_GATE_ONESHOT:-0}"
 
 TMPDIR_GATE="$(mktemp -d)"
 trap 'rm -rf "$TMPDIR_GATE"' EXIT
 
 attempt() {
-  # chaos_permute is a verification backend (randomized schedules), not a
-  # performance discipline — the gate sweeps the three production backends.
-  for backend in static dynamic steal; do
-    echo "==== $(basename "$BIN") NBODY_BACKEND=$backend ===="
-    NBODY_BACKEND="$backend" "$BIN" "$TMPDIR_GATE/$backend.json"
-  done
+  if [ "$ONESHOT" = "1" ]; then
+    # The binary sweeps the backends itself (cross-backend acceptance rule).
+    echo "==== $(basename "$BIN") (in-process backend sweep) ===="
+    "$BIN" "$TMPDIR_GATE/all.json"
+  else
+    # chaos_permute is a verification backend (randomized schedules), not a
+    # performance discipline — the gate sweeps the three production backends.
+    for backend in static dynamic steal; do
+      echo "==== $(basename "$BIN") NBODY_BACKEND=$backend ===="
+      NBODY_BACKEND="$backend" "$BIN" "$TMPDIR_GATE/$backend.json"
+    done
+  fi
 
   python3 - "$TMPDIR_GATE" "$OUT" "$SEED" "$BAND" "$BOOTSTRAP" <<'EOF'
 import json, os, sys
@@ -111,6 +126,15 @@ for backend, rows in merged["backends"].items():
                 failures.append(
                     f"{where}: incremental/rebuild maintenance ratio {ratio:.3f} "
                     f">= 1.0 (incremental no longer beats per-step rebuild)")
+        elif bench == "steal":
+            # (a) absolute acceptance: the steal backend's force phase keeps
+            # up with the dynamic backend on the irregular drift workload at
+            # the paper-scale N ("mode" holds the backend under test; ratio
+            # is force_s vs the dynamic backend at the same N).
+            if r.get("mode") == "steal" and r["n"] >= 16384 and ratio > 1.0 + band:
+                failures.append(
+                    f"{where}: steal/dynamic force ratio {ratio:.3f} > "
+                    f"{1.0 + band:.3f} (steal backend slower than dynamic)")
         # (b) regression vs the committed seed ratio (all benches).
         if key in seed_ratio and ratio > seed_ratio[key] * (1.0 + band):
             failures.append(

@@ -2,10 +2,11 @@
 # Backend x policy agreement matrix.
 #
 # Runs the same short simulation through every scheduling backend
-# ({static, dynamic, chaos}) under each execution policy
-# ({seq, par, par_unseq}), then checks that all nine trajectories agree
+# ({static, dynamic, steal, chaos}) under each execution policy
+# ({seq, par, par_unseq}), then checks that all trajectories agree
 # body-by-body within a tight tolerance: the scheduling discipline — including
-# the seed-permuted chaos schedule — must never change the physics.
+# the seed-permuted chaos schedule and the topology-aware steal deques —
+# must never change the physics.
 #
 # par_unseq uses the BVH strategy (the octree's synchronizing protocol is
 # par/seq only); seq and par use the octree. Both are held to the same
@@ -34,6 +35,11 @@
 #        a job mix under low-rate fault injection + chaos backend +
 #        watchdogs; the server must never crash, every non-poison job must
 #        complete, and the poison job must be quarantined.
+#        STEAL=1 ci/run_matrix.sh <path-to-nbody_cli> — work-steal topology
+#        lane: seq trajectories must be bit-identical under a pinned fake
+#        topology vs the flat fallback (topology feeds scheduling only,
+#        never physics), and par runs under both topologies must track the
+#        seq reference (registered as the `check_steal` CTest case).
 set -euo pipefail
 
 if [ "${FULL:-0}" = "1" ]; then
@@ -288,6 +294,78 @@ SPEC
   exit 0
 fi
 
+if [ "${STEAL:-0}" = "1" ]; then
+  CLI=${1:?usage: STEAL=1 run_matrix.sh <path-to-nbody_cli>}
+  WORKDIR=$(mktemp -d)
+  trap 'rm -rf "$WORKDIR"' EXIT
+
+  echo "==== seq: topology choice must be invisible (bit-for-bit) ===="
+  # p == 1 short-circuits the deque dispatch, but the full pipeline (env
+  # parsing, victim-table construction at first par region, arena-backed
+  # build) still runs; any topology leakage into physics shows up here.
+  for topo in flat fake:2x2x1; do
+    NBODY_THREADS=4 NBODY_BACKEND=steal NBODY_TOPOLOGY="$topo" \
+      "$CLI" --workload plummer --n 512 --steps 5 --seed 11 \
+      --strategy octree --policy seq --save "$WORKDIR/seq-${topo//:/_}.snap" \
+      > /dev/null
+  done
+  cmp "$WORKDIR/seq-flat.snap" "$WORKDIR/seq-fake_2x2x1.snap" || {
+    echo "FAIL: seq trajectory depends on NBODY_TOPOLOGY" >&2; exit 1; }
+  echo "  bit-identical: flat vs fake:2x2x1"
+
+  echo "==== par: both topologies track the seq reference ===="
+  NBODY_THREADS=4 NBODY_BACKEND=steal NBODY_TOPOLOGY=flat \
+    "$CLI" --workload plummer --n 512 --steps 5 --seed 11 \
+    --strategy octree --policy seq --save-csv "$WORKDIR/ref.csv" > /dev/null
+  for topo in flat fake:2x2x1 fake:1x1x4; do
+    NBODY_THREADS=4 NBODY_BACKEND=steal NBODY_TOPOLOGY="$topo" \
+      "$CLI" --workload plummer --n 512 --steps 5 --seed 11 \
+      --strategy octree --policy par --save-csv "$WORKDIR/par-${topo//:/_}.csv" \
+      > /dev/null
+    # Incremental maintenance composes with the steal dispatch under every
+    # topology; held to the amortization ball below.
+    NBODY_THREADS=4 NBODY_BACKEND=steal NBODY_TOPOLOGY="$topo" \
+      "$CLI" --workload plummer --n 512 --steps 5 --seed 11 \
+      --strategy octree --policy par --tree-update incremental \
+      --save-csv "$WORKDIR/par-incr-${topo//:/_}.csv" > /dev/null
+  done
+
+  python3 - "$WORKDIR" <<'EOF'
+import csv
+import math
+import os
+import sys
+
+workdir = sys.argv[1]
+
+def load(path):
+    by_id = {}
+    with open(path) as f:
+        for row in csv.DictReader(f):
+            by_id[int(row["id"])] = [float(row[k]) for k in
+                                     ("x0", "x1", "x2", "v0", "v1", "v2")]
+    return by_id
+
+base = load(os.path.join(workdir, "ref.csv"))
+assert len(base) == 512, f"expected 512 bodies, got {len(base)}"
+for name in ("par-flat", "par-fake_2x2x1", "par-fake_1x1x4",
+             "par-incr-flat", "par-incr-fake_2x2x1", "par-incr-fake_1x1x4"):
+    state = load(os.path.join(workdir, name + ".csv"))
+    assert state.keys() == base.keys(), f"{name}: body ids differ"
+    num = den = 0.0
+    for i, ref in base.items():
+        got = state[i]
+        num += sum((a - b) ** 2 for a, b in zip(got, ref))
+        den += sum(b ** 2 for b in ref)
+    err = math.sqrt(num / den)
+    limit = 2e-2 if "incr" in name else 1e-6
+    print(f"  {name:>22}: rel L2 vs seq = {err:.3e}")
+    assert err <= limit, f"{name} diverged from seq reference: {err:.3e}"
+print("steal topology lane OK")
+EOF
+  exit 0
+fi
+
 CLI=${1:?usage: run_matrix.sh <path-to-nbody_cli>}
 WORKDIR=$(mktemp -d)
 trap 'rm -rf "$WORKDIR"' EXIT
@@ -300,7 +378,7 @@ run_one() {
     --strategy "$strategy" --policy "$policy" --save-csv "$out" "$@" > /dev/null
 }
 
-for backend in static dynamic chaos; do
+for backend in static dynamic steal chaos; do
   run_one "$backend" seq octree "$WORKDIR/$backend-seq.csv"
   run_one "$backend" par octree "$WORKDIR/$backend-par.csv"
   run_one "$backend" par_unseq bvh "$WORKDIR/$backend-par_unseq.csv"
@@ -330,7 +408,7 @@ def load(path):
     return by_id
 
 configs = {}
-for backend in ("static", "dynamic", "chaos"):
+for backend in ("static", "dynamic", "steal", "chaos"):
     for policy in ("seq", "par", "par_unseq"):
         name = f"{backend}-{policy}"
         configs[name] = load(os.path.join(workdir, name + ".csv"))

@@ -107,7 +107,8 @@ GuardReport check_energy_drift(Policy policy, const System<T, D>& sys,
 }
 
 /// Structural validator for a ConcurrentOctree-like tree (duck-typed on its
-/// introspection surface: slot(), parent_of_group(), node_count(), the slot
+/// introspection surface: slot(), parent_of_group(), node_count(),
+/// node_index_end(), the slot
 /// classification statics, and the next-in-leaf chains exposed by chain()).
 /// Checks parent/child consistency, absence of leftover subdivision locks,
 /// and that every body index in [0, n_bodies) is reachable exactly once.
@@ -121,6 +122,9 @@ GuardReport validate_octree(const Tree& tree, std::size_t n_bodies) {
   };
   const std::uint32_t nodes = tree.node_count();
   if (nodes == 0) return fail("empty node pool (no root)");
+  // Chunked allocation leaves holes, so live nodes can sit at indices past
+  // the live *count* — pointer range checks bound with the index end.
+  const std::uint32_t index_end = tree.node_index_end();
   std::vector<char> seen(n_bodies, 0);
   std::size_t reachable = 0;
   std::vector<std::uint32_t> todo{0u};
@@ -132,10 +136,10 @@ GuardReport validate_octree(const Tree& tree, std::size_t n_bodies) {
       return fail("traversal visited more slots than allocated (cycle or corrupt offsets)");
     const std::uint32_t v = tree.slot(node);
     if (Tree::is_internal(v)) {
-      if (v + Tree::K > nodes)
+      if (v + Tree::K > index_end)
         return fail("internal node " + std::to_string(node) + " points past the pool (" +
                     std::to_string(v) + "+" + std::to_string(Tree::K) + " > " +
-                    std::to_string(nodes) + ")");
+                    std::to_string(index_end) + ")");
       if (tree.parent_of_group(Tree::group_of(v)) != node)
         return fail("children of node " + std::to_string(node) +
                     " carry a wrong parent offset");

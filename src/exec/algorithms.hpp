@@ -9,13 +9,14 @@
 // exec/atomic.hpp can see which guarantee the current region provides.
 //
 // Four scheduling backends: static contiguous chunking, dynamic
-// atomic-counter chunking, and range work-stealing stand in for the paper's
-// "two toolchains per system" (Sec. V-A); the fourth, chaos_permute, is a
-// correctness tool, not a performance backend — it dispatches chunks in a
-// seed-permuted order with deterministic yield/delay injection so
-// schedule-sensitive bugs reproduce from NBODY_CHAOS_SEED (see
-// exec/chaos/chaos.hpp). Select globally via set_default_backend() or
-// NBODY_BACKEND=static|dynamic|steal|chaos.
+// atomic-counter chunking, and topology-aware work-stealing (per-worker
+// steal-half deques seeded in curve order — exec/steal_deque.hpp,
+// exec/topology.hpp) stand in for the paper's "two toolchains per system"
+// (Sec. V-A); the fourth, chaos_permute, is a correctness tool, not a
+// performance backend — it dispatches chunks in a seed-permuted order with
+// deterministic yield/delay injection so schedule-sensitive bugs reproduce
+// from NBODY_CHAOS_SEED (see exec/chaos/chaos.hpp). Select globally via
+// set_default_backend() or NBODY_BACKEND=static|dynamic|steal|chaos.
 #pragma once
 
 #include <algorithm>
@@ -23,6 +24,7 @@
 #include <chrono>
 #include <cstddef>
 #include <iterator>
+#include <memory>
 #include <numeric>
 #include <thread>
 #include <utility>
@@ -30,8 +32,10 @@
 
 #include "exec/chaos/chaos.hpp"
 #include "exec/policy.hpp"
+#include "exec/steal_deque.hpp"
 #include "exec/stop_token.hpp"
 #include "exec/thread_pool.hpp"
+#include "exec/topology.hpp"
 #include "obs/metrics.hpp"
 #include "obs/runtime.hpp"
 #include "obs/trace.hpp"
@@ -65,60 +69,36 @@ inline backend& backend_ref() {
   return b;
 }
 
-/// Per-worker index range supporting lock-free owner pops (front) and
-/// thief steals (back). Both halves live in one 64-bit word so a single
-/// CAS updates begin and end atomically — no ABA, no torn ranges.
-class StealableRange {
+/// Bounded exponential backoff for the victim-scan loop: a rank whose scan
+/// found every deque empty (while chunks are still in flight on other
+/// ranks) must not spin the scan at full rate — that is the unbounded-polls
+/// bug class the regression test in tests/test_steal.cpp pins down. Three
+/// regimes, escalating per consecutive failed scan and reset on any
+/// successful pop or steal: hardware pauses, OS yields, then capped
+/// exponential naps (4..128 us). checkpoint_waiting() on every step keeps
+/// the progress simulator and chaos injector able to deschedule the waiter.
+class StealBackoff {
  public:
-  void reset(std::uint32_t begin, std::uint32_t end) {
-    word_.store(pack(begin, end), std::memory_order_relaxed);
-  }
-
-  /// Owner takes up to `chunk` indices from the front; returns [first, last).
-  bool pop_front(std::uint32_t chunk, std::uint32_t& first, std::uint32_t& last) {
-    std::uint64_t w = word_.load(std::memory_order_relaxed);
-    for (;;) {
-      const std::uint32_t b = unpack_begin(w);
-      const std::uint32_t e = unpack_end(w);
-      if (b >= e) return false;
-      const std::uint32_t take = e - b < chunk ? e - b : chunk;
-      if (word_.compare_exchange_weak(w, pack(b + take, e), std::memory_order_acq_rel,
-                                      std::memory_order_relaxed)) {
-        first = b;
-        last = b + take;
-        return true;
-      }
+  void pause() {
+    checkpoint_waiting();
+    if (round_ < kSpinRounds) {
+      spin_wait sw;
+      const unsigned spins = 8u << round_;
+      for (unsigned i = 0; i < spins; ++i) sw.pause();
+    } else if (round_ < kSpinRounds + kYieldRounds) {
+      std::this_thread::yield();
+    } else {
+      const unsigned shift = std::min(round_ - (kSpinRounds + kYieldRounds), 5u);
+      std::this_thread::sleep_for(std::chrono::microseconds(4u << shift));
     }
+    ++round_;
   }
-
-  /// Thief takes the back half of the victim's remaining range.
-  bool steal_back(std::uint32_t& first, std::uint32_t& last) {
-    std::uint64_t w = word_.load(std::memory_order_relaxed);
-    for (;;) {
-      const std::uint32_t b = unpack_begin(w);
-      const std::uint32_t e = unpack_end(w);
-      if (b >= e) return false;
-      const std::uint32_t half = (e - b + 1) / 2;
-      if (word_.compare_exchange_weak(w, pack(b, e - half), std::memory_order_acq_rel,
-                                      std::memory_order_relaxed)) {
-        first = e - half;
-        last = e;
-        return true;
-      }
-    }
-  }
+  void reset() { round_ = 0; }
 
  private:
-  static constexpr std::uint64_t pack(std::uint32_t b, std::uint32_t e) {
-    return (static_cast<std::uint64_t>(b) << 32) | e;
-  }
-  static constexpr std::uint32_t unpack_begin(std::uint64_t w) {
-    return static_cast<std::uint32_t>(w >> 32);
-  }
-  static constexpr std::uint32_t unpack_end(std::uint64_t w) {
-    return static_cast<std::uint32_t>(w);
-  }
-  std::atomic<std::uint64_t> word_{0};
+  static constexpr unsigned kSpinRounds = 4;
+  static constexpr unsigned kYieldRounds = 4;
+  unsigned round_ = 0;
 };
 }  // namespace detail
 
@@ -314,46 +294,84 @@ void parallel_blocks(thread_pool& pool, forward_progress progress, std::size_t n
     });
     throw_if_cancelled(tok);
   } else {
-    // Work stealing: each rank owns a contiguous range, pops small chunks
-    // from its front, and steals the back half of another rank's range when
-    // its own runs dry. Balances irregular iterations (octree insertion)
-    // while keeping the common case contention-free.
+    // Work stealing: per-worker steal-half deques of curve-ordered chunks.
+    // The index space is already SFC-sorted (Hilbert for the BVH, Morton
+    // leaf order for the octree), so chunk c = [c*grain, (c+1)*grain) is a
+    // span of the curve; deques are seeded by dealing contiguous chunk
+    // blocks to ranks in topology order (hardware-adjacent ranks own
+    // curve-adjacent spans), owners pop their spatially-near front, and a
+    // rank that runs dry probes victims nearest-first (same cluster before
+    // cross-package) and steals the spatially-far back half of the richest
+    // probe in one CAS-confirmed transaction. Unlike the packed-range
+    // scheme this one replaces, stolen work re-enters a deque and stays
+    // stealable, so termination is a shared chunk countdown rather than
+    // one failed full scan — and a dry rank backs off exponentially
+    // (StealBackoff) instead of spinning its polls unbounded.
     NBODY_REQUIRE(n <= 0xFFFFFFFFull, "work_steal backend: range too large");
     const std::uint32_t grain =
         static_cast<std::uint32_t>(std::min<std::size_t>(dynamic_grain(n, p), 0xFFFFu));
-    std::vector<detail::StealableRange> ranges(p);
-    const std::size_t base = n / p;
-    const std::size_t rem = n % p;
-    for (unsigned r = 0; r < p; ++r) {
-      const std::size_t begin = r * base + std::min<std::size_t>(r, rem);
-      const std::size_t end = begin + base + (r < rem ? 1 : 0);
-      ranges[r].reset(static_cast<std::uint32_t>(begin), static_cast<std::uint32_t>(end));
+    const std::size_t nchunks = (n + grain - 1) / grain;
+    const VictimTable& topo = victim_table(p);
+    const auto deques = std::make_unique<StealDeque[]>(p);
+    for (unsigned r = 0; r < p; ++r) deques[r].reset(nchunks);
+    // Seed: the j-th contiguous block of chunks goes to the rank in the
+    // j-th topology seat (pushes happen-before the workers via dispatch).
+    const std::size_t cbase = nchunks / p;
+    const std::size_t crem = nchunks % p;
+    for (unsigned j = 0; j < p; ++j) {
+      const std::size_t cb = j * cbase + std::min<std::size_t>(j, crem);
+      const std::size_t ce = cb + cbase + (j < crem ? 1 : 0);
+      StealDeque& d = deques[topo.seed_seat()[j]];
+      for (std::size_t c = cb; c < ce; ++c) {
+        const std::size_t begin = c * grain;
+        d.push_back({static_cast<std::uint32_t>(begin),
+                     static_cast<std::uint32_t>(std::min(begin + grain, n))});
+      }
     }
+    std::atomic<std::size_t> remaining{nchunks};
+    std::atomic<bool> failed{false};
     pool.run([&](unsigned rank) {
       progress_region guard(progress);
       RankSpan span(trace, label, rank);
       std::uint64_t chunks = 0, steals = 0, polls = 0;
-      std::uint32_t first = 0, last = 0;
-      for (;;) {
-        if (tok.stop_requested()) break;  // drain
-        if (ranges[rank].pop_front(grain, first, last)) {
-          f(first, last, rank);
-          ++chunks;
-          continue;
-        }
-        // Own range empty: scan victims once; re-own what we steal.
-        bool stole = false;
-        for (unsigned off = 1; off < p; ++off) {
-          const unsigned victim = (rank + off) % p;
-          ++polls;
-          if (ranges[victim].steal_back(first, last)) {
-            ranges[rank].reset(first, last);
-            stole = true;
-            ++steals;
-            break;
+      std::vector<IndexChunk> loot(nchunks);  // steal_half scratch
+      StealDeque& own = deques[rank];
+      const unsigned* victims = topo.victims_of(rank);
+      detail::StealBackoff backoff;
+      IndexChunk c;
+      try {
+        while (remaining.load(std::memory_order_acquire) != 0) {
+          if (tok.stop_requested() || failed.load(std::memory_order_acquire))
+            break;  // drain
+          if (own.pop_front(c)) {
+            f(c.begin, c.end, rank);
+            ++chunks;
+            remaining.fetch_sub(1, std::memory_order_acq_rel);
+            backoff.reset();
+            continue;
           }
+          bool stole = false;
+          for (unsigned v = 0; v + 1 < p && !stole; ++v) {
+            ++polls;
+            const std::size_t k = deques[victims[v]].steal_half(loot.data(), loot.size());
+            if (k != 0) {
+              for (std::size_t i = 0; i < k; ++i) own.push_back(loot[i]);
+              stole = true;
+              ++steals;
+              backoff.reset();
+            }
+          }
+          // All victims empty but chunks still in flight elsewhere: back off
+          // instead of re-scanning at full rate.
+          if (!stole) backoff.pause();
         }
-        if (!stole) break;  // everything drained
+      } catch (...) {
+        // A throwing chunk never decrements `remaining`, so the countdown
+        // can no longer reach zero — release the other ranks explicitly or
+        // they back off forever. pool.run rethrows the first error after
+        // every rank drains.
+        failed.store(true, std::memory_order_release);
+        throw;
       }
       pool.note_chunks(chunks);
       pool.note_steals(steals);

@@ -1,0 +1,233 @@
+// Per-worker chunk arena: hands out contiguous index blocks from a shared
+// pool in rank-local chunks, so the hot allocation path (octree subdivision
+// under concurrent insertion) is a plain local bump instead of a shared
+// atomic fetch_add per group. Node references stay plain indices into the
+// tree's flat arrays — the tree remains relocatable and cache-dense, and a
+// chunk allocated by one rank holds curve-adjacent sibling groups.
+//
+// Protocol:
+//   reset(base, limit, chunk, slots)  carve [base, limit) into chunk-sized
+//                                     blocks, one active block per slot
+//   allocate(slot, n, first)          bump n indices from slot's active
+//                                     chunk; refills from the freelist or
+//                                     the shared bump pointer when spent
+//   retire_all()                      region exit: every slot's partial
+//                                     chunk goes back to the freelist, so
+//                                     the next region (or an incremental
+//                                     update) reuses it — nothing leaks
+//
+// Conservation is checkable: every index drawn from the shared bump pointer
+// is either served to a caller, parked in a slot's active chunk (held()),
+// or parked on the freelist — leaked() computes the difference and is zero
+// whenever the arena is healthy. Tests assert held() == 0 and leaked() == 0
+// after retire_all().
+//
+// Thread-safety: allocate() is safe concurrently across distinct slots (the
+// scheduler maps worker rank -> slot; a clamped slot collision would mean
+// two threads sharing a bump pointer, which the pool's rank-uniqueness rules
+// out within a region). reset(), retire_all(), held(), leaked(), and
+// stats() are region-boundary operations — callers serialize them.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "exec/atomic.hpp"
+#include "support/assert.hpp"
+
+namespace nbody::exec {
+
+class ChunkArena {
+ public:
+  ChunkArena() = default;
+  // Movable so the owning tree stays movable. Moves are region-boundary
+  // operations (no concurrent allocate()); the mutex itself carries no
+  // state worth moving.
+  ChunkArena(ChunkArena&& other) noexcept { move_from(other); }
+  ChunkArena& operator=(ChunkArena&& other) noexcept {
+    if (this != &other) move_from(other);
+    return *this;
+  }
+  ChunkArena(const ChunkArena&) = delete;
+  ChunkArena& operator=(const ChunkArena&) = delete;
+
+  struct Stats {
+    std::uint64_t refills = 0;          // chunks drawn from the shared bump
+    std::uint64_t freelist_reuses = 0;  // chunks re-issued from the freelist
+    std::uint64_t retired = 0;          // partial chunks returned by retire_all
+    std::uint64_t local_allocs = 0;     // allocations served by a local bump
+  };
+
+  /// Carves [base, limit) into `chunk`-sized blocks for `slots` workers.
+  /// Drops any previous state (freelist, per-slot chunks, counters).
+  void reset(std::uint32_t base, std::uint32_t limit, std::uint32_t chunk, unsigned slots) {
+    NBODY_REQUIRE(base <= limit, "ChunkArena: base past limit");
+    NBODY_REQUIRE(chunk > 0, "ChunkArena: zero chunk size");
+    NBODY_REQUIRE(slots > 0, "ChunkArena: zero slots");
+    base_ = base;
+    limit_ = limit;
+    chunk_ = chunk;
+    bump_ = base;
+    slots_.assign(slots, Slot{});
+    std::lock_guard<std::mutex> lock(mutex_);
+    freelist_.clear();
+    freelist_total_ = 0;
+    refills_ = 0;
+    reuses_ = 0;
+    retired_ = 0;
+  }
+
+  /// Allocates `n` contiguous indices (n <= chunk) for the worker in
+  /// `slot` (clamped mod the slot count); returns false when the pool is
+  /// exhausted — the caller's overflow/retry ladder takes it from there.
+  bool allocate(unsigned slot, std::uint32_t n, std::uint32_t& first) {
+    NBODY_REQUIRE(n > 0 && n <= chunk_, "ChunkArena: allocation larger than chunk");
+    Slot& s = slots_[slot % slots_.size()];
+    if (s.end - s.cur >= n) {
+      first = s.cur;
+      s.cur += n;
+      s.served += n;
+      ++s.local;
+      return true;
+    }
+    return refill_and_allocate(s, n, first);
+  }
+
+  /// Region exit (single-threaded): parks every slot's partial chunk on the
+  /// freelist. After this, held() == 0 and leaked() == 0.
+  void retire_all() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (Slot& s : slots_) {
+      if (s.cur < s.end) {
+        freelist_.emplace_back(s.cur, s.end);
+        freelist_total_ += s.end - s.cur;
+        ++retired_;
+      }
+      s.cur = s.end = 0;
+    }
+  }
+
+  /// One past the highest index ever handed out (base when untouched).
+  [[nodiscard]] std::uint32_t high_water() const {
+    const std::uint32_t b = exec::load_relaxed(const_cast<std::uint32_t&>(bump_));
+    return b < limit_ ? b : limit_;
+  }
+
+  /// Total indices handed to callers across all slots (region-boundary
+  /// read; served indices are never returned, so this is the live count).
+  [[nodiscard]] std::uint64_t served() const {
+    std::uint64_t t = 0;
+    for (const Slot& s : slots_) t += s.served;
+    return t;
+  }
+
+  /// Indices parked in rank-local active chunks (0 after retire_all).
+  [[nodiscard]] std::uint64_t held() const {
+    std::uint64_t h = 0;
+    for (const Slot& s : slots_) h += s.end - s.cur;
+    return h;
+  }
+
+  /// Conservation check: indices drawn from the bump minus (served + held +
+  /// freelist). Zero whenever the arena is healthy.
+  [[nodiscard]] std::int64_t leaked() const {
+    const std::uint64_t drawn = high_water() - base_;
+    std::uint64_t served = 0;
+    for (const Slot& s : slots_) served += s.served;
+    std::lock_guard<std::mutex> lock(mutex_);
+    return static_cast<std::int64_t>(drawn) - static_cast<std::int64_t>(served) -
+           static_cast<std::int64_t>(held()) - static_cast<std::int64_t>(freelist_total_);
+  }
+
+  [[nodiscard]] Stats stats() const {
+    Stats st;
+    std::lock_guard<std::mutex> lock(mutex_);
+    st.refills = refills_;
+    st.freelist_reuses = reuses_;
+    st.retired = retired_;
+    for (const Slot& s : slots_) st.local_allocs += s.local;
+    return st;
+  }
+
+ private:
+  void move_from(ChunkArena& other) {
+    base_ = other.base_;
+    limit_ = other.limit_;
+    chunk_ = other.chunk_;
+    bump_ = other.bump_;
+    slots_ = std::move(other.slots_);
+    freelist_ = std::move(other.freelist_);
+    freelist_total_ = other.freelist_total_;
+    refills_ = other.refills_;
+    reuses_ = other.reuses_;
+    retired_ = other.retired_;
+  }
+
+  struct alignas(64) Slot {
+    std::uint32_t cur = 0;
+    std::uint32_t end = 0;
+    std::uint64_t served = 0;  // indices handed to callers from this slot
+    std::uint64_t local = 0;   // allocations served without touching shared state
+  };
+
+  bool refill_and_allocate(Slot& s, std::uint32_t n, std::uint32_t& first) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Park the remainder of the spent chunk (always smaller than n, but a
+    // same-size request later can still use it when n < chunk).
+    if (s.cur < s.end) {
+      freelist_.emplace_back(s.cur, s.end);
+      freelist_total_ += s.end - s.cur;
+    }
+    s.cur = s.end = 0;
+    // Prefer retired partials over fresh bump space: incremental updates
+    // reuse what the build left behind instead of growing the tree.
+    for (std::size_t i = 0; i < freelist_.size(); ++i) {
+      if (freelist_[i].second - freelist_[i].first >= n) {
+        s.cur = freelist_[i].first;
+        s.end = freelist_[i].second;
+        freelist_total_ -= s.end - s.cur;
+        freelist_[i] = freelist_.back();
+        freelist_.pop_back();
+        ++reuses_;
+        first = s.cur;
+        s.cur += n;
+        s.served += n;
+        return true;
+      }
+    }
+    // Fresh chunk from the shared bump; the tail block may be partial.
+    const std::uint32_t start = exec::fetch_add_relaxed(bump_, chunk_);
+    if (start >= limit_ || limit_ - start < n) {
+      // A tail fragment too small for this request still gets parked so
+      // conservation (leaked() == 0) holds on the overflow path.
+      if (start < limit_) {
+        freelist_.emplace_back(start, limit_);
+        freelist_total_ += limit_ - start;
+      }
+      return false;
+    }
+    s.cur = start;
+    s.end = limit_ - start < chunk_ ? limit_ : start + chunk_;
+    ++refills_;
+    first = s.cur;
+    s.cur += n;
+    s.served += n;
+    return true;
+  }
+
+  std::uint32_t base_ = 0;
+  std::uint32_t limit_ = 0;
+  std::uint32_t chunk_ = 1;
+  std::uint32_t bump_ = 0;  // shared bump pointer (atomic access)
+  std::vector<Slot> slots_;
+  mutable std::mutex mutex_;                                 // freelist + counters
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> freelist_;
+  std::uint64_t freelist_total_ = 0;
+  std::uint64_t refills_ = 0;
+  std::uint64_t reuses_ = 0;
+  std::uint64_t retired_ = 0;
+};
+
+}  // namespace nbody::exec

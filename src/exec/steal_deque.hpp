@@ -1,0 +1,171 @@
+// Steal-half deque for the work_steal backend: each worker owns one deque of
+// curve-ordered index chunks, pops from the front (its spatially-near end),
+// and thieves take the back half (the spatially-far end) in one transaction.
+//
+// Layout: a power-of-two ring of 64-bit chunk entries (begin << 32 | end)
+// plus one 64-bit control word packing tag(16) | top(24) | bottom(24). The
+// valid entries are positions [top, bottom) mod 2^24; every mutation is a
+// single CAS on the control word, so push/pop/steal-half are individually
+// linearizable. Thieves read their k back entries *speculatively* and then
+// CAS-confirm: any concurrent pop, push, or competing steal moves top or
+// bottom (or bumps the tag) and fails the confirm. The tag increments on
+// every push, so a pop/steal whose (top, bottom) pair was recycled by an
+// intervening push-after-steal cannot be confirmed against stale entries
+// (ABA would need 2^16 pushes inside one load-to-CAS window).
+//
+// Concurrency contract: pop_front and steal_half are safe from any thread;
+// push_back is single-producer (the owner rank — concurrent pushers could
+// each write the same slot before either publishes). The scheduler seeds
+// deques on the dispatching thread before the region (happens-before the
+// workers via pool dispatch) and thereafter each rank pushes only into its
+// own deque.
+//
+// Chaos integration: the control word and entry accesses report to the race
+// detector via chaos::hook_atomic as *non-synchronizing* operations — the
+// deque is scheduler infrastructure, outside the per-step policy table that
+// governs user code under par_unseq (the same reason the old StealableRange
+// used raw std::atomic instead of the policy-noting exec/atomic.hpp
+// helpers). exec::checkpoint() sits in each op's speculative window so the
+// chaos backend's YieldInjector can interleave push/pop/steal at exactly
+// the points where a synchronization bug would surface.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "exec/chaos/hooks.hpp"
+#include "exec/policy.hpp"
+#include "support/assert.hpp"
+
+namespace nbody::exec {
+
+/// One contiguous index range [begin, end) — the unit of scheduling.
+struct IndexChunk {
+  std::uint32_t begin = 0;
+  std::uint32_t end = 0;
+};
+
+class StealDeque {
+ public:
+  StealDeque() = default;
+  StealDeque(const StealDeque&) = delete;
+  StealDeque& operator=(const StealDeque&) = delete;
+
+  /// (Re)initializes an empty deque able to hold at least `capacity_hint`
+  /// chunks. Not thread-safe; call before the region starts.
+  void reset(std::size_t capacity_hint) {
+    std::size_t cap = 8;
+    while (cap < capacity_hint + 1) cap <<= 1;
+    NBODY_REQUIRE(cap <= (std::size_t{1} << 23), "StealDeque: capacity exceeds position space");
+    if (cap != mask_ + 1 || ring_ == nullptr) {
+      ring_ = std::make_unique<std::atomic<std::uint64_t>[]>(cap);
+      mask_ = cap - 1;
+    }
+    word_.store(0, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return mask_ + 1; }
+
+  /// Racy snapshot of the chunk count (exact when quiescent).
+  [[nodiscard]] std::size_t size() const {
+    const std::uint64_t w = word_.load(std::memory_order_acquire);
+    return (bot_of(w) - top_of(w)) & kPosMask;
+  }
+
+  /// Owner-only: appends one chunk at the back. False when full.
+  bool push_back(IndexChunk c) {
+    const std::uint64_t entry = pack_chunk(c);
+    std::uint64_t w = word_.load(std::memory_order_acquire);
+    for (;;) {
+      const std::uint32_t t = top_of(w);
+      const std::uint32_t b = bot_of(w);
+      if (((b - t) & kPosMask) > mask_) return false;  // full
+      ring_[b & mask_].store(entry, std::memory_order_relaxed);
+      chaos::hook_atomic(&ring_[b & mask_], "deque.push.entry", false);
+      checkpoint();  // chaos window: entry written, not yet published
+      chaos::hook_atomic(&word_, "deque.push", false);
+      if (word_.compare_exchange_weak(w, pack_word(tag_of(w) + 1, t, (b + 1) & kPosMask),
+                                      std::memory_order_acq_rel, std::memory_order_acquire))
+        return true;
+    }
+  }
+
+  /// Takes the front chunk (lowest curve position). Safe from any thread.
+  bool pop_front(IndexChunk& out) {
+    std::uint64_t w = word_.load(std::memory_order_acquire);
+    for (;;) {
+      const std::uint32_t t = top_of(w);
+      const std::uint32_t b = bot_of(w);
+      if (((b - t) & kPosMask) == 0) return false;
+      const std::uint64_t entry = ring_[t & mask_].load(std::memory_order_relaxed);
+      chaos::hook_atomic(&ring_[t & mask_], "deque.pop.entry", false);
+      checkpoint();  // chaos window: entry read, claim not yet confirmed
+      chaos::hook_atomic(&word_, "deque.pop", false);
+      if (word_.compare_exchange_weak(w, pack_word(tag_of(w), (t + 1) & kPosMask, b),
+                                      std::memory_order_acq_rel, std::memory_order_acquire)) {
+        out = unpack_chunk(entry);
+        return true;
+      }
+    }
+  }
+
+  /// Thief: takes the back ceil(size/2) chunks (at most max_out) into
+  /// out[0..k), preserving curve order. Returns k (0 = empty). Safe from
+  /// any thread.
+  std::size_t steal_half(IndexChunk* out, std::size_t max_out) {
+    if (max_out == 0) return 0;
+    std::uint64_t w = word_.load(std::memory_order_acquire);
+    for (;;) {
+      const std::uint32_t t = top_of(w);
+      const std::uint32_t b = bot_of(w);
+      const std::uint32_t sz = (b - t) & kPosMask;
+      if (sz == 0) return 0;
+      std::size_t k = (sz + 1) / 2;
+      if (k > max_out) k = max_out;
+      for (std::size_t i = 0; i < k; ++i) {
+        const std::uint32_t pos = (b - static_cast<std::uint32_t>(k - i)) & kPosMask;
+        out[i] = unpack_chunk(ring_[pos & mask_].load(std::memory_order_relaxed));
+        chaos::hook_atomic(&ring_[pos & mask_], "deque.steal.entry", false);
+      }
+      checkpoint();  // chaos window: entries read, transfer not yet confirmed
+      chaos::hook_atomic(&word_, "deque.steal", false);
+      if (word_.compare_exchange_weak(
+              w, pack_word(tag_of(w), t, (b - static_cast<std::uint32_t>(k)) & kPosMask),
+              std::memory_order_acq_rel, std::memory_order_acquire))
+        return k;
+    }
+  }
+
+ private:
+  static constexpr std::uint32_t kPosMask = 0xFFFFFFu;  // 24-bit positions
+
+  static constexpr std::uint64_t pack_word(std::uint32_t tag, std::uint32_t top,
+                                           std::uint32_t bot) {
+    return (static_cast<std::uint64_t>(tag & 0xFFFFu) << 48) |
+           (static_cast<std::uint64_t>(top & kPosMask) << 24) |
+           static_cast<std::uint64_t>(bot & kPosMask);
+  }
+  static constexpr std::uint32_t tag_of(std::uint64_t w) {
+    return static_cast<std::uint32_t>(w >> 48) & 0xFFFFu;
+  }
+  static constexpr std::uint32_t top_of(std::uint64_t w) {
+    return static_cast<std::uint32_t>(w >> 24) & kPosMask;
+  }
+  static constexpr std::uint32_t bot_of(std::uint64_t w) {
+    return static_cast<std::uint32_t>(w) & kPosMask;
+  }
+  static constexpr std::uint64_t pack_chunk(IndexChunk c) {
+    return (static_cast<std::uint64_t>(c.begin) << 32) | c.end;
+  }
+  static constexpr IndexChunk unpack_chunk(std::uint64_t e) {
+    return {static_cast<std::uint32_t>(e >> 32), static_cast<std::uint32_t>(e)};
+  }
+
+  std::atomic<std::uint64_t> word_{0};
+  std::unique_ptr<std::atomic<std::uint64_t>[]> ring_;
+  std::size_t mask_ = 0;  // capacity - 1 (capacity is a power of two)
+};
+
+}  // namespace nbody::exec

@@ -1,0 +1,166 @@
+#include "exec/topology.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <optional>
+
+#include "support/assert.hpp"
+#include "support/env.hpp"
+
+namespace nbody::exec {
+
+namespace {
+
+/// Reads a sysfs file holding one small integer; nullopt on any failure so
+/// a partially populated hierarchy falls back to flat instead of mixing
+/// real and guessed levels.
+std::optional<int> read_sysfs_int(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return std::nullopt;
+  int v = 0;
+  const int got = std::fscanf(f, "%d", &v);
+  std::fclose(f);
+  if (got != 1 || v < 0) return std::nullopt;
+  return v;
+}
+
+std::string cpu_path(unsigned cpu, const char* leaf) {
+  return "/sys/devices/system/cpu/cpu" + std::to_string(cpu) + "/" + leaf;
+}
+
+/// fake:PxCxS — e.g. "fake:2x2x4". Returns false on malformed specs.
+bool parse_fake_spec(const std::string& spec, unsigned& packages, unsigned& clusters,
+                     unsigned& cores) {
+  unsigned p = 0, c = 0, s = 0;
+  if (std::sscanf(spec.c_str(), "fake:%ux%ux%u", &p, &c, &s) != 3) return false;
+  if (p == 0 || c == 0 || s == 0) return false;
+  packages = p;
+  clusters = c;
+  cores = s;
+  return true;
+}
+
+}  // namespace
+
+Topology Topology::flat(unsigned nranks) {
+  Topology t;
+  t.source_ = "flat";
+  t.locs_.resize(nranks);
+  for (unsigned r = 0; r < nranks; ++r) t.locs_[r] = {0, 0, static_cast<int>(r)};
+  return t;
+}
+
+Topology Topology::fake(unsigned nranks, unsigned packages, unsigned clusters_per_package,
+                        unsigned cores_per_cluster) {
+  NBODY_REQUIRE(packages > 0 && clusters_per_package > 0 && cores_per_cluster > 0,
+                "fake topology: all levels must be nonzero");
+  Topology t;
+  t.source_ = "fake";
+  t.locs_.resize(nranks);
+  const unsigned total = packages * clusters_per_package * cores_per_cluster;
+  for (unsigned r = 0; r < nranks; ++r) {
+    const unsigned core = r % total;  // extra ranks share cores (SMT-like)
+    const unsigned cluster = core / cores_per_cluster;
+    const unsigned package = cluster / clusters_per_package;
+    t.locs_[r] = {static_cast<int>(package), static_cast<int>(cluster),
+                  static_cast<int>(core)};
+  }
+  return t;
+}
+
+Topology Topology::linux_sysfs(unsigned nranks) {
+  // Rank r is mapped onto logical CPU r (workers are not pinned — see the
+  // header). Any missing file degrades the whole read to flat, keeping the
+  // result deterministic for a given sysfs state.
+  Topology t;
+  t.source_ = "linux";
+  t.locs_.resize(nranks);
+  for (unsigned r = 0; r < nranks; ++r) {
+    const auto pkg = read_sysfs_int(cpu_path(r, "topology/physical_package_id"));
+    const auto core = read_sysfs_int(cpu_path(r, "topology/core_id"));
+    if (!pkg || !core) return flat(nranks);
+    // LLC domain: cache/index3/id on kernels that expose it; a package is
+    // its own cluster otherwise (monolithic-LLC parts).
+    const auto llc = read_sysfs_int(cpu_path(r, "cache/index3/id"));
+    // core_id is only unique within a package; fold the package in so the
+    // stored ids are global.
+    t.locs_[r] = {*pkg, llc ? *llc + (*pkg << 16) : *pkg, *core + (*pkg << 16)};
+  }
+  return t;
+}
+
+Topology Topology::detect(unsigned nranks) {
+  const auto spec = support::env_string("NBODY_TOPOLOGY");
+  if (spec) {
+    if (*spec == "flat") return flat(nranks);
+    unsigned p = 0, c = 0, s = 0;
+    if (parse_fake_spec(*spec, p, c, s)) return fake(nranks, p, c, s);
+    // "linux" and anything unparsable fall through to the sysfs read.
+  }
+  return linux_sysfs(nranks);
+}
+
+unsigned Topology::distance(unsigned a, unsigned b) const {
+  const Loc& la = locs_[a];
+  const Loc& lb = locs_[b];
+  if (la.package != lb.package) return 3;
+  if (la.cluster != lb.cluster) return 2;
+  if (la.core != lb.core) return 1;
+  return 0;
+}
+
+std::vector<unsigned> Topology::victim_order(unsigned rank) const {
+  const unsigned p = ranks();
+  std::vector<unsigned> order;
+  order.reserve(p - 1);
+  for (unsigned o = 0; o < p; ++o)
+    if (o != rank) order.push_back(o);
+  std::sort(order.begin(), order.end(), [&](unsigned x, unsigned y) {
+    const unsigned dx = distance(rank, x);
+    const unsigned dy = distance(rank, y);
+    if (dx != dy) return dx < dy;
+    const unsigned rx = (x + p - rank) % p;
+    const unsigned ry = (y + p - rank) % p;
+    if (rx != ry) return rx < ry;
+    return x < y;
+  });
+  return order;
+}
+
+std::vector<unsigned> Topology::seed_order() const {
+  std::vector<unsigned> order(ranks());
+  for (unsigned r = 0; r < ranks(); ++r) order[r] = r;
+  std::sort(order.begin(), order.end(), [&](unsigned x, unsigned y) {
+    const Loc& lx = locs_[x];
+    const Loc& ly = locs_[y];
+    if (lx.package != ly.package) return lx.package < ly.package;
+    if (lx.cluster != ly.cluster) return lx.cluster < ly.cluster;
+    if (lx.core != ly.core) return lx.core < ly.core;
+    return x < y;
+  });
+  return order;
+}
+
+VictimTable::VictimTable(const Topology& topo)
+    : p_(topo.ranks()), seats_(topo.seed_order()), source_(topo.source()) {
+  NBODY_REQUIRE(p_ >= 2, "VictimTable: need at least two ranks");
+  order_.reserve(static_cast<std::size_t>(p_) * (p_ - 1));
+  for (unsigned r = 0; r < p_; ++r) {
+    const auto row = topo.victim_order(r);
+    order_.insert(order_.end(), row.begin(), row.end());
+  }
+}
+
+const VictimTable& victim_table(unsigned nranks) {
+  static std::mutex mutex;
+  static std::map<unsigned, VictimTable> cache;
+  std::lock_guard<std::mutex> lock(mutex);
+  auto it = cache.find(nranks);
+  if (it == cache.end())
+    it = cache.emplace(nranks, VictimTable(Topology::detect(nranks))).first;
+  return it->second;
+}
+
+}  // namespace nbody::exec

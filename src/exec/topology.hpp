@@ -1,0 +1,93 @@
+// CPU topology model for the work-stealing backend: which worker ranks are
+// hardware-near (same core, same last-level-cache cluster, same package), so
+// steals probe nearby victims first and deque seeding hands curve-adjacent
+// chunk blocks to hardware-adjacent ranks.
+//
+// Three sources, selected by NBODY_TOPOLOGY:
+//
+//   linux        read /sys/devices/system/cpu/cpuN/{topology,cache} (default;
+//                falls back to flat when sysfs is absent or partial)
+//   flat         deterministic fallback: one shared cluster, one core per
+//                rank — victim order degenerates to ring order
+//   fake:PxCxS   pinned synthetic hierarchy for tests: P packages, C
+//                clusters per package, S cores per cluster; ranks are laid
+//                onto cores round-robin
+//
+// The model is a *locality heuristic*: worker threads are not pinned, so
+// rank r is mapped onto logical CPU r. A wrong guess costs a slightly worse
+// probe order, never correctness — every rank still scans all victims.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nbody::exec {
+
+class Topology {
+ public:
+  struct Loc {
+    int package = 0;
+    int cluster = 0;  // globally unique LLC-domain id
+    int core = 0;     // globally unique physical-core id
+  };
+
+  /// Honors NBODY_TOPOLOGY (linux | flat | fake:PxCxS); unset or
+  /// unparsable specs mean linux with flat fallback.
+  static Topology detect(unsigned nranks);
+
+  static Topology linux_sysfs(unsigned nranks);  // flat when sysfs is partial
+  static Topology flat(unsigned nranks);
+  static Topology fake(unsigned nranks, unsigned packages, unsigned clusters_per_package,
+                       unsigned cores_per_cluster);
+
+  [[nodiscard]] unsigned ranks() const { return static_cast<unsigned>(locs_.size()); }
+  [[nodiscard]] const Loc& loc(unsigned rank) const { return locs_[rank]; }
+  [[nodiscard]] const char* source() const { return source_; }
+
+  /// Hierarchy distance: 0 same core, 1 same cluster, 2 same package,
+  /// 3 cross-package.
+  [[nodiscard]] unsigned distance(unsigned a, unsigned b) const;
+
+  /// Victim probe order for `rank`: every other rank, nearest hierarchy
+  /// level first, ties broken by ascending ring distance ((victim - rank)
+  /// mod p) then by rank — fully deterministic for a fixed topology.
+  [[nodiscard]] std::vector<unsigned> victim_order(unsigned rank) const;
+
+  /// Deal-out order for deque seeding: ranks sorted by (package, cluster,
+  /// core, rank). Assigning the j-th contiguous block of curve-ordered
+  /// chunks to seed_order()[j] puts curve-adjacent work on
+  /// hardware-adjacent ranks.
+  [[nodiscard]] std::vector<unsigned> seed_order() const;
+
+ private:
+  std::vector<Loc> locs_;
+  const char* source_ = "flat";
+};
+
+/// Flattened, cached victim orders + seed order for a pool of `nranks`
+/// participants. Built once per (nranks, NBODY_TOPOLOGY) and shared by every
+/// region dispatch; row r holds rank r's nranks-1 victims.
+class VictimTable {
+ public:
+  explicit VictimTable(const Topology& topo);
+
+  [[nodiscard]] unsigned ranks() const { return p_; }
+  [[nodiscard]] const unsigned* victims_of(unsigned rank) const {
+    return order_.data() + static_cast<std::size_t>(rank) * (p_ - 1);
+  }
+  /// seed_seat()[j] = rank owning the j-th contiguous chunk block.
+  [[nodiscard]] const std::vector<unsigned>& seed_seat() const { return seats_; }
+  [[nodiscard]] const char* source() const { return source_; }
+
+ private:
+  unsigned p_;
+  std::vector<unsigned> order_;  // (p-1) victims per rank, concatenated
+  std::vector<unsigned> seats_;
+  const char* source_;
+};
+
+/// Process-cached VictimTable for a pool of `nranks` (>= 2) participants.
+[[nodiscard]] const VictimTable& victim_table(unsigned nranks);
+
+}  // namespace nbody::exec

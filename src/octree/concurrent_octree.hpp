@@ -12,10 +12,18 @@
 //
 // plus one parent offset per sibling group (4 bytes per 2^D nodes), enabling
 // the leaf-to-root multipole reduction and the backward steps of the
-// stackless force DFS. Nodes come from a bump allocator: a relaxed atomic
-// fetch_add over a pre-reserved pool; exhaustion aborts the attempt and the
-// build retries with a doubled pool (the paper sizes the pool from an
+// stackless force DFS. Nodes come from a per-worker chunk arena
+// (exec/arena.hpp): each rank bump-allocates sibling groups from a private
+// chunk of the pre-reserved pool and only touches shared state on refill,
+// so concurrent subdivisions allocate contention-free and one rank's groups
+// are contiguous (curve-adjacent bodies subdivide on the same rank, so its
+// chunk stays cache-dense). Partial chunks merge back on region exit and
+// are reissued before fresh pool space. Exhaustion aborts the attempt and
+// the build retries with a doubled pool (the paper sizes the pool from an
 // isotropic-subdivision estimate; the retry makes that estimate safe).
+// Parked-chunk node groups look like empty sibling groups with parent 0:
+// the multipole climb adds zero mass to the root and stops, traversals
+// never reach them — benign by the same argument as empty leaves.
 //
 // The three parallel algorithms:
 //   build()              — Algorithm 4: per-body root-to-leaf descent with
@@ -41,7 +49,9 @@
 
 #include "core/system.hpp"
 #include "exec/algorithms.hpp"
+#include "exec/arena.hpp"
 #include "exec/atomic.hpp"
+#include "obs/runtime.hpp"
 #include "math/aabb.hpp"
 #include "math/batch_kernels.hpp"
 #include "math/gravity.hpp"
@@ -76,6 +86,11 @@ class ConcurrentOctree {
     /// the slot encoding to distinguish internal nodes from bodies, so the
     /// default sits just under that flag.
     std::uint32_t max_capacity = kBodyFlag - (1u << D);
+    /// Sibling groups per rank-local arena chunk: each worker refills its
+    /// private allocation chunk with this many groups at once. 1 degrades
+    /// to a shared bump per group (the pre-arena behavior, kept selectable
+    /// for the allocator-equivalence tests).
+    std::uint32_t arena_groups = 16;
   };
 
   /// Memory-ordering discipline of the multipole reduction's atomics.
@@ -112,9 +127,15 @@ class ConcurrentOctree {
     std::uint32_t capacity = std::min(initial_capacity(x.size()), params_.max_capacity);
     for (std::uint32_t attempt = 0;; ++attempt) {
       reset(capacity, x.size());
-      exec::for_each_index(policy, x.size(), [&](std::size_t b) {
-        insert_one(static_cast<std::uint32_t>(b), x);
-      });
+      try {
+        exec::for_each_index(policy, x.size(), [&](std::size_t b) {
+          insert_one(static_cast<std::uint32_t>(b), x);
+        });
+      } catch (...) {
+        arena_.retire_all();  // keep the leak invariant across fault unwinds
+        throw;
+      }
+      arena_.retire_all();  // merge partial chunks back (leaked() stays 0)
       if (!exec::load_relaxed(overflow_)) break;
       if (attempt >= params_.max_build_retries || capacity >= params_.max_capacity)
         throw std::runtime_error(
@@ -210,8 +231,11 @@ class ConcurrentOctree {
       // where the lock holder gets suspended while siblings spin — the
       // mechanism the progress simulator demonstrates.
       exec::checkpoint();
-      const std::uint32_t first = exec::fetch_add_relaxed(allocated_, K);
-      if (first + K > capacity_) {
+      // Rank-local arena allocation: a plain bump inside this worker's
+      // chunk in the common case; refills (freelist or shared bump) are
+      // mutex-protected cold paths inside the arena.
+      std::uint32_t first = 0;
+      if (!arena_.allocate(obs::thread_rank(), K, first)) {
         exec::store_relaxed(overflow_, std::uint8_t{1});
         exec::chaos::hook_lock_released(&child_[index]);
         exec::store_release(child_[index], next);  // restore and abort
@@ -244,7 +268,7 @@ class ConcurrentOctree {
                           const std::vector<vec_t>& x,
                           AtomicDiscipline discipline = AtomicDiscipline::tuned) {
     const bool tuned = discipline == AtomicDiscipline::tuned;
-    const std::uint32_t nodes = node_count();
+    const std::uint32_t nodes = node_index_end();
     node_mass_.assign(nodes, T(0));
     node_com_.assign(nodes, vec_t::zero());
     arrivals_.assign(nodes, 0);
@@ -300,7 +324,7 @@ class ConcurrentOctree {
   template <exec::StarvationFreeCapable Policy>
   void compute_quadrupoles(Policy policy, const std::vector<T>& m,
                            const std::vector<vec_t>& x) {
-    const std::uint32_t nodes = node_count();
+    const std::uint32_t nodes = node_index_end();
     NBODY_REQUIRE(node_mass_.size() == nodes,
                   "compute_quadrupoles: run compute_multipoles first");
     node_quad_.assign(nodes, math::SymTensor<T, D>{});
@@ -633,8 +657,16 @@ class ConcurrentOctree {
     }
     if (moved_list_.empty()) return true;
     exec::store_relaxed(overflow_, std::uint8_t{0});
-    exec::for_each_index(policy, moved_list_.size(),
-                         [&](std::size_t j) { insert_one(moved_list_[j], x); });
+    try {
+      exec::for_each_index(policy, moved_list_.size(),
+                           [&](std::size_t j) { insert_one(moved_list_[j], x); });
+    } catch (...) {
+      arena_.retire_all();
+      throw;
+    }
+    // Reinsertions refill from the partials the build retired, so repeated
+    // incremental steps reuse pool space instead of growing high_water.
+    arena_.retire_all();
     return exec::load_relaxed(overflow_) == 0;
   }
 
@@ -741,8 +773,19 @@ class ConcurrentOctree {
     return st;
   }
 
-  [[nodiscard]] std::uint32_t node_count() const { return allocated_; }
+  /// Live nodes: the root plus every sibling group the arena actually
+  /// served. Chunk space still parked in the arena (holes) is not counted;
+  /// sweeps over node indices must bound with node_index_end() instead.
+  [[nodiscard]] std::uint32_t node_count() const {
+    return capacity_ == 0 ? 0 : 1 + static_cast<std::uint32_t>(arena_.served());
+  }
+  /// One past the highest node index ever issued: holes from chunks still
+  /// parked in the arena are empty sibling groups with parent 0 — the
+  /// node-indexed passes treat them exactly like empty leaves.
+  [[nodiscard]] std::uint32_t node_index_end() const { return arena_.high_water(); }
   [[nodiscard]] std::uint32_t capacity() const { return capacity_; }
+  /// Node-allocation arena (tests: leak/conservation assertions).
+  [[nodiscard]] const exec::ChunkArena& arena() const { return arena_; }
   /// Subdivision-lock contention events observed by the most recent build
   /// (spins on a Locked slot + failed lock CASes). Reset per build attempt.
   [[nodiscard]] std::uint64_t lock_retries() const {
@@ -789,7 +832,11 @@ class ConcurrentOctree {
     child_.assign(capacity, kEmpty);
     parent_.assign((capacity + K - 1) / K, 0);
     next_in_leaf_.resize(n_bodies);
-    allocated_ = 1;  // node 0 is the root
+    // Node 0 is the root; sibling groups start at 1 and stay K-aligned
+    // because every arena request is exactly K and chunks are K-multiples.
+    const std::uint32_t groups = params_.arena_groups > 0 ? params_.arena_groups : 1;
+    arena_.reset(1, capacity, K * groups,
+                 std::max(1u, exec::thread_pool::global().concurrency()));
     overflow_ = 0;
     lock_retries_ = 0;
     if (track_) {
@@ -852,7 +899,7 @@ class ConcurrentOctree {
   std::vector<math::SymTensor<T, D>> node_quad_;  // traceless quadrupoles (optional)
   bool has_quadrupoles_ = false;
   std::uint32_t capacity_ = 0;
-  std::uint32_t allocated_ = 1;  // bump pointer (atomic access)
+  exec::ChunkArena arena_;       // node allocator: rank-local chunks over [1, capacity)
   std::uint8_t overflow_ = 0;    // sticky abort flag (atomic access)
   std::uint64_t lock_retries_ = 0;  // build-lock contention events (atomic access)
   // Incremental-maintenance state (populated only when track_ is on).

@@ -333,7 +333,7 @@ class OctreeStrategy {
     // Leaf occupancy: bodies per occupied leaf (max-depth chains make >1
     // possible even with one-body subdivision).
     auto& occ = reg.histogram("octree.leaf_occupancy", {1, 2, 4, 8, 16, 32});
-    const std::uint32_t nodes = tree_.node_count();
+    const std::uint32_t nodes = tree_.node_index_end();
     for (std::uint32_t nd = 0; nd < nodes; ++nd) {
       const std::uint32_t v = tree_.slot(nd);
       if (!ConcurrentOctree<T, D>::is_body(v)) continue;

@@ -26,6 +26,7 @@
 #include "octree/strategy.hpp"
 #include "prop/generators.hpp"
 #include "prop/invariants.hpp"
+#include "support/fault.hpp"
 #include "support/rng.hpp"
 #include "workloads/workloads.hpp"
 
@@ -264,6 +265,116 @@ TEST(DifferentialSweep, RefitAndIncrementalTrackRebuildOnEveryBackend) {
     }
     nbody::exec::set_default_backend(saved);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Work-steal (deque) backend sweep: the topology-aware steal dispatcher must
+// land on the same physics as the static/dynamic/chaos dispatchers exercised
+// above, over the same 50 generated systems. Steal scheduling is
+// nondeterministic between runs (which rank executes which chunk depends on
+// timing), so the pinned invariant is the same one the chaos sweep uses:
+// dispatch may perturb results only through FP accumulation order, never
+// through the answer.
+// ---------------------------------------------------------------------------
+
+struct StealBackendScope {
+  StealBackendScope() : saved(nbody::exec::default_backend()) {
+    nbody::exec::set_default_backend(backend::work_steal);
+  }
+  ~StealBackendScope() { nbody::exec::set_default_backend(saved); }
+  backend saved;
+};
+
+TEST(DifferentialSweep, StealBackendAgreesAcrossFiftySystems) {
+  StealBackendScope scope;
+  nbody::core::SimConfig<double> cfg;
+  for (std::uint64_t case_seed = 0; case_seed < kSystems; ++case_seed) {
+    const nbody::prop::PropCase c = nbody::prop::make_case(case_seed);
+    SCOPED_TRACE("case_seed=" + std::to_string(case_seed) + " " + c.name);
+    const auto ref = nbody::prop::reference_forces(c.sys, cfg);
+
+    Forces f;
+    f.octree = forces_of(nbody::octree::OctreeStrategy<double, 3>{}, par, c.sys, cfg);
+    f.bvh = forces_of(nbody::bvh::BVHStrategy<double, 3>{}, par_unseq, c.sys, cfg);
+    f.allpairs = forces_of(nbody::allpairs::AllPairs<double, 3>{}, par_unseq, c.sys, cfg);
+    f.allpairs_col = forces_of(nbody::allpairs::AllPairsCol<double, 3>{}, par, c.sys, cfg);
+
+    EXPECT_LE(rel_l2_error(f.allpairs, ref), kExactTol * c.tol_scale);
+    EXPECT_LE(rel_l2_error(f.allpairs_col, ref), kAtomicTol * c.tol_scale);
+    EXPECT_LE(rel_l2_error(f.octree, ref), kTreeTol * c.tol_scale);
+    EXPECT_LE(rel_l2_error(f.bvh, ref), kTreeTol * c.tol_scale);
+
+    // Run-to-run stability: a second pass re-steals differently, but
+    // disjoint per-body outputs mean all-pairs stays bitwise identical and
+    // the trees move only within accumulation rounding.
+    const auto ap2 = forces_of(nbody::allpairs::AllPairs<double, 3>{}, par_unseq, c.sys, cfg);
+    EXPECT_EQ(nbody::prop::max_abs_diff(ap2, f.allpairs), 0.0)
+        << "all-pairs must be bitwise steal-schedule-invariant";
+    const auto oct2 = forces_of(nbody::octree::OctreeStrategy<double, 3>{}, par, c.sys, cfg);
+    EXPECT_LE(rel_l2_error(oct2, f.octree), kAtomicTol * c.tol_scale);
+  }
+}
+
+TEST(Metamorphic, StealBackendKeepsMetamorphicInvariants) {
+  StealBackendScope scope;
+  nbody::core::SimConfig<double> cfg;
+  for (std::uint64_t case_seed = 0; case_seed < 12; ++case_seed) {
+    const auto c = nbody::prop::make_case(case_seed);
+    SCOPED_TRACE("case_seed=" + std::to_string(case_seed) + " " + c.name);
+
+    // Translation equivariance (pairwise differences absorb the shift).
+    const Vec3 t{13.5, -7.25, 3.0};
+    const System3 moved = nbody::prop::translated(c.sys, t);
+    nbody::allpairs::AllPairs<double, 3> ap;
+    EXPECT_LE(rel_l2_error(forces_of(ap, par, moved, cfg), forces_of(ap, par, c.sys, cfg)),
+              1e-8);
+
+    // Body-permutation invariance keyed on stable ids.
+    const System3 shuffled = nbody::prop::permuted(c.sys, case_seed + 4000);
+    EXPECT_LE(rel_l2_error(forces_of(ap, par, shuffled, cfg), forces_of(ap, par, c.sys, cfg)),
+              kExactTol * c.tol_scale);
+    nbody::octree::OctreeStrategy<double, 3> oct;
+    EXPECT_LE(
+        rel_l2_error(forces_of(oct, par, shuffled, cfg), forces_of(oct, par, c.sys, cfg)),
+        1e-7 * c.tol_scale);
+
+    // Momentum conservation (Newton's third law under truncation).
+    if (c.sys.size() >= 2) {
+      EXPECT_LE(nbody::prop::momentum_residual(c.sys, forces_of(oct, par, c.sys, cfg)),
+                kTreeTol * c.tol_scale);
+    }
+  }
+}
+
+// run_guarded's checkpoint/restore ladder composed with the steal dispatcher
+// and incremental tree maintenance: an injected worker hang is reclaimed by
+// the step deadline, the checkpoint restored, and the finished trajectory
+// still sits in the amortization ball of an unfaulted rebuild-every-step run.
+TEST(DifferentialSweep, StealBackendGuardedRestoreWithIncrementalUpdate) {
+  using Oct = nbody::octree::OctreeStrategy<double, 3>;
+  StealBackendScope scope;
+  const System3 initial = nbody::workloads::drifting_cluster(600, 33);
+  nbody::core::SimConfig<double> cfg;
+  cfg.dt = 5e-4;
+  const std::size_t steps = 10;
+
+  typename Oct::Options rebuild_opts;  // rebuild every step, no faults
+  const System3 base = run_steps<Oct>(initial, cfg, rebuild_opts, par, steps);
+
+  typename Oct::Options inc_opts;
+  inc_opts.update = nbody::core::TreeUpdatePolicy::parse("incremental", "steal-sweep");
+  nbody::core::Simulation<double, 3, Oct> sim(initial, cfg, Oct(inc_opts));
+  nbody::support::arm_fault(nbody::support::FaultSite::chunk_hang, {1.0, /*seed=*/0,
+                                                                    /*max_fires=*/1});
+  nbody::core::GuardedOptions<double> gopts;
+  gopts.checkpoint_every = 2;
+  gopts.max_retries = 4;
+  gopts.step_deadline_ms = 150;
+  const auto rep = sim.run_guarded(par, steps, gopts);
+  nbody::support::disarm_all_faults();
+  EXPECT_EQ(rep.steps_completed, steps);
+  EXPECT_GE(rep.restores, 1u) << "the injected hang never forced a restore";
+  EXPECT_LT(nbody::core::l2_position_error(sim.system(), base), 1e-2);
 }
 
 TEST(Metamorphic, TranslationEquivariance) {

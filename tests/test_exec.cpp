@@ -193,58 +193,66 @@ TEST(ForEach, WorkStealBalancesSkewedIterations) {
   set_default_backend(saved);
 }
 
-TEST(StealableRange, OwnerPopsFrontInOrder) {
-  nbody::exec::detail::StealableRange r;
-  r.reset(10, 20);
-  std::uint32_t first = 0, last = 0;
-  ASSERT_TRUE(r.pop_front(4, first, last));
-  EXPECT_EQ(first, 10u);
-  EXPECT_EQ(last, 14u);
-  ASSERT_TRUE(r.pop_front(100, first, last));  // clamped to remainder
-  EXPECT_EQ(first, 14u);
-  EXPECT_EQ(last, 20u);
-  EXPECT_FALSE(r.pop_front(1, first, last));
+TEST(StealDequeExec, OwnerPopsFrontInOrder) {
+  nbody::exec::StealDeque d;
+  d.reset(4);
+  ASSERT_TRUE(d.push_back({10, 14}));
+  ASSERT_TRUE(d.push_back({14, 20}));
+  nbody::exec::IndexChunk c;
+  ASSERT_TRUE(d.pop_front(c));
+  EXPECT_EQ(c.begin, 10u);
+  EXPECT_EQ(c.end, 14u);
+  ASSERT_TRUE(d.pop_front(c));
+  EXPECT_EQ(c.begin, 14u);
+  EXPECT_EQ(c.end, 20u);
+  EXPECT_FALSE(d.pop_front(c));
 }
 
-TEST(StealableRange, ThiefTakesBackHalf) {
-  nbody::exec::detail::StealableRange r;
-  r.reset(0, 10);
-  std::uint32_t first = 0, last = 0;
-  ASSERT_TRUE(r.steal_back(first, last));
-  EXPECT_EQ(first, 5u);
-  EXPECT_EQ(last, 10u);
-  ASSERT_TRUE(r.steal_back(first, last));  // half of the remaining [0,5)
-  EXPECT_EQ(first, 2u);
-  EXPECT_EQ(last, 5u);
+TEST(StealDequeExec, ThiefTakesBackHalf) {
+  nbody::exec::StealDeque d;
+  d.reset(8);
+  for (std::uint32_t i = 0; i < 4; ++i) ASSERT_TRUE(d.push_back({i, i + 1}));
+  nbody::exec::IndexChunk loot[8];
+  // Half of 4 chunks = the back two, in curve order.
+  ASSERT_EQ(d.steal_half(loot, 8), 2u);
+  EXPECT_EQ(loot[0].begin, 2u);
+  EXPECT_EQ(loot[1].begin, 3u);
+  // Half (rounded up) of the remaining 2 = the back one.
+  ASSERT_EQ(d.steal_half(loot, 8), 1u);
+  EXPECT_EQ(loot[0].begin, 1u);
   // Owner still gets the front.
-  ASSERT_TRUE(r.pop_front(10, first, last));
-  EXPECT_EQ(first, 0u);
-  EXPECT_EQ(last, 2u);
-  EXPECT_FALSE(r.steal_back(first, last));
+  nbody::exec::IndexChunk c;
+  ASSERT_TRUE(d.pop_front(c));
+  EXPECT_EQ(c.begin, 0u);
+  EXPECT_FALSE(d.pop_front(c));
+  EXPECT_EQ(d.steal_half(loot, 8), 0u);
 }
 
-TEST(StealableRange, ConcurrentPopsAndStealsAreDisjointAndComplete) {
-  nbody::exec::detail::StealableRange r;
-  constexpr std::uint32_t kN = 100'000;
-  r.reset(0, kN);
-  std::vector<std::atomic<int>> taken(kN);
+TEST(StealDequeExec, ConcurrentPopsAndStealsAreDisjointAndComplete) {
+  nbody::exec::StealDeque d;
+  constexpr std::uint32_t kChunks = 4'000;
+  d.reset(kChunks);
+  for (std::uint32_t c = 0; c < kChunks; ++c) ASSERT_TRUE(d.push_back({c, c + 1}));
+  std::vector<std::atomic<int>> taken(kChunks);
   thread_pool pool(4);
   auto worker = [&](unsigned rank) {
-    std::uint32_t first = 0, last = 0;
+    nbody::exec::IndexChunk c;
+    std::vector<nbody::exec::IndexChunk> loot(kChunks);
     for (;;) {
-      const bool got = (rank % 2 == 0) ? r.pop_front(64, first, last)
-                                       : r.steal_back(first, last);
-      if (!got) break;
-      for (std::uint32_t i = first; i < last; ++i) taken[i].fetch_add(1);
+      if (rank % 2 == 0) {
+        if (!d.pop_front(c)) break;
+        taken[c.begin].fetch_add(1);
+      } else {
+        const std::size_t k = d.steal_half(loot.data(), loot.size());
+        if (k == 0) break;
+        for (std::size_t i = 0; i < k; ++i) taken[loot[i].begin].fetch_add(1);
+      }
     }
   };
   nbody::support::function_ref<void(unsigned)> ref(worker);
   pool.run(ref);
-  // A lone stealer can stop early when only owner-side work remains; drain.
-  std::uint32_t first = 0, last = 0;
-  while (r.pop_front(1024, first, last))
-    for (std::uint32_t i = first; i < last; ++i) taken[i].fetch_add(1);
-  for (std::uint32_t i = 0; i < kN; ++i) ASSERT_EQ(taken[i].load(), 1) << i;
+  // Poppers and thieves race to empty; every chunk lands exactly once.
+  for (std::uint32_t i = 0; i < kChunks; ++i) ASSERT_EQ(taken[i].load(), 1) << i;
 }
 
 TEST(ForEach, EmptyRangeIsNoop) {

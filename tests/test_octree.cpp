@@ -48,9 +48,12 @@ void walk(const Tree& tree, std::uint32_t node, const nbody::math::aabb<double, 
   const std::uint32_t v = tree.slot(node);
   ASSERT_NE(v, Tree::kLocked) << "lock leaked past build";
   if (Tree::is_internal(v)) {
-    // Offsets grow root-to-leaf: the invariant behind the stackless DFS.
-    ASSERT_GT(v, node);
-    ASSERT_LT(v + Tree::K - 1, tree.node_count());
+    // Child groups are group-aligned and inside the issued index range.
+    // (Chunked arena allocation means child indices are NOT ordered
+    // relative to the parent — the stackless DFS climbs via parent_ only.)
+    ASSERT_EQ((v - 1) % Tree::K, 0u);
+    ASSERT_NE(v, node);
+    ASSERT_LT(v + Tree::K - 1, tree.node_index_end());
     // The children's group must point back at this node.
     ASSERT_EQ(tree.parent_of_group(Tree::group_of(v)), node);
     for (unsigned q = 0; q < Tree::K; ++q)
@@ -71,7 +74,7 @@ void check_tree_invariants(const Tree& tree, const std::vector<Vec>& x) {
   // Every body inserted exactly once.
   ASSERT_EQ(bodies.size(), x.size());
   for (std::uint32_t b = 0; b < x.size(); ++b) EXPECT_EQ(bodies.count(b), 1u) << b;
-  // Every allocated node reachable exactly once.
+  // Every live node reachable exactly once (arena holes are not live).
   EXPECT_EQ(visits, tree.node_count());
 }
 
@@ -142,7 +145,7 @@ TEST(OctreeBuild, CoincidentBodiesChainAtMaxDepth) {
   check_tree_invariants(tree, x);
   // Exactly one non-empty leaf, holding all 50 bodies.
   std::size_t chained = 0;
-  for (std::uint32_t node = 0; node < tree.node_count(); ++node) {
+  for (std::uint32_t node = 0; node < tree.node_index_end(); ++node) {
     const auto c = tree.chain(tree.slot(node));
     if (!c.empty()) {
       EXPECT_EQ(c.size(), 50u);
@@ -226,7 +229,7 @@ TEST(OctreeMultipole, InternalNodesEqualSumOfChildren) {
   Octree3 tree;
   tree.build(par, x, nbody::core::compute_root_cube(par, x));
   tree.compute_multipoles(par, m, x);
-  for (std::uint32_t node = 0; node < tree.node_count(); ++node) {
+  for (std::uint32_t node = 0; node < tree.node_index_end(); ++node) {
     const std::uint32_t v = tree.slot(node);
     if (!Octree3::is_internal(v)) continue;
     double kids = 0;

@@ -181,7 +181,7 @@ TEST(ProgressITS, OctreeBuildCompletesUnderParallelForwardProgress) {
   EXPECT_TRUE(r.completed);
   // All bodies present: count bodies reachable from leaves.
   std::size_t found = 0;
-  for (std::uint32_t n = 0; n < tree.node_count(); ++n)
+  for (std::uint32_t n = 0; n < tree.node_index_end(); ++n)
     found += tree.chain(tree.slot(n)).size();
   EXPECT_EQ(found, lanes);
 }

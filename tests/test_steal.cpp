@@ -1,0 +1,625 @@
+// Steal-path concurrency suite: the topology-aware work-stealing backend's
+// three new pieces — the steal-half deque (exec/steal_deque.hpp), the CPU
+// topology model (exec/topology.hpp), and the per-worker node arena
+// (exec/arena.hpp) — plus their integration into the scheduler and the
+// octree. Covers the ISSUE-8 lockdown list: deque edges (empty / one
+// element / ring wraparound), push/pop/steal-half linearizability under
+// chaos schedules, a planted unsynchronized-steal race the lockset detector
+// must catch next to a clean negative control, victim-order determinism
+// under a pinned fake topology, the bounded-backoff polls regression on a
+// skewed workload, and the arena's merge/conservation + allocator-
+// equivalence guarantees.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "core/bbox.hpp"
+#include "core/simulation.hpp"
+#include "exec/algorithms.hpp"
+#include "exec/arena.hpp"
+#include "exec/chaos/chaos.hpp"
+#include "exec/steal_deque.hpp"
+#include "exec/thread_pool.hpp"
+#include "exec/topology.hpp"
+#include "obs/metrics.hpp"
+#include "octree/strategy.hpp"
+#include "support/fault.hpp"
+#include "support/function_ref.hpp"
+#include "workloads/workloads.hpp"
+
+#if defined(NBODY_CHAOS)
+#include "exec/chaos/race_detector.hpp"
+#endif
+
+namespace {
+
+using nbody::exec::backend;
+using nbody::exec::IndexChunk;
+using nbody::exec::par;
+using nbody::exec::par_unseq;
+using nbody::exec::seq;
+using nbody::exec::StealDeque;
+using nbody::exec::thread_pool;
+using nbody::exec::Topology;
+
+// Real worker threads even on single-core hosts (see test_chaos.cpp).
+const bool g_thread_env = [] {
+  setenv("NBODY_THREADS", "4", /*overwrite=*/0);
+  return true;
+}();
+
+class BackendScope {
+ public:
+  explicit BackendScope(backend b) : saved_(nbody::exec::default_backend()) {
+    nbody::exec::set_default_backend(b);
+  }
+  ~BackendScope() { nbody::exec::set_default_backend(saved_); }
+
+ private:
+  backend saved_;
+};
+
+// ---------------------------------------------------------------------------
+// StealDeque edges
+// ---------------------------------------------------------------------------
+
+TEST(StealDeque, EmptyDequePopsAndStealsFail) {
+  StealDeque d;
+  d.reset(4);
+  IndexChunk c;
+  IndexChunk loot[4];
+  EXPECT_FALSE(d.pop_front(c));
+  EXPECT_EQ(d.steal_half(loot, 4), 0u);
+  EXPECT_EQ(d.size(), 0u);
+}
+
+TEST(StealDeque, OneElementGoesToExactlyOneSide) {
+  // Pop side.
+  StealDeque d;
+  d.reset(4);
+  ASSERT_TRUE(d.push_back({7, 9}));
+  IndexChunk c;
+  ASSERT_TRUE(d.pop_front(c));
+  EXPECT_EQ(c.begin, 7u);
+  EXPECT_EQ(c.end, 9u);
+  EXPECT_FALSE(d.pop_front(c));
+  // Steal side: ceil(1/2) = 1 — a thief can take the last chunk.
+  ASSERT_TRUE(d.push_back({1, 2}));
+  IndexChunk loot[4];
+  ASSERT_EQ(d.steal_half(loot, 4), 1u);
+  EXPECT_EQ(loot[0].begin, 1u);
+  EXPECT_EQ(d.steal_half(loot, 4), 0u);
+  EXPECT_FALSE(d.pop_front(c));
+}
+
+TEST(StealDeque, RingWraparoundPreservesFifoOrder) {
+  StealDeque d;
+  d.reset(7);  // ring capacity 8
+  ASSERT_EQ(d.capacity(), 8u);
+  IndexChunk c;
+  // Push/pop cycles walk top and bottom far past the ring size; order and
+  // content must survive every wrap.
+  std::uint32_t next_push = 0, next_pop = 0;
+  for (int cycle = 0; cycle < 100; ++cycle) {
+    for (int i = 0; i < 5; ++i) ASSERT_TRUE(d.push_back({next_push, next_push++ + 1}));
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(d.pop_front(c));
+      EXPECT_EQ(c.begin, next_pop++);
+    }
+  }
+  EXPECT_FALSE(d.pop_front(c));
+  // Wrapped ring still steals the back half in curve order.
+  for (std::uint32_t i = 0; i < 6; ++i) ASSERT_TRUE(d.push_back({i, i + 1}));
+  IndexChunk loot[8];
+  ASSERT_EQ(d.steal_half(loot, 8), 3u);
+  EXPECT_EQ(loot[0].begin, 3u);
+  EXPECT_EQ(loot[1].begin, 4u);
+  EXPECT_EQ(loot[2].begin, 5u);
+}
+
+TEST(StealDeque, PushFailsOnlyWhenFull) {
+  StealDeque d;
+  d.reset(7);  // capacity 8
+  for (std::uint32_t i = 0; i < 8; ++i) ASSERT_TRUE(d.push_back({i, i + 1}));
+  EXPECT_FALSE(d.push_back({8, 9}));
+  IndexChunk c;
+  ASSERT_TRUE(d.pop_front(c));
+  EXPECT_TRUE(d.push_back({8, 9}));
+}
+
+// ---------------------------------------------------------------------------
+// Linearizability under chaos schedules
+// ---------------------------------------------------------------------------
+
+// One owner pushes and pops its deque while three thieves steal halves, all
+// under seeded chaos yield injection: the YieldInjector hooks the
+// exec::checkpoint() calls inside push/pop/steal, so threads get descheduled
+// exactly inside the speculative windows (entry written but unpublished,
+// entries read but unconfirmed). Linearizability means every pushed chunk is
+// claimed exactly once, whatever the interleaving.
+TEST(StealDequeChaos, PushPopStealHalfLinearizableUnderChaosSchedules) {
+  constexpr std::uint32_t kChunks = 512;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    StealDeque d;
+    d.reset(kChunks);
+    std::vector<std::atomic<int>> taken(kChunks);
+    std::atomic<std::uint32_t> claimed{0};
+    thread_pool pool(4);
+    auto worker = [&](unsigned rank) {
+      nbody::exec::chaos::YieldInjector inject(seed, rank);
+      if (rank == 0) {
+        // Owner: push everything, popping every few pushes.
+        IndexChunk c;
+        for (std::uint32_t i = 0; i < kChunks; ++i) {
+          while (!d.push_back({i, i + 1})) {
+            if (d.pop_front(c)) {
+              taken[c.begin].fetch_add(1);
+              claimed.fetch_add(1);
+            }
+          }
+          if (i % 4 == 0 && d.pop_front(c)) {
+            taken[c.begin].fetch_add(1);
+            claimed.fetch_add(1);
+          }
+        }
+        while (claimed.load() < kChunks && d.pop_front(c)) {
+          taken[c.begin].fetch_add(1);
+          claimed.fetch_add(1);
+        }
+      } else {
+        // Thieves: steal halves until every chunk is accounted for.
+        std::vector<IndexChunk> loot(kChunks);
+        while (claimed.load(std::memory_order_acquire) < kChunks) {
+          const std::size_t k = d.steal_half(loot.data(), loot.size());
+          for (std::size_t i = 0; i < k; ++i) {
+            taken[loot[i].begin].fetch_add(1);
+            claimed.fetch_add(1);
+          }
+          if (k == 0) std::this_thread::yield();
+        }
+      }
+    };
+    nbody::support::function_ref<void(unsigned)> ref(worker);
+    pool.run(ref);
+    for (std::uint32_t i = 0; i < kChunks; ++i)
+      ASSERT_EQ(taken[i].load(), 1) << "chunk " << i << " under seed " << seed;
+  }
+}
+
+// The steal backend end-to-end under an irregular workload: every index
+// executed exactly once, and the pool counted actual steals.
+TEST(StealBackendE2E, IrregularWorkloadExecutesOnceAndSteals) {
+  BackendScope scope(backend::work_steal);
+  auto& pool = thread_pool::global();
+  const auto before = pool.stats();
+  const std::size_t n = 4096;
+  std::vector<std::atomic<int>> hits(n);
+  nbody::exec::for_each_index(par, n, [&](std::size_t i) {
+    if (i < 16) {
+      volatile double sink = 0;
+      for (int k = 0; k < 100'000; ++k) sink = sink + k;
+    }
+    hits[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(hits[i].load(), 1) << i;
+  const auto after = pool.stats();
+  if (pool.concurrency() > 1) {
+    EXPECT_GT(after.steals, before.steals);
+  }
+}
+
+// pool.steals / pool.polls observability survives the deque rewrite: the
+// watchdog and job server read these gauges.
+TEST(StealBackendE2E, PoolMetricsExportSteals) {
+  BackendScope scope(backend::work_steal);
+  std::vector<std::atomic<int>> hits(2048);
+  nbody::exec::for_each_index(par, hits.size(), [&](std::size_t i) {
+    if (i == 0) std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    hits[i].fetch_add(1);
+  });
+  nbody::obs::MetricsRegistry reg;
+  nbody::exec::export_pool_metrics(thread_pool::global(), reg);
+  EXPECT_GE(reg.gauge_value("pool.steals"), 0.0);
+  EXPECT_GE(reg.gauge_value("pool.polls"), 0.0);
+  EXPECT_GE(reg.gauge_value("pool.worker.0.busy_seconds"), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Bounded backoff: the victim-scan polls regression
+// ---------------------------------------------------------------------------
+
+// Skewed workload: one chunk holds ~all the work, so every other rank goes
+// dry almost immediately and sits in the victim-scan loop for the whole
+// straggler duration. Without backoff the scan spins polls unbounded
+// (millions during a 60 ms straggler); with bounded exponential backoff the
+// re-scan rate decays to the 128 us nap floor, keeping the poll count a few
+// orders of magnitude smaller. The bound here is ~20x above what the
+// backoff permits but far below unbounded spinning.
+TEST(StealBackoff, PollsStayBoundedOnSkewedWorkload) {
+  BackendScope scope(backend::work_steal);
+  auto& pool = thread_pool::global();
+  const auto before = pool.stats();
+  const std::size_t n = 2048;
+  std::vector<std::atomic<int>> hits(n);
+  nbody::exec::for_each_index(par, n, [&](std::size_t i) {
+    if (i == 0) std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    hits[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(hits[i].load(), 1) << i;
+  const auto after = pool.stats();
+  const std::uint64_t polls = after.polls - before.polls;
+  // p=4: three dry ranks, 3 probes per scan, ~470 naps/straggler-60ms at the
+  // 128 us floor plus the spin/yield ramp -> O(10^4); unbounded is O(10^6+).
+  EXPECT_LT(polls, 100'000u) << "victim scan polled unbounded (backoff regression)";
+}
+
+// ---------------------------------------------------------------------------
+// Topology: victim order determinism under a pinned fake hierarchy
+// ---------------------------------------------------------------------------
+
+TEST(TopologyModel, FakeHierarchyDistances) {
+  // 2 packages x 2 clusters x 2 cores = 8 cores; rank r on core r.
+  const Topology t = Topology::fake(8, 2, 2, 2);
+  EXPECT_STREQ(t.source(), "fake");
+  EXPECT_EQ(t.distance(0, 0), 0u);  // same core
+  EXPECT_EQ(t.distance(0, 1), 1u);  // same cluster
+  EXPECT_EQ(t.distance(0, 2), 2u);  // same package
+  EXPECT_EQ(t.distance(0, 4), 3u);  // cross-package
+  EXPECT_EQ(t.distance(4, 0), 3u);  // symmetric
+}
+
+TEST(TopologyModel, VictimOrderIsNearestFirstAndDeterministic) {
+  const Topology t = Topology::fake(8, 2, 2, 2);
+  // Rank 5 (package 1, cluster 2, shares it with rank 4): nearest is 4,
+  // then package-mates 6, 7 (ring order from 5), then the far package in
+  // ring order 0, 1, 2, 3.
+  const std::vector<unsigned> expect5 = {4, 6, 7, 0, 1, 2, 3};
+  EXPECT_EQ(t.victim_order(5), expect5);
+  const std::vector<unsigned> expect0 = {1, 2, 3, 4, 5, 6, 7};
+  EXPECT_EQ(t.victim_order(0), expect0);
+  // Determinism: same spec, same orders, every rank.
+  const Topology t2 = Topology::fake(8, 2, 2, 2);
+  for (unsigned r = 0; r < 8; ++r) EXPECT_EQ(t.victim_order(r), t2.victim_order(r)) << r;
+}
+
+TEST(TopologyModel, SmtRanksShareCoresAndProbeThemFirst) {
+  // 4 cores, 8 ranks: ranks 4..7 land on cores 0..3 — rank 0's nearest
+  // victim is its core-mate rank 4.
+  const Topology t = Topology::fake(8, 1, 1, 4);
+  EXPECT_EQ(t.distance(0, 4), 0u);
+  EXPECT_EQ(t.victim_order(0).front(), 4u);
+}
+
+TEST(TopologyModel, FlatFallbackDegeneratesToRingOrder) {
+  const Topology t = Topology::flat(5);
+  EXPECT_STREQ(t.source(), "flat");
+  const std::vector<unsigned> expect2 = {3, 4, 0, 1};  // ring from rank 2
+  EXPECT_EQ(t.victim_order(2), expect2);
+  // Flat seed order is the identity: seeding matches the old contiguous
+  // block partition exactly.
+  const std::vector<unsigned> identity = {0, 1, 2, 3, 4};
+  EXPECT_EQ(t.seed_order(), identity);
+}
+
+TEST(TopologyModel, SeedOrderPutsHardwareNeighborsOnAdjacentSeats) {
+  const Topology t = Topology::fake(8, 2, 2, 2);
+  const auto seats = t.seed_order();
+  ASSERT_EQ(seats.size(), 8u);
+  // Walking the seats visits the hierarchy cluster by cluster, package by
+  // package: cluster-mates sit on paired seats, and the cross-package jump
+  // happens exactly once (at the package boundary).
+  unsigned package_jumps = 0;
+  for (std::size_t j = 0; j + 1 < seats.size(); ++j) {
+    const unsigned d = t.distance(seats[j], seats[j + 1]);
+    if (j % 2 == 0) {
+      EXPECT_LE(d, 1u) << "cluster-mates split across seats, seat " << j;
+    }
+    if (d == 3u) ++package_jumps;
+  }
+  EXPECT_EQ(package_jumps, 1u);
+  // Determinism across equal topologies.
+  EXPECT_EQ(seats, Topology::fake(8, 2, 2, 2).seed_order());
+}
+
+TEST(TopologyModel, DetectHonorsEnvSpec) {
+  // detect() re-reads NBODY_TOPOLOGY each call (the victim_table cache, not
+  // detect, is what pins a process's choice).
+  setenv("NBODY_TOPOLOGY", "fake:2x1x2", /*overwrite=*/1);
+  const Topology t = Topology::detect(4);
+  EXPECT_STREQ(t.source(), "fake");
+  EXPECT_EQ(t.distance(0, 1), 1u);
+  EXPECT_EQ(t.distance(0, 2), 3u);  // second package
+  setenv("NBODY_TOPOLOGY", "flat", /*overwrite=*/1);
+  EXPECT_STREQ(Topology::detect(4).source(), "flat");
+  unsetenv("NBODY_TOPOLOGY");
+  // Default: sysfs when present, flat otherwise — never throws.
+  const Topology sys = Topology::detect(4);
+  EXPECT_TRUE(std::string(sys.source()) == "linux" || std::string(sys.source()) == "flat");
+}
+
+// ---------------------------------------------------------------------------
+// Planted race vs clean negative control (lockset detector)
+// ---------------------------------------------------------------------------
+
+#if defined(NBODY_CHAOS)
+
+// The planted bug: a deque whose steal path reads top/bottom as *plain*
+// unsynchronized fields — exactly the mistake the CAS-confirmed control
+// word exists to prevent. The Eraser-style lockset check must flag the
+// multi-thread plain writes with an empty candidate lockset.
+struct RacyDeque {
+  std::uint32_t top = 0;
+  std::uint32_t bottom = 0;
+
+  void racy_push() {
+    namespace cd = nbody::exec::chaos;
+    const std::uint32_t b = cd::checked_load(bottom, "racy_deque.bottom");
+    cd::checked_store(bottom, b + 1, "racy_deque.bottom");
+  }
+  bool racy_steal() {
+    namespace cd = nbody::exec::chaos;
+    const std::uint32_t t = cd::checked_load(top, "racy_deque.top");
+    const std::uint32_t b = cd::checked_load(bottom, "racy_deque.bottom");
+    if (t >= b) return false;
+    cd::checked_store(bottom, b - 1, "racy_deque.bottom");  // unsynchronized!
+    return true;
+  }
+};
+
+TEST(StealRaceDetection, PlantedUnsynchronizedStealIsCaught) {
+  namespace cd = nbody::exec::chaos;
+  cd::DetectorScope detector;
+  RacyDeque d;
+  thread_pool pool(4);
+  auto worker = [&](unsigned rank) {
+    for (int i = 0; i < 200; ++i) {
+      if (rank == 0)
+        d.racy_push();
+      else
+        d.racy_steal();
+    }
+  };
+  nbody::support::function_ref<void(unsigned)> ref(worker);
+  pool.run(ref);
+  EXPECT_GE(cd::RaceDetector::instance().lockset_races(), 1u)
+      << cd::RaceDetector::instance().report();
+}
+
+// Negative control: the real deque hammered by the same shape of workload
+// is race-free — its shared state is CAS-published atomics (exempt from the
+// lockset check by design: synchronization, not data).
+TEST(StealRaceDetection, RealDequeIsLocksetClean) {
+  namespace cd = nbody::exec::chaos;
+  cd::DetectorScope detector;
+  StealDeque d;
+  d.reset(256);
+  std::atomic<std::uint32_t> claimed{0};
+  thread_pool pool(4);
+  auto worker = [&](unsigned rank) {
+    IndexChunk c;
+    std::vector<IndexChunk> loot(256);
+    if (rank == 0) {
+      for (std::uint32_t i = 0; i < 256; ++i) {
+        while (!d.push_back({i, i + 1}))
+          if (d.pop_front(c)) claimed.fetch_add(1);
+        if (i % 3 == 0 && d.pop_front(c)) claimed.fetch_add(1);
+      }
+    } else {
+      while (claimed.load() < 256) {
+        const std::size_t k = d.steal_half(loot.data(), loot.size());
+        if (k == 0 && d.size() == 0 && claimed.load() >= 200) break;
+        claimed.fetch_add(static_cast<std::uint32_t>(k));
+      }
+    }
+  };
+  nbody::support::function_ref<void(unsigned)> ref(worker);
+  pool.run(ref);
+  // Drain whatever is left so the invariant below is meaningful.
+  IndexChunk c;
+  while (d.pop_front(c)) claimed.fetch_add(1);
+  EXPECT_EQ(claimed.load(), 256u);
+  EXPECT_EQ(cd::RaceDetector::instance().lockset_races(), 0u)
+      << cd::RaceDetector::instance().report();
+}
+
+// The steal scheduler's own synchronization is policy-exempt: a par_unseq
+// region dispatched through the deque backend must not charge policy
+// violations to user code that performs no synchronizing ops itself.
+TEST(StealRaceDetection, SchedulerSynchronizationIsPolicyExempt) {
+  namespace cd = nbody::exec::chaos;
+  BackendScope scope(backend::work_steal);
+  cd::DetectorScope detector;
+  std::vector<double> out(4096, 0.0);
+  nbody::exec::for_each_index(par_unseq, out.size(),
+                              [&](std::size_t i) { out[i] = static_cast<double>(i) * 0.5; });
+  EXPECT_EQ(cd::RaceDetector::instance().policy_violations(), 0u)
+      << cd::RaceDetector::instance().report();
+}
+
+#endif  // NBODY_CHAOS
+
+// ---------------------------------------------------------------------------
+// ChunkArena: merge-back conservation, exhaustion, octree integration
+// ---------------------------------------------------------------------------
+
+TEST(ChunkArena, RegionExitMergeReturnsEveryChunk) {
+  nbody::exec::ChunkArena a;
+  a.reset(1, 1 + 64 * 8, /*chunk=*/32, /*slots=*/4);
+  std::uint32_t first = 0;
+  std::set<std::uint32_t> seen;
+  for (unsigned slot = 0; slot < 4; ++slot) {
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(a.allocate(slot, 8, first));
+      ASSERT_TRUE(seen.insert(first).second) << "overlapping allocation";
+      EXPECT_EQ((first - 1) % 8, 0u) << "group alignment lost";
+    }
+  }
+  // 5 allocations of 8 fill 40 of each slot's 32+32 chunk space.
+  EXPECT_GT(a.held(), 0u);
+  EXPECT_EQ(a.leaked(), 0);
+  a.retire_all();
+  EXPECT_EQ(a.held(), 0u);   // every partial chunk merged back
+  EXPECT_EQ(a.leaked(), 0);  // nothing lost in the merge
+  const auto st = a.stats();
+  EXPECT_GT(st.retired, 0u);
+  // Post-merge allocations reuse the retired partials before fresh space.
+  const std::uint32_t hw = a.high_water();
+  ASSERT_TRUE(a.allocate(0, 8, first));
+  EXPECT_EQ(a.high_water(), hw) << "freelist partial not reused";
+  EXPECT_GT(a.stats().freelist_reuses, 0u);
+}
+
+TEST(ChunkArena, ExhaustionFailsCleanlyAndConservesIndices) {
+  nbody::exec::ChunkArena a;
+  a.reset(1, 1 + 40, /*chunk=*/16, /*slots=*/2);
+  std::uint32_t first = 0;
+  std::size_t got = 0;
+  while (a.allocate(got % 2, 8, first)) ++got;
+  EXPECT_EQ(got, 5u);  // 40 indices / 8 per allocation
+  EXPECT_EQ(a.leaked(), 0) << "overflow path lost the tail fragment";
+  a.retire_all();
+  EXPECT_EQ(a.leaked(), 0);
+  EXPECT_EQ(a.held(), 0u);
+}
+
+TEST(ChunkArena, LocalBumpServesTheHotPath) {
+  nbody::exec::ChunkArena a;
+  a.reset(1, 1 + 1024, /*chunk=*/128, /*slots=*/2);
+  std::uint32_t first = 0;
+  for (int i = 0; i < 16; ++i) ASSERT_TRUE(a.allocate(0, 8, first));
+  const auto st = a.stats();
+  EXPECT_EQ(st.refills, 1u);          // one chunk grab...
+  EXPECT_EQ(st.local_allocs, 15u);    // ...then rank-local bumps only
+}
+
+using Octree3 = nbody::octree::ConcurrentOctree<double, 3>;
+using OctreeStrategy3 = nbody::octree::OctreeStrategy<double, 3>;
+
+nbody::math::aabb<double, 3> bounds_of(const std::vector<nbody::math::vec<double, 3>>& x) {
+  return nbody::core::compute_root_cube(seq, x);
+}
+
+TEST(OctreeArena, BuildLeaksNothingAndAllocatesLocally) {
+  const auto sys = nbody::workloads::plummer_sphere(2000, 11);
+  Octree3 tree;
+  tree.build(par, sys.x, bounds_of(sys.x));
+  EXPECT_EQ(tree.arena().held(), 0u) << "build exited with chunks parked on ranks";
+  EXPECT_EQ(tree.arena().leaked(), 0) << "node indices lost";
+  const auto st = tree.arena().stats();
+  // The hot path must be rank-local: far more local bumps than shared refills.
+  EXPECT_GT(st.local_allocs, st.refills);
+  EXPECT_LE(tree.node_count(), tree.capacity());
+  const auto ts = tree.stats();
+  EXPECT_EQ(ts.bodies, 2000u);
+}
+
+TEST(OctreeArena, OverflowLaddersToLargerCapacity) {
+  // Start the pool far too small: the arena exhausts, the attempt aborts
+  // via the sticky overflow flag, and build() doubles until it fits.
+  const auto sys = nbody::workloads::plummer_sphere(1500, 3);
+  Octree3::Params p;
+  p.min_capacity = 8;
+  p.capacity_factor = 0.01;
+  Octree3 tree(p);
+  tree.build(par, sys.x, bounds_of(sys.x));
+  EXPECT_EQ(tree.stats().bodies, 1500u);
+  EXPECT_EQ(tree.arena().leaked(), 0);
+  EXPECT_EQ(tree.arena().held(), 0u);
+}
+
+TEST(OctreeArena, FaultInjectedAllocUnwindCleanly) {
+  // The octree.node_alloc fault site (the NBODY_FAULTS spelling) throws out
+  // of the parallel build; the arena's unwind path must keep the leak
+  // invariant, and a later build must succeed untouched.
+  const auto sys = nbody::workloads::plummer_sphere(800, 5);
+  Octree3 tree;
+  nbody::support::arm_fault(nbody::support::FaultSite::octree_node_alloc,
+                            {1.0, /*seed=*/0, /*max_fires=*/1});
+  EXPECT_THROW(tree.build(par, sys.x, bounds_of(sys.x)), nbody::support::FaultInjected);
+  nbody::support::disarm_all_faults();
+  EXPECT_EQ(tree.arena().held(), 0u) << "fault unwind left chunks parked";
+  tree.build(par, sys.x, bounds_of(sys.x));
+  EXPECT_EQ(tree.stats().bodies, 800u);
+  EXPECT_EQ(tree.arena().leaked(), 0);
+}
+
+// Allocator equivalence: under seq the arena'd build allocates nodes in
+// exactly the shared-bump order (one rank, ascending chunks), so the tree
+// and the forces must match the degenerate arena_groups=1 configuration
+// *bit for bit*.
+TEST(OctreeArena, SeqForcesBitIdenticalToSharedAllocatorBuild) {
+  auto sys_a = nbody::workloads::plummer_sphere(1024, 17);
+  auto sys_b = sys_a;
+  nbody::core::SimConfig<double> cfg;
+  cfg.theta = 0.5;
+  cfg.softening = 0.05;
+
+  OctreeStrategy3::Options arena_opts;
+  arena_opts.tree.arena_groups = 16;
+  OctreeStrategy3::Options shared_opts;
+  shared_opts.tree.arena_groups = 1;  // degenerate: shared bump per group
+
+  nbody::core::Simulation<double, 3, OctreeStrategy3> sim_a(sys_a, cfg,
+                                                            OctreeStrategy3(arena_opts));
+  nbody::core::Simulation<double, 3, OctreeStrategy3> sim_b(sys_b, cfg,
+                                                            OctreeStrategy3(shared_opts));
+  sim_a.run(seq, 2);
+  sim_b.run(seq, 2);
+  for (std::size_t i = 0; i < sim_a.system().x.size(); ++i)
+    for (std::size_t d = 0; d < 3; ++d) {
+      ASSERT_EQ(sim_a.system().x[i][d], sim_b.system().x[i][d]) << "body " << i;
+      ASSERT_EQ(sim_a.system().v[i][d], sim_b.system().v[i][d]) << "body " << i;
+    }
+}
+
+// Under par the two allocator configurations may assign different node
+// indices, but the physics must agree to accumulation-order tolerance.
+TEST(OctreeArena, ParForcesMatchSharedAllocatorWithinTolerance) {
+  auto sys_a = nbody::workloads::plummer_sphere(1024, 19);
+  auto sys_b = sys_a;
+  nbody::core::SimConfig<double> cfg;
+  cfg.theta = 0.5;
+  cfg.softening = 0.05;
+  OctreeStrategy3::Options arena_opts;
+  arena_opts.tree.arena_groups = 16;
+  OctreeStrategy3::Options shared_opts;
+  shared_opts.tree.arena_groups = 1;
+  nbody::core::Simulation<double, 3, OctreeStrategy3> sim_a(sys_a, cfg,
+                                                            OctreeStrategy3(arena_opts));
+  nbody::core::Simulation<double, 3, OctreeStrategy3> sim_b(sys_b, cfg,
+                                                            OctreeStrategy3(shared_opts));
+  sim_a.run(par, 2);
+  sim_b.run(par, 2);
+  for (std::size_t i = 0; i < sim_a.system().x.size(); ++i)
+    for (std::size_t d = 0; d < 3; ++d)
+      ASSERT_NEAR(sim_a.system().x[i][d], sim_b.system().x[i][d], 1e-9) << "body " << i;
+}
+
+// Incremental maintenance on top of the arena: reinsertions draw from the
+// partials the build retired, so repeated updates do not grow the pool.
+TEST(OctreeArena, IncrementalUpdatesReuseRetiredChunks) {
+  auto sys = nbody::workloads::plummer_sphere(1500, 23);
+  Octree3 tree;
+  tree.set_track_geometry(true);
+  tree.build(par, sys.x, bounds_of(sys.x));
+  const std::uint32_t hw_after_build = tree.node_index_end();
+  // Drift a few bodies inside the root box and update incrementally.
+  for (int step = 0; step < 4; ++step) {
+    for (std::size_t i = 0; i < sys.x.size(); i += 7) sys.x[i] *= 0.995;
+    const auto plan = tree.plan_update(par, sys.x);
+    if (plan.escaped > 0) break;
+    ASSERT_TRUE(tree.apply_update(par, sys.x));
+    EXPECT_EQ(tree.arena().held(), 0u) << "apply_update left chunks parked";
+    EXPECT_EQ(tree.arena().leaked(), 0);
+  }
+  EXPECT_LE(tree.node_index_end(), hw_after_build + 8 * 16 * 4u)
+      << "incremental updates grew the pool instead of reusing retired chunks";
+}
+
+}  // namespace
