@@ -1,0 +1,124 @@
+// Ablation: dual-tree M2L traversal vs the group interaction-list walk.
+// Both variants share the same target partition (leaf-order blocks of the
+// effective group size) and the same M2P/P2P batch kernels; dual additionally
+// consumes mutually well-separated source cells as M2L local expansions
+// carried down the target tree, so each leaf's list walk starts from a short
+// deferred frontier instead of the root. Rows time the *force phase only*
+// (PhaseTimer) on the drifting cluster — the spatially coherent regime the
+// dual walk is built for — so tree build / maintenance costs never dilute
+// the comparison.
+//
+// Writes a JSON fragment when invoked with an output path argument; the CI
+// regression gate (ci/run_bench_gate.sh) runs this binary once per
+// scheduling backend and merges the fragments into BENCH_dual_traversal.json.
+#include <cstdio>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "bench_support/table.hpp"
+#include "bvh/strategy.hpp"
+#include "octree/strategy.hpp"
+#include "support/env.hpp"
+
+namespace {
+
+using namespace nbody;
+
+struct Row {
+  const char* strategy;
+  std::size_t n;
+  double group_s;  // force-phase seconds per step, group traversal
+  double dual_s;   // force-phase seconds per step, dual-tree traversal
+};
+
+template <class Strategy>
+double force_once(Strategy& strategy, core::System<double, 3>& sys,
+                  const core::SimConfig<double>& cfg) {
+  support::PhaseTimer t;
+  nbody::bench::accelerate(strategy, exec::par, sys, cfg, &t);
+  return t.seconds("force");
+}
+
+template <class Strategy>
+Row measure(const char* name, const core::System<double, 3>& initial,
+            core::SimConfig<double> cfg, std::size_t group_size, int reps) {
+  typename Strategy::Options opts{};
+  // Build/sort once, then force-only steps.
+  opts.update = core::TreeUpdatePolicy::from_reuse_interval(1u << 30, "ablation_dual");
+  Row row{name, initial.size(), std::numeric_limits<double>::infinity(),
+          std::numeric_limits<double>::infinity()};
+  auto group_sys = initial;
+  Strategy group(opts);
+  auto group_cfg = cfg;
+  group_cfg.group_size = group_size;
+  group_cfg.traversal = core::TraversalMode::group;
+  auto dual_sys = initial;
+  Strategy dual(opts);
+  auto dual_cfg = cfg;
+  dual_cfg.group_size = group_size;
+  dual_cfg.traversal = core::TraversalMode::dual;
+  nbody::bench::accelerate(group, exec::par, group_sys, group_cfg);  // warm-up
+  nbody::bench::accelerate(dual, exec::par, dual_sys, dual_cfg);
+  // INTERLEAVED minima, same rationale as ablation_group: an external stall
+  // spanning one variant's whole block would bias a back-to-back comparison;
+  // alternating within each rep lets both minima converge to the
+  // deterministic cost.
+  for (int r = 0; r < reps; ++r) {
+    row.group_s = std::min(row.group_s, force_once(group, group_sys, group_cfg));
+    row.dual_s = std::min(row.dual_s, force_once(dual, dual_sys, dual_cfg));
+  }
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = argc > 1 ? argv[1] : "";
+  const auto group_size = static_cast<std::size_t>(
+      nbody::support::env_double("NBODY_GROUP_SIZE", 64));
+  const int reps = 5;
+  const auto cfg = nbody::bench::paper_config();
+  const char* backend = exec::backend_name(exec::default_backend());
+
+  std::vector<Row> rows;
+  nbody::bench_support::Table table(
+      "Dual-tree M2L vs group traversal (force phase, par, backend=" +
+          std::string(backend) + ", group=" + std::to_string(group_size) + ")",
+      {"strategy", "N", "group s/step", "dual s/step", "dual/group"});
+  for (std::size_t n : {std::size_t{1024}, std::size_t{4096}, std::size_t{16384}}) {
+    const auto initial = workloads::drifting_cluster(n);
+    rows.push_back(measure<octree::OctreeStrategy<double, 3>>("octree", initial, cfg,
+                                                              group_size, reps));
+    rows.push_back(
+        measure<bvh::BVHStrategy<double, 3>>("bvh", initial, cfg, group_size, reps));
+  }
+  for (const Row& r : rows)
+    table.add_row({std::string(r.strategy), static_cast<long long>(r.n), r.group_s, r.dual_s,
+                   r.dual_s / r.group_s});
+  table.print();
+  table.maybe_write_csv("ablation_dual");
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "ablation_dual: cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"dual_traversal\",\n  \"backend\": \"%s\",\n", backend);
+    std::fprintf(f, "  \"group_size\": %zu,\n  \"rows\": [\n", group_size);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      std::fprintf(f,
+                   "    {\"strategy\": \"%s\", \"n\": %zu, \"group_s\": %.6e, "
+                   "\"dual_s\": %.6e, \"ratio\": %.4f}%s\n",
+                   r.strategy, r.n, r.group_s, r.dual_s, r.dual_s / r.group_s,
+                   i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

@@ -27,6 +27,13 @@
 #     This binary sweeps the backends in-process (its rule is cross-backend),
 #     so its gate sets NBODY_BENCH_GATE_ONESHOT=1 to run it once.
 #
+#   dual_traversal   (bench/ablation_dual)
+#     (a) dual-tree force phase no slower than the group walk at N >= 16384
+#         beyond the noise band (the far-field-dominated regime where M2L
+#         consolidation must pay for its target-tree bookkeeping);
+#     (b) no (strategy, backend, N) dual/group ratio regressed beyond the
+#         band relative to the committed seed JSON.
+#
 # Ratios — not absolute seconds — are compared, so the gate is robust to the
 # host being faster or slower than the machine that produced the seed.
 #
@@ -135,6 +142,13 @@ for backend, rows in merged["backends"].items():
                 failures.append(
                     f"{where}: steal/dynamic force ratio {ratio:.3f} > "
                     f"{1.0 + band:.3f} (steal backend slower than dynamic)")
+        elif bench == "dual_traversal":
+            # (a) absolute acceptance: dual no slower than the group walk at
+            # N >= 16384 (the far-field regime M2L exists for).
+            if r["n"] >= 16384 and ratio > 1.0 + band:
+                failures.append(
+                    f"{where}: dual/group ratio {ratio:.3f} > {1.0 + band:.3f} "
+                    f"(dual traversal slower than group walk)")
         # (b) regression vs the committed seed ratio (all benches).
         if key in seed_ratio and ratio > seed_ratio[key] * (1.0 + band):
             failures.append(

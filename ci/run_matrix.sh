@@ -40,6 +40,13 @@
 #        topology vs the flat fallback (topology feeds scheduling only,
 #        never physics), and par runs under both topologies must track the
 #        seq reference (registered as the `check_steal` CTest case).
+#        DUAL=1 ci/run_matrix.sh <path-to-nbody_cli> — dual-tree traversal
+#        lane: --traversal dual on both strategies across every backend must
+#        track a sequential group-walk reference within the truncation ball
+#        (dual's M2L set is a subset of the group walk's accepts, so the two
+#        differ only by local-expansion truncation), seq dual must be
+#        backend-invariant bit-for-bit, and dual must compose with
+#        incremental tree maintenance (registered as `check_dual`).
 set -euo pipefail
 
 if [ "${FULL:-0}" = "1" ]; then
@@ -362,6 +369,86 @@ for name in ("par-flat", "par-fake_2x2x1", "par-fake_1x1x4",
     print(f"  {name:>22}: rel L2 vs seq = {err:.3e}")
     assert err <= limit, f"{name} diverged from seq reference: {err:.3e}"
 print("steal topology lane OK")
+EOF
+  exit 0
+fi
+
+if [ "${DUAL:-0}" = "1" ]; then
+  CLI=${1:?usage: DUAL=1 run_matrix.sh <path-to-nbody_cli>}
+  WORKDIR=$(mktemp -d)
+  trap 'rm -rf "$WORKDIR"' EXIT
+
+  echo "==== seq: dual traversal must be backend-invariant (bit-for-bit) ===="
+  # The seq caller runs a fully sequential partition + walk, so the
+  # scheduling backend must be invisible to the trajectory.
+  for backend in static chaos; do
+    NBODY_THREADS=4 NBODY_BACKEND="$backend" NBODY_CHAOS_SEED=1337 \
+      "$CLI" --workload plummer --n 512 --steps 5 --seed 11 \
+      --strategy octree --policy seq --traversal dual \
+      --save "$WORKDIR/seq-dual-$backend.snap" > /dev/null
+  done
+  cmp "$WORKDIR/seq-dual-static.snap" "$WORKDIR/seq-dual-chaos.snap" || {
+    echo "FAIL: seq dual trajectory depends on NBODY_BACKEND" >&2; exit 1; }
+  echo "  bit-identical: static vs chaos"
+
+  echo "==== dual tracks the sequential group-walk reference ===="
+  NBODY_THREADS=4 NBODY_BACKEND=static \
+    "$CLI" --workload plummer --n 512 --steps 5 --seed 11 \
+    --strategy octree --policy seq --traversal group \
+    --save-csv "$WORKDIR/ref.csv" > /dev/null
+  for backend in static dynamic steal chaos; do
+    NBODY_THREADS=4 NBODY_BACKEND="$backend" NBODY_CHAOS_SEED=1337 \
+      "$CLI" --workload plummer --n 512 --steps 5 --seed 11 \
+      --strategy octree --policy par --traversal dual \
+      --save-csv "$WORKDIR/$backend-oct-dual.csv" > /dev/null
+    NBODY_THREADS=4 NBODY_BACKEND="$backend" NBODY_CHAOS_SEED=1337 \
+      "$CLI" --workload plummer --n 512 --steps 5 --seed 11 \
+      --strategy bvh --policy par_unseq --traversal dual \
+      --save-csv "$WORKDIR/$backend-bvh-dual.csv" > /dev/null
+    # Dual composes with incremental maintenance: expansions are per-step
+    # scratch, so a refitted tree can never feed the walk stale ones.
+    NBODY_THREADS=4 NBODY_BACKEND="$backend" NBODY_CHAOS_SEED=1337 \
+      "$CLI" --workload plummer --n 512 --steps 5 --seed 11 \
+      --strategy octree --policy par --traversal dual \
+      --tree-update incremental \
+      --save-csv "$WORKDIR/$backend-oct-dual-incr.csv" > /dev/null
+  done
+
+  python3 - "$WORKDIR" <<'EOF'
+import csv
+import math
+import os
+import sys
+
+workdir = sys.argv[1]
+
+def load(path):
+    by_id = {}
+    with open(path) as f:
+        for row in csv.DictReader(f):
+            by_id[int(row["id"])] = [float(row[k]) for k in
+                                     ("x0", "x1", "x2", "v0", "v1", "v2")]
+    return by_id
+
+base = load(os.path.join(workdir, "ref.csv"))
+assert len(base) == 512, f"expected 512 bodies, got {len(base)}"
+for backend in ("static", "dynamic", "steal", "chaos"):
+    for variant in ("oct-dual", "bvh-dual", "oct-dual-incr"):
+        name = f"{backend}-{variant}"
+        state = load(os.path.join(workdir, name + ".csv"))
+        assert state.keys() == base.keys(), f"{name}: body ids differ"
+        num = den = 0.0
+        for i, ref in base.items():
+            got = state[i]
+            num += sum((a - b) ** 2 for a, b in zip(got, ref))
+            den += sum(b ** 2 for b in ref)
+        err = math.sqrt(num / den)
+        print(f"  {name:>22}: rel L2 vs group/seq = {err:.3e}")
+        # Truncation + amortization ball: dual differs from the group walk
+        # by the local-expansion truncation of its M2L accepts; the BVH and
+        # incremental variants additionally ride a different/stale tree.
+        assert err <= 2e-2, f"{name} diverged from group reference: {err:.3e}"
+print("dual traversal lane OK")
 EOF
   exit 0
 fi

@@ -55,4 +55,16 @@ if ! ctest --test-dir "$BUILD_DIR" \
      --output-on-failure; then
   status=1
 fi
+
+# Dual-tree traversal suite, explicitly: the dual walk runs a parallel
+# frontier of recursive target-subtree descents over a shared read-only
+# source tree with thread-local expansion/list scratch — exactly the shared-
+# immutable / private-mutable split ASan and the lockset detector verify.
+# Named directly so a label change can never silently drop it from this lane.
+echo "==== dual traversal + local expansion suite ===="
+if ! ctest --test-dir "$BUILD_DIR" \
+     -R "^(LocalExpansion|DualTraversal|DualTraversalRaces)\." \
+     --output-on-failure; then
+  status=1
+fi
 exit "$status"

@@ -334,6 +334,7 @@ int main(int argc, char** argv) {
   cli.add_option("reuse", "deprecated alias: k maps onto --tree-update "
                           "(1 = rebuild, k > 1 = refit:k)", "1");
   cli.add_option("group-size", "bodies per traversal group (0 = per-body walk)", "0");
+  cli.add_option("traversal", "tree force traversal: dfs | group | dual", "dfs");
   cli.add_option("save", "write final state as binary snapshot", "");
   cli.add_option("save-csv", "write final state as CSV", "");
   cli.add_option("load", "start from a binary snapshot", "");
@@ -402,6 +403,12 @@ int main(int argc, char** argv) {
     cfg.softening = cli.get_double("softening");
     cfg.quadrupole = cli.get_flag("quadrupole");
     cfg.group_size = cli.get_size("group-size");
+    // `dual`/`group` reuse --group-size as the target-partition width
+    // (0 picks the default); --group-size > 0 alone keeps selecting the
+    // grouped walk, its pre---traversal meaning.
+    if (!core::parse_traversal_mode(cli.get("traversal"), cfg.traversal))
+      throw std::invalid_argument("--traversal must be dfs, group, or dual (got '" +
+                                  cli.get("traversal") + "')");
 
     auto sys = make_workload(cli);
     const std::size_t steps = cli.get_size("steps");
@@ -431,9 +438,11 @@ int main(int argc, char** argv) {
     const double m0 = core::total_mass(exec::seq, sys);
     const auto p0 = core::total_momentum(exec::seq, sys);
 
-    std::printf("nbody_cli: N=%zu steps=%zu strategy=%s policy=%s theta=%g dt=%g%s\n",
+    std::printf("nbody_cli: N=%zu steps=%zu strategy=%s policy=%s traversal=%s "
+                "theta=%g dt=%g%s\n",
                 sys.size(), steps, cli.get("strategy").c_str(), cli.get("policy").c_str(),
-                cfg.theta, cfg.dt, cfg.quadrupole ? " +quadrupole" : "");
+                core::traversal_mode_name(cfg.traversal), cfg.theta, cfg.dt,
+                cfg.quadrupole ? " +quadrupole" : "");
 
     support::PhaseTimer phases;
     RunReport report;

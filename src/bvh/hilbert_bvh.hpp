@@ -31,6 +31,7 @@
 #include "math/aabb.hpp"
 #include "math/batch_kernels.hpp"
 #include "math/gravity.hpp"
+#include "math/local_expansion.hpp"
 #include "math/multipole.hpp"
 #include "sfc/grid.hpp"
 #include "support/assert.hpp"
@@ -357,6 +358,106 @@ class HilbertBVH {
       while (k != 1 && (k & 1)) k >>= 1;
       if (k == 1) return;
       ++k;
+    }
+  }
+
+  // -- dual traversal (cell <-> cell far field) -------------------------------
+
+  /// Source-tree cell handle for the dual walk: an implicit-heap node index
+  /// (the BVH stores per-node boxes, so no carried width is needed).
+  struct DualSourceCell {
+    std::uint32_t node;
+  };
+
+  /// Seeds a dual walk with the root node.
+  void dual_root_cells(std::vector<DualSourceCell>& out) const {
+    out.clear();
+    if (n_bodies_ == 0) return;
+    out.push_back({1});
+  }
+
+  /// One dual-walk partition step against the target cell `tbox` — same
+  /// contract as ConcurrentOctree::dual_partition: mutual MAC accepts
+  /// translate into `L` (M2L); on failure the *larger* cell is split —
+  /// the source opens in place when its size dominates the target box,
+  /// otherwise the cell defers so the target's children (whose smaller
+  /// boxes sit farther from the source com) can retry. The source-side
+  /// criterion is exactly collect_group_lists' acceptance (mac_size2, so
+  /// the configured MAC variant carries over); the target side requires
+  /// tbox's longest side to pass the same θ against the box-to-com
+  /// distance. Returns the number of M2L translations.
+  std::size_t dual_partition(const box_t& tbox, T theta2, T G, T eps2,
+                             const std::vector<DualSourceCell>& in,
+                             std::vector<DualSourceCell>& defer,
+                             math::LocalExpansion<T, D>& L, bool quadrupole) const {
+    exec::checkpoint();
+    if (n_bodies_ == 0 || tbox.empty()) return 0;
+    const T side = tbox.longest_side();
+    const T w2 = side * side;
+    std::size_t accepted = 0;
+    static thread_local std::vector<DualSourceCell> stack;
+    stack.clear();
+    for (const DualSourceCell& c0 : in) {
+      stack.push_back(c0);
+      while (!stack.empty()) {
+        const std::size_t k = stack.back().node;
+        stack.pop_back();
+        if (k >= leaf_begin_) {  // leaf bucket: exact, resolved at the leaf
+          defer.push_back({static_cast<std::uint32_t>(k)});
+          continue;
+        }
+        if (node_mass_[k] <= T(0)) continue;
+        const T d2 = tbox.dist2(node_com_[k]);
+        const T s2 = mac_size2(k);
+        if (s2 < theta2 * d2 && w2 < theta2 * d2) {
+          if (quadrupole)
+            math::m2l(L, node_mass_[k], node_com_[k], node_quad_[k], G, eps2);
+          else
+            math::m2l(L, node_mass_[k], node_com_[k], G, eps2);
+          ++accepted;
+        } else if (s2 >= w2) {  // split the larger: open the source cell
+          stack.push_back({static_cast<std::uint32_t>(2 * k)});
+          stack.push_back({static_cast<std::uint32_t>(2 * k + 1)});
+        } else {  // target is the larger: let its children retry
+          defer.push_back({static_cast<std::uint32_t>(k)});
+        }
+      }
+    }
+    return accepted;
+  }
+
+  /// Resolves a dual walk's leaf-deferred cells through the group-walk
+  /// acceptance into M2P/P2P batch lists (collect_group_lists restarted
+  /// from each cell instead of the root).
+  void dual_finish(const box_t& gbox, const std::vector<T>& m, const std::vector<vec_t>& x,
+                   T theta2, const std::vector<DualSourceCell>& in,
+                   math::InteractionLists<T, D>& out, bool quadrupole = false) const {
+    exec::checkpoint();
+    if (n_bodies_ == 0) return;
+    static thread_local std::vector<DualSourceCell> stack;
+    stack.clear();
+    for (const DualSourceCell& c0 : in) {
+      stack.push_back(c0);
+      while (!stack.empty()) {
+        const std::size_t k = stack.back().node;
+        stack.pop_back();
+        if (k >= leaf_begin_) {
+          const auto [b0, b1] = leaf_range(k - leaf_begin_);
+          for (std::size_t b = b0; b < b1; ++b) out.push_body(x[b], m[b]);
+          continue;
+        }
+        if (node_mass_[k] <= T(0)) continue;
+        const T d2 = gbox.dist2(node_com_[k]);
+        if (mac_size2(k) < theta2 * d2) {
+          if (quadrupole)
+            out.push_node(node_com_[k], node_mass_[k], node_quad_[k]);
+          else
+            out.push_node(node_com_[k], node_mass_[k]);
+        } else {
+          stack.push_back({static_cast<std::uint32_t>(2 * k)});
+          stack.push_back({static_cast<std::uint32_t>(2 * k + 1)});
+        }
+      }
     }
   }
 

@@ -10,6 +10,7 @@
 
 #include "bvh/hilbert_bvh.hpp"
 #include "core/bbox.hpp"
+#include "core/dual_traversal.hpp"
 #include "core/step_context.hpp"
 #include "core/system.hpp"
 #include "core/tree_maintenance.hpp"
@@ -128,10 +129,16 @@ class BVHStrategy {
     prepare(policy, ctx);
     {
       auto scope = ctx.phase("force");
-      // group_size > 0 selects group traversal: the Hilbert sort already
-      // made consecutive indices spatially coherent, so groups are plain
+      // cfg.traversal selects the evaluation (see OctreeStrategy): the
+      // Hilbert sort already made consecutive indices spatially coherent,
+      // so both the grouped and the dual target partitions are plain
       // contiguous blocks of the sorted System — no gather/scatter needed.
-      if (cfg.group_size > 0)
+      const bool dual = cfg.traversal == core::TraversalMode::dual;
+      const bool grouped =
+          !dual && (cfg.group_size > 0 || cfg.traversal == core::TraversalMode::group);
+      if (dual)
+        compute_forces_dual(policy, ctx);
+      else if (grouped)
         compute_forces_grouped(policy, ctx);
       else
         compute_forces(policy, ctx);
@@ -202,8 +209,8 @@ class BVHStrategy {
     const core::SimConfig<T>& cfg = ctx.cfg;
     const std::size_t n = sys.x.size();
     if (n == 0) return;
-    // Dispatch guarantees group_size > 0; clamp above to N (one big group).
-    const std::size_t gsize = cfg.group_size < n ? cfg.group_size : n;
+    // group_size == 0 can reach here via --traversal group; clamp to N.
+    const std::size_t gsize = std::min(cfg.effective_group_size(), n);
     const std::size_t ngroups = (n + gsize - 1) / gsize;
     const T theta2 = cfg.theta2();
     const T G = cfg.G;
@@ -245,6 +252,76 @@ class BVHStrategy {
         p2p_len->observe(static_cast<double>(s.lists.p2p_size()));
       }
     });
+  }
+
+  /// Dual-tree force evaluation over contiguous Hilbert-sorted blocks: the
+  /// block bounding boxes seed core::DualTargetTree, the dual walk carries
+  /// local expansions down it (M2L + L2L), and each target leaf resolves
+  /// its deferred cells through the group-walk acceptance into M2P/P2P
+  /// lists replayed straight into sys.a[b0, b1), plus one L2P per body.
+  /// See OctreeStrategy::compute_forces_dual for the safety argument.
+  template <class Policy>
+  void compute_forces_dual(Policy policy, core::StepContext<T, D>& ctx) {
+    core::System<T, D>& sys = ctx.sys;
+    const core::SimConfig<T>& cfg = ctx.cfg;
+    const std::size_t n = sys.x.size();
+    if (n == 0) return;
+    const std::size_t gsize = std::min(cfg.effective_group_size(), n);
+    const std::size_t ngroups = (n + gsize - 1) / gsize;
+    const T theta2 = cfg.theta2();
+    const T G = cfg.G;
+    const T eps2 = cfg.eps2();
+    const bool quad = cfg.quadrupole;
+    std::vector<math::aabb<T, D>> gboxes(ngroups);
+    exec::for_each_index(policy, ngroups, [&, gsize, n](std::size_t gi) {
+      const std::size_t b0 = gi * gsize;
+      const std::size_t b1 = b0 + gsize < n ? b0 + gsize : n;
+      math::aabb<T, D> gbox;
+      for (std::size_t k = b0; k < b1; ++k) gbox = gbox.merged(sys.x[k]);
+      gboxes[gi] = gbox;
+    });
+    core::DualTargetTree<T, D> target_tree;
+    target_tree.build(gboxes);
+    const bool counted = ctx.metrics_enabled();
+    auto* groups_ctr = counted ? &ctx.metrics->counter("bvh.dual.groups") : nullptr;
+    auto* m2l_ctr = counted ? &ctx.metrics->counter("bvh.dual.m2l") : nullptr;
+    auto* l2l_ctr = counted ? &ctx.metrics->counter("bvh.dual.l2l") : nullptr;
+    auto* l2p_ctr = counted ? &ctx.metrics->counter("bvh.dual.l2p") : nullptr;
+    auto* m2p_ctr = counted ? &ctx.metrics->counter("bvh.dual.m2p") : nullptr;
+    auto* p2p_ctr = counted ? &ctx.metrics->counter("bvh.dual.p2p") : nullptr;
+    auto* walk_ns = counted ? &ctx.metrics->counter("bvh.dual.walk_ns") : nullptr;
+    auto* kernel_ns = counted ? &ctx.metrics->counter("bvh.dual.kernel_ns") : nullptr;
+    const auto leaf_fn =
+        [&, theta2, G, eps2, quad, gsize, n](
+            std::size_t gi, const math::LocalExpansion<T, D>& L,
+            const std::vector<typename HilbertBVH<T, D>::DualSourceCell>& cells) {
+          static thread_local GroupScratch s;
+          const std::size_t b0 = gi * gsize;
+          const std::size_t b1 = b0 + gsize < n ? b0 + gsize : n;
+          s.lists.clear();
+          support::Stopwatch sw;
+          tree_.dual_finish(gboxes[gi], sys.m, sys.x, theta2, cells, s.lists, quad);
+          const double finish_s = sw.seconds();
+          sw.reset();
+          math::evaluate_interaction_lists(s.lists, sys.x.data() + b0, b1 - b0, G, eps2,
+                                           sys.a.data() + b0);
+          for (std::size_t k = b0; k < b1; ++k) sys.a[k] += math::l2p(L, sys.x[k]);
+          const double kernel_s = sw.seconds();
+          if (groups_ctr != nullptr) {
+            groups_ctr->add();
+            l2p_ctr->add(b1 - b0);
+            m2p_ctr->add(s.lists.m2p_size());
+            p2p_ctr->add(s.lists.p2p_size());
+            walk_ns->add(static_cast<std::uint64_t>(finish_s * 1e9));
+            kernel_ns->add(static_cast<std::uint64_t>(kernel_s * 1e9));
+          }
+        };
+    const core::DualWalkStats st =
+        core::dual_traverse(policy, tree_, target_tree, theta2, G, eps2, quad, leaf_fn);
+    if (counted) {
+      m2l_ctr->add(st.m2l);
+      l2l_ctr->add(st.l2l);
+    }
   }
 
   Options opts_{};

@@ -1,0 +1,173 @@
+// Dual-tree traversal orchestration, shared by both tree strategies.
+//
+// The group partition (the same contiguous leaf-order blocks the grouped
+// M2P/P2P traversal walks) doubles as the leaf level of an implicit binary
+// TARGET tree: leaves are the per-group bounding boxes, internal nodes their
+// pairwise merges, laid out heap-style (root = 1, children 2k / 2k+1, leaves
+// at [leaf_begin, leaf_begin + ngroups)). The dual walk descends this target
+// tree and the source tree simultaneously:
+//
+//   * at each target node, the tree's dual_partition() classifies the
+//     incoming source cells — far cells pass the mutual MAC and are
+//     translated into the node's LocalExpansion (M2L); oversized source
+//     cells are opened in place; cells the TARGET is still too coarse for
+//     are deferred to the node's children;
+//   * descending an edge translates the accumulated expansion to the child
+//     center (L2L, an exact polynomial shift);
+//   * at a target leaf the strategy's leaf callback resolves the surviving
+//     cells through the existing group-walk acceptance into M2P/P2P batch
+//     lists and adds the expansion per body (L2P).
+//
+// Parallelization: a sequential breadth-first peel of the top of the target
+// tree (partitioning each expanded node exactly once) builds a frontier of
+// independent subtrees, which then fan out through exec::for_each_index
+// under the caller's policy — so the downward pass runs under all four
+// scheduling backends and stays in bounds for the chaos lockset detector:
+// subtree walks share only immutable state, every leaf writes a disjoint
+// body range, and the traversal counters go through relaxed atomics.
+//
+// Expansions are per-step scratch: they are rebuilt from the freshly
+// computed multipoles every force phase and never cached on the tree, so
+// incremental maintenance (refit/update) and run_guarded checkpoint
+// restores can never observe a stale expansion by construction.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "../exec/algorithms.hpp"
+#include "../exec/atomic.hpp"
+#include "../exec/thread_pool.hpp"
+#include "../math/aabb.hpp"
+#include "../math/local_expansion.hpp"
+
+namespace nbody::core {
+
+/// Traversal-operator counts accumulated across the whole dual walk.
+struct DualWalkStats {
+  std::uint64_t m2l = 0;  // cell->cell translations accepted by the mutual MAC
+  std::uint64_t l2l = 0;  // expansion shifts down target-tree edges
+};
+
+/// Implicit binary tree over the group partition's bounding boxes.
+template <class T, std::size_t D>
+class DualTargetTree {
+ public:
+  using box_t = math::aabb<T, D>;
+
+  void build(const std::vector<box_t>& group_boxes) {
+    n_groups_ = group_boxes.size();
+    leaf_begin_ = std::bit_ceil(std::max<std::size_t>(n_groups_, 1));
+    box_.assign(2 * leaf_begin_, box_t{});  // padding leaves stay empty
+    for (std::size_t i = 0; i < n_groups_; ++i) box_[leaf_begin_ + i] = group_boxes[i];
+    for (std::size_t k = leaf_begin_; k-- > 1;)
+      box_[k] = box_[2 * k].merged(box_[2 * k + 1]);
+  }
+
+  bool empty() const { return n_groups_ == 0; }
+  std::size_t group_count() const { return n_groups_; }
+  bool is_leaf(std::size_t k) const { return k >= leaf_begin_; }
+  std::size_t leaf_index(std::size_t k) const { return k - leaf_begin_; }
+  const box_t& box(std::size_t k) const { return box_[k]; }
+
+ private:
+  std::size_t n_groups_ = 0;
+  std::size_t leaf_begin_ = 1;
+  std::vector<box_t> box_;
+};
+
+namespace detail {
+
+template <class T, std::size_t D, class Tree, class LeafFn>
+void dual_walk_subtree(const Tree& tree, const DualTargetTree<T, D>& tt,
+                       std::size_t t,
+                       const std::vector<typename Tree::DualSourceCell>& in,
+                       math::LocalExpansion<T, D> L, T theta2, T G, T eps2,
+                       bool quadrupole, LeafFn& leaf_fn, DualWalkStats& st) {
+  std::vector<typename Tree::DualSourceCell> defer;
+  st.m2l += tree.dual_partition(tt.box(t), theta2, G, eps2, in, defer, L, quadrupole);
+  if (tt.is_leaf(t)) {
+    leaf_fn(tt.leaf_index(t), L, defer);
+    return;
+  }
+  for (std::size_t c = 2 * t; c <= 2 * t + 1; ++c) {
+    if (tt.box(c).empty()) continue;
+    ++st.l2l;
+    dual_walk_subtree(tree, tt, c, defer, math::l2l(L, tt.box(c).center()), theta2,
+                      G, eps2, quadrupole, leaf_fn, st);
+  }
+}
+
+}  // namespace detail
+
+/// Run the full dual walk. `leaf_fn(group_index, expansion, cells)` is
+/// invoked exactly once per non-empty target leaf, possibly concurrently
+/// across leaves (each call sees its own expansion and deferred-cell list).
+template <class Policy, class T, std::size_t D, class Tree, class LeafFn>
+DualWalkStats dual_traverse(Policy policy, const Tree& tree,
+                            const DualTargetTree<T, D>& tt, T theta2, T G, T eps2,
+                            bool quadrupole, LeafFn&& leaf_fn) {
+  using SC = typename Tree::DualSourceCell;
+  using L_t = math::LocalExpansion<T, D>;
+  DualWalkStats total;
+  if (tt.empty()) return total;
+
+  // Pending subtree: its root node, the expansion accumulated by the
+  // ancestors (already translated to this node's center), and the source
+  // cells they deferred. Siblings share the parent's defer list read-only,
+  // so it rides in a shared_ptr instead of being copied per child.
+  struct Pending {
+    std::size_t t;
+    L_t L;
+    std::shared_ptr<const std::vector<SC>> in;
+  };
+
+  auto roots = std::make_shared<std::vector<SC>>();
+  tree.dual_root_cells(*roots);
+
+  std::vector<Pending> frontier;
+  frontier.push_back({1, L_t::centered(tt.box(1).center()), std::move(roots)});
+
+  // Peel the top of the target tree sequentially until there are enough
+  // independent subtrees to feed the pool (or only leaves remain). Each
+  // expanded node is partitioned here, exactly once; frontier entries are
+  // partitioned by their own subtree walk below.
+  const std::size_t want =
+      4 * std::max<std::size_t>(exec::thread_pool::global().concurrency(), 1);
+  while (frontier.size() < want) {
+    std::size_t idx = frontier.size();
+    for (std::size_t i = 0; i < frontier.size(); ++i) {
+      if (!tt.is_leaf(frontier[i].t)) {
+        idx = i;
+        break;
+      }
+    }
+    if (idx == frontier.size()) break;  // all leaves
+    Pending p = std::move(frontier[idx]);
+    frontier.erase(frontier.begin() + static_cast<std::ptrdiff_t>(idx));
+    auto defer = std::make_shared<std::vector<SC>>();
+    total.m2l +=
+        tree.dual_partition(tt.box(p.t), theta2, G, eps2, *p.in, *defer, p.L, quadrupole);
+    for (std::size_t c = 2 * p.t; c <= 2 * p.t + 1; ++c) {
+      if (tt.box(c).empty()) continue;
+      ++total.l2l;
+      frontier.push_back({c, math::l2l(p.L, tt.box(c).center()), defer});
+    }
+  }
+
+  exec::for_each_index(policy, frontier.size(), [&](std::size_t i) {
+    DualWalkStats st;
+    Pending& p = frontier[i];
+    detail::dual_walk_subtree(tree, tt, p.t, *p.in, std::move(p.L), theta2, G, eps2,
+                              quadrupole, leaf_fn, st);
+    exec::fetch_add_relaxed(total.m2l, st.m2l);
+    exec::fetch_add_relaxed(total.l2l, st.l2l);
+  });
+  return total;
+}
+
+}  // namespace nbody::core

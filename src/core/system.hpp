@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <numeric>
+#include <string_view>
 #include <vector>
 
 #include "math/vec.hpp"
@@ -75,6 +76,34 @@ struct System {
   }
 };
 
+/// How the tree strategies traverse for the force phase.
+///
+///   dfs   — one MAC walk per body (the paper's Algorithm 2 / Fig. 3).
+///   group — one walk per group of spatially coherent bodies; accepted
+///           cells/bodies replay through the SoA M2P/P2P batch kernels.
+///   dual  — simultaneous walk over (target cell, source cell) pairs:
+///           mutually well-separated pairs become M2L translations into a
+///           local expansion carried down the target tree (L2L) and
+///           evaluated per body (L2P); the remainder falls back to the
+///           group-walk M2P/P2P batches.
+enum class TraversalMode : std::uint8_t { dfs, group, dual };
+
+inline const char* traversal_mode_name(TraversalMode m) {
+  switch (m) {
+    case TraversalMode::group: return "group";
+    case TraversalMode::dual: return "dual";
+    default: return "dfs";
+  }
+}
+
+inline bool parse_traversal_mode(std::string_view s, TraversalMode& out) {
+  if (s == "dfs") out = TraversalMode::dfs;
+  else if (s == "group") out = TraversalMode::group;
+  else if (s == "dual") out = TraversalMode::dual;
+  else return false;
+  return true;
+}
+
 /// Simulation parameters shared by all force strategies.
 ///
 /// Defaults match the paper's evaluation setup: θ = 0.5, FP64, with a small
@@ -93,9 +122,16 @@ struct SimConfig {
   /// bodies and replays the shared interaction lists through the SoA batch
   /// kernels (math/batch_kernels.hpp). Values are clamped to [1, N].
   std::size_t group_size = 0;
+  /// Force-phase traversal for the tree strategies. `dfs` with
+  /// group_size > 0 still selects the grouped walk (pre-mode behavior);
+  /// `group`/`dual` with group_size == 0 use effective_group_size().
+  TraversalMode traversal = TraversalMode::dfs;
 
   [[nodiscard]] T eps2() const { return softening * softening; }
   [[nodiscard]] T theta2() const { return theta * theta; }
+  [[nodiscard]] std::size_t effective_group_size() const {
+    return group_size > 0 ? group_size : 64;
+  }
 };
 
 }  // namespace nbody::core

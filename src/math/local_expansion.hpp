@@ -1,0 +1,147 @@
+// Local (Taylor) expansion of the softened gravitational acceleration field,
+// plus the M2L / L2L / L2P operators that drive the dual-tree far field.
+//
+// A LocalExpansion approximates the acceleration a(y) due to a set of remote
+// sources inside a neighborhood of its `center` c by the order-2 Taylor
+// polynomial
+//
+//   a_i(c + d) = a0_i + sum_j J_ij d_j + (1/2) sum_jk H_i(j,k) d_j d_k
+//
+// where a0 = a(c), J_ij = da_i/dy_j |_c, and H_i(j,k) = d^2 a_i/dy_j dy_k |_c.
+// Because a = -grad(phi) for a scalar potential, J is symmetric and H_i is
+// fully symmetric in all three indices; both are stored as packed SymTensors.
+//
+// Operators:
+//   m2l  — accumulate a remote multipole (monopole, or monopole+quadrupole)
+//          into the expansion. The value term a0 is computed by literally
+//          calling the same gravity_accel / quadrupole_accel kernels the
+//          direct M2P path uses, so evaluating the expansion AT its center
+//          reproduces the direct evaluation bit for bit (the identity the
+//          test_local_expansion suite pins down).
+//   l2l  — translate the expansion to a new center. A Taylor polynomial
+//          shifted within its own order is EXACT (no additional truncation),
+//          which gives the translation-invariance identity:
+//          l2p(l2l(L, c'), y) == l2p(L, y) up to FP roundoff.
+//   l2p  — evaluate the polynomial at a point.
+//
+// Truncation: the monopole contribution carries value+Jacobian+Hessian
+// (error O(|d|^3 / r^4)); the quadrupole contribution carries
+// value+Jacobian only (error O(|d|^2 / r^5)) — one consistent order beyond
+// the M2P kernels for every retained moment.
+//
+// Softening matches the direct kernels: every radial power is built from
+// u = |r|^2 + eps^2.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstddef>
+
+#include "gravity.hpp"
+#include "multipole.hpp"
+#include "vec.hpp"
+
+namespace nbody::math {
+
+template <class T, std::size_t D>
+struct LocalExpansion {
+  vec<T, D> center = vec<T, D>::zero();
+  vec<T, D> a0 = vec<T, D>::zero();          // field value at center
+  SymTensor<T, D> jac{};                     // J_ij = da_i/dy_j (symmetric)
+  std::array<SymTensor<T, D>, D> hess{};     // hess[i](j,k) = d^2 a_i/dy_j dy_k
+
+  static LocalExpansion centered(const vec<T, D>& c) {
+    LocalExpansion L;
+    L.center = c;
+    return L;
+  }
+};
+
+/// M2L, monopole order: accumulate the field of a point mass `m` at `z` into
+/// the expansion about L.center.
+template <class T, std::size_t D>
+inline void m2l(LocalExpansion<T, D>& L, T m, const vec<T, D>& z, T G, T eps2) {
+  const vec<T, D> r = L.center - z;  // field point relative to the source
+  const T u = norm2(r) + eps2;
+  if (u <= T(0) || m == T(0)) return;
+  L.a0 += gravity_accel(L.center, z, m, G, eps2);
+  const T inv_u = T(1) / u;
+  const T u32 = inv_u * std::sqrt(inv_u);  // u^{-3/2}
+  const T u52 = u32 * inv_u;               // u^{-5/2}
+  const T u72 = u52 * inv_u;               // u^{-7/2}
+  const T gm = G * m;
+  for (std::size_t i = 0; i < D; ++i) {
+    for (std::size_t j = i; j < D; ++j) {
+      L.jac.at(i, j) += gm * (T(3) * r[i] * r[j] * u52 - (i == j ? u32 : T(0)));
+    }
+  }
+  for (std::size_t i = 0; i < D; ++i) {
+    for (std::size_t j = 0; j < D; ++j) {
+      for (std::size_t k = j; k < D; ++k) {
+        const T kron = (i == j ? r[k] : T(0)) + (i == k ? r[j] : T(0)) +
+                       (j == k ? r[i] : T(0));
+        L.hess[i].at(j, k) +=
+            gm * (T(3) * kron * u52 - T(15) * r[i] * r[j] * r[k] * u72);
+      }
+    }
+  }
+}
+
+/// M2L, quadrupole order: monopole term plus the traceless quadrupole `Q`
+/// of the source cell (value + Jacobian; the quadrupole Hessian is beyond
+/// the retained order).
+template <class T, std::size_t D>
+inline void m2l(LocalExpansion<T, D>& L, T m, const vec<T, D>& z,
+                const SymTensor<T, D>& Q, T G, T eps2) {
+  m2l(L, m, z, G, eps2);
+  const vec<T, D> r = L.center - z;
+  const T u = norm2(r) + eps2;
+  if (u <= T(0)) return;
+  L.a0 += quadrupole_accel(L.center, z, Q, G, eps2);
+  const T inv_u = T(1) / u;
+  const T u52 = inv_u * inv_u * std::sqrt(inv_u);  // u^{-5/2}
+  const T u72 = u52 * inv_u;                       // u^{-7/2}
+  const T u92 = u72 * inv_u;                       // u^{-9/2}
+  const vec<T, D> Qr = Q.mul(r);
+  const T rQr = dot(r, Qr);
+  for (std::size_t i = 0; i < D; ++i) {
+    for (std::size_t j = i; j < D; ++j) {
+      T dij = Q(i, j) * u52 - T(5) * (Qr[i] * r[j] + Qr[j] * r[i]) * u72 +
+              T(17.5) * rQr * r[i] * r[j] * u92;
+      if (i == j) dij -= T(2.5) * rQr * u72;
+      L.jac.at(i, j) += G * dij;
+    }
+  }
+}
+
+/// L2L: the same polynomial re-centered at `new_center` (exact shift).
+template <class T, std::size_t D>
+inline LocalExpansion<T, D> l2l(const LocalExpansion<T, D>& L,
+                                const vec<T, D>& new_center) {
+  const vec<T, D> t = new_center - L.center;
+  LocalExpansion<T, D> out;
+  out.center = new_center;
+  out.hess = L.hess;
+  out.a0 = L.a0 + L.jac.mul(t);
+  for (std::size_t i = 0; i < D; ++i) out.a0[i] += T(0.5) * L.hess[i].quad_form(t);
+  for (std::size_t i = 0; i < D; ++i) {
+    for (std::size_t j = i; j < D; ++j) {
+      T s = L.jac(i, j);
+      // d/dy_j of the Hessian term evaluated at the shift: H_i(j,:) . t.
+      for (std::size_t k = 0; k < D; ++k) s += L.hess[i](j, k) * t[k];
+      out.jac.at(i, j) = s;
+    }
+  }
+  return out;
+}
+
+/// L2P: evaluate the expansion at field point `y`.
+template <class T, std::size_t D>
+inline vec<T, D> l2p(const LocalExpansion<T, D>& L, const vec<T, D>& y) {
+  const vec<T, D> d = y - L.center;
+  vec<T, D> a = L.a0 + L.jac.mul(d);
+  for (std::size_t i = 0; i < D; ++i) a[i] += T(0.5) * L.hess[i].quad_form(d);
+  return a;
+}
+
+}  // namespace nbody::math

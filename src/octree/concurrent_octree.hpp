@@ -55,6 +55,7 @@
 #include "math/aabb.hpp"
 #include "math/batch_kernels.hpp"
 #include "math/gravity.hpp"
+#include "math/local_expansion.hpp"
 #include "math/multipole.hpp"
 #include "support/assert.hpp"
 #include "support/fault.hpp"
@@ -572,6 +573,118 @@ class ConcurrentOctree {
         node = parent_[group_of(node)];
         width *= T(2);
         if (node == 0) return;
+      }
+    }
+  }
+
+  // -- dual traversal (cell <-> cell far field) -------------------------------
+
+  /// Source-tree cell handle for the dual walk: a node slot plus its box
+  /// side (the octree derives widths by halving, so the cell carries its
+  /// own — the walk is not restricted to a root-to-leaf path here).
+  struct DualSourceCell {
+    std::uint32_t node;
+    T width;
+  };
+
+  /// Seeds a dual walk with the root cell (full root-box side).
+  void dual_root_cells(std::vector<DualSourceCell>& out) const {
+    out.clear();
+    if (child_.empty() || is_empty(child_[0])) return;
+    out.push_back({0, root_box_.longest_side()});
+  }
+
+  /// One dual-walk partition step against the target cell `tbox`:
+  ///   * mutual MAC (both s² < θ²·d² and w² < θ²·d², d² = dist²(tbox, com))
+  ///     → the cell's multipole is translated into `L` (M2L);
+  ///   * MAC fails → split the LARGER side: a cell at least as wide as the
+  ///     target is opened in place (children re-tested here); a narrower
+  ///     cell is deferred to the target's children, whose smaller boxes can
+  ///     only increase d² and so may yet accept it. Opening on the target
+  ///     side instead would explode the whole source tree at the coarse
+  ///     target nodes (where d² ≈ 0 fails every test);
+  ///   * body chains (always exact) are deferred regardless, ultimately
+  ///     resolved by dual_finish at the leaf.
+  /// Because the source-side criterion is exactly collect_group_lists'
+  /// acceptance, the far field M2L replaces is the same cell set the group
+  /// walk would have accepted — dual differs from group only by the local
+  /// expansion's O(θ³) truncation. Returns the number of M2L translations.
+  /// Synchronization-free; safe under par_unseq, tree must not mutate.
+  std::size_t dual_partition(const box_t& tbox, T theta2, T G, T eps2,
+                             const std::vector<DualSourceCell>& in,
+                             std::vector<DualSourceCell>& defer,
+                             math::LocalExpansion<T, D>& L, bool quadrupole) const {
+    exec::checkpoint();
+    if (tbox.empty()) return 0;
+    const T side = tbox.longest_side();
+    const T w2 = side * side;
+    std::size_t accepted = 0;
+    static thread_local std::vector<DualSourceCell> stack;
+    stack.clear();
+    for (const DualSourceCell& c0 : in) {
+      stack.push_back(c0);
+      while (!stack.empty()) {
+        const DualSourceCell c = stack.back();
+        stack.pop_back();
+        const std::uint32_t v = child_[c.node];
+        if (is_empty(v)) continue;
+        if (is_body(v)) {  // body chains stay exact: resolved at the leaf
+          defer.push_back(c);
+          continue;
+        }
+        if (node_mass_[c.node] <= T(0)) continue;
+        const T d2 = tbox.dist2(node_com_[c.node]);
+        const T s2 = c.width * c.width;
+        if (s2 < theta2 * d2 && w2 < theta2 * d2) {
+          if (quadrupole)
+            math::m2l(L, node_mass_[c.node], node_com_[c.node], node_quad_[c.node], G,
+                      eps2);
+          else
+            math::m2l(L, node_mass_[c.node], node_com_[c.node], G, eps2);
+          ++accepted;
+        } else if (s2 >= w2) {  // split the larger: open the source cell
+          const T half = c.width * T(0.5);
+          for (std::uint32_t q = 0; q < K; ++q) stack.push_back({v + q, half});
+        } else {  // target is the larger: let its children retry
+          defer.push_back(c);
+        }
+      }
+    }
+    return accepted;
+  }
+
+  /// Resolves the cells a dual walk deferred all the way to a target leaf:
+  /// the group-walk acceptance (collect_group_lists), restarted from each
+  /// surviving cell instead of the root, emitting M2P/P2P batch lists.
+  void dual_finish(const box_t& gbox, const std::vector<T>& m, const std::vector<vec_t>& x,
+                   T theta2, const std::vector<DualSourceCell>& in,
+                   math::InteractionLists<T, D>& out, bool quadrupole = false) const {
+    exec::checkpoint();
+    static thread_local std::vector<DualSourceCell> stack;
+    stack.clear();
+    for (const DualSourceCell& c0 : in) {
+      stack.push_back(c0);
+      while (!stack.empty()) {
+        const DualSourceCell c = stack.back();
+        stack.pop_back();
+        const std::uint32_t v = child_[c.node];
+        if (is_empty(v)) continue;
+        if (is_body(v)) {
+          for (std::uint32_t b = body_of(v); b != kChainEnd; b = next_in_leaf_[b])
+            out.push_body(x[b], m[b]);
+          continue;
+        }
+        if (node_mass_[c.node] <= T(0)) continue;
+        const T d2 = gbox.dist2(node_com_[c.node]);
+        if (c.width * c.width < theta2 * d2) {
+          if (quadrupole)
+            out.push_node(node_com_[c.node], node_mass_[c.node], node_quad_[c.node]);
+          else
+            out.push_node(node_com_[c.node], node_mass_[c.node]);
+        } else {
+          const T half = c.width * T(0.5);
+          for (std::uint32_t q = 0; q < K; ++q) stack.push_back({v + q, half});
+        }
       }
     }
   }

@@ -13,6 +13,7 @@
 #pragma once
 
 #include "core/bbox.hpp"
+#include "core/dual_traversal.hpp"
 #include "core/step_context.hpp"
 #include "core/system.hpp"
 #include "core/tree_maintenance.hpp"
@@ -132,16 +133,25 @@ class OctreeStrategy {
       auto scope = ctx.phase("force");
       // The force phase is synchronization-free either way: under a parallel
       // caller it runs with par_unseq, exactly as the paper's implementation
-      // does. group_size > 0 selects the group-traversal evaluation
-      // (one walk per block of spatially coherent bodies, replayed through
-      // the SoA batch kernels) instead of the per-body DFS.
+      // does. cfg.traversal selects the evaluation: `dual` walks target and
+      // source cells simultaneously (M2L/L2L/L2P far field, batch-kernel
+      // fallback), `group` — or the pre-mode group_size > 0 opt-in — walks
+      // once per block of spatially coherent bodies, and `dfs` is the
+      // per-body walk.
+      const bool dual = cfg.traversal == core::TraversalMode::dual;
+      const bool grouped =
+          !dual && (cfg.group_size > 0 || cfg.traversal == core::TraversalMode::group);
       if constexpr (Policy::is_parallel) {
-        if (cfg.group_size > 0)
+        if (dual)
+          compute_forces_dual(exec::par_unseq, ctx);
+        else if (grouped)
           compute_forces_grouped(exec::par_unseq, ctx);
         else
           compute_forces(exec::par_unseq, ctx);
       } else {
-        if (cfg.group_size > 0)
+        if (dual)
+          compute_forces_dual(exec::seq, ctx);
+        else if (grouped)
           compute_forces_grouped(exec::seq, ctx);
         else
           compute_forces(exec::seq, ctx);
@@ -266,8 +276,8 @@ class OctreeStrategy {
       tree_.leaf_body_order(body_order_);
       order_dirty_ = false;
     }
-    // Dispatch guarantees group_size > 0; clamp above to N (one big group).
-    const std::size_t gsize = cfg.group_size < n ? cfg.group_size : n;
+    // group_size == 0 can reach here via --traversal group; clamp to N.
+    const std::size_t gsize = std::min(cfg.effective_group_size(), n);
     const std::size_t ngroups = (n + gsize - 1) / gsize;
     const T theta2 = cfg.theta2();
     const T G = cfg.G;
@@ -317,6 +327,88 @@ class OctreeStrategy {
         p2p_len->observe(static_cast<double>(s.lists.p2p_size()));
       }
     });
+  }
+
+  /// Dual-tree force evaluation: the group partition's bounding boxes form
+  /// the leaf level of an implicit target tree (core::DualTargetTree); the
+  /// dual walk translates mutually well-separated source cells into local
+  /// expansions carried down the target tree (M2L + L2L), and each target
+  /// leaf resolves its surviving cells through the group-walk acceptance
+  /// into M2P/P2P batch lists, finishing with one L2P per body. The walk's
+  /// only shared writes are relaxed counter adds, each leaf owns a disjoint
+  /// slice of sys.a, and expansions are per-step scratch — never cached on
+  /// the tree — so refit/update/restore can't observe stale ones.
+  template <class ForcePolicy>
+  void compute_forces_dual(ForcePolicy fp, core::StepContext<T, D>& ctx) {
+    using box_t = typename ConcurrentOctree<T, D>::box_t;
+    core::System<T, D>& sys = ctx.sys;
+    const core::SimConfig<T>& cfg = ctx.cfg;
+    const std::size_t n = sys.x.size();
+    if (n == 0) return;
+    if (order_dirty_ || body_order_.size() != n) {
+      tree_.leaf_body_order(body_order_);
+      order_dirty_ = false;
+    }
+    const std::size_t gsize = std::min(cfg.effective_group_size(), n);
+    const std::size_t ngroups = (n + gsize - 1) / gsize;
+    const T theta2 = cfg.theta2();
+    const T G = cfg.G;
+    const T eps2 = cfg.eps2();
+    const bool quad = cfg.quadrupole;
+    std::vector<box_t> gboxes(ngroups);
+    exec::for_each_index(fp, ngroups, [&, gsize, n](std::size_t gi) {
+      const std::size_t b0 = gi * gsize;
+      const std::size_t b1 = b0 + gsize < n ? b0 + gsize : n;
+      box_t gbox{};
+      for (std::size_t k = b0; k < b1; ++k) gbox = gbox.merged(sys.x[body_order_[k]]);
+      gboxes[gi] = gbox;
+    });
+    core::DualTargetTree<T, D> target_tree;
+    target_tree.build(gboxes);
+    const bool counted = ctx.metrics_enabled();
+    auto* groups_ctr = counted ? &ctx.metrics->counter("octree.dual.groups") : nullptr;
+    auto* m2l_ctr = counted ? &ctx.metrics->counter("octree.dual.m2l") : nullptr;
+    auto* l2l_ctr = counted ? &ctx.metrics->counter("octree.dual.l2l") : nullptr;
+    auto* l2p_ctr = counted ? &ctx.metrics->counter("octree.dual.l2p") : nullptr;
+    auto* m2p_ctr = counted ? &ctx.metrics->counter("octree.dual.m2p") : nullptr;
+    auto* p2p_ctr = counted ? &ctx.metrics->counter("octree.dual.p2p") : nullptr;
+    auto* walk_ns = counted ? &ctx.metrics->counter("octree.dual.walk_ns") : nullptr;
+    auto* kernel_ns = counted ? &ctx.metrics->counter("octree.dual.kernel_ns") : nullptr;
+    const auto leaf_fn =
+        [&, theta2, G, eps2, quad, gsize, n](
+            std::size_t gi, const math::LocalExpansion<T, D>& L,
+            const std::vector<typename ConcurrentOctree<T, D>::DualSourceCell>& cells) {
+          static thread_local GroupScratch s;
+          const std::size_t b0 = gi * gsize;
+          const std::size_t b1 = b0 + gsize < n ? b0 + gsize : n;
+          const std::size_t g = b1 - b0;
+          s.xt.resize(g);
+          s.acc.resize(g);
+          for (std::size_t k = 0; k < g; ++k) s.xt[k] = sys.x[body_order_[b0 + k]];
+          s.lists.clear();
+          support::Stopwatch sw;
+          tree_.dual_finish(gboxes[gi], sys.m, sys.x, theta2, cells, s.lists, quad);
+          const double finish_s = sw.seconds();
+          sw.reset();
+          math::evaluate_interaction_lists(s.lists, s.xt.data(), g, G, eps2, s.acc.data());
+          for (std::size_t k = 0; k < g; ++k) s.acc[k] += math::l2p(L, s.xt[k]);
+          const double kernel_s = sw.seconds();
+          for (std::size_t k = 0; k < g; ++k) sys.a[body_order_[b0 + k]] = s.acc[k];
+          if (groups_ctr != nullptr) {
+            groups_ctr->add();
+            l2p_ctr->add(g);
+            m2p_ctr->add(s.lists.m2p_size());
+            p2p_ctr->add(s.lists.p2p_size());
+            walk_ns->add(static_cast<std::uint64_t>(finish_s * 1e9));
+            kernel_ns->add(static_cast<std::uint64_t>(kernel_s * 1e9));
+          }
+        };
+    const core::DualWalkStats st =
+        core::dual_traverse(fp, tree_, target_tree, theta2, G, eps2, quad, leaf_fn);
+    if (counted) {
+      m2l_ctr->add(st.m2l);
+      l2l_ctr->add(st.l2l);
+    }
   }
 
   void record_build_metrics(obs::MetricsRegistry& reg) const {

@@ -6,6 +6,7 @@
 #include <cmath>
 #include <cstddef>
 #include <numeric>
+#include <string>
 #include <vector>
 
 #include "core/reference.hpp"
@@ -103,6 +104,25 @@ inline System3 permuted(const System3& sys, std::uint64_t seed) {
     std::swap(out.id[i - 1], out.id[j]);
   }
   return out;
+}
+
+/// Coincident-pile carve-out for schedule-stability assertions. Bodies with
+/// identical positions chain in tree-build order, so which *id* lands in
+/// which group/leaf is schedule-dependent, and two groups' MACs differ at
+/// truncation level: per-id forces move within the tree-truncation ball
+/// under a permuted dispatch, not the accumulation-rounding ball. Every
+/// schedule's result still sits in the reference ball — only the
+/// run-to-run comparison needs the wider tolerance.
+inline bool is_coincident_pile(const std::string& case_name) {
+  return case_name.rfind("coincident", 0) == 0;
+}
+
+/// Tolerance for comparing two runs of the same tree strategy under
+/// different schedules: the accumulation-rounding ball normally, widened to
+/// twice the tree-truncation ball for coincident piles (id migration).
+inline double schedule_stability_tol(const std::string& case_name, double tol_scale,
+                                     double tree_tol, double atomic_tol) {
+  return (is_coincident_pile(case_name) ? 2 * tree_tol : atomic_tol) * tol_scale;
 }
 
 /// |sum_i m_i a_i| / sum_i |m_i a_i| — Newton's third law residual.

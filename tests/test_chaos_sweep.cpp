@@ -188,15 +188,10 @@ TEST(DifferentialSweep, GroupTraversalStableAcrossChaosSchedules) {
       // The grouped path writes disjoint outputs and builds lists in
       // thread-local scratch, so a permuted dispatch order can only perturb
       // results through the build's accumulation order — same bound as the
-      // per-body sweep above. Exception: coincident piles. Bodies with
-      // identical positions chain in build order, so which *id* lands in
-      // which group is schedule-dependent, and two groups' MACs differ at
-      // truncation level — per-id forces then move within the tree ball,
-      // not the rounding ball (each schedule's result still sits in the
-      // reference ball asserted above).
-      const bool id_migration = c.name.rfind("coincident", 0) == 0;
+      // per-body sweep above, with the coincident-pile id-migration
+      // carve-out (see prop::schedule_stability_tol).
       const double stable_tol =
-          (id_migration ? 2 * kTreeTol : kAtomicTol) * c.tol_scale;
+          nbody::prop::schedule_stability_tol(c.name, c.tol_scale, kTreeTol, kAtomicTol);
       if (k == 0) {
         first_oct = oct;
         first_bvh = bvh;
@@ -206,6 +201,130 @@ TEST(DifferentialSweep, GroupTraversalStableAcrossChaosSchedules) {
       }
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Dual-tree differential suite: the dual traversal (simultaneous target/source
+// walk, M2L into local expansions carried down by L2L, L2P per body) must sit
+// in the same theta-derived truncation ball as the DFS and group walks on
+// every generated system. Because the mutual MAC's source-side test is
+// exactly the group walk's acceptance, the M2L set is a subset of the group
+// walk's M2P accepts — the dual-vs-group difference is purely the local-
+// expansion truncation, which vanishes as theta -> 0.
+// ---------------------------------------------------------------------------
+
+TEST(DifferentialSweep, DualTraversalMatchesReferenceOnEverySystem) {
+  nbody::core::SimConfig<double> dcfg;  // theta = 0.5, effective group size 64
+  dcfg.traversal = nbody::core::TraversalMode::dual;
+  nbody::core::SimConfig<double> gcfg = dcfg;
+  gcfg.traversal = nbody::core::TraversalMode::group;
+  for (std::uint64_t case_seed = 0; case_seed < kSystems; ++case_seed) {
+    const nbody::prop::PropCase c = nbody::prop::make_case(case_seed);
+    SCOPED_TRACE("case_seed=" + std::to_string(case_seed) + " " + c.name);
+    const auto ref = nbody::prop::reference_forces(c.sys, dcfg);
+    const auto grp_oct =
+        forces_of(nbody::octree::OctreeStrategy<double, 3>{}, par, c.sys, gcfg);
+    const auto grp_bvh = forces_of(nbody::bvh::BVHStrategy<double, 3>{}, par_unseq, c.sys, gcfg);
+
+    // Octree accepts seq and par callers (build needs starvation freedom).
+    for (int pol = 0; pol < 2; ++pol) {
+      SCOPED_TRACE(pol == 0 ? "octree/seq" : "octree/par");
+      const auto dual = pol == 0 ? forces_of(nbody::octree::OctreeStrategy<double, 3>{},
+                                             nbody::exec::seq, c.sys, dcfg)
+                                 : forces_of(nbody::octree::OctreeStrategy<double, 3>{}, par,
+                                             c.sys, dcfg);
+      EXPECT_LE(rel_l2_error(dual, ref), kTreeTol * c.tol_scale);
+      EXPECT_LE(rel_l2_error(dual, grp_oct), 2 * kTreeTol * c.tol_scale);
+    }
+    // BVH accepts the full policy ladder.
+    for (int pol = 0; pol < 3; ++pol) {
+      SCOPED_TRACE(pol == 0   ? "bvh/seq"
+                   : pol == 1 ? "bvh/par"
+                              : "bvh/par_unseq");
+      nbody::bvh::BVHStrategy<double, 3> bvh;
+      const auto dual = pol == 0   ? forces_of(bvh, nbody::exec::seq, c.sys, dcfg)
+                        : pol == 1 ? forces_of(bvh, par, c.sys, dcfg)
+                                   : forces_of(bvh, par_unseq, c.sys, dcfg);
+      EXPECT_LE(rel_l2_error(dual, ref), kTreeTol * c.tol_scale);
+      EXPECT_LE(rel_l2_error(dual, grp_bvh), 2 * kTreeTol * c.tol_scale);
+    }
+  }
+}
+
+TEST(DifferentialSweep, DualTraversalAgreesAcrossFourBackends) {
+  nbody::core::SimConfig<double> dcfg;
+  dcfg.traversal = nbody::core::TraversalMode::dual;
+  for (std::uint64_t case_seed = 0; case_seed < 25; ++case_seed) {
+    const nbody::prop::PropCase c = nbody::prop::make_case(case_seed);
+    SCOPED_TRACE("case_seed=" + std::to_string(case_seed) + " " + c.name);
+    const auto ref = nbody::prop::reference_forces(c.sys, dcfg);
+    // Dispatch may only perturb the dual result through accumulation order
+    // (disjoint leaf outputs, thread-local scratch), with the coincident-
+    // pile id-migration carve-out shared with the group sweep.
+    const double stable_tol =
+        nbody::prop::schedule_stability_tol(c.name, c.tol_scale, kTreeTol, kAtomicTol);
+
+    std::vector<Vec3> first_oct, first_bvh;
+    bool have_first = false;
+    for (backend b : {backend::static_chunk, backend::dynamic_chunk, backend::work_steal,
+                      backend::chaos_permute}) {
+      SCOPED_TRACE(std::string("backend=") + nbody::exec::backend_name(b));
+      const backend saved = nbody::exec::default_backend();
+      nbody::exec::set_default_backend(b);
+      if (b == backend::chaos_permute)
+        chaos::set_seed(nbody::support::hash_u64(0x9000 + case_seed));
+      const auto oct = forces_of(nbody::octree::OctreeStrategy<double, 3>{}, par, c.sys, dcfg);
+      const auto bvh = forces_of(nbody::bvh::BVHStrategy<double, 3>{}, par_unseq, c.sys, dcfg);
+      nbody::exec::set_default_backend(saved);
+
+      EXPECT_LE(rel_l2_error(oct, ref), kTreeTol * c.tol_scale);
+      EXPECT_LE(rel_l2_error(bvh, ref), kTreeTol * c.tol_scale);
+      if (!have_first) {
+        first_oct = oct;
+        first_bvh = bvh;
+        have_first = true;
+      } else {
+        EXPECT_LE(rel_l2_error(oct, first_oct), stable_tol);
+        EXPECT_LE(rel_l2_error(bvh, first_bvh), stable_tol);
+      }
+    }
+  }
+}
+
+// theta -> 0 drives the mutual MAC's accept set (and each accept's
+// truncation error) to zero, so the dual-vs-group gap must tighten
+// monotonically. The group walk is the comparison baseline because the two
+// paths share the same M2P/P2P batch kernels — the gap isolates exactly the
+// local-expansion truncation.
+TEST(DifferentialSweep, DualVsGroupConvergesAsThetaShrinks) {
+  const System3 sys = nbody::workloads::plummer_sphere(512, 7);
+  nbody::core::SimConfig<double> dcfg;
+  dcfg.traversal = nbody::core::TraversalMode::dual;
+  nbody::core::SimConfig<double> gcfg = dcfg;
+  gcfg.traversal = nbody::core::TraversalMode::group;
+
+  std::vector<double> oct_err, bvh_err;
+  for (double theta : {0.8, 0.4, 0.2}) {
+    SCOPED_TRACE("theta=" + std::to_string(theta));
+    dcfg.theta = gcfg.theta = theta;
+    const auto dual_oct =
+        forces_of(nbody::octree::OctreeStrategy<double, 3>{}, par, sys, dcfg);
+    const auto grp_oct = forces_of(nbody::octree::OctreeStrategy<double, 3>{}, par, sys, gcfg);
+    oct_err.push_back(rel_l2_error(dual_oct, grp_oct));
+    const auto dual_bvh = forces_of(nbody::bvh::BVHStrategy<double, 3>{}, par_unseq, sys, dcfg);
+    const auto grp_bvh = forces_of(nbody::bvh::BVHStrategy<double, 3>{}, par_unseq, sys, gcfg);
+    bvh_err.push_back(rel_l2_error(dual_bvh, grp_bvh));
+  }
+  // theta = 0.8 must actually exercise M2L (a zero gap would make the
+  // convergence assertion vacuous), and each halving must not widen the gap.
+  EXPECT_GT(oct_err[0], 0.0);
+  EXPECT_GT(bvh_err[0], 0.0);
+  for (std::size_t i = 1; i < oct_err.size(); ++i) {
+    EXPECT_LE(oct_err[i], oct_err[i - 1] + 1e-13);
+    EXPECT_LE(bvh_err[i], bvh_err[i - 1] + 1e-13);
+  }
+  EXPECT_LT(oct_err.back(), oct_err.front());
+  EXPECT_LT(bvh_err.back(), bvh_err.front());
 }
 
 // ---------------------------------------------------------------------------

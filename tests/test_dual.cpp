@@ -1,0 +1,332 @@
+// Dual-tree traversal force path: edge cases, dual-vs-DFS/group agreement,
+// the observability counters (m2l/l2l/l2p), and the compositions the mode
+// must survive — incremental/refit tree maintenance, run_guarded checkpoint
+// restore, cooperative cancellation — plus chaos/race-detector coverage of
+// the parallel downward pass (a planted unsynchronized L2L write must be
+// caught; the real dual walk must be lockset-clean). The broad differential
+// sweep across 50 systems and four backends lives in tests/test_chaos_sweep.cpp.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bvh/strategy.hpp"
+#include "core/diagnostics.hpp"
+#include "core/dual_traversal.hpp"
+#include "core/simulation.hpp"
+#include "core/step_context.hpp"
+#include "core/system.hpp"
+#include "exec/algorithms.hpp"
+#include "exec/chaos/chaos.hpp"
+#include "exec/chaos/race_detector.hpp"
+#include "exec/stop_token.hpp"
+#include "math/local_expansion.hpp"
+#include "obs/metrics.hpp"
+#include "octree/strategy.hpp"
+#include "prop/generators.hpp"
+#include "prop/invariants.hpp"
+#include "support/fault.hpp"
+#include "workloads/workloads.hpp"
+
+namespace {
+
+using namespace nbody;
+using exec::par;
+using exec::par_unseq;
+using exec::seq;
+using prop::forces_of;
+using prop::max_abs_diff;
+using prop::rel_l2_error;
+using prop::System3;
+using prop::Vec3;
+
+// Guarantee real concurrency for the race-detector tests even on a 1-core
+// box (same guard as test_group.cpp); callers may still override.
+const bool g_thread_env = [] {
+  setenv("NBODY_THREADS", "4", /*overwrite=*/0);
+  return true;
+}();
+
+constexpr double kTreeTol = 0.08;  // matches the differential sweep's ball
+
+core::SimConfig<double> dual_cfg(std::size_t gsize = 0) {
+  core::SimConfig<double> cfg;
+  cfg.traversal = core::TraversalMode::dual;
+  cfg.group_size = gsize;  // 0: effective group size 64
+  return cfg;
+}
+
+// ------------------------------------------------------------ edge cases
+
+TEST(DualTraversal, DegenerateSystems) {
+  const auto cfg = dual_cfg();
+  for (std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{2}, std::size_t{3}}) {
+    SCOPED_TRACE("n=" + std::to_string(n));
+    const System3 sys = n == 0 ? System3{} : workloads::plummer_sphere(n, 11);
+    const auto ref = prop::reference_forces(sys, cfg);
+    const auto oct_f = forces_of(octree::OctreeStrategy<double, 3>{}, par, sys, cfg);
+    const auto bvh_f = forces_of(bvh::BVHStrategy<double, 3>{}, par_unseq, sys, cfg);
+    // Tiny systems never reach the mutual MAC's far field: every cell
+    // defers, the leaf resolves exactly, and L2P adds the zero expansion.
+    EXPECT_LE(rel_l2_error(oct_f, ref), 1e-9);
+    EXPECT_LE(rel_l2_error(bvh_f, ref), 1e-9);
+  }
+}
+
+// One target leaf covering the whole system: every source cell contains the
+// target box (distance zero), so both MAC tests fail all the way down to
+// the leaves and the dual walk degenerates to the exact P2P sum.
+TEST(DualTraversal, SingleGroupIsExact) {
+  const System3 sys = workloads::uniform_cube(96, 4);
+  const auto cfg = dual_cfg(/*gsize=*/128);
+  const auto ref = prop::reference_forces(sys, cfg);
+  EXPECT_LE(rel_l2_error(forces_of(octree::OctreeStrategy<double, 3>{}, par, sys, cfg), ref),
+            1e-9);
+  EXPECT_LE(rel_l2_error(forces_of(bvh::BVHStrategy<double, 3>{}, par_unseq, sys, cfg), ref),
+            1e-9);
+}
+
+TEST(DualTraversal, GroupSizeSweepStaysInTruncationBall) {
+  const System3 sys = workloads::plummer_sphere(700, 9);
+  core::SimConfig<double> plain;
+  const auto ref = prop::reference_forces(sys, plain);
+  for (std::size_t gsize : {std::size_t{1}, std::size_t{8}, std::size_t{64},
+                            std::size_t{4096}}) {
+    SCOPED_TRACE("group_size=" + std::to_string(gsize));
+    const auto cfg = dual_cfg(gsize);
+    EXPECT_LE(rel_l2_error(forces_of(octree::OctreeStrategy<double, 3>{}, par, sys, cfg), ref),
+              kTreeTol);
+    EXPECT_LE(rel_l2_error(forces_of(bvh::BVHStrategy<double, 3>{}, par_unseq, sys, cfg), ref),
+              kTreeTol);
+  }
+}
+
+TEST(DualTraversal, MatchesPerBodyDFSWithinTwiceTheBall) {
+  const System3 sys = workloads::galaxy_collision(1024, 42);
+  core::SimConfig<double> dfs_cfg;
+  const auto cfg = dual_cfg();
+  const auto ref = prop::reference_forces(sys, dfs_cfg);
+
+  const auto dfs_oct = forces_of(octree::OctreeStrategy<double, 3>{}, par, sys, dfs_cfg);
+  const auto dual_oct = forces_of(octree::OctreeStrategy<double, 3>{}, par, sys, cfg);
+  EXPECT_LE(rel_l2_error(dual_oct, ref), kTreeTol);
+  EXPECT_LE(rel_l2_error(dual_oct, dfs_oct), 2 * kTreeTol);
+
+  const auto dfs_bvh = forces_of(bvh::BVHStrategy<double, 3>{}, par_unseq, sys, dfs_cfg);
+  const auto dual_bvh = forces_of(bvh::BVHStrategy<double, 3>{}, par_unseq, sys, cfg);
+  EXPECT_LE(rel_l2_error(dual_bvh, ref), kTreeTol);
+  EXPECT_LE(rel_l2_error(dual_bvh, dfs_bvh), 2 * kTreeTol);
+}
+
+TEST(DualTraversal, QuadrupoleTightensTheMonopoleResult) {
+  const System3 sys = workloads::plummer_sphere(1024, 17);
+  auto mono = dual_cfg();
+  auto quad = dual_cfg();
+  quad.quadrupole = true;
+  const auto ref = prop::reference_forces(sys, mono);
+  const double e_mono =
+      rel_l2_error(forces_of(octree::OctreeStrategy<double, 3>{}, par, sys, mono), ref);
+  const double e_quad =
+      rel_l2_error(forces_of(octree::OctreeStrategy<double, 3>{}, par, sys, quad), ref);
+  EXPECT_LE(e_quad, kTreeTol);
+  // Quadrupole M2L + quadrupole M2P carry one more multipole order on both
+  // the far field and the batch kernels, so the error must not regress.
+  EXPECT_LE(e_quad, e_mono + 1e-12);
+}
+
+// Deterministic caller policy (seq) must be schedule-free: two evaluations
+// are bitwise identical, with and without metrics attached.
+TEST(DualTraversal, SeqIsDeterministicAndMetricsDoNotPerturbForces) {
+  const System3 sys = workloads::plummer_sphere(512, 23);
+  const auto cfg = dual_cfg();
+
+  System3 a = sys, b = sys;
+  octree::OctreeStrategy<double, 3> s1, s2;
+  core::accelerate(s1, seq, a, cfg);
+  obs::MetricsRegistry reg;
+  core::accelerate(s2, seq, b, cfg, nullptr, &reg, nullptr);
+  std::vector<Vec3> fa(a.size()), fb(b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) fa[a.id[i]] = a.a[i];
+  for (std::size_t i = 0; i < b.size(); ++i) fb[b.id[i]] = b.a[i];
+  EXPECT_EQ(max_abs_diff(fa, fb), 0.0);
+}
+
+// ------------------------------------------------------------ observability
+
+TEST(DualTraversal, CountersExposeTheFarFieldPipeline) {
+  const System3 sys = workloads::plummer_sphere(1024, 3);
+  const auto cfg = dual_cfg();
+  const std::size_t gsize = cfg.effective_group_size();
+  const std::size_t ngroups = (sys.size() + gsize - 1) / gsize;
+
+  {
+    System3 work = sys;
+    obs::MetricsRegistry reg;
+    octree::OctreeStrategy<double, 3> strategy;
+    core::accelerate(strategy, par, work, cfg, nullptr, &reg, nullptr);
+    EXPECT_EQ(reg.counter_value("octree.dual.groups"), ngroups);
+    EXPECT_EQ(reg.counter_value("octree.dual.l2p"), sys.size());
+    EXPECT_GT(reg.counter_value("octree.dual.m2l"), 0u)
+        << "a 1024-body Plummer sphere at theta=0.5 must accept far-field cells";
+    EXPECT_GT(reg.counter_value("octree.dual.p2p"), 0u);
+  }
+  {
+    System3 work = sys;
+    obs::MetricsRegistry reg;
+    bvh::BVHStrategy<double, 3> strategy;
+    core::accelerate(strategy, par_unseq, work, cfg, nullptr, &reg, nullptr);
+    EXPECT_EQ(reg.counter_value("bvh.dual.groups"), ngroups);
+    EXPECT_EQ(reg.counter_value("bvh.dual.l2p"), sys.size());
+    EXPECT_GT(reg.counter_value("bvh.dual.m2l"), 0u);
+    EXPECT_GT(reg.counter_value("bvh.dual.p2p"), 0u);
+  }
+}
+
+// ------------------------------------------------------------ compositions
+
+template <class Strategy, class Policy>
+System3 run_steps(const System3& initial, const core::SimConfig<double>& cfg,
+                  typename Strategy::Options opts, Policy policy, std::size_t steps) {
+  core::Simulation<double, 3, Strategy> sim(initial, cfg, Strategy(opts));
+  sim.run(policy, steps);
+  return sim.system();
+}
+
+// Expansions are per-step scratch rebuilt from fresh multipoles, so the
+// refit/incremental maintenance modes can never leak a stale expansion into
+// the dual walk; trajectories must track the rebuild-every-step baseline in
+// the same amortization ball the DFS/group modes satisfy.
+TEST(DualTraversal, ComposesWithTreeMaintenanceModes) {
+  using Oct = octree::OctreeStrategy<double, 3>;
+  using Bvh = bvh::BVHStrategy<double, 3>;
+  const System3 initial = workloads::drifting_cluster(600, 21);
+  auto cfg = dual_cfg();
+  cfg.dt = 5e-4;
+  const std::size_t steps = 12;
+  constexpr double kAmortTol = 1e-2;
+
+  typename Oct::Options oct_rebuild;
+  const System3 oct_base = run_steps<Oct>(initial, cfg, oct_rebuild, par, steps);
+  typename Bvh::Options bvh_rebuild;
+  const System3 bvh_base = run_steps<Bvh>(initial, cfg, bvh_rebuild, par_unseq, steps);
+  for (const char* spec : {"refit:4", "incremental"}) {
+    SCOPED_TRACE(std::string("--tree-update=") + spec);
+    typename Oct::Options oo;
+    oo.update = core::TreeUpdatePolicy::parse(spec, "dual-test");
+    EXPECT_LT(core::l2_position_error(run_steps<Oct>(initial, cfg, oo, par, steps), oct_base),
+              kAmortTol);
+    typename Bvh::Options bo;
+    bo.update = core::TreeUpdatePolicy::parse(spec, "dual-test");
+    EXPECT_LT(
+        core::l2_position_error(run_steps<Bvh>(initial, cfg, bo, par_unseq, steps), bvh_base),
+        kAmortTol);
+  }
+}
+
+// run_guarded's checkpoint restore forces a rebuild and invalidates the
+// cached leaf-body order the dual walk partitions by; the post-restore dual
+// steps must keep the trajectory inside the amortization ball of an
+// unfaulted run with the same maintenance policy.
+TEST(DualTraversal, ComposesWithRunGuardedRestore) {
+  using Oct = octree::OctreeStrategy<double, 3>;
+  const System3 initial = workloads::drifting_cluster(500, 8);
+  auto cfg = dual_cfg();
+  cfg.dt = 5e-4;
+  const std::size_t steps = 12;
+
+  typename Oct::Options opts_inc;
+  opts_inc.update = core::TreeUpdatePolicy::parse("incremental", "dual-test");
+  const System3 base = run_steps<Oct>(initial, cfg, opts_inc, par, steps);
+
+  core::Simulation<double, 3, Oct> guarded(initial, cfg, Oct(opts_inc));
+  core::GuardedOptions<double> gopts;
+  gopts.checkpoint_every = 3;
+  gopts.max_retries = 8;
+  support::arm_fault(support::FaultSite::octree_node_alloc, {1.0, 0, 3});
+  const auto rep = guarded.run_guarded(par, steps, gopts);
+  support::disarm_all_faults();
+
+  EXPECT_EQ(rep.steps_completed, steps);
+  EXPECT_GE(rep.restores, 1u) << "the injected fault never forced a restore";
+  EXPECT_LT(core::l2_position_error(guarded.system(), base), 1e-2);
+}
+
+// The dual walk polls exec::checkpoint() while partitioning source cells, so
+// a pending stop aborts the evaluation with Cancelled — and the aborted walk
+// leaves no state behind that corrupts a subsequent clean evaluation.
+TEST(DualTraversal, CancellationAbortsCleanlyAndStateSurvives) {
+  const System3 sys = workloads::plummer_sphere(512, 13);
+  const auto cfg = dual_cfg();
+  octree::OctreeStrategy<double, 3> strategy;
+  {
+    exec::stop_source src;
+    src.request_stop(exec::stop_cause::requested, "pre-cancelled");
+    exec::scoped_ambient_stop scope(src);
+    System3 work = sys;
+    EXPECT_THROW(core::accelerate(strategy, par, work, cfg), exec::Cancelled);
+  }
+  // Same strategy object, no ambient stop: the evaluation must now succeed
+  // and land in the reference ball.
+  const auto ref = prop::reference_forces(sys, cfg);
+  System3 work = sys;
+  core::accelerate(strategy, par, work, cfg);
+  std::vector<Vec3> by_id(work.size(), Vec3::zero());
+  for (std::size_t i = 0; i < work.size(); ++i) by_id[work.id[i]] = work.a[i];
+  EXPECT_LE(rel_l2_error(by_id, ref), kTreeTol);
+}
+
+// ------------------------------------------------- race-detector coverage
+
+#if defined(NBODY_CHAOS)
+namespace chaos = exec::chaos;
+
+// Planted bug: the parallel downward pass translates expansions into one
+// shared per-node coefficient slab through an unsynchronized cursor instead
+// of keeping each target subtree's expansion on its own stack frame (what
+// core::dual_traverse actually does). The Eraser-style lockset check must
+// flag the cross-thread writes.
+TEST(DualTraversalRaces, PlantedSharedL2LWriteIsCaught) {
+  chaos::DetectorScope scope;
+  using L3 = math::LocalExpansion<double, 3>;
+  L3 parent = L3::centered(math::vec<double, 3>{0, 0, 0});
+  math::m2l(parent, 2.5, math::vec<double, 3>{10, 0, 0}, 1.0, 1e-4);
+
+  std::vector<double> slab(4096, 0.0);
+  std::uint64_t cursor = 0;  // shared write cursor, no lock — the bug
+  exec::for_each_index(par, 256, [&](std::size_t i) {
+    const std::uint64_t at = chaos::checked_load(cursor);
+    const math::vec<double, 3> child_center{0.1 * static_cast<double>(i % 8), 0.0, 0.0};
+    const L3 shifted = math::l2l(parent, child_center);
+    slab[at % slab.size()] = shifted.a0[0];
+    chaos::checked_store(cursor, at + 1);
+  });
+  auto& det = chaos::RaceDetector::instance();
+  EXPECT_GE(det.lockset_races(), 1u) << det.report();
+}
+
+// Negative control: the real dual walk shares only the source tree
+// (read-only during forces), keeps expansions and interaction lists in
+// per-subtree/thread-local scratch, counts through relaxed atomics, and
+// writes disjoint acceleration slices — a full dual evaluation on both
+// strategies under the detector must be violation-free.
+TEST(DualTraversalRaces, DualTraversalIsLocksetClean) {
+  chaos::DetectorScope scope;
+  System3 sys = workloads::plummer_sphere(512, 5);
+  const auto cfg = dual_cfg(32);
+  {
+    octree::OctreeStrategy<double, 3> strategy;
+    core::accelerate(strategy, par, sys, cfg);
+  }
+  {
+    bvh::BVHStrategy<double, 3> strategy;
+    core::accelerate(strategy, par_unseq, sys, cfg);
+  }
+  auto& det = chaos::RaceDetector::instance();
+  EXPECT_EQ(det.violation_count(), 0u) << det.report();
+}
+#endif  // NBODY_CHAOS
+
+}  // namespace

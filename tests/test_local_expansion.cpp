@@ -1,0 +1,268 @@
+// Algebraic identity suite for the local-expansion operators
+// (math/local_expansion.hpp) that drive the dual-tree far field:
+//
+//   * M2L ∘ L2P at the expansion center reproduces the direct multipole
+//     evaluation bit for bit — the value term is literally accumulated by
+//     calling the same gravity_accel / quadrupole_accel kernels;
+//   * L2L is an exact polynomial shift: translate-then-evaluate equals
+//     evaluate, to FP roundoff, for any chain of translations;
+//   * the Jacobian/Hessian coefficients match finite differences of the
+//     direct kernels (the derivation check);
+//   * expansion error decays at the retained order as the evaluation point
+//     approaches the center (cubic for the monopole expansion);
+//   * zero-mass and coincident-center degenerates are inert, not NaN.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "math/gravity.hpp"
+#include "math/local_expansion.hpp"
+#include "math/multipole.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using nbody::math::gravity_accel;
+using nbody::math::l2l;
+using nbody::math::l2p;
+using nbody::math::LocalExpansion;
+using nbody::math::m2l;
+using nbody::math::point_quadrupole;
+using nbody::math::quadrupole_accel;
+using nbody::math::SymTensor;
+using vec3 = nbody::math::vec3d;
+
+struct Source {
+  double m;
+  vec3 z;
+};
+
+// A handful of well-separated point sources around the origin-centered
+// expansion neighborhood, plus the softening the direct kernels use.
+std::vector<Source> far_sources(std::uint64_t seed) {
+  nbody::support::Xoshiro256ss rng(seed);
+  std::vector<Source> out;
+  for (int i = 0; i < 8; ++i) {
+    const double r = 4.0 + 6.0 * rng.uniform();
+    const double u = 2.0 * rng.uniform() - 1.0;
+    const double phi = 6.283185307179586 * rng.uniform();
+    const double s = std::sqrt(1.0 - u * u);
+    out.push_back({0.1 + rng.uniform(),
+                   vec3{{r * s * std::cos(phi), r * s * std::sin(phi), r * u}}});
+  }
+  return out;
+}
+
+constexpr double kEps2 = 1e-4;
+constexpr double kG = 1.0;
+
+// ------------------------------------------------------ M2L ∘ L2P identity
+
+TEST(LocalExpansion, EvaluationAtCenterEqualsDirectMonopole) {
+  const vec3 c{{0.25, -0.5, 0.125}};
+  auto L = LocalExpansion<double, 3>::centered(c);
+  vec3 direct = vec3::zero();
+  for (const Source& s : far_sources(7)) {
+    m2l(L, s.m, s.z, kG, kEps2);
+    direct += gravity_accel(c, s.z, s.m, kG, kEps2);
+  }
+  // Bit-identical: the a0 term is accumulated through the same kernel calls
+  // in the same order, and L2P at the center adds exactly zero polynomial.
+  const vec3 got = l2p(L, c);
+  for (std::size_t d = 0; d < 3; ++d) EXPECT_EQ(got[d], direct[d]);
+}
+
+TEST(LocalExpansion, EvaluationAtCenterEqualsDirectQuadrupole) {
+  const vec3 c{{-0.3, 0.1, 0.6}};
+  auto L = LocalExpansion<double, 3>::centered(c);
+  vec3 direct = vec3::zero();
+  for (const Source& s : far_sources(11)) {
+    // A non-trivial traceless quadrupole: two half-masses offset from z.
+    const vec3 off{{0.3, -0.2, 0.1}};
+    SymTensor<double, 3> Q = point_quadrupole(s.m / 2, off);
+    Q += point_quadrupole(s.m / 2, -off);
+    m2l(L, s.m, s.z, Q, kG, kEps2);
+    direct += gravity_accel(c, s.z, s.m, kG, kEps2);
+    direct += quadrupole_accel(c, s.z, Q, kG, kEps2);
+  }
+  const vec3 got = l2p(L, c);
+  for (std::size_t d = 0; d < 3; ++d) EXPECT_EQ(got[d], direct[d]);
+}
+
+// ------------------------------------------------- derivative coefficients
+
+// The Jacobian and Hessian accumulated by m2l must be the derivatives of
+// the direct kernels: central finite differences pin the derivation.
+TEST(LocalExpansion, JacobianMatchesFiniteDifferenceOfDirectKernels) {
+  const vec3 c{{0.2, 0.4, -0.1}};
+  const Source s{1.7, vec3{{5.0, -3.0, 2.0}}};
+  const vec3 off{{0.25, 0.15, -0.2}};
+  SymTensor<double, 3> Q = point_quadrupole(s.m / 2, off);
+  Q += point_quadrupole(s.m / 2, -off);
+  auto L = LocalExpansion<double, 3>::centered(c);
+  m2l(L, s.m, s.z, Q, kG, kEps2);
+  const double h = 1e-5;
+  for (std::size_t j = 0; j < 3; ++j) {
+    vec3 cp = c, cm = c;
+    cp[j] += h;
+    cm[j] -= h;
+    const vec3 ap = gravity_accel(cp, s.z, s.m, kG, kEps2) +
+                    quadrupole_accel(cp, s.z, Q, kG, kEps2);
+    const vec3 am = gravity_accel(cm, s.z, s.m, kG, kEps2) +
+                    quadrupole_accel(cm, s.z, Q, kG, kEps2);
+    for (std::size_t i = 0; i < 3; ++i)
+      EXPECT_NEAR(L.jac(i, j), (ap[i] - am[i]) / (2 * h), 1e-6)
+          << "dA_" << i << "/dy_" << j;
+  }
+}
+
+TEST(LocalExpansion, HessianMatchesFiniteDifferenceOfMonopoleKernel) {
+  const vec3 c{{-0.1, 0.3, 0.2}};
+  const Source s{2.3, vec3{{-4.0, 5.0, -3.0}}};
+  auto L = LocalExpansion<double, 3>::centered(c);
+  m2l(L, s.m, s.z, kG, kEps2);
+  const double h = 1e-4;
+  for (std::size_t j = 0; j < 3; ++j) {
+    for (std::size_t k = 0; k < 3; ++k) {
+      vec3 cpp = c, cpm = c, cmp = c, cmm = c;
+      cpp[j] += h;
+      cpp[k] += h;
+      cpm[j] += h;
+      cpm[k] -= h;
+      cmp[j] -= h;
+      cmp[k] += h;
+      cmm[j] -= h;
+      cmm[k] -= h;
+      for (std::size_t i = 0; i < 3; ++i) {
+        const double fd = (gravity_accel(cpp, s.z, s.m, kG, kEps2)[i] -
+                           gravity_accel(cpm, s.z, s.m, kG, kEps2)[i] -
+                           gravity_accel(cmp, s.z, s.m, kG, kEps2)[i] +
+                           gravity_accel(cmm, s.z, s.m, kG, kEps2)[i]) /
+                          (4 * h * h);
+        EXPECT_NEAR(L.hess[i](j, k), fd, 1e-5)
+            << "d2A_" << i << "/dy_" << j << " dy_" << k;
+      }
+    }
+  }
+}
+
+// -------------------------------------------------- L2L translation algebra
+
+TEST(LocalExpansion, L2LTranslationInvariance) {
+  const vec3 c{{0.0, 0.0, 0.0}};
+  auto L = LocalExpansion<double, 3>::centered(c);
+  for (const Source& s : far_sources(23)) m2l(L, s.m, s.z, kG, kEps2);
+  const vec3 c2{{0.4, -0.3, 0.2}};
+  const auto L2 = l2l(L, c2);
+  // Translate-then-evaluate == evaluate, at points inside the neighborhood.
+  nbody::support::Xoshiro256ss rng(99);
+  for (int t = 0; t < 16; ++t) {
+    const vec3 y{{rng.uniform() - 0.5, rng.uniform() - 0.5,
+                  rng.uniform() - 0.5}};
+    const vec3 a = l2p(L, y);
+    const vec3 b = l2p(L2, y);
+    for (std::size_t d = 0; d < 3; ++d)
+      EXPECT_NEAR(a[d], b[d], 1e-12 * (1.0 + std::abs(a[d])));
+  }
+}
+
+TEST(LocalExpansion, L2LChainEqualsSingleShift) {
+  auto L = LocalExpansion<double, 3>::centered(vec3::zero());
+  for (const Source& s : far_sources(31)) m2l(L, s.m, s.z, kG, kEps2);
+  const vec3 mid{{0.2, 0.1, -0.3}};
+  const vec3 end{{-0.1, 0.4, 0.25}};
+  const auto chained = l2l(l2l(L, mid), end);
+  const auto direct = l2l(L, end);
+  const vec3 y{{0.05, -0.15, 0.1}};
+  const vec3 a = l2p(chained, y);
+  const vec3 b = l2p(direct, y);
+  for (std::size_t d = 0; d < 3; ++d)
+    EXPECT_NEAR(a[d], b[d], 1e-12 * (1.0 + std::abs(a[d])));
+}
+
+TEST(LocalExpansion, L2LWithQuadrupoleSourcesInvariant) {
+  auto L = LocalExpansion<double, 3>::centered(vec3::zero());
+  for (const Source& s : far_sources(41)) {
+    const vec3 off{{0.2, 0.3, -0.1}};
+    SymTensor<double, 3> Q = point_quadrupole(s.m / 2, off);
+    Q += point_quadrupole(s.m / 2, -off);
+    m2l(L, s.m, s.z, Q, kG, kEps2);
+  }
+  const auto L2 = l2l(L, vec3{{-0.25, 0.2, 0.35}});
+  const vec3 y{{0.1, 0.1, -0.05}};
+  const vec3 a = l2p(L, y);
+  const vec3 b = l2p(L2, y);
+  for (std::size_t d = 0; d < 3; ++d)
+    EXPECT_NEAR(a[d], b[d], 1e-12 * (1.0 + std::abs(a[d])));
+}
+
+// ------------------------------------------------------- convergence order
+
+// Monopole expansion carries value + Jacobian + Hessian, so the error at
+// displacement d from the center is O(|d|^3): halving |d| must shrink the
+// error by about 8x (we require > 4x to stay robust to FP noise).
+TEST(LocalExpansion, MonopoleExpansionErrorDecaysCubically) {
+  const vec3 c = vec3::zero();
+  auto L = LocalExpansion<double, 3>::centered(c);
+  const auto sources = far_sources(53);
+  for (const Source& s : sources) m2l(L, s.m, s.z, kG, kEps2);
+  const vec3 dir{{0.6, -0.48, 0.64}};  // |dir| = 1
+  double prev_err = -1.0;
+  for (const double scale : {0.8, 0.4, 0.2, 0.1}) {
+    const vec3 y = c + dir * scale;
+    vec3 direct = vec3::zero();
+    for (const Source& s : sources) direct += gravity_accel(y, s.z, s.m, kG, kEps2);
+    const vec3 approx = l2p(L, y);
+    const double err = nbody::math::norm(approx - direct);
+    if (prev_err >= 0.0) {
+      EXPECT_GT(prev_err, 4.0 * err) << "at scale " << scale;
+    }
+    prev_err = err;
+  }
+}
+
+// ------------------------------------------------------------- degenerates
+
+TEST(LocalExpansion, ZeroMassContributesNothing) {
+  auto L = LocalExpansion<double, 3>::centered(vec3{{0.1, 0.2, 0.3}});
+  m2l(L, 0.0, vec3{{5.0, 5.0, 5.0}}, kG, kEps2);
+  SymTensor<double, 3> Q{};  // zero quadrupole
+  m2l(L, 0.0, vec3{{-4.0, 2.0, 1.0}}, Q, kG, kEps2);
+  EXPECT_EQ(l2p(L, L.center), vec3::zero());
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j) EXPECT_EQ(L.jac(i, j), 0.0);
+}
+
+TEST(LocalExpansion, CoincidentCenterIsInertNotNaN) {
+  const vec3 c{{1.0, 2.0, 3.0}};
+  // Source exactly at the expansion center, unsoftened: the kernels define
+  // this as zero force, and the expansion must follow suit (no NaN/inf).
+  auto L = LocalExpansion<double, 3>::centered(c);
+  m2l(L, 5.0, c, kG, 0.0);
+  const vec3 a = l2p(L, c + vec3{{0.1, 0.0, 0.0}});
+  for (std::size_t d = 0; d < 3; ++d) EXPECT_TRUE(std::isfinite(a[d]));
+  EXPECT_EQ(l2p(L, c), vec3::zero());
+  // Softened coincident source: finite field, still no NaN.
+  auto Ls = LocalExpansion<double, 3>::centered(c);
+  m2l(Ls, 5.0, c, kG, kEps2);
+  const vec3 as = l2p(Ls, c + vec3{{0.01, -0.02, 0.03}});
+  for (std::size_t d = 0; d < 3; ++d) EXPECT_TRUE(std::isfinite(as[d]));
+}
+
+TEST(LocalExpansion, TwoDimensionalSpecialization) {
+  using vec2 = nbody::math::vec<double, 2>;
+  auto L = LocalExpansion<double, 2>::centered(vec2{{0.1, -0.1}});
+  const vec2 z{{6.0, 4.0}};
+  m2l(L, 2.0, z, kG, kEps2);
+  const vec2 direct = gravity_accel(L.center, z, 2.0, kG, kEps2);
+  const vec2 got = l2p(L, L.center);
+  EXPECT_EQ(got[0], direct[0]);
+  EXPECT_EQ(got[1], direct[1]);
+  const auto L2 = l2l(L, vec2{{-0.2, 0.15}});
+  const vec2 y{{0.05, 0.05}};
+  EXPECT_NEAR(l2p(L, y)[0], l2p(L2, y)[0], 1e-13);
+  EXPECT_NEAR(l2p(L, y)[1], l2p(L2, y)[1], 1e-13);
+}
+
+}  // namespace
